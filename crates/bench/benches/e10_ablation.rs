@@ -1,0 +1,26 @@
+//! E10 — design-choice ablations: COND-relation index kind for the §4.1
+//! engine, and delete-heavy traces for the §4.2 support counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prodsys_bench::{e10_delete_ablation, e10_index_ablation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_ablation");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("index_kinds_trace_120", |b| {
+        b.iter(|| e10_index_ablation(120).len())
+    });
+    for f in [0.0f64, 0.4] {
+        group.bench_with_input(
+            BenchmarkId::new("delete_fraction", format!("{f:.1}")),
+            &f,
+            |b, &f| b.iter(|| e10_delete_ablation(&[f], 150).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

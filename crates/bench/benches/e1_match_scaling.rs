@@ -1,0 +1,46 @@
+//! E1 — match cost per WM change vs rule-base size, all five engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ops5::ClassId;
+use prodsys::{make_engine, EngineKind, ProductionDb};
+use workload::{Op, RuleGenConfig, TraceConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_match_scaling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for rules in [64usize, 512] {
+        let cfg = RuleGenConfig {
+            rules,
+            ..Default::default()
+        };
+        let trace = TraceConfig {
+            ops: 150,
+            ..Default::default()
+        }
+        .trace(cfg.classes, cfg.attrs);
+        for kind in EngineKind::ALL {
+            group.bench_with_input(BenchmarkId::new(kind.label(), rules), &trace, |b, trace| {
+                b.iter(|| {
+                    let mut engine = make_engine(kind, ProductionDb::new(cfg.rules()).unwrap());
+                    for op in trace {
+                        match op {
+                            Op::Insert(c, t) => {
+                                engine.insert(ClassId(*c), t.clone());
+                            }
+                            Op::Remove(c, t) => {
+                                engine.remove(ClassId(*c), t);
+                            }
+                        }
+                    }
+                    engine.conflict_set().len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

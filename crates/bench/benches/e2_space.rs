@@ -1,0 +1,26 @@
+//! E2 — time to load a working memory while building match structures
+//! (the space sweep itself is printed by the harness: space is a state
+//! metric, not a duration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prodsys_bench::e2_space;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_space");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for wm in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::new("load_all_engines", wm), &wm, |b, &wm| {
+            b.iter(|| {
+                let pts = e2_space(&[wm]);
+                assert_eq!(pts.len(), 5);
+                pts.iter().map(|p| p.match_entries).sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

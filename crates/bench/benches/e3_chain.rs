@@ -1,0 +1,48 @@
+//! E3/F1 — the final-insert cost of a C1∧…∧Cn chain: Rete's hierarchical
+//! propagation vs the flat matching-pattern detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ops5::ClassId;
+use prodsys::{CondEngine, MatchEngine, ProductionDb, ReteEngine};
+use workload::ChainWorkload;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_chain");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let w = ChainWorkload::new(n);
+        let links = w.links();
+        group.bench_with_input(BenchmarkId::new("rete_final_insert", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut e = ReteEngine::new(ProductionDb::new(w.rules()).unwrap());
+                    for t in &links[..n - 1] {
+                        e.insert(ClassId(0), t.clone());
+                    }
+                    e
+                },
+                |mut e| e.insert(ClassId(0), links[n - 1].clone()),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("cond_final_insert", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut e = CondEngine::new(ProductionDb::new(w.rules()).unwrap());
+                    for t in &links[..n - 1] {
+                        e.insert(ClassId(0), t.clone());
+                    }
+                    e
+                },
+                |mut e| e.insert(ClassId(0), links[n - 1].clone()),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

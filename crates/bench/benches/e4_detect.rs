@@ -1,0 +1,24 @@
+//! E4 — detection (conflict-set update) latency: the cond engine updates
+//! the conflict set before maintenance; Rete only afterwards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prodsys_bench::e4_detect;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_detect");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("detect_split_trace_200", |b| {
+        b.iter(|| {
+            let pts = e4_detect(200);
+            let cond = pts.iter().find(|p| p.engine == "cond").unwrap();
+            assert!(cond.avg_detect_ns <= cond.avg_total_ns);
+            pts.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

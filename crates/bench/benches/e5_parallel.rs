@@ -1,0 +1,48 @@
+//! E5 — serial vs parallel propagation of matching patterns across COND
+//! relations ("our scheme can be fully parallelized", §4.2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ops5::ClassId;
+use prodsys::{CondEngine, MatchEngine, ProductionDb};
+use workload::{Op, RuleGenConfig, TraceConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_parallel");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let classes = 6;
+    let cfg = RuleGenConfig {
+        classes,
+        rules: classes * 24,
+        ces_per_rule: 4,
+        domain: 3,
+        ..Default::default()
+    };
+    let trace = TraceConfig {
+        ops: 120,
+        delete_fraction: 0.0,
+        join_domain: 3,
+        ..Default::default()
+    }
+    .trace(cfg.classes, cfg.attrs);
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_with_input(BenchmarkId::new(label, classes), &trace, |b, trace| {
+            b.iter(|| {
+                let mut e = CondEngine::new(ProductionDb::new(cfg.rules()).unwrap());
+                e.set_parallel(parallel);
+                for op in trace {
+                    if let Op::Insert(c, t) = op {
+                        e.insert(ClassId(*c), t.clone());
+                    }
+                }
+                e.pattern_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

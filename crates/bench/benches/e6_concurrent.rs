@@ -1,0 +1,25 @@
+//! E6 — concurrent execution of the conflict set (§5): wall time vs
+//! worker count, independent vs skewed write sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prodsys_bench::e6_concurrent;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_concurrent");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("fire_32", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let pts = e6_concurrent(32, &[w]);
+                assert!(pts.iter().all(|p| p.committed == 32));
+                pts.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

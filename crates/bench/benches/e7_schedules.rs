@@ -1,0 +1,24 @@
+//! E7 — exact counting of serializable schedules equivalent to the
+//! serial order (the [RASC87] measure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prodsys_bench::e7_schedules;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_schedules");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for k in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("count", k), &k, |b, &k| {
+            b.iter(|| {
+                let pts = e7_schedules(&[k]);
+                pts.iter().map(|p| p.equivalent_schedules).sum::<u128>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E8 — marker-engine false drops vs matching patterns as condition
+//! overlap grows (small constant domains → overlapping markers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prodsys_bench::e8_false_drops;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_false_drops");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for domain in [2i64, 50] {
+        group.bench_with_input(BenchmarkId::new("trace_100", domain), &domain, |b, &d| {
+            b.iter(|| {
+                let pts = e8_false_drops(&[d], 100);
+                pts[0].marker_false_drops
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E9 — predicate-index point stabbing: linear scan vs R-tree vs R+-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predindex::{ConditionIndex, LinearIndex, RPlusTree, RTree, Rect};
+use relstore::{tuple, CompOp, Restriction, Selection};
+
+fn conditions(n: usize) -> Vec<Rect> {
+    (0..n)
+        .map(|i| {
+            let lo = (i * 7 % 1000) as i64;
+            Rect::from_restriction(
+                2,
+                &Restriction::new(vec![
+                    Selection::new(1, CompOp::Ge, lo),
+                    Selection::new(1, CompOp::Le, lo + 25),
+                ]),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_predindex_stab");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1_000usize, 20_000] {
+        let conds = conditions(n);
+        let mut linear = LinearIndex::new();
+        let mut rtree = RTree::new(2);
+        let mut rplus = RPlusTree::new(2);
+        for (i, r) in conds.iter().enumerate() {
+            linear.insert(r.clone(), i as u32);
+            rtree.insert(r.clone(), i as u32);
+            rplus.insert(r.clone(), i as u32);
+        }
+        let probe = tuple![1i64, 500i64];
+        group.bench_with_input(BenchmarkId::new("linear", n), &probe, |b, p| {
+            b.iter(|| linear.stab(p).len())
+        });
+        group.bench_with_input(BenchmarkId::new("r-tree", n), &probe, |b, p| {
+            b.iter(|| rtree.stab(p).len())
+        });
+        group.bench_with_input(BenchmarkId::new("r+-tree", n), &probe, |b, p| {
+            b.iter(|| rplus.stab(p).len())
+        });
+        // Loading a large rule base: one-at-a-time insertion vs STR
+        // bulk loading.
+        group.bench_with_input(
+            BenchmarkId::new("build_incremental", n),
+            &conds,
+            |b, conds| {
+                b.iter(|| {
+                    let mut t: RTree<u32> = RTree::new(2);
+                    for (i, r) in conds.iter().enumerate() {
+                        t.insert(r.clone(), i as u32);
+                    }
+                    t.len()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("build_str_bulk", n), &conds, |b, conds| {
+            b.iter(|| {
+                let items: Vec<(Rect, u32)> =
+                    conds.iter().cloned().zip(0..conds.len() as u32).collect();
+                RTree::bulk_load(2, items).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

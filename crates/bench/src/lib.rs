@@ -1,0 +1,16 @@
+//! # prodsys-bench — experiment runners
+//!
+//! One module per experiment of DESIGN.md's index (E1–E10). Each runner
+//! returns plain row structs; the `harness` binary prints them as the
+//! paper-reproduction tables recorded in EXPERIMENTS.md, and the Criterion
+//! benches reuse the same code for timing.
+
+pub mod experiments;
+
+pub use experiments::*;
+
+/// Format a sequence of (column, value) rows as an aligned table.
+pub fn print_rows(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    print!("{}", workload::tables::format_table(header, rows));
+}

@@ -1,0 +1,1274 @@
+//! The paper's new approach (§4.2): **matching patterns** in COND
+//! relations.
+//!
+//! Each class has a COND store holding, per `(rule, condition element)`,
+//! the original condition template plus *matching patterns* — copies of
+//! the template with variables progressively bound by tuples that arrived
+//! in *related* condition elements (the RCE list), with one mark per RCE.
+//! "A matching pattern in a COND relation indicates that there is some
+//! tuple in another (related) WM relation having the property of the
+//! matching pattern and therefore is joinable with tuples in the current
+//! WM relation. Hence, when a tuple is inserted later … we know
+//! immediately that there is a match." (§4.2.1)
+//!
+//! Key faithful details:
+//!
+//! * **detection first**: the conflict set is updated before the
+//!   maintenance (propagation) phase — the reverse of Rete (§4.2.3);
+//! * **counters, not bits** (§4.2.2): "because a matching pattern tuple
+//!   may have been created by more than one WM element … Mark bits can be
+//!   easily replaced by counters to record the number of contributing
+//!   tuples." We realize the counters as *support sets* (the tuple ids of
+//!   the contributing WM elements; the paper's counter is the set's
+//!   size), plus a per-tuple contribution log, so that the deletion
+//!   algorithm undoes exactly what the insertion algorithm did — the
+//!   mirrored re-derivation the paper sketches is not self-consistent
+//!   once the COND state has evolved between insert and delete;
+//! * **mark-compatibility** during unification ("each Mark bit must be
+//!   set in T if the corresponding Mark bit is set in the matching tuple
+//!   M", §4.2.2), restricted to marks of CEs that share a variable with
+//!   the target CE — for variable-disjoint CEs the mark carries no
+//!   binding information inside the target COND relation and the paper's
+//!   unrestricted check would lose real matches;
+//! * **negated condition elements** invert the mark default (§4.2.2):
+//!   their support sets count *blockers* and the element is satisfied
+//!   when empty;
+//! * **parallelizable propagation**: COND stores are partitioned by class
+//!   and the maintenance phase can fan out one thread per affected class
+//!   ("propagation of changes can be performed in parallel to all the
+//!   COND relations", §4.2.3).
+//!
+//! Non-equality join tests (e.g. R1's `salary {< <S>}`) propagate as
+//! *range* specializations: the pattern created by `Mike ^salary 6000`
+//! in the manager's COND entry carries `salary < 6000`. Where a
+//! composition of inequalities is not representable the pattern stays
+//! conservative; the conflict set remains exact because detection expands
+//! fire candidates through a seeded LHS query.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+use ops5::{ClassId, Rule, RuleId};
+use predindex::{make_index, ConditionIndex, IndexKind, Rect};
+use relstore::{CompOp, Tuple, TupleId, Value};
+use rete::{ConflictDelta, ConflictSet};
+
+use crate::engine::recompute::{eval_rule, eval_rule_seeded, InstStore, Match};
+use crate::engine::{MatchEngine, SpaceStats};
+use crate::pdb::ProductionDb;
+
+/// A variable occurrence: condition element, attribute, operator.
+type Occurrence = (usize, usize, CompOp);
+
+/// Identity of a WM tuple: (class index, tuple id).
+type TupKey = (usize, TupleId);
+
+/// Structural identity of a pattern: substitution + range constraints.
+type Identity = (Vec<Option<Value>>, Vec<(usize, CompOp, Value)>);
+
+/// Address of a pattern: (rule, cen, identity). The store class follows
+/// from (rule, cen).
+type PatKey = (usize, usize, Identity);
+
+/// Static per-rule pattern structure derived from the IR.
+#[derive(Debug, Clone)]
+struct RuleInfo {
+    /// Binding sites, one per variable: (ce, attr).
+    var_sites: Vec<(usize, usize)>,
+    /// All occurrences of each variable (including the binding site).
+    occurrences: Vec<Vec<Occurrence>>,
+    /// Per CE: constraints referencing variables: (attr, op, var).
+    var_constraints: Vec<Vec<(usize, CompOp, usize)>>,
+    /// Per CE: the related condition elements (all other CEs, in order).
+    rce: Vec<Vec<usize>>,
+    /// `shares[a][b]`: do CEs `a` and `b` share at least one variable?
+    shares: Vec<Vec<bool>>,
+    /// Positions of positive CEs (original index → positive position).
+    positive_pos: Vec<Option<usize>>,
+}
+
+impl RuleInfo {
+    fn build(rule: &Rule) -> Self {
+        let n = rule.ces.len();
+        let mut var_sites: Vec<(usize, usize)> = Vec::new();
+        let mut site_index: HashMap<(usize, usize), usize> = HashMap::new();
+        for (ci, ce) in rule.ces.iter().enumerate() {
+            for (attr, _) in &ce.bindings {
+                let site = (ci, *attr);
+                site_index.entry(site).or_insert_with(|| {
+                    var_sites.push(site);
+                    var_sites.len() - 1
+                });
+            }
+        }
+        let mut occurrences: Vec<Vec<Occurrence>> = var_sites
+            .iter()
+            .map(|&(ce, attr)| vec![(ce, attr, CompOp::Eq)])
+            .collect();
+        for (ci, ce) in rule.ces.iter().enumerate() {
+            for j in &ce.joins {
+                if let Some(&vid) = site_index.get(&(j.other_ce, j.other_attr)) {
+                    occurrences[vid].push((ci, j.my_attr, j.op));
+                }
+            }
+        }
+        let mut var_constraints: Vec<Vec<(usize, CompOp, usize)>> = vec![Vec::new(); n];
+        for (vid, occs) in occurrences.iter().enumerate() {
+            for &(ce, attr, op) in occs {
+                var_constraints[ce].push((attr, op, vid));
+            }
+        }
+        // Which variables occur in each CE, and which CE pairs share one.
+        let mut vars_of_ce: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (vid, occs) in occurrences.iter().enumerate() {
+            for &(ce, _, _) in occs {
+                vars_of_ce[ce].insert(vid);
+            }
+        }
+        let shares: Vec<Vec<bool>> = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| !vars_of_ce[a].is_disjoint(&vars_of_ce[b]))
+                    .collect()
+            })
+            .collect();
+        let rce: Vec<Vec<usize>> = (0..n)
+            .map(|k| (0..n).filter(|&j| j != k).collect())
+            .collect();
+        let mut positive_pos = vec![None; n];
+        let mut pos = 0;
+        for (i, ce) in rule.ces.iter().enumerate() {
+            if !ce.negated {
+                positive_pos[i] = Some(pos);
+                pos += 1;
+            }
+        }
+        RuleInfo {
+            var_sites,
+            occurrences,
+            var_constraints,
+            rce,
+            shares,
+            positive_pos,
+        }
+    }
+
+    /// Index of CE `j` within CE `k`'s RCE list.
+    fn rce_index(&self, k: usize, j: usize) -> usize {
+        self.rce[k]
+            .iter()
+            .position(|&x| x == j)
+            .expect("j is a related CE")
+    }
+}
+
+/// One matching pattern: the template of `(rule, cen)` specialized by a
+/// substitution plus derived range constraints, with per-RCE support.
+#[derive(Debug, Clone, PartialEq)]
+struct Pattern {
+    /// Variable substitution (indexed by rule-wide variable id).
+    sigma: Vec<Option<Value>>,
+    /// Derived constraints `(attr, op, value)` from non-eq joins, sorted.
+    extra: Vec<(usize, CompOp, Value)>,
+    /// Supporting tuples per RCE entry. For positive RCEs the mark is set
+    /// iff non-empty; for negated RCEs these are blockers and the mark is
+    /// satisfied iff empty. The paper's counter is the set's size.
+    support: Vec<Vec<TupKey>>,
+}
+
+impl Pattern {
+    fn identity(&self) -> Identity {
+        (self.sigma.clone(), self.extra.clone())
+    }
+
+    fn is_original(&self) -> bool {
+        self.sigma.iter().all(Option::is_none) && self.extra.is_empty()
+    }
+
+    /// The paper's counter view (for traces and tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn counts(&self) -> Vec<u32> {
+        self.support.iter().map(|s| s.len() as u32).collect()
+    }
+}
+
+/// A contribution extracted from a tuple matching a pattern of CE `k`:
+/// the combined substitution and derived ranges to propagate to the RCEs.
+#[derive(Debug, Clone)]
+struct Contribution {
+    rule: usize,
+    k: usize,
+    /// σ' = pattern σ ∪ bindings from the tuple's eq occurrences.
+    sigma: Vec<Option<Value>>,
+    /// Range info per variable from the tuple's non-eq occurrences.
+    ranges: Vec<Vec<(CompOp, Value)>>,
+    /// Positive CEs marked in the extended view (T's marks + k).
+    marks: BTreeSet<usize>,
+}
+
+/// Per-class COND store: patterns grouped by (rule, cen).
+#[derive(Debug, Default)]
+struct CondStore {
+    groups: HashMap<(usize, usize), Vec<Pattern>>,
+}
+
+/// What the propagation of one insertion did to one pattern, recorded so
+/// deletion can undo it exactly.
+type LogEntry = (TupKey, PatKey);
+
+/// A per-class predicate index over condition elements (payload =
+/// (rule, cen)).
+type AlphaIndex = Vec<Box<dyn ConditionIndex<(usize, usize)> + Send + Sync>>;
+
+/// A desired pattern for a target CE: bound variables plus derived range
+/// constraints.
+type DesiredPattern = (Vec<(usize, Value)>, Vec<(usize, CompOp, Value)>);
+
+/// The §4.2 matching engine.
+pub struct CondEngine {
+    pdb: ProductionDb,
+    infos: Vec<RuleInfo>,
+    stores: Vec<CondStore>,
+    /// Per-class predicate index over the condition elements' alpha
+    /// rectangles: only groups whose one-input tests match the tuple are
+    /// searched ("building indices such as R-trees or R+-trees on COND
+    /// relations can help in speeding up this process", §4.2.3). `None`
+    /// disables the index (the E10 ablation).
+    alpha_index: Option<AlphaIndex>,
+    /// Simulated secondary-storage latency per COND tuple examined, in
+    /// nanoseconds. The paper assumes disk-resident COND relations; this
+    /// knob restores the I/O-bound regime its parallelism argument
+    /// (§4.2.3) lives in. Zero (default) = pure in-memory.
+    io_cost_ns: u64,
+    /// tuple → the patterns whose support mentions it.
+    log: HashMap<TupKey, Vec<PatKey>>,
+    inst: InstStore,
+    conflict: ConflictSet,
+    parallel: bool,
+    last_detect_ns: u64,
+    last_total_ns: u64,
+}
+
+impl CondEngine {
+    /// Create a new, empty instance.
+    pub fn new(pdb: ProductionDb) -> Self {
+        Self::with_index(pdb, Some(IndexKind::RTree))
+    }
+
+    /// Build with an explicit COND-relation index choice (`None` scans
+    /// every group — the unindexed §4.1-style search).
+    pub fn with_index(pdb: ProductionDb, index: Option<IndexKind>) -> Self {
+        let infos: Vec<RuleInfo> = pdb.rules().rules.iter().map(RuleInfo::build).collect();
+        let nvars: Vec<usize> = infos.iter().map(|i| i.var_sites.len()).collect();
+        let mut stores: Vec<CondStore> = pdb
+            .rules()
+            .classes
+            .iter()
+            .map(|_| CondStore::default())
+            .collect();
+        for rule in &pdb.rules().rules {
+            for (cen, ce) in rule.ces.iter().enumerate() {
+                let info = &infos[rule.id.0];
+                stores[ce.class.0].groups.insert(
+                    (rule.id.0, cen),
+                    vec![Pattern {
+                        sigma: vec![None; nvars[rule.id.0]],
+                        extra: Vec::new(),
+                        support: vec![Vec::new(); info.rce[cen].len()],
+                    }],
+                );
+            }
+        }
+        let alpha_index = index.map(|kind| {
+            let mut per_class: AlphaIndex = pdb
+                .rules()
+                .classes
+                .iter()
+                .map(|c| make_index(kind, c.arity()))
+                .collect();
+            for rule in &pdb.rules().rules {
+                for (cen, ce) in rule.ces.iter().enumerate() {
+                    let arity = pdb.rules().class(ce.class).arity();
+                    if let Some(rect) = Rect::from_restriction(arity, &ce.alpha) {
+                        per_class[ce.class.0].insert(rect, (rule.id.0, cen));
+                    }
+                }
+            }
+            per_class
+        });
+        CondEngine {
+            pdb,
+            infos,
+            stores,
+            alpha_index,
+            io_cost_ns: 0,
+            log: HashMap::new(),
+            inst: InstStore::new(),
+            conflict: ConflictSet::new(),
+            parallel: false,
+            last_detect_ns: 0,
+            last_total_ns: 0,
+        }
+    }
+
+    /// Simulate secondary-storage latency per COND tuple examined
+    /// (busy-wait; deterministic enough for the E5 experiment).
+    pub fn set_io_cost_ns(&mut self, ns: u64) {
+        self.io_cost_ns = ns;
+    }
+
+    /// Burn the simulated I/O budget for `tuples` COND reads. Long waits
+    /// sleep (like real I/O they release the CPU, so parallel propagation
+    /// threads genuinely overlap); short ones spin for accuracy.
+    fn charge_io(&self, tuples: u64) {
+        if self.io_cost_ns == 0 || tuples == 0 {
+            return;
+        }
+        let dur = std::time::Duration::from_nanos(self.io_cost_ns * tuples);
+        if dur > std::time::Duration::from_micros(200) {
+            std::thread::sleep(dur);
+        } else {
+            let deadline = Instant::now() + dur;
+            while Instant::now() < deadline {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// The (rule, cen) groups of `class` whose alpha tests can match the
+    /// tuple — via the COND index when present, else all groups.
+    fn candidate_groups(&self, class: ClassId, tuple: &Tuple) -> Vec<(usize, usize)> {
+        match &self.alpha_index {
+            Some(idx) => idx[class.0].stab(tuple),
+            None => self.stores[class.0].groups.keys().copied().collect(),
+        }
+    }
+
+    /// Enable parallel propagation of matching patterns across COND
+    /// stores (E5).
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// All stored patterns (space metric).
+    pub fn pattern_count(&self) -> usize {
+        self.stores
+            .iter()
+            .flat_map(|s| s.groups.values())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Render a class's COND relation as the paper prints it (§4.2.1 /
+    /// Example 5): one row per pattern with Rule-ID, CEN, a cell per
+    /// attribute (bound value, `<var>`, or a derived range), the RCE
+    /// list, and the mark counters.
+    pub fn render_cond(&self, class: ClassId) -> Vec<Vec<String>> {
+        let rules = self.pdb.rules();
+        let mut keys: Vec<(usize, usize)> = self.stores[class.0].groups.keys().copied().collect();
+        keys.sort_unstable();
+        let mut rows = Vec::new();
+        for (rid, cen) in keys {
+            let rule = rules.rule(RuleId(rid));
+            let info = &self.infos[rid];
+            let arity = rules.class(class).arity();
+            let mut group: Vec<&Pattern> =
+                self.stores[class.0].groups[&(rid, cen)].iter().collect();
+            // Originals first, then by specialization (stable textual order).
+            group.sort_by_key(|p| (!p.is_original(), format!("{:?}", p.identity())));
+            for p in group {
+                let mut cells = vec![rule.name.clone(), (cen + 1).to_string()];
+                for attr in 0..arity {
+                    cells.push(self.render_cell(rid, cen, p, attr));
+                }
+                let rce = info.rce[cen]
+                    .iter()
+                    .map(|j| format!("({},{})", rule.name, j + 1))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                cells.push(rce);
+                cells.push(
+                    p.counts()
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(""),
+                );
+                rows.push(cells);
+            }
+        }
+        rows
+    }
+
+    /// One attribute cell of a pattern row.
+    fn render_cell(&self, rid: usize, cen: usize, p: &Pattern, attr: usize) -> String {
+        let rule = self.rule(rid);
+        let info = &self.infos[rid];
+        // Constant test from the alpha restriction?
+        if let Some(sel) = rule.ces[cen].alpha.tests.iter().find(|s| s.attr == attr) {
+            return if sel.op == CompOp::Eq {
+                sel.value.to_string()
+            } else {
+                format!("{}{}", sel.op, sel.value)
+            };
+        }
+        // Derived range constraint?
+        if let Some((_, op, v)) = p.extra.iter().find(|(a, _, _)| *a == attr) {
+            return format!("{op}{v}");
+        }
+        // Variable constraint: bound or free?
+        for &(a, op, vid) in &info.var_constraints[cen] {
+            if a != attr || op != CompOp::Eq {
+                continue;
+            }
+            return match &p.sigma[vid] {
+                Some(v) => v.to_string(),
+                None => {
+                    let (bce, battr) = info.var_sites[vid];
+                    rule.ces[bce]
+                        .bindings
+                        .iter()
+                        .find(|(ba, _)| *ba == battr)
+                        .map(|(_, n)| format!("<{n}>"))
+                        .unwrap_or_else(|| format!("<v{vid}>"))
+                }
+            };
+        }
+        "*".to_string()
+    }
+
+    fn rule(&self, rid: usize) -> &Rule {
+        self.pdb.rules().rule(RuleId(rid))
+    }
+
+    /// Does `tuple` match pattern `p` of `(rule, cen)`? Alpha tests plus
+    /// every evaluable specialized constraint.
+    fn pattern_matches(&self, rid: usize, cen: usize, p: &Pattern, tuple: &Tuple) -> bool {
+        let rule = self.rule(rid);
+        let info = &self.infos[rid];
+        self.pdb.db().stats().read_tuples(1); // COND tuple examined
+        if !rule.ces[cen].alpha.matches(tuple) {
+            return false;
+        }
+        for &(attr, op, vid) in &info.var_constraints[cen] {
+            if let Some(x) = &p.sigma[vid] {
+                match tuple.get(attr) {
+                    Some(v) if op.eval(v, x) => {}
+                    _ => return false,
+                }
+            }
+        }
+        for (attr, op, x) in &p.extra {
+            match tuple.get(*attr) {
+                Some(v) if op.eval(v, x) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Are all marks of `p` (for CE `cen` of rule `rid`) set? Positive
+    /// RCEs need support; negated RCEs need no blockers (§4.2.2).
+    fn fully_marked(&self, rid: usize, cen: usize, p: &Pattern) -> bool {
+        let rule = self.rule(rid);
+        let info = &self.infos[rid];
+        info.rce[cen].iter().enumerate().all(|(i, &j)| {
+            if rule.ces[j].negated {
+                p.support[i].is_empty()
+            } else {
+                !p.support[i].is_empty()
+            }
+        })
+    }
+
+    /// Positive marks of a pattern as a CE set (for mark compatibility).
+    fn positive_marks(&self, rid: usize, cen: usize, p: &Pattern) -> BTreeSet<usize> {
+        let rule = self.rule(rid);
+        let info = &self.infos[rid];
+        info.rce[cen]
+            .iter()
+            .enumerate()
+            .filter(|&(i, &j)| !rule.ces[j].negated && !p.support[i].is_empty())
+            .map(|(_, &j)| j)
+            .collect()
+    }
+
+    /// Build the contribution of `tuple` matching pattern `p` at CE `k`.
+    fn contribution(&self, rid: usize, k: usize, p: &Pattern, tuple: &Tuple) -> Contribution {
+        let info = &self.infos[rid];
+        let mut sigma = p.sigma.clone();
+        let mut ranges: Vec<Vec<(CompOp, Value)>> = vec![Vec::new(); info.var_sites.len()];
+        for (vid, occs) in info.occurrences.iter().enumerate() {
+            for &(ce, attr, op) in occs {
+                if ce != k {
+                    continue;
+                }
+                if op == CompOp::Eq {
+                    // The tuple fixes this variable's value.
+                    sigma[vid] = Some(tuple[attr].clone());
+                } else {
+                    // The tuple bounds the variable: v op.flip() t[attr].
+                    ranges[vid].push((op.flip(), tuple[attr].clone()));
+                }
+            }
+        }
+        let mut marks = self.positive_marks(rid, k, p);
+        if !self.rule(rid).ces[k].negated {
+            marks.insert(k);
+        }
+        Contribution {
+            rule: rid,
+            k,
+            sigma,
+            ranges,
+            marks,
+        }
+    }
+
+    /// The desired pattern for target CE `n` under a contribution:
+    /// substitution restricted to `n`'s variables plus derived ranges.
+    fn desired(&self, c: &Contribution, n: usize) -> DesiredPattern {
+        let info = &self.infos[c.rule];
+        let mut bound = Vec::new();
+        let mut extra = Vec::new();
+        for &(attr, op, vid) in &info.var_constraints[n] {
+            if let Some(v) = &c.sigma[vid] {
+                if op == CompOp::Eq {
+                    bound.push((vid, v.clone()));
+                } else {
+                    // Non-eq constraint with a known value: specialize.
+                    extra.push((attr, op, v.clone()));
+                }
+            } else if op == CompOp::Eq {
+                for (rop, rv) in &c.ranges[vid] {
+                    extra.push((attr, *rop, rv.clone()));
+                }
+            }
+        }
+        bound.sort_by_key(|(vid, _)| *vid);
+        bound.dedup();
+        extra.sort_by(|a, b| {
+            (a.0, format!("{}{}", a.1, a.2)).cmp(&(b.0, format!("{}{}", b.1, b.2)))
+        });
+        extra.dedup();
+        (bound, extra)
+    }
+
+    /// Maintenance after an insertion: propagate matching patterns of the
+    /// inserted tuple `tup` to all related COND stores (§4.2.2's insertion
+    /// algorithm).
+    fn propagate(&mut self, contributions: Vec<Contribution>, tup: TupKey) {
+        // Group planned work by target class so stores can be updated in
+        // parallel (each class store is owned by exactly one task).
+        let nclasses = self.stores.len();
+        let mut per_class: Vec<Vec<(Contribution, usize)>> = vec![Vec::new(); nclasses];
+        for c in contributions {
+            let rule = self.rule(c.rule).clone();
+            let info = &self.infos[c.rule];
+            for &n in &info.rce[c.k] {
+                let class = rule.ces[n].class.0;
+                per_class[class].push((c.clone(), n));
+            }
+        }
+        let mut entries: Vec<LogEntry> = Vec::new();
+        if self.parallel {
+            // Split stores out so threads own disjoint mutable pieces.
+            let stores = std::mem::take(&mut self.stores);
+            let mut slots: Vec<Option<CondStore>> = stores.into_iter().map(Some).collect();
+            let this: &CondEngine = self;
+            let collected = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (class, work) in per_class.into_iter().enumerate() {
+                    let mut store = slots[class].take().expect("store present");
+                    let handle = scope.spawn(move |_| {
+                        let log = this.apply_to_store(&mut store, &work, tup);
+                        (class, store, log)
+                    });
+                    handles.push(handle);
+                }
+                let mut returned: Vec<(usize, CondStore, Vec<LogEntry>)> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("propagation thread"))
+                    .collect();
+                returned.sort_by_key(|(c, _, _)| *c);
+                returned
+            })
+            .expect("propagation scope");
+            let mut stores = Vec::with_capacity(nclasses);
+            for (_, store, log) in collected {
+                stores.push(store);
+                entries.extend(log);
+            }
+            self.stores = stores;
+        } else {
+            let mut stores = std::mem::take(&mut self.stores);
+            for (class, work) in per_class.iter().enumerate() {
+                entries.extend(self.apply_to_store(&mut stores[class], work, tup));
+            }
+            self.stores = stores;
+        }
+        for (supporter, pat) in entries {
+            let list = self.log.entry(supporter).or_default();
+            if !list.contains(&pat) {
+                list.push(pat);
+            }
+        }
+    }
+
+    /// Apply contributions targeting one class store. Returns log entries
+    /// (supporter tuple → pattern) for every support-set insertion made.
+    fn apply_to_store(
+        &self,
+        store: &mut CondStore,
+        work: &[(Contribution, usize)],
+        tup: TupKey,
+    ) -> Vec<LogEntry> {
+        // Proposals keyed by (rule, n, identity, k_idx). Distinct
+        // derivation paths may reach the same identity with different
+        // inherited supports; everything unions (the pattern is supported
+        // by the union of the supporters of all its derivations).
+        let mut proposals: HashMap<(usize, usize, Identity, usize), Vec<Vec<TupKey>>> =
+            HashMap::new();
+        let mut scanned: u64 = 0;
+        let union_into = |slot: &mut Vec<Vec<TupKey>>, support: &[Vec<TupKey>]| {
+            for (dst, src) in slot.iter_mut().zip(support) {
+                for s in src {
+                    if !dst.contains(s) {
+                        dst.push(*s);
+                    }
+                }
+            }
+        };
+        for (c, n) in work {
+            let n = *n;
+            let rule = self.rule(c.rule);
+            let info = &self.infos[c.rule];
+            let k_idx = info.rce_index(n, c.k);
+            let negated_k = rule.ces[c.k].negated;
+            let (bound, extra) = self.desired(c, n);
+            let Some(group) = store.groups.get(&(c.rule, n)) else {
+                continue;
+            };
+            self.pdb.db().stats().read_tuples(group.len() as u64);
+            scanned += group.len() as u64;
+            for m in group {
+                // Mark compatibility (§4.2.2): every mark set in M must be
+                // set in T's extended view — restricted to marks of CEs
+                // sharing a variable with the target CE (see module docs).
+                let compat = self
+                    .positive_marks(c.rule, n, m)
+                    .iter()
+                    .all(|j| !info.shares[*j][n] || c.marks.contains(j));
+                if !compat {
+                    continue;
+                }
+                if negated_k {
+                    // Blocker accounting: the tuple definitely blocks M
+                    // only when every join of the negated CE is evaluable
+                    // against M's substitution and holds. `c.sigma` holds
+                    // the tuple's view; check agreement on shared vars.
+                    let all_evaluable_and_true =
+                        info.var_constraints[c.k].iter().all(|&(_, _, vid)| {
+                            match (&c.sigma[vid], &m.sigma[vid]) {
+                                (Some(a), Some(b)) => a == b,
+                                _ => false,
+                            }
+                        });
+                    if all_evaluable_and_true || info.var_constraints[c.k].is_empty() {
+                        proposals
+                            .entry((c.rule, n, m.identity(), k_idx))
+                            .or_insert_with(|| vec![Vec::new(); info.rce[n].len()]);
+                    }
+                    continue;
+                }
+                // Unify: shared bound variables must agree.
+                let compatible = bound.iter().all(|(vid, v)| match &m.sigma[*vid] {
+                    Some(x) => x == v,
+                    None => true,
+                });
+                if !compatible {
+                    continue;
+                }
+                // Merge.
+                let mut sigma = m.sigma.clone();
+                let mut new_info = false;
+                for (vid, v) in &bound {
+                    if sigma[*vid].is_none() {
+                        sigma[*vid] = Some(v.clone());
+                        new_info = true;
+                    }
+                }
+                let mut merged_extra = m.extra.clone();
+                for e in &extra {
+                    if !merged_extra.contains(e) {
+                        merged_extra.push(e.clone());
+                        new_info = true;
+                    }
+                }
+                merged_extra.sort_by(|a, b| {
+                    (a.0, format!("{}{}", a.1, a.2)).cmp(&(b.0, format!("{}{}", b.1, b.2)))
+                });
+                let key = if new_info {
+                    // "Create a new tuple with the new binding and set the
+                    // Mark bit of C" — the created pattern inherits M's
+                    // support and gains this tuple's.
+                    (c.rule, n, (sigma, merged_extra), k_idx)
+                } else {
+                    // No new binding: set the mark on M itself.
+                    (c.rule, n, m.identity(), k_idx)
+                };
+                let slot = proposals
+                    .entry(key)
+                    .or_insert_with(|| vec![Vec::new(); info.rce[n].len()]);
+                union_into(slot, &m.support);
+            }
+        }
+        // One aggregate I/O charge for everything this store task read —
+        // a sleeping wait overlaps across class threads like disk I/O.
+        self.charge_io(scanned);
+        // Apply: union each proposal's support (plus the inserted tuple's
+        // own mark) into the target pattern, creating it if absent. Every
+        // supporter newly recorded on a pattern gets a log entry so its
+        // deletion withdraws exactly this support.
+        let mut log = Vec::new();
+        for ((rid, n, identity, k_idx), mut support) in proposals {
+            if !support[k_idx].contains(&tup) {
+                support[k_idx].push(tup);
+            }
+            let group = store.groups.get_mut(&(rid, n)).expect("group exists");
+            match group.iter_mut().find(|p| p.identity() == identity) {
+                Some(p) => {
+                    for (dst, src) in p.support.iter_mut().zip(&support) {
+                        for s in src {
+                            if !dst.contains(s) {
+                                dst.push(*s);
+                                log.push((*s, (rid, n, identity.clone())));
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for s in support.iter().flatten() {
+                        log.push((*s, (rid, n, identity.clone())));
+                    }
+                    self.pdb.db().stats().inserted();
+                    group.push(Pattern {
+                        sigma: identity.0,
+                        extra: identity.1,
+                        support,
+                    });
+                }
+            }
+        }
+        log
+    }
+
+    /// Withdraw a deleted tuple's support from every pattern it
+    /// contributed to (the deletion algorithm: reset marks / decrement
+    /// counters, §4.2.2), collecting patterns left with no support.
+    fn withdraw(&mut self, tup: TupKey) {
+        let Some(entries) = self.log.remove(&tup) else {
+            return;
+        };
+        for (rid, cen, identity) in entries {
+            let class = self.rule(rid).ces[cen].class.0;
+            let Some(group) = self.stores[class].groups.get_mut(&(rid, cen)) else {
+                continue;
+            };
+            let Some(pos) = group.iter().position(|p| p.identity() == identity) else {
+                continue;
+            };
+            let p = &mut group[pos];
+            for s in p.support.iter_mut() {
+                s.retain(|x| *x != tup);
+            }
+            if p.support.iter().all(Vec::is_empty) && !p.is_original() {
+                // Subsumed by the original template once unsupported.
+                self.pdb.db().stats().deleted();
+                group.remove(pos);
+            }
+        }
+    }
+
+    /// Detection phase for an insertion (conflict set first! §4.2.3).
+    fn detect_insert(&mut self, class: ClassId, tid: TupleId, tuple: &Tuple) -> Vec<ConflictDelta> {
+        let mut deltas = Vec::new();
+        // (a) fully marked patterns → new instantiations via seeded query.
+        let mut fire: Vec<(usize, usize)> = Vec::new();
+        let mut blockers: Vec<(usize, usize)> = Vec::new();
+        for (rid, cen) in self.candidate_groups(class, tuple) {
+            let Some(group) = self.stores[class.0].groups.get(&(rid, cen)) else {
+                continue;
+            };
+            self.charge_io(group.len() as u64);
+            let negated = self.rule(rid).ces[cen].negated;
+            if negated {
+                if self.rule(rid).ces[cen].alpha.matches(tuple) {
+                    blockers.push((rid, cen));
+                }
+                continue;
+            }
+            if group
+                .iter()
+                .any(|p| self.pattern_matches(rid, cen, p, tuple) && self.fully_marked(rid, cen, p))
+            {
+                fire.push((rid, cen));
+            }
+        }
+        // Expand firings, deduplicating by tid vector across seeds.
+        let mut by_rule: HashMap<usize, Vec<Match>> = HashMap::new();
+        for (rid, cen) in fire {
+            let rule = self.rule(rid).clone();
+            for m in eval_rule_seeded(&self.pdb, &rule, cen, tid, tuple) {
+                let entry = by_rule.entry(rid).or_default();
+                if !entry.iter().any(|x| x.tids == m.tids) {
+                    entry.push(m);
+                }
+            }
+        }
+        for (rid, matches) in by_rule {
+            let rule = self.rule(rid).clone();
+            deltas.extend(self.inst.add(&rule, matches));
+        }
+        // (b) the tuple blocks negated CEs: retract newly blocked
+        // instantiations.
+        for (rid, cen) in blockers {
+            let rule = self.rule(rid).clone();
+            let info = &self.infos[rid];
+            let joins = rule.ces[cen].joins.clone();
+            let positive_pos = info.positive_pos.clone();
+            let d = self.inst.remove_where(&rule, |m| {
+                joins.iter().all(|j| {
+                    let Some(pos) = positive_pos[j.other_ce] else {
+                        return false;
+                    };
+                    let other = &m.tuples[pos];
+                    match (tuple.get(j.my_attr), other.get(j.other_attr)) {
+                        (Some(a), Some(b)) => j.op.eval(a, b),
+                        _ => false,
+                    }
+                })
+            });
+            deltas.extend(d);
+        }
+        deltas
+    }
+
+    /// Contributions of a tuple at its class (patterns it matches).
+    fn contributions(&self, class: ClassId, tuple: &Tuple) -> Vec<Contribution> {
+        let mut out = Vec::new();
+        for (rid, cen) in self.candidate_groups(class, tuple) {
+            let Some(group) = self.stores[class.0].groups.get(&(rid, cen)) else {
+                continue;
+            };
+            for p in group {
+                if self.pattern_matches(rid, cen, p, tuple) {
+                    out.push(self.contribution(rid, cen, p, tuple));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl MatchEngine for CondEngine {
+    fn name(&self) -> &'static str {
+        "cond"
+    }
+
+    fn pdb(&self) -> &ProductionDb {
+        &self.pdb
+    }
+
+    fn maintain_insert(
+        &mut self,
+        class: ClassId,
+        tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta> {
+        let start = Instant::now();
+        let deltas = self.detect_insert(class, tid, tuple);
+        self.conflict.apply_all(&deltas);
+        self.last_detect_ns = start.elapsed().as_nanos() as u64;
+        // Maintenance follows detection.
+        let contributions = self.contributions(class, tuple);
+        self.propagate(contributions, (class.0, tid));
+        self.last_total_ns = start.elapsed().as_nanos() as u64;
+        deltas
+    }
+
+    fn maintain_remove(
+        &mut self,
+        class: ClassId,
+        tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta> {
+        let start = Instant::now();
+        // Detection: retract instantiations containing the tuple.
+        let mut deltas = Vec::new();
+        let rule_ids: Vec<usize> = self
+            .pdb
+            .rules()
+            .rules_on_class(class)
+            .map(|r| r.id.0)
+            .collect();
+        for rid in &rule_ids {
+            let rule = self.rule(*rid).clone();
+            deltas.extend(self.inst.remove_containing(&rule, class, tid));
+        }
+        self.conflict.apply_all(&deltas);
+        self.last_detect_ns = start.elapsed().as_nanos() as u64;
+
+        // Maintenance: withdraw this tuple's support everywhere.
+        self.withdraw((class.0, tid));
+
+        // A deleted blocker may enable negated rules: re-evaluate those.
+        let mut enable_deltas = Vec::new();
+        for rid in rule_ids {
+            let rule = self.rule(rid).clone();
+            let unblocks = rule
+                .ces
+                .iter()
+                .any(|ce| ce.negated && ce.class == class && ce.alpha.matches(tuple));
+            if unblocks {
+                let matches = eval_rule(&self.pdb, &rule);
+                enable_deltas.extend(self.inst.add_missing(&rule, matches));
+            }
+        }
+        self.conflict.apply_all(&enable_deltas);
+        deltas.extend(enable_deltas);
+        self.last_total_ns = start.elapsed().as_nanos() as u64;
+        deltas
+    }
+
+    fn conflict_set(&self) -> &ConflictSet {
+        &self.conflict
+    }
+
+    fn space(&self) -> SpaceStats {
+        let entries = self.pattern_count();
+        let bytes: usize = self
+            .stores
+            .iter()
+            .flat_map(|s| s.groups.values())
+            .flatten()
+            .map(|p| {
+                48 + p
+                    .sigma
+                    .iter()
+                    .flatten()
+                    .map(Value::approx_bytes)
+                    .sum::<usize>()
+                    + p.extra.len() * 32
+                    + p.support.iter().map(|s| s.len() * 16).sum::<usize>()
+            })
+            .sum();
+        SpaceStats {
+            match_entries: entries,
+            match_bytes: bytes,
+            wm_tuples: self.pdb.wm_total(),
+        }
+    }
+
+    fn last_detect_split(&self) -> Option<(u64, u64)> {
+        Some((self.last_detect_ns, self.last_total_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::tuple;
+
+    /// Example 4's Rule-1 over classes A, B, C.
+    fn example4() -> CondEngine {
+        let rs = ops5::compile(
+            r#"
+            (literalize A a1 a2 a3)
+            (literalize B b1 b2 b3)
+            (literalize C c1 c2 c3)
+            (p Rule-1
+                (A ^a1 <x> ^a2 a ^a3 <z>)
+                (B ^b1 <x> ^b2 <y> ^b3 b)
+                (C ^c1 c ^c2 <y> ^c3 <z>)
+                -->
+                (remove 1))
+            "#,
+        )
+        .unwrap();
+        CondEngine::new(ProductionDb::new(rs).unwrap())
+    }
+
+    /// A readable snapshot of COND patterns for a (rule, cen) group.
+    fn patterns(e: &CondEngine, class: usize, cen: usize) -> Vec<(Vec<Option<Value>>, Vec<u32>)> {
+        let mut v: Vec<_> = e.stores[class].groups[&(0, cen)]
+            .iter()
+            .map(|p| (p.sigma.clone(), p.counts()))
+            .collect();
+        v.sort_by_key(|(s, _)| format!("{s:?}"));
+        v
+    }
+
+    /// Example 5's trace: insert B(4,5,b), C(c,7,8), A(4,a,8), B(4,7,b);
+    /// Rule-1 enters the conflict set only on the last insertion.
+    #[test]
+    fn example_5_trace() {
+        let mut e = example4();
+        let (a, b, c) = (ClassId(0), ClassId(1), ClassId(2));
+        assert!(e.insert(b, tuple![4, 5, "b"]).is_empty());
+        assert!(e.insert(c, tuple!["c", 7, 8]).is_empty());
+        assert!(e.insert(a, tuple![4, "a", 8]).is_empty());
+
+        // COND-A now holds: original, (4,a,<z>) by B(4,5,b), (<x>,a,8) by
+        // C(c,7,8) — the paper's first three non-header rows (the fourth,
+        // (4,a,8), appears only after B(4,7,b)).
+        let ca = patterns(&e, 0, 0);
+        assert_eq!(ca.len(), 3, "COND-A: original + two matching patterns");
+
+        let deltas = e.insert(b, tuple![4, 7, "b"]);
+        assert_eq!(deltas.len(), 1, "Rule-1 fires on B(4,7,b)");
+        assert!(deltas[0].is_add());
+        assert_eq!(e.conflict_set().len(), 1);
+
+        // Now COND-A holds the fully bound (4,'a',8) with both marks set.
+        let ca = patterns(&e, 0, 0);
+        assert_eq!(ca.len(), 4);
+        let full = ca
+            .iter()
+            .find(|(s, _)| s.iter().filter(|x| x.is_some()).count() == 2)
+            .expect("fully bound pattern");
+        assert_eq!(full.1, vec![1, 1], "marks BC = 11");
+
+        // COND-B gained (4,7,'b') with marks A and C (the paper's fourth
+        // row, created by A(4,a,8)).
+        let cb = patterns(&e, 1, 1);
+        assert!(cb.iter().any(|(s, counts)| {
+            s.iter().filter(|x| x.is_some()).count() == 2 && counts.iter().all(|&c| c > 0)
+        }));
+    }
+
+    /// The rendered COND-A table after the full Example 5 trace matches
+    /// the paper's rows cell for cell (with counters where the paper
+    /// prints bits).
+    #[test]
+    fn example_5_rendered_cond_a_table() {
+        let mut e = example4();
+        let (a, b, c) = (ClassId(0), ClassId(1), ClassId(2));
+        e.insert(b, tuple![4, 5, "b"]);
+        e.insert(c, tuple!["c", 7, 8]);
+        e.insert(a, tuple![4, "a", 8]);
+        e.insert(b, tuple![4, 7, "b"]);
+        let rows: Vec<String> = e.render_cond(a).iter().map(|r| r.join("|")).collect();
+        assert_eq!(
+            rows,
+            vec![
+                "Rule-1|1|<x>|a|<z>|(Rule-1,2),(Rule-1,3)|00",
+                "Rule-1|1|<x>|a|8|(Rule-1,2),(Rule-1,3)|01",
+                "Rule-1|1|4|a|<z>|(Rule-1,2),(Rule-1,3)|20",
+                "Rule-1|1|4|a|8|(Rule-1,2),(Rule-1,3)|11",
+            ]
+        );
+        // And COND-B contains the paper's (4,7,'b') row with both marks.
+        let rows: Vec<String> = e.render_cond(b).iter().map(|r| r.join("|")).collect();
+        assert!(
+            rows.contains(&"Rule-1|2|4|7|b|(Rule-1,1),(Rule-1,3)|11".to_string()),
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn deletion_mirrors_insertion() {
+        let mut e = example4();
+        let (a, b, c) = (ClassId(0), ClassId(1), ClassId(2));
+        let baseline = e.pattern_count();
+        e.insert(b, tuple![4, 5, "b"]);
+        e.insert(c, tuple!["c", 7, 8]);
+        e.insert(a, tuple![4, "a", 8]);
+        e.insert(b, tuple![4, 7, "b"]);
+        assert_eq!(e.conflict_set().len(), 1);
+        // Delete everything in a different order; patterns must return to
+        // the originals only.
+        let d = e.remove(b, &tuple![4, 7, "b"]);
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].is_add());
+        assert!(e.conflict_set().is_empty());
+        e.remove(a, &tuple![4, "a", 8]);
+        e.remove(c, &tuple!["c", 7, 8]);
+        e.remove(b, &tuple![4, 5, "b"]);
+        assert_eq!(
+            e.pattern_count(),
+            baseline,
+            "all matching patterns retracted"
+        );
+        assert!(e.log.is_empty(), "contribution log fully drained");
+    }
+
+    #[test]
+    fn counter_not_bits_survives_duplicate_support() {
+        // Two B tuples contribute the same binding; deleting one must not
+        // destroy the pattern (§4.2.2's counter argument).
+        let mut e = example4();
+        let (a, b, c) = (ClassId(0), ClassId(1), ClassId(2));
+        e.insert(b, tuple![4, 7, "b"]);
+        e.insert(b, tuple![4, 7, "b"]);
+        e.insert(c, tuple!["c", 7, 8]);
+        let deltas = e.insert(a, tuple![4, "a", 8]);
+        assert_eq!(deltas.len(), 2, "two instantiations, one per duplicate B");
+        e.remove(b, &tuple![4, 7, "b"]);
+        assert_eq!(e.conflict_set().len(), 1, "one instantiation survives");
+        // The supporting pattern in COND-A must still have its B mark.
+        let ca = patterns(&e, 0, 0);
+        assert!(
+            ca.iter()
+                .any(|(s, counts)| s.iter().any(Option::is_some) && counts[0] > 0),
+            "pattern still supported by the second B tuple"
+        );
+    }
+
+    #[test]
+    fn detection_is_single_search_fast_path() {
+        let mut e = example4();
+        let (a, b, c) = (ClassId(0), ClassId(1), ClassId(2));
+        e.insert(b, tuple![4, 7, "b"]);
+        e.insert(c, tuple!["c", 7, 8]);
+        e.insert(a, tuple![4, "a", 8]);
+        let (detect, total) = e.last_detect_split().unwrap();
+        assert!(detect <= total);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn range_patterns_from_non_eq_joins() {
+        // Example 3's R1: salary {< <S>}. Inserting Mike(6000) must
+        // create a range pattern salary < 6000 on the manager CE.
+        let rs = ops5::compile(
+            r#"
+            (literalize Emp name salary manager)
+            (p R1
+                (Emp ^name Mike ^salary <S> ^manager <M>)
+                (Emp ^name <M> ^salary {<S1> < <S>})
+                -->
+                (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut e = CondEngine::new(ProductionDb::new(rs).unwrap());
+        let emp = ClassId(0);
+        assert!(e.insert(emp, tuple!["Mike", 6000, "Sam"]).is_empty());
+        // A pattern specialized with Sam + salary<6000 now exists.
+        let group = &e.stores[0].groups[&(0, 1)];
+        assert!(
+            group.iter().any(|p| !p.extra.is_empty()),
+            "range constraint stored"
+        );
+        let d = e.insert(emp, tuple!["Sam", 5000, "Root"]);
+        assert_eq!(d.len(), 1, "Sam earns less than Mike → R1 fires");
+        // And a manager who earns more does not fire.
+        let mut e2 = CondEngine::new(
+            ProductionDb::new(
+                ops5::compile(
+                    r#"
+            (literalize Emp name salary manager)
+            (p R1
+                (Emp ^name Mike ^salary <S> ^manager <M>)
+                (Emp ^name <M> ^salary {<S1> < <S>})
+                -->
+                (remove 1))
+            "#,
+                )
+                .unwrap(),
+            )
+            .unwrap(),
+        );
+        e2.insert(emp, tuple!["Mike", 6000, "Sam"]);
+        assert!(e2.insert(emp, tuple!["Sam", 9000, "Root"]).is_empty());
+    }
+
+    #[test]
+    fn negated_ce_inverted_marks() {
+        let rs = ops5::compile(
+            r#"
+            (literalize Emp name dno)
+            (literalize Dept dno)
+            (p Orphan (Emp ^name <N> ^dno <D>) -(Dept ^dno <D>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut e = CondEngine::new(ProductionDb::new(rs).unwrap());
+        let emp = ClassId(0);
+        let dept = ClassId(1);
+        let d = e.insert(emp, tuple!["Ann", 7]);
+        assert_eq!(d.len(), 1, "no dept → fires immediately");
+        let d = e.insert(dept, tuple![7]);
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].is_add(), "blocker retracts the instantiation");
+        let d = e.insert(dept, tuple![8]);
+        assert!(d.is_empty(), "unrelated dept does nothing");
+        let d = e.remove(dept, &tuple![7]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].is_add(), "blocker removal revives the match");
+        assert_eq!(e.conflict_set().len(), 1);
+    }
+
+    #[test]
+    fn parallel_propagation_equivalent() {
+        let mut serial = example4();
+        let mut parallel = example4();
+        parallel.set_parallel(true);
+        let ops: Vec<(ClassId, Tuple)> = vec![
+            (ClassId(1), tuple![4, 5, "b"]),
+            (ClassId(2), tuple!["c", 7, 8]),
+            (ClassId(0), tuple![4, "a", 8]),
+            (ClassId(1), tuple![4, 7, "b"]),
+            (ClassId(2), tuple!["c", 5, 8]),
+        ];
+        for (c, t) in ops {
+            serial.insert(c, t.clone());
+            parallel.insert(c, t);
+        }
+        assert_eq!(
+            serial.conflict_set().sorted(),
+            parallel.conflict_set().sorted()
+        );
+        assert_eq!(serial.pattern_count(), parallel.pattern_count());
+    }
+
+    #[test]
+    fn single_ce_rules_fire_from_original_pattern() {
+        let rs = ops5::compile(
+            r#"
+            (literalize Emp name age)
+            (p Old (Emp ^age {>= 55}) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut e = CondEngine::new(ProductionDb::new(rs).unwrap());
+        assert!(e.insert(ClassId(0), tuple!["Young", 30]).is_empty());
+        let d = e.insert(ClassId(0), tuple!["Old", 60]);
+        assert_eq!(d.len(), 1);
+    }
+
+    /// Variable-disjoint CE pairs (cross-product-flavored rules): the
+    /// existence marks must still accumulate (the case the paper's strict
+    /// mark-subset check would miss).
+    #[test]
+    fn disconnected_ce_pairs_fire() {
+        let rs = ops5::compile(
+            r#"
+            (literalize C0 a0 a1)
+            (literalize C1 a0 a1)
+            (literalize C2 a0 a1)
+            (p ThreeWay (C0 ^a0 <X>) (C1 ^a0 <X> ^a1 <Y>) (C2 ^a1 <Y>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut e = CondEngine::new(ProductionDb::new(rs).unwrap());
+        // The order that exposed the gap: C2 first (disconnected from C0).
+        assert!(e.insert(ClassId(2), tuple![0, 1]).is_empty());
+        assert!(e.insert(ClassId(1), tuple![0, 0]).is_empty());
+        assert!(e.insert(ClassId(0), tuple![0, 0]).is_empty());
+        assert!(e.insert(ClassId(0), tuple![0, 0]).is_empty());
+        let d = e.insert(ClassId(2), tuple![0, 0]);
+        assert_eq!(d.len(), 2, "both C0 duplicates instantiate");
+    }
+}

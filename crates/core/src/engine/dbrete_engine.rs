@@ -1,0 +1,117 @@
+//! The paper's §3.2 design as an engine: Rete with LEFT/RIGHT relations
+//! stored in the same database as working memory.
+
+use ops5::ClassId;
+use relstore::{Tuple, TupleId};
+use rete::{ConflictDelta, ConflictSet, DbReteNetwork, Wme};
+
+use crate::engine::{MatchEngine, SpaceStats};
+use crate::pdb::ProductionDb;
+
+/// DBMS-backed Rete matching.
+pub struct DbReteEngine {
+    pdb: ProductionDb,
+    net: DbReteNetwork,
+}
+
+impl DbReteEngine {
+    /// Create a new, empty instance.
+    pub fn new(pdb: ProductionDb) -> Self {
+        let net = match DbReteNetwork::new(pdb.db().clone(), pdb.rules()) {
+            Ok(net) => net,
+            // The database already holds this rule set's LEFT/RIGHT
+            // relations (restored snapshot): re-attach to them — the whole
+            // network state is DB-resident.
+            Err(relstore::Error::DuplicateRelation(_)) => {
+                DbReteNetwork::attach(pdb.db().clone(), pdb.rules())
+                    .expect("attach to restored LEFT/RIGHT relations")
+            }
+            Err(e) => panic!("LEFT/RIGHT relation creation: {e}"),
+        };
+        DbReteEngine { pdb, net }
+    }
+
+    /// Did construction attach to pre-existing (already populated)
+    /// network relations?
+    pub fn attached(&self) -> bool {
+        !self.net.conflict_set().is_empty() || self.net.stored_entries() > 0
+    }
+
+    /// The underlying DB-resident network.
+    pub fn network(&self) -> &DbReteNetwork {
+        &self.net
+    }
+}
+
+impl MatchEngine for DbReteEngine {
+    fn name(&self) -> &'static str {
+        "db-rete"
+    }
+
+    fn pdb(&self) -> &ProductionDb {
+        &self.pdb
+    }
+
+    fn maintain_insert(
+        &mut self,
+        class: ClassId,
+        _tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta> {
+        self.net.insert(Wme::new(class, tuple.clone()))
+    }
+
+    fn maintain_remove(
+        &mut self,
+        class: ClassId,
+        _tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta> {
+        self.net.remove(&Wme::new(class, tuple.clone()))
+    }
+
+    fn conflict_set(&self) -> &ConflictSet {
+        self.net.conflict_set()
+    }
+
+    fn space(&self) -> SpaceStats {
+        SpaceStats {
+            match_entries: self.net.stored_entries(),
+            match_bytes: self.net.approx_bytes(),
+            wm_tuples: self.pdb.wm_total(),
+        }
+    }
+
+    fn needs_bootstrap(&self) -> bool {
+        // When attached, the restored LEFT/RIGHT relations already encode
+        // the match state; replaying WM would double-count.
+        !self.attached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::tuple;
+
+    #[test]
+    fn db_rete_engine_matches_and_stores_tokens() {
+        let rs = ops5::compile(
+            r#"
+            (literalize Emp name dno)
+            (literalize Dept dno)
+            (p R (Emp ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let pdb = ProductionDb::new(rs).unwrap();
+        let mut e = DbReteEngine::new(pdb.clone());
+        e.insert(ClassId(0), tuple!["Ann", 7]);
+        let deltas = e.insert(ClassId(1), tuple![7]);
+        assert_eq!(deltas.len(), 1);
+        // LEFT/RIGHT relations hold redundant copies (the §3.2 critique).
+        assert!(e.space().match_entries >= 2);
+        e.remove(ClassId(0), &tuple!["Ann", 7]);
+        assert!(e.conflict_set().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! The matching-engine abstraction and its five implementations.
+//!
+//! | Engine | Paper section | Idea |
+//! |---|---|---|
+//! | [`ReteEngine`] | §3.1 | classic in-memory Rete |
+//! | [`DbReteEngine`] | §3.2 | Rete with LEFT/RIGHT relations in the DBMS |
+//! | [`QueryEngine`] | §4.1 | no intermediate storage; re-evaluate LHS queries |
+//! | [`CondEngine`] | §4.2 | **matching patterns** in COND relations (the paper's contribution) |
+//! | [`MarkerEngine`] | §2.3/§3.2 | POSTGRES-style rule markers on data, with false drops |
+//!
+//! All five consume the same insert/remove stream and must produce
+//! identical conflict sets (equivalence- and property-tested at the
+//! workspace level).
+
+pub mod cond;
+pub mod dbrete_engine;
+pub mod marker;
+pub mod query_engine;
+pub mod recompute;
+pub mod rete_engine;
+
+pub use cond::CondEngine;
+pub use dbrete_engine::DbReteEngine;
+pub use marker::MarkerEngine;
+pub use query_engine::QueryEngine;
+pub use rete_engine::ReteEngine;
+
+use ops5::ClassId;
+use relstore::{Tuple, TupleId};
+use rete::{ConflictDelta, ConflictSet};
+
+use crate::pdb::ProductionDb;
+
+/// Space consumed by an engine's match-acceleration structures, separate
+/// from working memory itself (the E2 metric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// Stored entries: tokens, patterns, markers, or index postings.
+    pub match_entries: usize,
+    /// Approximate bytes of those entries.
+    pub match_bytes: usize,
+    /// Live WM tuples (identical across engines, reported for context).
+    pub wm_tuples: usize,
+}
+
+/// A matching engine: maintains the conflict set under WM changes.
+pub trait MatchEngine: Send {
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Shared database/rules handle.
+    fn pdb(&self) -> &ProductionDb;
+
+    /// Match maintenance for a tuple already inserted into its WM
+    /// relation (the §5 concurrent executor updates WM transactionally
+    /// and then runs maintenance before commit).
+    fn maintain_insert(
+        &mut self,
+        class: ClassId,
+        tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta>;
+
+    /// Match maintenance for a tuple already deleted from its WM relation.
+    fn maintain_remove(
+        &mut self,
+        class: ClassId,
+        tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta>;
+
+    /// Insert a WM element (relation + maintenance).
+    fn insert(&mut self, class: ClassId, tuple: Tuple) -> Vec<ConflictDelta> {
+        let tid = self
+            .pdb()
+            .insert_wm(class, tuple.clone())
+            .expect("wm insert");
+        self.maintain_insert(class, tid, &tuple)
+    }
+
+    /// Remove one WM element equal to `tuple`; no-op when absent.
+    fn remove(&mut self, class: ClassId, tuple: &Tuple) -> Vec<ConflictDelta> {
+        match self.pdb().remove_wm_equal(class, tuple).expect("wm remove") {
+            Some(tid) => self.maintain_remove(class, tid, tuple),
+            None => Vec::new(),
+        }
+    }
+
+    /// The current conflict set.
+    fn conflict_set(&self) -> &ConflictSet;
+
+    /// Match-structure space.
+    fn space(&self) -> SpaceStats;
+
+    /// Rules awakened that turned out not to be affected (§2.3: "the
+    /// system may awaken a trigger even when it should not (false
+    /// drops)"). Only the marker engine produces these.
+    fn false_drops(&self) -> u64 {
+        0
+    }
+
+    /// Should [`bootstrap`] replay working memory into this engine after
+    /// [`ProductionDb::attach`]? Engines whose match state is itself
+    /// DB-resident (and therefore restored by the snapshot) return false.
+    fn needs_bootstrap(&self) -> bool {
+        true
+    }
+
+    /// Nanoseconds of the last operation spent before the conflict set
+    /// was fully updated, and total nanoseconds, when the engine
+    /// distinguishes the two phases (§4.2.3: "the conflict set is updated
+    /// first, and then the maintenance process follows").
+    fn last_detect_split(&self) -> Option<(u64, u64)> {
+        None
+    }
+}
+
+/// Which engine to instantiate (experiment configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Classic in-memory Rete (3.1).
+    Rete,
+    /// Rete with LEFT/RIGHT relations in the DBMS (3.2).
+    DbRete,
+    /// Re-evaluate LHS queries (4.1).
+    Query,
+    /// Matching patterns in COND relations (4.2).
+    Cond,
+    /// POSTGRES-style rule markers (2.3).
+    Marker,
+}
+
+impl EngineKind {
+    /// Every engine, in a stable experiment order.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Rete,
+        EngineKind::DbRete,
+        EngineKind::Query,
+        EngineKind::Cond,
+        EngineKind::Marker,
+    ];
+
+    /// Short name used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Rete => "rete",
+            EngineKind::DbRete => "db-rete",
+            EngineKind::Query => "query",
+            EngineKind::Cond => "cond",
+            EngineKind::Marker => "marker",
+        }
+    }
+}
+
+/// Replay the existing working memory through an engine's maintenance
+/// path, rebuilding match structures and the conflict set. Used after
+/// attaching to a restored database ([`ProductionDb::attach`]).
+pub fn bootstrap(engine: &mut dyn MatchEngine) {
+    if !engine.needs_bootstrap() {
+        return;
+    }
+    let pdb = engine.pdb().clone();
+    for c in 0..pdb.class_count() {
+        let class = ClassId(c);
+        for (tid, tuple) in pdb.wm_scan(class).expect("wm scan") {
+            engine.maintain_insert(class, tid, &tuple);
+        }
+    }
+}
+
+/// Instantiate an engine over a shared [`ProductionDb`].
+pub fn make_engine(kind: EngineKind, pdb: ProductionDb) -> Box<dyn MatchEngine> {
+    match kind {
+        EngineKind::Rete => Box::new(ReteEngine::new(pdb)),
+        EngineKind::DbRete => Box::new(DbReteEngine::new(pdb)),
+        EngineKind::Query => Box::new(QueryEngine::new(pdb)),
+        EngineKind::Cond => Box::new(CondEngine::new(pdb)),
+        EngineKind::Marker => Box::new(MarkerEngine::new(pdb)),
+    }
+}

@@ -1,0 +1,237 @@
+//! The "simplified algorithm" of §4.1: one COND relation per WM class, no
+//! intermediate join results.
+//!
+//! "Instead of storing a large number of intermediate relations, we will
+//! only need to store one relation per class of working memory elements"
+//! and consequently "the speed may be slower in some cases since
+//! re-computation of joins is necessary whenever a change is made to the
+//! working memory" (§4.1.2). Variable-free condition checking goes through
+//! a [`predindex`] condition index ("one can use intelligent indexing
+//! techniques such as R-trees or R+-trees … to check if a given tuple
+//! satisfies conditions stored in the COND relations").
+
+use std::collections::BTreeSet;
+
+use ops5::{ClassId, RuleId};
+use predindex::{make_index, ConditionIndex, IndexKind, Rect};
+use relstore::{Tuple, TupleId};
+use rete::{ConflictDelta, ConflictSet};
+
+use crate::engine::recompute::{eval_rule, InstStore};
+use crate::engine::{MatchEngine, SpaceStats};
+use crate::pdb::ProductionDb;
+
+/// Payload of a COND index entry: (rule, condition element number).
+type CondRef = (usize, usize);
+
+/// §4.1 matching engine.
+pub struct QueryEngine {
+    pdb: ProductionDb,
+    /// COND relation per class: the conditions referring to that class.
+    cond: Vec<Box<dyn ConditionIndex<CondRef> + Send + Sync>>,
+    store: InstStore,
+    conflict: ConflictSet,
+}
+
+impl QueryEngine {
+    /// Create a new, empty instance.
+    pub fn new(pdb: ProductionDb) -> Self {
+        Self::with_index(pdb, IndexKind::RTree)
+    }
+
+    /// Choose the COND-relation index implementation (E9 ablation).
+    pub fn with_index(pdb: ProductionDb, kind: IndexKind) -> Self {
+        let mut cond: Vec<Box<dyn ConditionIndex<CondRef> + Send + Sync>> = pdb
+            .rules()
+            .classes
+            .iter()
+            .map(|c| make_index(kind, c.arity()))
+            .collect();
+        for rule in &pdb.rules().rules {
+            for (cen, ce) in rule.ces.iter().enumerate() {
+                let arity = pdb.rules().class(ce.class).arity();
+                // A contradictory alpha restriction can never match: the
+                // CE (and for positive CEs the whole rule) is dead.
+                if let Some(rect) = Rect::from_restriction(arity, &ce.alpha) {
+                    cond[ce.class.0].insert(rect, (rule.id.0, cen));
+                }
+            }
+        }
+        QueryEngine {
+            pdb,
+            cond,
+            store: InstStore::new(),
+            conflict: ConflictSet::new(),
+        }
+    }
+
+    /// Rules with a condition element whose one-input tests match this
+    /// tuple — the only rules the change can affect. Exact stabbing over
+    /// rectangles plus the intra-tuple attr tests the rectangles cannot
+    /// encode.
+    fn affected_rules(&self, class: ClassId, tuple: &Tuple) -> BTreeSet<usize> {
+        self.cond[class.0]
+            .stab(tuple)
+            .into_iter()
+            .filter(|&(rid, cen)| {
+                let ce = &self.pdb.rules().rule(RuleId(rid)).ces[cen];
+                ce.alpha.attr_tests.iter().all(|t| t.matches(tuple))
+            })
+            .map(|(rid, _)| rid)
+            .collect()
+    }
+
+    fn reevaluate(&mut self, rules: BTreeSet<usize>) -> Vec<ConflictDelta> {
+        let mut deltas = Vec::new();
+        for rid in rules {
+            let rule = self.pdb.rules().rule(RuleId(rid)).clone();
+            let matches = eval_rule(&self.pdb, &rule);
+            deltas.extend(self.store.replace(&rule, matches));
+        }
+        self.conflict.apply_all(&deltas);
+        deltas
+    }
+
+    /// Stabbing-cost metric (index nodes visited so far).
+    pub fn index_visits(&self) -> u64 {
+        self.cond.iter().map(|i| i.node_visits()).sum()
+    }
+}
+
+impl MatchEngine for QueryEngine {
+    fn name(&self) -> &'static str {
+        "query"
+    }
+
+    fn pdb(&self) -> &ProductionDb {
+        &self.pdb
+    }
+
+    fn maintain_insert(
+        &mut self,
+        class: ClassId,
+        _tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta> {
+        let affected = self.affected_rules(class, tuple);
+        self.reevaluate(affected)
+    }
+
+    fn maintain_remove(
+        &mut self,
+        class: ClassId,
+        _tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta> {
+        let affected = self.affected_rules(class, tuple);
+        self.reevaluate(affected)
+    }
+
+    fn conflict_set(&self) -> &ConflictSet {
+        &self.conflict
+    }
+
+    fn space(&self) -> SpaceStats {
+        // "In terms of space, this algorithm is much better than the Rete
+        // Network because no intermediate results are stored" — only the
+        // COND entries (one per condition element) count.
+        let entries: usize = self.cond.iter().map(|i| i.len()).sum();
+        SpaceStats {
+            match_entries: entries,
+            match_bytes: entries * 96,
+            wm_tuples: self.pdb.wm_total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::tuple;
+
+    fn engine() -> QueryEngine {
+        let rs = ops5::compile(
+            r#"
+            (literalize Emp name salary manager dno)
+            (literalize Dept dno dname floor manager)
+            (p R1
+                (Emp ^name Mike ^salary <S> ^manager <M>)
+                (Emp ^name <M> ^salary {<S1> < <S>})
+                -->
+                (remove 1))
+            (p R2
+                (Emp ^dno <D>)
+                (Dept ^dno <D> ^dname Toy ^floor 1)
+                -->
+                (remove 1))
+            "#,
+        )
+        .unwrap();
+        QueryEngine::new(ProductionDb::new(rs).unwrap())
+    }
+
+    #[test]
+    fn example_3_matching() {
+        let mut e = engine();
+        let emp = ClassId(0);
+        let dept = ClassId(1);
+        assert!(e.insert(emp, tuple!["Sam", 5000, "Root", 1]).is_empty());
+        let d = e.insert(emp, tuple!["Mike", 6000, "Sam", 1]);
+        assert_eq!(d.len(), 1, "R1 fires");
+        let d = e.insert(dept, tuple![1, "Toy", 1, "Sam"]);
+        assert_eq!(d.len(), 2, "R2 fires for Sam and Mike");
+        assert_eq!(e.conflict_set().len(), 3);
+        // Deleting Mike retracts R1's instantiation and one R2 one.
+        let d = e.remove(emp, &tuple!["Mike", 6000, "Sam", 1]);
+        assert_eq!(d.iter().filter(|x| !x.is_add()).count(), 2);
+        assert_eq!(e.conflict_set().len(), 1);
+    }
+
+    #[test]
+    fn unaffected_rules_not_reevaluated() {
+        let mut e = engine();
+        // A Dept tuple that fails R2's alpha tests affects nothing.
+        let affected = e.affected_rules(ClassId(1), &tuple![9, "Shoe", 2, "X"]);
+        assert!(affected.is_empty());
+        assert!(e.insert(ClassId(1), tuple![9, "Shoe", 2, "X"]).is_empty());
+    }
+
+    #[test]
+    fn index_visits_counted() {
+        let mut e = engine();
+        e.insert(ClassId(0), tuple!["Ann", 1, "B", 2]);
+        assert!(e.index_visits() > 0);
+    }
+
+    #[test]
+    fn negation_through_recompute() {
+        let rs = ops5::compile(
+            r#"
+            (literalize Emp name dno)
+            (literalize Dept dno)
+            (p Orphan (Emp ^name <N> ^dno <D>) -(Dept ^dno <D>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut e = QueryEngine::new(ProductionDb::new(rs).unwrap());
+        let d = e.insert(ClassId(0), tuple!["Ann", 7]);
+        assert_eq!(d.len(), 1);
+        let d = e.insert(ClassId(1), tuple![7]);
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].is_add());
+        let d = e.remove(ClassId(1), &tuple![7]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].is_add());
+        assert_eq!(e.conflict_set().len(), 1);
+    }
+
+    #[test]
+    fn space_excludes_intermediate_results() {
+        let mut e = engine();
+        let before = e.space().match_entries;
+        for i in 0..50i64 {
+            e.insert(ClassId(0), tuple![format!("e{i}"), 100 * i, "Sam", i % 5]);
+        }
+        assert_eq!(e.space().match_entries, before, "COND entries are static");
+    }
+}

@@ -1,0 +1,320 @@
+//! Shared instantiation bookkeeping for engines that (re)compute LHS
+//! queries: an exact multiset of current instantiations per rule, keyed by
+//! tuple ids so duplicate WM elements are handled correctly.
+
+use std::collections::HashMap;
+
+use ops5::{ClassId, Rule, RuleId};
+use relstore::{QueryExecutor, Tuple, TupleId};
+use rete::{ConflictDelta, Instantiation, Wme};
+
+use crate::pdb::ProductionDb;
+
+/// One concrete match: tuple ids and contents of the positive CEs, in CE
+/// order.
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// Tuple ids, aligned with the positive CEs.
+    pub tids: Vec<TupleId>,
+    /// Tuple contents, aligned with `tids`.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Match {
+    /// Materialize this match as a conflict-set instantiation.
+    pub fn instantiation(&self, rule: &Rule) -> Instantiation {
+        let classes: Vec<ClassId> = rule
+            .ces
+            .iter()
+            .filter(|ce| !ce.negated)
+            .map(|ce| ce.class)
+            .collect();
+        Instantiation {
+            rule: rule.id,
+            wmes: classes
+                .into_iter()
+                .zip(&self.tuples)
+                .map(|(c, t)| Wme::new(c, t.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Evaluate a rule's LHS against the current WM. Returns every match.
+pub fn eval_rule(pdb: &ProductionDb, rule: &Rule) -> Vec<Match> {
+    let query = pdb.query(rule.id);
+    let exec = QueryExecutor::new(pdb.db());
+    let bindings = exec.exec(query, None).expect("rule query");
+    bindings
+        .into_iter()
+        .map(|b| {
+            let mut tids = Vec::new();
+            let mut tuples = Vec::new();
+            for slot in b.slots.into_iter().flatten() {
+                tids.push(slot.0);
+                tuples.push(slot.1);
+            }
+            Match { tids, tuples }
+        })
+        .collect()
+}
+
+/// Evaluate a rule's LHS seeded with a specific tuple filling positive CE
+/// `ce` (§4.1.2's insertion path).
+pub fn eval_rule_seeded(
+    pdb: &ProductionDb,
+    rule: &Rule,
+    ce: usize,
+    tid: TupleId,
+    tuple: &Tuple,
+) -> Vec<Match> {
+    let query = pdb.query(rule.id);
+    let exec = QueryExecutor::new(pdb.db());
+    let bindings = exec
+        .exec(query, Some((ce, tid, tuple)))
+        .expect("seeded rule query");
+    bindings
+        .into_iter()
+        .map(|b| {
+            let mut tids = Vec::new();
+            let mut tuples = Vec::new();
+            for slot in b.slots.into_iter().flatten() {
+                tids.push(slot.0);
+                tuples.push(slot.1);
+            }
+            Match { tids, tuples }
+        })
+        .collect()
+}
+
+/// Exact multiset of live matches per rule.
+#[derive(Debug, Default)]
+pub struct InstStore {
+    by_rule: HashMap<RuleId, Vec<Match>>,
+}
+
+impl InstStore {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        InstStore::default()
+    }
+
+    /// The live matches of one rule.
+    pub fn matches(&self, rule: RuleId) -> &[Match] {
+        self.by_rule.get(&rule).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total live matches across all rules.
+    pub fn total(&self) -> usize {
+        self.by_rule.values().map(Vec::len).sum()
+    }
+
+    /// Replace rule `rule`'s matches with `new`, emitting deltas for the
+    /// symmetric difference (by tid vector, multiset semantics).
+    pub fn replace(&mut self, rule: &Rule, new: Vec<Match>) -> Vec<ConflictDelta> {
+        let old = self.by_rule.remove(&rule.id).unwrap_or_default();
+        let mut deltas = Vec::new();
+        // Count occurrences by tid-vector.
+        let mut old_left: Vec<Option<&Match>> = old.iter().map(Some).collect();
+        let mut fresh: Vec<&Match> = Vec::new();
+        'outer: for m in &new {
+            for slot in old_left.iter_mut() {
+                if let Some(o) = slot {
+                    if o.tids == m.tids {
+                        *slot = None;
+                        continue 'outer;
+                    }
+                }
+            }
+            fresh.push(m);
+        }
+        for gone in old_left.into_iter().flatten() {
+            deltas.push(ConflictDelta::Remove(gone.instantiation(rule)));
+        }
+        for add in fresh {
+            deltas.push(ConflictDelta::Add(add.instantiation(rule)));
+        }
+        self.by_rule.insert(rule.id, new);
+        deltas
+    }
+
+    /// Add matches (assumed not already present) to a rule.
+    pub fn add(&mut self, rule: &Rule, matches: Vec<Match>) -> Vec<ConflictDelta> {
+        let deltas: Vec<ConflictDelta> = matches
+            .iter()
+            .map(|m| ConflictDelta::Add(m.instantiation(rule)))
+            .collect();
+        self.by_rule.entry(rule.id).or_default().extend(matches);
+        deltas
+    }
+
+    /// Remove all matches of `rule` containing `tid` at a position whose
+    /// positive CE has class `class`.
+    pub fn remove_containing(
+        &mut self,
+        rule: &Rule,
+        class: ClassId,
+        tid: TupleId,
+    ) -> Vec<ConflictDelta> {
+        let Some(ms) = self.by_rule.get_mut(&rule.id) else {
+            return Vec::new();
+        };
+        let classes: Vec<ClassId> = rule
+            .ces
+            .iter()
+            .filter(|ce| !ce.negated)
+            .map(|ce| ce.class)
+            .collect();
+        let mut deltas = Vec::new();
+        ms.retain(|m| {
+            let hit = m
+                .tids
+                .iter()
+                .zip(&classes)
+                .any(|(t, c)| *t == tid && *c == class);
+            if hit {
+                deltas.push(ConflictDelta::Remove(m.instantiation(rule)));
+            }
+            !hit
+        });
+        deltas
+    }
+
+    /// Remove matches of `rule` failing a predicate, emitting deltas.
+    pub fn remove_where(
+        &mut self,
+        rule: &Rule,
+        mut invalid: impl FnMut(&Match) -> bool,
+    ) -> Vec<ConflictDelta> {
+        let Some(ms) = self.by_rule.get_mut(&rule.id) else {
+            return Vec::new();
+        };
+        let mut deltas = Vec::new();
+        ms.retain(|m| {
+            if invalid(m) {
+                deltas.push(ConflictDelta::Remove(m.instantiation(rule)));
+                false
+            } else {
+                true
+            }
+        });
+        deltas
+    }
+
+    /// Matches in `new` not already stored for `rule` (by tid vector),
+    /// added and returned as Add deltas.
+    pub fn add_missing(&mut self, rule: &Rule, new: Vec<Match>) -> Vec<ConflictDelta> {
+        let existing = self.by_rule.entry(rule.id).or_default();
+        let mut remaining: Vec<Option<&Match>> = existing.iter().map(Some).collect();
+        let mut fresh = Vec::new();
+        'outer: for m in new {
+            for slot in remaining.iter_mut() {
+                if let Some(o) = slot {
+                    if o.tids == m.tids {
+                        *slot = None;
+                        continue 'outer;
+                    }
+                }
+            }
+            fresh.push(m);
+        }
+        let deltas: Vec<ConflictDelta> = Vec::new();
+        let mut deltas = deltas;
+        for m in fresh {
+            deltas.push(ConflictDelta::Add(m.instantiation(rule)));
+            self.by_rule
+                .get_mut(&rule.id)
+                .expect("entry created")
+                .push(m);
+        }
+        deltas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::tuple;
+
+    fn setup() -> (ProductionDb, RuleId) {
+        let rs = ops5::compile(
+            r#"
+            (literalize Emp name dno)
+            (literalize Dept dno dname)
+            (p R (Emp ^dno <D>) (Dept ^dno <D> ^dname Toy) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        (ProductionDb::new(rs).unwrap(), RuleId(0))
+    }
+
+    #[test]
+    fn eval_and_replace_diff() {
+        let (pdb, rid) = setup();
+        let rule = pdb.rules().rule(rid).clone();
+        let emp = ClassId(0);
+        let dept = ClassId(1);
+        pdb.insert_wm(emp, tuple!["Ann", 7]).unwrap();
+        let mut store = InstStore::new();
+        assert!(store.replace(&rule, eval_rule(&pdb, &rule)).is_empty());
+
+        pdb.insert_wm(dept, tuple![7, "Toy"]).unwrap();
+        let deltas = store.replace(&rule, eval_rule(&pdb, &rule));
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].is_add());
+        assert_eq!(store.total(), 1);
+
+        pdb.remove_wm_equal(dept, &tuple![7, "Toy"]).unwrap();
+        let deltas = store.replace(&rule, eval_rule(&pdb, &rule));
+        assert_eq!(deltas.len(), 1);
+        assert!(!deltas[0].is_add());
+        assert_eq!(store.total(), 0);
+    }
+
+    #[test]
+    fn duplicate_tuples_tracked_as_multiset() {
+        let (pdb, rid) = setup();
+        let rule = pdb.rules().rule(rid).clone();
+        pdb.insert_wm(ClassId(0), tuple!["Ann", 7]).unwrap();
+        pdb.insert_wm(ClassId(0), tuple!["Ann", 7]).unwrap();
+        pdb.insert_wm(ClassId(1), tuple![7, "Toy"]).unwrap();
+        let mut store = InstStore::new();
+        let deltas = store.replace(&rule, eval_rule(&pdb, &rule));
+        assert_eq!(deltas.len(), 2, "one instantiation per duplicate");
+        // Removing one duplicate removes exactly one instantiation.
+        let tid = pdb
+            .remove_wm_equal(ClassId(0), &tuple!["Ann", 7])
+            .unwrap()
+            .unwrap();
+        let deltas = store.remove_containing(&rule, ClassId(0), tid);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(store.total(), 1);
+    }
+
+    #[test]
+    fn seeded_eval_matches_full_eval() {
+        let (pdb, rid) = setup();
+        let rule = pdb.rules().rule(rid).clone();
+        pdb.insert_wm(ClassId(0), tuple!["Ann", 7]).unwrap();
+        let tid = pdb.insert_wm(ClassId(1), tuple![7, "Toy"]).unwrap();
+        let seeded = eval_rule_seeded(&pdb, &rule, 1, tid, &tuple![7, "Toy"]);
+        let full = eval_rule(&pdb, &rule);
+        assert_eq!(seeded.len(), full.len());
+        assert_eq!(seeded[0].tids, full[0].tids);
+    }
+
+    #[test]
+    fn add_missing_dedupes() {
+        let (pdb, rid) = setup();
+        let rule = pdb.rules().rule(rid).clone();
+        pdb.insert_wm(ClassId(0), tuple!["Ann", 7]).unwrap();
+        pdb.insert_wm(ClassId(1), tuple![7, "Toy"]).unwrap();
+        let mut store = InstStore::new();
+        let all = eval_rule(&pdb, &rule);
+        store.replace(&rule, all.clone());
+        assert!(
+            store.add_missing(&rule, all).is_empty(),
+            "nothing new to add"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Top-level error type for the production-system crate.
+
+use std::fmt;
+
+/// Errors surfaced by the high-level API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Rule compilation failed.
+    Compile(ops5::Error),
+    /// A storage operation failed.
+    Store(relstore::Error),
+    /// A class name was not declared by the loaded program.
+    UnknownClass(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Store(e) => write!(f, "storage error: {e}"),
+            Error::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::UnknownClass(_) => None,
+        }
+    }
+}
+
+impl From<ops5::Error> for Error {
+    fn from(e: ops5::Error) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<relstore::Error> for Error {
+    fn from(e: relstore::Error) -> Self {
+        Error::Store(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: Error = relstore::Error::UnknownRelation("X".into()).into();
+        assert!(e.to_string().contains("storage error"));
+        let e: Error = ops5::Error::DuplicateClass("C".into()).into();
+        assert!(e.to_string().contains("compile error"));
+        assert!(Error::UnknownClass("Z".into()).to_string().contains("`Z`"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Concurrent rule execution (§5).
+//!
+//! "Each matching pattern … can be treated as a transaction that is to be
+//! executed" (§5.1). Workers take instantiations from the conflict set and
+//! run each as a strict-2PL transaction:
+//!
+//! 1. **re-select with read locks** — the conflict set stores no tuple
+//!    ids, so "attribute values from the matching pattern tuple are used
+//!    to generate selection predicates" and the selected WM tuples get
+//!    shared locks (§5.2);
+//! 2. **verify negative dependence** — negated CEs take a shared lock on
+//!    the whole relation and check NOT EXISTS (§5.2's "better solution");
+//! 3. **apply the RHS** under exclusive locks;
+//! 4. **maintenance before commit** — "a production should not commit its
+//!    RHS actions … until the triggered maintenance process updates the
+//!    affected COND relations as well" (§5.2): the matching engine is
+//!    updated while the transaction still holds its locks;
+//! 5. commit (release everything at once).
+//!
+//! Deadlocks — which the paper explicitly anticipates — abort the
+//! requesting transaction; the instantiation is retried in a later round
+//! if it is still in the conflict set.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use relstore::{Error, Restriction, Selection, TupleId};
+use rete::Instantiation;
+
+use crate::engine::MatchEngine;
+use crate::exec::{eval_rhs, positive_positions, WmChange};
+
+/// Statistics from a concurrent run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConcurrentStats {
+    /// Instantiations whose transaction committed.
+    pub committed: usize,
+    /// Transactions aborted as deadlock victims (then retried).
+    pub deadlock_aborts: usize,
+    /// Instantiations skipped because their tuples vanished or a negated
+    /// CE became blocked before execution.
+    pub invalidated: usize,
+    /// Synchronization rounds executed.
+    pub rounds: usize,
+    /// `(halt)` executed by some production.
+    pub halted: bool,
+    /// `write` output (order nondeterministic across transactions).
+    pub writes: Vec<String>,
+}
+
+/// Concurrent executor: fires all applicable instantiations as
+/// interleaved transactions, round by round, until quiescence.
+pub struct ConcurrentExecutor {
+    engine: Arc<Mutex<Box<dyn MatchEngine>>>,
+    workers: usize,
+}
+
+/// Result of one instantiation's transaction.
+#[derive(Debug)]
+enum TxnOutcome {
+    Committed { halt: bool, writes: Vec<String> },
+    Invalid,
+    Deadlock,
+}
+
+impl ConcurrentExecutor {
+    /// Create a new, empty instance.
+    pub fn new(engine: Box<dyn MatchEngine>, workers: usize) -> Self {
+        ConcurrentExecutor {
+            engine: Arc::new(Mutex::new(engine)),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Shared engine handle (e.g. to seed WM before running).
+    pub fn engine(&self) -> Arc<Mutex<Box<dyn MatchEngine>>> {
+        self.engine.clone()
+    }
+
+    /// Execute one instantiation as a transaction.
+    fn run_one(engine: &Arc<Mutex<Box<dyn MatchEngine>>>, inst: &Instantiation) -> TxnOutcome {
+        let (pdb, rules) = {
+            let g = engine.lock();
+            (g.pdb().clone(), g.pdb().rules().clone())
+        };
+        let rule = rules.rule(inst.rule).clone();
+        let pos_of = positive_positions(&rule);
+        let db = pdb.db().clone();
+        let mut txn = db.begin();
+
+        // 1. Re-select the matched tuples by content, with read locks.
+        //    Duplicate WMEs need distinct tuple ids.
+        let mut claimed: Vec<(usize, TupleId)> = Vec::new(); // (positive pos, tid)
+        for (i, ce) in rule.ces.iter().enumerate() {
+            if ce.negated {
+                continue;
+            }
+            let pos = pos_of[i].expect("positive");
+            let wme = &inst.wmes[pos];
+            let full_eq = Restriction::new(
+                wme.tuple
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .map(|(a, v)| Selection::eq(a, v.clone()))
+                    .collect(),
+            );
+            let rows = match txn.select(pdb.class_rel(ce.class), &full_eq) {
+                Ok(rows) => rows,
+                Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                Err(e) => panic!("select failed: {e}"),
+            };
+            let free = rows
+                .iter()
+                .find(|(tid, _)| !claimed.iter().any(|(_, c)| c == tid));
+            match free {
+                Some((tid, _)) => claimed.push((pos, *tid)),
+                None => return TxnOutcome::Invalid,
+            }
+        }
+
+        // 2. Negative dependence: shared relation lock + NOT EXISTS.
+        for ce in rule.ces.iter().filter(|ce| ce.negated) {
+            let mut tests = ce.alpha.tests.clone();
+            for j in &ce.joins {
+                let Some(pos) = pos_of[j.other_ce] else {
+                    continue;
+                };
+                let bound = inst.wmes[pos].tuple[j.other_attr].clone();
+                tests.push(Selection::new(j.my_attr, j.op, bound));
+            }
+            let restriction = Restriction::new(tests).with_attr_tests(ce.alpha.attr_tests.clone());
+            match txn.verify_absent(pdb.class_rel(ce.class), &restriction) {
+                Ok(true) => {}
+                Ok(false) => return TxnOutcome::Invalid,
+                Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                Err(e) => panic!("verify_absent failed: {e}"),
+            }
+        }
+
+        // 3. Apply the RHS under exclusive locks, remembering what
+        //    actually happened for the maintenance phase.
+        let rhs = eval_rhs(&rules, inst);
+        let mut applied: Vec<(WmChange, TupleId)> = Vec::new();
+        for change in &rhs.changes {
+            match change {
+                WmChange::Remove(class, tuple) => {
+                    // Prefer the claimed (LHS-matched) row of this content.
+                    let rel = pdb.class_rel(*class);
+                    let tid = claimed
+                        .iter()
+                        .find(|(pos, _)| {
+                            &inst.wmes[*pos].tuple == tuple
+                                && rule
+                                    .ces
+                                    .iter()
+                                    .filter(|ce| !ce.negated)
+                                    .nth(*pos)
+                                    .map(|ce| ce.class)
+                                    == Some(*class)
+                        })
+                        .map(|(_, tid)| *tid);
+                    let tid = match tid {
+                        Some(t) => t,
+                        None => {
+                            // A `modify`-generated intermediate: find any row.
+                            let full_eq = Restriction::new(
+                                tuple
+                                    .values()
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(a, v)| Selection::eq(a, v.clone()))
+                                    .collect(),
+                            );
+                            match txn.select(rel, &full_eq) {
+                                Ok(rows) if !rows.is_empty() => rows[0].0,
+                                Ok(_) => continue,
+                                Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                                Err(e) => panic!("select failed: {e}"),
+                            }
+                        }
+                    };
+                    match txn.delete(rel, tid) {
+                        // "T_j will not be able to process tuples of R_i
+                        // that have already been deleted" — consistent.
+                        Ok(Some(_)) => applied.push((change.clone(), tid)),
+                        Ok(None) => {}
+                        Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                        Err(e) => panic!("delete failed: {e}"),
+                    }
+                }
+                WmChange::Insert(class, tuple) => {
+                    match txn.insert(pdb.class_rel(*class), tuple.clone()) {
+                        Ok(tid) => applied.push((change.clone(), tid)),
+                        Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                        Err(e) => panic!("insert failed: {e}"),
+                    }
+                }
+            }
+        }
+
+        // 4. Maintenance BEFORE commit: the transaction still holds every
+        //    lock while the match structures (COND relations) are updated.
+        {
+            let mut g = engine.lock();
+            for (change, tid) in &applied {
+                match change {
+                    WmChange::Insert(class, tuple) => {
+                        g.maintain_insert(*class, *tid, tuple);
+                    }
+                    WmChange::Remove(class, tuple) => {
+                        g.maintain_remove(*class, *tid, tuple);
+                    }
+                }
+            }
+        }
+
+        // 5. Commit point.
+        txn.commit();
+        TxnOutcome::Committed {
+            halt: rhs.halt,
+            writes: rhs.writes,
+        }
+    }
+
+    /// Run rounds of parallel firing until quiescence, halt, or
+    /// `max_fired` committed productions.
+    pub fn run(&mut self, max_fired: usize) -> ConcurrentStats {
+        let mut stats = ConcurrentStats::default();
+        let mut fired: Vec<Instantiation> = Vec::new();
+        while stats.committed < max_fired && !stats.halted {
+            // Snapshot Ψ_i: conflict set minus already-fired (refraction).
+            let candidates: Vec<Instantiation> = {
+                let g = self.engine.lock();
+                let mut remaining: Vec<Option<&Instantiation>> = fired.iter().map(Some).collect();
+                let mut out = Vec::new();
+                'outer: for inst in g.conflict_set().items() {
+                    for slot in remaining.iter_mut() {
+                        if let Some(f) = slot {
+                            if *f == inst {
+                                *slot = None;
+                                continue 'outer;
+                            }
+                        }
+                    }
+                    out.push(inst.clone());
+                }
+                out
+            };
+            if candidates.is_empty() {
+                break;
+            }
+            stats.rounds += 1;
+            let queue: Arc<Mutex<VecDeque<Instantiation>>> =
+                Arc::new(Mutex::new(candidates.into_iter().collect()));
+            let results: Arc<Mutex<Vec<(Instantiation, TxnOutcome)>>> =
+                Arc::new(Mutex::new(Vec::new()));
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..self.workers {
+                    let queue = queue.clone();
+                    let results = results.clone();
+                    let engine = self.engine.clone();
+                    scope.spawn(move |_| loop {
+                        let Some(inst) = queue.lock().pop_front() else {
+                            break;
+                        };
+                        let outcome = Self::run_one(&engine, &inst);
+                        results.lock().push((inst, outcome));
+                    });
+                }
+            })
+            .expect("worker scope");
+            let results = Arc::try_unwrap(results)
+                .expect("workers joined")
+                .into_inner();
+            let mut progressed = false;
+            for (inst, outcome) in results {
+                match outcome {
+                    TxnOutcome::Committed { halt, writes } => {
+                        stats.committed += 1;
+                        stats.writes.extend(writes);
+                        stats.halted |= halt;
+                        fired.push(inst);
+                        progressed = true;
+                    }
+                    TxnOutcome::Invalid => {
+                        stats.invalidated += 1;
+                        // The maintenance process will have removed it
+                        // from the conflict set; if not (it was valid when
+                        // snapshotted), the next snapshot sees the truth.
+                        progressed = true;
+                    }
+                    TxnOutcome::Deadlock => {
+                        stats.deadlock_aborts += 1;
+                        // Retried next round if still applicable.
+                    }
+                }
+            }
+            // Keep refraction memory consistent with the conflict set.
+            {
+                let g = self.engine.lock();
+                let cs = g.conflict_set();
+                let mut kept = Vec::new();
+                let mut pool: Vec<Instantiation> = cs.items().to_vec();
+                for f in fired.drain(..) {
+                    if let Some(pos) = pool.iter().position(|x| *x == f) {
+                        pool.remove(pos);
+                        kept.push(f);
+                    }
+                }
+                fired = kept;
+            }
+            if !progressed {
+                // Only deadlock victims remain; retry, but avoid spinning
+                // forever on a pathological workload.
+                if stats.rounds > 10_000 {
+                    break;
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{make_engine, EngineKind};
+    use crate::pdb::ProductionDb;
+    use ops5::ClassId;
+    use relstore::tuple;
+
+    fn setup(src: &str, kind: EngineKind) -> ConcurrentExecutor {
+        let rs = ops5::compile(src).unwrap();
+        let pdb = ProductionDb::new(rs).unwrap();
+        ConcurrentExecutor::new(make_engine(kind, pdb), 4)
+    }
+
+    const COUNTER_RULES: &str = r#"
+        (literalize Item n)
+        (literalize Done n)
+        (p Mark
+            (Item ^n <N>)
+            -(Done ^n <N>)
+            -->
+            (make Done ^n <N>))
+    "#;
+
+    #[test]
+    fn concurrent_matches_sequential_outcome() {
+        for kind in [EngineKind::Rete, EngineKind::Cond, EngineKind::Query] {
+            let mut ex = setup(COUNTER_RULES, kind);
+            {
+                let eng = ex.engine();
+                let mut g = eng.lock();
+                for i in 0..8i64 {
+                    g.insert(ClassId(0), tuple![i]);
+                }
+            }
+            let stats = ex.run(1000);
+            assert_eq!(stats.committed, 8, "{}", kind.label());
+            let eng = ex.engine();
+            let g = eng.lock();
+            assert_eq!(g.pdb().wm_len(ClassId(1)), 8, "{}", kind.label());
+            assert!(g.conflict_set().is_empty() || stats.halted);
+        }
+    }
+
+    #[test]
+    fn competing_deleters_fire_once_total() {
+        // Two rules both want to remove the same tuple: serializability
+        // means exactly one effective deletion and a consistent WM.
+        let src = r#"
+            (literalize A x)
+            (literalize LogB x)
+            (literalize LogC x)
+            (p B (A ^x <V>) --> (remove 1) (make LogB ^x <V>))
+            (p C (A ^x <V>) --> (remove 1) (make LogC ^x <V>))
+        "#;
+        let mut ex = setup(src, EngineKind::Rete);
+        {
+            let eng = ex.engine();
+            let mut g = eng.lock();
+            g.insert(ClassId(0), tuple![1]);
+        }
+        let stats = ex.run(100);
+        let eng = ex.engine();
+        let g = eng.lock();
+        assert_eq!(g.pdb().wm_len(ClassId(0)), 0, "tuple deleted");
+        let logs = g.pdb().wm_len(ClassId(1)) + g.pdb().wm_len(ClassId(2));
+        // Both productions were applicable in Ψ1; per §5.2 the one that
+        // loses the race still executes but cannot process the deleted
+        // tuple. Our implementation skips it as invalidated, matching the
+        // serial schedule where only one fires.
+        assert_eq!(logs, 1, "exactly one log entry (stats: {stats:?})");
+        assert_eq!(stats.committed, 1);
+    }
+
+    #[test]
+    fn negative_dependence_is_checked() {
+        // Mark fires once per Item even when many workers race: the
+        // NOT EXISTS check under a relation lock prevents double Done.
+        let mut ex = setup(COUNTER_RULES, EngineKind::Rete);
+        {
+            let eng = ex.engine();
+            let mut g = eng.lock();
+            for i in 0..4i64 {
+                g.insert(ClassId(0), tuple![i % 2]); // duplicates!
+            }
+        }
+        let _ = ex.run(100);
+        let eng = ex.engine();
+        let g = eng.lock();
+        // Two distinct n values → exactly two Done tuples despite four
+        // Items producing four instantiations initially.
+        assert_eq!(g.pdb().wm_len(ClassId(1)), 2);
+    }
+
+    #[test]
+    fn halt_propagates() {
+        let src = r#"
+            (literalize A x)
+            (p Stop (A ^x <V>) --> (remove 1) (halt))
+        "#;
+        let mut ex = setup(src, EngineKind::Rete);
+        {
+            let eng = ex.engine();
+            let mut g = eng.lock();
+            g.insert(ClassId(0), tuple![1]);
+        }
+        let stats = ex.run(100);
+        assert!(stats.halted);
+        assert_eq!(stats.committed, 1);
+    }
+}

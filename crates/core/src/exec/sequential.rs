@@ -1,0 +1,294 @@
+//! The OPS5 recognize-act cycle: Match → Select → Act, one production per
+//! cycle (§2.1). Refraction (an instantiation never fires twice while it
+//! stays in the conflict set) prevents trivial infinite loops.
+
+use rete::{ConflictDelta, Instantiation};
+
+use crate::engine::MatchEngine;
+use crate::exec::{eval_rhs, WmChange};
+use crate::strategy::Strategy;
+
+/// Outcome of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Recognize-act cycles executed (= productions fired).
+    pub fired: usize,
+    /// `(halt)` was executed.
+    pub halted: bool,
+    /// The cycle limit stopped the run.
+    pub limited: bool,
+    /// Lines produced by `write` actions.
+    pub writes: Vec<String>,
+}
+
+/// Sequential executor owning a matching engine.
+pub struct SequentialExecutor {
+    engine: Box<dyn MatchEngine>,
+    strategy: Strategy,
+    /// Refraction memory: instantiations already fired (multiset).
+    fired: Vec<Instantiation>,
+}
+
+impl SequentialExecutor {
+    /// Create a new, empty instance.
+    pub fn new(engine: Box<dyn MatchEngine>, strategy: Strategy) -> Self {
+        SequentialExecutor {
+            engine,
+            strategy,
+            fired: Vec::new(),
+        }
+    }
+
+    /// The matching engine driving this executor.
+    pub fn engine(&self) -> &dyn MatchEngine {
+        self.engine.as_ref()
+    }
+
+    /// Mutable access to the engine (e.g. to load working memory).
+    pub fn engine_mut(&mut self) -> &mut Box<dyn MatchEngine> {
+        &mut self.engine
+    }
+
+    /// Consume the executor, returning the engine (e.g. to hand it to the
+    /// concurrent executor).
+    pub fn into_engine(self) -> Box<dyn MatchEngine> {
+        self.engine
+    }
+
+    /// Keep the refraction memory consistent with conflict-set removals.
+    fn absorb(&mut self, deltas: &[ConflictDelta]) {
+        for d in deltas {
+            if let ConflictDelta::Remove(inst) = d {
+                if let Some(pos) = self.fired.iter().position(|f| f == inst) {
+                    self.fired.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Insert a WM element (runs matching; does not fire rules).
+    pub fn insert(&mut self, class: ops5::ClassId, tuple: relstore::Tuple) {
+        let deltas = self.engine.insert(class, tuple);
+        self.absorb(&deltas);
+    }
+
+    /// Remove a WM element by content.
+    pub fn remove(&mut self, class: ops5::ClassId, tuple: &relstore::Tuple) {
+        let deltas = self.engine.remove(class, tuple);
+        self.absorb(&deltas);
+    }
+
+    /// Instantiations eligible to fire (in conflict set, not yet fired).
+    pub fn candidates(&self) -> Vec<Instantiation> {
+        let mut remaining: Vec<Option<&Instantiation>> = self.fired.iter().map(Some).collect();
+        let mut out = Vec::new();
+        'outer: for inst in self.engine.conflict_set().items() {
+            for slot in remaining.iter_mut() {
+                if let Some(f) = slot {
+                    if *f == inst {
+                        *slot = None;
+                        continue 'outer;
+                    }
+                }
+            }
+            out.push(inst.clone());
+        }
+        out
+    }
+
+    /// Run one recognize-act cycle. Returns the fired instantiation, or
+    /// `None` when the conflict set has no eligible entry.
+    pub fn step(&mut self) -> Option<(Instantiation, bool, Vec<String>)> {
+        let candidates = self.candidates();
+        if candidates.is_empty() {
+            return None;
+        }
+        let refs: Vec<&Instantiation> = candidates.iter().collect();
+        let pick = self.strategy.pick(self.engine.pdb().rules(), &refs);
+        let inst = candidates[pick].clone();
+        self.fired.push(inst.clone());
+        let rules = self.engine.pdb().rules().clone();
+        let rhs = eval_rhs(&rules, &inst);
+        for change in &rhs.changes {
+            let deltas = match change {
+                WmChange::Insert(class, tuple) => self.engine.insert(*class, tuple.clone()),
+                WmChange::Remove(class, tuple) => self.engine.remove(*class, tuple),
+            };
+            self.absorb(&deltas);
+        }
+        Some((inst, rhs.halt, rhs.writes))
+    }
+
+    /// Run until quiescence, `(halt)`, or `max_cycles`.
+    pub fn run(&mut self, max_cycles: usize) -> RunOutcome {
+        let mut outcome = RunOutcome::default();
+        while outcome.fired < max_cycles {
+            match self.step() {
+                Some((_, halt, writes)) => {
+                    outcome.fired += 1;
+                    outcome.writes.extend(writes);
+                    if halt {
+                        outcome.halted = true;
+                        return outcome;
+                    }
+                }
+                None => return outcome,
+            }
+        }
+        outcome.limited = true;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{make_engine, EngineKind};
+    use crate::pdb::ProductionDb;
+    use ops5::ClassId;
+    use relstore::tuple;
+
+    fn exec(kind: EngineKind, src: &str) -> SequentialExecutor {
+        let rs = ops5::compile(src).unwrap();
+        let pdb = ProductionDb::new(rs).unwrap();
+        SequentialExecutor::new(make_engine(kind, pdb), Strategy::Fifo)
+    }
+
+    /// The paper's Example 2 rules simplify 0 + x.
+    #[test]
+    fn algebraic_simplification_runs() {
+        for kind in EngineKind::ALL {
+            let mut ex = exec(
+                kind,
+                r#"
+                (literalize Goal Type Object)
+                (literalize Expression Name Arg1 Op Arg2)
+                (p PlusOX
+                    (Goal ^Type Simplify ^Object <N>)
+                    (Expression ^Name <N> ^Arg1 0 ^Op + ^Arg2 <X>)
+                    -->
+                    (modify 2 ^Op nil ^Arg1 nil)
+                    (write simplified <N>))
+                "#,
+            );
+            ex.insert(ClassId(0), tuple!["Simplify", "TERM"]);
+            ex.insert(ClassId(1), tuple!["TERM", 0, "+", "x"]);
+            let out = ex.run(10);
+            assert_eq!(out.fired, 1, "{kind:?}");
+            assert_eq!(out.writes, vec!["simplified TERM"], "{}", kind.label());
+            // The expression was modified in WM.
+            let pdb = ex.engine().pdb().clone();
+            let rows = pdb
+                .db()
+                .select(pdb.class_rel(ClassId(1)), &relstore::Restriction::default())
+                .unwrap();
+            assert_eq!(rows.len(), 1);
+            assert!(rows[0].1[1].is_null() && rows[0].1[2].is_null());
+        }
+    }
+
+    /// Example 3's R1 deletes Mike when he outearns his manager; firing
+    /// consumes the match, so the system quiesces after one cycle.
+    #[test]
+    fn r1_fires_once_and_quiesces() {
+        for kind in EngineKind::ALL {
+            let mut ex = exec(
+                kind,
+                r#"
+                (literalize Emp name salary manager)
+                (p R1
+                    (Emp ^name Mike ^salary <S> ^manager <M>)
+                    (Emp ^name <M> ^salary {<S1> < <S>})
+                    -->
+                    (remove 1))
+                "#,
+            );
+            ex.insert(ClassId(0), tuple!["Sam", 5000, "Root"]);
+            ex.insert(ClassId(0), tuple!["Mike", 6000, "Sam"]);
+            let out = ex.run(10);
+            assert_eq!(out.fired, 1, "{}", kind.label());
+            assert!(!out.limited);
+            let pdb = ex.engine().pdb().clone();
+            assert_eq!(pdb.wm_len(ClassId(0)), 1, "Mike removed ({})", kind.label());
+        }
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        let mut ex = exec(
+            EngineKind::Rete,
+            r#"
+            (literalize A x)
+            (p Loop (A ^x <V>) --> (make A ^x <V>) (halt))
+            "#,
+        );
+        ex.insert(ClassId(0), tuple![1]);
+        let out = ex.run(100);
+        assert!(out.halted);
+        assert_eq!(out.fired, 1);
+    }
+
+    #[test]
+    fn refraction_prevents_refiring() {
+        // A rule that does not change its matched WME fires exactly once.
+        let mut ex = exec(
+            EngineKind::Rete,
+            r#"
+            (literalize A x)
+            (literalize Log x)
+            (p Note (A ^x <V>) --> (make Log ^x <V>))
+            "#,
+        );
+        ex.insert(ClassId(0), tuple![1]);
+        let out = ex.run(100);
+        assert_eq!(out.fired, 1, "refraction blocks refiring");
+        assert!(!out.limited);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        // A genuinely looping program: each firing makes a new tuple that
+        // matches again.
+        let mut ex = exec(
+            EngineKind::Rete,
+            r#"
+            (literalize A x)
+            (p Grow (A ^x <V>) --> (modify 1 ^x 1))
+            "#,
+        );
+        ex.insert(ClassId(0), tuple![1]);
+        let out = ex.run(25);
+        assert!(out.limited);
+        assert_eq!(out.fired, 25);
+    }
+
+    /// All five engines agree on a multi-cycle run's outcome.
+    #[test]
+    fn engines_agree_on_chained_firing() {
+        let src = r#"
+            (literalize Item n)
+            (literalize Done n)
+            (p Count
+                (Item ^n <N>)
+                -(Done ^n <N>)
+                -->
+                (make Done ^n <N>)
+                (write done <N>))
+        "#;
+        let mut baseline: Option<(usize, usize)> = None;
+        for kind in EngineKind::ALL {
+            let mut ex = exec(kind, src);
+            for i in 0..5i64 {
+                ex.insert(ClassId(0), tuple![i]);
+            }
+            let out = ex.run(100);
+            let pdb = ex.engine().pdb().clone();
+            let result = (out.fired, pdb.wm_len(ClassId(1)));
+            match &baseline {
+                None => baseline = Some(result),
+                Some(b) => assert_eq!(*b, result, "{}", kind.label()),
+            }
+            assert_eq!(result.1, 5, "{}: every item marked done", kind.label());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Rule-base queries (§4.2.3).
+//!
+//! "Another significant advantage of such indices is their use in
+//! answering queries on the rulebase itself. For example, questions of
+//! the form *Give me all the rules that apply on employees older than 55*
+//! can be easily answered using such an index. … Notice that this is not
+//! possible in systems, such as POSTGRES, where rule information is
+//! stored together with the actual data."
+//!
+//! [`RulebaseIndex`] puts every condition element's variable-free
+//! restriction into a per-class predicate index (R-tree by default) and
+//! answers:
+//!
+//! * [`RulebaseIndex::rules_for_tuple`] — which rules could a concrete
+//!   tuple trigger? (point stabbing);
+//! * [`RulebaseIndex::rules_overlapping`] — which rules could apply to
+//!   *any* tuple in a region, whether or not such data exists yet?
+//!   (box query — the "employees older than 55" form).
+
+use std::collections::BTreeSet;
+
+use ops5::{ClassId, RuleId, RuleSet};
+use predindex::{make_index, ConditionIndex, IndexKind, Rect};
+use relstore::{Restriction, Tuple};
+
+/// A queryable index over the rule base's condition elements.
+pub struct RulebaseIndex {
+    rules: RuleSet,
+    /// One predicate index per class; payload = (rule, cen).
+    per_class: Vec<Box<dyn ConditionIndex<(usize, usize)> + Send + Sync>>,
+}
+
+impl RulebaseIndex {
+    /// Create a new, empty instance.
+    pub fn new(rules: &RuleSet) -> Self {
+        Self::with_kind(rules, IndexKind::RTree)
+    }
+
+    /// Build with an explicit index implementation.
+    pub fn with_kind(rules: &RuleSet, kind: IndexKind) -> Self {
+        let mut per_class: Vec<Box<dyn ConditionIndex<(usize, usize)> + Send + Sync>> = rules
+            .classes
+            .iter()
+            .map(|c| make_index(kind, c.arity()))
+            .collect();
+        for rule in &rules.rules {
+            for (cen, ce) in rule.ces.iter().enumerate() {
+                let arity = rules.class(ce.class).arity();
+                if let Some(rect) = Rect::from_restriction(arity, &ce.alpha) {
+                    per_class[ce.class.0].insert(rect, (rule.id.0, cen));
+                }
+            }
+        }
+        RulebaseIndex {
+            rules: rules.clone(),
+            per_class,
+        }
+    }
+
+    /// Rules with a condition element satisfied by this concrete tuple.
+    pub fn rules_for_tuple(&self, class: ClassId, tuple: &Tuple) -> Vec<RuleId> {
+        self.per_class[class.0]
+            .stab(tuple)
+            .into_iter()
+            .filter(|&(rid, cen)| {
+                // Rectangles cannot encode intra-tuple attr tests; check
+                // them exactly.
+                self.rules.rule(RuleId(rid)).ces[cen]
+                    .alpha
+                    .attr_tests
+                    .iter()
+                    .all(|t| t.matches(tuple))
+            })
+            .map(|(rid, _)| rid)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .map(RuleId)
+            .collect()
+    }
+
+    /// Rules whose conditions overlap a region of a class's value space —
+    /// answerable "even if data that satisfy the conditions of the rules
+    /// has not already been stored in the database" (§4.2.3).
+    pub fn rules_overlapping(&self, class: ClassId, region: &Restriction) -> Vec<RuleId> {
+        let arity = self.rules.class(class).arity();
+        let Some(rect) = Rect::from_restriction(arity, region) else {
+            return Vec::new(); // contradictory region matches nothing
+        };
+        self.per_class[class.0]
+            .query(&rect)
+            .into_iter()
+            .map(|(rid, _)| rid)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .map(RuleId)
+            .collect()
+    }
+
+    /// Names instead of ids, for display.
+    pub fn rule_names(&self, ids: &[RuleId]) -> Vec<String> {
+        ids.iter()
+            .map(|r| self.rules.rule(*r).name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{tuple, CompOp, Selection};
+
+    fn index() -> RulebaseIndex {
+        let rules = ops5::compile(
+            r#"
+            (literalize Emp name age salary)
+            (literalize Dept dno)
+            (p Retire (Emp ^age {>= 65}) --> (remove 1))
+            (p Senior (Emp ^age {>= 50} ^salary {>= 9000}) --> (remove 1))
+            (p Junior (Emp ^age {< 30}) --> (remove 1))
+            (p Mike (Emp ^name Mike ^age <A>) --> (remove 1))
+            (p DeptRule (Dept ^dno 7) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        RulebaseIndex::new(&rules)
+    }
+
+    #[test]
+    fn paper_query_older_than_55() {
+        let idx = index();
+        // "Give me all the rules that apply on employees older than 55."
+        let region = Restriction::new(vec![Selection::new(1, CompOp::Gt, 55)]);
+        let hits = idx.rules_overlapping(ClassId(0), &region);
+        let names = idx.rule_names(&hits);
+        assert_eq!(names, vec!["Retire", "Senior", "Mike"]);
+    }
+
+    #[test]
+    fn point_stabbing_a_concrete_employee() {
+        let idx = index();
+        let hits = idx.rules_for_tuple(ClassId(0), &tuple!["Ann", 70, 5000]);
+        assert_eq!(idx.rule_names(&hits), vec!["Retire"]);
+        let hits = idx.rules_for_tuple(ClassId(0), &tuple!["Mike", 25, 5000]);
+        assert_eq!(idx.rule_names(&hits), vec!["Junior", "Mike"]);
+    }
+
+    #[test]
+    fn queries_work_without_any_data() {
+        // The defining §4.2.3 property: answers need no WM contents.
+        let idx = index();
+        let region = Restriction::new(vec![Selection::new(1, CompOp::Lt, 20)]);
+        assert_eq!(
+            idx.rule_names(&idx.rules_overlapping(ClassId(0), &region)),
+            vec!["Junior", "Mike"]
+        );
+    }
+
+    #[test]
+    fn classes_are_separated() {
+        let idx = index();
+        let hits = idx.rules_for_tuple(ClassId(1), &tuple![7]);
+        assert_eq!(idx.rule_names(&hits), vec!["DeptRule"]);
+        assert!(idx.rules_for_tuple(ClassId(1), &tuple![8]).is_empty());
+    }
+
+    #[test]
+    fn contradictory_region_is_empty() {
+        let idx = index();
+        let region = Restriction::new(vec![
+            Selection::new(1, CompOp::Lt, 10),
+            Selection::new(1, CompOp::Gt, 90),
+        ]);
+        assert!(idx.rules_overlapping(ClassId(0), &region).is_empty());
+    }
+
+    #[test]
+    fn all_index_kinds_agree() {
+        let rules = ops5::compile(
+            r#"
+            (literalize Emp name age salary)
+            (p A (Emp ^age {>= 65}) --> (remove 1))
+            (p B (Emp ^age {>= 50} ^salary {>= 9000}) --> (remove 1))
+            (p C (Emp ^age {< 30}) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let region = Restriction::new(vec![Selection::new(1, CompOp::Ge, 40)]);
+        let mut results = Vec::new();
+        for kind in [IndexKind::Linear, IndexKind::RTree, IndexKind::RPlus] {
+            let idx = RulebaseIndex::with_kind(&rules, kind);
+            results.push(idx.rules_overlapping(ClassId(0), &region));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+}

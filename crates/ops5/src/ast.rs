@@ -1,0 +1,136 @@
+//! Abstract syntax of OPS5 programs, as parsed (before resolution).
+
+use relstore::{CompOp, Value};
+
+/// A literal constant in rule source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A bare symbol.
+    Sym(String),
+    /// `nil` — the unset value.
+    Nil,
+}
+
+impl Atom {
+    /// Convert to a storage value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Atom::Int(i) => Value::Int(*i),
+            Atom::Float(f) => Value::Float(*f),
+            Atom::Sym(s) => Value::str(s),
+            Atom::Nil => Value::Null,
+        }
+    }
+}
+
+/// `(literalize Class attr1 attr2 ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Literalize {
+    /// The class (relation) involved.
+    pub class: String,
+    /// Attribute names, in declaration order.
+    pub attrs: Vec<String>,
+}
+
+/// One check against an attribute inside a condition element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Check {
+    /// `*` — matches anything.
+    DontCare,
+    /// `op constant` (op defaults to `=`).
+    Const(CompOp, Atom),
+    /// `op <var>` (op defaults to `=`; an `=` first occurrence binds).
+    Var(CompOp, String),
+}
+
+/// `^attr check` or `^attr { check* }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrTestAst {
+    /// The attribute (column) index.
+    pub attr: String,
+    /// The checks applied to the attribute's value.
+    pub checks: Vec<Check>,
+}
+
+/// A condition element `(Class ^a v ...)`, optionally negated with `-`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondElemAst {
+    /// Is this a negated (`-`) condition element?
+    pub negated: bool,
+    /// The class (relation) involved.
+    pub class: String,
+    /// Single-attribute tests (conjunctive).
+    pub tests: Vec<AttrTestAst>,
+}
+
+/// RHS value expression: constant or variable reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RhsValue {
+    /// A constant operand.
+    Const(Atom),
+    /// A variable operand.
+    Var(String),
+}
+
+/// An RHS action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionAst {
+    /// `(make Class ^attr v ...)`
+    Make {
+        class: String,
+        sets: Vec<(String, RhsValue)>,
+    },
+    /// `(remove k)` — delete the WM element matching condition element `k`
+    /// (1-based, as in the paper's `(remove 1)`).
+    Remove { ce: usize },
+    /// `(modify k ^attr v ...)`
+    Modify {
+        ce: usize,
+        sets: Vec<(String, RhsValue)>,
+    },
+    /// `(write v ...)` — emit values to the run log.
+    Write { items: Vec<RhsValue> },
+    /// `(halt)` — stop the recognize-act cycle.
+    Halt,
+    /// `(bind <x> v)` — name a value for later RHS actions.
+    Bind { var: String, value: RhsValue },
+    /// `(call proc ...)` — parsed but rejected during resolution.
+    Call { proc: String },
+}
+
+/// `(p Name lhs... --> rhs...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductionAst {
+    /// The source-level name.
+    pub name: String,
+    /// The condition elements of the left-hand side.
+    pub lhs: Vec<CondElemAst>,
+    /// The actions of the right-hand side.
+    pub rhs: Vec<ActionAst>,
+}
+
+/// A whole source file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The `literalize` declarations.
+    pub decls: Vec<Literalize>,
+    /// The parsed productions, in source order.
+    pub rules: Vec<ProductionAst>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_to_value() {
+        assert_eq!(Atom::Int(3).to_value(), Value::Int(3));
+        assert_eq!(Atom::Sym("Toy".into()).to_value(), Value::str("Toy"));
+        assert_eq!(Atom::Nil.to_value(), Value::Null);
+        assert_eq!(Atom::Float(1.5).to_value(), Value::Float(1.5));
+    }
+}

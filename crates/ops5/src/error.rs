@@ -1,0 +1,104 @@
+//! Compilation errors for OPS5 programs.
+
+use std::fmt;
+
+/// Source position (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexing, parsing, or resolution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Unexpected character in the source.
+    Lex { pos: Pos, msg: String },
+    /// Parse error with what was expected.
+    Parse { pos: Pos, msg: String },
+    /// `literalize` for a class appeared twice.
+    DuplicateClass(String),
+    /// A production name appeared twice.
+    DuplicateRule(String),
+    /// A condition element referenced an undeclared class.
+    UnknownClass { rule: String, class: String },
+    /// A test referenced an attribute missing from the class declaration.
+    UnknownAttr {
+        rule: String,
+        class: String,
+        attr: String,
+    },
+    /// A production had no positive condition element.
+    NoPositiveCondition(String),
+    /// `remove`/`modify` referenced a condition element out of range or a
+    /// negated one.
+    BadCeRef {
+        rule: String,
+        ce: usize,
+        why: &'static str,
+    },
+    /// An RHS value used a variable never bound in a positive CE.
+    UnboundVariable { rule: String, var: String },
+    /// A variable bound inside a negated CE leaked into another CE or the
+    /// RHS.
+    NegatedBinding { rule: String, var: String },
+    /// `call` (arbitrary foreign procedures) is deliberately unsupported.
+    UnsupportedAction { rule: String, action: String },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            Error::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            Error::DuplicateClass(c) => write!(f, "class `{c}` literalized twice"),
+            Error::DuplicateRule(r) => write!(f, "production `{r}` defined twice"),
+            Error::UnknownClass { rule, class } => {
+                write!(
+                    f,
+                    "rule `{rule}`: unknown class `{class}` (missing literalize?)"
+                )
+            }
+            Error::UnknownAttr { rule, class, attr } => {
+                write!(
+                    f,
+                    "rule `{rule}`: class `{class}` has no attribute `{attr}`"
+                )
+            }
+            Error::NoPositiveCondition(r) => {
+                write!(f, "rule `{r}` has no positive condition element")
+            }
+            Error::BadCeRef { rule, ce, why } => {
+                write!(
+                    f,
+                    "rule `{rule}`: bad condition-element reference {ce}: {why}"
+                )
+            }
+            Error::UnboundVariable { rule, var } => {
+                write!(f, "rule `{rule}`: variable <{var}> used but never bound")
+            }
+            Error::NegatedBinding { rule, var } => {
+                write!(
+                    f,
+                    "rule `{rule}`: variable <{var}> is bound only inside a negated condition"
+                )
+            }
+            Error::UnsupportedAction { rule, action } => {
+                write!(f, "rule `{rule}`: RHS action `{action}` is not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

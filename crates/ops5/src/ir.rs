@@ -1,0 +1,291 @@
+//! Resolved rule representation (IR).
+//!
+//! Every matching engine — Rete, DB-Rete, the simplified query algorithm
+//! (§4.1), the matching-pattern algorithm (§4.2) and the marker scheme —
+//! compiles from this normalized form:
+//!
+//! * attributes are resolved to column indexes via the `literalize`
+//!   declarations;
+//! * each variable has one **binding occurrence** (its first `=`-check in
+//!   a positive CE); every other occurrence becomes either an intra-CE
+//!   test or an inter-CE **join test** against the binding occurrence —
+//!   exactly the one-input / two-input node split of the Rete network
+//!   (§3.1);
+//! * RHS variable references are rewritten as `(ce, attr)` projections of
+//!   the binding occurrence.
+
+use std::fmt;
+
+use relstore::{AttrTest, CompOp, Restriction, Selection, Value};
+use relstore::{ConjunctiveQuery, JoinPred, QueryTerm, RelId};
+
+/// Index of a class (relation) in the rule set's class table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub usize);
+
+/// Index of a rule in the rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub usize);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule#{}", self.0)
+    }
+}
+
+/// A declared class of working-memory elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// The source-level name.
+    pub name: String,
+    /// Attribute names, in declaration order.
+    pub attrs: Vec<String>,
+}
+
+impl ClassDef {
+    /// Number of attributes of the class.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// An inter-CE join test: `this_ce[my_attr] op ces[other_ce][other_attr]`
+/// where `other_ce` is an earlier (binding) condition element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinTest {
+    /// Attribute of this condition element.
+    pub my_attr: usize,
+    /// The comparison operator.
+    pub op: CompOp,
+    /// The related (earlier/positive) condition element.
+    pub other_ce: usize,
+    /// Attribute of the related condition element.
+    pub other_attr: usize,
+}
+
+/// A resolved condition element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondElem {
+    /// The class (relation) involved.
+    pub class: ClassId,
+    /// Is this a negated (`-`) condition element?
+    pub negated: bool,
+    /// Variable-free tests plus intra-CE variable tests, all evaluable
+    /// against a single tuple ("one-input node" tests).
+    pub alpha: Restriction,
+    /// Join tests to earlier condition elements ("two-input node" tests).
+    pub joins: Vec<JoinTest>,
+    /// Variable binding occurrences: (attr, variable name). Used for
+    /// diagnostics and pattern printing.
+    pub bindings: Vec<(usize, String)>,
+}
+
+/// An RHS value after resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RhsVal {
+    /// A constant operand.
+    Const(Value),
+    /// Projection of the tuple matched by positive CE `ce` at `attr`.
+    Field { ce: usize, attr: usize },
+    /// A slot produced by an earlier `bind` action in the same RHS.
+    Local(usize),
+}
+
+/// A resolved RHS action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Insert a new WM element. `values` has one entry per attribute of
+    /// the class (unset attributes are `Const(Null)`).
+    Make { class: ClassId, values: Vec<RhsVal> },
+    /// Delete the WM element matched by positive CE `ce` (0-based).
+    Remove { ce: usize },
+    /// Replace attribute values of the WM element matched by CE `ce`.
+    Modify {
+        ce: usize,
+        sets: Vec<(usize, RhsVal)>,
+    },
+    /// Append values to the run log.
+    Write(Vec<RhsVal>),
+    /// Stop the recognize-act cycle.
+    Halt,
+    /// Store a value into local slot `slot`.
+    Bind { slot: usize, value: RhsVal },
+}
+
+/// A fully resolved production.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The unique identifier.
+    pub id: RuleId,
+    /// The source-level name.
+    pub name: String,
+    /// Condition elements, in source order.
+    pub ces: Vec<CondElem>,
+    /// RHS actions, in source order.
+    pub actions: Vec<Action>,
+    /// Number of `bind` slots the RHS uses.
+    pub locals: usize,
+}
+
+impl Rule {
+    /// Indexes of positive condition elements.
+    pub fn positive_ces(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.ces.len()).filter(|&i| !self.ces[i].negated)
+    }
+
+    /// Number of condition elements (the rule's *specificity*, used by the
+    /// specificity conflict-resolution strategy).
+    pub fn specificity(&self) -> usize {
+        self.ces
+            .iter()
+            .map(|ce| 1 + ce.alpha.tests.len() + ce.joins.len())
+            .sum()
+    }
+
+    /// Lower this rule's LHS to a conjunctive query, given the mapping
+    /// from class ids to WM relation ids.
+    pub fn to_query(&self, class_rel: &[RelId]) -> ConjunctiveQuery {
+        let terms = self
+            .ces
+            .iter()
+            .map(|ce| {
+                let term_rest = ce.alpha.clone();
+                if ce.negated {
+                    QueryTerm::negated(class_rel[ce.class.0], term_rest)
+                } else {
+                    QueryTerm::new(class_rel[ce.class.0], term_rest)
+                }
+            })
+            .collect();
+        let mut joins = Vec::new();
+        for (i, ce) in self.ces.iter().enumerate() {
+            for j in &ce.joins {
+                joins.push(JoinPred {
+                    left_term: i,
+                    left_attr: j.my_attr,
+                    op: j.op,
+                    right_term: j.other_ce,
+                    right_attr: j.other_attr,
+                });
+            }
+        }
+        ConjunctiveQuery::new(terms, joins)
+    }
+}
+
+/// A compiled rule set: the shared class table plus all rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleSet {
+    /// The declared classes.
+    pub classes: Vec<ClassDef>,
+    /// The compiled rules, indexed by [`RuleId`].
+    pub rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Resolve a class name.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId)
+    }
+
+    /// The class definition for `id`.
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.0]
+    }
+
+    /// The rule with this id.
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id.0]
+    }
+
+    /// Look a rule up by its source name.
+    pub fn rule_by_name(&self, name: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    /// All rules with at least one CE on `class`.
+    pub fn rules_on_class(&self, class: ClassId) -> impl Iterator<Item = &Rule> {
+        self.rules
+            .iter()
+            .filter(move |r| r.ces.iter().any(|ce| ce.class == class))
+    }
+}
+
+/// Helper used by resolution and tests: build an alpha restriction.
+pub fn alpha(tests: Vec<Selection>, attr_tests: Vec<AttrTest>) -> Restriction {
+    Restriction::new(tests).with_attr_tests(attr_tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_rule() -> Rule {
+        Rule {
+            id: RuleId(0),
+            name: "r".into(),
+            ces: vec![
+                CondElem {
+                    class: ClassId(0),
+                    negated: false,
+                    alpha: alpha(vec![Selection::eq(0, "Mike")], vec![]),
+                    joins: vec![],
+                    bindings: vec![(1, "S".into())],
+                },
+                CondElem {
+                    class: ClassId(0),
+                    negated: true,
+                    alpha: Restriction::default(),
+                    joins: vec![JoinTest {
+                        my_attr: 1,
+                        op: CompOp::Lt,
+                        other_ce: 0,
+                        other_attr: 1,
+                    }],
+                    bindings: vec![],
+                },
+            ],
+            actions: vec![Action::Remove { ce: 0 }],
+            locals: 0,
+        }
+    }
+
+    #[test]
+    fn positive_ces_and_specificity() {
+        let r = dummy_rule();
+        assert_eq!(r.positive_ces().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(r.specificity(), 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn to_query_maps_ces_and_joins() {
+        let r = dummy_rule();
+        let q = r.to_query(&[RelId(7)]);
+        assert_eq!(q.terms.len(), 2);
+        assert_eq!(q.terms[0].rel, RelId(7));
+        assert!(!q.terms[0].negated);
+        assert!(q.terms[1].negated);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left_term, 1);
+        assert_eq!(q.joins[0].right_term, 0);
+        assert_eq!(q.joins[0].op, CompOp::Lt);
+    }
+
+    #[test]
+    fn ruleset_lookup() {
+        let rs = RuleSet {
+            classes: vec![ClassDef {
+                name: "Emp".into(),
+                attrs: vec!["name".into()],
+            }],
+            rules: vec![dummy_rule()],
+        };
+        assert_eq!(rs.class_id("Emp"), Some(ClassId(0)));
+        assert_eq!(rs.class_id("Nope"), None);
+        assert!(rs.rule_by_name("r").is_some());
+        assert_eq!(rs.rules_on_class(ClassId(0)).count(), 1);
+    }
+}

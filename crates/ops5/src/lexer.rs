@@ -1,0 +1,405 @@
+//! Tokenizer for the OPS5 surface syntax.
+//!
+//! Handles the quirks of the language: `^attr` attribute markers, `<x>`
+//! variables (distinguished from the `<`, `<=`, `<>` operators by
+//! lookahead), `{ ... }` predicate blocks, `-` as both negation prefix and
+//! numeric sign, `-->` arrows, and `;` line comments.
+
+use crate::error::{Error, Pos, Result};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Which variant of behaviour applies.
+    pub kind: TokenKind,
+    /// Where in the source the problem is.
+    pub pos: Pos,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `^` (attribute marker).
+    Caret,
+    /// `-->`
+    Arrow,
+    /// `-` (condition-element negation).
+    Minus,
+    /// A variable operand.
+    Var(String),
+    /// A bare symbol.
+    Sym(String),
+    /// A `'quoted'` symbol: always a literal, never a don't-care
+    /// (the paper writes `'*'` for the times operator and bare `*` for
+    /// don't-care fields).
+    QSym(String),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// Comparison operator in a predicate block: `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    Op(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::LBrace => "'{'".into(),
+            TokenKind::RBrace => "'}'".into(),
+            TokenKind::Caret => "'^'".into(),
+            TokenKind::Arrow => "'-->'".into(),
+            TokenKind::Minus => "'-'".into(),
+            TokenKind::Var(v) => format!("variable <{v}>"),
+            TokenKind::Sym(s) => format!("symbol `{s}`"),
+            TokenKind::QSym(s) => format!("symbol `'{s}'`"),
+            TokenKind::Int(i) => format!("number {i}"),
+            TokenKind::Float(x) => format!("number {x}"),
+            TokenKind::Op(o) => format!("operator `{o}`"),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b';') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Characters that terminate a bare symbol.
+    fn is_delim(c: u8) -> bool {
+        c.is_ascii_whitespace() || matches!(c, b'(' | b')' | b'{' | b'}' | b'^' | b';')
+    }
+
+    fn read_symbol_chars(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if Self::is_delim(c) || c == b'>' {
+                break;
+            }
+            s.push(c as char);
+            self.bump();
+        }
+        s
+    }
+
+    /// Classify a bare word: integer, float, or symbol.
+    fn classify(word: String) -> TokenKind {
+        if let Ok(i) = word.parse::<i64>() {
+            return TokenKind::Int(i);
+        }
+        if word.contains('.') || word.contains('e') || word.contains('E') {
+            if let Ok(f) = word.parse::<f64>() {
+                return TokenKind::Float(f);
+            }
+        }
+        TokenKind::Sym(word)
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_ws_and_comments();
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+        };
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'^' => {
+                self.bump();
+                TokenKind::Caret
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Op("<=")
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::Op("<>")
+                    }
+                    Some(d) if !Self::is_delim(d) && d != b'<' => {
+                        // `<name>` variable
+                        let name = self.read_symbol_chars();
+                        if self.peek() == Some(b'>') {
+                            self.bump();
+                            TokenKind::Var(name)
+                        } else {
+                            return Err(Error::Lex {
+                                pos,
+                                msg: format!("unterminated variable <{name}"),
+                            });
+                        }
+                    }
+                    _ => TokenKind::Op("<"),
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Op(">=")
+                } else {
+                    TokenKind::Op(">")
+                }
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Op("=")
+            }
+            b'\'' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => break,
+                        Some(c) => s.push(c as char),
+                        None => {
+                            return Err(Error::Lex {
+                                pos,
+                                msg: "unterminated quoted symbol".into(),
+                            })
+                        }
+                    }
+                }
+                TokenKind::QSym(s)
+            }
+            b'-' => {
+                // `-->`, negative number, or negation minus.
+                if self.peek2() == Some(b'-') {
+                    self.bump();
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Arrow
+                    } else {
+                        return Err(Error::Lex {
+                            pos,
+                            msg: "expected `-->`".into(),
+                        });
+                    }
+                } else if self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == b'.')
+                {
+                    self.bump();
+                    let word = format!("-{}", self.read_symbol_chars());
+                    Self::classify(word)
+                } else {
+                    self.bump();
+                    TokenKind::Minus
+                }
+            }
+            _ => {
+                let word = self.read_symbol_chars();
+                if word.is_empty() {
+                    return Err(Error::Lex {
+                        pos,
+                        msg: format!("unexpected character `{}`", c as char),
+                    });
+                }
+                Self::classify(word)
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+}
+
+/// Tokenize a whole source string (Eof token included).
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let done = t.kind == TokenKind::Eof;
+        out.push(t);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("(p R1)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Sym("p".into()),
+                TokenKind::Sym("R1".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_vs_operators() {
+        assert_eq!(kinds("<N>")[0], TokenKind::Var("N".into()));
+        assert_eq!(kinds("<= 5")[0], TokenKind::Op("<="));
+        assert_eq!(kinds("<> 5")[0], TokenKind::Op("<>"));
+        assert_eq!(kinds("< 5")[0], TokenKind::Op("<"));
+        assert_eq!(kinds("> 5")[0], TokenKind::Op(">"));
+        assert_eq!(kinds(">= 5")[0], TokenKind::Op(">="));
+        assert_eq!(kinds("= x")[0], TokenKind::Op("="));
+        assert_eq!(kinds("<S1>")[0], TokenKind::Var("S1".into()));
+    }
+
+    #[test]
+    fn numbers_and_symbols() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("-7")[0], TokenKind::Int(-7));
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+        assert_eq!(kinds("-0.5")[0], TokenKind::Float(-0.5));
+        assert_eq!(kinds("Mike")[0], TokenKind::Sym("Mike".into()));
+        assert_eq!(kinds("Arg1")[0], TokenKind::Sym("Arg1".into()));
+        // `+` and `*` are symbols (Example 2 writes ^Op + and ^Op *).
+        assert_eq!(kinds("+")[0], TokenKind::Sym("+".into()));
+        assert_eq!(kinds("*")[0], TokenKind::Sym("*".into()));
+    }
+
+    #[test]
+    fn arrow_and_minus() {
+        assert_eq!(kinds("-->")[0], TokenKind::Arrow);
+        assert_eq!(kinds("- (Dept)")[0], TokenKind::Minus);
+    }
+
+    #[test]
+    fn caret_attribute() {
+        assert_eq!(
+            kinds("^salary <S>"),
+            vec![
+                TokenKind::Caret,
+                TokenKind::Sym("salary".into()),
+                TokenKind::Var("S".into()),
+                TokenKind::Eof
+            ]
+        );
+        // No space after caret.
+        assert_eq!(kinds("^dno 7")[1], TokenKind::Sym("dno".into()));
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("; a comment\n(p X)").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::LParen);
+        assert_eq!(toks[0].pos, Pos { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn predicate_block() {
+        assert_eq!(
+            kinds("{<S1> < <S>}"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::Var("S1".into()),
+                TokenKind::Op("<"),
+                TokenKind::Var("S".into()),
+                TokenKind::RBrace,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("<unterminated").is_err());
+        assert!(lex("--x").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # ops5 — the rule language
+//!
+//! A compiler for the OPS5 subset the paper uses: `literalize` class
+//! declarations, productions with constant tests, variables (`<x>`),
+//! don't-cares (`*`), predicate blocks (`{<S1> < <S>}`), negated condition
+//! elements (`-`), and the RHS actions `make`, `remove`, `modify`,
+//! `write`, `halt`, `bind` (`call` is parsed but rejected — see
+//! DESIGN.md).
+//!
+//! ```
+//! let rs = ops5::compile(r#"
+//!     (literalize Emp name salary manager dno)
+//!     (p R1
+//!         (Emp ^name Mike ^salary <S> ^manager <M>)
+//!         (Emp ^name <M> ^salary {<S1> < <S>})
+//!         -->
+//!         (remove 1))
+//! "#).unwrap();
+//! assert_eq!(rs.rules.len(), 1);
+//! assert_eq!(rs.rules[0].ces[1].joins.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod ir;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod resolve;
+
+pub use ast::{ActionAst, Atom, Check, CondElemAst, Literalize, ProductionAst, Program, RhsValue};
+pub use error::{Error, Pos, Result};
+pub use ir::{Action, ClassDef, ClassId, CondElem, JoinTest, RhsVal, Rule, RuleId, RuleSet};
+pub use parser::parse;
+pub use printer::print;
+pub use resolve::resolve;
+
+/// Parse and resolve OPS5 source in one step.
+pub fn compile(src: &str) -> Result<RuleSet> {
+    resolve(&parse(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compile_end_to_end() {
+        let rs = super::compile("(literalize A x) (p R (A ^x 1) --> (remove 1))").unwrap();
+        assert_eq!(rs.classes.len(), 1);
+        assert_eq!(rs.rules.len(), 1);
+    }
+
+    #[test]
+    fn compile_propagates_errors() {
+        assert!(super::compile("(p R (A ^x 1) --> (halt))").is_err());
+        assert!(super::compile("(p R (A ^x 1)").is_err());
+    }
+}

@@ -1,0 +1,449 @@
+//! Recursive-descent parser for OPS5 programs.
+
+use relstore::CompOp;
+
+use crate::ast::*;
+use crate::error::{Error, Pos, Result};
+use crate::lexer::{lex, Token, TokenKind};
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.i].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.i].kind.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(Error::Parse {
+            pos: self.pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &TokenKind) -> Result<()> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            let got = self.peek().describe();
+            self.err(format!("expected {}, found {got}", want.describe()))
+        }
+    }
+
+    fn symbol(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            TokenKind::Sym(s) => Ok(s),
+            other => {
+                self.i -= 1;
+                self.err(format!("expected {what}, found {}", other.describe()))
+            }
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program> {
+        let mut program = Program::default();
+        while *self.peek() != TokenKind::Eof {
+            self.expect(&TokenKind::LParen)?;
+            match self.peek() {
+                TokenKind::Sym(s) if s == "literalize" => {
+                    self.bump();
+                    program.decls.push(self.parse_literalize()?);
+                }
+                TokenKind::Sym(s) if s == "p" => {
+                    self.bump();
+                    program.rules.push(self.parse_production()?);
+                }
+                other => {
+                    let d = other.describe();
+                    return self.err(format!("expected `literalize` or `p`, found {d}"));
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn parse_literalize(&mut self) -> Result<Literalize> {
+        let class = self.symbol("class name")?;
+        let mut attrs = Vec::new();
+        while *self.peek() != TokenKind::RParen {
+            attrs.push(self.symbol("attribute name")?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        if attrs.is_empty() {
+            return self.err(format!("class `{class}` declares no attributes"));
+        }
+        Ok(Literalize { class, attrs })
+    }
+
+    fn parse_production(&mut self) -> Result<ProductionAst> {
+        let name = self.symbol("production name")?;
+        let mut lhs = Vec::new();
+        while *self.peek() != TokenKind::Arrow {
+            lhs.push(self.parse_cond_elem()?);
+            if *self.peek() == TokenKind::Eof {
+                return self.err("unterminated production (missing `-->`)");
+            }
+        }
+        self.expect(&TokenKind::Arrow)?;
+        let mut rhs = Vec::new();
+        while *self.peek() != TokenKind::RParen {
+            rhs.push(self.parse_action()?);
+            if *self.peek() == TokenKind::Eof {
+                return self.err("unterminated production (missing `)`)");
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        if lhs.is_empty() {
+            return self.err(format!("production `{name}` has an empty LHS"));
+        }
+        Ok(ProductionAst { name, lhs, rhs })
+    }
+
+    fn parse_cond_elem(&mut self) -> Result<CondElemAst> {
+        let negated = if *self.peek() == TokenKind::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.expect(&TokenKind::LParen)?;
+        let class = self.symbol("class name")?;
+        let mut tests = Vec::new();
+        while *self.peek() == TokenKind::Caret {
+            self.bump();
+            let attr = self.symbol("attribute name")?;
+            let checks = self.parse_checks()?;
+            tests.push(AttrTestAst { attr, checks });
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(CondElemAst {
+            negated,
+            class,
+            tests,
+        })
+    }
+
+    /// One value spec after `^attr`: a bare check or `{ check* }`.
+    fn parse_checks(&mut self) -> Result<Vec<Check>> {
+        if *self.peek() == TokenKind::LBrace {
+            self.bump();
+            let mut checks = Vec::new();
+            while *self.peek() != TokenKind::RBrace {
+                checks.push(self.parse_check()?);
+                if *self.peek() == TokenKind::Eof {
+                    return self.err("unterminated `{` block");
+                }
+            }
+            self.bump();
+            Ok(checks)
+        } else {
+            Ok(vec![self.parse_check()?])
+        }
+    }
+
+    fn parse_check(&mut self) -> Result<Check> {
+        let op = match self.peek() {
+            TokenKind::Op(o) => {
+                let op = match *o {
+                    "=" => CompOp::Eq,
+                    "<>" => CompOp::Ne,
+                    "<" => CompOp::Lt,
+                    "<=" => CompOp::Le,
+                    ">" => CompOp::Gt,
+                    ">=" => CompOp::Ge,
+                    _ => unreachable!("lexer emits only known ops"),
+                };
+                self.bump();
+                op
+            }
+            _ => CompOp::Eq,
+        };
+        match self.bump() {
+            TokenKind::Var(v) => Ok(Check::Var(op, v)),
+            TokenKind::Int(i) => Ok(Check::Const(op, Atom::Int(i))),
+            TokenKind::Float(f) => Ok(Check::Const(op, Atom::Float(f))),
+            TokenKind::Sym(s) if s == "*" => {
+                if op != CompOp::Eq {
+                    self.i -= 1;
+                    return self.err("`*` (don't care) takes no operator");
+                }
+                Ok(Check::DontCare)
+            }
+            TokenKind::Sym(s) if s == "nil" => Ok(Check::Const(op, Atom::Nil)),
+            TokenKind::Sym(s) | TokenKind::QSym(s) => Ok(Check::Const(op, Atom::Sym(s))),
+            other => {
+                self.i -= 1;
+                self.err(format!("expected a value, found {}", other.describe()))
+            }
+        }
+    }
+
+    fn parse_rhs_value(&mut self) -> Result<RhsValue> {
+        match self.bump() {
+            TokenKind::Var(v) => Ok(RhsValue::Var(v)),
+            TokenKind::Int(i) => Ok(RhsValue::Const(Atom::Int(i))),
+            TokenKind::Float(f) => Ok(RhsValue::Const(Atom::Float(f))),
+            TokenKind::Sym(s) if s == "nil" => Ok(RhsValue::Const(Atom::Nil)),
+            TokenKind::Sym(s) | TokenKind::QSym(s) => Ok(RhsValue::Const(Atom::Sym(s))),
+            other => {
+                self.i -= 1;
+                self.err(format!("expected an RHS value, found {}", other.describe()))
+            }
+        }
+    }
+
+    /// `^attr value` pairs until `)`.
+    fn parse_sets(&mut self) -> Result<Vec<(String, RhsValue)>> {
+        let mut sets = Vec::new();
+        while *self.peek() == TokenKind::Caret {
+            self.bump();
+            let attr = self.symbol("attribute name")?;
+            let value = self.parse_rhs_value()?;
+            sets.push((attr, value));
+        }
+        Ok(sets)
+    }
+
+    fn parse_action(&mut self) -> Result<ActionAst> {
+        self.expect(&TokenKind::LParen)?;
+        let name = self.symbol("action name")?;
+        let action = match name.as_str() {
+            "make" => {
+                let class = self.symbol("class name")?;
+                ActionAst::Make {
+                    class,
+                    sets: self.parse_sets()?,
+                }
+            }
+            "remove" => match self.bump() {
+                TokenKind::Int(i) if i >= 1 => ActionAst::Remove { ce: i as usize },
+                other => {
+                    self.i -= 1;
+                    return self.err(format!(
+                        "remove takes a positive condition-element number, found {}",
+                        other.describe()
+                    ));
+                }
+            },
+            "modify" => match self.bump() {
+                TokenKind::Int(i) if i >= 1 => ActionAst::Modify {
+                    ce: i as usize,
+                    sets: self.parse_sets()?,
+                },
+                other => {
+                    self.i -= 1;
+                    return self.err(format!(
+                        "modify takes a positive condition-element number, found {}",
+                        other.describe()
+                    ));
+                }
+            },
+            "write" => {
+                let mut items = Vec::new();
+                while *self.peek() != TokenKind::RParen {
+                    items.push(self.parse_rhs_value()?);
+                }
+                ActionAst::Write { items }
+            }
+            "halt" => ActionAst::Halt,
+            "bind" => {
+                let var = match self.bump() {
+                    TokenKind::Var(v) => v,
+                    other => {
+                        self.i -= 1;
+                        return self
+                            .err(format!("bind takes a variable, found {}", other.describe()));
+                    }
+                };
+                ActionAst::Bind {
+                    var,
+                    value: self.parse_rhs_value()?,
+                }
+            }
+            "call" => {
+                let proc = self.symbol("procedure name")?;
+                // Skip arguments; resolution rejects `call` anyway.
+                while *self.peek() != TokenKind::RParen {
+                    self.bump();
+                    if *self.peek() == TokenKind::Eof {
+                        return self.err("unterminated call action");
+                    }
+                }
+                ActionAst::Call { proc }
+            }
+            other => return self.err(format!("unknown RHS action `{other}`")),
+        };
+        self.expect(&TokenKind::RParen)?;
+        Ok(action)
+    }
+}
+
+/// Parse OPS5 source into a [`Program`].
+pub fn parse(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    p.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 2 from the paper (PlusOX).
+    const PLUS0X: &str = r#"
+        (literalize Goal Type Object)
+        (literalize Expression Name Arg1 Op Arg2)
+        (p PlusOX
+            (Goal ^Type Simplify ^Object <N>)
+            (Expression ^Name <N> ^Arg1 0 ^Op + ^Arg2 <X>)
+            -->
+            (modify 2 ^Op nil ^Arg1 nil))
+    "#;
+
+    #[test]
+    fn parses_example_2() {
+        let prog = parse(PLUS0X).unwrap();
+        assert_eq!(prog.decls.len(), 2);
+        assert_eq!(prog.decls[0].class, "Goal");
+        assert_eq!(prog.decls[1].attrs, vec!["Name", "Arg1", "Op", "Arg2"]);
+        assert_eq!(prog.rules.len(), 1);
+        let r = &prog.rules[0];
+        assert_eq!(r.name, "PlusOX");
+        assert_eq!(r.lhs.len(), 2);
+        assert_eq!(r.lhs[0].class, "Goal");
+        assert_eq!(
+            r.lhs[0].tests[1].checks,
+            vec![Check::Var(CompOp::Eq, "N".into())]
+        );
+        assert_eq!(
+            r.lhs[1].tests[2].checks,
+            vec![Check::Const(CompOp::Eq, Atom::Sym("+".into()))]
+        );
+        assert_eq!(
+            r.rhs,
+            vec![ActionAst::Modify {
+                ce: 2,
+                sets: vec![
+                    ("Op".into(), RhsValue::Const(Atom::Nil)),
+                    ("Arg1".into(), RhsValue::Const(Atom::Nil)),
+                ]
+            }]
+        );
+    }
+
+    /// Example 3: predicate block with `<` between variables, negation-free.
+    #[test]
+    fn parses_example_3_r1() {
+        let src = r#"
+            (literalize Emp name salary manager dno)
+            (p R1
+                (Emp ^name Mike ^salary <S> ^manager <M>)
+                (Emp ^name <M> ^salary {<S1> < <S>})
+                -->
+                (remove 1))
+        "#;
+        let prog = parse(src).unwrap();
+        let r = &prog.rules[0];
+        assert_eq!(r.lhs[1].tests[1].checks.len(), 2);
+        assert_eq!(
+            r.lhs[1].tests[1].checks[0],
+            Check::Var(CompOp::Eq, "S1".into())
+        );
+        assert_eq!(
+            r.lhs[1].tests[1].checks[1],
+            Check::Var(CompOp::Lt, "S".into())
+        );
+        assert_eq!(r.rhs, vec![ActionAst::Remove { ce: 1 }]);
+    }
+
+    #[test]
+    fn parses_negated_ce_and_make() {
+        let src = r#"
+            (literalize Emp name dno)
+            (literalize Dept dno)
+            (p Orphan
+                (Emp ^name <N> ^dno <D>)
+                -(Dept ^dno <D>)
+                -->
+                (make Emp ^name orphan-marker ^dno <D>)
+                (write found orphan <N>)
+                (halt))
+        "#;
+        let prog = parse(src).unwrap();
+        let r = &prog.rules[0];
+        assert!(!r.lhs[0].negated);
+        assert!(r.lhs[1].negated);
+        assert!(matches!(r.rhs[0], ActionAst::Make { .. }));
+        assert!(matches!(r.rhs[1], ActionAst::Write { .. }));
+        assert_eq!(r.rhs[2], ActionAst::Halt);
+    }
+
+    #[test]
+    fn parses_dont_care_and_comparisons() {
+        let src = r#"
+            (literalize Emp name age)
+            (p Old (Emp ^name * ^age {>= 55 <> 99}) --> (remove 1))
+        "#;
+        let prog = parse(src).unwrap();
+        let tests = &prog.rules[0].lhs[0].tests;
+        assert_eq!(tests[0].checks, vec![Check::DontCare]);
+        assert_eq!(tests[1].checks[0], Check::Const(CompOp::Ge, Atom::Int(55)));
+        assert_eq!(tests[1].checks[1], Check::Const(CompOp::Ne, Atom::Int(99)));
+    }
+
+    #[test]
+    fn parses_bind_and_call() {
+        let src = r#"
+            (literalize A x)
+            (p B (A ^x <V>) --> (bind <W> 5) (call someproc <V> 3))
+        "#;
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.rules[0].rhs[0], ActionAst::Bind { .. }));
+        assert!(matches!(prog.rules[0].rhs[1], ActionAst::Call { .. }));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("(p X -->)").is_err(), "empty LHS");
+        assert!(parse("(literalize)").is_err());
+        assert!(parse("(literalize C)").is_err(), "no attributes");
+        assert!(parse("(p X (C ^a 1)").is_err(), "missing arrow/paren");
+        assert!(parse("(frobnicate)").is_err());
+        assert!(parse("(p X (C ^a 1) --> (explode 1))").is_err());
+        assert!(
+            parse("(p X (C ^a 1) --> (remove 0))").is_err(),
+            "ce numbers are 1-based"
+        );
+        assert!(
+            parse("(p X (C ^a {< *}) --> (halt))").is_err(),
+            "op on don't-care"
+        );
+    }
+
+    #[test]
+    fn multiple_rules_and_comments() {
+        let src = r#"
+            ; declarations
+            (literalize A x y)
+            (p R1 (A ^x 1) --> (remove 1)) ; first
+            (p R2 (A ^y 2) --> (remove 1)) ; second
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.rules.len(), 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! Pretty-printing: resolved rules back to OPS5 source.
+//!
+//! Useful for dumping generated rule bases, diffing rule sets, and
+//! round-trip testing the compiler (`compile(print(rs)) == rs` up to
+//! variable naming — the printer reuses the IR's recorded binding names,
+//! so the round trip is exact).
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use relstore::{CompOp, Value};
+
+use crate::ir::{Action, CondElem, RhsVal, Rule, RuleSet};
+
+/// Quote a symbol when it would not re-lex as a plain symbol.
+fn sym(s: &str) -> String {
+    let plain = !s.is_empty()
+        && s.chars().all(|c| {
+            c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '+' | '.' | '/' | '!' | '?')
+        })
+        && s != "*"
+        && s != "nil"
+        && s.parse::<i64>().is_err()
+        && s.parse::<f64>().is_err();
+    if plain {
+        s.to_string()
+    } else {
+        format!("'{s}'")
+    }
+}
+
+fn value(v: &Value) -> String {
+    match v {
+        Value::Null => "nil".into(),
+        Value::Bool(b) => sym(&b.to_string()),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            let s = f.to_string();
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Str(s) => sym(s),
+    }
+}
+
+fn op(o: CompOp) -> &'static str {
+    match o {
+        CompOp::Eq => "",
+        CompOp::Ne => "<> ",
+        CompOp::Lt => "< ",
+        CompOp::Le => "<= ",
+        CompOp::Gt => "> ",
+        CompOp::Ge => ">= ",
+    }
+}
+
+/// Variable name for a binding site, from the IR's recorded names.
+fn binding_names(rule: &Rule) -> HashMap<(usize, usize), String> {
+    let mut map = HashMap::new();
+    for (ci, ce) in rule.ces.iter().enumerate() {
+        for (attr, name) in &ce.bindings {
+            map.entry((ci, *attr)).or_insert_with(|| name.clone());
+        }
+    }
+    map
+}
+
+fn print_ce(rules: &RuleSet, rule: &Rule, ci: usize, ce: &CondElem, out: &mut String) {
+    let names = binding_names(rule);
+    let class = rules.class(ce.class);
+    if ce.negated {
+        out.push('-');
+    }
+    write!(out, "({}", class.name).unwrap();
+    // Collect checks per attribute, in attribute order: binding, constants,
+    // intra-CE tests, joins.
+    for attr in 0..class.arity() {
+        let mut checks: Vec<String> = Vec::new();
+        if let Some(name) = names.get(&(ci, attr)) {
+            checks.push(format!("<{name}>"));
+        }
+        for sel in ce.alpha.tests.iter().filter(|s| s.attr == attr) {
+            checks.push(format!("{}{}", op(sel.op), value(&sel.value)));
+        }
+        for t in ce.alpha.attr_tests.iter().filter(|t| t.left == attr) {
+            // Reference the binding variable of the right attribute.
+            let name = names
+                .get(&(ci, t.right))
+                .expect("intra-CE test references a binding");
+            checks.push(format!("{}<{name}>", op(t.op)));
+        }
+        for j in ce.joins.iter().filter(|j| j.my_attr == attr) {
+            let name = rule.ces[j.other_ce]
+                .bindings
+                .iter()
+                .find(|(a, _)| *a == j.other_attr)
+                .map(|(_, n)| n.clone())
+                .expect("join references a binding");
+            checks.push(format!("{}<{name}>", op(j.op)));
+        }
+        match checks.len() {
+            0 => {}
+            1 => write!(out, " ^{} {}", class.attrs[attr], checks[0]).unwrap(),
+            _ => write!(out, " ^{} {{{}}}", class.attrs[attr], checks.join(" ")).unwrap(),
+        }
+    }
+    out.push(')');
+}
+
+fn rhs_val(rule: &Rule, v: &RhsVal, locals: &HashMap<usize, String>) -> String {
+    match v {
+        RhsVal::Const(c) => value(c),
+        RhsVal::Field { ce, attr } => {
+            let name = rule.ces[*ce]
+                .bindings
+                .iter()
+                .find(|(a, _)| a == attr)
+                .map(|(_, n)| n.clone())
+                .expect("field references a binding");
+            format!("<{name}>")
+        }
+        RhsVal::Local(slot) => format!("<{}>", locals[slot]),
+    }
+}
+
+fn print_action(
+    rules: &RuleSet,
+    rule: &Rule,
+    a: &Action,
+    locals: &HashMap<usize, String>,
+    out: &mut String,
+) {
+    match a {
+        Action::Make { class, values } => {
+            write!(out, "(make {}", rules.class(*class).name).unwrap();
+            for (attr, v) in values.iter().enumerate() {
+                if matches!(v, RhsVal::Const(Value::Null)) {
+                    continue; // unset attributes default to nil
+                }
+                write!(
+                    out,
+                    " ^{} {}",
+                    rules.class(*class).attrs[attr],
+                    rhs_val(rule, v, locals)
+                )
+                .unwrap();
+            }
+            out.push(')');
+        }
+        Action::Remove { ce } => write!(out, "(remove {})", ce + 1).unwrap(),
+        Action::Modify { ce, sets } => {
+            write!(out, "(modify {}", ce + 1).unwrap();
+            let class = rule.ces[*ce].class;
+            for (attr, v) in sets {
+                write!(
+                    out,
+                    " ^{} {}",
+                    rules.class(class).attrs[*attr],
+                    rhs_val(rule, v, locals)
+                )
+                .unwrap();
+            }
+            out.push(')');
+        }
+        Action::Write(items) => {
+            out.push_str("(write");
+            for v in items {
+                write!(out, " {}", rhs_val(rule, v, locals)).unwrap();
+            }
+            out.push(')');
+        }
+        Action::Halt => out.push_str("(halt)"),
+        Action::Bind { slot, value } => {
+            write!(
+                out,
+                "(bind <{}> {})",
+                locals[slot],
+                rhs_val(rule, value, locals)
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// Render a whole rule set back to OPS5 source.
+pub fn print(rules: &RuleSet) -> String {
+    let mut out = String::new();
+    for c in &rules.classes {
+        write!(out, "(literalize {}", c.name).unwrap();
+        for a in &c.attrs {
+            write!(out, " {a}").unwrap();
+        }
+        out.push_str(")\n");
+    }
+    for rule in &rules.rules {
+        // Local slot names: synthesized (source names are not kept).
+        let locals: HashMap<usize, String> =
+            (0..rule.locals).map(|s| (s, format!("L{s}"))).collect();
+        writeln!(out, "(p {}", sym(&rule.name)).unwrap();
+        for (ci, ce) in rule.ces.iter().enumerate() {
+            out.push_str("    ");
+            print_ce(rules, rule, ci, ce, &mut out);
+            out.push('\n');
+        }
+        out.push_str("    -->\n");
+        for a in &rule.actions {
+            out.push_str("    ");
+            print_action(rules, rule, a, &locals, &mut out);
+            out.push('\n');
+        }
+        out.push_str(")\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let rs = crate::compile(src).expect("original compiles");
+        let printed = print(&rs);
+        let rs2 = crate::compile(&printed)
+            .unwrap_or_else(|e| panic!("printed source fails to compile: {e}\n---\n{printed}"));
+        assert_eq!(rs, rs2, "round trip differs:\n---\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_paper_examples() {
+        roundtrip(
+            r#"
+            (literalize Goal Type Object)
+            (literalize Expression Name Arg1 Op Arg2)
+            (p PlusOX
+                (Goal ^Type Simplify ^Object <N>)
+                (Expression ^Name <N> ^Arg1 0 ^Op + ^Arg2 <X>)
+                -->
+                (modify 2 ^Op nil ^Arg1 nil))
+            (p TimesOX
+                (Goal ^Type Simplify ^Object <N>)
+                (Expression ^Name <N> ^Arg1 0 ^Op '*' ^Arg2 <X>)
+                -->
+                (modify 2 ^Op nil ^Arg2 nil))
+            "#,
+        );
+        roundtrip(
+            r#"
+            (literalize Emp name salary manager dno)
+            (literalize Dept dno dname floor manager)
+            (p R1
+                (Emp ^name Mike ^salary <S> ^manager <M>)
+                (Emp ^name <M> ^salary {<S1> < <S>})
+                -->
+                (remove 1))
+            (p R2
+                (Emp ^dno <D>)
+                (Dept ^dno <D> ^dname Toy ^floor 1)
+                -->
+                (remove 1))
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_negation_and_rhs_forms() {
+        roundtrip(
+            r#"
+            (literalize Emp name dno)
+            (literalize Dept dno)
+            (p Orphan
+                (Emp ^name <N> ^dno <D>)
+                -(Dept ^dno <D>)
+                -->
+                (bind <W> 5)
+                (make Emp ^name <N> ^dno <W>)
+                (write found <N> 'with spaces')
+                (halt))
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_intra_ce_and_ranges() {
+        roundtrip(
+            r#"
+            (literalize Emp salary budget age)
+            (p Over (Emp ^salary <S> ^budget {> <S>} ^age {>= 55 <> 99}) --> (remove 1))
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_generated_rulebases() {
+        // The synthetic generator exercises many shapes at once.
+        for seed in [1u64, 2, 3] {
+            let src = generated(seed);
+            roundtrip(&src);
+        }
+    }
+
+    fn generated(seed: u64) -> String {
+        // A tiny local generator to avoid a cyclic dev-dependency on the
+        // workload crate.
+        let mut s = String::from("(literalize A x y)(literalize B x y)\n");
+        for r in 0..6 {
+            let c = (seed + r) % 3;
+            s.push_str(&format!(
+                "(p R{r} (A ^x <V{r}> ^y {c}) (B ^x <V{r}>) --> (remove 1))\n"
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn symbols_quoted_when_needed() {
+        assert_eq!(sym("Toy"), "Toy");
+        assert_eq!(sym("*"), "'*'");
+        assert_eq!(sym("with space"), "'with space'");
+        assert_eq!(sym("nil"), "'nil'");
+        assert_eq!(sym("42"), "'42'");
+        assert_eq!(value(&Value::Null), "nil");
+        assert_eq!(value(&Value::Float(2.0)), "2.0");
+    }
+}

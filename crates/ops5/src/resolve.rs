@@ -1,0 +1,655 @@
+//! Resolution: AST → normalized IR.
+//!
+//! The central job is variable analysis. A variable's *binding occurrence*
+//! is its first `=`-check in a positive condition element (scanning CEs
+//! left to right). Every other occurrence turns into a test:
+//!
+//! * same CE → intra-tuple [`relstore::AttrTest`] (an alpha test);
+//! * different CE → [`JoinTest`], attached to the *later* positive CE (so
+//!   positive joins always point backwards), or to the negated CE itself
+//!   (negated CEs may reference any positive binding — the executor
+//!   evaluates them as NOT EXISTS);
+//! * variables whose only `=`-occurrence is inside a negated CE are local
+//!   to that CE; using them anywhere else is an error.
+
+use std::collections::HashMap;
+
+use relstore::{AttrTest, CompOp, Restriction, Selection};
+
+use crate::ast::{ActionAst, Check, CondElemAst, Program, RhsValue};
+use crate::error::{Error, Result};
+use crate::ir::{Action, ClassDef, ClassId, CondElem, JoinTest, RhsVal, Rule, RuleId, RuleSet};
+
+/// Where a variable is bound.
+#[derive(Debug, Clone, Copy)]
+struct BindSite {
+    ce: usize,
+    attr: usize,
+    negated: bool,
+}
+
+/// Compile a parsed program into a rule set.
+pub fn resolve(program: &Program) -> Result<RuleSet> {
+    let mut classes: Vec<ClassDef> = Vec::new();
+    for d in &program.decls {
+        if classes.iter().any(|c| c.name == d.class) {
+            return Err(Error::DuplicateClass(d.class.clone()));
+        }
+        classes.push(ClassDef {
+            name: d.class.clone(),
+            attrs: d.attrs.clone(),
+        });
+    }
+    let rs_classes = classes;
+    let mut rules = Vec::with_capacity(program.rules.len());
+    for (i, p) in program.rules.iter().enumerate() {
+        if program.rules[..i].iter().any(|q| q.name == p.name) {
+            return Err(Error::DuplicateRule(p.name.clone()));
+        }
+        rules.push(resolve_rule(&rs_classes, RuleId(i), p)?);
+    }
+    Ok(RuleSet {
+        classes: rs_classes,
+        rules,
+    })
+}
+
+fn class_id(classes: &[ClassDef], rule: &str, name: &str) -> Result<ClassId> {
+    classes
+        .iter()
+        .position(|c| c.name == name)
+        .map(ClassId)
+        .ok_or_else(|| Error::UnknownClass {
+            rule: rule.into(),
+            class: name.into(),
+        })
+}
+
+fn attr_idx(classes: &[ClassDef], rule: &str, class: ClassId, attr: &str) -> Result<usize> {
+    let def = &classes[class.0];
+    def.attrs
+        .iter()
+        .position(|a| a == attr)
+        .ok_or_else(|| Error::UnknownAttr {
+            rule: rule.into(),
+            class: def.name.clone(),
+            attr: attr.into(),
+        })
+}
+
+fn resolve_rule(classes: &[ClassDef], id: RuleId, p: &crate::ast::ProductionAst) -> Result<Rule> {
+    let rule_name = &p.name;
+    if !p.lhs.iter().any(|ce| !ce.negated) {
+        return Err(Error::NoPositiveCondition(rule_name.clone()));
+    }
+    // Resolve class ids and attribute indexes up front.
+    let ce_class: Vec<ClassId> = p
+        .lhs
+        .iter()
+        .map(|ce| class_id(classes, rule_name, &ce.class))
+        .collect::<Result<_>>()?;
+
+    // Pass A: binding occurrences from positive CEs, in order.
+    let mut binds: HashMap<&str, BindSite> = HashMap::new();
+    for (ci, ce) in p.lhs.iter().enumerate() {
+        if ce.negated {
+            continue;
+        }
+        for t in &ce.tests {
+            let attr = attr_idx(classes, rule_name, ce_class[ci], &t.attr)?;
+            for check in &t.checks {
+                if let Check::Var(CompOp::Eq, name) = check {
+                    binds.entry(name.as_str()).or_insert(BindSite {
+                        ce: ci,
+                        attr,
+                        negated: false,
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass B: build alpha restrictions and join tests.
+    let mut ces: Vec<CondElem> = p
+        .lhs
+        .iter()
+        .zip(&ce_class)
+        .map(|(ce, &class)| CondElem {
+            class,
+            negated: ce.negated,
+            alpha: Restriction::default(),
+            joins: Vec::new(),
+            bindings: Vec::new(),
+        })
+        .collect();
+
+    for (ci, ce) in p.lhs.iter().enumerate() {
+        // Negated-CE-local bindings, discovered as we scan this CE.
+        let mut local_binds: HashMap<&str, usize> = HashMap::new();
+        resolve_ce(
+            classes,
+            rule_name,
+            ci,
+            ce,
+            ce_class[ci],
+            &binds,
+            &mut local_binds,
+            &mut ces,
+        )?;
+    }
+
+    // RHS.
+    let mut locals: HashMap<&str, usize> = HashMap::new();
+    let mut actions = Vec::with_capacity(p.rhs.len());
+    for a in &p.rhs {
+        actions.push(resolve_action(
+            classes,
+            rule_name,
+            &p.lhs,
+            a,
+            &binds,
+            &mut locals,
+        )?);
+    }
+
+    Ok(Rule {
+        id,
+        name: rule_name.clone(),
+        ces,
+        actions,
+        locals: locals.len(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_ce<'a>(
+    classes: &[ClassDef],
+    rule_name: &str,
+    ci: usize,
+    ce: &'a CondElemAst,
+    class: ClassId,
+    binds: &HashMap<&str, BindSite>,
+    local_binds: &mut HashMap<&'a str, usize>,
+    ces: &mut [CondElem],
+) -> Result<()> {
+    for t in &ce.tests {
+        let attr = attr_idx(classes, rule_name, class, &t.attr)?;
+        for check in &t.checks {
+            match check {
+                Check::DontCare => {}
+                Check::Const(op, atom) => {
+                    ces[ci]
+                        .alpha
+                        .tests
+                        .push(Selection::new(attr, *op, atom.to_value()));
+                }
+                Check::Var(op, name) => {
+                    let site = binds.get(name.as_str()).copied();
+                    match site {
+                        // Bound in a positive CE.
+                        Some(b) if !b.negated => {
+                            if b.ce == ci {
+                                if b.attr == attr
+                                    && *op == CompOp::Eq
+                                    && !ces[ci]
+                                        .bindings
+                                        .iter()
+                                        .any(|(a, n)| *a == attr && n == name)
+                                {
+                                    // The binding occurrence itself.
+                                    ces[ci].bindings.push((attr, name.clone()));
+                                } else {
+                                    ces[ci]
+                                        .alpha
+                                        .attr_tests
+                                        .push(AttrTest::new(attr, *op, b.attr));
+                                }
+                            } else if ce.negated || b.ce < ci {
+                                // Backward join, or a negated CE referencing
+                                // any positive binding.
+                                ces[ci].joins.push(JoinTest {
+                                    my_attr: attr,
+                                    op: *op,
+                                    other_ce: b.ce,
+                                    other_attr: b.attr,
+                                });
+                            } else {
+                                // Forward reference from a positive CE:
+                                // attach the flipped test to the binding CE
+                                // so positive joins always point backwards.
+                                ces[b.ce].joins.push(JoinTest {
+                                    my_attr: b.attr,
+                                    op: op.flip(),
+                                    other_ce: ci,
+                                    other_attr: attr,
+                                });
+                            }
+                        }
+                        // Not bound positively.
+                        _ => {
+                            if ce.negated {
+                                if let Some(&battr) = local_binds.get(name.as_str()) {
+                                    ces[ci]
+                                        .alpha
+                                        .attr_tests
+                                        .push(AttrTest::new(attr, *op, battr));
+                                } else if *op == CompOp::Eq {
+                                    local_binds.insert(name, attr);
+                                    ces[ci].bindings.push((attr, name.clone()));
+                                } else {
+                                    return Err(Error::UnboundVariable {
+                                        rule: rule_name.into(),
+                                        var: name.clone(),
+                                    });
+                                }
+                            } else {
+                                return Err(Error::UnboundVariable {
+                                    rule: rule_name.into(),
+                                    var: name.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn resolve_rhs_value<'a>(
+    rule_name: &str,
+    v: &'a RhsValue,
+    binds: &HashMap<&str, BindSite>,
+    locals: &HashMap<&'a str, usize>,
+) -> Result<RhsVal> {
+    match v {
+        RhsValue::Const(a) => Ok(RhsVal::Const(a.to_value())),
+        RhsValue::Var(name) => {
+            if let Some(&slot) = locals.get(name.as_str()) {
+                return Ok(RhsVal::Local(slot));
+            }
+            match binds.get(name.as_str()) {
+                Some(b) if !b.negated => Ok(RhsVal::Field {
+                    ce: b.ce,
+                    attr: b.attr,
+                }),
+                Some(_) => Err(Error::NegatedBinding {
+                    rule: rule_name.into(),
+                    var: name.clone(),
+                }),
+                None => Err(Error::UnboundVariable {
+                    rule: rule_name.into(),
+                    var: name.clone(),
+                }),
+            }
+        }
+    }
+}
+
+fn resolve_action<'a>(
+    classes: &[ClassDef],
+    rule_name: &str,
+    lhs: &[CondElemAst],
+    a: &'a ActionAst,
+    binds: &HashMap<&str, BindSite>,
+    locals: &mut HashMap<&'a str, usize>,
+) -> Result<Action> {
+    let check_ce = |ce_1based: usize| -> Result<usize> {
+        let ce = ce_1based - 1;
+        if ce >= lhs.len() {
+            return Err(Error::BadCeRef {
+                rule: rule_name.into(),
+                ce: ce_1based,
+                why: "out of range",
+            });
+        }
+        if lhs[ce].negated {
+            return Err(Error::BadCeRef {
+                rule: rule_name.into(),
+                ce: ce_1based,
+                why: "references a negated condition element",
+            });
+        }
+        Ok(ce)
+    };
+    match a {
+        ActionAst::Make { class, sets } => {
+            let cid = class_id(classes, rule_name, class)?;
+            let arity = classes[cid.0].arity();
+            let mut values = vec![RhsVal::Const(relstore::Value::Null); arity];
+            for (attr, v) in sets {
+                let ai = attr_idx(classes, rule_name, cid, attr)?;
+                values[ai] = resolve_rhs_value(rule_name, v, binds, locals)?;
+            }
+            Ok(Action::Make { class: cid, values })
+        }
+        ActionAst::Remove { ce } => Ok(Action::Remove { ce: check_ce(*ce)? }),
+        ActionAst::Modify { ce, sets } => {
+            let ce = check_ce(*ce)?;
+            let cid = class_id(classes, rule_name, &lhs[ce].class)?;
+            let mut resolved = Vec::with_capacity(sets.len());
+            for (attr, v) in sets {
+                let ai = attr_idx(classes, rule_name, cid, attr)?;
+                resolved.push((ai, resolve_rhs_value(rule_name, v, binds, locals)?));
+            }
+            Ok(Action::Modify { ce, sets: resolved })
+        }
+        ActionAst::Write { items } => {
+            let vals = items
+                .iter()
+                .map(|v| resolve_rhs_value(rule_name, v, binds, locals))
+                .collect::<Result<_>>()?;
+            Ok(Action::Write(vals))
+        }
+        ActionAst::Halt => Ok(Action::Halt),
+        ActionAst::Bind { var, value } => {
+            let value = resolve_rhs_value(rule_name, value, binds, locals)?;
+            let next = locals.len();
+            let slot = *locals.entry(var.as_str()).or_insert(next);
+            Ok(Action::Bind { slot, value })
+        }
+        ActionAst::Call { proc } => Err(Error::UnsupportedAction {
+            rule: rule_name.into(),
+            action: format!("call {proc}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use relstore::Value;
+
+    fn compile(src: &str) -> Result<RuleSet> {
+        resolve(&parse(src).expect("parse"))
+    }
+
+    /// Example 3 rule R1 from the paper.
+    #[test]
+    fn resolves_r1_joins_and_intra_tests() {
+        let rs = compile(
+            r#"
+            (literalize Emp name salary manager dno)
+            (p R1
+                (Emp ^name Mike ^salary <S> ^manager <M>)
+                (Emp ^name <M> ^salary {<S1> < <S>})
+                -->
+                (remove 1))
+            "#,
+        )
+        .unwrap();
+        let r = &rs.rules[0];
+        // CE1: one const test (name = Mike), binds S and M.
+        assert_eq!(r.ces[0].alpha.tests, vec![Selection::eq(0, "Mike")]);
+        assert_eq!(r.ces[0].bindings.len(), 2);
+        assert!(r.ces[0].joins.is_empty());
+        // CE2: joins name=<M> (to CE1.manager) and salary < <S> (CE1.salary);
+        // <S1> is a fresh binding on the same attribute.
+        assert_eq!(r.ces[1].joins.len(), 2);
+        assert_eq!(
+            r.ces[1].joins[0],
+            JoinTest {
+                my_attr: 0,
+                op: CompOp::Eq,
+                other_ce: 0,
+                other_attr: 2
+            }
+        );
+        assert_eq!(
+            r.ces[1].joins[1],
+            JoinTest {
+                my_attr: 1,
+                op: CompOp::Lt,
+                other_ce: 0,
+                other_attr: 1
+            }
+        );
+        assert_eq!(r.actions, vec![Action::Remove { ce: 0 }]);
+    }
+
+    /// Example 4's Rule-1: three-way join via <x>, <y>, <z>.
+    #[test]
+    fn resolves_example_4_three_way_join() {
+        let rs = compile(
+            r#"
+            (literalize A a1 a2 a3)
+            (literalize B b1 b2 b3)
+            (literalize C c1 c2 c3)
+            (p Rule-1
+                (A ^a1 <x> ^a2 a ^a3 <z>)
+                (B ^b1 <x> ^b2 <y> ^b3 b)
+                (C ^c1 c ^c2 <y> ^c3 <z>)
+                -->
+                (remove 1))
+            "#,
+        )
+        .unwrap();
+        let r = &rs.rules[0];
+        assert_eq!(r.ces.len(), 3);
+        // B joins A on x; C joins B on y and A on z.
+        assert_eq!(
+            r.ces[1].joins,
+            vec![JoinTest {
+                my_attr: 0,
+                op: CompOp::Eq,
+                other_ce: 0,
+                other_attr: 0
+            }]
+        );
+        assert_eq!(
+            r.ces[2].joins,
+            vec![
+                JoinTest {
+                    my_attr: 1,
+                    op: CompOp::Eq,
+                    other_ce: 1,
+                    other_attr: 1
+                },
+                JoinTest {
+                    my_attr: 2,
+                    op: CompOp::Eq,
+                    other_ce: 0,
+                    other_attr: 2
+                },
+            ]
+        );
+        assert_eq!(r.ces[0].alpha.tests, vec![Selection::eq(1, "a")]);
+    }
+
+    #[test]
+    fn intra_ce_variable_becomes_attr_test() {
+        let rs = compile(
+            r#"
+            (literalize Emp salary budget)
+            (p Over (Emp ^salary <S> ^budget {> <S>}) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let ce = &rs.rules[0].ces[0];
+        assert_eq!(ce.alpha.attr_tests, vec![AttrTest::new(1, CompOp::Gt, 0)]);
+    }
+
+    #[test]
+    fn negated_ce_and_local_variables() {
+        let rs = compile(
+            r#"
+            (literalize Emp name dno)
+            (literalize Dept dno floor)
+            (p Orphan
+                (Emp ^name <N> ^dno <D>)
+                -(Dept ^dno <D> ^floor <F>)
+                -->
+                (write <N>))
+            "#,
+        )
+        .unwrap();
+        let r = &rs.rules[0];
+        assert!(r.ces[1].negated);
+        // <D> joins to the positive CE; <F> is local to the negated CE.
+        assert_eq!(r.ces[1].joins.len(), 1);
+        assert_eq!(r.ces[1].bindings.len(), 1);
+        assert_eq!(
+            r.actions[0],
+            Action::Write(vec![RhsVal::Field { ce: 0, attr: 0 }])
+        );
+    }
+
+    #[test]
+    fn negated_binding_cannot_leak() {
+        let err = compile(
+            r#"
+            (literalize Emp name)
+            (literalize Dept dno)
+            (p Bad (Emp ^name <N>) -(Dept ^dno <D>) --> (write <D>))
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::NegatedBinding { .. } | Error::UnboundVariable { .. }
+        ));
+    }
+
+    #[test]
+    fn forward_reference_flips_to_later_ce() {
+        // CE1 tests <D> with <>, CE2 binds <D>: the join attaches to CE2.
+        let rs = compile(
+            r#"
+            (literalize A x)
+            (literalize B y)
+            (p Fwd (A ^x {<> <D>}) (B ^y <D>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let r = &rs.rules[0];
+        assert!(r.ces[0].joins.is_empty());
+        assert_eq!(
+            r.ces[1].joins,
+            vec![JoinTest {
+                my_attr: 0,
+                op: CompOp::Ne,
+                other_ce: 0,
+                other_attr: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn make_fills_unset_attrs_with_null() {
+        let rs = compile(
+            r#"
+            (literalize A x y z)
+            (p M (A ^x <V>) --> (make A ^z <V>))
+            "#,
+        )
+        .unwrap();
+        let Action::Make { values, .. } = &rs.rules[0].actions[0] else {
+            panic!()
+        };
+        assert_eq!(values[0], RhsVal::Const(Value::Null));
+        assert_eq!(values[1], RhsVal::Const(Value::Null));
+        assert_eq!(values[2], RhsVal::Field { ce: 0, attr: 0 });
+    }
+
+    #[test]
+    fn bind_creates_local_slots() {
+        let rs = compile(
+            r#"
+            (literalize A x)
+            (p B (A ^x <V>) --> (bind <W> 5) (write <W> <V>))
+            "#,
+        )
+        .unwrap();
+        let r = &rs.rules[0];
+        assert_eq!(r.locals, 1);
+        assert_eq!(
+            r.actions[0],
+            Action::Bind {
+                slot: 0,
+                value: RhsVal::Const(Value::Int(5))
+            }
+        );
+        assert_eq!(
+            r.actions[1],
+            Action::Write(vec![RhsVal::Local(0), RhsVal::Field { ce: 0, attr: 0 }])
+        );
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(
+            compile("(literalize A x)(literalize A y)(p R (A ^x 1) --> (halt))"),
+            Err(Error::DuplicateClass(_))
+        ));
+        assert!(matches!(
+            compile("(literalize A x)(p R (A ^x 1) --> (halt))(p R (A ^x 2) --> (halt))"),
+            Err(Error::DuplicateRule(_))
+        ));
+        assert!(matches!(
+            compile("(p R (Ghost ^x 1) --> (halt))"),
+            Err(Error::UnknownClass { .. })
+        ));
+        assert!(matches!(
+            compile("(literalize A x)(p R (A ^nope 1) --> (halt))"),
+            Err(Error::UnknownAttr { .. })
+        ));
+        assert!(matches!(
+            compile("(literalize A x)(p R -(A ^x 1) --> (halt))"),
+            Err(Error::NoPositiveCondition(_))
+        ));
+        assert!(matches!(
+            compile("(literalize A x)(p R (A ^x 1) --> (remove 2))"),
+            Err(Error::BadCeRef { .. })
+        ));
+        assert!(matches!(
+            compile("(literalize A x)(literalize B y)(p R (A ^x <V>) -(B ^y 1) --> (remove 2))"),
+            Err(Error::BadCeRef { .. })
+        ));
+        assert!(matches!(
+            compile("(literalize A x)(p R (A ^x {< <V>}) --> (halt))"),
+            Err(Error::UnboundVariable { .. })
+        ));
+        assert!(matches!(
+            compile("(literalize A x)(p R (A ^x 1) --> (write <Z>))"),
+            Err(Error::UnboundVariable { .. })
+        ));
+        assert!(matches!(
+            compile("(literalize A x)(p R (A ^x 1) --> (call foo))"),
+            Err(Error::UnsupportedAction { .. })
+        ));
+    }
+
+    /// Example 2 end-to-end: both rules compile; the Goal/Expression join
+    /// through <N> lands on CE2.
+    #[test]
+    fn resolves_example_2_pair() {
+        let rs = compile(
+            r#"
+            (literalize Goal Type Object)
+            (literalize Expression Name Arg1 Op Arg2)
+            (p PlusOX
+                (Goal ^Type Simplify ^Object <N>)
+                (Expression ^Name <N> ^Arg1 0 ^Op + ^Arg2 <X>)
+                -->
+                (modify 2 ^Op nil ^Arg1 nil))
+            (p TimesOX
+                (Goal ^Type Simplify ^Object <N>)
+                (Expression ^Name <N> ^Arg1 0 ^Op '*' ^Arg2 <X>)
+                -->
+                (modify 2 ^Op nil ^Arg2 nil))
+            "#,
+        )
+        .unwrap();
+        assert_eq!(rs.rules.len(), 2);
+        for r in &rs.rules {
+            assert_eq!(r.ces[1].joins.len(), 1);
+            assert_eq!(r.ces[1].joins[0].other_ce, 0);
+            assert_eq!(r.ces[1].joins[0].other_attr, 1); // Goal.Object
+            assert_eq!(r.ces[1].alpha.tests.len(), 2); // Arg1 0, Op +/*
+        }
+        assert_eq!(rs.rules[0].id, RuleId(0));
+        assert_eq!(rs.rules[1].name, "TimesOX");
+    }
+}

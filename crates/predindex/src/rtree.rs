@@ -1,0 +1,695 @@
+//! Guttman R-tree over predicate rectangles (quadratic split).
+//!
+//! \[STON86a\] (§2.3) proposes indexing rule conditions with spatial trees so
+//! that "the efficient search and detection of conditions (LHS's) affected
+//! by the insertion of a specific tuple" becomes a point query. Node
+//! navigation uses numeric bounding boxes; exact interval checks run at the
+//! leaves, so answers are exact even though navigation keys are lossy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use relstore::{Tuple, Value};
+
+use crate::rect::{key_point, NumRect, Rect};
+use crate::ConditionIndex;
+
+const MAX_ENTRIES: usize = 8;
+const MIN_ENTRIES: usize = 3;
+
+#[derive(Debug)]
+struct Entry<T> {
+    rect: Rect,
+    bbox: NumRect,
+    payload: T,
+}
+
+#[derive(Debug)]
+enum NodeKind {
+    Leaf(Vec<usize>),  // entry ids
+    Inner(Vec<usize>), // node ids
+}
+
+#[derive(Debug)]
+struct Node {
+    bbox: NumRect,
+    kind: NodeKind,
+}
+
+/// An R-tree mapping predicate rectangles to payloads.
+#[derive(Debug)]
+pub struct RTree<T> {
+    arity: usize,
+    nodes: Vec<Option<Node>>,
+    entries: Vec<Option<Entry<T>>>,
+    root: usize,
+    len: usize,
+    visits: AtomicU64,
+}
+
+impl<T: Clone + PartialEq> RTree<T> {
+    /// Bulk-load with Sort-Tile-Recursive (STR) packing: sort by the
+    /// first dimension's center, tile into vertical slabs, sort each slab
+    /// by the second dimension, pack leaves, then build upper levels the
+    /// same way. Produces near-full nodes and far better query clustering
+    /// than one-at-a-time insertion — the right way to load a *large*
+    /// rule base (the paper's title concern) at startup.
+    pub fn bulk_load(arity: usize, items: Vec<(Rect, T)>) -> Self {
+        let mut tree = RTree::new(arity);
+        if items.is_empty() {
+            return tree;
+        }
+        // Materialize entries.
+        let mut eids: Vec<usize> = Vec::with_capacity(items.len());
+        for (rect, payload) in items {
+            debug_assert_eq!(rect.arity(), arity);
+            let bbox = rect.num_bbox();
+            tree.entries.push(Some(Entry {
+                rect,
+                bbox,
+                payload,
+            }));
+            eids.push(tree.entries.len() - 1);
+        }
+        tree.len = eids.len();
+
+        let center = |tree: &RTree<T>, e: usize, d: usize| -> f64 {
+            let b = tree.entry_bbox(e);
+            let (lo, hi) = (b.lo[d].clamp(-1e20, 1e20), b.hi[d].clamp(-1e20, 1e20));
+            (lo + hi) / 2.0
+        };
+        // STR tiling of the entry ids into leaf groups.
+        let groups = Self::str_tile(&mut eids, |e, d| center(&tree, *e, d), arity);
+        let mut level: Vec<usize> = groups
+            .into_iter()
+            .map(|g| {
+                let id = tree.alloc_node(Node {
+                    bbox: NumRect::empty(arity),
+                    kind: NodeKind::Leaf(g),
+                });
+                tree.recompute_bbox(id);
+                id
+            })
+            .collect();
+        // Build inner levels until one root remains.
+        while level.len() > 1 {
+            let center_n = |tree: &RTree<T>, n: usize, d: usize| -> f64 {
+                let b = &tree.node(n).bbox;
+                (b.lo[d].clamp(-1e20, 1e20) + b.hi[d].clamp(-1e20, 1e20)) / 2.0
+            };
+            let groups = Self::str_tile(&mut level, |n, d| center_n(&tree, *n, d), arity);
+            level = groups
+                .into_iter()
+                .map(|g| {
+                    let id = tree.alloc_node(Node {
+                        bbox: NumRect::empty(arity),
+                        kind: NodeKind::Inner(g),
+                    });
+                    tree.recompute_bbox(id);
+                    id
+                })
+                .collect();
+        }
+        // Replace the pre-allocated empty root.
+        tree.root = level[0];
+        tree
+    }
+
+    /// Tile `ids` into groups of at most [`MAX_ENTRIES`], STR-style:
+    /// sort by dim 0 center, slice into ⌈√(n/M)⌉ slabs, sort each slab by
+    /// dim 1 (when present), chunk.
+    fn str_tile<K: Copy>(
+        ids: &mut [K],
+        key: impl Fn(&K, usize) -> f64,
+        arity: usize,
+    ) -> Vec<Vec<K>> {
+        let n = ids.len();
+        if n <= MAX_ENTRIES {
+            return vec![ids.to_vec()];
+        }
+        ids.sort_by(|a, b| key(a, 0).total_cmp(&key(b, 0)));
+        let leaves = n.div_ceil(MAX_ENTRIES);
+        let slabs = (leaves as f64).sqrt().ceil() as usize;
+        let per_slab = n.div_ceil(slabs);
+        let mut groups = Vec::with_capacity(leaves);
+        for slab in ids.chunks_mut(per_slab) {
+            if arity > 1 {
+                slab.sort_by(|a, b| key(a, 1).total_cmp(&key(b, 1)));
+            }
+            for chunk in slab.chunks(MAX_ENTRIES) {
+                groups.push(chunk.to_vec());
+            }
+        }
+        groups
+    }
+
+    /// Create a new, empty instance.
+    pub fn new(arity: usize) -> Self {
+        RTree {
+            arity,
+            nodes: vec![Some(Node {
+                bbox: NumRect::empty(arity),
+                kind: NodeKind::Leaf(Vec::new()),
+            })],
+            entries: Vec::new(),
+            root: 0,
+            len: 0,
+            visits: AtomicU64::new(0),
+        }
+    }
+
+    fn alloc_node(&mut self, node: Node) -> usize {
+        self.nodes.push(Some(node));
+        self.nodes.len() - 1
+    }
+
+    fn node(&self, id: usize) -> &Node {
+        self.nodes[id].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, id: usize) -> &mut Node {
+        self.nodes[id].as_mut().expect("live node")
+    }
+
+    fn entry_bbox(&self, eid: usize) -> &NumRect {
+        &self.entries[eid].as_ref().expect("live entry").bbox
+    }
+
+    fn recompute_bbox(&mut self, id: usize) {
+        let bbox = match &self.node(id).kind {
+            NodeKind::Leaf(es) => {
+                let mut b = NumRect::empty(self.arity);
+                for &e in es {
+                    b.enlarge(self.entry_bbox(e));
+                }
+                b
+            }
+            NodeKind::Inner(cs) => {
+                let mut b = NumRect::empty(self.arity);
+                for &c in cs {
+                    b.enlarge(&self.node(c).bbox.clone());
+                }
+                b
+            }
+        };
+        self.node_mut(id).bbox = bbox;
+    }
+
+    /// Quadratic split of a set of (id, bbox) items into two groups.
+    fn quadratic_split(items: Vec<(usize, NumRect)>) -> (Vec<usize>, Vec<usize>) {
+        debug_assert!(items.len() > MAX_ENTRIES);
+        // PickSeeds: the pair wasting the most area.
+        let mut seed = (0, 1);
+        let mut worst = f64::NEG_INFINITY;
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                let waste =
+                    items[i].1.union(&items[j].1).area() - items[i].1.area() - items[j].1.area();
+                if waste > worst {
+                    worst = waste;
+                    seed = (i, j);
+                }
+            }
+        }
+        let mut g1 = vec![items[seed.0].0];
+        let mut b1 = items[seed.0].1.clone();
+        let mut g2 = vec![items[seed.1].0];
+        let mut b2 = items[seed.1].1.clone();
+        let mut rest: Vec<(usize, NumRect)> = items
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != seed.0 && *i != seed.1)
+            .map(|(_, it)| it)
+            .collect();
+        while let Some((id, bbox)) = rest.pop() {
+            // Force assignment when a group must absorb the remainder to
+            // reach minimum fill.
+            let remaining = rest.len() + 1;
+            if g1.len() + remaining <= MIN_ENTRIES {
+                b1.enlarge(&bbox);
+                g1.push(id);
+                continue;
+            }
+            if g2.len() + remaining <= MIN_ENTRIES {
+                b2.enlarge(&bbox);
+                g2.push(id);
+                continue;
+            }
+            let e1 = b1.enlargement(&bbox);
+            let e2 = b2.enlargement(&bbox);
+            if e1 < e2 || (e1 == e2 && g1.len() <= g2.len()) {
+                b1.enlarge(&bbox);
+                g1.push(id);
+            } else {
+                b2.enlarge(&bbox);
+                g2.push(id);
+            }
+        }
+        (g1, g2)
+    }
+
+    /// Recursive insert. Returns the id of a new sibling when `node` split.
+    fn insert_rec(&mut self, node_id: usize, eid: usize) -> Option<usize> {
+        let ebbox = self.entry_bbox(eid).clone();
+        let split = match &self.node(node_id).kind {
+            NodeKind::Leaf(_) => {
+                if let NodeKind::Leaf(es) = &mut self.node_mut(node_id).kind {
+                    es.push(eid);
+                }
+                self.maybe_split_leaf(node_id)
+            }
+            NodeKind::Inner(children) => {
+                // ChooseSubtree: least enlargement, ties by smaller area.
+                let mut best = children[0];
+                let mut best_cost = (f64::INFINITY, f64::INFINITY);
+                for &c in children {
+                    let b = &self.node(c).bbox;
+                    let cost = (b.enlargement(&ebbox), b.area());
+                    if cost.0 < best_cost.0 || (cost.0 == best_cost.0 && cost.1 < best_cost.1) {
+                        best_cost = cost;
+                        best = c;
+                    }
+                }
+                let new_sib = self.insert_rec(best, eid);
+                if let Some(sib) = new_sib {
+                    if let NodeKind::Inner(cs) = &mut self.node_mut(node_id).kind {
+                        cs.push(sib);
+                    }
+                }
+                self.maybe_split_inner(node_id)
+            }
+        };
+        self.recompute_bbox(node_id);
+        split
+    }
+
+    fn maybe_split_leaf(&mut self, node_id: usize) -> Option<usize> {
+        let needs =
+            matches!(&self.node(node_id).kind, NodeKind::Leaf(es) if es.len() > MAX_ENTRIES);
+        if !needs {
+            return None;
+        }
+        let NodeKind::Leaf(es) =
+            std::mem::replace(&mut self.node_mut(node_id).kind, NodeKind::Leaf(Vec::new()))
+        else {
+            unreachable!()
+        };
+        let items: Vec<(usize, NumRect)> = es
+            .into_iter()
+            .map(|e| (e, self.entry_bbox(e).clone()))
+            .collect();
+        let (g1, g2) = Self::quadratic_split(items);
+        self.node_mut(node_id).kind = NodeKind::Leaf(g1);
+        self.recompute_bbox(node_id);
+        let sib = self.alloc_node(Node {
+            bbox: NumRect::empty(self.arity),
+            kind: NodeKind::Leaf(g2),
+        });
+        self.recompute_bbox(sib);
+        Some(sib)
+    }
+
+    fn maybe_split_inner(&mut self, node_id: usize) -> Option<usize> {
+        let needs =
+            matches!(&self.node(node_id).kind, NodeKind::Inner(cs) if cs.len() > MAX_ENTRIES);
+        if !needs {
+            return None;
+        }
+        let NodeKind::Inner(cs) = std::mem::replace(
+            &mut self.node_mut(node_id).kind,
+            NodeKind::Inner(Vec::new()),
+        ) else {
+            unreachable!()
+        };
+        let items: Vec<(usize, NumRect)> = cs
+            .into_iter()
+            .map(|c| (c, self.node(c).bbox.clone()))
+            .collect();
+        let (g1, g2) = Self::quadratic_split(items);
+        self.node_mut(node_id).kind = NodeKind::Inner(g1);
+        self.recompute_bbox(node_id);
+        let sib = self.alloc_node(Node {
+            bbox: NumRect::empty(self.arity),
+            kind: NodeKind::Inner(g2),
+        });
+        self.recompute_bbox(sib);
+        Some(sib)
+    }
+
+    fn insert_entry_id(&mut self, eid: usize) {
+        if let Some(sib) = self.insert_rec(self.root, eid) {
+            let old_root = self.root;
+            let new_root = self.alloc_node(Node {
+                bbox: NumRect::empty(self.arity),
+                kind: NodeKind::Inner(vec![old_root, sib]),
+            });
+            self.root = new_root;
+            self.recompute_bbox(new_root);
+        }
+    }
+
+    /// Remove one entry with this payload; returns orphan entry ids that
+    /// must be reinserted (leaf underflow) as a side effect. `true` when an
+    /// entry was removed.
+    fn remove_rec(&mut self, node_id: usize, payload: &T, orphans: &mut Vec<usize>) -> bool {
+        match &self.node(node_id).kind {
+            NodeKind::Leaf(es) => {
+                let found = es.iter().position(|&e| {
+                    self.entries[e]
+                        .as_ref()
+                        .is_some_and(|en| &en.payload == payload)
+                });
+                if let Some(pos) = found {
+                    let NodeKind::Leaf(es) = &mut self.node_mut(node_id).kind else {
+                        unreachable!()
+                    };
+                    let eid = es.swap_remove(pos);
+                    self.entries[eid] = None;
+                    // Leaf underflow (non-root): orphan the remainder.
+                    if node_id != self.root {
+                        let under = matches!(&self.node(node_id).kind, NodeKind::Leaf(es) if es.len() < MIN_ENTRIES);
+                        if under {
+                            let NodeKind::Leaf(es) = std::mem::replace(
+                                &mut self.node_mut(node_id).kind,
+                                NodeKind::Leaf(Vec::new()),
+                            ) else {
+                                unreachable!()
+                            };
+                            orphans.extend(es);
+                        }
+                    }
+                    self.recompute_bbox(node_id);
+                    true
+                } else {
+                    false
+                }
+            }
+            NodeKind::Inner(children) => {
+                let children = children.clone();
+                for c in children {
+                    if self.remove_rec(c, payload, orphans) {
+                        // Drop emptied children.
+                        let empty = match &self.node(c).kind {
+                            NodeKind::Leaf(es) => es.is_empty(),
+                            NodeKind::Inner(cs) => cs.is_empty(),
+                        };
+                        if empty {
+                            if let NodeKind::Inner(cs) = &mut self.node_mut(node_id).kind {
+                                cs.retain(|&x| x != c);
+                            }
+                            self.nodes[c] = None;
+                        }
+                        self.recompute_bbox(node_id);
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn shrink_root(&mut self) {
+        loop {
+            let replace = match &self.node(self.root).kind {
+                NodeKind::Inner(cs) if cs.len() == 1 => Some(cs[0]),
+                _ => None,
+            };
+            match replace {
+                Some(only) => {
+                    self.nodes[self.root] = None;
+                    self.root = only;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn stab_rec(&self, node_id: usize, point: &[f64], tuple: &Tuple, out: &mut Vec<T>) {
+        self.visits.fetch_add(1, Ordering::Relaxed);
+        match &self.node(node_id).kind {
+            NodeKind::Leaf(es) => {
+                for &e in es {
+                    let en = self.entries[e].as_ref().expect("live entry");
+                    if en.bbox.contains_key_point(point) && en.rect.contains_tuple(tuple) {
+                        out.push(en.payload.clone());
+                    }
+                }
+            }
+            NodeKind::Inner(cs) => {
+                for &c in cs {
+                    if self.node(c).bbox.contains_key_point(point) {
+                        self.stab_rec(c, point, tuple, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn query_rec(&self, node_id: usize, nbox: &NumRect, rect: &Rect, out: &mut Vec<T>) {
+        self.visits.fetch_add(1, Ordering::Relaxed);
+        match &self.node(node_id).kind {
+            NodeKind::Leaf(es) => {
+                for &e in es {
+                    let en = self.entries[e].as_ref().expect("live entry");
+                    if en.bbox.intersects(nbox) && en.rect.intersects(rect) {
+                        out.push(en.payload.clone());
+                    }
+                }
+            }
+            NodeKind::Inner(cs) => {
+                for &c in cs {
+                    if self.node(c).bbox.intersects(nbox) {
+                        self.query_rec(c, nbox, rect, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum leaf depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn go(t: &[Option<Node>], id: usize) -> usize {
+            match &t[id].as_ref().unwrap().kind {
+                NodeKind::Leaf(_) => 1,
+                NodeKind::Inner(cs) => 1 + cs.iter().map(|&c| go(t, c)).max().unwrap_or(0),
+            }
+        }
+        go(&self.nodes, self.root)
+    }
+}
+
+impl<T: Clone + PartialEq> ConditionIndex<T> for RTree<T> {
+    fn insert(&mut self, rect: Rect, payload: T) {
+        debug_assert_eq!(rect.arity(), self.arity);
+        let bbox = rect.num_bbox();
+        self.entries.push(Some(Entry {
+            rect,
+            bbox,
+            payload,
+        }));
+        let eid = self.entries.len() - 1;
+        self.insert_entry_id(eid);
+        self.len += 1;
+    }
+
+    fn remove(&mut self, payload: &T) -> bool {
+        let mut orphans = Vec::new();
+        let removed = self.remove_rec(self.root, payload, &mut orphans);
+        if removed {
+            self.len -= 1;
+            self.shrink_root();
+            for e in orphans {
+                self.insert_entry_id(e);
+            }
+        }
+        removed
+    }
+
+    fn stab(&self, tuple: &Tuple) -> Vec<T> {
+        let point = key_point(tuple);
+        let mut out = Vec::new();
+        self.stab_rec(self.root, &point, tuple, &mut out);
+        out
+    }
+
+    fn stab_point(&self, point: &[Value]) -> Vec<T> {
+        self.stab(&Tuple::new(point.to_vec()))
+    }
+
+    fn query(&self, rect: &Rect) -> Vec<T> {
+        let nbox = rect.num_bbox();
+        let mut out = Vec::new();
+        self.query_rec(self.root, &nbox, rect, &mut out);
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn node_visits(&self) -> u64 {
+        self.visits.load(Ordering::Relaxed)
+    }
+
+    fn reset_visits(&self) {
+        self.visits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{tuple, CompOp, Restriction, Selection};
+
+    fn cond(arity: usize, tests: Vec<Selection>) -> Rect {
+        Rect::from_restriction(arity, &Restriction::new(tests)).unwrap()
+    }
+
+    #[test]
+    fn stab_finds_matching_conditions() {
+        let mut t: RTree<u32> = RTree::new(2);
+        // "age >= 55" style conditions over (name-ish int, age).
+        for i in 0..100 {
+            t.insert(cond(2, vec![Selection::new(1, CompOp::Ge, i)]), i as u32);
+        }
+        let hits = t.stab(&tuple![0, 40]);
+        // conditions with threshold <= 40 match: 0..=40 → 41 conditions.
+        assert_eq!(hits.len(), 41);
+        assert_eq!(t.len(), 100);
+        assert!(t.depth() > 1, "tree must have split");
+    }
+
+    #[test]
+    fn exact_check_filters_key_collisions() {
+        let mut t: RTree<&'static str> = RTree::new(1);
+        // Strings sharing an 8-byte prefix have colliding numeric keys.
+        t.insert(cond(1, vec![Selection::eq(0, "prefix-aaaa")]), "a");
+        t.insert(cond(1, vec![Selection::eq(0, "prefix-aaab")]), "b");
+        assert_eq!(t.stab(&tuple!["prefix-aaab"]), vec!["b"]);
+    }
+
+    #[test]
+    fn remove_and_restab() {
+        let mut t: RTree<u32> = RTree::new(1);
+        for i in 0..50 {
+            t.insert(cond(1, vec![Selection::eq(0, i)]), i as u32);
+        }
+        assert_eq!(t.stab(&tuple![7]), vec![7]);
+        assert!(t.remove(&7));
+        assert!(!t.remove(&7));
+        assert!(t.stab(&tuple![7]).is_empty());
+        assert_eq!(t.len(), 49);
+        // All other conditions still reachable after condense/reinsert.
+        for i in 0..50u32 {
+            let expect = usize::from(i != 7);
+            assert_eq!(t.stab(&tuple![i as i64]).len(), expect, "key {i}");
+        }
+    }
+
+    #[test]
+    fn query_box_overlap() {
+        let mut t: RTree<u32> = RTree::new(1);
+        for i in 0..20i64 {
+            t.insert(
+                cond(
+                    1,
+                    vec![
+                        Selection::new(0, CompOp::Ge, i),
+                        Selection::new(0, CompOp::Le, i + 4),
+                    ],
+                ),
+                i as u32,
+            );
+        }
+        // Rule-base query: which conditions overlap [10, 12]?
+        let q = cond(
+            1,
+            vec![
+                Selection::new(0, CompOp::Ge, 10),
+                Selection::new(0, CompOp::Le, 12),
+            ],
+        );
+        let mut hits = t.query(&q);
+        hits.sort_unstable();
+        assert_eq!(hits, (6..=12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn visits_grow_sublinearly() {
+        let mut t: RTree<u32> = RTree::new(1);
+        for i in 0..1000 {
+            t.insert(cond(1, vec![Selection::eq(0, i)]), i as u32);
+        }
+        t.reset_visits();
+        t.stab(&tuple![500]);
+        assert!(
+            t.node_visits() < 200,
+            "point stab should prune most nodes, visited {}",
+            t.node_visits()
+        );
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let items: Vec<(Rect, u32)> = (0..2000u32)
+            .map(|i| {
+                let lo = rng.gen_range(0..500i64);
+                let hi = lo + rng.gen_range(0..30i64);
+                (
+                    cond(
+                        1,
+                        vec![
+                            Selection::new(0, CompOp::Ge, lo),
+                            Selection::new(0, CompOp::Le, hi),
+                        ],
+                    ),
+                    i,
+                )
+            })
+            .collect();
+        let mut incremental: RTree<u32> = RTree::new(1);
+        for (r, p) in &items {
+            incremental.insert(r.clone(), *p);
+        }
+        let bulk = RTree::bulk_load(1, items);
+        assert_eq!(bulk.len(), incremental.len());
+        for probe in 0..550i64 {
+            let mut a = incremental.stab(&tuple![probe]);
+            let mut b = bulk.stab(&tuple![probe]);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "probe {probe}");
+        }
+        // STR packing never builds a taller tree than random insertion.
+        assert!(bulk.depth() <= incremental.depth());
+    }
+
+    #[test]
+    fn bulk_load_edge_cases() {
+        let empty: RTree<u32> = RTree::bulk_load(1, Vec::new());
+        assert!(empty.is_empty());
+        assert!(empty.stab(&tuple![1]).is_empty());
+        let one = RTree::bulk_load(1, vec![(cond(1, vec![Selection::eq(0, 7)]), 9u32)]);
+        assert_eq!(one.stab(&tuple![7]), vec![9]);
+        // A bulk-loaded tree accepts further inserts and removals.
+        let mut t = RTree::bulk_load(
+            1,
+            (0..100i64)
+                .map(|i| (cond(1, vec![Selection::eq(0, i)]), i as u32))
+                .collect(),
+        );
+        t.insert(cond(1, vec![Selection::eq(0, 200)]), 200);
+        assert_eq!(t.stab(&tuple![200]), vec![200]);
+        assert!(t.remove(&50));
+        assert!(t.stab(&tuple![50]).is_empty());
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: RTree<u32> = RTree::new(3);
+        assert!(t.stab(&tuple![1, 2, 3]).is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+    }
+}

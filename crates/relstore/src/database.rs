@@ -1,0 +1,346 @@
+//! The database: a catalog of relations plus shared services (statistics,
+//! lock manager, transaction manager).
+//!
+//! Physical access uses per-relation reader/writer latches; *logical*
+//! isolation is the transaction layer's job ([`crate::txn`]). Matching
+//! engines that run single-threaded go straight through [`Database::read`]
+//! / [`Database::write`]; the concurrent executor goes through
+//! [`Database::begin`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::pred::Restriction;
+use crate::relation::Relation;
+use crate::schema::{RelId, Schema};
+use crate::stats::Stats;
+use crate::tuple::{Tuple, TupleId};
+use crate::txn::{LockManager, Txn, TxnManager};
+use crate::wal::{Wal, WalRecord};
+
+/// A shared, thread-safe database.
+pub struct Database {
+    relations: RwLock<Vec<Arc<RwLock<Relation>>>>,
+    names: RwLock<HashMap<String, RelId>>,
+    stats: Stats,
+    locks: LockManager,
+    txns: TxnManager,
+    wal: RwLock<Option<Arc<Wal>>>,
+    /// Simulated secondary-storage latency per tuple touched by the
+    /// database-level access paths, in nanoseconds (0 = off). Sleeping
+    /// rather than spinning, so concurrent transactions overlap their
+    /// "I/O" exactly as the paper's §5 concurrency argument assumes.
+    io_cost_ns: AtomicU64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        let stats = Stats::new();
+        Database {
+            relations: RwLock::new(Vec::new()),
+            names: RwLock::new(HashMap::new()),
+            locks: LockManager::new(stats.clone()),
+            txns: TxnManager::new(),
+            stats,
+            wal: RwLock::new(None),
+            io_cost_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Enable simulated per-tuple I/O latency (see the field docs).
+    pub fn set_io_cost_ns(&self, ns: u64) {
+        self.io_cost_ns.store(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn charge_io(&self, tuples: u64) {
+        let ns = self.io_cost_ns.load(Ordering::Relaxed);
+        if ns == 0 || tuples == 0 {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_nanos(ns * tuples));
+    }
+
+    /// Turn on write-ahead logging. Every subsequent relation creation,
+    /// index creation (via the [`Database`]-level helpers) and tuple
+    /// change is appended to the returned log; pair with
+    /// [`crate::snapshot::save`] for checkpoint + replay recovery
+    /// ([`crate::wal::recover`]).
+    pub fn enable_wal(&self) -> Arc<Wal> {
+        let wal = Arc::new(Wal::new());
+        *self.wal.write() = Some(wal.clone());
+        wal
+    }
+
+    fn log(&self, rec: WalRecord) {
+        if let Some(wal) = self.wal.read().as_ref() {
+            wal.append(&rec);
+        }
+    }
+
+    /// Create a hash index, logged to the WAL.
+    pub fn create_hash_index(&self, rid: RelId, attr: usize) -> Result<()> {
+        self.write(rid, |r| r.create_hash_index(attr))??;
+        self.log(WalRecord::CreateHashIndex { rel: rid, attr });
+        Ok(())
+    }
+
+    /// Create an ordered index, logged to the WAL.
+    pub fn create_ord_index(&self, rid: RelId, attr: usize) -> Result<()> {
+        self.write(rid, |r| r.create_ord_index(attr))??;
+        self.log(WalRecord::CreateOrdIndex { rel: rid, attr });
+        Ok(())
+    }
+
+    /// Shared operation counters for the whole database.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The 2PL lock manager shared by all transactions.
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Begin a transaction (strict 2PL).
+    pub fn begin(&self) -> Txn<'_> {
+        Txn::new(self, self.txns.begin())
+    }
+
+    /// Create a relation; names must be unique.
+    pub fn create_relation(&self, schema: Schema) -> Result<RelId> {
+        let mut names = self.names.write();
+        if names.contains_key(schema.name()) {
+            return Err(Error::DuplicateRelation(schema.name().to_string()));
+        }
+        let mut rels = self.relations.write();
+        let rid = RelId(rels.len() as u32);
+        names.insert(schema.name().to_string(), rid);
+        self.log(WalRecord::CreateRelation {
+            name: schema.name().to_string(),
+            attrs: schema.attrs().iter().map(|a| a.name.to_string()).collect(),
+        });
+        rels.push(Arc::new(RwLock::new(Relation::new(
+            rid,
+            schema,
+            self.stats.clone(),
+        ))));
+        Ok(rid)
+    }
+
+    /// Resolve a relation name.
+    pub fn rel_id(&self, name: &str) -> Result<RelId> {
+        self.names
+            .read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    /// All relation names with their ids, in id order.
+    pub fn relation_names(&self) -> Vec<(RelId, String)> {
+        let rels = self.relations.read();
+        rels.iter()
+            .map(|r| {
+                let r = r.read();
+                (r.id(), r.name().to_string())
+            })
+            .collect()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.read().len()
+    }
+
+    fn rel(&self, rid: RelId) -> Result<Arc<RwLock<Relation>>> {
+        self.relations
+            .read()
+            .get(rid.index())
+            .cloned()
+            .ok_or(Error::BadRelId(rid))
+    }
+
+    /// Run a closure with shared access to a relation.
+    pub fn read<R>(&self, rid: RelId, f: impl FnOnce(&Relation) -> R) -> Result<R> {
+        let rel = self.rel(rid)?;
+        let guard = rel.read();
+        Ok(f(&guard))
+    }
+
+    /// Run a closure with exclusive access to a relation.
+    pub fn write<R>(&self, rid: RelId, f: impl FnOnce(&mut Relation) -> R) -> Result<R> {
+        let rel = self.rel(rid)?;
+        let mut guard = rel.write();
+        Ok(f(&mut guard))
+    }
+
+    /// Schema of a relation (cloned).
+    pub fn schema(&self, rid: RelId) -> Result<Schema> {
+        self.read(rid, |r| r.schema().clone())
+    }
+
+    /// Insert a tuple directly (no logical locking).
+    pub fn insert(&self, rid: RelId, tuple: Tuple) -> Result<TupleId> {
+        let tid = self.write(rid, |r| r.insert(tuple.clone()))??;
+        self.charge_io(1);
+        self.log(WalRecord::Insert { rel: rid, tuple });
+        Ok(tid)
+    }
+
+    /// Delete a tuple directly (no logical locking).
+    pub fn delete(&self, rid: RelId, tid: TupleId) -> Result<Tuple> {
+        let tuple = self.write(rid, |r| r.delete(tid))??;
+        self.log(WalRecord::Delete {
+            rel: rid,
+            tuple: tuple.clone(),
+        });
+        Ok(tuple)
+    }
+
+    /// Delete the first tuple equal to `tuple` (OPS5 `remove` semantics).
+    /// Returns the deleted tuple's id, or `None` when absent.
+    pub fn delete_equal(&self, rid: RelId, tuple: &Tuple) -> Result<Option<TupleId>> {
+        let deleted = self.write(rid, |r| -> Result<Option<TupleId>> {
+            match r.find_equal(tuple) {
+                Some(tid) => {
+                    r.delete(tid)?;
+                    Ok(Some(tid))
+                }
+                None => Ok(None),
+            }
+        })??;
+        if deleted.is_some() {
+            self.log(WalRecord::Delete {
+                rel: rid,
+                tuple: tuple.clone(),
+            });
+        }
+        Ok(deleted)
+    }
+
+    /// Fetch a tuple by id (cloned).
+    pub fn get(&self, rid: RelId, tid: TupleId) -> Result<Tuple> {
+        self.read(rid, |r| r.get(tid).cloned())?
+    }
+
+    /// Live tuple count of a relation; 0 when the id is invalid (planner
+    /// convenience).
+    pub fn relation_len(&self, rid: RelId) -> usize {
+        self.read(rid, |r| r.len()).unwrap_or(0)
+    }
+
+    /// Select on one relation.
+    pub fn select(&self, rid: RelId, restriction: &Restriction) -> Result<Vec<(TupleId, Tuple)>> {
+        let rows = self.read(rid, |r| r.select(restriction))?;
+        self.charge_io(rows.len() as u64 + 1);
+        Ok(rows)
+    }
+
+    /// Total approximate bytes across all relations (space experiments).
+    pub fn total_bytes(&self) -> usize {
+        let rels = self.relations.read();
+        rels.iter().map(|r| r.read().approx_bytes()).sum()
+    }
+
+    /// Total live tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        let rels = self.relations.read();
+        rels.iter().map(|r| r.read().len()).sum()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("relations", &self.relation_count())
+            .field("tuples", &self.total_tuples())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn catalog_roundtrip() {
+        let db = Database::new();
+        let emp = db
+            .create_relation(Schema::new("Emp", ["name", "age"]))
+            .unwrap();
+        let dept = db.create_relation(Schema::new("Dept", ["dno"])).unwrap();
+        assert_eq!(db.rel_id("Emp").unwrap(), emp);
+        assert_eq!(db.rel_id("Dept").unwrap(), dept);
+        assert!(db.rel_id("Nope").is_err());
+        assert!(matches!(
+            db.create_relation(Schema::new("Emp", ["x"])),
+            Err(Error::DuplicateRelation(_))
+        ));
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.relation_names()[1].1, "Dept");
+    }
+
+    #[test]
+    fn insert_get_delete_through_db() {
+        let db = Database::new();
+        let rid = db.create_relation(Schema::new("R", ["a"])).unwrap();
+        let tid = db.insert(rid, tuple![1]).unwrap();
+        assert_eq!(db.get(rid, tid).unwrap(), tuple![1]);
+        assert_eq!(db.relation_len(rid), 1);
+        db.delete(rid, tid).unwrap();
+        assert_eq!(db.relation_len(rid), 0);
+        assert!(db.get(rid, tid).is_err());
+    }
+
+    #[test]
+    fn delete_equal_by_content() {
+        let db = Database::new();
+        let rid = db.create_relation(Schema::new("R", ["a", "b"])).unwrap();
+        db.insert(rid, tuple![1, 2]).unwrap();
+        assert!(db.delete_equal(rid, &tuple![1, 2]).unwrap().is_some());
+        assert!(db.delete_equal(rid, &tuple![1, 2]).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_rel_id() {
+        let db = Database::new();
+        assert!(matches!(
+            db.insert(RelId(9), tuple![1]),
+            Err(Error::BadRelId(_))
+        ));
+        assert_eq!(db.relation_len(RelId(9)), 0);
+    }
+
+    #[test]
+    fn parallel_inserts_to_distinct_relations() {
+        let db = Database::new();
+        let a = db.create_relation(Schema::new("A", ["x"])).unwrap();
+        let b = db.create_relation(Schema::new("B", ["x"])).unwrap();
+        std::thread::scope(|s| {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..500i64 {
+                    db.insert(a, tuple![i]).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for i in 0..500i64 {
+                    db.insert(b, tuple![i]).unwrap();
+                }
+            });
+        });
+        assert_eq!(db.total_tuples(), 1000);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by every storage-layer operation.
+
+use std::fmt;
+
+use crate::schema::RelId;
+use crate::txn::TxnId;
+
+/// Errors produced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// A relation id was out of range for this database.
+    BadRelId(RelId),
+    /// An attribute name was not found in a schema.
+    UnknownAttribute { relation: String, attribute: String },
+    /// An attribute index was out of range for a schema.
+    BadAttrIndex { relation: String, index: usize },
+    /// A tuple had the wrong arity for its target relation.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A tuple id did not name a live tuple.
+    NoSuchTuple(RelId, u64),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// The transaction was chosen as a deadlock victim and must abort.
+    Deadlock(TxnId),
+    /// The transaction has already committed or aborted.
+    TxnFinished(TxnId),
+    /// A lock request conflicted with the 2PL protocol (e.g. acquiring
+    /// after the shrink phase started).
+    LockProtocol(&'static str),
+    /// Snapshot bytes were malformed.
+    Corrupt(&'static str),
+    /// A query referenced a term index that does not exist.
+    BadQueryTerm(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            Error::BadRelId(rid) => write!(f, "relation id {} out of range", rid.0),
+            Error::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            Error::BadAttrIndex { relation, index } => {
+                write!(
+                    f,
+                    "attribute index {index} out of range for relation `{relation}`"
+                )
+            }
+            Error::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relation `{relation}` expects {expected} attributes, tuple has {got}"
+                )
+            }
+            Error::NoSuchTuple(rid, tid) => {
+                write!(f, "no live tuple {tid} in relation {}", rid.0)
+            }
+            Error::DuplicateRelation(name) => write!(f, "relation `{name}` already exists"),
+            Error::Deadlock(txn) => write!(f, "transaction {} aborted: deadlock victim", txn.0),
+            Error::TxnFinished(txn) => write!(f, "transaction {} already finished", txn.0),
+            Error::LockProtocol(msg) => write!(f, "lock protocol violation: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            Error::BadQueryTerm(i) => write!(f, "query references unknown term {i}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,244 @@
+//! Secondary indexes over a single attribute.
+//!
+//! Two flavors:
+//!
+//! * [`HashIndex`] — equality probes, the workhorse behind index
+//!   nested-loop joins.
+//! * [`OrdIndex`] — an ordered index (BTree) supporting range scans. It is
+//!   also where *index interval locking* hooks in (§2.3, Basic Locking):
+//!   the engine-layer marker scheme records key intervals inspected here so
+//!   later insertions into the interval can be detected (the phantom
+//!   problem).
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use crate::pred::CompOp;
+use crate::tuple::TupleId;
+use crate::value::Value;
+
+/// Equality index: value → postings list of tuple ids.
+#[derive(Debug, Default, Clone)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<TupleId>>,
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        HashIndex::default()
+    }
+
+    /// Add a (key, tuple id) posting.
+    pub fn insert(&mut self, key: Value, tid: TupleId) {
+        self.map.entry(key).or_default().push(tid);
+        self.entries += 1;
+    }
+
+    /// Remove one (key, tuple id) posting; no-op when absent.
+    pub fn remove(&mut self, key: &Value, tid: TupleId) {
+        if let Some(list) = self.map.get_mut(key) {
+            if let Some(pos) = list.iter().position(|t| *t == tid) {
+                list.swap_remove(pos);
+                self.entries -= 1;
+            }
+            if list.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// All tuple ids whose indexed attribute equals `key`.
+    pub fn probe(&self, key: &Value) -> &[TupleId] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of (key, tid) postings.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct keys — drives join-selectivity estimates.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Ordered index: supports equality and range probes.
+#[derive(Debug, Default, Clone)]
+pub struct OrdIndex {
+    map: BTreeMap<Value, Vec<TupleId>>,
+    entries: usize,
+}
+
+impl OrdIndex {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        OrdIndex::default()
+    }
+
+    /// Add a (key, tuple id) posting.
+    pub fn insert(&mut self, key: Value, tid: TupleId) {
+        self.map.entry(key).or_default().push(tid);
+        self.entries += 1;
+    }
+
+    pub fn remove(&mut self, key: &Value, tid: TupleId) {
+        if let Some(list) = self.map.get_mut(key) {
+            if let Some(pos) = list.iter().position(|t| *t == tid) {
+                list.swap_remove(pos);
+                self.entries -= 1;
+            }
+            if list.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Tuple ids satisfying `attr op key`, in key order.
+    ///
+    /// `Ne` degenerates to a full scan of the index and is included for
+    /// completeness; planners should prefer a relation scan for it.
+    pub fn probe_op(&self, op: CompOp, key: &Value) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        match op {
+            CompOp::Eq => {
+                if let Some(list) = self.map.get(key) {
+                    out.extend_from_slice(list);
+                }
+            }
+            CompOp::Ne => {
+                for (k, list) in &self.map {
+                    if k != key {
+                        out.extend_from_slice(list);
+                    }
+                }
+            }
+            CompOp::Lt => self.collect_range(&mut out, Bound::Unbounded, Bound::Excluded(key)),
+            CompOp::Le => self.collect_range(&mut out, Bound::Unbounded, Bound::Included(key)),
+            CompOp::Gt => self.collect_range(&mut out, Bound::Excluded(key), Bound::Unbounded),
+            CompOp::Ge => self.collect_range(&mut out, Bound::Included(key), Bound::Unbounded),
+        }
+        out
+    }
+
+    /// Tuple ids with keys in `[lo, hi]` (inclusive bounds may be None for
+    /// open ends).
+    pub fn probe_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<TupleId> {
+        let lo_b = lo.map_or(Bound::Unbounded, Bound::Included);
+        let hi_b = hi.map_or(Bound::Unbounded, Bound::Included);
+        let mut out = Vec::new();
+        self.collect_range(&mut out, lo_b, hi_b);
+        out
+    }
+
+    fn collect_range(&self, out: &mut Vec<TupleId>, lo: Bound<&Value>, hi: Bound<&Value>) {
+        // An inverted bound pair panics in BTreeMap::range; treat as empty.
+        if let (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) =
+            (lo, hi)
+        {
+            if a > b {
+                return;
+            }
+        }
+        for (_, list) in self.map.range::<Value, _>((lo, hi)) {
+            out.extend_from_slice(list);
+        }
+    }
+
+    /// Smallest and largest key currently present.
+    pub fn key_bounds(&self) -> Option<(&Value, &Value)> {
+        let first = self.map.keys().next()?;
+        let last = self.map.keys().next_back()?;
+        Some((first, last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u32) -> TupleId {
+        TupleId::new(n, 0)
+    }
+
+    #[test]
+    fn hash_index_probe_and_remove() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::Int(5), tid(1));
+        idx.insert(Value::Int(5), tid(2));
+        idx.insert(Value::str("x"), tid(3));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.probe(&Value::Int(5)).len(), 2);
+        idx.remove(&Value::Int(5), tid(1));
+        assert_eq!(idx.probe(&Value::Int(5)), &[tid(2)]);
+        idx.remove(&Value::Int(5), tid(2));
+        assert!(idx.probe(&Value::Int(5)).is_empty());
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn removing_missing_posting_is_noop() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::Int(1), tid(1));
+        idx.remove(&Value::Int(2), tid(1));
+        idx.remove(&Value::Int(1), tid(9));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn ord_index_operators() {
+        let mut idx = OrdIndex::new();
+        for i in 0..10 {
+            idx.insert(Value::Int(i), tid(i as u32));
+        }
+        assert_eq!(idx.probe_op(CompOp::Eq, &Value::Int(4)), vec![tid(4)]);
+        assert_eq!(idx.probe_op(CompOp::Lt, &Value::Int(3)).len(), 3);
+        assert_eq!(idx.probe_op(CompOp::Le, &Value::Int(3)).len(), 4);
+        assert_eq!(idx.probe_op(CompOp::Gt, &Value::Int(7)).len(), 2);
+        assert_eq!(idx.probe_op(CompOp::Ge, &Value::Int(7)).len(), 3);
+        assert_eq!(idx.probe_op(CompOp::Ne, &Value::Int(0)).len(), 9);
+    }
+
+    #[test]
+    fn ord_index_range_and_bounds() {
+        let mut idx = OrdIndex::new();
+        for i in [2, 4, 6, 8] {
+            idx.insert(Value::Int(i), tid(i as u32));
+        }
+        assert_eq!(
+            idx.probe_range(Some(&Value::Int(3)), Some(&Value::Int(7)))
+                .len(),
+            2
+        );
+        assert_eq!(idx.probe_range(None, Some(&Value::Int(4))).len(), 2);
+        assert_eq!(idx.probe_range(Some(&Value::Int(9)), None).len(), 0);
+        // inverted range is empty rather than panicking
+        assert!(idx
+            .probe_range(Some(&Value::Int(7)), Some(&Value::Int(3)))
+            .is_empty());
+        let (lo, hi) = idx.key_bounds().unwrap();
+        assert_eq!((lo, hi), (&Value::Int(2), &Value::Int(8)));
+    }
+}

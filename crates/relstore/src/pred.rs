@@ -1,0 +1,308 @@
+//! Selection predicates over single relations.
+//!
+//! These are the "one-input node" tests of the Rete network: conditions of
+//! the form `attribute op constant` (§3.1 of the paper), plus conjunctions
+//! of them (`Restriction`).
+
+use std::fmt;
+
+use crate::schema::AttrIdx;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Comparison operators supported by condition elements,
+/// `op ∈ {<, >, <=, >=, =, <>}` as listed in §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CompOp {
+    /// Apply the operator to two values using the total order on [`Value`].
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        match self {
+            CompOp::Eq => left == right,
+            CompOp::Ne => left != right,
+            CompOp::Lt => left < right,
+            CompOp::Le => left <= right,
+            CompOp::Gt => left > right,
+            CompOp::Ge => left >= right,
+        }
+    }
+
+    /// The operator with operand sides swapped: `a op b == b op.flip() a`.
+    pub fn flip(self) -> CompOp {
+        match self {
+            CompOp::Eq => CompOp::Eq,
+            CompOp::Ne => CompOp::Ne,
+            CompOp::Lt => CompOp::Gt,
+            CompOp::Le => CompOp::Ge,
+            CompOp::Gt => CompOp::Lt,
+            CompOp::Ge => CompOp::Le,
+        }
+    }
+
+    /// Rough fraction of a domain satisfying the operator, for planning.
+    pub fn default_selectivity(self) -> f64 {
+        match self {
+            CompOp::Eq => 0.05,
+            CompOp::Ne => 0.95,
+            _ => 0.33,
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "<>",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single-attribute test: `tuple[attr] op constant`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Selection {
+    /// The attribute (column) index.
+    pub attr: AttrIdx,
+    /// The comparison operator.
+    pub op: CompOp,
+    /// The constant operand.
+    pub value: Value,
+}
+
+impl Selection {
+    /// Create a new, empty instance.
+    pub fn new(attr: AttrIdx, op: CompOp, value: impl Into<Value>) -> Self {
+        Selection {
+            attr,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Equality shorthand — the overwhelmingly common case in OPS5 programs.
+    pub fn eq(attr: AttrIdx, value: impl Into<Value>) -> Self {
+        Selection::new(attr, CompOp::Eq, value)
+    }
+
+    /// Evaluate against a tuple. Out-of-range attributes never match.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        tuple
+            .get(self.attr)
+            .is_some_and(|v| self.op.eval(v, &self.value))
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// An intra-tuple test comparing two attributes of the same tuple:
+/// `tuple[left] op tuple[right]`. OPS5 generates these when a variable
+/// occurs twice inside one condition element, e.g.
+/// `(Emp ^salary <S> ^budget {> <S>})`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttrTest {
+    /// Left attribute (compared against `right`).
+    pub left: AttrIdx,
+    /// The comparison operator.
+    pub op: CompOp,
+    /// Right attribute.
+    pub right: AttrIdx,
+}
+
+impl AttrTest {
+    /// Create a new, empty instance.
+    pub fn new(left: AttrIdx, op: CompOp, right: AttrIdx) -> Self {
+        AttrTest { left, op, right }
+    }
+
+    /// Evaluate against a tuple; out-of-range attributes never match.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        match (tuple.get(self.left), tuple.get(self.right)) {
+            (Some(a), Some(b)) => self.op.eval(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AttrTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} [{}]", self.left, self.op, self.right)
+    }
+}
+
+/// A conjunction of selections — the variable-free part of one condition
+/// element — plus optional intra-tuple attribute tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Restriction {
+    /// Single-attribute tests (conjunctive).
+    pub tests: Vec<Selection>,
+    /// Intra-tuple attribute-vs-attribute tests.
+    pub attr_tests: Vec<AttrTest>,
+}
+
+impl Restriction {
+    /// Create a new, empty instance.
+    pub fn new(tests: Vec<Selection>) -> Self {
+        Restriction {
+            tests,
+            attr_tests: Vec::new(),
+        }
+    }
+
+    /// Add intra-tuple attribute-vs-attribute tests.
+    pub fn with_attr_tests(mut self, attr_tests: Vec<AttrTest>) -> Self {
+        self.attr_tests = attr_tests;
+        self
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty() && self.attr_tests.is_empty()
+    }
+
+    /// Does the tuple satisfy every test of the conjunction?
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.tests.iter().all(|t| t.matches(tuple))
+            && self.attr_tests.iter().all(|t| t.matches(tuple))
+    }
+
+    /// Combined selectivity estimate assuming independence.
+    pub fn selectivity(&self) -> f64 {
+        self.tests
+            .iter()
+            .map(|t| t.op.default_selectivity())
+            .chain(self.attr_tests.iter().map(|t| t.op.default_selectivity()))
+            .product()
+    }
+
+    /// The equality tests, which index lookups can serve.
+    pub fn equalities(&self) -> impl Iterator<Item = &Selection> {
+        self.tests.iter().filter(|t| t.op == CompOp::Eq)
+    }
+}
+
+impl fmt::Display for Restriction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "true");
+        }
+        let mut first = true;
+        for t in &self.tests {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            write!(f, "{t}")?;
+        }
+        for t in &self.attr_tests {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn comp_op_eval() {
+        let a = Value::Int(3);
+        let b = Value::Int(5);
+        assert!(CompOp::Lt.eval(&a, &b));
+        assert!(CompOp::Le.eval(&a, &a));
+        assert!(CompOp::Ne.eval(&a, &b));
+        assert!(!CompOp::Eq.eval(&a, &b));
+        assert!(CompOp::Gt.eval(&b, &a));
+        assert!(CompOp::Ge.eval(&b, &b));
+    }
+
+    #[test]
+    fn flip_is_involution_and_correct() {
+        for op in [
+            CompOp::Eq,
+            CompOp::Ne,
+            CompOp::Lt,
+            CompOp::Le,
+            CompOp::Gt,
+            CompOp::Ge,
+        ] {
+            assert_eq!(op.flip().flip(), op);
+            let a = Value::Int(1);
+            let b = Value::Int(2);
+            assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn selection_matches() {
+        let t = tuple!["Mike", 32, 5000];
+        assert!(Selection::eq(0, "Mike").matches(&t));
+        assert!(Selection::new(1, CompOp::Ge, 30).matches(&t));
+        assert!(!Selection::new(2, CompOp::Lt, 5000).matches(&t));
+        // out-of-range attribute
+        assert!(!Selection::eq(7, 1).matches(&t));
+    }
+
+    #[test]
+    fn restriction_conjunction() {
+        let r = Restriction::new(vec![
+            Selection::eq(0, "Dept"),
+            Selection::new(1, CompOp::Gt, 10),
+        ]);
+        assert!(r.matches(&tuple!["Dept", 11]));
+        assert!(!r.matches(&tuple!["Dept", 10]));
+        assert!(!r.matches(&tuple!["Emp", 11]));
+        assert!(Restriction::default().matches(&tuple![1]));
+    }
+
+    #[test]
+    fn attr_tests_compare_within_tuple() {
+        // salary < budget
+        let r = Restriction::new(vec![]).with_attr_tests(vec![AttrTest::new(0, CompOp::Lt, 1)]);
+        assert!(r.matches(&tuple![100, 200]));
+        assert!(!r.matches(&tuple![300, 200]));
+        assert!(!r.is_empty());
+        assert_eq!(r.to_string(), "[0] < [1]");
+        // out-of-range attr never matches
+        let bad = Restriction::new(vec![]).with_attr_tests(vec![AttrTest::new(0, CompOp::Eq, 9)]);
+        assert!(!bad.matches(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = Restriction::new(vec![
+            Selection::eq(2, "Toy"),
+            Selection::new(3, CompOp::Le, 1),
+        ]);
+        assert_eq!(r.to_string(), "[2] = Toy ∧ [3] <= 1");
+        assert_eq!(Restriction::default().to_string(), "true");
+    }
+}

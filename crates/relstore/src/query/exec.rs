@@ -1,0 +1,351 @@
+//! Index nested-loop execution of conjunctive queries.
+
+use super::plan::Planner;
+use super::ConjunctiveQuery;
+use crate::database::Database;
+use crate::error::Result;
+use crate::pred::{Restriction, Selection};
+use crate::tuple::{Tuple, TupleId};
+
+/// One result of a conjunctive query: a tuple per positive term, aligned to
+/// `query.terms` (negated terms stay `None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Per-term bindings aligned with the query's terms.
+    pub slots: Vec<Option<(TupleId, Tuple)>>,
+}
+
+impl Binding {
+    /// The bound tuple of term `t`, panicking on negated/unbound terms.
+    pub fn tuple(&self, t: usize) -> &Tuple {
+        &self.slots[t].as_ref().expect("term is bound").1
+    }
+
+    /// The bound tuple id of term `t` (panics on negated/unbound terms).
+    pub fn tid(&self, t: usize) -> TupleId {
+        self.slots[t].as_ref().expect("term is bound").0
+    }
+}
+
+/// Executes conjunctive queries against a [`Database`].
+pub struct QueryExecutor<'a> {
+    db: &'a Database,
+}
+
+impl<'a> QueryExecutor<'a> {
+    /// Create a new, empty instance.
+    pub fn new(db: &'a Database) -> Self {
+        QueryExecutor { db }
+    }
+
+    /// Evaluate the query. When `seed` is given, term `seed.0` is fixed to
+    /// the provided tuple (which must belong to that term's relation); this
+    /// is the §4.1.2 path where an inserted WM element fills one condition
+    /// element and the rest of the LHS is evaluated around it.
+    pub fn exec(
+        &self,
+        query: &ConjunctiveQuery,
+        seed: Option<(usize, TupleId, &Tuple)>,
+    ) -> Result<Vec<Binding>> {
+        let mut out = Vec::new();
+        if query.terms.is_empty() {
+            return Ok(out);
+        }
+        // A seed that fails its own term's restriction yields nothing.
+        if let Some((t, _, tuple)) = seed {
+            if !query.terms[t].restriction.matches(tuple) {
+                return Ok(out);
+            }
+        }
+        let plan = Planner::new(self.db).plan(query, seed.map(|(t, _, _)| t));
+        let mut partial: Vec<Option<(TupleId, Tuple)>> = vec![None; query.terms.len()];
+        if let Some((t, tid, tuple)) = seed {
+            partial[t] = Some((tid, tuple.clone()));
+        }
+        let start = usize::from(seed.is_some());
+        self.extend(query, &plan.order, start, &mut partial, &mut out)?;
+        Ok(out)
+    }
+
+    /// Recursive extension along the plan order.
+    fn extend(
+        &self,
+        query: &ConjunctiveQuery,
+        order: &[usize],
+        step: usize,
+        partial: &mut Vec<Option<(TupleId, Tuple)>>,
+        out: &mut Vec<Binding>,
+    ) -> Result<()> {
+        if step == order.len() {
+            if self.negated_terms_clear(query, partial)? {
+                out.push(Binding {
+                    slots: partial.clone(),
+                });
+            }
+            return Ok(());
+        }
+        let t = order[step];
+        for (tid, tuple) in self.candidates(query, t, partial)? {
+            partial[t] = Some((tid, tuple));
+            self.extend(query, order, step + 1, partial, out)?;
+            partial[t] = None;
+        }
+        Ok(())
+    }
+
+    /// Tuples of term `t` consistent with the bound part of `partial`.
+    fn candidates(
+        &self,
+        query: &ConjunctiveQuery,
+        t: usize,
+        partial: &[Option<(TupleId, Tuple)>],
+    ) -> Result<Vec<(TupleId, Tuple)>> {
+        let restriction = self.bound_restriction(query, t, partial);
+        self.db
+            .read(query.terms[t].rel, |rel| rel.select(&restriction))
+    }
+
+    /// Term `t`'s restriction augmented with selections derived from join
+    /// predicates whose other endpoint is already bound.
+    fn bound_restriction(
+        &self,
+        query: &ConjunctiveQuery,
+        t: usize,
+        partial: &[Option<(TupleId, Tuple)>],
+    ) -> Restriction {
+        let base = &query.terms[t].restriction;
+        let mut tests = base.tests.clone();
+        for j in query.joins_of(t) {
+            let Some((my_attr, op, other, other_attr)) = j.oriented(t) else {
+                continue;
+            };
+            if let Some((_, other_tuple)) = &partial[other] {
+                tests.push(Selection::new(my_attr, op, other_tuple[other_attr].clone()));
+            }
+        }
+        Restriction::new(tests).with_attr_tests(base.attr_tests.clone())
+    }
+
+    /// Check every negated term: a binding survives only if no tuple
+    /// matches the negated term's restriction plus its joins into the
+    /// bound positive terms.
+    fn negated_terms_clear(
+        &self,
+        query: &ConjunctiveQuery,
+        partial: &[Option<(TupleId, Tuple)>],
+    ) -> Result<bool> {
+        for t in query.negated_terms() {
+            let restriction = self.bound_restriction(query, t, partial);
+            let found = self.db.read(query.terms[t].rel, |rel| {
+                !rel.select_ids(&restriction).is_empty()
+            })?;
+            if found {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Count results without materializing bindings (existence checks).
+    pub fn exists(
+        &self,
+        query: &ConjunctiveQuery,
+        seed: Option<(usize, TupleId, &Tuple)>,
+    ) -> Result<bool> {
+        Ok(!self.exec(query, seed)?.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CompOp;
+    use crate::query::{JoinPred, QueryTerm};
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    /// Example 3 of the paper: Emp(name, salary, manager, dno) and
+    /// Dept(dno, dname, floor, manager).
+    fn example3_db() -> (Database, crate::schema::RelId, crate::schema::RelId) {
+        let db = Database::new();
+        let emp = db
+            .create_relation(Schema::new("Emp", ["name", "salary", "manager", "dno"]))
+            .unwrap();
+        let dept = db
+            .create_relation(Schema::new("Dept", ["dno", "dname", "floor", "manager"]))
+            .unwrap();
+        db.insert(emp, tuple!["Mike", 6000, "Sam", 1]).unwrap();
+        db.insert(emp, tuple!["Sam", 5000, "Root", 1]).unwrap();
+        db.insert(emp, tuple!["Jane", 4000, "Sam", 2]).unwrap();
+        db.insert(dept, tuple![1, "Toy", 1, "Sam"]).unwrap();
+        db.insert(dept, tuple![2, "Shoe", 2, "Ann"]).unwrap();
+        (db, emp, dept)
+    }
+
+    #[test]
+    fn rule_r1_mike_earns_more_than_manager() {
+        // (Emp ^name Mike ^salary <S> ^manager <M>)
+        // (Emp ^name <M> ^salary {<S1> < <S>})
+        let (db, emp, _) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::new(vec![Selection::eq(0, "Mike")])),
+                QueryTerm::new(emp, Restriction::default()),
+            ],
+            vec![
+                JoinPred::eq(0, 2, 1, 0), // manager name join
+                JoinPred {
+                    left_term: 1,
+                    left_attr: 1,
+                    op: CompOp::Lt,
+                    right_term: 0,
+                    right_attr: 1,
+                },
+            ],
+        );
+        let res = QueryExecutor::new(&db).exec(&q, None).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].tuple(0)[0], crate::Value::str("Mike"));
+        assert_eq!(res[0].tuple(1)[0], crate::Value::str("Sam"));
+    }
+
+    #[test]
+    fn rule_r2_toy_first_floor() {
+        // (Emp ^dno <D>) (Dept ^dno <D> ^dname Toy ^floor 1)
+        let (db, emp, dept) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::default()),
+                QueryTerm::new(
+                    dept,
+                    Restriction::new(vec![Selection::eq(1, "Toy"), Selection::eq(2, 1)]),
+                ),
+            ],
+            vec![JoinPred::eq(0, 3, 1, 0)],
+        );
+        let res = QueryExecutor::new(&db).exec(&q, None).unwrap();
+        // Mike and Sam are in dno 1 (Toy, floor 1); Jane is not.
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn seeded_execution_matches_unseeded() {
+        let (db, emp, dept) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::default()),
+                QueryTerm::new(dept, Restriction::new(vec![Selection::eq(1, "Toy")])),
+            ],
+            vec![JoinPred::eq(0, 3, 1, 0)],
+        );
+        let all = QueryExecutor::new(&db).exec(&q, None).unwrap();
+        // Seed each Emp tuple in turn; union must equal the full result.
+        let emps = db.read(emp, |r| r.scan()).unwrap();
+        let mut seeded = Vec::new();
+        for (tid, t) in &emps {
+            seeded.extend(
+                QueryExecutor::new(&db)
+                    .exec(&q, Some((0, *tid, t)))
+                    .unwrap(),
+            );
+        }
+        assert_eq!(all.len(), seeded.len());
+    }
+
+    #[test]
+    fn seed_failing_restriction_yields_nothing() {
+        let (db, emp, _) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![QueryTerm::new(
+                emp,
+                Restriction::new(vec![Selection::eq(0, "Mike")]),
+            )],
+            vec![],
+        );
+        let emps = db.read(emp, |r| r.scan()).unwrap();
+        let sam = emps
+            .iter()
+            .find(|(_, t)| t[0] == crate::Value::str("Sam"))
+            .unwrap();
+        let res = QueryExecutor::new(&db)
+            .exec(&q, Some((0, sam.0, &sam.1)))
+            .unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn negated_term_blocks_bindings() {
+        // Emps with no department tuple: (Emp ^dno <D>) -(Dept ^dno <D>)
+        let (db, emp, dept) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::default()),
+                QueryTerm::negated(dept, Restriction::default()),
+            ],
+            vec![JoinPred::eq(0, 3, 1, 0)],
+        );
+        let res = QueryExecutor::new(&db).exec(&q, None).unwrap();
+        assert!(res.is_empty(), "every emp has a dept");
+
+        db.insert(emp, tuple!["Orphan", 1000, "Sam", 99]).unwrap();
+        let res = QueryExecutor::new(&db).exec(&q, None).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].tuple(0)[0], crate::Value::str("Orphan"));
+        assert!(res[0].slots[1].is_none(), "negated term stays unbound");
+    }
+
+    #[test]
+    fn three_way_join() {
+        // Example 4's shape: A(a1,a2,a3), B(b1,b2,b3), C(c1,c2,c3)
+        // A.a1 = B.b1, B.b2 = C.c2, A.a3 = C.c3.
+        let db = Database::new();
+        let a = db
+            .create_relation(Schema::new("A", ["a1", "a2", "a3"]))
+            .unwrap();
+        let b = db
+            .create_relation(Schema::new("B", ["b1", "b2", "b3"]))
+            .unwrap();
+        let c = db
+            .create_relation(Schema::new("C", ["c1", "c2", "c3"]))
+            .unwrap();
+        db.insert(a, tuple![4, "a", 8]).unwrap();
+        db.insert(b, tuple![4, 5, "b"]).unwrap();
+        db.insert(b, tuple![4, 7, "b"]).unwrap();
+        db.insert(c, tuple!["c", 7, 8]).unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(a, Restriction::new(vec![Selection::eq(1, "a")])),
+                QueryTerm::new(b, Restriction::new(vec![Selection::eq(2, "b")])),
+                QueryTerm::new(c, Restriction::new(vec![Selection::eq(0, "c")])),
+            ],
+            vec![
+                JoinPred::eq(0, 0, 1, 0),
+                JoinPred::eq(1, 1, 2, 1),
+                JoinPred::eq(0, 2, 2, 2),
+            ],
+        );
+        let res = QueryExecutor::new(&db).exec(&q, None).unwrap();
+        assert_eq!(res.len(), 1, "only B(4,7,b) completes the join");
+        assert_eq!(res[0].tuple(1)[1], crate::Value::Int(7));
+    }
+
+    #[test]
+    fn exists_shortcut() {
+        let (db, emp, _) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![QueryTerm::new(
+                emp,
+                Restriction::new(vec![Selection::eq(0, "Mike")]),
+            )],
+            vec![],
+        );
+        assert!(QueryExecutor::new(&db).exists(&q, None).unwrap());
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let db = Database::new();
+        let q = ConjunctiveQuery::default();
+        assert!(QueryExecutor::new(&db).exec(&q, None).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Greedy join-order planning.
+//!
+//! §3.2 of the paper criticizes the Rete network for freezing one access
+//! plan at compile time and notes that "database technology provides more
+//! efficient ways of generating efficient access plans". The planner here
+//! implements the standard greedy heuristic: start from the seeded or most
+//! selective term, then repeatedly append the cheapest term that is
+//! connected to the bound set by an equi-join (falling back to the smallest
+//! unconnected term, i.e. a cross product, only when forced).
+
+use super::ConjunctiveQuery;
+use crate::database::Database;
+use crate::pred::CompOp;
+
+/// An ordered execution plan over the positive terms of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Visit order (indexes into `query.terms`); negated terms excluded.
+    pub order: Vec<usize>,
+    /// Term seeded with a known tuple, if any. Always first in `order`.
+    pub seed: Option<usize>,
+}
+
+/// Plans conjunctive queries against a database's current statistics.
+pub struct Planner<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Planner<'a> {
+    /// Create a new, empty instance.
+    pub fn new(db: &'a Database) -> Self {
+        Planner { db }
+    }
+
+    /// Estimated result size of evaluating just term `t`'s restriction.
+    fn term_cardinality(&self, query: &ConjunctiveQuery, t: usize) -> f64 {
+        let term = &query.terms[t];
+        let n = self.db.relation_len(term.rel) as f64;
+        n * term.restriction.selectivity().max(1e-6)
+    }
+
+    /// Plan the positive terms. `seed`, when given, fixes the first term
+    /// (the condition element filled by the tuple that just arrived).
+    pub fn plan(&self, query: &ConjunctiveQuery, seed: Option<usize>) -> Plan {
+        let positives = query.positive_terms();
+        let mut remaining: Vec<usize> = positives
+            .iter()
+            .copied()
+            .filter(|&t| Some(t) != seed)
+            .collect();
+        let mut order: Vec<usize> = Vec::with_capacity(positives.len());
+        if let Some(s) = seed {
+            debug_assert!(!query.terms[s].negated, "seed must be a positive term");
+            order.push(s);
+        }
+
+        // If no seed, start from the cheapest term.
+        if order.is_empty() && !remaining.is_empty() {
+            let best = remaining
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    self.term_cardinality(query, a)
+                        .total_cmp(&self.term_cardinality(query, b))
+                })
+                .expect("nonempty");
+            remaining.retain(|&t| t != best);
+            order.push(best);
+        }
+
+        while !remaining.is_empty() {
+            // Prefer terms equi-joined to the bound set (cheapest first),
+            // then any joined term, then the cheapest cross product.
+            let connected = |t: usize, eq_only: bool| -> bool {
+                query.joins_of(t).any(|j| {
+                    (!eq_only || j.op == CompOp::Eq)
+                        && j.other(t).is_some_and(|o| order.contains(&o))
+                })
+            };
+            let pick = remaining
+                .iter()
+                .copied()
+                .filter(|&t| connected(t, true))
+                .min_by(|&a, &b| {
+                    self.term_cardinality(query, a)
+                        .total_cmp(&self.term_cardinality(query, b))
+                })
+                .or_else(|| {
+                    remaining
+                        .iter()
+                        .copied()
+                        .filter(|&t| connected(t, false))
+                        .min_by(|&a, &b| {
+                            self.term_cardinality(query, a)
+                                .total_cmp(&self.term_cardinality(query, b))
+                        })
+                })
+                .or_else(|| {
+                    remaining.iter().copied().min_by(|&a, &b| {
+                        self.term_cardinality(query, a)
+                            .total_cmp(&self.term_cardinality(query, b))
+                    })
+                })
+                .expect("nonempty remaining");
+            remaining.retain(|&t| t != pick);
+            order.push(pick);
+        }
+
+        Plan { order, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{Restriction, Selection};
+    use crate::query::{JoinPred, QueryTerm};
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    fn db_with_sizes(sizes: &[usize]) -> Database {
+        let db = Database::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let rid = db
+                .create_relation(Schema::new(format!("R{i}"), ["a", "b"]))
+                .unwrap();
+            for k in 0..n {
+                db.insert(rid, tuple![k as i64, (k % 7) as i64]).unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn seed_goes_first() {
+        let db = db_with_sizes(&[100, 10, 1000]);
+        let q = ConjunctiveQuery::new(
+            (0..3)
+                .map(|i| QueryTerm::new(crate::schema::RelId(i), Restriction::default()))
+                .collect(),
+            vec![JoinPred::eq(0, 0, 1, 0), JoinPred::eq(1, 1, 2, 1)],
+        );
+        let plan = Planner::new(&db).plan(&q, Some(2));
+        assert_eq!(plan.order[0], 2);
+        assert_eq!(plan.order.len(), 3);
+        // Term 1 is joined to 2; it should come before the unjoined-to-2 term 0.
+        assert_eq!(plan.order[1], 1);
+    }
+
+    #[test]
+    fn unseeded_starts_cheapest_and_follows_joins() {
+        let db = db_with_sizes(&[1000, 5, 500]);
+        let q = ConjunctiveQuery::new(
+            (0..3)
+                .map(|i| QueryTerm::new(crate::schema::RelId(i), Restriction::default()))
+                .collect(),
+            vec![JoinPred::eq(0, 0, 1, 0), JoinPred::eq(0, 1, 2, 1)],
+        );
+        let plan = Planner::new(&db).plan(&q, None);
+        assert_eq!(plan.order[0], 1, "smallest relation first");
+        assert_eq!(plan.order[1], 0, "must follow the join edge");
+    }
+
+    #[test]
+    fn selective_restriction_lowers_cardinality() {
+        let db = db_with_sizes(&[100, 100]);
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(crate::schema::RelId(0), Restriction::default()),
+                QueryTerm::new(
+                    crate::schema::RelId(1),
+                    Restriction::new(vec![Selection::eq(0, 1)]),
+                ),
+            ],
+            vec![JoinPred::eq(0, 0, 1, 0)],
+        );
+        let plan = Planner::new(&db).plan(&q, None);
+        assert_eq!(plan.order[0], 1, "restricted term is cheaper");
+    }
+
+    #[test]
+    fn negated_terms_excluded_from_order() {
+        let db = db_with_sizes(&[10, 10]);
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(crate::schema::RelId(0), Restriction::default()),
+                QueryTerm::negated(crate::schema::RelId(1), Restriction::default()),
+            ],
+            vec![JoinPred::eq(0, 0, 1, 0)],
+        );
+        let plan = Planner::new(&db).plan(&q, None);
+        assert_eq!(plan.order, vec![0]);
+    }
+}

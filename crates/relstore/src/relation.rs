@@ -1,0 +1,506 @@
+//! A single relation: slotted tuple storage plus secondary indexes.
+
+use crate::error::{Error, Result};
+use crate::index::{HashIndex, OrdIndex};
+use crate::pred::{CompOp, Restriction, Selection};
+use crate::schema::{AttrIdx, RelId, Schema};
+use crate::stats::Stats;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+
+/// One storage slot. Deleted slots keep their generation so stale
+/// [`TupleId`]s can be rejected instead of silently resolving to a new
+/// occupant.
+#[derive(Debug, Clone)]
+struct Slot {
+    gen: u32,
+    tuple: Option<Tuple>,
+}
+
+/// A relation with slotted storage, optional per-attribute indexes, and
+/// logical I/O accounting.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    id: RelId,
+    schema: Schema,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    hash_indexes: Vec<Option<HashIndex>>,
+    ord_indexes: Vec<Option<OrdIndex>>,
+    stats: Stats,
+}
+
+impl Relation {
+    /// Create a new, empty instance.
+    pub fn new(id: RelId, schema: Schema, stats: Stats) -> Self {
+        let arity = schema.arity();
+        Relation {
+            id,
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            hash_indexes: vec![None; arity],
+            ord_indexes: vec![None; arity],
+            stats,
+        }
+    }
+
+    /// This item's identifier.
+    pub fn id(&self) -> RelId {
+        self.id
+    }
+
+    /// This relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The name of this item.
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn check_attr(&self, attr: AttrIdx) -> Result<()> {
+        if attr >= self.schema.arity() {
+            return Err(Error::BadAttrIndex {
+                relation: self.name().to_string(),
+                index: attr,
+            });
+        }
+        Ok(())
+    }
+
+    /// Build (or rebuild) a hash index on `attr`.
+    pub fn create_hash_index(&mut self, attr: AttrIdx) -> Result<()> {
+        self.check_attr(attr)?;
+        let mut idx = HashIndex::new();
+        for (tid, t) in self.iter_live() {
+            idx.insert(t[attr].clone(), tid);
+        }
+        self.hash_indexes[attr] = Some(idx);
+        Ok(())
+    }
+
+    /// Build (or rebuild) an ordered index on `attr`.
+    pub fn create_ord_index(&mut self, attr: AttrIdx) -> Result<()> {
+        self.check_attr(attr)?;
+        let mut idx = OrdIndex::new();
+        for (tid, t) in self.iter_live() {
+            idx.insert(t[attr].clone(), tid);
+        }
+        self.ord_indexes[attr] = Some(idx);
+        Ok(())
+    }
+
+    /// Is there a hash index on `attr`?
+    pub fn has_hash_index(&self, attr: AttrIdx) -> bool {
+        self.hash_indexes.get(attr).is_some_and(Option::is_some)
+    }
+
+    /// Is there an ordered index on `attr`?
+    pub fn has_ord_index(&self, attr: AttrIdx) -> bool {
+        self.ord_indexes.get(attr).is_some_and(Option::is_some)
+    }
+
+    /// Insert a tuple, returning its id.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<TupleId> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                relation: self.name().to_string(),
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        let tid = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.tuple = Some(tuple.clone());
+                TupleId::new(slot, s.gen)
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    tuple: Some(tuple.clone()),
+                });
+                TupleId::new(slot, 0)
+            }
+        };
+        for (attr, idx) in self.hash_indexes.iter_mut().enumerate() {
+            if let Some(idx) = idx {
+                idx.insert(tuple[attr].clone(), tid);
+            }
+        }
+        for (attr, idx) in self.ord_indexes.iter_mut().enumerate() {
+            if let Some(idx) = idx {
+                idx.insert(tuple[attr].clone(), tid);
+            }
+        }
+        self.live += 1;
+        self.stats.inserted();
+        Ok(tid)
+    }
+
+    /// Delete by id, returning the removed tuple.
+    pub fn delete(&mut self, tid: TupleId) -> Result<Tuple> {
+        let slot = self
+            .slots
+            .get_mut(tid.slot as usize)
+            .ok_or(Error::NoSuchTuple(self.id, tid.pack()))?;
+        if slot.gen != tid.gen || slot.tuple.is_none() {
+            return Err(Error::NoSuchTuple(self.id, tid.pack()));
+        }
+        let tuple = slot.tuple.take().expect("checked live");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(tid.slot);
+        self.live -= 1;
+        for (attr, idx) in self.hash_indexes.iter_mut().enumerate() {
+            if let Some(idx) = idx {
+                idx.remove(&tuple[attr], tid);
+            }
+        }
+        for (attr, idx) in self.ord_indexes.iter_mut().enumerate() {
+            if let Some(idx) = idx {
+                idx.remove(&tuple[attr], tid);
+            }
+        }
+        self.stats.deleted();
+        Ok(tuple)
+    }
+
+    /// Fetch a tuple by id.
+    pub fn get(&self, tid: TupleId) -> Result<&Tuple> {
+        let slot = self
+            .slots
+            .get(tid.slot as usize)
+            .ok_or(Error::NoSuchTuple(self.id, tid.pack()))?;
+        if slot.gen != tid.gen {
+            return Err(Error::NoSuchTuple(self.id, tid.pack()));
+        }
+        self.stats.read_tuples(1);
+        slot.tuple
+            .as_ref()
+            .ok_or(Error::NoSuchTuple(self.id, tid.pack()))
+    }
+
+    /// True when `tid` names a live tuple.
+    pub fn contains(&self, tid: TupleId) -> bool {
+        self.slots
+            .get(tid.slot as usize)
+            .is_some_and(|s| s.gen == tid.gen && s.tuple.is_some())
+    }
+
+    /// Iterate over live tuples without I/O accounting (internal).
+    fn iter_live(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.tuple.as_ref().map(|t| (TupleId::new(i as u32, s.gen), t)))
+    }
+
+    /// Full scan. Counts one scan and one read per live tuple.
+    pub fn scan(&self) -> Vec<(TupleId, Tuple)> {
+        self.stats.scan();
+        self.stats.read_tuples(self.live as u64);
+        self.iter_live().map(|(tid, t)| (tid, t.clone())).collect()
+    }
+
+    /// Find the first live tuple equal to `tuple` (value equality).
+    ///
+    /// OPS5 `remove` deletes a WM element by content; this is the lookup
+    /// behind it. Uses a hash index when one exists on any attribute.
+    pub fn find_equal(&self, tuple: &Tuple) -> Option<TupleId> {
+        // Prefer an indexed attribute probe.
+        for (attr, idx) in self.hash_indexes.iter().enumerate() {
+            if let Some(idx) = idx {
+                self.stats.index_probe();
+                let candidates = idx.probe(&tuple[attr]);
+                self.stats.read_tuples(candidates.len() as u64);
+                return candidates
+                    .iter()
+                    .copied()
+                    .find(|tid| self.slots[tid.slot as usize].tuple.as_ref() == Some(tuple));
+            }
+        }
+        self.stats.scan();
+        self.stats.read_tuples(self.live as u64);
+        self.iter_live()
+            .find(|(_, t)| *t == tuple)
+            .map(|(tid, _)| tid)
+    }
+
+    /// Evaluate a restriction, using the best available index.
+    pub fn select(&self, restriction: &Restriction) -> Vec<(TupleId, Tuple)> {
+        let ids = self.select_ids(restriction);
+        ids.into_iter()
+            .map(|tid| {
+                let t = self.slots[tid.slot as usize]
+                    .tuple
+                    .clone()
+                    .expect("live id");
+                (tid, t)
+            })
+            .collect()
+    }
+
+    /// Like [`Relation::select`] but returns ids only.
+    pub fn select_ids(&self, restriction: &Restriction) -> Vec<TupleId> {
+        // 1. Equality test with a hash index?
+        for sel in restriction.equalities() {
+            if let Some(Some(idx)) = self.hash_indexes.get(sel.attr) {
+                self.stats.index_probe();
+                let candidates = idx.probe(&sel.value);
+                self.stats.read_tuples(candidates.len() as u64);
+                self.stats
+                    .pred_evals(candidates.len() as u64 * restriction.tests.len() as u64);
+                return candidates
+                    .iter()
+                    .copied()
+                    .filter(|tid| {
+                        let t = self.slots[tid.slot as usize]
+                            .tuple
+                            .as_ref()
+                            .expect("indexed");
+                        restriction.matches(t)
+                    })
+                    .collect();
+            }
+        }
+        // 2. Range test with an ordered index?
+        for sel in &restriction.tests {
+            if sel.op == CompOp::Ne {
+                continue;
+            }
+            if let Some(Some(idx)) = self.ord_indexes.get(sel.attr) {
+                self.stats.index_probe();
+                let candidates = idx.probe_op(sel.op, &sel.value);
+                self.stats.read_tuples(candidates.len() as u64);
+                self.stats
+                    .pred_evals(candidates.len() as u64 * restriction.tests.len() as u64);
+                return candidates
+                    .into_iter()
+                    .filter(|tid| {
+                        let t = self.slots[tid.slot as usize]
+                            .tuple
+                            .as_ref()
+                            .expect("indexed");
+                        restriction.matches(t)
+                    })
+                    .collect();
+            }
+        }
+        // 3. Fall back to a scan.
+        self.stats.scan();
+        self.stats.read_tuples(self.live as u64);
+        self.stats
+            .pred_evals(self.live as u64 * restriction.tests.len().max(1) as u64);
+        self.iter_live()
+            .filter(|(_, t)| restriction.matches(t))
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    /// Tuple ids where `attr op value`, used by join inner loops.
+    pub fn probe(&self, attr: AttrIdx, op: CompOp, value: &Value) -> Vec<TupleId> {
+        self.select_ids(&Restriction::new(vec![Selection::new(
+            attr,
+            op,
+            value.clone(),
+        )]))
+    }
+
+    /// Estimated number of distinct values in `attr` (for join planning).
+    pub fn distinct_estimate(&self, attr: AttrIdx) -> usize {
+        if let Some(Some(idx)) = self.hash_indexes.get(attr) {
+            return idx.distinct_keys().max(1);
+        }
+        if let Some(Some(idx)) = self.ord_indexes.get(attr) {
+            return idx.distinct_keys().max(1);
+        }
+        // Heuristic: assume modest duplication.
+        (self.live / 4).max(1)
+    }
+
+    /// Approximate storage footprint in bytes (tuples + index postings).
+    pub fn approx_bytes(&self) -> usize {
+        let tuples: usize = self.iter_live().map(|(_, t)| t.approx_bytes()).sum();
+        let postings: usize = self
+            .hash_indexes
+            .iter()
+            .flatten()
+            .map(|i| i.len() * std::mem::size_of::<TupleId>() * 2)
+            .sum::<usize>()
+            + self
+                .ord_indexes
+                .iter()
+                .flatten()
+                .map(|i| i.len() * std::mem::size_of::<TupleId>() * 2)
+                .sum::<usize>();
+        tuples + postings
+    }
+
+    /// Drop every tuple but keep schema and index definitions.
+    pub fn clear(&mut self) {
+        let arity = self.schema.arity();
+        let had_hash: Vec<bool> = self.hash_indexes.iter().map(Option::is_some).collect();
+        let had_ord: Vec<bool> = self.ord_indexes.iter().map(Option::is_some).collect();
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        self.hash_indexes = (0..arity)
+            .map(|i| had_hash[i].then(HashIndex::new))
+            .collect();
+        self.ord_indexes = (0..arity).map(|i| had_ord[i].then(OrdIndex::new)).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn emp() -> Relation {
+        Relation::new(
+            RelId(0),
+            Schema::new("Emp", ["name", "age", "salary", "dno"]),
+            Stats::new(),
+        )
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut r = emp();
+        let tid = r.insert(tuple!["Mike", 32, 5000, 7]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(tid).unwrap()[0], Value::str("Mike"));
+        let t = r.delete(tid).unwrap();
+        assert_eq!(t[1], Value::Int(32));
+        assert!(r.is_empty());
+        assert!(r.get(tid).is_err());
+        assert!(r.delete(tid).is_err());
+    }
+
+    #[test]
+    fn stale_id_rejected_after_slot_reuse() {
+        let mut r = emp();
+        let a = r.insert(tuple!["A", 1, 1, 1]).unwrap();
+        r.delete(a).unwrap();
+        let b = r.insert(tuple!["B", 2, 2, 2]).unwrap();
+        assert_eq!(a.slot, b.slot, "slot should be recycled");
+        assert!(r.get(a).is_err(), "stale generation must not resolve");
+        assert_eq!(r.get(b).unwrap()[0], Value::str("B"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = emp();
+        assert!(matches!(
+            r.insert(tuple!["Mike", 32]),
+            Err(Error::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn select_with_and_without_index() {
+        let mut r = emp();
+        for i in 0..100i64 {
+            r.insert(tuple![format!("e{i}"), 20 + (i % 40), 1000 * i, i % 10])
+                .unwrap();
+        }
+        let scan_res = r.select(&Restriction::new(vec![Selection::eq(3, 4)]));
+        assert_eq!(scan_res.len(), 10);
+
+        r.create_hash_index(3).unwrap();
+        let idx_res = r.select(&Restriction::new(vec![Selection::eq(3, 4)]));
+        let mut a: Vec<_> = scan_res.iter().map(|(tid, _)| *tid).collect();
+        let mut b: Vec<_> = idx_res.iter().map(|(tid, _)| *tid).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ord_index_range_select() {
+        let mut r = emp();
+        for i in 0..50i64 {
+            r.insert(tuple![format!("e{i}"), i, 0, 0]).unwrap();
+        }
+        r.create_ord_index(1).unwrap();
+        let res = r.select(&Restriction::new(vec![Selection::new(1, CompOp::Ge, 45)]));
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn index_maintained_across_delete() {
+        let mut r = emp();
+        r.create_hash_index(0).unwrap();
+        let tid = r.insert(tuple!["Mike", 32, 5000, 7]).unwrap();
+        assert_eq!(r.find_equal(&tuple!["Mike", 32, 5000, 7]), Some(tid));
+        r.delete(tid).unwrap();
+        assert_eq!(r.find_equal(&tuple!["Mike", 32, 5000, 7]), None);
+    }
+
+    #[test]
+    fn find_equal_distinguishes_duplicates_by_content() {
+        let mut r = emp();
+        r.insert(tuple!["A", 1, 1, 1]).unwrap();
+        let b = r.insert(tuple!["B", 2, 2, 2]).unwrap();
+        assert_eq!(r.find_equal(&tuple!["B", 2, 2, 2]), Some(b));
+        assert_eq!(r.find_equal(&tuple!["C", 3, 3, 3]), None);
+    }
+
+    #[test]
+    fn io_accounting_counts_scans_and_probes() {
+        let mut r = emp();
+        for i in 0..10i64 {
+            r.insert(tuple![format!("e{i}"), i, 0, 0]).unwrap();
+        }
+        let before = r.stats.snapshot();
+        r.select(&Restriction::new(vec![Selection::eq(1, 3)]));
+        let after = r.stats.snapshot().since(&before);
+        assert_eq!(after.scans, 1);
+        assert_eq!(after.tuples_read, 10);
+
+        r.create_hash_index(1).unwrap();
+        let before = r.stats.snapshot();
+        r.select(&Restriction::new(vec![Selection::eq(1, 3)]));
+        let after = r.stats.snapshot().since(&before);
+        assert_eq!(after.scans, 0);
+        assert_eq!(after.index_probes, 1);
+        assert_eq!(after.tuples_read, 1);
+    }
+
+    #[test]
+    fn clear_keeps_index_definitions() {
+        let mut r = emp();
+        r.create_hash_index(0).unwrap();
+        r.insert(tuple!["A", 1, 1, 1]).unwrap();
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.has_hash_index(0));
+        let tid = r.insert(tuple!["B", 2, 2, 2]).unwrap();
+        assert_eq!(r.find_equal(&tuple!["B", 2, 2, 2]), Some(tid));
+    }
+
+    #[test]
+    fn probe_uses_selection_path() {
+        let mut r = emp();
+        for i in 0..20i64 {
+            r.insert(tuple![format!("e{i}"), i, 0, i % 2]).unwrap();
+        }
+        assert_eq!(r.probe(3, CompOp::Eq, &Value::Int(1)).len(), 10);
+        assert_eq!(r.probe(1, CompOp::Lt, &Value::Int(5)).len(), 5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Relation schemas and catalog identifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::value::ValueType;
+
+/// Identifier of a relation inside a [`crate::Database`] catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a catalog vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel#{}", self.0)
+    }
+}
+
+/// Position of an attribute within a schema (0-based column index).
+pub type AttrIdx = usize;
+
+/// One attribute: a name plus a declared type.
+///
+/// The storage layer is dynamically typed — OPS5 `literalize` declares
+/// attribute *names* only — so `ValueType` here is advisory: it records the
+/// dominant type for planning/statistics but tuples may store any value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// The source-level name.
+    pub name: Arc<str>,
+    /// Advisory declared type (storage stays dynamically typed).
+    pub ty: Option<ValueType>,
+}
+
+impl Attribute {
+    /// Create a new, empty instance.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Attribute {
+            name: Arc::from(name.as_ref()),
+            ty: None,
+        }
+    }
+
+    /// An attribute with an advisory declared type.
+    pub fn typed(name: impl AsRef<str>, ty: ValueType) -> Self {
+        Attribute {
+            name: Arc::from(name.as_ref()),
+            ty: Some(ty),
+        }
+    }
+}
+
+/// The schema of a relation: its name and ordered attribute list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: Arc<str>,
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Create a schema from a relation name and attribute names.
+    ///
+    /// This mirrors OPS5's `(literalize Emp name age salary dno)`.
+    pub fn new<S: AsRef<str>>(
+        name: impl AsRef<str>,
+        attr_names: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Schema {
+            name: Arc::from(name.as_ref()),
+            attrs: attr_names.into_iter().map(Attribute::new).collect(),
+        }
+    }
+
+    /// Create a schema with explicit attributes.
+    pub fn with_attrs(name: impl AsRef<str>, attrs: Vec<Attribute>) -> Self {
+        Schema {
+            name: Arc::from(name.as_ref()),
+            attrs,
+        }
+    }
+
+    /// The name of this item.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (tuple arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The ordered attribute list.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Name of the attribute at `idx`.
+    pub fn attr_name(&self, idx: AttrIdx) -> Result<&str> {
+        self.attrs
+            .get(idx)
+            .map(|a| a.name.as_ref())
+            .ok_or_else(|| Error::BadAttrIndex {
+                relation: self.name.to_string(),
+                index: idx,
+            })
+    }
+
+    /// Resolve an attribute name (case sensitive) to its column index.
+    pub fn attr_index(&self, name: &str) -> Result<AttrIdx> {
+        self.attrs
+            .iter()
+            .position(|a| a.name.as_ref() == name)
+            .ok_or_else(|| Error::UnknownAttribute {
+                relation: self.name.to_string(),
+                attribute: name.to_string(),
+            })
+    }
+
+    /// True if the schema declares an attribute with this name.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a.name.as_ref() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literalize_style_schema() {
+        let s = Schema::new("Emp", ["name", "age", "salary", "dno"]);
+        assert_eq!(s.name(), "Emp");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attr_index("salary").unwrap(), 2);
+        assert_eq!(s.attr_name(3).unwrap(), "dno");
+        assert!(s.has_attr("age"));
+        assert!(!s.has_attr("floor"));
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let s = Schema::new("Dept", ["dno", "dname"]);
+        let err = s.attr_index("floor").unwrap_err();
+        assert!(matches!(err, Error::UnknownAttribute { .. }));
+        assert!(s.attr_name(9).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Snapshot persistence.
+//!
+//! OPS5 working memory "resides entirely in virtual memory, and does not
+//! persist after the execution of a program" (§3.1); a DBMS-resident WM is
+//! persistent. This module serializes the full catalog and every live
+//! tuple to a compact binary image (length-prefixed records, little
+//! endian) and restores it, so a production system can stop and resume.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+const MAGIC: u32 = 0x5e11_1988; // "Sellis 1988"
+const VERSION: u16 = 1;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corrupt("string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(Error::Corrupt("string body"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| Error::Corrupt("string utf8"))
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(3);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(Error::Corrupt("value tag"));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            if !buf.has_remaining() {
+                return Err(Error::Corrupt("bool body"));
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(Error::Corrupt("int body"));
+            }
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(Error::Corrupt("float body"));
+            }
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        4 => Ok(Value::from(get_str(buf)?)),
+        _ => Err(Error::Corrupt("unknown value tag")),
+    }
+}
+
+/// Serialize the database (schemas + live tuples + index definitions).
+pub fn save(db: &Database) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    let names = db.relation_names();
+    buf.put_u32_le(names.len() as u32);
+    for (rid, _) in names {
+        db.read(rid, |rel| {
+            let schema = rel.schema();
+            put_str(&mut buf, schema.name());
+            buf.put_u32_le(schema.arity() as u32);
+            for a in schema.attrs() {
+                put_str(&mut buf, &a.name);
+            }
+            // Index definitions.
+            let mut hash_attrs = Vec::new();
+            let mut ord_attrs = Vec::new();
+            for attr in 0..schema.arity() {
+                if rel.has_hash_index(attr) {
+                    hash_attrs.push(attr as u32);
+                }
+                if rel.has_ord_index(attr) {
+                    ord_attrs.push(attr as u32);
+                }
+            }
+            buf.put_u32_le(hash_attrs.len() as u32);
+            for a in hash_attrs {
+                buf.put_u32_le(a);
+            }
+            buf.put_u32_le(ord_attrs.len() as u32);
+            for a in ord_attrs {
+                buf.put_u32_le(a);
+            }
+            // Tuples.
+            let rows = rel.scan();
+            buf.put_u32_le(rows.len() as u32);
+            for (_, t) in rows {
+                for v in t.values() {
+                    put_value(&mut buf, v);
+                }
+            }
+        })
+        .expect("catalog ids are valid");
+    }
+    buf.freeze()
+}
+
+/// Restore a database saved by [`save`].
+pub fn load(mut bytes: Bytes) -> Result<Database> {
+    if bytes.remaining() < 6 {
+        return Err(Error::Corrupt("header"));
+    }
+    if bytes.get_u32_le() != MAGIC {
+        return Err(Error::Corrupt("bad magic"));
+    }
+    if bytes.get_u16_le() != VERSION {
+        return Err(Error::Corrupt("unsupported version"));
+    }
+    let db = Database::new();
+    if bytes.remaining() < 4 {
+        return Err(Error::Corrupt("relation count"));
+    }
+    let nrels = bytes.get_u32_le();
+    for _ in 0..nrels {
+        let name = get_str(&mut bytes)?;
+        if bytes.remaining() < 4 {
+            return Err(Error::Corrupt("arity"));
+        }
+        let arity = bytes.get_u32_le() as usize;
+        let mut attrs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            attrs.push(get_str(&mut bytes)?);
+        }
+        let rid = db.create_relation(Schema::new(&name, attrs))?;
+        let read_attr_list = |bytes: &mut Bytes| -> Result<Vec<usize>> {
+            if bytes.remaining() < 4 {
+                return Err(Error::Corrupt("index list"));
+            }
+            let n = bytes.get_u32_le();
+            let mut v = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                if bytes.remaining() < 4 {
+                    return Err(Error::Corrupt("index attr"));
+                }
+                v.push(bytes.get_u32_le() as usize);
+            }
+            Ok(v)
+        };
+        let hash_attrs = read_attr_list(&mut bytes)?;
+        let ord_attrs = read_attr_list(&mut bytes)?;
+        if bytes.remaining() < 4 {
+            return Err(Error::Corrupt("tuple count"));
+        }
+        let ntuples = bytes.get_u32_le();
+        for _ in 0..ntuples {
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(get_value(&mut bytes)?);
+            }
+            db.insert(rid, Tuple::new(values))?;
+        }
+        for a in hash_attrs {
+            db.write(rid, |r| r.create_hash_index(a))??;
+        }
+        for a in ord_attrs {
+            db.write(rid, |r| r.create_ord_index(a))??;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{Restriction, Selection};
+    use crate::tuple;
+
+    #[test]
+    fn roundtrip_preserves_data_and_indexes() {
+        let db = Database::new();
+        let emp = db
+            .create_relation(Schema::new("Emp", ["name", "age", "salary"]))
+            .unwrap();
+        let dept = db
+            .create_relation(Schema::new("Dept", ["dno", "dname"]))
+            .unwrap();
+        db.insert(emp, tuple!["Mike", 32, 6000.5]).unwrap();
+        db.insert(emp, tuple!["Sam", Value::Null, 5000]).unwrap();
+        db.insert(dept, tuple![1, "Toy"]).unwrap();
+        db.write(emp, |r| r.create_hash_index(0)).unwrap().unwrap();
+        db.write(emp, |r| r.create_ord_index(1)).unwrap().unwrap();
+
+        let image = save(&db);
+        let restored = load(image).unwrap();
+        assert_eq!(restored.relation_count(), 2);
+        let emp2 = restored.rel_id("Emp").unwrap();
+        assert_eq!(restored.relation_len(emp2), 2);
+        assert!(restored.read(emp2, |r| r.has_hash_index(0)).unwrap());
+        assert!(restored.read(emp2, |r| r.has_ord_index(1)).unwrap());
+        let mike = restored
+            .select(emp2, &Restriction::new(vec![Selection::eq(0, "Mike")]))
+            .unwrap();
+        assert_eq!(mike.len(), 1);
+        assert_eq!(mike[0].1[2], Value::Float(6000.5));
+        let sam = restored
+            .select(emp2, &Restriction::new(vec![Selection::eq(0, "Sam")]))
+            .unwrap();
+        assert!(sam[0].1[1].is_null());
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = Database::new();
+        let restored = load(save(&db)).unwrap();
+        assert_eq!(restored.relation_count(), 0);
+    }
+
+    #[test]
+    fn corrupt_images_rejected() {
+        assert!(load(Bytes::from_static(b"")).is_err());
+        assert!(load(Bytes::from_static(b"\x00\x00\x00\x00\x00\x00")).is_err());
+        let db = Database::new();
+        db.create_relation(Schema::new("R", ["a"])).unwrap();
+        let image = save(&db);
+        let truncated = image.slice(0..image.len() - 1);
+        assert!(load(truncated).is_err());
+    }
+}

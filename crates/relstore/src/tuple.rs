@@ -1,0 +1,159 @@
+//! Tuples and tuple identifiers.
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Identifier of a live tuple within one relation (slot number).
+///
+/// Ids are assigned by the relation and never reused while the tuple is
+/// live; after deletion the slot may be recycled with a fresh generation,
+/// so a `TupleId` also carries a generation counter to make stale ids
+/// detectable (the classic slotted-page "tombstone" problem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Slot (position) within the relation.
+    pub slot: u32,
+    /// Generation, bumped when the slot is recycled.
+    pub gen: u32,
+}
+
+impl TupleId {
+    /// Create a new, empty instance.
+    pub fn new(slot: u32, gen: u32) -> Self {
+        TupleId { slot, gen }
+    }
+
+    /// Pack into a single u64 (snapshot encoding).
+    pub fn pack(self) -> u64 {
+        ((self.slot as u64) << 32) | self.gen as u64
+    }
+
+    /// Inverse of [`TupleId::pack`].
+    pub fn unpack(raw: u64) -> Self {
+        TupleId {
+            slot: (raw >> 32) as u32,
+            gen: raw as u32,
+        }
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.slot, self.gen)
+    }
+}
+
+/// An immutable tuple of values.
+///
+/// Tuples are shared (`Arc`) between working-memory relations, Rete
+/// memories, and conflict-set instantiations; cloning a `Tuple` only bumps
+/// a refcount, matching the paper's observation that a single WM element may
+/// simultaneously satisfy several rule conditions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Create a new, empty instance.
+    pub fn new(values: impl Into<Vec<Value>>) -> Self {
+        Tuple {
+            values: Arc::from(values.into().into_boxed_slice()),
+        }
+    }
+
+    /// Number of values in the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The tuple's values, in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at attribute `idx`, or `None` when out of range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Approximate footprint for the space experiments.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>() + self.values.iter().map(Value::approx_bytes).sum::<usize>()
+    }
+
+    /// Build a new tuple with `idx` replaced by `value` (used by `modify`).
+    pub fn with_value(&self, idx: usize, value: Value) -> Tuple {
+        let mut v: Vec<Value> = self.values.to_vec();
+        v[idx] = value;
+        Tuple::new(v)
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience constructor: `tuple!["Mike", 32, 5000, 7]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_macro_and_access() {
+        let t = tuple!["Mike", 32, 5000.0, true];
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t[0], Value::str("Mike"));
+        assert_eq!(t[1], Value::Int(32));
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.to_string(), "(Mike, 32, 5000, true)");
+    }
+
+    #[test]
+    fn with_value_is_persistent() {
+        let t = tuple![1, 2, 3];
+        let u = t.with_value(1, Value::Int(9));
+        assert_eq!(t[1], Value::Int(2));
+        assert_eq!(u[1], Value::Int(9));
+    }
+
+    #[test]
+    fn tuple_id_pack_roundtrip() {
+        let id = TupleId::new(0xDEAD_BEEF, 42);
+        assert_eq!(TupleId::unpack(id.pack()), id);
+        assert_eq!(id.to_string(), "t3735928559.42");
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = tuple!["a", "b"];
+        let u = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &u.values));
+    }
+}

@@ -1,0 +1,79 @@
+//! Undo logging for transaction rollback.
+
+use crate::schema::RelId;
+use crate::tuple::{Tuple, TupleId};
+
+/// One undoable physical action.
+#[derive(Debug, Clone)]
+pub enum Undo {
+    /// The transaction inserted `tid` into `rel`; undo by deleting it.
+    Insert { rel: RelId, tid: TupleId },
+    /// The transaction deleted `tuple` from `rel`; undo by reinserting.
+    ///
+    /// Reinsertion may assign a different tuple id; that is acceptable
+    /// because ids are never exposed across transaction boundaries (the
+    /// conflict set stores matching patterns, not tuple ids — §5.1).
+    Delete { rel: RelId, tuple: Tuple },
+}
+
+/// An in-memory undo log, applied last-in-first-out on abort.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    records: Vec<Undo>,
+}
+
+impl UndoLog {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        UndoLog::default()
+    }
+
+    /// Append an undo record.
+    pub fn record(&mut self, undo: Undo) {
+        self.records.push(undo);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drain records newest-first for rollback.
+    pub fn drain_reverse(&mut self) -> impl Iterator<Item = Undo> + '_ {
+        self.records.drain(..).rev()
+    }
+
+    /// Drop every record (on commit).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn drain_reverse_is_lifo() {
+        let mut log = UndoLog::new();
+        log.record(Undo::Insert {
+            rel: RelId(0),
+            tid: TupleId::new(1, 0),
+        });
+        log.record(Undo::Delete {
+            rel: RelId(1),
+            tuple: tuple![1],
+        });
+        assert_eq!(log.len(), 2);
+        let drained: Vec<_> = log.drain_reverse().collect();
+        assert!(matches!(drained[0], Undo::Delete { .. }));
+        assert!(matches!(drained[1], Undo::Insert { .. }));
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! Typed attribute values.
+//!
+//! Working-memory elements in OPS5 carry symbols and numbers; a relational
+//! encoding needs a small, totally ordered, hashable value domain. `Value`
+//! deliberately implements [`Eq`], [`Ord`] and [`Hash`] (floats are compared
+//! by their IEEE bits after NaN normalization) so values can serve as index
+//! keys and join keys without wrapper types at every call site.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// A boolean.
+    Bool,
+    /// A 64-bit integer.
+    Int,
+    /// A 64-bit float.
+    Float,
+    /// A reference-counted string/symbol.
+    Str,
+}
+
+/// A single attribute value.
+///
+/// `Null` encodes an OPS5 `nil` / unset attribute and compares less than
+/// every other value. Strings are reference counted so cloning tuples (which
+/// matching engines do constantly) never copies character data.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The unset value (`nil`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A reference-counted string/symbol.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type of this value, or `None` for `Null`.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(ValueType::Bool),
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Str(_) => Some(ValueType::Str),
+        }
+    }
+
+    /// True when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Exact comparison of an i64 against an f64 on the real number line.
+    /// NaN sorts above every integer.
+    fn cmp_i64_f64(i: i64, f: f64) -> Ordering {
+        if f.is_nan() {
+            return Ordering::Less;
+        }
+        const TWO63: f64 = 9_223_372_036_854_775_808.0; // 2^63
+        if f < -TWO63 {
+            return Ordering::Greater;
+        }
+        if f >= TWO63 {
+            return Ordering::Less;
+        }
+        let ft = f.trunc();
+        // Safe: |ft| < 2^63 after the guards above.
+        let fi = ft as i64;
+        match i.cmp(&fi) {
+            Ordering::Equal => {
+                let frac = f - ft;
+                if frac > 0.0 {
+                    Ordering::Less
+                } else if frac < 0.0 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Equal
+                }
+            }
+            ord => ord,
+        }
+    }
+
+    /// Total order on f64: NaNs are equal to each other and greater than
+    /// every other float; `-0.0 == +0.0`.
+    fn cmp_f64(a: f64, b: f64) -> Ordering {
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+        }
+    }
+
+    /// Rank used to order values of different types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Normalize a float for equality/hashing: all NaNs collapse to one bit
+    /// pattern and `-0.0` folds into `+0.0`.
+    fn norm_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// Approximate heap + inline footprint in bytes, used by the space
+    /// experiments (E2).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => Self::cmp_f64(*a, *b),
+            (Value::Int(a), Value::Float(b)) => Self::cmp_i64_f64(*a, *b),
+            (Value::Float(a), Value::Int(b)) => Self::cmp_i64_f64(*b, *a).reverse(),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Ints and floats that are numerically equal must hash equally,
+            // because they compare equal. Hash every number as its f64 bits
+            // when it is representable, falling back to i64 otherwise.
+            Value::Int(i) => {
+                let f = *i as f64;
+                if f as i64 == *i {
+                    state.write_u8(2);
+                    state.write_u64(Self::norm_bits(f));
+                } else {
+                    state.write_u8(3);
+                    state.write_i64(*i);
+                }
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(Self::norm_bits(*f));
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+    }
+
+    #[test]
+    fn nan_is_self_equal_and_hash_stable() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(-f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_folds() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let mut vals = [
+            Value::str("zeta"),
+            Value::Int(5),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(2.5),
+            Value::str("alpha"),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Float(2.5));
+        assert_eq!(vals[3], Value::Int(5));
+        assert_eq!(vals[4], Value::str("alpha"));
+        assert_eq!(vals[5], Value::str("zeta"));
+    }
+
+    #[test]
+    fn string_clone_is_cheap_shared() {
+        let v = Value::str("shared");
+        let w = v.clone();
+        if let (Value::Str(a), Value::Str(b)) = (&v, &w) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            panic!("expected strings");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "nil");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::str("Toy").to_string(), "Toy");
+    }
+
+    #[test]
+    fn large_int_not_equal_to_rounded_float() {
+        // i64::MAX is not representable as f64; ensure no false equality.
+        let big = Value::Int(i64::MAX);
+        let rounded = Value::Float(i64::MAX as f64);
+        assert_ne!(big, rounded);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rete — Rete match networks
+//!
+//! Two runtimes over one compiled topology ([`NetworkPlan`]):
+//!
+//! * [`ReteNetwork`] — the classic in-memory algorithm of OPS5 (§3.1 of
+//!   Sellis/Lin/Raschid, SIGMOD '88): shared alpha nodes, two-input join
+//!   nodes with token memories, negative nodes with match counts, and
+//!   incremental conflict-set deltas.
+//! * [`DbReteNetwork`] — the paper's §3.2 "straightforward implementation
+//!   … in a DBMS environment": every memory is a LEFT/RIGHT relation in a
+//!   [`relstore::Database`], so the approach's logical I/O is measurable.
+//!
+//! Both produce identical [`ConflictDelta`] streams for identical inputs
+//! (property-tested in the workspace integration suite).
+//!
+//! ```
+//! use ops5::ClassId;
+//! use rete::{ReteNetwork, Wme};
+//! use relstore::tuple;
+//!
+//! let rules = ops5::compile(r#"
+//!     (literalize Emp name dno)
+//!     (literalize Dept dno)
+//!     (p R (Emp ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+//! "#).unwrap();
+//! let mut net = ReteNetwork::new(&rules);
+//! // The Emp token queues at the join, waiting for a matching Dept.
+//! assert!(net.insert(Wme::new(ClassId(0), tuple!["Ann", 7])).is_empty());
+//! let deltas = net.insert(Wme::new(ClassId(1), tuple![7]));
+//! assert_eq!(deltas.len(), 1);       // rule R enters the conflict set
+//! assert_eq!(net.conflict_set().len(), 1);
+//! ```
+
+pub mod compile;
+pub mod dbrete;
+pub mod network;
+pub mod wme;
+
+pub use compile::{AlphaSpec, BJoinTest, BetaKind, BetaSpec, NetworkPlan};
+pub use dbrete::DbReteNetwork;
+pub use network::{OpMetrics, ReteNetwork};
+pub use wme::{ConflictDelta, ConflictSet, Instantiation, Wme};

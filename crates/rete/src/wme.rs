@@ -1,0 +1,190 @@
+//! Working-memory elements and conflict-set change records.
+
+use std::fmt;
+
+use ops5::{ClassId, RuleId, RuleSet};
+use relstore::Tuple;
+
+/// A working-memory element: a tuple of a declared class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Wme {
+    /// The class (relation) involved.
+    pub class: ClassId,
+    /// The tuple involved.
+    pub tuple: Tuple,
+}
+
+impl Wme {
+    /// Create a new, empty instance.
+    pub fn new(class: ClassId, tuple: Tuple) -> Self {
+        Wme { class, tuple }
+    }
+}
+
+impl fmt::Display for Wme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}{}", self.class.0, self.tuple)
+    }
+}
+
+/// One satisfied production: the rule plus the WM elements matched by its
+/// positive condition elements, in CE order.
+///
+/// This is an entry of the paper's *conflict set* — "information on all
+/// applicable rules and the data elements (tuples) that cause these rules
+/// to fire" (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Instantiation {
+    /// The owning rule.
+    pub rule: RuleId,
+    /// Matched WMEs aligned with the rule's *positive* CEs, in order.
+    pub wmes: Vec<Wme>,
+}
+
+impl Instantiation {
+    /// Render using rule names, for traces and tests.
+    pub fn display(&self, rules: &RuleSet) -> String {
+        let mut s = format!("{}:", rules.rule(self.rule).name);
+        for w in &self.wmes {
+            s.push(' ');
+            s.push_str(&format!("{}{}", rules.class(w.class).name, w.tuple));
+        }
+        s
+    }
+}
+
+/// An incremental change to the conflict set — the output arrows of the
+/// paper's Figure 2 ("changes to conflict set").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConflictDelta {
+    /// The instantiation entered the conflict set.
+    Add(Instantiation),
+    /// Remove one tuple equal to the payload.
+    Remove(Instantiation),
+}
+
+impl ConflictDelta {
+    /// The instantiation this delta adds or removes.
+    pub fn instantiation(&self) -> &Instantiation {
+        match self {
+            ConflictDelta::Add(i) | ConflictDelta::Remove(i) => i,
+        }
+    }
+
+    /// Is this an addition to the conflict set?
+    pub fn is_add(&self) -> bool {
+        matches!(self, ConflictDelta::Add(_))
+    }
+}
+
+/// A maintained conflict set: applies deltas, iterates instantiations.
+///
+/// Semantically a **multiset**: OPS5 WMEs carry identity (time tags), so
+/// two content-identical WM elements yield two separate instantiations.
+/// Engines identify instantiations by content here, so duplicates are
+/// tracked by multiplicity.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictSet {
+    items: Vec<Instantiation>,
+}
+
+impl ConflictSet {
+    /// Create a new, empty instance.
+    pub fn new() -> Self {
+        ConflictSet::default()
+    }
+
+    /// Apply one delta (multiset semantics).
+    pub fn apply(&mut self, delta: &ConflictDelta) {
+        match delta {
+            ConflictDelta::Add(i) => self.items.push(i.clone()),
+            ConflictDelta::Remove(i) => {
+                if let Some(pos) = self.items.iter().position(|x| x == i) {
+                    self.items.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Apply a sequence of deltas in order.
+    pub fn apply_all<'a>(&mut self, deltas: impl IntoIterator<Item = &'a ConflictDelta>) {
+        for d in deltas {
+            self.apply(d);
+        }
+    }
+
+    /// The current instantiations, in arrival order.
+    pub fn items(&self) -> &[Instantiation] {
+        &self.items
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Is this instantiation currently in the conflict set?
+    pub fn contains(&self, i: &Instantiation) -> bool {
+        self.items.contains(i)
+    }
+
+    /// Canonically sorted copy, for equivalence tests across engines.
+    pub fn sorted(&self) -> Vec<Instantiation> {
+        let mut v = self.items.clone();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::tuple;
+
+    fn inst(rule: usize, vals: &[i64]) -> Instantiation {
+        Instantiation {
+            rule: RuleId(rule),
+            wmes: vals
+                .iter()
+                .map(|&v| Wme::new(ClassId(0), tuple![v]))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn conflict_set_is_a_multiset() {
+        let mut cs = ConflictSet::new();
+        cs.apply(&ConflictDelta::Add(inst(0, &[1])));
+        cs.apply(&ConflictDelta::Add(inst(0, &[1])));
+        assert_eq!(cs.len(), 2, "identical WMEs yield separate instantiations");
+        cs.apply(&ConflictDelta::Remove(inst(0, &[1])));
+        assert_eq!(cs.len(), 1);
+        cs.apply(&ConflictDelta::Remove(inst(0, &[1])));
+        assert!(cs.is_empty());
+        cs.apply(&ConflictDelta::Remove(inst(0, &[1])));
+        assert!(cs.is_empty(), "removing from empty is a no-op");
+    }
+
+    #[test]
+    fn sorted_is_canonical() {
+        let mut a = ConflictSet::new();
+        a.apply(&ConflictDelta::Add(inst(1, &[2])));
+        a.apply(&ConflictDelta::Add(inst(0, &[1])));
+        let mut b = ConflictSet::new();
+        b.apply(&ConflictDelta::Add(inst(0, &[1])));
+        b.apply(&ConflictDelta::Add(inst(1, &[2])));
+        assert_eq!(a.sorted(), b.sorted());
+    }
+
+    #[test]
+    fn delta_accessors() {
+        let d = ConflictDelta::Add(inst(0, &[1]));
+        assert!(d.is_add());
+        assert_eq!(d.instantiation().rule, RuleId(0));
+    }
+}

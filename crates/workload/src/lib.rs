@@ -1,0 +1,14 @@
+//! # workload — rule bases and update traces for tests and experiments
+//!
+//! * [`paper`] — the SIGMOD '88 paper's own Examples 2–5, runnable;
+//! * [`gen`] — seeded synthetic rule-base/trace generators and the
+//!   Figure 1 chain workload;
+//! * [`view`] — materialized-view maintenance expressed as productions.
+
+pub mod gen;
+pub mod paper;
+pub mod programs;
+pub mod tables;
+pub mod view;
+
+pub use gen::{ChainWorkload, Op, RuleGenConfig, TraceConfig};

@@ -1,0 +1,102 @@
+//! The paper's own example programs, as runnable OPS5 sources with canned
+//! working memories.
+
+use ops5::RuleSet;
+use relstore::{tuple, Tuple};
+
+/// Example 2 (§3.1): algebraic simplification rules PlusOX and TimesOX.
+pub const EXAMPLE2: &str = r#"
+    (literalize Goal Type Object)
+    (literalize Expression Name Arg1 Op Arg2)
+    (p PlusOX
+        (Goal ^Type Simplify ^Object <N>)
+        (Expression ^Name <N> ^Arg1 0 ^Op + ^Arg2 <X>)
+        -->
+        (modify 2 ^Op nil ^Arg1 nil))
+    (p TimesOX
+        (Goal ^Type Simplify ^Object <N>)
+        (Expression ^Name <N> ^Arg1 0 ^Op '*' ^Arg2 <X>)
+        -->
+        (modify 2 ^Op nil ^Arg2 nil))
+"#;
+
+/// Example 3 (§3.2): the Emp/Dept rules R1 and R2.
+pub const EXAMPLE3: &str = r#"
+    (literalize Emp name salary manager dno)
+    (literalize Dept dno dname floor manager)
+    (p R1
+        (Emp ^name Mike ^salary <S> ^manager <M>)
+        (Emp ^name <M> ^salary {<S1> < <S>})
+        -->
+        (remove 1))
+    (p R2
+        (Emp ^dno <D>)
+        (Dept ^dno <D> ^dname Toy ^floor 1)
+        -->
+        (remove 1))
+"#;
+
+/// Example 4 (§4.2.1): Rule-1 over classes A, B, C (three-way join via
+/// `<x>`, `<y>`, `<z>`).
+pub const EXAMPLE4: &str = r#"
+    (literalize A a1 a2 a3)
+    (literalize B b1 b2 b3)
+    (literalize C c1 c2 c3)
+    (p Rule-1
+        (A ^a1 <x> ^a2 a ^a3 <z>)
+        (B ^b1 <x> ^b2 <y> ^b3 b)
+        (C ^c1 c ^c2 <y> ^c3 <z>)
+        -->
+        (remove 1))
+"#;
+
+/// Example 5's insertion sequence: B(4,5,b), C(c,7,8), A(4,a,8), B(4,7,b).
+/// Rule-1 must enter the conflict set exactly on the last insertion.
+pub fn example5_inserts() -> Vec<(&'static str, Tuple)> {
+    vec![
+        ("B", tuple![4, 5, "b"]),
+        ("C", tuple!["c", 7, 8]),
+        ("A", tuple![4, "a", 8]),
+        ("B", tuple![4, 7, "b"]),
+    ]
+}
+
+/// A canned Example 3 working memory where R1 and R2 both apply.
+pub fn example3_wm() -> Vec<(&'static str, Tuple)> {
+    vec![
+        ("Emp", tuple!["Sam", 5000, "Root", 1]),
+        ("Emp", tuple!["Mike", 6000, "Sam", 1]),
+        ("Emp", tuple!["Jane", 4000, "Sam", 2]),
+        ("Dept", tuple![1, "Toy", 1, "Sam"]),
+        ("Dept", tuple![2, "Shoe", 2, "Ann"]),
+    ]
+}
+
+/// Compile Example 2.
+pub fn example2_rules() -> RuleSet {
+    ops5::compile(EXAMPLE2).expect("example 2 compiles")
+}
+
+/// Compile Example 3.
+pub fn example3_rules() -> RuleSet {
+    ops5::compile(EXAMPLE3).expect("example 3 compiles")
+}
+
+/// Compile Example 4.
+pub fn example4_rules() -> RuleSet {
+    ops5::compile(EXAMPLE4).expect("example 4 compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_programs_compile() {
+        assert_eq!(example2_rules().rules.len(), 2);
+        assert_eq!(example3_rules().rules.len(), 2);
+        assert_eq!(example4_rules().rules.len(), 1);
+        assert_eq!(example5_inserts().len(), 4);
+        assert_eq!(example3_wm().len(), 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Complete multi-cycle production programs (beyond the paper's two-rule
+//! examples): classic OPS5-style planning and bookkeeping workloads that
+//! exercise `modify`-heavy recognize-act chains.
+
+use relstore::{tuple, Tuple};
+
+/// A compact monkey-and-bananas planner: walk to the ladder, push it
+/// under the bananas, climb, grab. Four rules, four deterministic
+/// recognize-act cycles under FIFO selection.
+pub const MONKEY_BANANAS: &str = r#"
+    (literalize Monkey at on holds)
+    (literalize Object name at height)
+    (literalize Goal status type object)
+
+    (p Walk-To-Ladder
+        (Goal ^status active ^type holds ^object bananas)
+        (Object ^name ladder ^at <P>)
+        (Monkey ^at {<> <P>} ^holds nil)
+        -->
+        (modify 3 ^at <P>)
+        (write monkey walks to <P>))
+
+    (p Push-Ladder
+        (Goal ^status active ^type holds ^object bananas)
+        (Object ^name bananas ^at <BP>)
+        (Object ^name ladder ^at {<LP> <> <BP>})
+        (Monkey ^at <LP> ^holds nil)
+        -->
+        (modify 3 ^at <BP>)
+        (modify 4 ^at <BP>)
+        (write monkey pushes ladder to <BP>))
+
+    (p Climb
+        (Goal ^status active ^type holds ^object bananas)
+        (Object ^name bananas ^at <BP>)
+        (Object ^name ladder ^at <BP>)
+        (Monkey ^at <BP> ^on floor ^holds nil)
+        -->
+        (modify 4 ^on ladder)
+        (write monkey climbs the ladder))
+
+    (p Grab
+        (Goal ^status active ^type holds ^object bananas)
+        (Object ^name bananas ^at <BP> ^height high)
+        (Monkey ^at <BP> ^on ladder ^holds nil)
+        -->
+        (modify 3 ^holds bananas)
+        (modify 1 ^status satisfied)
+        (write monkey grabs the bananas)
+        (halt))
+"#;
+
+/// Initial world: monkey in the corner, ladder elsewhere, bananas hung
+/// high across the room.
+pub fn monkey_bananas_wm() -> Vec<(&'static str, Tuple)> {
+    vec![
+        ("Monkey", tuple!["corner", "floor", relstore::Value::Null]),
+        ("Object", tuple!["ladder", "wall", "low"]),
+        ("Object", tuple!["bananas", "center", "high"]),
+        ("Goal", tuple!["active", "holds", "bananas"]),
+    ]
+}
+
+/// The deterministic plan the program must produce (FIFO selection).
+pub fn monkey_bananas_plan() -> Vec<&'static str> {
+    vec![
+        "monkey walks to wall",
+        "monkey pushes ladder to center",
+        "monkey climbs the ladder",
+        "monkey grabs the bananas",
+    ]
+}
+
+/// An inventory-reordering workflow: products below their reorder point
+/// raise purchase orders; receiving stock clears them. Exercises
+/// negation, multi-class joins and chained firings.
+pub const INVENTORY: &str = r#"
+    (literalize Product sku stock reorder)
+    (literalize PO sku state)
+    (literalize Receipt sku qty)
+
+    ; Raise a purchase order when stock dips below the reorder point.
+    (p Raise-PO
+        (Product ^sku <S> ^stock <Q> ^reorder {> <Q>})
+        -(PO ^sku <S>)
+        -->
+        (make PO ^sku <S> ^state open)
+        (write raised po for <S>))
+
+    ; Receiving stock replenishes the product and closes the PO.
+    (p Receive
+        (Receipt ^sku <S> ^qty <Q>)
+        (Product ^sku <S>)
+        (PO ^sku <S> ^state open)
+        -->
+        (remove 1)
+        (modify 2 ^stock <Q>)
+        (modify 3 ^state closed)
+        (write received <S>))
+"#;
+
+/// Initial stock levels: widget and sprocket are below reorder.
+pub fn inventory_wm() -> Vec<(&'static str, Tuple)> {
+    vec![
+        ("Product", tuple!["widget", 2, 10]),
+        ("Product", tuple!["gadget", 50, 10]),
+        ("Product", tuple!["sprocket", 0, 5]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_compile() {
+        let mb = ops5::compile(MONKEY_BANANAS).unwrap();
+        assert_eq!(mb.rules.len(), 4);
+        let inv = ops5::compile(INVENTORY).unwrap();
+        assert_eq!(inv.rules.len(), 2);
+        assert!(inv.rules[0].ces[1].negated);
+        assert_eq!(monkey_bananas_wm().len(), 4);
+        assert_eq!(monkey_bananas_plan().len(), 4);
+        assert_eq!(inventory_wm().len(), 3);
+    }
+}

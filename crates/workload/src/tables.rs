@@ -1,0 +1,176 @@
+//! Render the paper's COND-relation and RULE-DEF tables (§4.1.1) from a
+//! compiled rule set, for the T1/T2 reproductions.
+
+use ops5::{ClassId, RuleSet};
+
+/// Rows of the COND relation for `class`: one per condition element
+/// referring to it. Columns: Rule-ID, CEN, then one pattern cell per
+/// attribute (`'const'`, `<var>`, or `*` for don't-care).
+pub fn cond_relation(rules: &RuleSet, class: ClassId) -> Vec<Vec<String>> {
+    let arity = rules.class(class).arity();
+    let mut rows = Vec::new();
+    for rule in &rules.rules {
+        for (cen, ce) in rule.ces.iter().enumerate() {
+            if ce.class != class {
+                continue;
+            }
+            let mut cells = vec![rule.name.clone(), (cen + 1).to_string()];
+            for attr in 0..arity {
+                // Constant test?
+                if let Some(sel) = ce.alpha.tests.iter().find(|s| s.attr == attr) {
+                    cells.push(format!(
+                        "{}{}",
+                        if sel.op == relstore::CompOp::Eq {
+                            String::new()
+                        } else {
+                            sel.op.to_string()
+                        },
+                        sel.value
+                    ));
+                    continue;
+                }
+                // Variable binding?
+                if let Some((_, name)) = ce.bindings.iter().find(|(a, _)| *a == attr) {
+                    cells.push(format!("<{name}>"));
+                    continue;
+                }
+                // Join-test-only or untested attribute.
+                if let Some(j) = ce.joins.iter().find(|j| j.my_attr == attr) {
+                    let other = &rule.ces[j.other_ce];
+                    let bound = other
+                        .bindings
+                        .iter()
+                        .find(|(a, _)| *a == j.other_attr)
+                        .map(|(_, n)| format!("<{n}>"))
+                        .unwrap_or_else(|| format!("ce{}.{}", j.other_ce + 1, j.other_attr));
+                    if j.op == relstore::CompOp::Eq {
+                        cells.push(bound);
+                    } else {
+                        cells.push(format!("{}{}", j.op, bound));
+                    }
+                    continue;
+                }
+                cells.push("*".to_string());
+            }
+            rows.push(cells);
+        }
+    }
+    rows
+}
+
+/// The RULE-DEF relation: one row per condition of each rule, with the
+/// Check bit (always rendered unset here — bits are runtime state).
+pub fn rule_def(rules: &RuleSet) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for rule in &rules.rules {
+        for (cen, ce) in rule.ces.iter().enumerate() {
+            rows.push(vec![
+                rule.name.clone(),
+                (cen + 1).to_string(),
+                rules.class(ce.class).name.clone(),
+                if ce.negated {
+                    "negated".into()
+                } else {
+                    "0".into()
+                },
+            ]);
+        }
+    }
+    rows
+}
+
+/// Format rows as a fixed-width text table with a header.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    /// §4.1.1's COND-Goal table: both rules contribute the row
+    /// (rule, Simplify, <N>).
+    #[test]
+    fn t1_cond_goal_and_expression() {
+        let rs = paper::example2_rules();
+        let goal = cond_relation(&rs, rs.class_id("Goal").unwrap());
+        assert_eq!(goal.len(), 2);
+        assert_eq!(goal[0], vec!["PlusOX", "1", "Simplify", "<N>"]);
+        assert_eq!(goal[1], vec!["TimesOX", "1", "Simplify", "<N>"]);
+
+        let expr = cond_relation(&rs, rs.class_id("Expression").unwrap());
+        assert_eq!(expr.len(), 2);
+        // Name joins <N>; Arg1 = 0; Op constant; Arg2 binds <X>.
+        assert_eq!(expr[0], vec!["PlusOX", "2", "<N>", "0", "+", "<X>"]);
+        assert_eq!(expr[1], vec!["TimesOX", "2", "<N>", "0", "*", "<X>"]);
+    }
+
+    /// §4.1.1's RULE-DEF: one tuple per condition of each rule.
+    #[test]
+    fn t2_rule_def() {
+        let rs = paper::example2_rules();
+        let rows = rule_def(&rs);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], vec!["PlusOX", "1", "Goal", "0"]);
+        assert_eq!(rows[1], vec!["PlusOX", "2", "Expression", "0"]);
+        assert_eq!(rows[2], vec!["TimesOX", "1", "Goal", "0"]);
+        assert_eq!(rows[3], vec!["TimesOX", "2", "Expression", "0"]);
+    }
+
+    /// Example 4's initial COND-A/B/C rows (T3).
+    #[test]
+    fn t3_example4_initial_cond() {
+        let rs = paper::example4_rules();
+        let a = cond_relation(&rs, rs.class_id("A").unwrap());
+        assert_eq!(
+            a,
+            vec![vec![
+                "Rule-1".to_string(),
+                "1".into(),
+                "<x>".into(),
+                "a".into(),
+                "<z>".into()
+            ]]
+        );
+        let b = cond_relation(&rs, rs.class_id("B").unwrap());
+        assert_eq!(b[0], vec!["Rule-1", "2", "<x>", "<y>", "b"]);
+        let c = cond_relation(&rs, rs.class_id("C").unwrap());
+        assert_eq!(c[0], vec!["Rule-1", "3", "c", "<y>", "<z>"]);
+    }
+
+    #[test]
+    fn format_table_aligns() {
+        let rows = vec![vec!["a".to_string(), "bb".to_string()]];
+        let t = format_table(&["col1", "c2"], &rows);
+        assert!(t.contains("col1 | c2"));
+        assert!(t.lines().count() == 3);
+    }
+}

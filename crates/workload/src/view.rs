@@ -1,0 +1,66 @@
+//! Materialized-view maintenance as a production system.
+//!
+//! "The problem of maintaining a set of condition-action rules is the same
+//! as the problem of maintaining materialized views and triggers" (§6).
+//! This workload materializes the view
+//!
+//! ```sql
+//! CREATE VIEW RichToyEmp AS
+//!   SELECT e.name, e.salary, d.floor FROM Emp e, Dept d
+//!   WHERE e.dno = d.dno AND d.dname = 'Toy' AND e.salary > 4000
+//! ```
+//!
+//! with two productions: one inserts missing view rows, one deletes rows
+//! whose base tuples vanished (the add/delete triggers of Buneman &
+//! Clemons, §2.3).
+
+use relstore::{tuple, Tuple};
+
+/// Rules maintaining the `View` class from `Emp` and `Dept`.
+pub const VIEW_RULES: &str = r#"
+    (literalize Emp name salary dno)
+    (literalize Dept dno dname floor)
+    (literalize View name salary floor)
+    (p AddToView
+        (Emp ^name <N> ^salary {<S> > 4000} ^dno <D>)
+        (Dept ^dno <D> ^dname Toy ^floor <F>)
+        -(View ^name <N> ^salary <S> ^floor <F>)
+        -->
+        (make View ^name <N> ^salary <S> ^floor <F>))
+    (p DropFromView
+        (View ^name <N> ^salary <S> ^floor <F>)
+        -(Emp ^name <N> ^salary <S>)
+        -->
+        (remove 1))
+"#;
+
+/// A base-relation load whose view should contain exactly `Mike` and
+/// `Ann` (Jane earns too little, Bob is not in a Toy department).
+pub fn base_load() -> Vec<(&'static str, Tuple)> {
+    vec![
+        ("Dept", tuple![1, "Toy", 3]),
+        ("Dept", tuple![2, "Shoe", 1]),
+        ("Emp", tuple!["Mike", 6000, 1]),
+        ("Emp", tuple!["Ann", 5000, 1]),
+        ("Emp", tuple!["Jane", 3000, 1]),
+        ("Emp", tuple!["Bob", 9000, 2]),
+    ]
+}
+
+/// The expected view contents after [`base_load`] reaches fixpoint.
+pub fn expected_view() -> Vec<Tuple> {
+    let mut v = vec![tuple!["Mike", 6000, 3], tuple!["Ann", 5000, 3]];
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn view_rules_compile() {
+        let rs = ops5::compile(super::VIEW_RULES).unwrap();
+        assert_eq!(rs.rules.len(), 2);
+        assert!(rs.rules[0].ces[2].negated);
+        assert!(rs.rules[1].ces[1].negated);
+    }
+}

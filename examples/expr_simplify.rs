@@ -1,0 +1,70 @@
+//! The paper's Example 2: an algebraic-simplification expert system.
+//!
+//! `0 + x → x` and `0 * x → 0`, expressed as OPS5 productions over a
+//! persistent Expression store, extended with rules that complete the
+//! simplification and report results.
+//!
+//! ```sh
+//! cargo run --example expr_simplify
+//! ```
+
+use prodsys::{EngineKind, ProductionSystem, Strategy};
+use relstore::tuple;
+
+const RULES: &str = r#"
+    (literalize Goal Type Object)
+    (literalize Expression Name Arg1 Op Arg2)
+
+    ; The two rules exactly as in the paper (Figure 3 compiles these).
+    (p PlusOX
+        (Goal ^Type Simplify ^Object <N>)
+        (Expression ^Name <N> ^Arg1 0 ^Op + ^Arg2 <X>)
+        -->
+        (modify 2 ^Op nil ^Arg1 nil)
+        (write simplified <N> '0 + x -> x'))
+    (p TimesOX
+        (Goal ^Type Simplify ^Object <N>)
+        (Expression ^Name <N> ^Arg1 0 ^Op '*' ^Arg2 <X>)
+        -->
+        (modify 2 ^Op nil ^Arg2 nil)
+        (write simplified <N> '0 * x -> 0'))
+
+    ; Once an expression is fully simplified, retire its goal.
+    (p Done
+        (Goal ^Type Simplify ^Object <N>)
+        (Expression ^Name <N> ^Op nil)
+        -->
+        (remove 1)
+        (write goal <N> complete))
+"#;
+
+fn main() {
+    let mut sys =
+        ProductionSystem::from_source(RULES, EngineKind::Rete, Strategy::Specificity).unwrap();
+
+    // A small expression store: t1 = 0 + y, t2 = 0 * z, t3 = 5 + w (not
+    // simplifiable by these rules).
+    sys.insert("Expression", tuple!["t1", 0, "+", "y"]).unwrap();
+    sys.insert("Expression", tuple!["t2", 0, "*", "z"]).unwrap();
+    sys.insert("Expression", tuple!["t3", 5, "+", "w"]).unwrap();
+    for goal in ["t1", "t2", "t3"] {
+        sys.insert("Goal", tuple!["Simplify", goal]).unwrap();
+    }
+
+    println!("before:");
+    for t in sys.wm("Expression").unwrap() {
+        println!("  {t}");
+    }
+
+    let out = sys.run(100);
+    println!("\nfired {} productions:", out.fired);
+    for line in &out.writes {
+        println!("  | {line}");
+    }
+
+    println!("\nafter:");
+    for t in sys.wm("Expression").unwrap() {
+        println!("  {t}");
+    }
+    println!("\nunfinished goals: {:?}", sys.wm("Goal").unwrap().len());
+}

@@ -1,0 +1,66 @@
+//! Database triggers as productions (§2.3): the paper's QUEL "ALWAYS"
+//! example — *Mike's salary must always equal Sam's salary* — plus an
+//! auditing trigger, running against a persistent Emp relation.
+//!
+//! ```sh
+//! cargo run --example payroll_triggers
+//! ```
+
+use prodsys::{EngineKind, ProductionSystem, Strategy};
+use relstore::tuple;
+
+const RULES: &str = r#"
+    (literalize Emp name salary)
+    (literalize Audit name salary)
+
+    ; replace ALWAYS EMP (salary = E.salary)
+    ;   where EMP.name = "Mike" and E.name = "Sam"
+    (p MikeTracksSam
+        (Emp ^name Sam ^salary <S>)
+        (Emp ^name Mike ^salary {<> <S>})
+        -->
+        (modify 2 ^salary <S>)
+        (write trigger: set Mike's salary to <S>))
+
+    ; An alerter (a trigger that "sends a message"): log big salaries.
+    (p BigSalaryAlert
+        (Emp ^name <N> ^salary {>= 10000})
+        -(Audit ^name <N>)
+        -->
+        (make Audit ^name <N> ^salary 10000)
+        (write alert: <N> crossed 10000))
+"#;
+
+fn main() {
+    let mut sys = ProductionSystem::from_source(RULES, EngineKind::Cond, Strategy::Fifo).unwrap();
+
+    sys.insert("Emp", tuple!["Sam", 5000]).unwrap();
+    sys.insert("Emp", tuple!["Mike", 4000]).unwrap();
+    sys.insert("Emp", tuple!["Jane", 4500]).unwrap();
+
+    let out = sys.run(100);
+    println!("after initial load ({} firings):", out.fired);
+    for line in &out.writes {
+        println!("  | {line}");
+    }
+    for t in sys.wm("Emp").unwrap() {
+        println!("  {t}");
+    }
+
+    // The triggering update from the paper:
+    //   replace EMP (salary = 12000) where EMP.name = "Sam"
+    println!("\nupdate: Sam's salary := 12000");
+    sys.remove("Emp", &tuple!["Sam", 5000]).unwrap();
+    sys.insert("Emp", tuple!["Sam", 12000]).unwrap();
+    let out = sys.run(100);
+    println!("triggers fired ({}):", out.fired);
+    for line in &out.writes {
+        println!("  | {line}");
+    }
+    for t in sys.wm("Emp").unwrap() {
+        println!("  {t}");
+    }
+    println!("audit log: {:?}", sys.wm("Audit").unwrap());
+
+    assert!(sys.wm("Emp").unwrap().contains(&tuple!["Mike", 12000]));
+}

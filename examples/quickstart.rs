@@ -1,0 +1,58 @@
+//! Quickstart: define classes and rules, load working memory, run.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use prodsys::{EngineKind, ProductionSystem, Strategy};
+use relstore::tuple;
+
+fn main() {
+    // The paper's running example (Example 3): delete Mike if he earns
+    // more than his manager, and delete first-floor Toy-department staff.
+    let src = r#"
+        (literalize Emp name salary manager dno)
+        (literalize Dept dno dname floor manager)
+        (p R1
+            (Emp ^name Mike ^salary <S> ^manager <M>)
+            (Emp ^name <M> ^salary {<S1> < <S>})
+            -->
+            (remove 1)
+            (write fired R1: removed Mike))
+        (p R2
+            (Emp ^dno <D>)
+            (Dept ^dno <D> ^dname Toy ^floor 1)
+            -->
+            (remove 1)
+            (write fired R2: removed a Toy-department employee))
+    "#;
+
+    // Pick the paper's matching-pattern engine (§4.2). Try swapping in
+    // EngineKind::Rete / Query / DbRete / Marker — the behaviour is
+    // identical, only the cost profile changes.
+    let mut sys = ProductionSystem::from_source(src, EngineKind::Cond, Strategy::Fifo)
+        .expect("program compiles");
+
+    sys.insert("Emp", tuple!["Sam", 5000, "Root", 1]).unwrap();
+    sys.insert("Emp", tuple!["Mike", 6000, "Sam", 1]).unwrap();
+    sys.insert("Emp", tuple!["Jane", 4000, "Sam", 2]).unwrap();
+    sys.insert("Dept", tuple![1, "Toy", 1, "Sam"]).unwrap();
+    sys.insert("Dept", tuple![2, "Shoe", 2, "Ann"]).unwrap();
+
+    println!(
+        "conflict set before running: {} instantiations",
+        sys.conflict_len()
+    );
+
+    let out = sys.run(100);
+    println!("fired {} productions", out.fired);
+    for line in &out.writes {
+        println!("  | {line}");
+    }
+
+    println!("\nremaining employees:");
+    for t in sys.wm("Emp").unwrap() {
+        println!("  {t}");
+    }
+    println!("\nmatch structures: {:?}", sys.engine().space());
+}

@@ -1,0 +1,56 @@
+//! Rule-base queries (§4.2.3): interrogate the *rules*, not the data.
+//!
+//! "Give me all the rules that apply on employees older than 55" — the
+//! paper's own example — answered from an R-tree over the rule base's
+//! condition elements, with no working memory loaded at all.
+//!
+//! ```sh
+//! cargo run --example rulebase_queries
+//! ```
+
+use ops5::ClassId;
+use prodsys::RulebaseIndex;
+use relstore::{tuple, CompOp, Restriction, Selection};
+
+const RULES: &str = r#"
+    (literalize Emp name age salary dept)
+    (literalize Dept dno floor)
+
+    (p Retirement-Notice   (Emp ^age {>= 65})                       --> (remove 1))
+    (p Senior-Bonus        (Emp ^age {>= 50} ^salary {< 8000})      --> (remove 1))
+    (p Early-Career-Review (Emp ^age {< 30})                        --> (remove 1))
+    (p Mikes-Rule          (Emp ^name Mike ^age <A>)                --> (remove 1))
+    (p Exec-Pay            (Emp ^salary {>= 20000})                 --> (remove 1))
+    (p First-Floor-Audit   (Emp ^dept <D>) (Dept ^dno <D> ^floor 1) --> (remove 1))
+"#;
+
+fn main() {
+    let rules = ops5::compile(RULES).unwrap();
+    let idx = RulebaseIndex::new(&rules);
+    let emp = ClassId(0);
+
+    // The paper's query — note: no data has been inserted anywhere.
+    let older_than_55 = Restriction::new(vec![Selection::new(1, CompOp::Gt, 55)]);
+    println!("rules that apply on employees older than 55:");
+    for name in idx.rule_names(&idx.rules_overlapping(emp, &older_than_55)) {
+        println!("  - {name}");
+    }
+
+    // A compound region: mid-career and well paid.
+    let region = Restriction::new(vec![
+        Selection::new(1, CompOp::Ge, 40),
+        Selection::new(1, CompOp::Lt, 50),
+        Selection::new(2, CompOp::Ge, 20000),
+    ]);
+    println!("\nrules overlapping age ∈ [40,50) ∧ salary ≥ 20000:");
+    for name in idx.rule_names(&idx.rules_overlapping(emp, &region)) {
+        println!("  - {name}");
+    }
+
+    // Point form: which rules could this concrete hire trigger?
+    let hire = tuple!["Mike", 62, 21000, 7];
+    println!("\nrules a new hire {hire} could trigger:");
+    for name in idx.rule_names(&idx.rules_for_tuple(emp, &hire)) {
+        println!("  - {name}");
+    }
+}

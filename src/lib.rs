@@ -1,0 +1,22 @@
+//! # sellis88 — umbrella crate
+//!
+//! Re-exports the whole workspace: a reproduction of *Sellis, Lin,
+//! Raschid: "Implementing Large Production Systems in a DBMS Environment:
+//! Concepts and Algorithms"* (SIGMOD 1988).
+//!
+//! Start with [`prodsys::ProductionSystem`] (see `examples/quickstart.rs`)
+//! or the layer you need:
+//!
+//! * [`relstore`] — the relational storage substrate;
+//! * [`predindex`] — R/R+-tree predicate indexing;
+//! * [`ops5`] — the rule language compiler;
+//! * [`rete`] — the classic and DB-backed Rete networks;
+//! * [`prodsys`] — matching engines and executors (the paper's core);
+//! * [`workload`] — example programs and synthetic generators.
+
+pub use ops5;
+pub use predindex;
+pub use prodsys;
+pub use relstore;
+pub use rete;
+pub use workload;

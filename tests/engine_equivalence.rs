@@ -1,0 +1,161 @@
+//! F2 / cross-engine equivalence: all five matching engines consume the
+//! same WM update stream (the paper's Figure 2 loop) and must maintain
+//! identical conflict sets after every operation.
+
+use ops5::ClassId;
+use prodsys::{make_engine, EngineKind, MatchEngine, ProductionDb};
+use workload::{Op, RuleGenConfig, TraceConfig};
+
+fn engines_for(cfg: &RuleGenConfig) -> Vec<Box<dyn MatchEngine>> {
+    EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            let pdb = ProductionDb::new(cfg.rules()).unwrap();
+            make_engine(kind, pdb)
+        })
+        .collect()
+}
+
+fn run_trace_and_compare(cfg: RuleGenConfig, trace_cfg: TraceConfig) {
+    let mut engines = engines_for(&cfg);
+    let trace = trace_cfg.trace(cfg.classes, cfg.attrs);
+    for (step, op) in trace.iter().enumerate() {
+        let mut sets = Vec::new();
+        for e in engines.iter_mut() {
+            match op {
+                Op::Insert(c, t) => {
+                    e.insert(ClassId(*c), t.clone());
+                }
+                Op::Remove(c, t) => {
+                    e.remove(ClassId(*c), t);
+                }
+            }
+            sets.push((e.name(), e.conflict_set().sorted()));
+        }
+        let (base_name, base) = &sets[0];
+        for (name, s) in &sets[1..] {
+            assert_eq!(
+                base, s,
+                "conflict sets diverge at step {step} ({op:?}): {base_name} vs {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalence_on_two_way_joins() {
+    run_trace_and_compare(
+        RuleGenConfig {
+            rules: 12,
+            ces_per_rule: 2,
+            domain: 4,
+            seed: 1,
+            ..Default::default()
+        },
+        TraceConfig {
+            ops: 150,
+            delete_fraction: 0.25,
+            join_domain: 3,
+            select_domain: 4,
+            seed: 2,
+        },
+    );
+}
+
+#[test]
+fn equivalence_on_three_way_joins() {
+    run_trace_and_compare(
+        RuleGenConfig {
+            rules: 8,
+            ces_per_rule: 3,
+            classes: 3,
+            domain: 3,
+            seed: 3,
+            ..Default::default()
+        },
+        TraceConfig {
+            ops: 120,
+            delete_fraction: 0.3,
+            join_domain: 2,
+            select_domain: 3,
+            seed: 4,
+        },
+    );
+}
+
+#[test]
+fn equivalence_with_negation() {
+    run_trace_and_compare(
+        RuleGenConfig {
+            rules: 10,
+            ces_per_rule: 2,
+            domain: 3,
+            negated_fraction: 0.5,
+            seed: 5,
+            ..Default::default()
+        },
+        TraceConfig {
+            ops: 120,
+            delete_fraction: 0.3,
+            join_domain: 2,
+            select_domain: 3,
+            seed: 6,
+        },
+    );
+}
+
+#[test]
+fn equivalence_delete_heavy() {
+    run_trace_and_compare(
+        RuleGenConfig {
+            rules: 8,
+            ces_per_rule: 2,
+            domain: 3,
+            seed: 7,
+            ..Default::default()
+        },
+        TraceConfig {
+            ops: 200,
+            delete_fraction: 0.45,
+            join_domain: 2,
+            select_domain: 3,
+            seed: 8,
+        },
+    );
+}
+
+#[test]
+fn equivalence_on_paper_example_3() {
+    use relstore::tuple;
+    let rules = workload::paper::example3_rules();
+    let mut engines: Vec<Box<dyn MatchEngine>> = EngineKind::ALL
+        .iter()
+        .map(|&k| make_engine(k, ProductionDb::new(rules.clone()).unwrap()))
+        .collect();
+    let ops: Vec<Op> = vec![
+        Op::Insert(0, tuple!["Sam", 5000, "Root", 1]),
+        Op::Insert(0, tuple!["Mike", 6000, "Sam", 1]),
+        Op::Insert(1, tuple![1, "Toy", 1, "Sam"]),
+        Op::Insert(0, tuple!["Jane", 4000, "Sam", 2]),
+        Op::Remove(0, tuple!["Mike", 6000, "Sam", 1]),
+        Op::Insert(1, tuple![2, "Shoe", 2, "Ann"]),
+        Op::Remove(1, tuple![1, "Toy", 1, "Sam"]),
+    ];
+    for (step, op) in ops.iter().enumerate() {
+        let mut sets = Vec::new();
+        for e in engines.iter_mut() {
+            match op {
+                Op::Insert(c, t) => {
+                    e.insert(ClassId(*c), t.clone());
+                }
+                Op::Remove(c, t) => {
+                    e.remove(ClassId(*c), t);
+                }
+            }
+            sets.push((e.name(), e.conflict_set().sorted()));
+        }
+        for (name, s) in &sets[1..] {
+            assert_eq!(&sets[0].1, s, "step {step}: {} vs {name}", sets[0].0);
+        }
+    }
+}

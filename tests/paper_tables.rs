@@ -1,0 +1,61 @@
+//! T1–T3: the paper's §4.1.1 COND-relation and RULE-DEF tables, rendered
+//! from the compiled rule sets (workspace-level duplicates of the
+//! workload-crate unit tests, exercising the public API end to end).
+
+use workload::paper;
+use workload::tables::{cond_relation, format_table, rule_def};
+
+#[test]
+fn t1_cond_tables_match_paper() {
+    let rs = paper::example2_rules();
+    let goal = cond_relation(&rs, rs.class_id("Goal").unwrap());
+    assert_eq!(
+        goal,
+        vec![
+            vec!["PlusOX", "1", "Simplify", "<N>"],
+            vec!["TimesOX", "1", "Simplify", "<N>"],
+        ]
+    );
+    let expr = cond_relation(&rs, rs.class_id("Expression").unwrap());
+    assert_eq!(
+        expr,
+        vec![
+            vec!["PlusOX", "2", "<N>", "0", "+", "<X>"],
+            vec!["TimesOX", "2", "<N>", "0", "*", "<X>"],
+        ]
+    );
+}
+
+#[test]
+fn t2_rule_def_matches_paper() {
+    let rs = paper::example2_rules();
+    let rows = rule_def(&rs);
+    assert_eq!(rows.len(), 4, "one tuple for each condition of each rule");
+    assert!(
+        rows.iter().all(|r| r[3] == "0"),
+        "all check bits unset initially"
+    );
+}
+
+#[test]
+fn t3_example4_initial_cond_relations() {
+    let rs = paper::example4_rules();
+    for (class, expect) in [
+        ("A", vec!["Rule-1", "1", "<x>", "a", "<z>"]),
+        ("B", vec!["Rule-1", "2", "<x>", "<y>", "b"]),
+        ("C", vec!["Rule-1", "3", "c", "<y>", "<z>"]),
+    ] {
+        let rows = cond_relation(&rs, rs.class_id(class).unwrap());
+        assert_eq!(rows, vec![expect], "COND-{class}");
+    }
+}
+
+#[test]
+fn tables_render_as_text() {
+    let rs = paper::example2_rules();
+    let rows = cond_relation(&rs, rs.class_id("Expression").unwrap());
+    let text = format_table(&["Rule-ID", "CEN", "Name", "Arg1", "Op", "Arg2"], &rows);
+    assert!(text.contains("PlusOX"));
+    assert!(text.contains("TimesOX"));
+    assert!(text.lines().count() >= 4);
+}

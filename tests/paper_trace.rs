@@ -1,0 +1,141 @@
+//! T4: the paper's Example 5 insertion trace, reproduced on every engine.
+//!
+//! Insert B(4,5,b), C(c,7,8), A(4,a,8), B(4,7,b). "Notice that when
+//! B(4,7,b) is inserted, the last tuple in COND-B causes Rule-1 to be put
+//! in the conflict set because all Mark bits are set."
+
+use prodsys::{make_engine, EngineKind, ProductionDb};
+use relstore::tuple;
+use workload::paper;
+
+#[test]
+fn example_5_rule_fires_only_on_final_insert() {
+    for kind in EngineKind::ALL {
+        let pdb = ProductionDb::new(paper::example4_rules()).unwrap();
+        let rules = pdb.rules().clone();
+        let mut engine = make_engine(kind, pdb);
+        let inserts = paper::example5_inserts();
+        let n = inserts.len();
+        for (i, (class, t)) in inserts.into_iter().enumerate() {
+            let class = rules.class_id(class).unwrap();
+            let deltas = engine.insert(class, t);
+            if i + 1 < n {
+                assert!(
+                    deltas.is_empty(),
+                    "{}: no firing before B(4,7,b) (step {i})",
+                    kind.label()
+                );
+            } else {
+                assert_eq!(
+                    deltas.len(),
+                    1,
+                    "{}: Rule-1 fires on B(4,7,b)",
+                    kind.label()
+                );
+                assert!(deltas[0].is_add());
+                let inst = deltas[0].instantiation();
+                assert_eq!(rules.rule(inst.rule).name, "Rule-1");
+                // The instantiation binds A(4,a,8), B(4,7,b), C(c,7,8).
+                assert_eq!(inst.wmes[0].tuple, tuple![4, "a", 8]);
+                assert_eq!(inst.wmes[1].tuple, tuple![4, 7, "b"]);
+                assert_eq!(inst.wmes[2].tuple, tuple!["c", 7, 8]);
+            }
+        }
+        assert_eq!(engine.conflict_set().len(), 1, "{}", kind.label());
+    }
+}
+
+#[test]
+fn example_5_reversed_prefix_never_fires() {
+    // Any strict prefix (in any order) lacks a full join and must not
+    // enter the conflict set.
+    use itertools_lite::permutations3;
+    for kind in EngineKind::ALL {
+        for perm in permutations3() {
+            let pdb = ProductionDb::new(paper::example4_rules()).unwrap();
+            let rules = pdb.rules().clone();
+            let mut engine = make_engine(kind, pdb);
+            let all = paper::example5_inserts();
+            for &i in &perm {
+                let (class, t) = &all[i];
+                let class = rules.class_id(class).unwrap();
+                engine.insert(class, t.clone());
+            }
+            assert!(
+                engine.conflict_set().is_empty(),
+                "{}: prefix {perm:?} must not fire",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn example_5_any_full_order_fires_once() {
+    use itertools_lite::permutations4;
+    for kind in EngineKind::ALL {
+        for perm in permutations4() {
+            let pdb = ProductionDb::new(paper::example4_rules()).unwrap();
+            let rules = pdb.rules().clone();
+            let mut engine = make_engine(kind, pdb);
+            let all = paper::example5_inserts();
+            for &i in &perm {
+                let (class, t) = &all[i];
+                let class = rules.class_id(class).unwrap();
+                engine.insert(class, t.clone());
+            }
+            assert_eq!(
+                engine.conflict_set().len(),
+                1,
+                "{}: order {perm:?} must fire exactly once",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Tiny permutation helpers (avoiding an external dependency).
+mod itertools_lite {
+    /// All 3-element subsets (as index prefixes) of {0,1,2,3} in order —
+    /// every proper prefix of the Example 5 inserts.
+    pub fn permutations3() -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    if a != b && b != c && a != c {
+                        // Only B(4,5,b) (index 0) may substitute for
+                        // B(4,7,b) (index 3): but B(4,5,b) never joins C's
+                        // y=7, so any 3 distinct inserts are safe except
+                        // the full-match triple {1,2,3}.
+                        let mut s = [a, b, c];
+                        s.sort_unstable();
+                        if s == [1, 2, 3] {
+                            continue;
+                        }
+                        out.push(vec![a, b, c]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn permutations4() -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let mut s = [a, b, c, d];
+                        s.sort_unstable();
+                        if s == [0, 1, 2, 3] {
+                            out.push(vec![a, b, c, d]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,59 @@
+//! Fuzz the OPS5 front end: arbitrary input must never panic — it either
+//! compiles or returns a structured error.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary byte soup (printable-ish) through the whole pipeline.
+    #[test]
+    fn arbitrary_text_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = ops5::compile(&src);
+    }
+
+    /// Structured-ish soup: random sequences of OPS5 token fragments are
+    /// far more likely to reach the parser's deep paths.
+    #[test]
+    fn token_soup_never_panics(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("(".to_string()), Just(")".to_string()),
+            Just("{".to_string()), Just("}".to_string()),
+            Just("p".to_string()), Just("literalize".to_string()),
+            Just("^a".to_string()), Just("^b".to_string()),
+            Just("<V>".to_string()), Just("<W>".to_string()),
+            Just("-->".to_string()), Just("-".to_string()),
+            Just("<>".to_string()), Just("<=".to_string()), Just(">=".to_string()),
+            Just("<".to_string()), Just(">".to_string()), Just("=".to_string()),
+            Just("C".to_string()), Just("D".to_string()), Just("x".to_string()),
+            Just("1".to_string()), Just("-2".to_string()), Just("3.5".to_string()),
+            Just("nil".to_string()), Just("*".to_string()), Just("'q s'".to_string()),
+            Just("make".to_string()), Just("remove".to_string()),
+            Just("modify".to_string()), Just("write".to_string()),
+            Just("halt".to_string()), Just("bind".to_string()), Just("call".to_string()),
+        ],
+        0..60,
+    )) {
+        let src = parts.join(" ");
+        let _ = ops5::compile(&src);
+    }
+
+    /// Anything that does compile must survive the printer round trip.
+    #[test]
+    fn whatever_compiles_roundtrips(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("(literalize C a b)".to_string()),
+            Just("(p R1 (C ^a <V>) --> (remove 1))".to_string()),
+            Just("(p R2 (C ^a <V> ^b {> <V>}) --> (modify 1 ^b nil))".to_string()),
+            Just("(p R3 (C ^a <V>) -(C ^b <V>) --> (make C ^a <V>))".to_string()),
+        ],
+        1..5,
+    )) {
+        let src = parts.join("\n");
+        if let Ok(rs) = ops5::compile(&src) {
+            let printed = ops5::print(&rs);
+            let rs2 = ops5::compile(&printed).expect("printed source compiles");
+            prop_assert_eq!(rs, rs2);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property test: the 2PL lock manager never grants incompatible locks
+//! simultaneously, matching a shadow model, and always drains cleanly.
+
+use proptest::prelude::*;
+use relstore::{Database, LockMode, LockTarget, RelId, TupleId, TxnId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum LOp {
+    /// try_acquire(txn % 4, target % 6, exclusive?)
+    Try(u8, u8, bool),
+    /// release_all(txn % 4)
+    Release(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = LOp> {
+    prop_oneof![
+        4 => (0u8..4, 0u8..6, any::<bool>()).prop_map(|(t, g, x)| LOp::Try(t, g, x)),
+        1 => (0u8..4).prop_map(LOp::Release),
+    ]
+}
+
+fn target(g: u8) -> LockTarget {
+    match g {
+        0 => LockTarget::Relation(RelId(0)),
+        1 => LockTarget::Relation(RelId(1)),
+        n => LockTarget::Tuple(RelId((n % 2) as u32), TupleId::new(n as u32 / 2, 0)),
+    }
+}
+
+/// Do two targets overlap (relation covers its tuples)?
+fn overlaps(a: LockTarget, b: LockTarget) -> bool {
+    let rel = |t: LockTarget| match t {
+        LockTarget::Relation(r) | LockTarget::Tuple(r, _) => r,
+    };
+    if rel(a) != rel(b) {
+        return false;
+    }
+    match (a, b) {
+        (LockTarget::Tuple(_, x), LockTarget::Tuple(_, y)) => x == y,
+        _ => true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Single-threaded model check: the lock manager's grant decisions
+    /// match a brute-force shadow model of held locks.
+    #[test]
+    fn grants_match_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let db = Database::new();
+        let lm = db.lock_manager();
+        // shadow: (txn, target) → mode
+        let mut shadow: HashMap<(u8, u8), LockMode> = HashMap::new();
+        for op in ops {
+            match op {
+                LOp::Try(t, g, exclusive) => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let granted = lm.try_acquire(TxnId(t as u64), target(g), mode);
+                    // Shadow decision: conflict iff another txn holds an
+                    // overlapping lock and either side is exclusive.
+                    let conflict = shadow.iter().any(|(&(ht, hg), &hm)| {
+                        ht != t
+                            && overlaps(target(hg), target(g))
+                            && (hm == LockMode::Exclusive || mode == LockMode::Exclusive)
+                    });
+                    prop_assert_eq!(granted, !conflict, "txn {} target {} mode {:?}", t, g, mode);
+                    if granted {
+                        let slot = shadow.entry((t, g)).or_insert(mode);
+                        if mode == LockMode::Exclusive {
+                            *slot = LockMode::Exclusive;
+                        }
+                    }
+                }
+                LOp::Release(t) => {
+                    lm.release_all(TxnId(t as u64));
+                    shadow.retain(|&(ht, _), _| ht != t);
+                }
+            }
+        }
+        // Invariant: the manager's held count equals the shadow's.
+        prop_assert_eq!(lm.held_count(), shadow.len());
+        for t in 0..4u8 {
+            lm.release_all(TxnId(t as u64));
+        }
+        prop_assert_eq!(lm.held_count(), 0);
+    }
+}
+
+/// Multithreaded smoke: no two exclusive holders of one target at once.
+#[test]
+fn no_concurrent_exclusive_holders() {
+    use std::sync::atomic::{AtomicI32, Ordering};
+    let db = Database::new();
+    let lm = db.lock_manager();
+    let in_cs = AtomicI32::new(0);
+    let t = LockTarget::Tuple(RelId(0), TupleId::new(1, 0));
+    std::thread::scope(|s| {
+        for w in 0..6u64 {
+            let lm = &lm;
+            let in_cs = &in_cs;
+            s.spawn(move || {
+                for round in 0..200u64 {
+                    let txn = TxnId(w * 1000 + round);
+                    if lm.acquire(txn, t, LockMode::Exclusive).is_ok() {
+                        let now = in_cs.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(now, 0, "two exclusive holders at once");
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    lm.release_all(txn);
+                }
+            });
+        }
+    });
+    assert_eq!(lm.held_count(), 0);
+}

@@ -1,0 +1,210 @@
+//! Property test: the conjunctive-query executor (greedy plan, index
+//! nested loops, seeded evaluation, NOT EXISTS) must agree with a naive
+//! brute-force oracle on random databases and queries.
+
+use proptest::prelude::*;
+use relstore::{
+    tuple, CompOp, ConjunctiveQuery, Database, JoinPred, QueryExecutor, QueryTerm, Restriction,
+    Schema, Selection, Tuple, TupleId,
+};
+
+fn db_with(rows: &[Vec<(i64, i64)>]) -> (Database, Vec<relstore::RelId>) {
+    let db = Database::new();
+    let mut rids = Vec::new();
+    for (i, rel_rows) in rows.iter().enumerate() {
+        let rid = db
+            .create_relation(Schema::new(format!("R{i}"), ["a", "b"]))
+            .unwrap();
+        // Index half the relations to exercise both access paths.
+        if i % 2 == 0 {
+            db.create_hash_index(rid, 0).unwrap();
+        }
+        for (a, b) in rel_rows {
+            db.insert(rid, tuple![*a, *b]).unwrap();
+        }
+        rids.push(rid);
+    }
+    (db, rids)
+}
+
+/// Brute force: enumerate every combination of positive-term rows, apply
+/// all predicates, then check negated terms.
+fn oracle(db: &Database, query: &ConjunctiveQuery) -> Vec<Vec<Option<TupleId>>> {
+    let all_rows: Vec<Vec<(TupleId, Tuple)>> = query
+        .terms
+        .iter()
+        .map(|t| db.select(t.rel, &Restriction::default()).unwrap())
+        .collect();
+    let positives = query.positive_terms();
+    let negatives = query.negated_terms();
+    let mut out = Vec::new();
+    // Odometer over positive terms.
+    let mut idx = vec![0usize; positives.len()];
+    'outer: loop {
+        // Build the candidate binding.
+        let mut slots: Vec<Option<(TupleId, Tuple)>> = vec![None; query.terms.len()];
+        for (k, &t) in positives.iter().enumerate() {
+            if all_rows[t].is_empty() {
+                break 'outer;
+            }
+            slots[t] = Some(all_rows[t][idx[k]].clone());
+        }
+        let ok = query
+            .terms
+            .iter()
+            .enumerate()
+            .all(|(t, term)| match &slots[t] {
+                Some((_, row)) => term.restriction.matches(row),
+                None => true,
+            })
+            && query.joins.iter().all(|j| {
+                match (&slots[j.left_term], &slots[j.right_term]) {
+                    (Some((_, l)), Some((_, r))) => j.op.eval(&l[j.left_attr], &r[j.right_attr]),
+                    _ => true, // involves a negated term; checked below
+                }
+            });
+        if ok {
+            // NOT EXISTS for each negated term.
+            let blocked = negatives.iter().any(|&nt| {
+                all_rows[nt].iter().any(|(_, row)| {
+                    query.terms[nt].restriction.matches(row)
+                        && query.joins.iter().filter(|j| j.touches(nt)).all(|j| {
+                            let (other, my_attr, other_attr, op) = if j.left_term == nt {
+                                (j.right_term, j.left_attr, j.right_attr, j.op)
+                            } else {
+                                (j.left_term, j.right_attr, j.left_attr, j.op.flip())
+                            };
+                            match &slots[other] {
+                                Some((_, o)) => op.eval(&row[my_attr], &o[other_attr]),
+                                None => false,
+                            }
+                        })
+                })
+            });
+            if !blocked {
+                out.push(
+                    slots
+                        .iter()
+                        .map(|s| s.as_ref().map(|(tid, _)| *tid))
+                        .collect(),
+                );
+            }
+        }
+        // Advance the odometer.
+        for k in (0..idx.len()).rev() {
+            idx[k] += 1;
+            if idx[k] < all_rows[positives[k]].len() {
+                continue 'outer;
+            }
+            idx[k] = 0;
+            if k == 0 {
+                break 'outer;
+            }
+        }
+        if idx.is_empty() {
+            break;
+        }
+    }
+    out.sort();
+    out
+}
+
+fn row_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..4, 0i64..4), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn executor_matches_oracle_two_way(
+        r0 in row_strategy(),
+        r1 in row_strategy(),
+        sel in 0i64..4,
+        join_op in prop_oneof![Just(CompOp::Eq), Just(CompOp::Lt), Just(CompOp::Ne)],
+    ) {
+        let (db, rids) = db_with(&[r0, r1]);
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(rids[0], Restriction::new(vec![Selection::new(1, CompOp::Ge, sel)])),
+                QueryTerm::new(rids[1], Restriction::default()),
+            ],
+            vec![JoinPred { left_term: 0, left_attr: 0, op: join_op, right_term: 1, right_attr: 0 }],
+        );
+        let mut got: Vec<Vec<Option<TupleId>>> = QueryExecutor::new(&db)
+            .exec(&q, None)
+            .unwrap()
+            .into_iter()
+            .map(|b| b.slots.iter().map(|s| s.as_ref().map(|(t, _)| *t)).collect())
+            .collect();
+        got.sort();
+        prop_assert_eq!(got, oracle(&db, &q));
+    }
+
+    #[test]
+    fn executor_matches_oracle_three_way_with_negation(
+        r0 in row_strategy(),
+        r1 in row_strategy(),
+        r2 in row_strategy(),
+        neg_sel in 0i64..4,
+    ) {
+        let (db, rids) = db_with(&[r0, r1, r2]);
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(rids[0], Restriction::default()),
+                QueryTerm::new(rids[1], Restriction::default()),
+                QueryTerm::negated(
+                    rids[2],
+                    Restriction::new(vec![Selection::new(1, CompOp::Le, neg_sel)]),
+                ),
+            ],
+            vec![
+                JoinPred::eq(0, 0, 1, 0),
+                JoinPred::eq(2, 0, 0, 1),
+            ],
+        );
+        let mut got: Vec<Vec<Option<TupleId>>> = QueryExecutor::new(&db)
+            .exec(&q, None)
+            .unwrap()
+            .into_iter()
+            .map(|b| b.slots.iter().map(|s| s.as_ref().map(|(t, _)| *t)).collect())
+            .collect();
+        got.sort();
+        prop_assert_eq!(got, oracle(&db, &q));
+    }
+
+    #[test]
+    fn seeded_union_equals_full_result(
+        r0 in row_strategy(),
+        r1 in row_strategy(),
+    ) {
+        let (db, rids) = db_with(&[r0, r1]);
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(rids[0], Restriction::default()),
+                QueryTerm::new(rids[1], Restriction::default()),
+            ],
+            vec![JoinPred::eq(0, 0, 1, 0)],
+        );
+        let exec = QueryExecutor::new(&db);
+        let mut full: Vec<Vec<Option<TupleId>>> = exec
+            .exec(&q, None)
+            .unwrap()
+            .into_iter()
+            .map(|b| b.slots.iter().map(|s| s.as_ref().map(|(t, _)| *t)).collect())
+            .collect();
+        full.sort();
+        // Union over seeding each term-0 row must equal the full result.
+        let mut seeded: Vec<Vec<Option<TupleId>>> = Vec::new();
+        for (tid, t) in db.select(rids[0], &Restriction::default()).unwrap() {
+            seeded.extend(
+                exec.exec(&q, Some((0, tid, &t)))
+                    .unwrap()
+                    .into_iter()
+                    .map(|b| b.slots.iter().map(|s| s.as_ref().map(|(x, _)| *x)).collect::<Vec<_>>()),
+            );
+        }
+        seeded.sort();
+        prop_assert_eq!(full, seeded);
+    }
+}

@@ -1,0 +1,106 @@
+//! Crash recovery: checkpoint (snapshot) + write-ahead log replay must
+//! reconstruct the working memory exactly, and a re-attached engine must
+//! resume matching.
+
+use ops5::ClassId;
+use prodsys::{bootstrap, make_engine, EngineKind, ProductionDb};
+use relstore::{recover, snapshot, tuple, Restriction};
+use std::sync::Arc;
+
+const SRC: &str = r#"
+    (literalize Emp name dno)
+    (literalize Dept dno)
+    (p R (Emp ^dno <D>) (Dept ^dno <D>) --> (remove 1))
+"#;
+
+#[test]
+fn wal_replay_after_checkpoint() {
+    let rules = ops5::compile(SRC).unwrap();
+    let pdb = ProductionDb::new(rules.clone()).unwrap();
+    let wal = pdb.db().enable_wal();
+    let mut engine = make_engine(EngineKind::Rete, pdb.clone());
+
+    // Pre-checkpoint activity.
+    engine.insert(ClassId(0), tuple!["Ann", 7]);
+    engine.insert(ClassId(0), tuple!["Bob", 8]);
+
+    // Checkpoint: snapshot + truncate the log.
+    let checkpoint = snapshot::save(pdb.db());
+    wal.truncate();
+
+    // Post-checkpoint activity ("lost" unless the WAL captures it).
+    engine.insert(ClassId(1), tuple![7]);
+    engine.remove(ClassId(0), &tuple!["Bob", 8]);
+    engine.insert(ClassId(0), tuple!["Cid", 7]);
+    let live_conflicts = engine.conflict_set().sorted();
+    assert_eq!(live_conflicts.len(), 2, "Ann and Cid match dept 7");
+
+    // "Crash": rebuild from checkpoint + log.
+    let recovered = Arc::new(recover(Some(checkpoint), wal.bytes()).unwrap());
+    let emp = recovered.rel_id("Emp").unwrap();
+    let dept = recovered.rel_id("Dept").unwrap();
+    assert_eq!(recovered.relation_len(emp), 2, "Ann + Cid");
+    assert_eq!(recovered.relation_len(dept), 1);
+    assert!(recovered
+        .select(emp, &Restriction::default())
+        .unwrap()
+        .iter()
+        .all(|(_, t)| t[0] != relstore::Value::str("Bob")));
+
+    // Re-attach an engine and verify the conflict set is back.
+    let pdb2 = ProductionDb::attach(recovered, rules).unwrap();
+    let mut engine2 = make_engine(EngineKind::Cond, pdb2);
+    bootstrap(engine2.as_mut());
+    assert_eq!(engine2.conflict_set().sorted(), live_conflicts);
+}
+
+#[test]
+fn recovery_without_checkpoint() {
+    // A log alone reconstructs everything, including DDL.
+    let db = relstore::Database::new();
+    let wal = db.enable_wal();
+    let rid = db
+        .create_relation(relstore::Schema::new("R", ["a", "b"]))
+        .unwrap();
+    db.create_hash_index(rid, 0).unwrap();
+    for i in 0..20i64 {
+        db.insert(rid, tuple![i, i * 2]).unwrap();
+    }
+    db.delete_equal(rid, &tuple![5, 10]).unwrap();
+
+    let recovered = recover(None, wal.bytes()).unwrap();
+    let r2 = recovered.rel_id("R").unwrap();
+    assert_eq!(recovered.relation_len(r2), 19);
+    assert!(recovered.read(r2, |r| r.has_hash_index(0)).unwrap());
+}
+
+#[test]
+fn transactional_aborts_leave_consistent_log() {
+    // An aborted transaction's undo actions are logged as compensating
+    // records: replay must land on the committed state.
+    let db = relstore::Database::new();
+    let wal = db.enable_wal();
+    let rid = db
+        .create_relation(relstore::Schema::new("R", ["a"]))
+        .unwrap();
+    db.insert(rid, tuple![1]).unwrap();
+
+    {
+        let mut txn = db.begin();
+        txn.insert(rid, tuple![2]).unwrap();
+        let rows = txn.select(rid, &Restriction::default()).unwrap();
+        let victim = rows
+            .iter()
+            .find(|(_, t)| t[0] == relstore::Value::Int(1))
+            .unwrap();
+        txn.delete(rid, victim.0).unwrap();
+        txn.abort();
+    }
+    assert_eq!(db.relation_len(rid), 1);
+
+    let recovered = recover(None, wal.bytes()).unwrap();
+    let r2 = recovered.rel_id("R").unwrap();
+    assert_eq!(recovered.relation_len(r2), 1);
+    let rows = recovered.select(r2, &Restriction::default()).unwrap();
+    assert_eq!(rows[0].1, tuple![1], "abort fully compensated in the log");
+}
