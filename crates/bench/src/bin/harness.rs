@@ -222,6 +222,10 @@ fn e6() {
                 p.wall_ns.to_string(),
                 p.committed.to_string(),
                 p.deadlock_aborts.to_string(),
+                p.invalidated.to_string(),
+                p.rounds.to_string(),
+                p.lock_waits.to_string(),
+                format!("{:.3}", p.lock_wait_ns as f64 / 1e6),
             ]
         })
         .collect();
@@ -233,6 +237,10 @@ fn e6() {
             "wall ns",
             "committed",
             "deadlock aborts",
+            "invalidated",
+            "rounds",
+            "lock waits",
+            "lock wait ms",
         ],
         &rows,
     );
@@ -382,9 +390,53 @@ fn e10() {
     );
 }
 
+fn obs(trace: Option<&str>, report: Option<&str>) {
+    println!("\n## Observability — instrumented run (all engines + §5 concurrent)\n");
+    match bench::observability_run(trace, report) {
+        Ok(run) => {
+            println!(
+                "sequential pass: {} productions fired across 5 engines",
+                run.fired
+            );
+            println!("concurrent pass: {}", run.concurrent);
+            if let Some(p) = trace {
+                println!("trace  -> {p}");
+            }
+            match report {
+                Some(p) => println!("report -> {p}"),
+                None => println!("report:\n{}", run.report_json),
+            }
+        }
+        Err(e) => {
+            eprintln!("observability run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn flag_value(flag: &str, raw: &mut impl Iterator<Item = String>) -> String {
+    raw.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} requires a file path");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let mut raw = std::env::args().skip(1);
+    let mut args: Vec<String> = Vec::new();
+    let mut trace: Option<String> = None;
+    let mut report: Option<String> = None;
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--trace" => trace = Some(flag_value("--trace", &mut raw)),
+            "--report" => report = Some(flag_value("--report", &mut raw)),
+            _ => args.push(a),
+        }
+    }
+    // `harness --trace t.jsonl --report r.json` alone runs only the
+    // instrumented demo, not the whole experiment suite.
+    let obs_requested = trace.is_some() || report.is_some();
+    let run_all = (args.is_empty() && !obs_requested) || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
     println!("prodsys experiment harness — Sellis/Lin/Raschid SIGMOD '88 reproduction");
@@ -432,5 +484,8 @@ fn main() {
     }
     if want("e10") {
         e10();
+    }
+    if obs_requested || want("obs") {
+        obs(trace.as_deref(), report.as_deref());
     }
 }

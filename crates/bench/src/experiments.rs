@@ -275,6 +275,10 @@ pub struct E6Point {
     pub wall_ns: u64,
     pub committed: usize,
     pub deadlock_aborts: usize,
+    pub invalidated: usize,
+    pub rounds: usize,
+    pub lock_waits: u64,
+    pub lock_wait_ns: u64,
 }
 
 const E6_INDEPENDENT: &str = r#"
@@ -316,6 +320,10 @@ pub fn e6_concurrent(insts: usize, worker_counts: &[usize]) -> Vec<E6Point> {
                 wall_ns: start.elapsed().as_nanos() as u64,
                 committed: stats.committed,
                 deadlock_aborts: stats.deadlock_aborts,
+                invalidated: stats.invalidated,
+                rounds: stats.rounds,
+                lock_waits: stats.lock_waits,
+                lock_wait_ns: stats.lock_wait_ns,
             });
         }
     }

@@ -6,8 +6,10 @@
 //! benches reuse the same code for timing.
 
 pub mod experiments;
+pub mod obs_run;
 
 pub use experiments::*;
+pub use obs_run::{observability_run, ObsRun};
 
 /// Format a sequence of (column, value) rows as an aligned table.
 pub fn print_rows(title: &str, header: &[&str], rows: &[Vec<String>]) {

@@ -1,0 +1,161 @@
+//! The instrumented run behind `harness --trace` / `--report`.
+//!
+//! One tracer — and therefore one shared metrics registry — is threaded
+//! through a sequential pass of the same demo program on all five engines
+//! plus a §5 concurrent pass, so a single JSON report carries per-rule
+//! fire counts, match-latency histograms, a detect/maintain split per
+//! engine, and lock-contention totals.
+
+use std::time::Instant;
+
+use obs::json::Obj;
+use obs::{RunReport, Sink, Tracer};
+use prodsys::{
+    make_engine, ClassId, ConcurrentExecutor, ConcurrentStats, EngineKind, ProductionDb,
+    ProductionSystem, Strategy,
+};
+use relstore::tuple;
+
+use crate::experiments::E6_IO_COST_NS;
+
+/// Chained demo program: `Mark` tags every `Item`, `Tally` consumes
+/// tagged items into `Total`. Every cycle both grows and shrinks the
+/// conflict set, so all per-rule counters come out non-trivial.
+const OBS_DEMO: &str = r#"
+    (literalize Item n v)
+    (literalize Done n)
+    (literalize Total n v)
+    (p Mark (Item ^n <N> ^v <V>) -(Done ^n <N>) --> (make Done ^n <N>))
+    (p Tally (Item ^n <N> ^v <V>) (Done ^n <N>) --> (remove 1) (make Total ^n <N> ^v <V>))
+"#;
+
+/// Skewed §5 workload for the lock-contention part of the report: every
+/// firing funnels into the single shared `Total` relation.
+const OBS_SKEWED: &str = r#"
+    (literalize Item n v)
+    (literalize Total n v)
+    (p Funnel (Item ^n <N> ^v <V>) --> (remove 1) (make Total ^n <N> ^v <V>))
+"#;
+
+const OBS_ITEMS: i64 = 24;
+const OBS_WORKERS: usize = 4;
+
+/// What [`observability_run`] produced, for the harness to print.
+pub struct ObsRun {
+    /// The rendered `--report` JSON document.
+    pub report_json: String,
+    /// Productions fired across the five sequential passes.
+    pub fired: u64,
+    /// Stats of the §5 concurrent pass.
+    pub concurrent: ConcurrentStats,
+}
+
+/// Run the instrumented demo: a sequential pass over all five engines
+/// (sharing one tracer, so the report's detect/maintain section covers
+/// each engine) followed by a §5 concurrent pass that exercises the lock
+/// manager. Streams JSONL events to `trace` and writes the report JSON to
+/// `report` when those paths are given.
+pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::Result<ObsRun> {
+    let sink = match trace {
+        Some(path) => Sink::jsonl_file(path)?,
+        None => Sink::Null,
+    };
+    let tracer = Tracer::new(sink);
+
+    let start = Instant::now();
+    let mut fired = 0u64;
+    let mut halted = false;
+    for kind in EngineKind::ALL {
+        let mut sys = ProductionSystem::from_source(OBS_DEMO, kind, Strategy::Fifo)
+            .expect("demo program compiles");
+        sys.set_tracer(tracer.clone());
+        for i in 0..OBS_ITEMS {
+            sys.insert("Item", tuple![i, i * 2]).expect("Item class");
+        }
+        let out = sys.run(10_000);
+        fired += out.fired as u64;
+        halted |= out.halted;
+    }
+
+    // §5 concurrent pass: skewed workload plus simulated I/O latency so
+    // transactions overlap and block on the shared relation's locks.
+    let rules = ops5::compile(OBS_SKEWED).expect("skewed program compiles");
+    let mut engine = make_engine(EngineKind::Rete, ProductionDb::new(rules).unwrap());
+    for i in 0..OBS_ITEMS {
+        engine.insert(ClassId(0), tuple![i, i * 3]);
+    }
+    engine.pdb().db().set_io_cost_ns(E6_IO_COST_NS);
+    let mut exec = ConcurrentExecutor::new(engine, OBS_WORKERS);
+    exec.set_tracer(tracer.clone());
+    let stats = exec.run(OBS_ITEMS as usize * 4);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    tracer.flush();
+
+    let concurrent = Obj::new()
+        .u64("workers", OBS_WORKERS as u64)
+        .u64("committed", stats.committed as u64)
+        .u64("deadlock_aborts", stats.deadlock_aborts as u64)
+        .u64("retries", stats.retries as u64)
+        .u64("invalidated", stats.invalidated as u64)
+        .u64("rounds", stats.rounds as u64)
+        .u64("lock_waits", stats.lock_waits)
+        .u64("lock_wait_ns", stats.lock_wait_ns)
+        .finish();
+    let report_json = RunReport::new("all-engines", "obs-demo")
+        .wall_ns(wall_ns)
+        .fired(fired)
+        .halted(halted || stats.halted)
+        .section("concurrent", concurrent)
+        .to_json(tracer.metrics().expect("tracer is enabled"));
+    if let Some(path) = report {
+        std::fs::write(path, &report_json)?;
+    }
+    Ok(ObsRun {
+        report_json,
+        fired,
+        concurrent: stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_rules_engines_and_locks() {
+        let run = observability_run(None, None).unwrap();
+        // Each engine fires Mark and Tally once per item.
+        assert_eq!(run.fired, 5 * 2 * OBS_ITEMS as u64);
+        assert_eq!(run.concurrent.committed, OBS_ITEMS as usize);
+        let json = &run.report_json;
+        for engine in ["rete", "db-rete", "query", "cond", "marker"] {
+            assert!(
+                json.contains(&format!("\"engine\":\"{engine}\"")),
+                "missing split for {engine}: {json}"
+            );
+        }
+        for rule in ["Mark", "Tally"] {
+            assert!(json.contains(&format!("\"name\":\"{rule}\"")), "{json}");
+        }
+        assert!(json.contains("\"match_latency_ns\""), "{json}");
+        assert!(json.contains("\"concurrent\":{\"workers\":4"), "{json}");
+    }
+
+    #[test]
+    fn trace_and_report_files_are_written() {
+        let dir = std::env::temp_dir().join(format!("obs_run_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let report = dir.join("report.json");
+        observability_run(trace.to_str(), report.to_str()).unwrap();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.lines().count() > 100, "trace should be dense");
+        for line in trace_text.lines() {
+            assert!(line.starts_with("{\"seq\":"), "not JSONL: {line}");
+            assert!(line.ends_with('}'), "truncated: {line}");
+        }
+        let report_text = std::fs::read_to_string(&report).unwrap();
+        assert!(report_text.starts_with("{\"engine\":\"all-engines\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

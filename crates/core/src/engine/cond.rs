@@ -247,6 +247,7 @@ pub struct CondEngine {
     parallel: bool,
     last_detect_ns: u64,
     last_total_ns: u64,
+    tracer: obs::Tracer,
 }
 
 impl CondEngine {
@@ -308,6 +309,7 @@ impl CondEngine {
             parallel: false,
             last_detect_ns: 0,
             last_total_ns: 0,
+            tracer: obs::Tracer::disabled(),
         }
     }
 
@@ -972,6 +974,14 @@ impl MatchEngine for CondEngine {
 
     fn last_detect_split(&self) -> Option<(u64, u64)> {
         Some((self.last_detect_ns, self.last_total_ns))
+    }
+
+    fn tracer(&self) -> &obs::Tracer {
+        &self.tracer
+    }
+
+    fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 }
 

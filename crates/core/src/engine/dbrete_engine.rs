@@ -1,6 +1,8 @@
 //! The paper's §3.2 design as an engine: Rete with LEFT/RIGHT relations
 //! stored in the same database as working memory.
 
+use std::time::Instant;
+
 use ops5::ClassId;
 use relstore::{Tuple, TupleId};
 use rete::{ConflictDelta, ConflictSet, DbReteNetwork, Wme};
@@ -12,6 +14,8 @@ use crate::pdb::ProductionDb;
 pub struct DbReteEngine {
     pdb: ProductionDb,
     net: DbReteNetwork,
+    last_total: u64,
+    tracer: obs::Tracer,
 }
 
 impl DbReteEngine {
@@ -28,7 +32,12 @@ impl DbReteEngine {
             }
             Err(e) => panic!("LEFT/RIGHT relation creation: {e}"),
         };
-        DbReteEngine { pdb, net }
+        DbReteEngine {
+            pdb,
+            net,
+            last_total: 0,
+            tracer: obs::Tracer::disabled(),
+        }
     }
 
     /// Did construction attach to pre-existing (already populated)
@@ -58,7 +67,10 @@ impl MatchEngine for DbReteEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
-        self.net.insert(Wme::new(class, tuple.clone()))
+        let start = Instant::now();
+        let deltas = self.net.insert(Wme::new(class, tuple.clone()));
+        self.last_total = start.elapsed().as_nanos() as u64;
+        deltas
     }
 
     fn maintain_remove(
@@ -67,7 +79,10 @@ impl MatchEngine for DbReteEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
-        self.net.remove(&Wme::new(class, tuple.clone()))
+        let start = Instant::now();
+        let deltas = self.net.remove(&Wme::new(class, tuple.clone()));
+        self.last_total = start.elapsed().as_nanos() as u64;
+        deltas
     }
 
     fn conflict_set(&self) -> &ConflictSet {
@@ -86,6 +101,21 @@ impl MatchEngine for DbReteEngine {
         // When attached, the restored LEFT/RIGHT relations already encode
         // the match state; replaying WM would double-count.
         !self.attached()
+    }
+
+    fn last_detect_split(&self) -> Option<(u64, u64)> {
+        // Like in-memory Rete, the DB-resident network surfaces conflict
+        // deltas only after the LEFT/RIGHT relations are maintained:
+        // detection cannot complete earlier than maintenance (§4.2.3).
+        Some((self.last_total, self.last_total))
+    }
+
+    fn tracer(&self) -> &obs::Tracer {
+        &self.tracer
+    }
+
+    fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 }
 

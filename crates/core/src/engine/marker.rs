@@ -16,6 +16,7 @@
 //! false drops.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use ops5::{ClassId, RuleId};
 use predindex::Interval;
@@ -43,6 +44,8 @@ pub struct MarkerEngine {
     store: InstStore,
     conflict: ConflictSet,
     false_drops: u64,
+    last_total: u64,
+    tracer: obs::Tracer,
 }
 
 impl MarkerEngine {
@@ -77,6 +80,8 @@ impl MarkerEngine {
             store: InstStore::new(),
             conflict: ConflictSet::new(),
             false_drops: 0,
+            last_total: 0,
+            tracer: obs::Tracer::disabled(),
         }
     }
 
@@ -124,8 +129,11 @@ impl MatchEngine for MarkerEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        let start = Instant::now();
         let c = self.candidates(class, tuple);
-        self.verify(c)
+        let deltas = self.verify(c);
+        self.last_total = start.elapsed().as_nanos() as u64;
+        deltas
     }
 
     fn maintain_remove(
@@ -134,8 +142,11 @@ impl MatchEngine for MarkerEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        let start = Instant::now();
         let c = self.candidates(class, tuple);
-        self.verify(c)
+        let deltas = self.verify(c);
+        self.last_total = start.elapsed().as_nanos() as u64;
+        deltas
     }
 
     fn conflict_set(&self) -> &ConflictSet {
@@ -154,6 +165,20 @@ impl MatchEngine for MarkerEngine {
 
     fn false_drops(&self) -> u64 {
         self.false_drops
+    }
+
+    fn last_detect_split(&self) -> Option<(u64, u64)> {
+        // Candidate collection plus verification both precede any
+        // conflict-set change: detection dominates (§2.3's cost remark).
+        Some((self.last_total, self.last_total))
+    }
+
+    fn tracer(&self) -> &obs::Tracer {
+        &self.tracer
+    }
+
+    fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -25,6 +25,9 @@ pub use marker::MarkerEngine;
 pub use query_engine::QueryEngine;
 pub use rete_engine::ReteEngine;
 
+use std::time::Instant;
+
+use obs::{Event, Tracer};
 use ops5::ClassId;
 use relstore::{Tuple, TupleId};
 use rete::{ConflictDelta, ConflictSet};
@@ -69,19 +72,36 @@ pub trait MatchEngine: Send {
         tuple: &Tuple,
     ) -> Vec<ConflictDelta>;
 
-    /// Insert a WM element (relation + maintenance).
+    /// Insert a WM element (relation + maintenance). When a tracer is
+    /// installed, the WM change, the match-maintenance timing, and every
+    /// conflict-set delta are emitted from here — one code path for all
+    /// five engines, so their delta event streams are directly comparable.
     fn insert(&mut self, class: ClassId, tuple: Tuple) -> Vec<ConflictDelta> {
         let tid = self
             .pdb()
             .insert_wm(class, tuple.clone())
             .expect("wm insert");
-        self.maintain_insert(class, tid, &tuple)
+        let start = self.tracer().enabled().then(Instant::now);
+        let deltas = self.maintain_insert(class, tid, &tuple);
+        if let Some(start) = start {
+            let total_ns = start.elapsed().as_nanos() as u64;
+            trace_wm_change(self, class, true, &tuple, &deltas, total_ns);
+        }
+        deltas
     }
 
     /// Remove one WM element equal to `tuple`; no-op when absent.
     fn remove(&mut self, class: ClassId, tuple: &Tuple) -> Vec<ConflictDelta> {
         match self.pdb().remove_wm_equal(class, tuple).expect("wm remove") {
-            Some(tid) => self.maintain_remove(class, tid, tuple),
+            Some(tid) => {
+                let start = self.tracer().enabled().then(Instant::now);
+                let deltas = self.maintain_remove(class, tid, tuple);
+                if let Some(start) = start {
+                    let total_ns = start.elapsed().as_nanos() as u64;
+                    trace_wm_change(self, class, false, tuple, &deltas, total_ns);
+                }
+                deltas
+            }
             None => Vec::new(),
         }
     }
@@ -112,6 +132,112 @@ pub trait MatchEngine: Send {
     /// first, and then the maintenance process follows").
     fn last_detect_split(&self) -> Option<(u64, u64)> {
         None
+    }
+
+    /// The engine's tracing handle. Disabled by default; the default
+    /// `insert`/`remove` wrappers consult it on every WM change, so the
+    /// accessor must stay trivially cheap.
+    fn tracer(&self) -> &Tracer;
+
+    /// Install a tracing handle (shared with the executor and the lock
+    /// manager by the system facade).
+    fn set_tracer(&mut self, tracer: Tracer);
+}
+
+/// Emit the trace events and metrics for one completed WM change. Shared
+/// by the default `insert`/`remove` wrappers and the §5 concurrent
+/// executor's maintenance step, so every engine produces the same event
+/// stream for the same conflict-set changes.
+pub(crate) fn trace_wm_change<E: MatchEngine + ?Sized>(
+    engine: &E,
+    class: ClassId,
+    insert: bool,
+    tuple: &Tuple,
+    deltas: &[ConflictDelta],
+    total_ns: u64,
+) {
+    let tracer = engine.tracer();
+    let rules = engine.pdb().rules();
+    let class_name = &rules.class(class).name;
+    let (detect_ns, split_total_ns) = engine.last_detect_split().unwrap_or((0, 0));
+    // Engines that do not time their phases still contribute the wall
+    // time measured by the wrapper.
+    let detect_ns = if split_total_ns == 0 { 0 } else { detect_ns };
+    tracer.emit(|| {
+        if insert {
+            Event::WmInsert {
+                class: class.0 as u32,
+                class_name: class_name.clone(),
+                tuple: tuple.to_string(),
+            }
+        } else {
+            Event::WmRemove {
+                class: class.0 as u32,
+                class_name: class_name.clone(),
+                tuple: tuple.to_string(),
+            }
+        }
+    });
+    // Deltas are emitted in a canonical order (removes first, then adds,
+    // each sorted) so the streams of different engines line up.
+    let mut ordered: Vec<&ConflictDelta> = deltas.iter().collect();
+    ordered.sort_by(|a, b| {
+        a.is_add()
+            .cmp(&b.is_add())
+            .then_with(|| a.instantiation().cmp(b.instantiation()))
+    });
+    for delta in ordered {
+        let inst = delta.instantiation();
+        let rule_name = &rules.rule(inst.rule).name;
+        if let Some(m) = tracer.metrics() {
+            m.record_conflict_delta(inst.rule.0 as u32, rule_name, delta.is_add());
+        }
+        tracer.emit(|| {
+            let mut wmes = String::new();
+            for w in &inst.wmes {
+                if !wmes.is_empty() {
+                    wmes.push(' ');
+                }
+                wmes.push_str(&rules.class(w.class).name);
+                wmes.push_str(&w.tuple.to_string());
+            }
+            Event::ConflictDelta {
+                add: delta.is_add(),
+                rule: inst.rule.0 as u32,
+                rule_name: rule_name.clone(),
+                wmes,
+            }
+        });
+    }
+    let (adds, removes) =
+        deltas.iter().fold(
+            (0, 0),
+            |(a, r), d| {
+                if d.is_add() {
+                    (a + 1, r)
+                } else {
+                    (a, r + 1)
+                }
+            },
+        );
+    tracer.emit(|| Event::MatchMaintain {
+        engine: engine.name(),
+        class: class.0 as u32,
+        insert,
+        adds,
+        removes,
+        detect_ns,
+        total_ns,
+    });
+    if let Some(m) = tracer.metrics() {
+        m.record_match(
+            engine.name(),
+            class.0 as u32,
+            class_name,
+            deltas.len(),
+            detect_ns,
+            total_ns,
+        );
     }
 }
 

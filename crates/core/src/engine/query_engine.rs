@@ -11,6 +11,7 @@
 //! satisfies conditions stored in the COND relations").
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use ops5::{ClassId, RuleId};
 use predindex::{make_index, ConditionIndex, IndexKind, Rect};
@@ -31,6 +32,8 @@ pub struct QueryEngine {
     cond: Vec<Box<dyn ConditionIndex<CondRef> + Send + Sync>>,
     store: InstStore,
     conflict: ConflictSet,
+    last_total: u64,
+    tracer: obs::Tracer,
 }
 
 impl QueryEngine {
@@ -62,6 +65,8 @@ impl QueryEngine {
             cond,
             store: InstStore::new(),
             conflict: ConflictSet::new(),
+            last_total: 0,
+            tracer: obs::Tracer::disabled(),
         }
     }
 
@@ -113,8 +118,11 @@ impl MatchEngine for QueryEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        let start = Instant::now();
         let affected = self.affected_rules(class, tuple);
-        self.reevaluate(affected)
+        let deltas = self.reevaluate(affected);
+        self.last_total = start.elapsed().as_nanos() as u64;
+        deltas
     }
 
     fn maintain_remove(
@@ -123,8 +131,11 @@ impl MatchEngine for QueryEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        let start = Instant::now();
         let affected = self.affected_rules(class, tuple);
-        self.reevaluate(affected)
+        let deltas = self.reevaluate(affected);
+        self.last_total = start.elapsed().as_nanos() as u64;
+        deltas
     }
 
     fn conflict_set(&self) -> &ConflictSet {
@@ -141,6 +152,20 @@ impl MatchEngine for QueryEngine {
             match_bytes: entries * 96,
             wm_tuples: self.pdb.wm_total(),
         }
+    }
+
+    fn last_detect_split(&self) -> Option<(u64, u64)> {
+        // Re-evaluation computes all affected joins before the conflict
+        // set changes: no maintenance tail after detection (§4.1.2).
+        Some((self.last_total, self.last_total))
+    }
+
+    fn tracer(&self) -> &obs::Tracer {
+        &self.tracer
+    }
+
+    fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 }
 

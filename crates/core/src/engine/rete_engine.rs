@@ -15,6 +15,7 @@ pub struct ReteEngine {
     pdb: ProductionDb,
     net: ReteNetwork,
     last_total: u64,
+    tracer: obs::Tracer,
 }
 
 impl ReteEngine {
@@ -25,6 +26,7 @@ impl ReteEngine {
             pdb,
             net,
             last_total: 0,
+            tracer: obs::Tracer::disabled(),
         }
     }
 
@@ -88,6 +90,14 @@ impl MatchEngine for ReteEngine {
         // Rete updates the conflict set only after full propagation:
         // detection time equals total time (§4.2.3's contrast).
         Some((self.last_total, self.last_total))
+    }
+
+    fn tracer(&self) -> &obs::Tracer {
+        &self.tracer
+    }
+
+    fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -22,14 +22,16 @@
 //! if it is still in the conflict set.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 
+use obs::Event;
 use parking_lot::Mutex;
 
 use relstore::{Error, Restriction, Selection, TupleId};
 use rete::Instantiation;
 
-use crate::engine::MatchEngine;
+use crate::engine::{trace_wm_change, MatchEngine};
 use crate::exec::{eval_rhs, positive_positions, WmChange};
 
 /// Statistics from a concurrent run.
@@ -39,15 +41,39 @@ pub struct ConcurrentStats {
     pub committed: usize,
     /// Transactions aborted as deadlock victims (then retried).
     pub deadlock_aborts: usize,
+    /// Deadlock victims that were actually re-executed in a later round.
+    pub retries: usize,
     /// Instantiations skipped because their tuples vanished or a negated
     /// CE became blocked before execution.
     pub invalidated: usize,
     /// Synchronization rounds executed.
     pub rounds: usize,
+    /// Lock requests that blocked during the run.
+    pub lock_waits: u64,
+    /// Total nanoseconds transactions spent blocked on locks.
+    pub lock_wait_ns: u64,
     /// `(halt)` executed by some production.
     pub halted: bool,
     /// `write` output (order nondeterministic across transactions).
     pub writes: Vec<String>,
+}
+
+impl fmt::Display for ConcurrentStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "committed={} aborts={} retries={} invalidated={} rounds={} \
+             lock_waits={} lock_wait_ms={:.3}{}",
+            self.committed,
+            self.deadlock_aborts,
+            self.retries,
+            self.invalidated,
+            self.rounds,
+            self.lock_waits,
+            self.lock_wait_ns as f64 / 1e6,
+            if self.halted { " halted" } else { "" }
+        )
+    }
 }
 
 /// Concurrent executor: fires all applicable instantiations as
@@ -79,150 +105,203 @@ impl ConcurrentExecutor {
         self.engine.clone()
     }
 
+    /// Install a tracing/metrics handle on the engine and the storage
+    /// layer's lock manager (§5 contention profiling).
+    pub fn set_tracer(&self, tracer: obs::Tracer) {
+        let mut g = self.engine.lock();
+        g.pdb().db().lock_manager().set_tracer(tracer.clone());
+        g.set_tracer(tracer);
+    }
+
     /// Execute one instantiation as a transaction.
     fn run_one(engine: &Arc<Mutex<Box<dyn MatchEngine>>>, inst: &Instantiation) -> TxnOutcome {
-        let (pdb, rules) = {
+        let (pdb, rules, tracer) = {
             let g = engine.lock();
-            (g.pdb().clone(), g.pdb().rules().clone())
+            (g.pdb().clone(), g.pdb().rules().clone(), g.tracer().clone())
         };
         let rule = rules.rule(inst.rule).clone();
         let pos_of = positive_positions(&rule);
         let db = pdb.db().clone();
         let mut txn = db.begin();
-
-        // 1. Re-select the matched tuples by content, with read locks.
-        //    Duplicate WMEs need distinct tuple ids.
-        let mut claimed: Vec<(usize, TupleId)> = Vec::new(); // (positive pos, tid)
-        for (i, ce) in rule.ces.iter().enumerate() {
-            if ce.negated {
-                continue;
-            }
-            let pos = pos_of[i].expect("positive");
-            let wme = &inst.wmes[pos];
-            let full_eq = Restriction::new(
-                wme.tuple
-                    .values()
-                    .iter()
-                    .enumerate()
-                    .map(|(a, v)| Selection::eq(a, v.clone()))
-                    .collect(),
-            );
-            let rows = match txn.select(pdb.class_rel(ce.class), &full_eq) {
-                Ok(rows) => rows,
-                Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                Err(e) => panic!("select failed: {e}"),
-            };
-            let free = rows
-                .iter()
-                .find(|(tid, _)| !claimed.iter().any(|(_, c)| c == tid));
-            match free {
-                Some((tid, _)) => claimed.push((pos, *tid)),
-                None => return TxnOutcome::Invalid,
-            }
-        }
-
-        // 2. Negative dependence: shared relation lock + NOT EXISTS.
-        for ce in rule.ces.iter().filter(|ce| ce.negated) {
-            let mut tests = ce.alpha.tests.clone();
-            for j in &ce.joins {
-                let Some(pos) = pos_of[j.other_ce] else {
+        let txn_id = txn.id().0;
+        tracer.emit(|| Event::TxnBegin {
+            txn: txn_id,
+            rule: inst.rule.0 as u32,
+            rule_name: rule.name.clone(),
+        });
+        let mut wm_writes = 0usize;
+        let outcome = (|| -> TxnOutcome {
+            // 1. Re-select the matched tuples by content, with read locks.
+            //    Duplicate WMEs need distinct tuple ids.
+            let mut claimed: Vec<(usize, TupleId)> = Vec::new(); // (positive pos, tid)
+            for (i, ce) in rule.ces.iter().enumerate() {
+                if ce.negated {
                     continue;
-                };
-                let bound = inst.wmes[pos].tuple[j.other_attr].clone();
-                tests.push(Selection::new(j.my_attr, j.op, bound));
-            }
-            let restriction = Restriction::new(tests).with_attr_tests(ce.alpha.attr_tests.clone());
-            match txn.verify_absent(pdb.class_rel(ce.class), &restriction) {
-                Ok(true) => {}
-                Ok(false) => return TxnOutcome::Invalid,
-                Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                Err(e) => panic!("verify_absent failed: {e}"),
-            }
-        }
-
-        // 3. Apply the RHS under exclusive locks, remembering what
-        //    actually happened for the maintenance phase.
-        let rhs = eval_rhs(&rules, inst);
-        let mut applied: Vec<(WmChange, TupleId)> = Vec::new();
-        for change in &rhs.changes {
-            match change {
-                WmChange::Remove(class, tuple) => {
-                    // Prefer the claimed (LHS-matched) row of this content.
-                    let rel = pdb.class_rel(*class);
-                    let tid = claimed
+                }
+                let pos = pos_of[i].expect("positive");
+                let wme = &inst.wmes[pos];
+                let full_eq = Restriction::new(
+                    wme.tuple
+                        .values()
                         .iter()
-                        .find(|(pos, _)| {
-                            &inst.wmes[*pos].tuple == tuple
-                                && rule
-                                    .ces
-                                    .iter()
-                                    .filter(|ce| !ce.negated)
-                                    .nth(*pos)
-                                    .map(|ce| ce.class)
-                                    == Some(*class)
-                        })
-                        .map(|(_, tid)| *tid);
-                    let tid = match tid {
-                        Some(t) => t,
-                        None => {
-                            // A `modify`-generated intermediate: find any row.
-                            let full_eq = Restriction::new(
-                                tuple
-                                    .values()
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(a, v)| Selection::eq(a, v.clone()))
-                                    .collect(),
-                            );
-                            match txn.select(rel, &full_eq) {
-                                Ok(rows) if !rows.is_empty() => rows[0].0,
-                                Ok(_) => continue,
-                                Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                                Err(e) => panic!("select failed: {e}"),
+                        .enumerate()
+                        .map(|(a, v)| Selection::eq(a, v.clone()))
+                        .collect(),
+                );
+                let rows = match txn.select(pdb.class_rel(ce.class), &full_eq) {
+                    Ok(rows) => rows,
+                    Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                    Err(e) => panic!("select failed: {e}"),
+                };
+                let free = rows
+                    .iter()
+                    .find(|(tid, _)| !claimed.iter().any(|(_, c)| c == tid));
+                match free {
+                    Some((tid, _)) => claimed.push((pos, *tid)),
+                    None => return TxnOutcome::Invalid,
+                }
+            }
+
+            // 2. Negative dependence: shared relation lock + NOT EXISTS.
+            for ce in rule.ces.iter().filter(|ce| ce.negated) {
+                let mut tests = ce.alpha.tests.clone();
+                for j in &ce.joins {
+                    let Some(pos) = pos_of[j.other_ce] else {
+                        continue;
+                    };
+                    let bound = inst.wmes[pos].tuple[j.other_attr].clone();
+                    tests.push(Selection::new(j.my_attr, j.op, bound));
+                }
+                let restriction =
+                    Restriction::new(tests).with_attr_tests(ce.alpha.attr_tests.clone());
+                match txn.verify_absent(pdb.class_rel(ce.class), &restriction) {
+                    Ok(true) => {}
+                    Ok(false) => return TxnOutcome::Invalid,
+                    Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                    Err(e) => panic!("verify_absent failed: {e}"),
+                }
+            }
+
+            // 3. Apply the RHS under exclusive locks, remembering what
+            //    actually happened for the maintenance phase.
+            let rhs = eval_rhs(&rules, inst);
+            let mut applied: Vec<(WmChange, TupleId)> = Vec::new();
+            for change in &rhs.changes {
+                match change {
+                    WmChange::Remove(class, tuple) => {
+                        // Prefer the claimed (LHS-matched) row of this content.
+                        let rel = pdb.class_rel(*class);
+                        let tid = claimed
+                            .iter()
+                            .find(|(pos, _)| {
+                                &inst.wmes[*pos].tuple == tuple
+                                    && rule
+                                        .ces
+                                        .iter()
+                                        .filter(|ce| !ce.negated)
+                                        .nth(*pos)
+                                        .map(|ce| ce.class)
+                                        == Some(*class)
+                            })
+                            .map(|(_, tid)| *tid);
+                        let tid = match tid {
+                            Some(t) => t,
+                            None => {
+                                // A `modify`-generated intermediate: find any row.
+                                let full_eq = Restriction::new(
+                                    tuple
+                                        .values()
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(a, v)| Selection::eq(a, v.clone()))
+                                        .collect(),
+                                );
+                                match txn.select(rel, &full_eq) {
+                                    Ok(rows) if !rows.is_empty() => rows[0].0,
+                                    Ok(_) => continue,
+                                    Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                                    Err(e) => panic!("select failed: {e}"),
+                                }
                             }
+                        };
+                        match txn.delete(rel, tid) {
+                            // "T_j will not be able to process tuples of R_i
+                            // that have already been deleted" — consistent.
+                            Ok(Some(_)) => applied.push((change.clone(), tid)),
+                            Ok(None) => {}
+                            Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                            Err(e) => panic!("delete failed: {e}"),
+                        }
+                    }
+                    WmChange::Insert(class, tuple) => {
+                        match txn.insert(pdb.class_rel(*class), tuple.clone()) {
+                            Ok(tid) => applied.push((change.clone(), tid)),
+                            Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                            Err(e) => panic!("insert failed: {e}"),
+                        }
+                    }
+                }
+            }
+
+            // 4. Maintenance BEFORE commit: the transaction still holds every
+            //    lock while the match structures (COND relations) are updated.
+            {
+                let mut g = engine.lock();
+                for (change, tid) in &applied {
+                    let start = g.tracer().enabled().then(std::time::Instant::now);
+                    let (insert, class, tuple, deltas) = match change {
+                        WmChange::Insert(class, tuple) => {
+                            (true, *class, tuple, g.maintain_insert(*class, *tid, tuple))
+                        }
+                        WmChange::Remove(class, tuple) => {
+                            (false, *class, tuple, g.maintain_remove(*class, *tid, tuple))
                         }
                     };
-                    match txn.delete(rel, tid) {
-                        // "T_j will not be able to process tuples of R_i
-                        // that have already been deleted" — consistent.
-                        Ok(Some(_)) => applied.push((change.clone(), tid)),
-                        Ok(None) => {}
-                        Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                        Err(e) => panic!("delete failed: {e}"),
-                    }
-                }
-                WmChange::Insert(class, tuple) => {
-                    match txn.insert(pdb.class_rel(*class), tuple.clone()) {
-                        Ok(tid) => applied.push((change.clone(), tid)),
-                        Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                        Err(e) => panic!("insert failed: {e}"),
+                    if let Some(start) = start {
+                        let total_ns = start.elapsed().as_nanos() as u64;
+                        trace_wm_change(&**g, class, insert, tuple, &deltas, total_ns);
                     }
                 }
             }
-        }
 
-        // 4. Maintenance BEFORE commit: the transaction still holds every
-        //    lock while the match structures (COND relations) are updated.
-        {
-            let mut g = engine.lock();
-            for (change, tid) in &applied {
-                match change {
-                    WmChange::Insert(class, tuple) => {
-                        g.maintain_insert(*class, *tid, tuple);
-                    }
-                    WmChange::Remove(class, tuple) => {
-                        g.maintain_remove(*class, *tid, tuple);
-                    }
+            // 5. Commit point.
+            wm_writes = applied.len();
+            txn.commit();
+            TxnOutcome::Committed {
+                halt: rhs.halt,
+                writes: rhs.writes,
+            }
+        })();
+        match &outcome {
+            TxnOutcome::Committed { .. } => {
+                tracer.emit(|| Event::TxnCommit {
+                    txn: txn_id,
+                    writes: wm_writes,
+                });
+                if let Some(m) = tracer.metrics() {
+                    m.record_txn(true);
+                }
+            }
+            TxnOutcome::Invalid => {
+                tracer.emit(|| Event::TxnAbort {
+                    txn: txn_id,
+                    reason: "invalidated",
+                });
+                if let Some(m) = tracer.metrics() {
+                    m.record_txn(false);
+                }
+            }
+            TxnOutcome::Deadlock => {
+                tracer.emit(|| Event::TxnAbort {
+                    txn: txn_id,
+                    reason: "deadlock",
+                });
+                if let Some(m) = tracer.metrics() {
+                    m.record_txn(false);
                 }
             }
         }
-
-        // 5. Commit point.
-        txn.commit();
-        TxnOutcome::Committed {
-            halt: rhs.halt,
-            writes: rhs.writes,
-        }
+        outcome
     }
 
     /// Run rounds of parallel firing until quiescence, halt, or
@@ -230,6 +309,10 @@ impl ConcurrentExecutor {
     pub fn run(&mut self, max_fired: usize) -> ConcurrentStats {
         let mut stats = ConcurrentStats::default();
         let mut fired: Vec<Instantiation> = Vec::new();
+        // Deadlock victims awaiting a retry; lock-wait totals come from
+        // the storage layer's counters, delta'd over this run.
+        let mut deadlocked: Vec<Instantiation> = Vec::new();
+        let base = self.engine.lock().pdb().db().stats().snapshot();
         while stats.committed < max_fired && !stats.halted {
             // Snapshot Ψ_i: conflict set minus already-fired (refraction).
             let candidates: Vec<Instantiation> = {
@@ -251,6 +334,12 @@ impl ConcurrentExecutor {
             };
             if candidates.is_empty() {
                 break;
+            }
+            for inst in &candidates {
+                if let Some(pos) = deadlocked.iter().position(|d| d == inst) {
+                    deadlocked.remove(pos);
+                    stats.retries += 1;
+                }
             }
             stats.rounds += 1;
             let queue: Arc<Mutex<VecDeque<Instantiation>>> =
@@ -295,6 +384,7 @@ impl ConcurrentExecutor {
                     TxnOutcome::Deadlock => {
                         stats.deadlock_aborts += 1;
                         // Retried next round if still applicable.
+                        deadlocked.push(inst);
                     }
                 }
             }
@@ -320,6 +410,16 @@ impl ConcurrentExecutor {
                 }
             }
         }
+        let delta = self
+            .engine
+            .lock()
+            .pdb()
+            .db()
+            .stats()
+            .snapshot()
+            .since(&base);
+        stats.lock_waits = delta.lock_waits;
+        stats.lock_wait_ns = delta.lock_wait_ns;
         stats
     }
 }

@@ -2,6 +2,9 @@
 //! cycle (§2.1). Refraction (an instantiation never fires twice while it
 //! stays in the conflict set) prevents trivial infinite loops.
 
+use std::time::Instant;
+
+use obs::Event;
 use rete::{ConflictDelta, Instantiation};
 
 use crate::engine::MatchEngine;
@@ -27,6 +30,8 @@ pub struct SequentialExecutor {
     strategy: Strategy,
     /// Refraction memory: instantiations already fired (multiset).
     fired: Vec<Instantiation>,
+    /// Recognize-act cycles executed over the executor's lifetime.
+    cycle: u64,
 }
 
 impl SequentialExecutor {
@@ -36,6 +41,7 @@ impl SequentialExecutor {
             engine,
             strategy,
             fired: Vec::new(),
+            cycle: 0,
         }
     }
 
@@ -99,23 +105,65 @@ impl SequentialExecutor {
     /// Run one recognize-act cycle. Returns the fired instantiation, or
     /// `None` when the conflict set has no eligible entry.
     pub fn step(&mut self) -> Option<(Instantiation, bool, Vec<String>)> {
+        let cycle = self.cycle;
         let candidates = self.candidates();
         if candidates.is_empty() {
             return None;
         }
+        let tracer = self.engine.tracer().clone();
+        tracer.emit(|| Event::CycleStart { cycle });
         let refs: Vec<&Instantiation> = candidates.iter().collect();
         let pick = self.strategy.pick(self.engine.pdb().rules(), &refs);
         let inst = candidates[pick].clone();
+        let conflict_len = self.engine.conflict_set().len();
+        let rule_name = self.engine.pdb().rules().rule(inst.rule).name.clone();
+        tracer.emit(|| Event::RuleSelect {
+            cycle,
+            rule: inst.rule.0 as u32,
+            rule_name: rule_name.clone(),
+            conflict_len,
+        });
         self.fired.push(inst.clone());
         let rules = self.engine.pdb().rules().clone();
+        let start = tracer.enabled().then(Instant::now);
         let rhs = eval_rhs(&rules, &inst);
+        let (mut inserts, mut removes) = (0usize, 0usize);
         for change in &rhs.changes {
             let deltas = match change {
-                WmChange::Insert(class, tuple) => self.engine.insert(*class, tuple.clone()),
-                WmChange::Remove(class, tuple) => self.engine.remove(*class, tuple),
+                WmChange::Insert(class, tuple) => {
+                    inserts += 1;
+                    self.engine.insert(*class, tuple.clone())
+                }
+                WmChange::Remove(class, tuple) => {
+                    removes += 1;
+                    self.engine.remove(*class, tuple)
+                }
             };
             self.absorb(&deltas);
         }
+        if let Some(start) = start {
+            let rhs_ns = start.elapsed().as_nanos() as u64;
+            tracer.emit(|| Event::RuleFire {
+                cycle,
+                rule: inst.rule.0 as u32,
+                rule_name: rule_name.clone(),
+                rhs_ns,
+                inserts,
+                removes,
+            });
+            if let Some(m) = tracer.metrics() {
+                m.record_fire(inst.rule.0 as u32, &rule_name, rhs_ns);
+                m.record_cycle(cycle, self.engine.conflict_set().len());
+            }
+        }
+        self.cycle += 1;
+        let fired_total = self.cycle;
+        let conflict_len = self.engine.conflict_set().len();
+        tracer.emit(|| Event::CycleEnd {
+            cycle,
+            conflict_len,
+            fired_total,
+        });
         Some((inst, rhs.halt, rhs.writes))
     }
 

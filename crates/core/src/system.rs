@@ -87,6 +87,25 @@ impl ProductionSystem {
         self.exec.engine()
     }
 
+    /// Install a tracing/metrics handle. The matching engine, the
+    /// executor, and the storage layer's lock manager all share it, so a
+    /// single sink sees the whole recognize-act lifecycle. Pass
+    /// [`obs::Tracer::disabled`] to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.exec
+            .engine()
+            .pdb()
+            .db()
+            .lock_manager()
+            .set_tracer(tracer.clone());
+        self.exec.engine_mut().set_tracer(tracer);
+    }
+
+    /// The installed tracing handle (disabled by default).
+    pub fn tracer(&self) -> &obs::Tracer {
+        self.exec.engine().tracer()
+    }
+
     /// Direct access to the sequential executor.
     pub fn executor_mut(&mut self) -> &mut SequentialExecutor {
         &mut self.exec

@@ -1,0 +1,331 @@
+//! The trace vocabulary: one `Event` per interesting moment of the
+//! recognize-act lifecycle (§3–§4 matching, OPS5 act phase, §5
+//! transactions). Events carry only primitive ids and pre-rendered
+//! strings so `obs` stays dependency-free and every crate can emit them.
+
+use crate::json::Obj;
+
+/// One traced moment. Field conventions: `class`/`rule` are the numeric
+/// ids of the production DB, `*_name` the human names, durations are
+/// nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A recognize-act cycle began.
+    CycleStart { cycle: u64 },
+    /// A recognize-act cycle finished (conflict-set size after act).
+    CycleEnd {
+        cycle: u64,
+        conflict_len: usize,
+        fired_total: u64,
+    },
+    /// A tuple entered working memory.
+    WmInsert {
+        class: u32,
+        class_name: String,
+        tuple: String,
+    },
+    /// A tuple left working memory.
+    WmRemove {
+        class: u32,
+        class_name: String,
+        tuple: String,
+    },
+    /// One engine finished match maintenance for one WM change.
+    /// `detect_ns`/`total_ns` are the §4.2.3 detect/maintain split when
+    /// the engine reports it (0/0 otherwise).
+    MatchMaintain {
+        engine: &'static str,
+        class: u32,
+        insert: bool,
+        adds: usize,
+        removes: usize,
+        detect_ns: u64,
+        total_ns: u64,
+    },
+    /// The conflict set gained or lost one instantiation.
+    ConflictDelta {
+        add: bool,
+        rule: u32,
+        rule_name: String,
+        wmes: String,
+    },
+    /// Conflict resolution picked an instantiation to fire.
+    RuleSelect {
+        cycle: u64,
+        rule: u32,
+        rule_name: String,
+        conflict_len: usize,
+    },
+    /// An instantiation's RHS ran to completion.
+    RuleFire {
+        cycle: u64,
+        rule: u32,
+        rule_name: String,
+        rhs_ns: u64,
+        inserts: usize,
+        removes: usize,
+    },
+    /// A §5 rule-transaction began.
+    TxnBegin {
+        txn: u64,
+        rule: u32,
+        rule_name: String,
+    },
+    /// A transaction had to wait for a lock.
+    LockWait {
+        txn: u64,
+        target: String,
+        mode: &'static str,
+    },
+    /// A lock was granted (wait_ns = 0 for an immediate grant).
+    LockAcquire {
+        txn: u64,
+        target: String,
+        mode: &'static str,
+        wait_ns: u64,
+    },
+    /// The deadlock detector chose this transaction as victim.
+    DeadlockVictim { txn: u64 },
+    /// A transaction rolled back.
+    TxnAbort { txn: u64, reason: &'static str },
+    /// A transaction committed.
+    TxnCommit { txn: u64, writes: usize },
+}
+
+impl Event {
+    /// Stable kind tag used as the JSONL discriminator.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CycleStart { .. } => "cycle_start",
+            Event::CycleEnd { .. } => "cycle_end",
+            Event::WmInsert { .. } => "wm_insert",
+            Event::WmRemove { .. } => "wm_remove",
+            Event::MatchMaintain { .. } => "match_maintain",
+            Event::ConflictDelta { .. } => "conflict_delta",
+            Event::RuleSelect { .. } => "rule_select",
+            Event::RuleFire { .. } => "rule_fire",
+            Event::TxnBegin { .. } => "txn_begin",
+            Event::LockWait { .. } => "lock_wait",
+            Event::LockAcquire { .. } => "lock_acquire",
+            Event::DeadlockVictim { .. } => "deadlock_victim",
+            Event::TxnAbort { .. } => "txn_abort",
+            Event::TxnCommit { .. } => "txn_commit",
+        }
+    }
+
+    /// Render as a single JSON object (one JSONL line, no newline).
+    pub fn to_json(&self, seq: u64) -> String {
+        let o = Obj::new().u64("seq", seq).str("event", self.kind());
+        match self {
+            Event::CycleStart { cycle } => o.u64("cycle", *cycle).finish(),
+            Event::CycleEnd {
+                cycle,
+                conflict_len,
+                fired_total,
+            } => o
+                .u64("cycle", *cycle)
+                .usize("conflict_len", *conflict_len)
+                .u64("fired_total", *fired_total)
+                .finish(),
+            Event::WmInsert {
+                class,
+                class_name,
+                tuple,
+            }
+            | Event::WmRemove {
+                class,
+                class_name,
+                tuple,
+            } => o
+                .u64("class", *class as u64)
+                .str("class_name", class_name)
+                .str("tuple", tuple)
+                .finish(),
+            Event::MatchMaintain {
+                engine,
+                class,
+                insert,
+                adds,
+                removes,
+                detect_ns,
+                total_ns,
+            } => o
+                .str("engine", engine)
+                .u64("class", *class as u64)
+                .bool("insert", *insert)
+                .usize("adds", *adds)
+                .usize("removes", *removes)
+                .u64("detect_ns", *detect_ns)
+                .u64("total_ns", *total_ns)
+                .finish(),
+            Event::ConflictDelta {
+                add,
+                rule,
+                rule_name,
+                wmes,
+            } => o
+                .str("op", if *add { "add" } else { "remove" })
+                .u64("rule", *rule as u64)
+                .str("rule_name", rule_name)
+                .str("wmes", wmes)
+                .finish(),
+            Event::RuleSelect {
+                cycle,
+                rule,
+                rule_name,
+                conflict_len,
+            } => o
+                .u64("cycle", *cycle)
+                .u64("rule", *rule as u64)
+                .str("rule_name", rule_name)
+                .usize("conflict_len", *conflict_len)
+                .finish(),
+            Event::RuleFire {
+                cycle,
+                rule,
+                rule_name,
+                rhs_ns,
+                inserts,
+                removes,
+            } => o
+                .u64("cycle", *cycle)
+                .u64("rule", *rule as u64)
+                .str("rule_name", rule_name)
+                .u64("rhs_ns", *rhs_ns)
+                .usize("inserts", *inserts)
+                .usize("removes", *removes)
+                .finish(),
+            Event::TxnBegin {
+                txn,
+                rule,
+                rule_name,
+            } => o
+                .u64("txn", *txn)
+                .u64("rule", *rule as u64)
+                .str("rule_name", rule_name)
+                .finish(),
+            Event::LockWait { txn, target, mode } => o
+                .u64("txn", *txn)
+                .str("target", target)
+                .str("mode", mode)
+                .finish(),
+            Event::LockAcquire {
+                txn,
+                target,
+                mode,
+                wait_ns,
+            } => o
+                .u64("txn", *txn)
+                .str("target", target)
+                .str("mode", mode)
+                .u64("wait_ns", *wait_ns)
+                .finish(),
+            Event::DeadlockVictim { txn } => o.u64("txn", *txn).finish(),
+            Event::TxnAbort { txn, reason } => o.u64("txn", *txn).str("reason", reason).finish(),
+            Event::TxnCommit { txn, writes } => {
+                o.u64("txn", *txn).usize("writes", *writes).finish()
+            }
+        }
+    }
+
+    /// Render in the spirit of OPS5's `(watch 2)` trace: one short human
+    /// line per event.
+    pub fn watch_line(&self) -> String {
+        match self {
+            Event::CycleStart { cycle } => format!("-- cycle {cycle} --"),
+            Event::CycleEnd {
+                cycle,
+                conflict_len,
+                fired_total,
+            } => {
+                format!("   cycle {cycle} done: conflict={conflict_len} fired={fired_total}")
+            }
+            Event::WmInsert {
+                class_name, tuple, ..
+            } => {
+                format!("=> wm: ({class_name}{tuple})")
+            }
+            Event::WmRemove {
+                class_name, tuple, ..
+            } => {
+                format!("<= wm: ({class_name}{tuple})")
+            }
+            Event::MatchMaintain {
+                engine,
+                adds,
+                removes,
+                total_ns,
+                ..
+            } => {
+                format!("   match[{engine}]: +{adds}/-{removes} in {total_ns}ns")
+            }
+            Event::ConflictDelta {
+                add,
+                rule_name,
+                wmes,
+                ..
+            } => {
+                format!("   cs{} {rule_name}: {wmes}", if *add { '+' } else { '-' })
+            }
+            Event::RuleSelect {
+                rule_name,
+                conflict_len,
+                ..
+            } => {
+                format!("   select {rule_name} (of {conflict_len})")
+            }
+            Event::RuleFire {
+                cycle, rule_name, ..
+            } => format!("{cycle}. {rule_name}"),
+            Event::TxnBegin { txn, rule_name, .. } => {
+                format!("   txn{txn} begin ({rule_name})")
+            }
+            Event::LockWait { txn, target, mode } => {
+                format!("   txn{txn} waits {mode} {target}")
+            }
+            Event::LockAcquire {
+                txn,
+                target,
+                mode,
+                wait_ns,
+            } => {
+                format!("   txn{txn} holds {mode} {target} (waited {wait_ns}ns)")
+            }
+            Event::DeadlockVictim { txn } => format!("   txn{txn} DEADLOCK victim"),
+            Event::TxnAbort { txn, reason } => format!("   txn{txn} abort: {reason}"),
+            Event::TxnCommit { txn, writes } => {
+                format!("   txn{txn} commit ({writes} writes)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_seq_and_kind() {
+        let e = Event::RuleFire {
+            cycle: 3,
+            rule: 1,
+            rule_name: "R\"1".into(),
+            rhs_ns: 10,
+            inserts: 1,
+            removes: 2,
+        };
+        let line = e.to_json(9);
+        assert!(
+            line.starts_with("{\"seq\":9,\"event\":\"rule_fire\""),
+            "{line}"
+        );
+        assert!(line.contains("\"rule_name\":\"R\\\"1\""), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn watch_lines_render() {
+        let e = Event::DeadlockVictim { txn: 4 };
+        assert!(e.watch_line().contains("DEADLOCK"));
+    }
+}

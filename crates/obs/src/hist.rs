@@ -1,0 +1,176 @@
+//! Lock-free log2-bucketed histogram for latency samples.
+//!
+//! Bucket `i` (for `i >= 1`) counts values in `[2^(i-1), 2^i)`; bucket 0
+//! counts zeros. 64 buckets cover the whole `u64` range, so nanosecond
+//! latencies up to ~584 years fit. Hand-rolled because the offline build
+//! cannot pull in hdrhistogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::{u64_array, Obj};
+
+/// Concurrent histogram with power-of-two buckets.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index: 0 for 0, otherwise 1 + floor(log2(v)).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Raw bucket counts, index 0..=64.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound_exclusive, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// Approximate p-th percentile (0..=100): the exclusive upper bound of
+    /// the bucket holding that rank.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.bucket_counts().iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.saturating_sub(1);
+            }
+        }
+        self.max()
+    }
+
+    /// Render as a JSON object (count/sum/mean/max/p50/p99 + buckets).
+    pub fn to_json(&self) -> String {
+        let counts = self.bucket_counts();
+        let highest = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        Obj::new()
+            .u64("count", self.count())
+            .u64("sum", self.sum())
+            .f64("mean", self.mean())
+            .u64("max", self.max())
+            .u64("p50", self.percentile(50.0))
+            .u64("p99", self.percentile(99.0))
+            .raw("buckets", &u64_array(&counts[..=highest]))
+            .finish()
+    }
+}
+
+/// `(lower_bound, upper_bound_exclusive)` of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), 1u64 << i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..=64 {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1007);
+        assert_eq!(h.max(), 1000);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz, vec![(0, 1, 1), (1, 2, 2), (4, 8, 1), (512, 1024, 1)]);
+        assert!(h.percentile(50.0) <= 7);
+        assert!(h.percentile(100.0) >= 512);
+        let json = h.to_json();
+        assert!(json.contains("\"count\":5"), "{json}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Hand-rolled JSON emission (the build environment is offline, so no
+//! serde): string escaping plus tiny object/array builders that write
+//! into a `String`.
+
+/// Escape `s` per RFC 8259 and append it, including the surrounding
+/// quotes.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escaped, quoted copy of `s`.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// Builder for one JSON object.
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        escape_into(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        escape_into(&mut self.buf, v);
+        self
+    }
+
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn i64(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn usize(self, k: &str, v: usize) -> Self {
+        self.u64(k, v as u64)
+    }
+
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Insert pre-rendered JSON (an object, array, or literal) verbatim.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Builder for one JSON array of pre-rendered elements.
+pub struct Arr {
+    buf: String,
+    first: bool,
+}
+
+impl Arr {
+    pub fn new() -> Self {
+        Arr {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Append pre-rendered JSON verbatim.
+    pub fn raw(mut self, v: &str) -> Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for Arr {
+    fn default() -> Self {
+        Arr::new()
+    }
+}
+
+/// Render a `u64` slice as a JSON array.
+pub fn u64_array(vals: &[u64]) -> String {
+    let mut a = Arr::new();
+    for v in vals {
+        a = a.raw(&v.to_string());
+    }
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escaped("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(escaped("\u{01}"), "\"\\u0001\"");
+        assert_eq!(escaped("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn object_and_array() {
+        let inner = u64_array(&[1, 2, 3]);
+        let json = Obj::new()
+            .str("kind", "x\"y")
+            .u64("n", 7)
+            .bool("ok", true)
+            .raw("buckets", &inner)
+            .finish();
+        assert_eq!(json, r#"{"kind":"x\"y","n":7,"ok":true,"buckets":[1,2,3]}"#);
+    }
+}

@@ -1,0 +1,19 @@
+//! # obs — observability for the production-system runtime
+//!
+//! Dependency-free tracing, metrics, and reporting (std only, so every
+//! other crate in the workspace — including `relstore` — can depend on it).
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod tracer;
+
+pub use event::Event;
+pub use hist::Log2Histogram;
+pub use metrics::MetricsRegistry;
+pub use report::RunReport;
+pub use sink::{RingBuffer, Sink};
+pub use tracer::Tracer;

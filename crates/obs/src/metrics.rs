@@ -1,0 +1,317 @@
+//! Aggregated run metrics, concurrently updatable: per-rule activity,
+//! latency histograms for the match and act phases, per-COND-relation
+//! propagation fan-out, a conflict-set-size timeline, detect/maintain
+//! splits per engine, and lock-contention totals.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::hist::Log2Histogram;
+use crate::json::{Arr, Obj};
+
+/// Per-rule counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleMetrics {
+    pub name: String,
+    /// RHS executions.
+    pub fires: u64,
+    /// Instantiations that entered the conflict set.
+    pub instantiations_added: u64,
+    /// Instantiations that left the conflict set.
+    pub instantiations_removed: u64,
+}
+
+/// Per-COND-relation (class) propagation counters (§4.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassMetrics {
+    pub name: String,
+    /// WM changes on this class.
+    pub wm_changes: u64,
+    /// Conflict-set deltas those changes fanned out to.
+    pub fanout_deltas: u64,
+}
+
+/// Accumulated §4.2.3 detect/maintain split for one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectSplit {
+    pub detect_ns: u64,
+    pub total_ns: u64,
+    pub samples: u64,
+}
+
+/// The registry every layer records into. All methods take `&self`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    rules: Mutex<HashMap<u32, RuleMetrics>>,
+    classes: Mutex<HashMap<u32, ClassMetrics>>,
+    splits: Mutex<HashMap<&'static str, DetectSplit>>,
+    /// Latency of one match-maintenance call (ns).
+    pub match_hist: Log2Histogram,
+    /// Latency of one RHS execution (ns).
+    pub rhs_hist: Log2Histogram,
+    /// `(cycle, conflict_len)` after each act phase.
+    conflict_timeline: Mutex<Vec<(u64, usize)>>,
+    cycles: AtomicU64,
+    lock_waits: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    deadlocks: AtomicU64,
+    txn_commits: AtomicU64,
+    txn_aborts: AtomicU64,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_fire(&self, rule: u32, name: &str, rhs_ns: u64) {
+        let mut rules = self.rules.lock().expect("rules");
+        let m = rules.entry(rule).or_default();
+        if m.name.is_empty() {
+            m.name = name.to_string();
+        }
+        m.fires += 1;
+        drop(rules);
+        self.rhs_hist.record(rhs_ns);
+    }
+
+    pub fn record_conflict_delta(&self, rule: u32, name: &str, add: bool) {
+        let mut rules = self.rules.lock().expect("rules");
+        let m = rules.entry(rule).or_default();
+        if m.name.is_empty() {
+            m.name = name.to_string();
+        }
+        if add {
+            m.instantiations_added += 1;
+        } else {
+            m.instantiations_removed += 1;
+        }
+    }
+
+    pub fn record_match(
+        &self,
+        engine: &'static str,
+        class: u32,
+        class_name: &str,
+        deltas: usize,
+        detect_ns: u64,
+        total_ns: u64,
+    ) {
+        self.match_hist.record(total_ns);
+        {
+            let mut classes = self.classes.lock().expect("classes");
+            let c = classes.entry(class).or_default();
+            if c.name.is_empty() {
+                c.name = class_name.to_string();
+            }
+            c.wm_changes += 1;
+            c.fanout_deltas += deltas as u64;
+        }
+        let mut splits = self.splits.lock().expect("splits");
+        let s = splits.entry(engine).or_default();
+        s.detect_ns += detect_ns;
+        s.total_ns += total_ns;
+        s.samples += 1;
+    }
+
+    pub fn record_cycle(&self, cycle: u64, conflict_len: usize) {
+        self.cycles.fetch_max(cycle + 1, Ordering::Relaxed);
+        self.conflict_timeline
+            .lock()
+            .expect("timeline")
+            .push((cycle, conflict_len));
+    }
+
+    pub fn record_lock_wait(&self, wait_ns: u64) {
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    pub fn record_deadlock(&self) {
+        self.deadlocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_txn(&self, committed: bool) {
+        if committed {
+            self.txn_commits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.txn_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn rules(&self) -> Vec<(u32, RuleMetrics)> {
+        let mut v: Vec<_> = self
+            .rules
+            .lock()
+            .expect("rules")
+            .iter()
+            .map(|(k, m)| (*k, m.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub fn classes(&self) -> Vec<(u32, ClassMetrics)> {
+        let mut v: Vec<_> = self
+            .classes
+            .lock()
+            .expect("classes")
+            .iter()
+            .map(|(k, m)| (*k, m.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub fn splits(&self) -> Vec<(&'static str, DetectSplit)> {
+        let mut v: Vec<_> = self
+            .splits
+            .lock()
+            .expect("splits")
+            .iter()
+            .map(|(k, s)| (*k, *s))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub fn conflict_timeline(&self) -> Vec<(u64, usize)> {
+        self.conflict_timeline.lock().expect("timeline").clone()
+    }
+
+    pub fn cycles(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    pub fn lock_waits(&self) -> u64 {
+        self.lock_waits.load(Ordering::Relaxed)
+    }
+
+    pub fn lock_wait_ns(&self) -> u64 {
+        self.lock_wait_ns.load(Ordering::Relaxed)
+    }
+
+    pub fn deadlocks(&self) -> u64 {
+        self.deadlocks.load(Ordering::Relaxed)
+    }
+
+    pub fn txn_commits(&self) -> u64 {
+        self.txn_commits.load(Ordering::Relaxed)
+    }
+
+    pub fn txn_aborts(&self) -> u64 {
+        self.txn_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Render the whole registry as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut rules = Arr::new();
+        for (id, m) in self.rules() {
+            rules = rules.raw(
+                &Obj::new()
+                    .u64("rule", id as u64)
+                    .str("name", &m.name)
+                    .u64("fires", m.fires)
+                    .u64("instantiations_added", m.instantiations_added)
+                    .u64("instantiations_removed", m.instantiations_removed)
+                    .finish(),
+            );
+        }
+        let mut classes = Arr::new();
+        for (id, c) in self.classes() {
+            classes = classes.raw(
+                &Obj::new()
+                    .u64("class", id as u64)
+                    .str("name", &c.name)
+                    .u64("wm_changes", c.wm_changes)
+                    .u64("fanout_deltas", c.fanout_deltas)
+                    .f64(
+                        "mean_fanout",
+                        if c.wm_changes == 0 {
+                            0.0
+                        } else {
+                            c.fanout_deltas as f64 / c.wm_changes as f64
+                        },
+                    )
+                    .finish(),
+            );
+        }
+        let mut splits = Arr::new();
+        for (engine, s) in self.splits() {
+            splits = splits.raw(
+                &Obj::new()
+                    .str("engine", engine)
+                    .u64("detect_ns", s.detect_ns)
+                    .u64("total_ns", s.total_ns)
+                    .u64("samples", s.samples)
+                    .f64(
+                        "detect_fraction",
+                        if s.total_ns == 0 {
+                            0.0
+                        } else {
+                            s.detect_ns as f64 / s.total_ns as f64
+                        },
+                    )
+                    .finish(),
+            );
+        }
+        let mut timeline = Arr::new();
+        for (cycle, len) in self.conflict_timeline() {
+            timeline = timeline.raw(&format!("[{cycle},{len}]"));
+        }
+        Obj::new()
+            .u64("cycles", self.cycles())
+            .raw("rules", &rules.finish())
+            .raw("classes", &classes.finish())
+            .raw("detect_split", &splits.finish())
+            .raw("match_latency_ns", &self.match_hist.to_json())
+            .raw("rhs_latency_ns", &self.rhs_hist.to_json())
+            .raw("conflict_timeline", &timeline.finish())
+            .raw(
+                "locks",
+                &Obj::new()
+                    .u64("waits", self.lock_waits())
+                    .u64("wait_ns", self.lock_wait_ns())
+                    .u64("deadlocks", self.deadlocks())
+                    .finish(),
+            )
+            .raw(
+                "txns",
+                &Obj::new()
+                    .u64("commits", self.txn_commits())
+                    .u64("aborts", self.txn_aborts())
+                    .finish(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aggregate() {
+        let m = MetricsRegistry::new();
+        m.record_fire(1, "R1", 100);
+        m.record_fire(1, "R1", 200);
+        m.record_conflict_delta(1, "R1", true);
+        m.record_conflict_delta(1, "R1", false);
+        m.record_match("cond", 0, "C0", 3, 40, 100);
+        m.record_cycle(0, 2);
+        m.record_lock_wait(500);
+        m.record_deadlock();
+        m.record_txn(true);
+        let rules = m.rules();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].1.fires, 2);
+        assert_eq!(rules[0].1.instantiations_added, 1);
+        assert_eq!(m.classes()[0].1.fanout_deltas, 3);
+        assert_eq!(m.splits()[0].1.detect_ns, 40);
+        assert_eq!(m.lock_wait_ns(), 500);
+        let json = m.to_json();
+        assert!(json.contains("\"fires\":2"), "{json}");
+        assert!(json.contains("\"deadlocks\":1"), "{json}");
+    }
+}

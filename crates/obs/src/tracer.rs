@@ -1,0 +1,110 @@
+//! The handle every layer holds. A disabled tracer is a `None` — emitting
+//! through it is one branch and the event closure is never even built,
+//! which keeps the E1/E4 hot paths at their untraced cost.
+
+use std::sync::Arc;
+
+use crate::event::Event;
+use crate::metrics::MetricsRegistry;
+use crate::sink::Sink;
+
+struct Shared {
+    sink: Sink,
+    metrics: MetricsRegistry,
+}
+
+/// Cheaply clonable tracing handle; all clones share one sink and one
+/// metrics registry.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Tracer {
+    /// The zero-cost tracer: `enabled()` is false, `emit` is a no-op.
+    pub fn disabled() -> Self {
+        Tracer { shared: None }
+    }
+
+    /// An enabled tracer writing events to `sink` (use [`Sink::Null`] to
+    /// collect metrics only).
+    pub fn new(sink: Sink) -> Self {
+        Tracer {
+            shared: Some(Arc::new(Shared {
+                sink,
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Emit one event; the closure only runs when tracing is enabled.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> Event) {
+        if let Some(shared) = &self.shared {
+            shared.sink.accept(f());
+        }
+    }
+
+    /// The shared metrics registry, when enabled.
+    #[inline]
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.shared.as_ref().map(|s| &s.metrics)
+    }
+
+    /// Buffered events if the sink is a ring buffer.
+    pub fn ring_events(&self) -> Option<Vec<Event>> {
+        self.shared.as_ref().and_then(|s| s.sink.ring_events())
+    }
+
+    pub fn flush(&self) {
+        if let Some(shared) = &self.shared {
+            shared.sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tracer({})",
+            if self.enabled() {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_builds_events() {
+        let t = Tracer::disabled();
+        let mut built = false;
+        t.emit(|| {
+            built = true;
+            Event::CycleStart { cycle: 0 }
+        });
+        assert!(!built);
+        assert!(t.metrics().is_none());
+    }
+
+    #[test]
+    fn ring_tracer_collects() {
+        let t = Tracer::new(Sink::ring(4));
+        t.emit(|| Event::CycleStart { cycle: 7 });
+        let events = t.ring_events().unwrap();
+        assert_eq!(events, vec![Event::CycleStart { cycle: 7 }]);
+        t.metrics().unwrap().record_cycle(7, 0);
+        assert_eq!(t.metrics().unwrap().cycles(), 8);
+    }
+}

@@ -28,6 +28,10 @@ pub struct Counters {
     pub pred_evals: AtomicU64,
     /// Logical locks acquired (transaction experiments).
     pub locks_acquired: AtomicU64,
+    /// Lock requests that had to block before being granted.
+    pub lock_waits: AtomicU64,
+    /// Total nanoseconds spent blocked on lock requests.
+    pub lock_wait_ns: AtomicU64,
     /// Transactions aborted (deadlock victims or rule-level aborts).
     pub aborts: AtomicU64,
 }
@@ -49,6 +53,10 @@ pub struct OpSnapshot {
     pub pred_evals: u64,
     /// Logical locks acquired.
     pub locks_acquired: u64,
+    /// Lock requests that had to block.
+    pub lock_waits: u64,
+    /// Nanoseconds spent blocked on lock requests.
+    pub lock_wait_ns: u64,
     /// Transactions aborted.
     pub aborts: u64,
 }
@@ -59,17 +67,21 @@ impl OpSnapshot {
         self.tuples_read + self.tuples_inserted + self.tuples_deleted + self.index_probes
     }
 
-    /// Difference since an earlier snapshot.
+    /// Difference since an earlier snapshot. Saturating: a [`Stats::reset`]
+    /// between the two snapshots yields zeros instead of a debug-mode
+    /// underflow panic.
     pub fn since(&self, earlier: &OpSnapshot) -> OpSnapshot {
         OpSnapshot {
-            tuples_read: self.tuples_read - earlier.tuples_read,
-            tuples_inserted: self.tuples_inserted - earlier.tuples_inserted,
-            tuples_deleted: self.tuples_deleted - earlier.tuples_deleted,
-            index_probes: self.index_probes - earlier.index_probes,
-            scans: self.scans - earlier.scans,
-            pred_evals: self.pred_evals - earlier.pred_evals,
-            locks_acquired: self.locks_acquired - earlier.locks_acquired,
-            aborts: self.aborts - earlier.aborts,
+            tuples_read: self.tuples_read.saturating_sub(earlier.tuples_read),
+            tuples_inserted: self.tuples_inserted.saturating_sub(earlier.tuples_inserted),
+            tuples_deleted: self.tuples_deleted.saturating_sub(earlier.tuples_deleted),
+            index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+            scans: self.scans.saturating_sub(earlier.scans),
+            pred_evals: self.pred_evals.saturating_sub(earlier.pred_evals),
+            locks_acquired: self.locks_acquired.saturating_sub(earlier.locks_acquired),
+            lock_waits: self.lock_waits.saturating_sub(earlier.lock_waits),
+            lock_wait_ns: self.lock_wait_ns.saturating_sub(earlier.lock_wait_ns),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
         }
     }
 }
@@ -78,7 +90,7 @@ impl fmt::Display for OpSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} ins={} del={} probes={} scans={} preds={} locks={} aborts={}",
+            "reads={} ins={} del={} probes={} scans={} preds={} locks={} waits={} wait_ns={} aborts={}",
             self.tuples_read,
             self.tuples_inserted,
             self.tuples_deleted,
@@ -86,6 +98,8 @@ impl fmt::Display for OpSnapshot {
             self.scans,
             self.pred_evals,
             self.locks_acquired,
+            self.lock_waits,
+            self.lock_wait_ns,
             self.aborts
         )
     }
@@ -145,6 +159,13 @@ impl Stats {
         self.inner.locks_acquired.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one blocked lock request and the nanoseconds it waited.
+    #[inline]
+    pub fn lock_waited(&self, ns: u64) {
+        self.inner.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Count one transaction abort.
     #[inline]
     pub fn abort(&self) {
@@ -161,6 +182,8 @@ impl Stats {
             scans: self.inner.scans.load(Ordering::Relaxed),
             pred_evals: self.inner.pred_evals.load(Ordering::Relaxed),
             locks_acquired: self.inner.locks_acquired.load(Ordering::Relaxed),
+            lock_waits: self.inner.lock_waits.load(Ordering::Relaxed),
+            lock_wait_ns: self.inner.lock_wait_ns.load(Ordering::Relaxed),
             aborts: self.inner.aborts.load(Ordering::Relaxed),
         }
     }
@@ -174,6 +197,8 @@ impl Stats {
         self.inner.scans.store(0, Ordering::Relaxed);
         self.inner.pred_evals.store(0, Ordering::Relaxed);
         self.inner.locks_acquired.store(0, Ordering::Relaxed);
+        self.inner.lock_waits.store(0, Ordering::Relaxed);
+        self.inner.lock_wait_ns.store(0, Ordering::Relaxed);
         self.inner.aborts.store(0, Ordering::Relaxed);
     }
 }
@@ -216,6 +241,23 @@ mod tests {
         s.abort();
         s.reset();
         assert_eq!(s.snapshot(), OpSnapshot::default());
+    }
+
+    #[test]
+    fn since_saturates_across_reset() {
+        let s = Stats::new();
+        s.read_tuples(10);
+        s.lock_acquired();
+        s.lock_waited(500);
+        let before = s.snapshot();
+        s.reset();
+        s.read_tuples(3);
+        // The later snapshot is numerically smaller; the delta must clamp
+        // to zero rather than underflow.
+        let d = s.snapshot().since(&before);
+        assert_eq!(d.tuples_read, 0);
+        assert_eq!(d.lock_waits, 0);
+        assert_eq!(d.lock_wait_ns, 0);
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! the *requesting* transaction is the victim, which guarantees progress.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::time::Duration;
+use std::fmt;
+use std::time::{Duration, Instant};
 
+use obs::Event;
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{Error, Result};
@@ -37,6 +39,14 @@ impl LockTarget {
     fn rel(&self) -> RelId {
         match self {
             LockTarget::Relation(r) | LockTarget::Tuple(r, _) => *r,
+        }
+    }
+
+    /// Trace-friendly rendering ("rel3" or "rel3[t9]").
+    fn describe(&self) -> String {
+        match self {
+            LockTarget::Relation(r) => format!("rel{}", r.0),
+            LockTarget::Tuple(r, t) => format!("rel{}[{t}]", r.0),
         }
     }
 
@@ -65,6 +75,19 @@ pub enum LockMode {
 impl LockMode {
     fn compatible(self, other: LockMode) -> bool {
         matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            LockMode::Shared => "shared",
+            LockMode::Exclusive => "exclusive",
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -144,6 +167,9 @@ pub struct LockManager {
     tables: Mutex<Tables>,
     cv: Condvar,
     stats: Stats,
+    /// Contention tracing. Only consulted on the blocking path, so the
+    /// uncontended fast path costs nothing extra.
+    tracer: Mutex<obs::Tracer>,
 }
 
 impl LockManager {
@@ -153,7 +179,14 @@ impl LockManager {
             tables: Mutex::new(Tables::default()),
             cv: Condvar::new(),
             stats,
+            tracer: Mutex::new(obs::Tracer::disabled()),
         }
+    }
+
+    /// Install a tracing handle; lock waits, grants after a wait, and
+    /// deadlock victims are emitted through it.
+    pub fn set_tracer(&self, tracer: obs::Tracer) {
+        *self.tracer.lock() = tracer;
     }
 
     /// Acquire a lock, blocking until granted or until this transaction is
@@ -168,17 +201,51 @@ impl LockManager {
                 }
             }
         }
+        // Wait bookkeeping starts lazily: `blocked_since` is only set (and
+        // the tracer only consulted) once the request actually blocks.
+        let mut blocked_since: Option<(Instant, obs::Tracer)> = None;
         loop {
             if tables.grantable(txn, target, mode) {
                 tables.grant(txn, target, mode);
                 tables.waiting.remove(&txn);
                 self.stats.lock_acquired();
+                if let Some((start, tracer)) = blocked_since {
+                    let wait_ns = start.elapsed().as_nanos() as u64;
+                    self.stats.lock_waited(wait_ns);
+                    tracer.emit(|| Event::LockAcquire {
+                        txn: txn.0,
+                        target: target.describe(),
+                        mode: mode.as_str(),
+                        wait_ns,
+                    });
+                    if let Some(m) = tracer.metrics() {
+                        m.record_lock_wait(wait_ns);
+                    }
+                }
                 return Ok(());
+            }
+            if blocked_since.is_none() {
+                let tracer = self.tracer.lock().clone();
+                tracer.emit(|| Event::LockWait {
+                    txn: txn.0,
+                    target: target.describe(),
+                    mode: mode.as_str(),
+                });
+                blocked_since = Some((Instant::now(), tracer));
             }
             tables.waiting.insert(txn, (target, mode));
             if tables.in_cycle(txn) {
                 tables.waiting.remove(&txn);
                 self.stats.abort();
+                if let Some((start, tracer)) = blocked_since {
+                    let wait_ns = start.elapsed().as_nanos() as u64;
+                    self.stats.lock_waited(wait_ns);
+                    if let Some(m) = tracer.metrics() {
+                        m.record_lock_wait(wait_ns);
+                        m.record_deadlock();
+                    }
+                    tracer.emit(|| Event::DeadlockVictim { txn: txn.0 });
+                }
                 return Err(Error::Deadlock(txn));
             }
             // Re-check periodically: a competing waiter may have formed a

@@ -159,3 +159,75 @@ fn equivalence_on_paper_example_3() {
         }
     }
 }
+
+/// Trace-level equivalence: beyond ending with identical conflict sets,
+/// every engine must *emit* the identical ordered stream of
+/// conflict-delta trace events for the same WM update stream (removes
+/// before adds per change, then instantiation order — the canonical
+/// order the tracer imposes).
+#[test]
+fn trace_equivalence_on_conflict_deltas() {
+    let cfg = RuleGenConfig {
+        rules: 10,
+        ces_per_rule: 2,
+        domain: 3,
+        negated_fraction: 0.25,
+        seed: 11,
+        ..Default::default()
+    };
+    let trace = TraceConfig {
+        ops: 120,
+        delete_fraction: 0.3,
+        join_domain: 2,
+        select_domain: 3,
+        seed: 12,
+    }
+    .trace(cfg.classes, cfg.attrs);
+
+    let mut streams: Vec<(&'static str, Vec<String>)> = Vec::new();
+    for &kind in EngineKind::ALL.iter() {
+        let mut engine = make_engine(kind, ProductionDb::new(cfg.rules()).unwrap());
+        let tracer = obs::Tracer::new(obs::Sink::ring(1_000_000));
+        engine.set_tracer(tracer.clone());
+        for op in &trace {
+            match op {
+                Op::Insert(c, t) => {
+                    engine.insert(ClassId(*c), t.clone());
+                }
+                Op::Remove(c, t) => {
+                    engine.remove(ClassId(*c), t);
+                }
+            }
+        }
+        let deltas: Vec<String> = tracer
+            .ring_events()
+            .unwrap()
+            .into_iter()
+            .filter_map(|ev| match ev {
+                obs::Event::ConflictDelta {
+                    add,
+                    rule,
+                    rule_name,
+                    wmes,
+                } => Some(format!(
+                    "{} r{rule} {rule_name} {wmes}",
+                    if add { '+' } else { '-' }
+                )),
+                _ => None,
+            })
+            .collect();
+        streams.push((engine.name(), deltas));
+    }
+
+    let (base_name, base) = &streams[0];
+    assert!(
+        !base.is_empty(),
+        "workload should produce conflict-delta events"
+    );
+    for (name, stream) in &streams[1..] {
+        assert_eq!(
+            base, stream,
+            "conflict-delta event streams diverge: {base_name} vs {name}"
+        );
+    }
+}

@@ -39,7 +39,12 @@ fn run_all_engines(src: &str, load: &[(usize, Tuple)], max_cycles: usize) {
             ex.insert(ClassId(*c), t.clone());
         }
         let out = ex.run(max_cycles);
-        results.push((kind.label(), out.fired, out.writes.clone(), wm_all(ex.engine())));
+        results.push((
+            kind.label(),
+            out.fired,
+            out.writes.clone(),
+            wm_all(ex.engine()),
+        ));
     }
     let (base_name, base_fired, base_writes, base_wm) = &results[0];
     for (name, fired, writes, wm) in &results[1..] {

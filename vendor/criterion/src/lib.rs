@@ -1,0 +1,183 @@
+//! Minimal offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Exposes the same macros and builder surface the workspace's benches
+//! use (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `iter`, `iter_batched`) but replaces statistical
+//! sampling with a short fixed measurement loop printing mean wall time.
+//! Good enough to keep `cargo bench` runnable and the bench targets
+//! compiling; numbers in EXPERIMENTS.md come from the harness binary.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark identifier: function name plus a parameter value.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut once: impl FnMut() -> Duration) -> Duration {
+        // One untimed warm-up pass, then the measured passes.
+        once();
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            total += once();
+        }
+        total / self.iters as u32
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.measure(|| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(input));
+            start.elapsed()
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).clamp(1, 20);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.samples,
+        };
+        let start = Instant::now();
+        f(&mut b);
+        println!(
+            "bench {}/{}: {} samples in {:?}",
+            self.name,
+            label,
+            self.samples,
+            start.elapsed()
+        );
+    }
+
+    pub fn bench_function<F>(&mut self, label: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = id.name.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 5,
+            _criterion: self,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("plain", |b| {
+            b.iter(|| 1 + 1);
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, n| {
+            b.iter_batched(|| *n, |x| x * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

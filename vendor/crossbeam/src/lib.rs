@@ -1,0 +1,85 @@
+//! Minimal offline stand-in for the `crossbeam` crate: just
+//! `crossbeam::thread::scope`, implemented over `std::thread::scope`.
+//!
+//! Call-site compatibility notes:
+//! * crossbeam's `scope` returns `Result<R, Box<dyn Any + Send>>`; std's
+//!   propagates panics instead, so this wrapper always returns `Ok`.
+//! * crossbeam passes a second `&Scope` argument to each spawned closure
+//!   (for nested spawns). All call sites in this workspace write
+//!   `scope.spawn(move |_| ...)`, so the argument is a throwaway unit-like
+//!   token rather than a real re-entrant scope.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Placeholder for the `&Scope` that crossbeam hands to spawned
+    /// closures; supports only the `move |_|` ignore pattern.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScopeToken;
+
+    /// Scoped-thread spawner handed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle for a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish. Never returns `Err`: a panic in
+        /// the child propagates when the std scope exits instead.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScopeToken) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScopeToken)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let sum = AtomicUsize::new(0);
+        let out = super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..4usize {
+                let sum = &sum;
+                handles.push(scope.spawn(move |_| {
+                    sum.fetch_add(i, Ordering::SeqCst);
+                    i * 2
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+        assert_eq!(out, 12);
+    }
+}
