@@ -1,0 +1,121 @@
+//! Machine-readable benchmark snapshots: `harness --bench-json FILE`.
+//!
+//! Runs the [`OBS_DEMO`](crate::obs_run) workload once per engine and
+//! emits one JSON document in a stable schema (`sellis88-bench/v1`), so
+//! successive snapshots — `BENCH_seed.json`, `BENCH_<change>.json` — can
+//! be diffed across PRs without scraping harness tables.
+
+use std::time::Instant;
+
+use obs::json::{Arr, Obj};
+use prodsys::{EngineKind, ProductionSystem, Strategy};
+use relstore::tuple;
+
+use crate::obs_run::{OBS_DEMO, OBS_ITEMS};
+
+/// Schema identifier embedded in every snapshot. Bump only when a field
+/// is renamed or removed; adding fields is backward compatible.
+pub const BENCH_SCHEMA: &str = "sellis88-bench/v1";
+
+/// One engine's measurements over the demo workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRow {
+    /// Engine label (`rete`, `db-rete`, `query`, `cond`, `marker`).
+    pub engine: &'static str,
+    /// Wall time of load + run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Productions fired.
+    pub fired: u64,
+    /// Logical I/O (tuples read + inserted + deleted) of the run.
+    pub logical_io: u64,
+    /// Entries held in match-support memory after the run.
+    pub match_entries: u64,
+    /// Approximate bytes of match-support memory after the run.
+    pub match_bytes: u64,
+}
+
+/// Run the demo workload on every engine and collect one [`BenchRow`]
+/// each. Fresh system per engine, so no measurement sees another's
+/// caches or statistics.
+pub fn bench_rows() -> Vec<BenchRow> {
+    EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut sys = ProductionSystem::from_source(OBS_DEMO, kind, Strategy::Fifo)
+                .expect("demo program compiles");
+            let start = Instant::now();
+            for i in 0..OBS_ITEMS {
+                sys.insert("Item", tuple![i, i * 2]).expect("Item class");
+            }
+            let out = sys.run(10_000);
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            let space = sys.engine().space();
+            BenchRow {
+                engine: kind.label(),
+                wall_ns,
+                fired: out.fired as u64,
+                logical_io: sys.engine().pdb().db().stats().snapshot().logical_io(),
+                match_entries: space.match_entries as u64,
+                match_bytes: space.match_bytes as u64,
+            }
+        })
+        .collect()
+}
+
+/// Render [`bench_rows`] as the `sellis88-bench/v1` JSON document.
+pub fn bench_snapshot() -> String {
+    let mut engines = Arr::new();
+    for row in bench_rows() {
+        engines = engines.raw(
+            &Obj::new()
+                .str("engine", row.engine)
+                .u64("wall_ns", row.wall_ns)
+                .u64("fired", row.fired)
+                .u64("logical_io", row.logical_io)
+                .u64("match_entries", row.match_entries)
+                .u64("match_bytes", row.match_bytes)
+                .finish(),
+        );
+    }
+    Obj::new()
+        .str("schema", BENCH_SCHEMA)
+        .str("workload", "obs-demo")
+        .u64("items", OBS_ITEMS as u64)
+        .raw("engines", &engines.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_every_engine_with_equal_fired_counts() {
+        let rows = bench_rows();
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert_eq!(row.fired, 2 * OBS_ITEMS as u64, "{}", row.engine);
+            assert!(row.logical_io > 0, "{}", row.engine);
+        }
+    }
+
+    #[test]
+    fn snapshot_schema_is_stable() {
+        let json = bench_snapshot();
+        assert!(
+            json.starts_with("{\"schema\":\"sellis88-bench/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"workload\":\"obs-demo\""), "{json}");
+        assert!(json.contains("\"items\":24"), "{json}");
+        for engine in ["rete", "db-rete", "query", "cond", "marker"] {
+            assert!(
+                json.contains(&format!("{{\"engine\":\"{engine}\",\"wall_ns\":")),
+                "{json}"
+            );
+        }
+        for field in ["fired", "logical_io", "match_entries", "match_bytes"] {
+            assert!(json.contains(&format!("\"{field}\":")), "{json}");
+        }
+    }
+}

@@ -414,9 +414,89 @@ fn obs(trace: Option<&str>, report: Option<&str>) {
     }
 }
 
+fn bench_json(path: &str) {
+    let json = bench::bench_snapshot();
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench snapshot ({}) -> {path}", bench::BENCH_SCHEMA);
+}
+
+fn explain(rule: &str) {
+    let run = match bench::explain_run(rule) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("\n## EXPLAIN {} — match plans per engine\n", run.rule);
+    for plan in &run.plans {
+        println!("{plan}");
+    }
+    println!(
+        "## Derivations of {} ({} firing(s), {} total)\n",
+        run.rule,
+        run.derivations.len(),
+        run.fired
+    );
+    for d in &run.derivations {
+        println!("{}", d.trim_start());
+    }
+}
+
+/// Everything the harness accepts; `--help` output and the whitelist the
+/// argument parser checks selectors against.
+const SELECTORS: &[(&str, &str)] = &[
+    (
+        "all",
+        "every table, figure, and experiment below (the default)",
+    ),
+    ("t1", "§4.1.1 COND relations for Example 2"),
+    ("t2", "§4.1.1 RULE-DEF relation"),
+    ("t3", "Example 4 initial COND relations"),
+    ("t4", "Example 5 insertion trace (matching-pattern engine)"),
+    (
+        "f1",
+        "chain workload: propagation depth / final-insert cost",
+    ),
+    ("e3", "alias for f1"),
+    ("f3", "compiled Rete network for Example 2 (Figure 3)"),
+    ("e1", "match cost per WM change vs rule-base size"),
+    ("e2", "match-structure space vs WM size"),
+    ("e4", "conflict-set detection latency vs total op time"),
+    ("e5", "parallel COND propagation"),
+    ("e6", "concurrent vs serial execution of the conflict set"),
+    ("e7", "[RASC87] concurrency measures"),
+    ("e8", "marker (POSTGRES-style) false drops"),
+    ("e9", "predicate indexing: stabbing and rule-base queries"),
+    ("e10", "index/delete ablations (a, b, c)"),
+    ("obs", "instrumented run: all engines + §5 concurrent pass"),
+];
+
+fn usage() {
+    println!("usage: harness [SELECTOR...] [FLAGS]");
+    println!("\nRegenerates the paper-reproduction tables and figures (EXPERIMENTS.md).");
+    println!("With no arguments, runs everything.");
+    println!("\nselectors:");
+    for (name, what) in SELECTORS {
+        println!("  {name:<18} {what}");
+    }
+    println!("\nflags:");
+    println!("  --trace FILE       stream JSONL events of the instrumented run to FILE");
+    println!("  --report FILE      write the instrumented run's JSON report to FILE");
+    println!("  --bench-json FILE  write a per-engine benchmark snapshot (sellis88-bench/v1)");
+    println!("  --explain RULE     run the explain workload; print RULE's match plan per");
+    println!("                     engine and the full derivation of each of its firings");
+    println!("  --help, -h         this text");
+    println!("\n--trace/--report, --bench-json, and --explain run only their own");
+    println!("workload unless selectors are also given.");
+}
+
 fn flag_value(flag: &str, raw: &mut impl Iterator<Item = String>) -> String {
     raw.next().unwrap_or_else(|| {
-        eprintln!("error: {flag} requires a file path");
+        eprintln!("error: {flag} requires a value");
         std::process::exit(2);
     })
 }
@@ -426,17 +506,34 @@ fn main() {
     let mut args: Vec<String> = Vec::new();
     let mut trace: Option<String> = None;
     let mut report: Option<String> = None;
+    let mut bench_path: Option<String> = None;
+    let mut explain_rule: Option<String> = None;
     while let Some(a) = raw.next() {
         match a.as_str() {
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
             "--trace" => trace = Some(flag_value("--trace", &mut raw)),
             "--report" => report = Some(flag_value("--report", &mut raw)),
-            _ => args.push(a),
+            "--bench-json" => bench_path = Some(flag_value("--bench-json", &mut raw)),
+            "--explain" => explain_rule = Some(flag_value("--explain", &mut raw)),
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag} (see --help)");
+                std::process::exit(2);
+            }
+            sel if SELECTORS.iter().any(|(name, _)| *name == sel) => args.push(a),
+            other => {
+                eprintln!("error: unknown selector {other:?} (see --help)");
+                std::process::exit(2);
+            }
         }
     }
-    // `harness --trace t.jsonl --report r.json` alone runs only the
-    // instrumented demo, not the whole experiment suite.
+    // `harness --trace t.jsonl`, `--bench-json b.json`, or `--explain R`
+    // alone runs only that workload, not the whole experiment suite.
     let obs_requested = trace.is_some() || report.is_some();
-    let run_all = (args.is_empty() && !obs_requested) || args.iter().any(|a| a == "all");
+    let standalone = obs_requested || bench_path.is_some() || explain_rule.is_some();
+    let run_all = (args.is_empty() && !standalone) || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
     println!("prodsys experiment harness — Sellis/Lin/Raschid SIGMOD '88 reproduction");
@@ -487,5 +584,11 @@ fn main() {
     }
     if obs_requested || want("obs") {
         obs(trace.as_deref(), report.as_deref());
+    }
+    if let Some(path) = bench_path.as_deref() {
+        bench_json(path);
+    }
+    if let Some(rule) = explain_rule.as_deref() {
+        explain(rule);
     }
 }

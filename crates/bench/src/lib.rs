@@ -5,11 +5,13 @@
 //! paper-reproduction tables recorded in EXPERIMENTS.md, and the Criterion
 //! benches reuse the same code for timing.
 
+pub mod bench_json;
 pub mod experiments;
 pub mod obs_run;
 
+pub use bench_json::{bench_rows, bench_snapshot, BenchRow, BENCH_SCHEMA};
 pub use experiments::*;
-pub use obs_run::{observability_run, ObsRun};
+pub use obs_run::{explain_run, observability_run, ExplainRun, ObsRun};
 
 /// Format a sequence of (column, value) rows as an aligned table.
 pub fn print_rows(title: &str, header: &[&str], rows: &[Vec<String>]) {

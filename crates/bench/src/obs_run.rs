@@ -9,19 +9,20 @@
 use std::time::Instant;
 
 use obs::json::Obj;
-use obs::{RunReport, Sink, Tracer};
+use obs::{Event, RunReport, Sink, Tracer};
 use prodsys::{
-    make_engine, ClassId, ConcurrentExecutor, ConcurrentStats, EngineKind, ProductionDb,
-    ProductionSystem, Strategy,
+    make_engine, plans_to_json, ClassId, ConcurrentExecutor, ConcurrentStats, EngineKind,
+    MatchPlan, ProductionDb, ProductionSystem, Strategy,
 };
 use relstore::tuple;
+use workload::paper;
 
 use crate::experiments::E6_IO_COST_NS;
 
 /// Chained demo program: `Mark` tags every `Item`, `Tally` consumes
 /// tagged items into `Total`. Every cycle both grows and shrinks the
 /// conflict set, so all per-rule counters come out non-trivial.
-const OBS_DEMO: &str = r#"
+pub(crate) const OBS_DEMO: &str = r#"
     (literalize Item n v)
     (literalize Done n)
     (literalize Total n v)
@@ -37,8 +38,34 @@ const OBS_SKEWED: &str = r#"
     (p Funnel (Item ^n <N> ^v <V>) --> (remove 1) (make Total ^n <N> ^v <V>))
 "#;
 
-const OBS_ITEMS: i64 = 24;
+pub(crate) const OBS_ITEMS: i64 = 24;
 const OBS_WORKERS: usize = 4;
+
+/// Paper Example 3 (R1, R2) plus a negated-CE rule: `NoDept` audits
+/// employees whose department is missing — the workload behind
+/// `harness --explain`, chosen so a derivation with an *absent pattern*
+/// is always among the firings.
+pub(crate) const EXPLAIN_DEMO: &str = r#"
+    (literalize Emp name salary manager dno)
+    (literalize Dept dno dname floor manager)
+    (literalize Audit name)
+    (p R1
+        (Emp ^name Mike ^salary <S> ^manager <M>)
+        (Emp ^name <M> ^salary {<S1> < <S>})
+        -->
+        (remove 1))
+    (p R2
+        (Emp ^dno <D>)
+        (Dept ^dno <D> ^dname Toy ^floor 1)
+        -->
+        (remove 1))
+    (p NoDept
+        (Emp ^name <N> ^dno <D>)
+        -(Dept ^dno <D>)
+        -->
+        (make Audit ^name <N>)
+        (remove 1))
+"#;
 
 /// What [`observability_run`] produced, for the harness to print.
 pub struct ObsRun {
@@ -65,6 +92,8 @@ pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::
     let start = Instant::now();
     let mut fired = 0u64;
     let mut halted = false;
+    let mut plans: Vec<MatchPlan> = Vec::new();
+    let mut analyze_json: Option<String> = None;
     for kind in EngineKind::ALL {
         let mut sys = ProductionSystem::from_source(OBS_DEMO, kind, Strategy::Fifo)
             .expect("demo program compiles");
@@ -72,9 +101,17 @@ pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::
         for i in 0..OBS_ITEMS {
             sys.insert("Item", tuple![i, i * 2]).expect("Item class");
         }
+        // EXPLAIN against the loaded (pre-run) working memory: the run
+        // itself empties `Item`, which would zero every actual count.
+        plans.extend(sys.engine().match_plan());
         let out = sys.run(10_000);
         fired += out.fired as u64;
         halted |= out.halted;
+        if kind == EngineKind::Query {
+            // ANALYZE the query engine's database after its run: its
+            // executor is the one feeding the observed selectivities.
+            analyze_json = Some(relstore::analyze(sys.engine().pdb().db()).to_json());
+        }
     }
 
     // §5 concurrent pass: skewed workload plus simulated I/O latency so
@@ -106,6 +143,8 @@ pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::
         .fired(fired)
         .halted(halted || stats.halted)
         .section("concurrent", concurrent)
+        .section("match_plans", plans_to_json(&plans))
+        .section("analyze", analyze_json.expect("query engine ran"))
         .to_json(tracer.metrics().expect("tracer is enabled"));
     if let Some(path) = report {
         std::fs::write(path, &report_json)?;
@@ -114,6 +153,83 @@ pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::
         report_json,
         fired,
         concurrent: stats,
+    })
+}
+
+/// What [`explain_run`] produced, for the harness to print.
+#[derive(Debug)]
+pub struct ExplainRun {
+    /// The rule that was explained.
+    pub rule: String,
+    /// Its match plan under every engine (rendered text).
+    pub plans: Vec<String>,
+    /// One rendered derivation line per firing of the rule.
+    pub derivations: Vec<String>,
+    /// Total productions fired by the run (all rules).
+    pub fired: usize,
+}
+
+/// Run the [`EXPLAIN_DEMO`] paper workload (Example 3 + a negated-CE
+/// audit rule) on the query engine and explain `rule`: its match plan
+/// under every engine's ordering policy, then the full derivation of each
+/// of its firings — supporting WM elements with storage tuple ids, and
+/// for negated CEs the concrete pattern whose absence enabled the firing.
+pub fn explain_run(rule: &str) -> Result<ExplainRun, String> {
+    let rules = ops5::compile(EXPLAIN_DEMO).expect("explain demo compiles");
+    if !rules.rules.iter().any(|r| r.name == rule) {
+        let known: Vec<&str> = rules.rules.iter().map(|r| r.name.as_str()).collect();
+        return Err(format!(
+            "unknown rule {rule:?}; the explain workload defines: {}",
+            known.join(", ")
+        ));
+    }
+
+    let tracer = Tracer::new(Sink::ring(4096));
+    let mut sys = ProductionSystem::from_source(EXPLAIN_DEMO, EngineKind::Query, Strategy::Fifo)
+        .expect("explain demo compiles");
+    sys.set_tracer(tracer.clone());
+    for (class, t) in paper::example3_wm() {
+        sys.insert(class, t).expect("example 3 class");
+    }
+    // An employee with no department, so NoDept's negated CE matters.
+    sys.insert("Emp", tuple!["Orphan", 1000, "Sam", 99])
+        .expect("Emp class");
+
+    // Plans before firing: the run consumes the matched WM elements.
+    let mut plans = Vec::new();
+    for kind in EngineKind::ALL {
+        let rules = ops5::compile(EXPLAIN_DEMO).expect("explain demo compiles");
+        let mut probe =
+            ProductionSystem::from_rules(rules, kind, Strategy::Fifo).expect("probe system");
+        for (class, t) in paper::example3_wm() {
+            probe.insert(class, t).expect("example 3 class");
+        }
+        probe
+            .insert("Emp", tuple!["Orphan", 1000, "Sam", 99])
+            .expect("Emp class");
+        plans.extend(
+            probe
+                .engine()
+                .match_plan()
+                .iter()
+                .filter(|p| p.rule_name == rule)
+                .map(MatchPlan::render),
+        );
+    }
+
+    let out = sys.run(10_000);
+    let derivations = tracer
+        .ring_events()
+        .unwrap_or_default()
+        .iter()
+        .filter(|e| matches!(e, Event::Derivation { rule_name, .. } if rule_name == rule))
+        .map(Event::watch_line)
+        .collect();
+    Ok(ExplainRun {
+        rule: rule.to_string(),
+        plans,
+        derivations,
+        fired: out.fired,
     })
 }
 
@@ -139,6 +255,39 @@ mod tests {
         }
         assert!(json.contains("\"match_latency_ns\""), "{json}");
         assert!(json.contains("\"concurrent\":{\"workers\":4"), "{json}");
+        // EXPLAIN section: per-rule plans for every engine, with
+        // estimated and actual cardinalities.
+        assert!(json.contains("\"match_plans\":["), "{json}");
+        for engine in ["rete", "db-rete", "query", "cond", "marker"] {
+            assert!(
+                json.contains(&format!("{{\"engine\":\"{engine}\",\"rule\":")),
+                "missing plans for {engine}: {json}"
+            );
+        }
+        assert!(json.contains("\"estimated\":"), "{json}");
+        assert!(json.contains("\"actual\":"), "{json}");
+        // ANALYZE section: relation statistics + observed selectivities.
+        assert!(json.contains("\"analyze\":{\"relations\":["), "{json}");
+        assert!(json.contains("\"selection_selectivity\":"), "{json}");
+    }
+
+    #[test]
+    fn explain_run_prints_derivations_with_absent_patterns() {
+        let run = explain_run("NoDept").unwrap();
+        assert_eq!(run.plans.len(), 5, "one plan per engine");
+        assert_eq!(run.derivations.len(), 1, "only Orphan lacks a department");
+        let d = &run.derivations[0];
+        assert!(d.contains("NoDept"), "{d}");
+        assert!(d.contains("Orphan"), "{d}");
+        assert!(d.contains("[t"), "support tuple ids: {d}");
+        assert!(d.contains("absent:"), "{d}");
+        assert!(d.contains("Dept"), "{d}");
+    }
+
+    #[test]
+    fn explain_run_rejects_unknown_rules() {
+        let err = explain_run("Nope").unwrap_err();
+        assert!(err.contains("NoDept"), "{err}");
     }
 
     #[test]

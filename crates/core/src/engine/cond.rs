@@ -878,6 +878,16 @@ impl MatchEngine for CondEngine {
         "cond"
     }
 
+    fn match_plan(&self) -> Vec<crate::engine::MatchPlan> {
+        // COND patterns are stored per textual CE; maintenance walks them
+        // in that order rather than re-planning per WM change.
+        crate::engine::explain::match_plans(
+            self.pdb(),
+            self.name(),
+            crate::engine::OrderPolicy::Textual,
+        )
+    }
+
     fn pdb(&self) -> &ProductionDb {
         &self.pdb
     }

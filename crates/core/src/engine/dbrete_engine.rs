@@ -57,6 +57,16 @@ impl MatchEngine for DbReteEngine {
         "db-rete"
     }
 
+    fn match_plan(&self) -> Vec<crate::engine::MatchPlan> {
+        // LEFT/RIGHT relations mirror the compile-time network shape, so
+        // the effective join order is still the textual CE order.
+        crate::engine::explain::match_plans(
+            self.pdb(),
+            self.name(),
+            crate::engine::OrderPolicy::Textual,
+        )
+    }
+
     fn pdb(&self) -> &ProductionDb {
         &self.pdb
     }

@@ -14,6 +14,7 @@
 
 pub mod cond;
 pub mod dbrete_engine;
+pub mod explain;
 pub mod marker;
 pub mod query_engine;
 pub mod recompute;
@@ -21,6 +22,7 @@ pub mod rete_engine;
 
 pub use cond::CondEngine;
 pub use dbrete_engine::DbReteEngine;
+pub use explain::{plans_to_json, MatchPlan, OrderPolicy, PlanStep};
 pub use marker::MarkerEngine;
 pub use query_engine::QueryEngine;
 pub use rete_engine::ReteEngine;
@@ -124,6 +126,15 @@ pub trait MatchEngine: Send {
     /// DB-resident (and therefore restored by the snapshot) return false.
     fn needs_bootstrap(&self) -> bool {
         true
+    }
+
+    /// EXPLAIN: the per-rule match plans this engine's strategy implies,
+    /// profiled against the current working memory. The default reports
+    /// the statistics-driven planner order; engines that freeze the plan
+    /// at compile time (the Rete family, COND patterns) override with
+    /// [`OrderPolicy::Textual`].
+    fn match_plan(&self) -> Vec<MatchPlan> {
+        explain::match_plans(self.pdb(), self.name(), OrderPolicy::Planner)
     }
 
     /// Nanoseconds of the last operation spent before the conflict set

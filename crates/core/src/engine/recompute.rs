@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use ops5::{ClassId, Rule, RuleId};
 use relstore::{QueryExecutor, Tuple, TupleId};
-use rete::{ConflictDelta, Instantiation, Wme};
+use rete::{AbsentPattern, ConflictDelta, Instantiation, Provenance, Wme};
 
 use crate::pdb::ProductionDb;
 
@@ -21,7 +21,9 @@ pub struct Match {
 }
 
 impl Match {
-    /// Materialize this match as a conflict-set instantiation.
+    /// Materialize this match as a conflict-set instantiation, carrying
+    /// full provenance: the supporting tuple ids and, for each negated
+    /// CE, the concrete pattern whose absence holds (§4.2.2).
     pub fn instantiation(&self, rule: &Rule) -> Instantiation {
         let classes: Vec<ClassId> = rule
             .ces
@@ -29,14 +31,54 @@ impl Match {
             .filter(|ce| !ce.negated)
             .map(|ce| ce.class)
             .collect();
-        Instantiation {
-            rule: rule.id,
-            wmes: classes
-                .into_iter()
-                .zip(&self.tuples)
-                .map(|(c, t)| Wme::new(c, t.clone()))
-                .collect(),
-        }
+        let wmes = classes
+            .into_iter()
+            .zip(&self.tuples)
+            .map(|(c, t)| Wme::new(c, t.clone()))
+            .collect();
+        Instantiation::new(rule.id, wmes).with_provenance(Provenance {
+            support: self.tids.iter().map(|t| t.pack()).collect(),
+            absent: self.absent_patterns(rule),
+        })
+    }
+
+    /// The rule's negated CEs with their join tests bound to this match's
+    /// concrete values: what must stay absent for the match to hold.
+    fn absent_patterns(&self, rule: &Rule) -> Vec<AbsentPattern> {
+        let positive_pos = {
+            let mut pos = Vec::with_capacity(rule.ces.len());
+            let mut next = 0usize;
+            for ce in &rule.ces {
+                pos.push(if ce.negated {
+                    None
+                } else {
+                    next += 1;
+                    Some(next - 1)
+                });
+            }
+            pos
+        };
+        rule.ces
+            .iter()
+            .filter(|ce| ce.negated)
+            .map(|ce| {
+                let mut tests: Vec<_> = ce
+                    .alpha
+                    .tests
+                    .iter()
+                    .map(|s| (s.attr, s.op, s.value.clone()))
+                    .collect();
+                for j in &ce.joins {
+                    if let Some(p) = positive_pos.get(j.other_ce).copied().flatten() {
+                        tests.push((j.my_attr, j.op, self.tuples[p][j.other_attr].clone()));
+                    }
+                }
+                AbsentPattern {
+                    class: ce.class,
+                    tests,
+                }
+            })
+            .collect()
     }
 }
 

@@ -46,6 +46,16 @@ impl MatchEngine for ReteEngine {
         "rete"
     }
 
+    fn match_plan(&self) -> Vec<crate::engine::MatchPlan> {
+        // The Rete network compiles CEs in textual order (§3.2's frozen
+        // access plan).
+        crate::engine::explain::match_plans(
+            self.pdb(),
+            self.name(),
+            crate::engine::OrderPolicy::Textual,
+        )
+    }
+
     fn pdb(&self) -> &ProductionDb {
         &self.pdb
     }

@@ -129,6 +129,7 @@ impl ConcurrentExecutor {
             rule: inst.rule.0 as u32,
             rule_name: rule.name.clone(),
         });
+        crate::exec::trace_derivation(&tracer, &rules, inst);
         let mut wm_writes = 0usize;
         let outcome = (|| -> TxnOutcome {
             // 1. Re-select the matched tuples by content, with read locks.

@@ -36,6 +36,21 @@ pub struct RhsResult {
     pub halt: bool,
 }
 
+/// Emit the full derivation of a firing: the matched WMEs, the supporting
+/// storage tuple ids (engines that intern WMEs by content report none),
+/// and the concrete absent patterns of negated CEs. Shared by both
+/// executors so `--explain` sees one event shape regardless of execution
+/// mode.
+pub(crate) fn trace_derivation(tracer: &obs::Tracer, rules: &RuleSet, inst: &Instantiation) {
+    tracer.emit(|| obs::Event::Derivation {
+        rule: inst.rule.0 as u32,
+        rule_name: rules.rule(inst.rule).name.clone(),
+        wmes: inst.wmes_display(rules),
+        support: inst.why.support_display(),
+        absent: inst.why.absent_display(rules),
+    });
+}
+
 /// Position of each original CE among the positive CEs.
 pub(crate) fn positive_positions(rule: &Rule) -> Vec<Option<usize>> {
     let mut out = vec![None; rule.ces.len()];
@@ -147,13 +162,13 @@ mod tests {
             "#,
         )
         .unwrap();
-        let inst = Instantiation {
-            rule: ops5::RuleId(0),
-            wmes: vec![
+        let inst = Instantiation::new(
+            ops5::RuleId(0),
+            vec![
                 Wme::new(ClassId(1), tuple!["Simplify", "TERM"]),
                 Wme::new(ClassId(0), tuple!["TERM", 0, "+", "x"]),
             ],
-        };
+        );
         let r = eval_rhs(&rs, &inst);
         assert_eq!(r.changes.len(), 2);
         assert_eq!(
@@ -183,10 +198,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let inst = Instantiation {
-            rule: ops5::RuleId(0),
-            wmes: vec![Wme::new(ClassId(0), tuple![5, 1])],
-        };
+        let inst = Instantiation::new(ops5::RuleId(0), vec![Wme::new(ClassId(0), tuple![5, 1])]);
         let r = eval_rhs(&rs, &inst);
         assert_eq!(r.changes[0], WmChange::Insert(ClassId(0), tuple![9, 5]));
         assert_eq!(r.changes[1], WmChange::Remove(ClassId(0), tuple![5, 1]));
@@ -200,10 +212,7 @@ mod tests {
             "(literalize A x)(p R (A ^x 1) --> (remove 1) (remove 1) (modify 1 ^x 2))",
         )
         .unwrap();
-        let inst = Instantiation {
-            rule: ops5::RuleId(0),
-            wmes: vec![Wme::new(ClassId(0), tuple![1])],
-        };
+        let inst = Instantiation::new(ops5::RuleId(0), vec![Wme::new(ClassId(0), tuple![1])]);
         let r = eval_rhs(&rs, &inst);
         assert_eq!(r.changes.len(), 1, "modify after remove is skipped too");
     }

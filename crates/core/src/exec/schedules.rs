@@ -265,10 +265,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        let inst = Instantiation {
-            rule: ops5::RuleId(0),
-            wmes: vec![rete::Wme::new(ops5::ClassId(0), relstore::tuple![1])],
-        };
+        let inst = Instantiation::new(
+            ops5::RuleId(0),
+            vec![rete::Wme::new(ops5::ClassId(0), relstore::tuple![1])],
+        );
         let ops = ops_of_instantiation(&rs, &inst);
         assert_eq!(ops.ops.len(), 3);
         assert!(!ops.ops[0].write && ops.ops[0].rel == 0);

@@ -123,6 +123,7 @@ impl SequentialExecutor {
             rule_name: rule_name.clone(),
             conflict_len,
         });
+        crate::exec::trace_derivation(&tracer, self.engine.pdb().rules(), &inst);
         self.fired.push(inst.clone());
         let rules = self.engine.pdb().rules().clone();
         let start = tracer.enabled().then(Instant::now);

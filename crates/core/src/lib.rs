@@ -38,8 +38,8 @@ pub mod strategy;
 pub mod system;
 
 pub use engine::{
-    bootstrap, make_engine, CondEngine, DbReteEngine, EngineKind, MarkerEngine, MatchEngine,
-    QueryEngine, ReteEngine, SpaceStats,
+    bootstrap, make_engine, plans_to_json, CondEngine, DbReteEngine, EngineKind, MarkerEngine,
+    MatchEngine, MatchPlan, OrderPolicy, PlanStep, QueryEngine, ReteEngine, SpaceStats,
 };
 pub use error::{Error, Result};
 pub use exec::{
@@ -54,4 +54,4 @@ pub use system::{run_concurrent, ProductionSystem};
 // Re-export the shared runtime vocabulary so downstream users need only
 // this crate.
 pub use ops5::{ClassId, RuleId, RuleSet};
-pub use rete::{ConflictDelta, ConflictSet, Instantiation, Wme};
+pub use rete::{AbsentPattern, ConflictDelta, ConflictSet, Instantiation, Provenance, Wme};

@@ -102,10 +102,7 @@ mod tests {
     }
 
     fn inst(rule: usize) -> Instantiation {
-        Instantiation {
-            rule: RuleId(rule),
-            wmes: vec![Wme::new(ClassId(0), tuple![1, 2])],
-        }
+        Instantiation::new(RuleId(rule), vec![Wme::new(ClassId(0), tuple![1, 2])])
     }
 
     #[test]

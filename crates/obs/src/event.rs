@@ -65,6 +65,16 @@ pub enum Event {
         inserts: usize,
         removes: usize,
     },
+    /// Full derivation of one firing: which WM elements (by storage tuple
+    /// id, when the engine tracks them) supported the instantiation, and
+    /// which concrete patterns had to be absent (negated CEs).
+    Derivation {
+        rule: u32,
+        rule_name: String,
+        wmes: String,
+        support: String,
+        absent: String,
+    },
     /// A §5 rule-transaction began.
     TxnBegin {
         txn: u64,
@@ -104,6 +114,7 @@ impl Event {
             Event::ConflictDelta { .. } => "conflict_delta",
             Event::RuleSelect { .. } => "rule_select",
             Event::RuleFire { .. } => "rule_fire",
+            Event::Derivation { .. } => "derivation",
             Event::TxnBegin { .. } => "txn_begin",
             Event::LockWait { .. } => "lock_wait",
             Event::LockAcquire { .. } => "lock_acquire",
@@ -195,6 +206,19 @@ impl Event {
                 .usize("inserts", *inserts)
                 .usize("removes", *removes)
                 .finish(),
+            Event::Derivation {
+                rule,
+                rule_name,
+                wmes,
+                support,
+                absent,
+            } => o
+                .u64("rule", *rule as u64)
+                .str("rule_name", rule_name)
+                .str("wmes", wmes)
+                .str("support", support)
+                .str("absent", absent)
+                .finish(),
             Event::TxnBegin {
                 txn,
                 rule,
@@ -277,6 +301,22 @@ impl Event {
             Event::RuleFire {
                 cycle, rule_name, ..
             } => format!("{cycle}. {rule_name}"),
+            Event::Derivation {
+                rule_name,
+                wmes,
+                support,
+                absent,
+                ..
+            } => {
+                let mut line = format!("   because {rule_name}: {wmes}");
+                if !support.is_empty() {
+                    line.push_str(&format!(" [{support}]"));
+                }
+                if !absent.is_empty() {
+                    line.push_str(&format!(" absent: {absent}"));
+                }
+                line
+            }
             Event::TxnBegin { txn, rule_name, .. } => {
                 format!("   txn{txn} begin ({rule_name})")
             }

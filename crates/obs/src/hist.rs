@@ -111,7 +111,7 @@ impl Log2Histogram {
         self.max()
     }
 
-    /// Render as a JSON object (count/sum/mean/max/p50/p99 + buckets).
+    /// Render as a JSON object (count/sum/mean/max/p50/p95/p99 + buckets).
     pub fn to_json(&self) -> String {
         let counts = self.bucket_counts();
         let highest = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
@@ -121,6 +121,7 @@ impl Log2Histogram {
             .f64("mean", self.mean())
             .u64("max", self.max())
             .u64("p50", self.percentile(50.0))
+            .u64("p95", self.percentile(95.0))
             .u64("p99", self.percentile(99.0))
             .raw("buckets", &u64_array(&counts[..=highest]))
             .finish()

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::analyze::AnalyzeRegistry;
 use crate::error::{Error, Result};
 use crate::pred::Restriction;
 use crate::relation::Relation;
@@ -29,6 +30,7 @@ pub struct Database {
     stats: Stats,
     locks: LockManager,
     txns: TxnManager,
+    analyze: AnalyzeRegistry,
     wal: RwLock<Option<Arc<Wal>>>,
     /// Simulated secondary-storage latency per tuple touched by the
     /// database-level access paths, in nanoseconds (0 = off). Sleeping
@@ -52,6 +54,7 @@ impl Database {
             names: RwLock::new(HashMap::new()),
             locks: LockManager::new(stats.clone()),
             txns: TxnManager::new(),
+            analyze: AnalyzeRegistry::new(),
             stats,
             wal: RwLock::new(None),
             io_cost_ns: AtomicU64::new(0),
@@ -105,6 +108,12 @@ impl Database {
     /// Shared operation counters for the whole database.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Observed selectivities maintained by the query executor
+    /// (ANALYZE-style statistics, [`crate::analyze`]).
+    pub fn analyze_registry(&self) -> &AnalyzeRegistry {
+        &self.analyze
     }
 
     /// The 2PL lock manager shared by all transactions.

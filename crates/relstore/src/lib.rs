@@ -27,6 +27,7 @@
 //! assert_eq!(rich.len(), 1);
 //! ```
 
+pub mod analyze;
 pub mod database;
 pub mod error;
 pub mod index;
@@ -41,10 +42,15 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
+pub use analyze::{
+    analyze, AnalyzeRegistry, AnalyzeSnapshot, AttrStats, ObservedCounts, RelationProfile,
+};
 pub use database::Database;
 pub use error::{Error, Result};
 pub use pred::{AttrTest, CompOp, Restriction, Selection};
-pub use query::{Binding, ConjunctiveQuery, JoinPred, Plan, Planner, QueryExecutor, QueryTerm};
+pub use query::{
+    Binding, ConjunctiveQuery, ExecProfile, JoinPred, Plan, Planner, QueryExecutor, QueryTerm,
+};
 pub use relation::Relation;
 pub use schema::{AttrIdx, Attribute, RelId, Schema};
 pub use stats::{OpSnapshot, Stats};

@@ -27,6 +27,17 @@ impl Binding {
     }
 }
 
+/// One profiled execution, for EXPLAIN ANALYZE: the results plus a row
+/// count per query term — partial bindings produced at a positive term's
+/// plan step, bindings blocked by a negated term.
+#[derive(Debug, Clone)]
+pub struct ExecProfile {
+    /// The query results, as from [`QueryExecutor::exec`].
+    pub bindings: Vec<Binding>,
+    /// Per-term counts, aligned with `query.terms`.
+    pub rows: Vec<u64>,
+}
+
 /// Executes conjunctive queries against a [`Database`].
 pub struct QueryExecutor<'a> {
     db: &'a Database,
@@ -94,15 +105,23 @@ impl<'a> QueryExecutor<'a> {
     }
 
     /// Tuples of term `t` consistent with the bound part of `partial`.
+    /// Feeds the observed selection/join selectivities of the ANALYZE
+    /// registry ([`crate::analyze`]) as a side effect.
     fn candidates(
         &self,
         query: &ConjunctiveQuery,
         t: usize,
         partial: &[Option<(TupleId, Tuple)>],
     ) -> Result<Vec<(TupleId, Tuple)>> {
+        let base_tests = query.terms[t].restriction.tests.len();
         let restriction = self.bound_restriction(query, t, partial);
+        let joined = restriction.tests.len() > base_tests;
+        let rel = query.terms[t].rel;
+        let (input, rows) = self.db.read(rel, |r| (r.len(), r.select(&restriction)))?;
         self.db
-            .read(query.terms[t].rel, |rel| rel.select(&restriction))
+            .analyze_registry()
+            .observe(rel, joined, input as u64, rows.len() as u64);
+        Ok(rows)
     }
 
     /// Term `t`'s restriction augmented with selections derived from join
@@ -135,15 +154,75 @@ impl<'a> QueryExecutor<'a> {
         partial: &[Option<(TupleId, Tuple)>],
     ) -> Result<bool> {
         for t in query.negated_terms() {
-            let restriction = self.bound_restriction(query, t, partial);
-            let found = self.db.read(query.terms[t].rel, |rel| {
-                !rel.select_ids(&restriction).is_empty()
-            })?;
-            if found {
+            if self.negated_term_blocks(query, t, partial)? {
                 return Ok(false);
             }
         }
         Ok(true)
+    }
+
+    /// Does negated term `t` block the bound part of `partial`?
+    fn negated_term_blocks(
+        &self,
+        query: &ConjunctiveQuery,
+        t: usize,
+        partial: &[Option<(TupleId, Tuple)>],
+    ) -> Result<bool> {
+        let restriction = self.bound_restriction(query, t, partial);
+        let rel = query.terms[t].rel;
+        let found = self
+            .db
+            .read(rel, |r| !r.select_ids(&restriction).is_empty())?;
+        self.db.analyze_registry().observe_anti(rel, found);
+        Ok(found)
+    }
+
+    /// Evaluate the positive terms in the caller's `order` (which must
+    /// cover exactly the positive terms), counting rows per term — the
+    /// EXPLAIN ANALYZE entry point. Unlike [`QueryExecutor::exec`], the
+    /// join order is imposed, so an engine that freezes CE order at
+    /// compile time can be profiled under its own order.
+    pub fn exec_explain(&self, query: &ConjunctiveQuery, order: &[usize]) -> Result<ExecProfile> {
+        let mut profile = ExecProfile {
+            bindings: Vec::new(),
+            rows: vec![0; query.terms.len()],
+        };
+        if !order.is_empty() {
+            let mut partial: Vec<Option<(TupleId, Tuple)>> = vec![None; query.terms.len()];
+            self.extend_counted(query, order, 0, &mut partial, &mut profile)?;
+        }
+        Ok(profile)
+    }
+
+    /// [`QueryExecutor::extend`] with per-term row counting.
+    fn extend_counted(
+        &self,
+        query: &ConjunctiveQuery,
+        order: &[usize],
+        step: usize,
+        partial: &mut Vec<Option<(TupleId, Tuple)>>,
+        profile: &mut ExecProfile,
+    ) -> Result<()> {
+        if step == order.len() {
+            for t in query.negated_terms() {
+                if self.negated_term_blocks(query, t, partial)? {
+                    profile.rows[t] += 1;
+                    return Ok(());
+                }
+            }
+            profile.bindings.push(Binding {
+                slots: partial.clone(),
+            });
+            return Ok(());
+        }
+        let t = order[step];
+        for (tid, tuple) in self.candidates(query, t, partial)? {
+            profile.rows[t] += 1;
+            partial[t] = Some((tid, tuple));
+            self.extend_counted(query, order, step + 1, partial, profile)?;
+            partial[t] = None;
+        }
+        Ok(())
     }
 
     /// Count results without materializing bindings (existence checks).
@@ -347,5 +426,55 @@ mod tests {
         let db = Database::new();
         let q = ConjunctiveQuery::default();
         assert!(QueryExecutor::new(&db).exec(&q, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn explain_counts_rows_per_step_and_blocked_bindings() {
+        // (Emp ^dno <D>) -(Dept ^dno <D>): 3 Emps scanned, all blocked
+        // until an orphan appears.
+        let (db, emp, dept) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::default()),
+                QueryTerm::negated(dept, Restriction::default()),
+            ],
+            vec![JoinPred::eq(0, 3, 1, 0)],
+        );
+        let profile = QueryExecutor::new(&db).exec_explain(&q, &[0]).unwrap();
+        assert_eq!(profile.rows, vec![3, 3], "3 Emp rows, all 3 blocked");
+        assert!(profile.bindings.is_empty());
+
+        db.insert(emp, tuple!["Orphan", 1000, "Sam", 99]).unwrap();
+        let profile = QueryExecutor::new(&db).exec_explain(&q, &[0]).unwrap();
+        assert_eq!(profile.rows, vec![4, 3]);
+        assert_eq!(profile.bindings.len(), 1);
+        // The imposed order matches the planner-ordered exec results.
+        assert_eq!(
+            profile.bindings,
+            QueryExecutor::new(&db).exec(&q, None).unwrap()
+        );
+    }
+
+    #[test]
+    fn executor_feeds_analyze_registry() {
+        let (db, emp, dept) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::default()),
+                QueryTerm::new(
+                    dept,
+                    Restriction::new(vec![Selection::eq(1, "Toy"), Selection::eq(2, 1)]),
+                ),
+            ],
+            vec![JoinPred::eq(0, 3, 1, 0)],
+        );
+        QueryExecutor::new(&db).exec(&q, None).unwrap();
+        let dept_obs = db.analyze_registry().observed(dept);
+        // Dept was probed via the join side (bound dno from each Emp) or
+        // scanned first, depending on the plan — either way something was
+        // observed on both relations.
+        let emp_obs = db.analyze_registry().observed(emp);
+        assert!(emp_obs.selection_in + emp_obs.join_in > 0);
+        assert!(dept_obs.selection_in + dept_obs.join_in > 0);
     }
 }

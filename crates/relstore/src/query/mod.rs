@@ -15,7 +15,7 @@
 mod exec;
 mod plan;
 
-pub use exec::{Binding, QueryExecutor};
+pub use exec::{Binding, ExecProfile, QueryExecutor};
 pub use plan::{Plan, Planner};
 
 use crate::pred::{CompOp, Restriction};

@@ -33,7 +33,9 @@ impl<'a> Planner<'a> {
     }
 
     /// Estimated result size of evaluating just term `t`'s restriction.
-    fn term_cardinality(&self, query: &ConjunctiveQuery, t: usize) -> f64 {
+    /// Public so EXPLAIN can report the same estimates the planner
+    /// ordered by.
+    pub fn term_cardinality(&self, query: &ConjunctiveQuery, t: usize) -> f64 {
         let term = &query.terms[t];
         let n = self.db.relation_len(term.rel) as f64;
         n * term.restriction.selectivity().max(1e-6)

@@ -333,6 +333,17 @@ impl Relation {
         (self.live / 4).max(1)
     }
 
+    /// Exact number of distinct values in `attr`, computed by a full scan
+    /// (ANALYZE's catalog sweep; not for use on hot paths).
+    pub fn distinct_exact(&self, attr: AttrIdx) -> usize {
+        self.stats.scan();
+        self.stats.read_tuples(self.live as u64);
+        self.iter_live()
+            .filter_map(|(_, t)| t.get(attr))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
     /// Approximate storage footprint in bytes (tuples + index postings).
     pub fn approx_bytes(&self) -> usize {
         let tuples: usize = self.iter_live().map(|(_, t)| t.approx_bytes()).sum();

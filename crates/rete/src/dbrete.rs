@@ -625,7 +625,7 @@ impl DbReteNetwork {
                 Wme::new(class, Tuple::new(row.values()[range].to_vec()))
             })
             .collect();
-        Instantiation { rule, wmes }
+        Instantiation::new(rule, wmes)
     }
 }
 

@@ -39,4 +39,4 @@ pub mod wme;
 pub use compile::{AlphaSpec, BJoinTest, BetaKind, BetaSpec, NetworkPlan};
 pub use dbrete::DbReteNetwork;
 pub use network::{OpMetrics, ReteNetwork};
-pub use wme::{ConflictDelta, ConflictSet, Instantiation, Wme};
+pub use wme::{AbsentPattern, ConflictDelta, ConflictSet, Instantiation, Provenance, Wme};

@@ -432,10 +432,9 @@ impl ReteNetwork {
     }
 
     fn instantiation(&self, rule: RuleId, token: &[WmeId]) -> Instantiation {
-        Instantiation {
-            rule,
-            wmes: token.iter().map(|&id| self.wme(id).clone()).collect(),
-        }
+        // WMEs are interned by content here; storage-level provenance
+        // (tuple ids) is only available to the recompute-based engines.
+        Instantiation::new(rule, token.iter().map(|&id| self.wme(id).clone()).collect())
     }
 }
 

@@ -1,9 +1,10 @@
 //! Working-memory elements and conflict-set change records.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use ops5::{ClassId, RuleId, RuleSet};
-use relstore::Tuple;
+use relstore::{CompOp, Tuple, TupleId, Value};
 
 /// A working-memory element: a tuple of a declared class.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,27 +28,160 @@ impl fmt::Display for Wme {
     }
 }
 
+/// One negated CE instantiated with a concrete binding: the pattern whose
+/// *absence* supports an instantiation (§4.2.2's negative condition
+/// handling). Tests carry the negated CE's constant selections plus its
+/// join tests with the joined value substituted from the binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsentPattern {
+    /// Class of the negated condition element.
+    pub class: ClassId,
+    /// `(attribute index, comparison, concrete value)` tests; no tuple of
+    /// `class` satisfying all of them exists in working memory.
+    pub tests: Vec<(usize, CompOp, Value)>,
+}
+
+impl AbsentPattern {
+    /// Render as OPS5-ish source, e.g. `-(Dept ^dno = 99)`.
+    pub fn display(&self, rules: &RuleSet) -> String {
+        let class = rules.class(self.class);
+        let mut s = format!("-({}", class.name);
+        for (attr, op, value) in &self.tests {
+            let name = class.attrs.get(*attr).map_or("?", String::as_str);
+            s.push_str(&format!(" ^{name} {op} {value}"));
+        }
+        s.push(')');
+        s
+    }
+}
+
+/// Why an instantiation holds: the storage identities of its supporting
+/// WM elements and, per negated CE, the pattern whose absence holds.
+///
+/// Deliberately **excluded** from the instantiation's equality, ordering
+/// and hashing: engines identify instantiations by `(rule, wmes)` content
+/// (the conflict set is a content-keyed multiset, and the two Rete
+/// variants track WMEs by content rather than by storage id), so
+/// provenance rides along without perturbing conflict-set semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Packed [`TupleId`]s aligned with `wmes`; empty when the engine
+    /// does not track storage ids (the in-memory Rete variants).
+    pub support: Vec<u64>,
+    /// The absent patterns, one per negated CE of the rule.
+    pub absent: Vec<AbsentPattern>,
+}
+
+impl Provenance {
+    /// True when the engine supplied no provenance at all.
+    pub fn is_empty(&self) -> bool {
+        self.support.is_empty() && self.absent.is_empty()
+    }
+
+    /// Space-joined supporting tuple ids (`t3.1 t7.2`), aligned with the
+    /// instantiation's WMEs.
+    pub fn support_display(&self) -> String {
+        self.support
+            .iter()
+            .map(|&p| TupleId::unpack(p).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Space-joined absent patterns, rendered with class/attribute names.
+    pub fn absent_display(&self, rules: &RuleSet) -> String {
+        self.absent
+            .iter()
+            .map(|a| a.display(rules))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
 /// One satisfied production: the rule plus the WM elements matched by its
 /// positive condition elements, in CE order.
 ///
 /// This is an entry of the paper's *conflict set* — "information on all
 /// applicable rules and the data elements (tuples) that cause these rules
 /// to fire" (§3.1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Equality, ordering and hashing compare only `(rule, wmes)`; see
+/// [`Provenance`] for why the provenance field is excluded.
+#[derive(Debug, Clone)]
 pub struct Instantiation {
     /// The owning rule.
     pub rule: RuleId,
     /// Matched WMEs aligned with the rule's *positive* CEs, in order.
     pub wmes: Vec<Wme>,
+    /// Supporting tuple ids / absent patterns, when the engine tracks them.
+    pub why: Provenance,
+}
+
+impl PartialEq for Instantiation {
+    fn eq(&self, other: &Self) -> bool {
+        self.rule == other.rule && self.wmes == other.wmes
+    }
+}
+
+impl Eq for Instantiation {}
+
+impl Hash for Instantiation {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rule.hash(state);
+        self.wmes.hash(state);
+    }
+}
+
+impl PartialOrd for Instantiation {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instantiation {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rule
+            .cmp(&other.rule)
+            .then_with(|| self.wmes.cmp(&other.wmes))
+    }
 }
 
 impl Instantiation {
+    /// Create an instantiation without provenance.
+    pub fn new(rule: RuleId, wmes: Vec<Wme>) -> Self {
+        Instantiation {
+            rule,
+            wmes,
+            why: Provenance::default(),
+        }
+    }
+
+    /// Attach provenance.
+    pub fn with_provenance(mut self, why: Provenance) -> Self {
+        self.why = why;
+        self
+    }
+
     /// Render using rule names, for traces and tests.
     pub fn display(&self, rules: &RuleSet) -> String {
         let mut s = format!("{}:", rules.rule(self.rule).name);
         for w in &self.wmes {
             s.push(' ');
             s.push_str(&format!("{}{}", rules.class(w.class).name, w.tuple));
+        }
+        s
+    }
+
+    /// The matched WMEs rendered with class names (`Emp(Mike,6000,...)`),
+    /// space-joined — the same form the conflict-delta trace uses.
+    pub fn wmes_display(&self, rules: &RuleSet) -> String {
+        let mut s = String::new();
+        for w in &self.wmes {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(&rules.class(w.class).name);
+            s.push_str(&w.tuple.to_string());
         }
         s
     }
@@ -147,13 +281,12 @@ mod tests {
     use relstore::tuple;
 
     fn inst(rule: usize, vals: &[i64]) -> Instantiation {
-        Instantiation {
-            rule: RuleId(rule),
-            wmes: vals
-                .iter()
+        Instantiation::new(
+            RuleId(rule),
+            vals.iter()
                 .map(|&v| Wme::new(ClassId(0), tuple![v]))
                 .collect(),
-        }
+        )
     }
 
     #[test]
@@ -186,5 +319,27 @@ mod tests {
         let d = ConflictDelta::Add(inst(0, &[1]));
         assert!(d.is_add());
         assert_eq!(d.instantiation().rule, RuleId(0));
+    }
+
+    /// Provenance is carried but invisible to equality/ordering, so the
+    /// conflict-set multiset removes provenance-free duplicates of an
+    /// annotated instantiation and vice versa.
+    #[test]
+    fn provenance_does_not_affect_identity() {
+        let plain = inst(0, &[1]);
+        let annotated = plain.clone().with_provenance(Provenance {
+            support: vec![TupleId::new(3, 1).pack()],
+            absent: vec![AbsentPattern {
+                class: ClassId(1),
+                tests: vec![(0, CompOp::Eq, Value::Int(9))],
+            }],
+        });
+        assert_eq!(plain, annotated);
+        assert_eq!(plain.cmp(&annotated), std::cmp::Ordering::Equal);
+        let mut cs = ConflictSet::new();
+        cs.apply(&ConflictDelta::Add(annotated.clone()));
+        cs.apply(&ConflictDelta::Remove(plain));
+        assert!(cs.is_empty());
+        assert_eq!(annotated.why.support_display(), "t3.1");
     }
 }

@@ -1,0 +1,113 @@
+//! Cross-engine EXPLAIN: all five matching engines, whatever their join
+//! order policy, must agree on *what* each rule reads — the set of WM
+//! relations scanned per rule, which CEs are negated — and on how many
+//! instantiations each rule produces for the same working memory.
+
+use std::collections::BTreeSet;
+
+use prodsys::{EngineKind, OrderPolicy, ProductionSystem, Strategy};
+use relstore::tuple;
+
+const SRC: &str = r#"
+    (literalize Emp name salary manager dno)
+    (literalize Dept dno dname floor manager)
+    (literalize Audit name)
+    (p Paid
+        (Emp ^name Mike ^salary <S> ^manager <M>)
+        (Emp ^name <M> ^salary {<S1> < <S>})
+        -->
+        (remove 1))
+    (p Housed
+        (Emp ^dno <D>)
+        (Dept ^dno <D> ^floor 1)
+        -->
+        (remove 1))
+    (p NoDept
+        (Emp ^name <N> ^dno <D>)
+        -(Dept ^dno <D>)
+        -->
+        (make Audit ^name <N>))
+"#;
+
+fn load(kind: EngineKind) -> ProductionSystem {
+    let mut sys = ProductionSystem::from_source(SRC, kind, Strategy::Fifo).unwrap();
+    for (name, salary, manager, dno) in [
+        ("Sam", 5000, "Root", 1),
+        ("Mike", 6000, "Sam", 1),
+        ("Jane", 4000, "Sam", 2),
+        ("Orphan", 1000, "Sam", 99),
+    ] {
+        sys.insert("Emp", tuple![name, salary, manager, dno])
+            .unwrap();
+    }
+    sys.insert("Dept", tuple![1, "Toy", 1, "Ken"]).unwrap();
+    sys.insert("Dept", tuple![2, "Shoe", 2, "Pat"]).unwrap();
+    sys
+}
+
+/// Rule name, (relation, negated) pairs touched, instantiation count.
+type PlanShape = (String, BTreeSet<(String, bool)>, u64);
+
+/// Per rule: everything order-independent about a plan.
+fn plan_shape(sys: &ProductionSystem) -> Vec<PlanShape> {
+    sys.engine()
+        .match_plan()
+        .into_iter()
+        .map(|p| {
+            let touched = p
+                .steps
+                .iter()
+                .map(|s| (s.relation.clone(), s.negated))
+                .collect();
+            (p.rule_name, touched, p.results)
+        })
+        .collect()
+}
+
+#[test]
+fn engines_agree_on_relations_read_and_results() {
+    let baseline = plan_shape(&load(EngineKind::ALL[0]));
+    assert_eq!(baseline.len(), 3, "one plan per rule");
+    for &kind in &EngineKind::ALL[1..] {
+        let shape = plan_shape(&load(kind));
+        assert_eq!(baseline, shape, "{}", kind.label());
+    }
+    // Spot-check the shape itself, not just cross-engine equality.
+    let by_rule = |name: &str| {
+        baseline
+            .iter()
+            .find(|(r, _, _)| r == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    let (_, touched, results) = by_rule("NoDept");
+    assert!(touched.contains(&("Emp".to_string(), false)));
+    assert!(touched.contains(&("Dept".to_string(), true)), "negated CE");
+    assert_eq!(*results, 1, "only Orphan's department is missing");
+    assert_eq!(by_rule("Paid").2, 1, "Mike outearns Sam");
+    assert_eq!(by_rule("Housed").2, 2, "Sam and Mike are on floor 1");
+}
+
+#[test]
+fn policies_differ_but_estimates_are_present() {
+    // Frozen textual plans (rete, db-rete, cond) vs the stats-driven
+    // planner (query, marker): both must carry estimates on every step.
+    for kind in EngineKind::ALL {
+        let sys = load(kind);
+        for plan in sys.engine().match_plan() {
+            let expected = match kind {
+                EngineKind::Query | EngineKind::Marker => OrderPolicy::Planner,
+                _ => OrderPolicy::Textual,
+            };
+            assert_eq!(plan.policy, expected, "{}", kind.label());
+            assert!(!plan.steps.is_empty(), "{}: empty plan", kind.label());
+            for step in &plan.steps {
+                assert!(
+                    step.estimated >= 0.0 && step.estimated.is_finite(),
+                    "{}: bad estimate {}",
+                    kind.label(),
+                    step.estimated
+                );
+            }
+        }
+    }
+}

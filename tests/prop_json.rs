@@ -1,0 +1,165 @@
+//! Property test: `obs::json` string escaping is correct per RFC 8259.
+//!
+//! A strict, from-scratch JSON string-literal parser (surrogate pairs,
+//! mandatory `\uXXXX` for control characters, whole-input consumption)
+//! decodes whatever [`obs::json::escaped`] produces; round-tripping
+//! arbitrary strings — control characters, quotes, backslashes, astral
+//! plane — must reproduce the input exactly.
+
+use proptest::prelude::*;
+
+/// Parse one complete RFC 8259 string literal (quotes included). Strict:
+/// rejects unescaped control characters, bad escapes, lone surrogates,
+/// and trailing input. Errors are static descriptions for test output.
+fn parse_json_string(input: &str) -> Result<String, &'static str> {
+    let mut chars = input.chars();
+    if chars.next() != Some('"') {
+        return Err("missing opening quote");
+    }
+    let mut out = String::new();
+    loop {
+        let c = chars.next().ok_or("unterminated string")?;
+        match c {
+            '"' => break,
+            '\\' => {
+                let esc = chars.next().ok_or("dangling backslash")?;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{08}'),
+                    'f' => out.push('\u{0C}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let unit = parse_hex4(&mut chars)?;
+                        let code = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: a \uXXXX low surrogate must follow.
+                            if chars.next() != Some('\\') || chars.next() != Some('u') {
+                                return Err("high surrogate not followed by \\u escape");
+                            }
+                            let low = parse_hex4(&mut chars)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("high surrogate followed by non-low surrogate");
+                            }
+                            0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&unit) {
+                            return Err("lone low surrogate");
+                        } else {
+                            unit
+                        };
+                        out.push(char::from_u32(code).ok_or("invalid scalar value")?);
+                    }
+                    _ => return Err("unknown escape"),
+                }
+            }
+            c if (c as u32) < 0x20 => return Err("unescaped control character"),
+            c => out.push(c),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing input after closing quote");
+    }
+    Ok(out)
+}
+
+fn parse_hex4(chars: &mut std::str::Chars) -> Result<u32, &'static str> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        let d = chars
+            .next()
+            .and_then(|c| c.to_digit(16))
+            .ok_or("bad \\u escape")?;
+        v = v * 16 + d;
+    }
+    Ok(v)
+}
+
+/// Arbitrary Unicode scalar values, biased toward the characters the
+/// escaper special-cases: controls, quote, backslash, then the whole BMP
+/// and astral planes (surrogate codes remapped to nearby scalars).
+fn arb_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        4 => (0u32..0x20).prop_map(|c| char::from_u32(c).unwrap()),
+        4 => prop_oneof![Just('"'), Just('\\'), Just('/'), Just('\u{7f}')],
+        4 => (0x20u32..0x80).prop_map(|c| char::from_u32(c).unwrap()),
+        2 => (0x80u32..0xD800).prop_map(|c| char::from_u32(c).unwrap()),
+        1 => (0xE000u32..0x1_0000).prop_map(|c| char::from_u32(c).unwrap()),
+        1 => (0x1_0000u32..0x11_0000).prop_map(|c| {
+            char::from_u32(c).expect("range above the surrogate gap")
+        }),
+    ]
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_char(), 0..64).prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// The strict parser decodes `escaped(s)` back to `s` exactly.
+    #[test]
+    fn escaping_round_trips(s in arb_string()) {
+        let encoded = obs::json::escaped(&s);
+        let decoded = parse_json_string(&encoded);
+        prop_assert_eq!(decoded.as_deref(), Ok(s.as_str()), "encoded: {}", encoded);
+    }
+
+    /// The escaper's output is always a clean literal: quoted, free of
+    /// raw control characters, every interior quote preceded by `\`.
+    #[test]
+    fn escaped_output_is_well_formed(s in arb_string()) {
+        let encoded = obs::json::escaped(&s);
+        prop_assert!(encoded.len() >= 2 && encoded.starts_with('"') && encoded.ends_with('"'));
+        prop_assert!(
+            !encoded.chars().any(|c| (c as u32) < 0x20),
+            "raw control char in {encoded:?}"
+        );
+        let body: Vec<char> = encoded[1..encoded.len() - 1].chars().collect();
+        for (i, &c) in body.iter().enumerate() {
+            if c == '"' {
+                prop_assert_eq!(body.get(i.wrapping_sub(1)), Some(&'\\'), "bare quote: {}", encoded);
+            }
+        }
+    }
+
+    /// `Obj::str` fields survive: the value parsed out of the rendered
+    /// object equals what was put in.
+    #[test]
+    fn obj_str_fields_round_trip(s in arb_string()) {
+        let json = obs::json::Obj::new().str("k", &s).finish();
+        let literal = json
+            .strip_prefix("{\"k\":")
+            .and_then(|r| r.strip_suffix('}'))
+            .expect("single-field object shape");
+        prop_assert_eq!(parse_json_string(literal).as_deref(), Ok(s.as_str()));
+    }
+}
+
+/// The fixed corner cases stay pinned even if generation drifts.
+#[test]
+fn known_escapes_parse_back() {
+    for (raw, enc) in [
+        ("", r#""""#),
+        ("a\"b", r#""a\"b""#),
+        ("back\\slash", r#""back\\slash""#),
+        ("\n\r\t", r#""\n\r\t""#),
+        ("\u{08}\u{0C}", r#""\b\f""#),
+        ("\u{01}\u{1f}", "\"\\u0001\\u001f\""),
+        ("é€𝄞", "\"é€𝄞\""),
+    ] {
+        assert_eq!(obs::json::escaped(raw), enc);
+        assert_eq!(parse_json_string(enc).as_deref(), Ok(raw));
+    }
+    // Surrogate-pair escapes decode (the emitter never produces them for
+    // astral chars — it writes UTF-8 directly — but the parser is strict
+    // about the full grammar).
+    assert_eq!(parse_json_string("\"\\ud834\\udd1e\"").as_deref(), Ok("𝄞"));
+    assert_eq!(parse_json_string(r#""\udd1e""#), Err("lone low surrogate"));
+    assert_eq!(
+        parse_json_string("\"\u{01}\""),
+        Err("unescaped control character")
+    );
+}
