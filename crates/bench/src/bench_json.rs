@@ -62,6 +62,146 @@ pub fn bench_rows() -> Vec<BenchRow> {
         .collect()
 }
 
+/// Scaled skewed-join workload (`harness --bench-json F --items N`).
+///
+/// `Match` joins every `Item` with the small `Ref` relation on `^k` and
+/// fires once per item whose key has a referent, guarded by a negated
+/// `Hit` CE. The key distribution is skewed — three quarters of the
+/// items funnel onto [`SCALED_HOT`] hot keys with *no* referent, the
+/// rest spread over the cold tail where the referents live — so the
+/// join is selective and the fired count stays far below `N` while the
+/// per-change maintenance cost of tuple-at-a-time engines is dominated
+/// by `N` full re-evaluations during the load. Set-oriented engines
+/// (§4.2 delta batching) collapse that load into one batched pass.
+pub const SCALED_DEMO: &str = r#"
+    (literalize Item n k)
+    (literalize Ref k w)
+    (literalize Hit n)
+    (p Match (Item ^n <N> ^k <K>) (Ref ^k <K> ^w <W>) -(Hit ^n <N>) --> (make Hit ^n <N>))
+"#;
+
+/// Distinct join keys the scaled workload draws from.
+pub const SCALED_KEYS: i64 = 64;
+/// Hot keys (referent-free) that three quarters of the items hit.
+pub const SCALED_HOT: i64 = 4;
+/// Cold keys that have a `Ref` row (the join's probe targets).
+pub const SCALED_REFS: i64 = 4;
+/// Upper bound on `--items` (keeps tuple-at-a-time baselines tractable).
+pub const SCALED_MAX_ITEMS: i64 = 10_000;
+
+/// The skewed key of item `i`: items `i % 4 != 0` pile onto the hot
+/// keys, the rest cycle through the cold tail.
+fn scaled_key(i: i64) -> i64 {
+    if i % 4 != 0 {
+        i % SCALED_HOT
+    } else {
+        SCALED_HOT + (i / 4) % (SCALED_KEYS - SCALED_HOT)
+    }
+}
+
+/// How many productions the scaled workload fires at `items` — every
+/// item whose key is one of the [`SCALED_REFS`] referenced cold keys,
+/// exactly once. Closed form of the [`scaled_key`] skew; every engine
+/// row must agree with it.
+pub fn scaled_fired(items: i64) -> u64 {
+    (0..items)
+        .filter(|&i| {
+            let k = scaled_key(i);
+            (SCALED_HOT..SCALED_HOT + SCALED_REFS).contains(&k)
+        })
+        .count() as u64
+}
+
+fn scaled_system(kind: EngineKind) -> ProductionSystem {
+    ProductionSystem::from_source(SCALED_DEMO, kind, Strategy::Fifo)
+        .expect("scaled program compiles")
+}
+
+fn scaled_row(label: &'static str, mut sys: ProductionSystem, items: i64, batch: bool) -> BenchRow {
+    sys.set_batching(batch);
+    let refs: Vec<_> = (0..SCALED_REFS)
+        .map(|r| tuple![SCALED_HOT + r, r * 10])
+        .collect();
+    let item_rows: Vec<_> = (0..items).map(|i| tuple![i, scaled_key(i)]).collect();
+    let start = Instant::now();
+    if batch {
+        sys.insert_batch("Ref", refs).expect("Ref class");
+        sys.insert_batch("Item", item_rows).expect("Item class");
+    } else {
+        for t in refs {
+            sys.insert("Ref", t).expect("Ref class");
+        }
+        for t in item_rows {
+            sys.insert("Item", t).expect("Item class");
+        }
+    }
+    let out = sys.run(100_000);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let space = sys.engine().space();
+    BenchRow {
+        engine: label,
+        wall_ns,
+        fired: out.fired as u64,
+        logical_io: sys.engine().pdb().db().stats().snapshot().logical_io(),
+        match_entries: space.match_entries as u64,
+        match_bytes: space.match_bytes as u64,
+    }
+}
+
+/// Run the scaled skewed-join workload at `items` on every engine in
+/// set-oriented mode, plus tuple-at-a-time nested-loop baselines of the
+/// query and marker engines (`query-nl`, `marker-nl`) measured in the
+/// same run, same machine, same `items`.
+pub fn bench_scaled_rows(items: i64) -> Vec<BenchRow> {
+    let items = items.clamp(1, SCALED_MAX_ITEMS);
+    let mut rows: Vec<BenchRow> = EngineKind::ALL
+        .iter()
+        .map(|&kind| scaled_row(kind.label(), scaled_system(kind), items, true))
+        .collect();
+    rows.push(scaled_row(
+        "query-nl",
+        scaled_system(EngineKind::Query),
+        items,
+        false,
+    ));
+    rows.push(scaled_row(
+        "marker-nl",
+        scaled_system(EngineKind::Marker),
+        items,
+        false,
+    ));
+    rows
+}
+
+fn snapshot_json(workload: &str, items: i64, rows: &[BenchRow]) -> String {
+    let mut engines = Arr::new();
+    for row in rows {
+        engines = engines.raw(
+            &Obj::new()
+                .str("engine", row.engine)
+                .u64("wall_ns", row.wall_ns)
+                .u64("fired", row.fired)
+                .u64("logical_io", row.logical_io)
+                .u64("match_entries", row.match_entries)
+                .u64("match_bytes", row.match_bytes)
+                .finish(),
+        );
+    }
+    Obj::new()
+        .str("schema", BENCH_SCHEMA)
+        .str("workload", workload)
+        .u64("items", items as u64)
+        .raw("engines", &engines.finish())
+        .finish()
+}
+
+/// Render [`bench_scaled_rows`] as a `sellis88-bench/v1` document
+/// (workload `scaled-skew`).
+pub fn bench_scaled_snapshot(items: i64) -> String {
+    let items = items.clamp(1, SCALED_MAX_ITEMS);
+    snapshot_json("scaled-skew", items, &bench_scaled_rows(items))
+}
+
 /// Render [`bench_rows`] as the `sellis88-bench/v1` JSON document.
 pub fn bench_snapshot() -> String {
     let mut engines = Arr::new();
@@ -96,6 +236,57 @@ mod tests {
         for row in &rows {
             assert_eq!(row.fired, 2 * OBS_ITEMS as u64, "{}", row.engine);
             assert!(row.logical_io > 0, "{}", row.engine);
+        }
+    }
+
+    #[test]
+    fn scaled_rows_agree_on_fired_and_batching_beats_nested_loop() {
+        let items = 192;
+        let rows = bench_scaled_rows(items);
+        assert_eq!(rows.len(), 7, "5 engines + 2 nested-loop baselines");
+        let expect = scaled_fired(items);
+        assert!(expect > 0);
+        for row in &rows {
+            assert_eq!(row.fired, expect, "{}", row.engine);
+        }
+        let io = |label: &str| {
+            rows.iter()
+                .find(|r| r.engine == label)
+                .unwrap_or_else(|| panic!("{label} row"))
+                .logical_io
+        };
+        // Logical I/O is deterministic (unlike wall time under test
+        // parallelism): tuple-at-a-time loading re-evaluates per change,
+        // so even at this small scale the batched engines must read far
+        // fewer tuples. The committed BENCH_batch.json checks wall too.
+        assert!(
+            io("query-nl") >= 2 * io("query"),
+            "query-nl {} vs query {}",
+            io("query-nl"),
+            io("query")
+        );
+        assert!(
+            io("marker-nl") >= 2 * io("marker"),
+            "marker-nl {} vs marker {}",
+            io("marker-nl"),
+            io("marker")
+        );
+    }
+
+    #[test]
+    fn scaled_snapshot_schema_matches_v1() {
+        let json = bench_scaled_snapshot(96);
+        assert!(
+            json.starts_with("{\"schema\":\"sellis88-bench/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"workload\":\"scaled-skew\""), "{json}");
+        assert!(json.contains("\"items\":96"), "{json}");
+        for engine in ["query", "query-nl", "marker-nl"] {
+            assert!(
+                json.contains(&format!("{{\"engine\":\"{engine}\",\"wall_ns\":")),
+                "{json}"
+            );
         }
     }
 

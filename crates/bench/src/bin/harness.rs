@@ -414,8 +414,14 @@ fn obs(trace: Option<&str>, report: Option<&str>) {
     }
 }
 
-fn bench_json(path: &str) {
-    let json = bench::bench_snapshot();
+fn bench_json(path: &str, items: Option<i64>) {
+    let json = match items {
+        // --items switches the snapshot to the scaled skewed-join
+        // workload, which also measures the query/marker nested-loop
+        // baselines in the same run.
+        Some(n) => bench::bench_scaled_snapshot(n),
+        None => bench::bench_snapshot(),
+    };
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
@@ -487,6 +493,12 @@ fn usage() {
     println!("  --trace FILE       stream JSONL events of the instrumented run to FILE");
     println!("  --report FILE      write the instrumented run's JSON report to FILE");
     println!("  --bench-json FILE  write a per-engine benchmark snapshot (sellis88-bench/v1)");
+    println!("  --items N          with --bench-json: run the scaled skewed-join workload at");
+    println!(
+        "                     N items (clamped to {}) instead of the obs demo; adds",
+        bench::SCALED_MAX_ITEMS
+    );
+    println!("                     query-nl/marker-nl nested-loop baseline rows");
     println!("  --explain RULE     run the explain workload; print RULE's match plan per");
     println!("                     engine and the full derivation of each of its firings");
     println!("  --help, -h         this text");
@@ -508,6 +520,7 @@ fn main() {
     let mut report: Option<String> = None;
     let mut bench_path: Option<String> = None;
     let mut explain_rule: Option<String> = None;
+    let mut items: Option<i64> = None;
     while let Some(a) = raw.next() {
         match a.as_str() {
             "--help" | "-h" => {
@@ -517,6 +530,13 @@ fn main() {
             "--trace" => trace = Some(flag_value("--trace", &mut raw)),
             "--report" => report = Some(flag_value("--report", &mut raw)),
             "--bench-json" => bench_path = Some(flag_value("--bench-json", &mut raw)),
+            "--items" => {
+                let v = flag_value("--items", &mut raw);
+                items = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --items expects an integer, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--explain" => explain_rule = Some(flag_value("--explain", &mut raw)),
             flag if flag.starts_with('-') => {
                 eprintln!("error: unknown flag {flag} (see --help)");
@@ -586,7 +606,10 @@ fn main() {
         obs(trace.as_deref(), report.as_deref());
     }
     if let Some(path) = bench_path.as_deref() {
-        bench_json(path);
+        bench_json(path, items);
+    } else if items.is_some() {
+        eprintln!("error: --items requires --bench-json (see --help)");
+        std::process::exit(2);
     }
     if let Some(rule) = explain_rule.as_deref() {
         explain(rule);

@@ -9,7 +9,10 @@ pub mod bench_json;
 pub mod experiments;
 pub mod obs_run;
 
-pub use bench_json::{bench_rows, bench_snapshot, BenchRow, BENCH_SCHEMA};
+pub use bench_json::{
+    bench_rows, bench_scaled_rows, bench_scaled_snapshot, bench_snapshot, scaled_fired, BenchRow,
+    BENCH_SCHEMA, SCALED_MAX_ITEMS,
+};
 pub use experiments::*;
 pub use obs_run::{explain_run, observability_run, ExplainRun, ObsRun};
 

@@ -53,8 +53,8 @@ use predindex::{make_index, ConditionIndex, IndexKind, Rect};
 use relstore::{CompOp, Tuple, TupleId, Value};
 use rete::{ConflictDelta, ConflictSet};
 
-use crate::engine::recompute::{eval_rule, eval_rule_seeded, InstStore, Match};
-use crate::engine::{MatchEngine, SpaceStats};
+use crate::engine::recompute::{eval_rule_seeded_batch, eval_rule_via, InstStore, Match};
+use crate::engine::{MatchEngine, SpaceStats, WmDelta};
 use crate::pdb::ProductionDb;
 
 /// A variable occurrence: condition element, attribute, operator.
@@ -245,6 +245,10 @@ pub struct CondEngine {
     inst: InstStore,
     conflict: ConflictSet,
     parallel: bool,
+    /// Set-oriented evaluation: hash-join executor for the seeded fire
+    /// expansions and unblock re-evaluations, plus whole-delta batching
+    /// of those expansions per (rule, seeded-term) in `maintain_delta`.
+    batch: bool,
     last_detect_ns: u64,
     last_total_ns: u64,
     tracer: obs::Tracer,
@@ -307,6 +311,7 @@ impl CondEngine {
             inst: InstStore::new(),
             conflict: ConflictSet::new(),
             parallel: false,
+            batch: true,
             last_detect_ns: 0,
             last_total_ns: 0,
             tracer: obs::Tracer::disabled(),
@@ -573,41 +578,74 @@ impl CondEngine {
             }
         }
         let mut entries: Vec<LogEntry> = Vec::new();
-        if self.parallel {
-            // Split stores out so threads own disjoint mutable pieces.
+        // Per-partition spans: (class, scanned, span_ns), classes with
+        // work only.
+        let mut spans: Vec<(usize, u64, u64)> = Vec::new();
+        let parallel = self.parallel;
+        if parallel {
+            // Real fan-out: split the stores so threads own disjoint
+            // mutable pieces and spawn one scoped thread per *non-empty*
+            // class partition (spawning for empty work would only pay
+            // thread overhead for nothing).
             let stores = std::mem::take(&mut self.stores);
             let mut slots: Vec<Option<CondStore>> = stores.into_iter().map(Some).collect();
             let this: &CondEngine = self;
             let collected = crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (class, work) in per_class.into_iter().enumerate() {
+                    if work.is_empty() {
+                        continue;
+                    }
                     let mut store = slots[class].take().expect("store present");
                     let handle = scope.spawn(move |_| {
-                        let log = this.apply_to_store(&mut store, &work, tup);
-                        (class, store, log)
+                        let started = Instant::now();
+                        let (log, scanned) = this.apply_to_store(&mut store, &work, tup);
+                        let span_ns = started.elapsed().as_nanos() as u64;
+                        (class, store, log, scanned, span_ns)
                     });
                     handles.push(handle);
                 }
-                let mut returned: Vec<(usize, CondStore, Vec<LogEntry>)> = handles
+                let mut returned: Vec<(usize, CondStore, Vec<LogEntry>, u64, u64)> = handles
                     .into_iter()
                     .map(|h| h.join().expect("propagation thread"))
                     .collect();
-                returned.sort_by_key(|(c, _, _)| *c);
+                returned.sort_by_key(|(c, ..)| *c);
                 returned
             })
             .expect("propagation scope");
-            let mut stores = Vec::with_capacity(nclasses);
-            for (_, store, log) in collected {
-                stores.push(store);
+            for (class, store, log, scanned, span_ns) in collected {
+                slots[class] = Some(store);
                 entries.extend(log);
+                spans.push((class, scanned, span_ns));
             }
-            self.stores = stores;
+            self.stores = slots
+                .into_iter()
+                .map(|s| s.expect("store returned"))
+                .collect();
         } else {
             let mut stores = std::mem::take(&mut self.stores);
             for (class, work) in per_class.iter().enumerate() {
-                entries.extend(self.apply_to_store(&mut stores[class], work, tup));
+                if work.is_empty() {
+                    continue;
+                }
+                let started = Instant::now();
+                let (log, scanned) = self.apply_to_store(&mut stores[class], work, tup);
+                entries.extend(log);
+                spans.push((class, scanned, started.elapsed().as_nanos() as u64));
             }
             self.stores = stores;
+        }
+        for (class, scanned, span_ns) in spans {
+            self.tracer.emit(|| obs::Event::PropagateSpan {
+                class: class as u32,
+                class_name: self.pdb.rules().class(ClassId(class)).name.clone(),
+                scanned,
+                span_ns,
+                parallel,
+            });
+            if let Some(m) = self.tracer.metrics() {
+                m.record_propagate(span_ns);
+            }
         }
         for (supporter, pat) in entries {
             let list = self.log.entry(supporter).or_default();
@@ -618,13 +656,15 @@ impl CondEngine {
     }
 
     /// Apply contributions targeting one class store. Returns log entries
-    /// (supporter tuple → pattern) for every support-set insertion made.
+    /// (supporter tuple → pattern) for every support-set insertion made,
+    /// plus the number of COND tuples examined (the partition's span
+    /// work, reported per-partition by `propagate`).
     fn apply_to_store(
         &self,
         store: &mut CondStore,
         work: &[(Contribution, usize)],
         tup: TupKey,
-    ) -> Vec<LogEntry> {
+    ) -> (Vec<LogEntry>, u64) {
         // Proposals keyed by (rule, n, identity, k_idx). Distinct
         // derivation paths may reach the same identity with different
         // inherited supports; everything unions (the pattern is supported
@@ -762,7 +802,7 @@ impl CondEngine {
                 }
             }
         }
-        log
+        (log, scanned)
     }
 
     /// Withdraw a deleted tuple's support from every pattern it
@@ -793,9 +833,18 @@ impl CondEngine {
     }
 
     /// Detection phase for an insertion (conflict set first! §4.2.3).
-    fn detect_insert(&mut self, class: ClassId, tid: TupleId, tuple: &Tuple) -> Vec<ConflictDelta> {
+    /// Returns the retraction deltas caused by new blockers, plus the
+    /// `(rule, cen)` fire triggers whose seeded expansion the caller runs
+    /// — inline per change, or deferred and batched per (rule,
+    /// seeded-term) by `maintain_delta`.
+    fn detect_insert(
+        &mut self,
+        class: ClassId,
+        tuple: &Tuple,
+    ) -> (Vec<ConflictDelta>, Vec<(usize, usize)>) {
         let mut deltas = Vec::new();
-        // (a) fully marked patterns → new instantiations via seeded query.
+        // (a) fully marked patterns → fire triggers (expanded into new
+        // instantiations by a seeded query).
         let mut fire: Vec<(usize, usize)> = Vec::new();
         let mut blockers: Vec<(usize, usize)> = Vec::new();
         for (rid, cen) in self.candidate_groups(class, tuple) {
@@ -816,21 +865,6 @@ impl CondEngine {
             {
                 fire.push((rid, cen));
             }
-        }
-        // Expand firings, deduplicating by tid vector across seeds.
-        let mut by_rule: HashMap<usize, Vec<Match>> = HashMap::new();
-        for (rid, cen) in fire {
-            let rule = self.rule(rid).clone();
-            for m in eval_rule_seeded(&self.pdb, &rule, cen, tid, tuple) {
-                let entry = by_rule.entry(rid).or_default();
-                if !entry.iter().any(|x| x.tids == m.tids) {
-                    entry.push(m);
-                }
-            }
-        }
-        for (rid, matches) in by_rule {
-            let rule = self.rule(rid).clone();
-            deltas.extend(self.inst.add(&rule, matches));
         }
         // (b) the tuple blocks negated CEs: retract newly blocked
         // instantiations.
@@ -853,7 +887,88 @@ impl CondEngine {
             });
             deltas.extend(d);
         }
+        (deltas, fire)
+    }
+
+    /// Expand fire triggers through seeded LHS queries — one batched
+    /// evaluation per (rule, seeded-term) pair — deduplicating by tid
+    /// vector within the batch and against the stored instantiations
+    /// (distinct seeds of the same cycle can derive the same match).
+    fn expand_fires(&mut self, fires: Vec<(usize, usize, TupleId, Tuple)>) -> Vec<ConflictDelta> {
+        let mut groups: HashMap<(usize, usize), Vec<(TupleId, Tuple)>> = HashMap::new();
+        for (rid, cen, tid, tuple) in fires {
+            groups.entry((rid, cen)).or_default().push((tid, tuple));
+        }
+        let mut keys: Vec<(usize, usize)> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        let mut by_rule: HashMap<usize, Vec<Match>> = HashMap::new();
+        for key in keys {
+            let rule = self.rule(key.0).clone();
+            let seeds = groups.remove(&key).expect("group present");
+            for m in eval_rule_seeded_batch(&self.pdb, &rule, key.1, &seeds, self.batch) {
+                let entry = by_rule.entry(key.0).or_default();
+                if !entry.iter().any(|x| x.tids == m.tids) {
+                    entry.push(m);
+                }
+            }
+        }
+        let mut rids: Vec<usize> = by_rule.keys().copied().collect();
+        rids.sort_unstable();
+        let mut deltas = Vec::new();
+        for rid in rids {
+            let rule = self.rule(rid).clone();
+            let matches = by_rule.remove(&rid).expect("rule present");
+            deltas.extend(self.inst.add_missing(&rule, matches));
+        }
         deltas
+    }
+
+    /// Detection retractions for a deletion: instantiations containing
+    /// the tuple leave the conflict store.
+    fn retract_containing(&mut self, class: ClassId, tid: TupleId) -> Vec<ConflictDelta> {
+        let mut deltas = Vec::new();
+        let rule_ids: Vec<usize> = self
+            .pdb
+            .rules()
+            .rules_on_class(class)
+            .map(|r| r.id.0)
+            .collect();
+        for rid in &rule_ids {
+            let rule = self.rule(*rid).clone();
+            deltas.extend(self.inst.remove_containing(&rule, class, tid));
+        }
+        deltas
+    }
+
+    /// Deletion maintenance: withdraw the tuple's support from every
+    /// pattern it contributed to, then re-evaluate rules whose negated
+    /// CEs the tuple may have been blocking.
+    fn remove_maintenance(
+        &mut self,
+        class: ClassId,
+        tid: TupleId,
+        tuple: &Tuple,
+    ) -> Vec<ConflictDelta> {
+        self.withdraw((class.0, tid));
+        let mut enable_deltas = Vec::new();
+        let rule_ids: Vec<usize> = self
+            .pdb
+            .rules()
+            .rules_on_class(class)
+            .map(|r| r.id.0)
+            .collect();
+        for rid in rule_ids {
+            let rule = self.rule(rid).clone();
+            let unblocks = rule
+                .ces
+                .iter()
+                .any(|ce| ce.negated && ce.class == class && ce.alpha.matches(tuple));
+            if unblocks {
+                let matches = eval_rule_via(&self.pdb, &rule, self.batch);
+                enable_deltas.extend(self.inst.add_missing(&rule, matches));
+            }
+        }
+        enable_deltas
     }
 
     /// Contributions of a tuple at its class (patterns it matches).
@@ -899,7 +1014,12 @@ impl MatchEngine for CondEngine {
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
         let start = Instant::now();
-        let deltas = self.detect_insert(class, tid, tuple);
+        let (mut deltas, fire) = self.detect_insert(class, tuple);
+        let fires: Vec<(usize, usize, TupleId, Tuple)> = fire
+            .into_iter()
+            .map(|(rid, cen)| (rid, cen, tid, tuple.clone()))
+            .collect();
+        deltas.extend(self.expand_fires(fires));
         self.conflict.apply_all(&deltas);
         self.last_detect_ns = start.elapsed().as_nanos() as u64;
         // Maintenance follows detection.
@@ -917,40 +1037,73 @@ impl MatchEngine for CondEngine {
     ) -> Vec<ConflictDelta> {
         let start = Instant::now();
         // Detection: retract instantiations containing the tuple.
-        let mut deltas = Vec::new();
-        let rule_ids: Vec<usize> = self
-            .pdb
-            .rules()
-            .rules_on_class(class)
-            .map(|r| r.id.0)
-            .collect();
-        for rid in &rule_ids {
-            let rule = self.rule(*rid).clone();
-            deltas.extend(self.inst.remove_containing(&rule, class, tid));
-        }
+        let mut deltas = self.retract_containing(class, tid);
         self.conflict.apply_all(&deltas);
         self.last_detect_ns = start.elapsed().as_nanos() as u64;
 
-        // Maintenance: withdraw this tuple's support everywhere.
-        self.withdraw((class.0, tid));
-
-        // A deleted blocker may enable negated rules: re-evaluate those.
-        let mut enable_deltas = Vec::new();
-        for rid in rule_ids {
-            let rule = self.rule(rid).clone();
-            let unblocks = rule
-                .ces
-                .iter()
-                .any(|ce| ce.negated && ce.class == class && ce.alpha.matches(tuple));
-            if unblocks {
-                let matches = eval_rule(&self.pdb, &rule);
-                enable_deltas.extend(self.inst.add_missing(&rule, matches));
-            }
-        }
+        // Maintenance: withdraw support; a deleted blocker may enable
+        // negated rules.
+        let enable_deltas = self.remove_maintenance(class, tid, tuple);
         self.conflict.apply_all(&enable_deltas);
         deltas.extend(enable_deltas);
         self.last_total_ns = start.elapsed().as_nanos() as u64;
         deltas
+    }
+
+    /// Batched maintenance (§4.2 set-at-a-time): the whole WM delta is
+    /// already applied, so walk the changes in action order — detection
+    /// triggers and COND propagation stay per-tuple sequential because
+    /// contributions read the evolving pattern store — but *defer* the
+    /// seeded fire expansions, then run one hash-join evaluation per
+    /// (rule, seeded-term) pair over all collected seeds. Seeds of tuples
+    /// deleted later in the same cycle are dropped (their matches no
+    /// longer exist against the final WM).
+    fn maintain_delta(&mut self, deltas: &[WmDelta]) -> Vec<ConflictDelta> {
+        if !self.batch {
+            let mut out = Vec::new();
+            for d in deltas {
+                if d.insert {
+                    out.extend(self.maintain_insert(d.class, d.tid, &d.tuple));
+                } else {
+                    out.extend(self.maintain_remove(d.class, d.tid, &d.tuple));
+                }
+            }
+            return out;
+        }
+        let start = Instant::now();
+        let mut out = Vec::new();
+        let mut pending: Vec<(usize, usize, TupleId, Tuple)> = Vec::new();
+        for d in deltas {
+            if d.insert {
+                let (dd, fire) = self.detect_insert(d.class, &d.tuple);
+                self.conflict.apply_all(&dd);
+                out.extend(dd);
+                pending.extend(
+                    fire.into_iter()
+                        .map(|(rid, cen)| (rid, cen, d.tid, d.tuple.clone())),
+                );
+                let contributions = self.contributions(d.class, &d.tuple);
+                self.propagate(contributions, (d.class.0, d.tid));
+            } else {
+                pending.retain(|(_, _, tid, _)| *tid != d.tid);
+                let dd = self.retract_containing(d.class, d.tid);
+                self.conflict.apply_all(&dd);
+                out.extend(dd);
+                let dd = self.remove_maintenance(d.class, d.tid, &d.tuple);
+                self.conflict.apply_all(&dd);
+                out.extend(dd);
+            }
+        }
+        self.last_detect_ns = start.elapsed().as_nanos() as u64;
+        let dd = self.expand_fires(pending);
+        self.conflict.apply_all(&dd);
+        out.extend(dd);
+        self.last_total_ns = start.elapsed().as_nanos() as u64;
+        out
+    }
+
+    fn set_batching(&mut self, on: bool) {
+        self.batch = on;
     }
 
     fn conflict_set(&self) -> &ConflictSet {

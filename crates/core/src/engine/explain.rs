@@ -50,6 +50,11 @@ pub struct PlanStep {
     /// Actual rows: partial bindings produced (positive) or bindings
     /// blocked (negated) when the plan was profiled.
     pub actual: u64,
+    /// Join algorithm the step would run under ([`relstore::JoinAlgo`]
+    /// label): "hash" for a build/probe hash (anti-)join chosen by the
+    /// statistics-driven planner, "nested-loop" otherwise (and always for
+    /// compile-time-frozen textual plans).
+    pub join_algo: &'static str,
 }
 
 /// The match plan of one rule under one engine's ordering policy.
@@ -87,12 +92,13 @@ impl MatchPlan {
                 "join"
             };
             s.push_str(&format!(
-                "  {}. {op} {:<12} est={:.1} actual={}{}\n",
+                "  {}. {op} {:<12} est={:.1} actual={}{} algo={}\n",
                 i + 1,
                 st.relation,
                 st.estimated,
                 st.actual,
-                if st.negated { " blocked" } else { "" }
+                if st.negated { " blocked" } else { "" },
+                st.join_algo
             ));
         }
         s.push_str(&format!("  -> {} instantiation(s)\n", self.results));
@@ -111,6 +117,7 @@ impl MatchPlan {
                     .bool("negated", st.negated)
                     .f64("estimated", st.estimated)
                     .u64("actual", st.actual)
+                    .str("join_algo", st.join_algo)
                     .finish(),
             );
         }
@@ -148,9 +155,19 @@ pub fn match_plans(
         .iter()
         .map(|rule| {
             let query = pdb.query(rule.id);
-            let order = match policy {
-                OrderPolicy::Planner => planner.plan(query, None).order,
-                OrderPolicy::Textual => query.positive_terms(),
+            let (order, algos): (Vec<usize>, Vec<&'static str>) = match policy {
+                OrderPolicy::Planner => {
+                    let plan = planner.plan(query, None);
+                    let algos = plan.algos.iter().map(|a| a.label()).collect();
+                    (plan.order, algos)
+                }
+                OrderPolicy::Textual => {
+                    // Frozen plans evaluate tuple-at-a-time: every step is
+                    // an index nested-loop.
+                    let order = query.positive_terms();
+                    let algos = vec!["nested-loop"; order.len()];
+                    (order, algos)
+                }
             };
             let profile = exec.exec_explain(query, &order).expect("rule query");
             let rel_name = |t: usize| {
@@ -162,7 +179,7 @@ pub fn match_plans(
             let mut steps = Vec::new();
             let mut cum = 1.0f64;
             let mut bound: Vec<usize> = Vec::new();
-            for &t in &order {
+            for (step_idx, &t) in order.iter().enumerate() {
                 // Estimate this step as the planner would: the restricted
                 // term size, divided per equi-join into the bound set by
                 // the join attribute's distinct count (ANALYZE stats).
@@ -186,6 +203,7 @@ pub fn match_plans(
                     negated: false,
                     estimated: cum,
                     actual: profile.rows[t],
+                    join_algo: algos[step_idx],
                 });
             }
             for t in query.negated_terms() {
@@ -195,6 +213,12 @@ pub fn match_plans(
                     negated: true,
                     estimated: planner.term_cardinality(query, t),
                     actual: profile.rows[t],
+                    join_algo: match policy {
+                        // `cum` is the binding-count estimate after every
+                        // positive step — the anti-join's probe input.
+                        OrderPolicy::Planner => planner.anti_algo(query, t, cum).label(),
+                        OrderPolicy::Textual => "nested-loop",
+                    },
                 });
             }
             MatchPlan {
@@ -279,5 +303,7 @@ mod tests {
         assert!(json.contains("\"negated\":true"), "{json}");
         assert!(json.contains("\"estimated\":"), "{json}");
         assert!(json.contains("\"actual\":"), "{json}");
+        assert!(json.contains("\"join_algo\":"), "{json}");
+        assert!(text.contains("algo="), "{text}");
     }
 }

@@ -23,8 +23,8 @@ use predindex::Interval;
 use relstore::{CompOp, Tuple, TupleId};
 use rete::{ConflictDelta, ConflictSet};
 
-use crate::engine::recompute::{eval_rule, InstStore};
-use crate::engine::{MatchEngine, SpaceStats};
+use crate::engine::recompute::{eval_rule_via, InstStore};
+use crate::engine::{MatchEngine, SpaceStats, WmDelta};
 use crate::pdb::ProductionDb;
 
 /// One marker: rule `rule` watches tuples of a class through an interval
@@ -45,6 +45,8 @@ pub struct MarkerEngine {
     conflict: ConflictSet,
     false_drops: u64,
     last_total: u64,
+    /// Set-oriented evaluation: hash-join executor + whole-delta batching.
+    batch: bool,
     tracer: obs::Tracer,
 }
 
@@ -81,6 +83,7 @@ impl MarkerEngine {
             conflict: ConflictSet::new(),
             false_drops: 0,
             last_total: 0,
+            batch: true,
             tracer: obs::Tracer::disabled(),
         }
     }
@@ -101,7 +104,7 @@ impl MarkerEngine {
         let mut deltas = Vec::new();
         for rid in rules {
             let rule = self.pdb.rules().rule(RuleId(rid)).clone();
-            let matches = eval_rule(&self.pdb, &rule);
+            let matches = eval_rule_via(&self.pdb, &rule, self.batch);
             let d = self.store.replace(&rule, matches);
             if d.is_empty() {
                 // The marker woke the rule for nothing.
@@ -147,6 +150,36 @@ impl MatchEngine for MarkerEngine {
         let deltas = self.verify(c);
         self.last_total = start.elapsed().as_nanos() as u64;
         deltas
+    }
+
+    /// Batched maintenance: union the candidate rules every change's
+    /// markers trap, then verify each awakened rule exactly once against
+    /// the fully-applied WM delta. A rule awakened by several changes in
+    /// the same cycle counts at most one false drop.
+    fn maintain_delta(&mut self, deltas: &[WmDelta]) -> Vec<ConflictDelta> {
+        if !self.batch {
+            let mut out = Vec::new();
+            for d in deltas {
+                if d.insert {
+                    out.extend(self.maintain_insert(d.class, d.tid, &d.tuple));
+                } else {
+                    out.extend(self.maintain_remove(d.class, d.tid, &d.tuple));
+                }
+            }
+            return out;
+        }
+        let start = Instant::now();
+        let mut candidates = BTreeSet::new();
+        for d in deltas {
+            candidates.extend(self.candidates(d.class, &d.tuple));
+        }
+        let out = self.verify(candidates);
+        self.last_total = start.elapsed().as_nanos() as u64;
+        out
+    }
+
+    fn set_batching(&mut self, on: bool) {
+        self.batch = on;
     }
 
     fn conflict_set(&self) -> &ConflictSet {

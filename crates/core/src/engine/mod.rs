@@ -48,6 +48,20 @@ pub struct SpaceStats {
     pub wm_tuples: usize,
 }
 
+/// One working-memory change of a cycle's delta set, with the tuple id it
+/// resolved to. §4.2's maintenance phase consumes these set-at-a-time.
+#[derive(Debug, Clone)]
+pub struct WmDelta {
+    /// True for an insertion, false for a deletion.
+    pub insert: bool,
+    /// The WM class changed.
+    pub class: ClassId,
+    /// The tuple id the change resolved to.
+    pub tid: TupleId,
+    /// The tuple contents.
+    pub tuple: Tuple,
+}
+
 /// A matching engine: maintains the conflict set under WM changes.
 pub trait MatchEngine: Send {
     /// Short identifier used in experiment tables.
@@ -107,6 +121,66 @@ pub trait MatchEngine: Send {
             None => Vec::new(),
         }
     }
+
+    /// Match maintenance for a whole cycle's delta set, applied after all
+    /// the WM changes are in place (§4.2: "the conflict set is updated
+    /// first, and then the maintenance process follows" — here the WM is
+    /// updated first, then matching runs once over the full delta). The
+    /// default processes changes one at a time; set-oriented engines
+    /// override it to evaluate each affected (rule, seeded-term) pair in
+    /// one batched pass.
+    fn maintain_delta(&mut self, deltas: &[WmDelta]) -> Vec<ConflictDelta> {
+        let mut out = Vec::new();
+        for d in deltas {
+            if d.insert {
+                out.extend(self.maintain_insert(d.class, d.tid, &d.tuple));
+            } else {
+                out.extend(self.maintain_remove(d.class, d.tid, &d.tuple));
+            }
+        }
+        out
+    }
+
+    /// Apply a cycle's WM changes (in action order) and then run one
+    /// set-oriented maintenance pass over the resulting delta set. Removes
+    /// of absent tuples are dropped, exactly as [`MatchEngine::remove`]
+    /// drops them. Emits no trace events — callers that trace must use the
+    /// per-change `insert`/`remove` path so the canonical per-change event
+    /// streams stay comparable across engines.
+    fn apply_delta(&mut self, changes: &[(bool, ClassId, Tuple)]) -> Vec<ConflictDelta> {
+        let mut resolved: Vec<WmDelta> = Vec::with_capacity(changes.len());
+        for (insert, class, tuple) in changes {
+            if *insert {
+                let tid = self
+                    .pdb()
+                    .insert_wm(*class, tuple.clone())
+                    .expect("wm insert");
+                resolved.push(WmDelta {
+                    insert: true,
+                    class: *class,
+                    tid,
+                    tuple: tuple.clone(),
+                });
+            } else if let Some(tid) = self
+                .pdb()
+                .remove_wm_equal(*class, tuple)
+                .expect("wm remove")
+            {
+                resolved.push(WmDelta {
+                    insert: false,
+                    class: *class,
+                    tid,
+                    tuple: tuple.clone(),
+                });
+            }
+        }
+        self.maintain_delta(&resolved)
+    }
+
+    /// Toggle set-oriented (batched, hash-join) evaluation where the
+    /// engine supports it. Default: no-op — the engine keeps its only
+    /// strategy. Used by benchmarks to pin the nested-loop baseline.
+    fn set_batching(&mut self, _on: bool) {}
 
     /// The current conflict set.
     fn conflict_set(&self) -> &ConflictSet;

@@ -18,8 +18,8 @@ use predindex::{make_index, ConditionIndex, IndexKind, Rect};
 use relstore::{Tuple, TupleId};
 use rete::{ConflictDelta, ConflictSet};
 
-use crate::engine::recompute::{eval_rule, InstStore};
-use crate::engine::{MatchEngine, SpaceStats};
+use crate::engine::recompute::{eval_rule_via, InstStore};
+use crate::engine::{MatchEngine, SpaceStats, WmDelta};
 use crate::pdb::ProductionDb;
 
 /// Payload of a COND index entry: (rule, condition element number).
@@ -33,6 +33,8 @@ pub struct QueryEngine {
     store: InstStore,
     conflict: ConflictSet,
     last_total: u64,
+    /// Set-oriented evaluation: hash-join executor + whole-delta batching.
+    batch: bool,
     tracer: obs::Tracer,
 }
 
@@ -66,6 +68,7 @@ impl QueryEngine {
             store: InstStore::new(),
             conflict: ConflictSet::new(),
             last_total: 0,
+            batch: true,
             tracer: obs::Tracer::disabled(),
         }
     }
@@ -90,7 +93,7 @@ impl QueryEngine {
         let mut deltas = Vec::new();
         for rid in rules {
             let rule = self.pdb.rules().rule(RuleId(rid)).clone();
-            let matches = eval_rule(&self.pdb, &rule);
+            let matches = eval_rule_via(&self.pdb, &rule, self.batch);
             deltas.extend(self.store.replace(&rule, matches));
         }
         self.conflict.apply_all(&deltas);
@@ -136,6 +139,37 @@ impl MatchEngine for QueryEngine {
         let deltas = self.reevaluate(affected);
         self.last_total = start.elapsed().as_nanos() as u64;
         deltas
+    }
+
+    /// Batched maintenance (§4.1 meets §4.2's "update first, maintain
+    /// once"): with the whole WM delta applied, union the affected rules
+    /// of every change and re-evaluate each exactly once. Since full
+    /// re-evaluation against the final WM is idempotent, one pass per
+    /// rule yields the same conflict-set diff the per-change loop would.
+    fn maintain_delta(&mut self, deltas: &[WmDelta]) -> Vec<ConflictDelta> {
+        if !self.batch {
+            let mut out = Vec::new();
+            for d in deltas {
+                if d.insert {
+                    out.extend(self.maintain_insert(d.class, d.tid, &d.tuple));
+                } else {
+                    out.extend(self.maintain_remove(d.class, d.tid, &d.tuple));
+                }
+            }
+            return out;
+        }
+        let start = Instant::now();
+        let mut affected = BTreeSet::new();
+        for d in deltas {
+            affected.extend(self.affected_rules(d.class, &d.tuple));
+        }
+        let out = self.reevaluate(affected);
+        self.last_total = start.elapsed().as_nanos() as u64;
+        out
+    }
+
+    fn set_batching(&mut self, on: bool) {
+        self.batch = on;
     }
 
     fn conflict_set(&self) -> &ConflictSet {

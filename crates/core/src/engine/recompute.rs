@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use ops5::{ClassId, Rule, RuleId};
-use relstore::{QueryExecutor, Tuple, TupleId};
+use relstore::{BatchExecutor, Binding, QueryExecutor, Tuple, TupleId};
 use rete::{AbsentPattern, ConflictDelta, Instantiation, Provenance, Wme};
 
 use crate::pdb::ProductionDb;
@@ -82,11 +82,8 @@ impl Match {
     }
 }
 
-/// Evaluate a rule's LHS against the current WM. Returns every match.
-pub fn eval_rule(pdb: &ProductionDb, rule: &Rule) -> Vec<Match> {
-    let query = pdb.query(rule.id);
-    let exec = QueryExecutor::new(pdb.db());
-    let bindings = exec.exec(query, None).expect("rule query");
+/// Flatten executor bindings (positive slots in CE order) into matches.
+fn matches_from(bindings: Vec<Binding>) -> Vec<Match> {
     bindings
         .into_iter()
         .map(|b| {
@@ -99,6 +96,29 @@ pub fn eval_rule(pdb: &ProductionDb, rule: &Rule) -> Vec<Match> {
             Match { tids, tuples }
         })
         .collect()
+}
+
+/// Evaluate a rule's LHS against the current WM. Returns every match.
+/// Uses the index nested-loop executor (the pre-batching strategy).
+pub fn eval_rule(pdb: &ProductionDb, rule: &Rule) -> Vec<Match> {
+    eval_rule_via(pdb, rule, false)
+}
+
+/// Evaluate a rule's LHS, choosing the executor: `set_oriented` runs the
+/// hash-join [`BatchExecutor`], otherwise the tuple-at-a-time
+/// [`QueryExecutor`]. Both return the same match set (property-tested).
+pub fn eval_rule_via(pdb: &ProductionDb, rule: &Rule, set_oriented: bool) -> Vec<Match> {
+    let query = pdb.query(rule.id);
+    let bindings = if set_oriented {
+        BatchExecutor::new(pdb.db())
+            .exec(query, None)
+            .expect("rule query")
+    } else {
+        QueryExecutor::new(pdb.db())
+            .exec(query, None)
+            .expect("rule query")
+    };
+    matches_from(bindings)
 }
 
 /// Evaluate a rule's LHS seeded with a specific tuple filling positive CE
@@ -115,18 +135,37 @@ pub fn eval_rule_seeded(
     let bindings = exec
         .exec(query, Some((ce, tid, tuple)))
         .expect("seeded rule query");
-    bindings
-        .into_iter()
-        .map(|b| {
-            let mut tids = Vec::new();
-            let mut tuples = Vec::new();
-            for slot in b.slots.into_iter().flatten() {
-                tids.push(slot.0);
-                tuples.push(slot.1);
-            }
-            Match { tids, tuples }
-        })
-        .collect()
+    matches_from(bindings)
+}
+
+/// Evaluate a rule's LHS once per seed tuple filling positive CE `ce`,
+/// returning the concatenation. `set_oriented` evaluates the whole seed
+/// set in one batched pass (one plan, one relation read per step) through
+/// the [`BatchExecutor`]; otherwise the seeds are probed one at a time —
+/// the two produce equal match multisets, in possibly different order, so
+/// callers must dedup/diff by tid vector (they do: [`InstStore`]).
+pub fn eval_rule_seeded_batch(
+    pdb: &ProductionDb,
+    rule: &Rule,
+    ce: usize,
+    seeds: &[(TupleId, Tuple)],
+    set_oriented: bool,
+) -> Vec<Match> {
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    if set_oriented {
+        let query = pdb.query(rule.id);
+        let bindings = BatchExecutor::new(pdb.db())
+            .exec_seeded_batch(query, ce, seeds)
+            .expect("seeded batch query");
+        matches_from(bindings)
+    } else {
+        seeds
+            .iter()
+            .flat_map(|(tid, tuple)| eval_rule_seeded(pdb, rule, ce, *tid, tuple))
+            .collect()
+    }
 }
 
 /// Exact multiset of live matches per rule.

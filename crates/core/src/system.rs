@@ -53,6 +53,22 @@ impl ProductionSystem {
         Ok(())
     }
 
+    /// Insert many WM elements of one class as a single delta set (one
+    /// set-oriented maintenance pass when untraced; see
+    /// [`SequentialExecutor::insert_batch`]).
+    pub fn insert_batch(&mut self, class: &str, tuples: Vec<Tuple>) -> Result<()> {
+        let c = self.class(class)?;
+        self.exec.insert_batch(c, tuples);
+        Ok(())
+    }
+
+    /// Toggle set-oriented (hash-join, delta-batched) evaluation in the
+    /// matching engine. Engines without a batch strategy ignore it. Used
+    /// by benchmarks to pin the nested-loop baseline.
+    pub fn set_batching(&mut self, on: bool) {
+        self.exec.engine_mut().set_batching(on);
+    }
+
     /// Run the recognize-act cycle.
     pub fn run(&mut self, max_cycles: usize) -> RunOutcome {
         self.exec.run(max_cycles)

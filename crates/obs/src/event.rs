@@ -42,6 +42,17 @@ pub enum Event {
         detect_ns: u64,
         total_ns: u64,
     },
+    /// One COND-store propagation partition finished (§4.2.3's
+    /// parallelizable maintenance): the class whose store was updated,
+    /// how many COND tuples the partition examined, its wall time, and
+    /// whether it ran on its own thread.
+    PropagateSpan {
+        class: u32,
+        class_name: String,
+        scanned: u64,
+        span_ns: u64,
+        parallel: bool,
+    },
     /// The conflict set gained or lost one instantiation.
     ConflictDelta {
         add: bool,
@@ -111,6 +122,7 @@ impl Event {
             Event::WmInsert { .. } => "wm_insert",
             Event::WmRemove { .. } => "wm_remove",
             Event::MatchMaintain { .. } => "match_maintain",
+            Event::PropagateSpan { .. } => "propagate_span",
             Event::ConflictDelta { .. } => "conflict_delta",
             Event::RuleSelect { .. } => "rule_select",
             Event::RuleFire { .. } => "rule_fire",
@@ -168,6 +180,19 @@ impl Event {
                 .usize("removes", *removes)
                 .u64("detect_ns", *detect_ns)
                 .u64("total_ns", *total_ns)
+                .finish(),
+            Event::PropagateSpan {
+                class,
+                class_name,
+                scanned,
+                span_ns,
+                parallel,
+            } => o
+                .u64("class", *class as u64)
+                .str("class_name", class_name)
+                .u64("scanned", *scanned)
+                .u64("span_ns", *span_ns)
+                .bool("parallel", *parallel)
                 .finish(),
             Event::ConflictDelta {
                 add,
@@ -282,6 +307,16 @@ impl Event {
                 ..
             } => {
                 format!("   match[{engine}]: +{adds}/-{removes} in {total_ns}ns")
+            }
+            Event::PropagateSpan {
+                class_name,
+                scanned,
+                span_ns,
+                parallel,
+                ..
+            } => {
+                let mode = if *parallel { "par" } else { "seq" };
+                format!("   prop[{mode}] COND-{class_name}: {scanned} scanned in {span_ns}ns")
             }
             Event::ConflictDelta {
                 add,

@@ -50,6 +50,9 @@ pub struct MetricsRegistry {
     pub match_hist: Log2Histogram,
     /// Latency of one RHS execution (ns).
     pub rhs_hist: Log2Histogram,
+    /// Latency of one COND-store propagation partition (ns), recorded per
+    /// class partition whether it ran serially or on its own thread.
+    pub propagate_hist: Log2Histogram,
     /// `(cycle, conflict_len)` after each act phase.
     conflict_timeline: Mutex<Vec<(u64, usize)>>,
     cycles: AtomicU64,
@@ -113,6 +116,11 @@ impl MetricsRegistry {
         s.detect_ns += detect_ns;
         s.total_ns += total_ns;
         s.samples += 1;
+    }
+
+    /// One COND propagation partition finished in `span_ns`.
+    pub fn record_propagate(&self, span_ns: u64) {
+        self.propagate_hist.record(span_ns);
     }
 
     pub fn record_cycle(&self, cycle: u64, conflict_len: usize) {
@@ -267,6 +275,7 @@ impl MetricsRegistry {
             .raw("detect_split", &splits.finish())
             .raw("match_latency_ns", &self.match_hist.to_json())
             .raw("rhs_latency_ns", &self.rhs_hist.to_json())
+            .raw("propagate_latency_ns", &self.propagate_hist.to_json())
             .raw("conflict_timeline", &timeline.finish())
             .raw(
                 "locks",

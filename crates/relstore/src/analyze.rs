@@ -16,6 +16,7 @@ use obs::json::{Arr, Obj};
 use parking_lot::Mutex;
 
 use crate::database::Database;
+use crate::relation::Relation;
 use crate::schema::RelId;
 use crate::stats::OpSnapshot;
 
@@ -79,6 +80,10 @@ impl ObservedCounts {
 #[derive(Debug, Default)]
 pub struct AnalyzeRegistry {
     observed: Mutex<HashMap<u32, ObservedCounts>>,
+    /// Memoized exact distinct counts: (relation, attr) → (write version
+    /// the count was computed at, count). Invalidated by comparing against
+    /// [`Relation::version`], so writers never have to notify the cache.
+    distinct_cache: Mutex<HashMap<(u32, usize), (u64, usize)>>,
 }
 
 impl AnalyzeRegistry {
@@ -119,9 +124,27 @@ impl AnalyzeRegistry {
             .unwrap_or_default()
     }
 
+    /// Exact distinct count of `attr` in `r`, memoized per
+    /// (relation, attr) and recomputed only when the relation's write
+    /// version has moved — repeated EXPLAIN/ANALYZE sweeps over a quiet
+    /// relation cost O(1) instead of a full scan each.
+    pub fn distinct_exact(&self, r: &Relation, attr: usize) -> usize {
+        let key = (r.id().0, attr);
+        let version = r.version();
+        if let Some(&(ver, n)) = self.distinct_cache.lock().get(&key) {
+            if ver == version {
+                return n;
+            }
+        }
+        let n = r.distinct_exact(attr);
+        self.distinct_cache.lock().insert(key, (version, n));
+        n
+    }
+
     /// Forget everything (between experiment runs).
     pub fn reset(&self) {
         self.observed.lock().clear();
+        self.distinct_cache.lock().clear();
     }
 }
 
@@ -223,7 +246,7 @@ pub fn analyze(db: &Database) -> AnalyzeSnapshot {
                         .enumerate()
                         .map(|(i, a)| AttrStats {
                             name: a.name.to_string(),
-                            distinct: r.distinct_exact(i),
+                            distinct: registry.distinct_exact(r, i),
                         })
                         .collect();
                     (r.len(), r.approx_bytes(), attrs)

@@ -49,7 +49,8 @@ pub use database::Database;
 pub use error::{Error, Result};
 pub use pred::{AttrTest, CompOp, Restriction, Selection};
 pub use query::{
-    Binding, ConjunctiveQuery, ExecProfile, JoinPred, Plan, Planner, QueryExecutor, QueryTerm,
+    BatchExecutor, Binding, ConjunctiveQuery, ExecProfile, JoinAlgo, JoinPred, Plan, Planner,
+    QueryExecutor, QueryTerm,
 };
 pub use relation::Relation;
 pub use schema::{AttrIdx, Attribute, RelId, Schema};

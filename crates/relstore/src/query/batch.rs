@@ -1,0 +1,518 @@
+//! Set-oriented batch execution of conjunctive queries.
+//!
+//! The nested-loop [`QueryExecutor`](super::QueryExecutor) extends one
+//! partial binding at a time, probing the next term's relation once per
+//! binding. For large working memories that is the dominant cost of the
+//! DBMS-side engines: every extension re-reads the relation. The
+//! [`BatchExecutor`] instead carries the whole *set* of partial bindings
+//! through the plan and evaluates each step with one relation read:
+//!
+//! * **hash join** for steps equi-joined into the bound set — build a
+//!   hash table keyed on the join attributes over the smaller side
+//!   (spill-free: both sides are already in memory; the build side is
+//!   picked from actual cardinalities, the hash-vs-nested-loop decision
+//!   itself from the planner's ANALYZE-driven estimates);
+//! * **hash semi-join** for seeded delta terms — the §4.1.2 evaluation
+//!   around *every* WM element a cycle inserted, in one pass per
+//!   (rule, seeded-term) pair instead of one pass per element;
+//! * **hash anti-join** for negated condition elements — one read of the
+//!   negated relation filters every surviving binding, instead of one
+//!   existence probe per binding.
+//!
+//! Results are exactly those of the nested-loop executor (a property test
+//! at the workspace level checks the equivalence on random queries); only
+//! the evaluation order and I/O profile differ.
+
+use std::collections::HashMap;
+
+use super::exec::{bound_preds, Binding};
+use super::plan::{JoinAlgo, Planner};
+use super::ConjunctiveQuery;
+use crate::database::Database;
+use crate::error::Result;
+use crate::pred::CompOp;
+use crate::schema::AttrIdx;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+
+/// One partial-binding row carried between plan steps.
+type Partial = Vec<Option<(TupleId, Tuple)>>;
+
+/// Executes conjunctive queries set-at-a-time against a [`Database`].
+pub struct BatchExecutor<'a> {
+    db: &'a Database,
+}
+
+impl<'a> BatchExecutor<'a> {
+    /// Create a new, empty instance.
+    pub fn new(db: &'a Database) -> Self {
+        BatchExecutor { db }
+    }
+
+    /// Evaluate the query, optionally seeded with one tuple — the same
+    /// contract as [`QueryExecutor::exec`](super::QueryExecutor::exec).
+    pub fn exec(
+        &self,
+        query: &ConjunctiveQuery,
+        seed: Option<(usize, TupleId, &Tuple)>,
+    ) -> Result<Vec<Binding>> {
+        match seed {
+            Some((t, tid, tuple)) => {
+                let seeds = [(tid, tuple.clone())];
+                self.exec_seeded_batch(query, t, &seeds)
+            }
+            None => self.run(query, None),
+        }
+    }
+
+    /// Evaluate the LHS around every seed tuple of term `t` in one
+    /// set-oriented pass (hash semi-join over the delta): the batched form
+    /// of the §4.1.2 seeded evaluation. Equivalent to concatenating
+    /// per-seed [`BatchExecutor::exec`] calls, at one relation read per
+    /// plan step instead of one per seed.
+    pub fn exec_seeded_batch(
+        &self,
+        query: &ConjunctiveQuery,
+        t: usize,
+        seeds: &[(TupleId, Tuple)],
+    ) -> Result<Vec<Binding>> {
+        self.run(query, Some((t, seeds)))
+    }
+
+    fn run(
+        &self,
+        query: &ConjunctiveQuery,
+        seeded: Option<(usize, &[(TupleId, Tuple)])>,
+    ) -> Result<Vec<Binding>> {
+        if query.terms.is_empty() {
+            return Ok(Vec::new());
+        }
+        let arity = query.terms.len();
+        let plan = Planner::new(self.db).plan_seeded(
+            query,
+            seeded.map(|(t, _)| t),
+            seeded.map_or(1.0, |(_, seeds)| seeds.len() as f64),
+        );
+        let mut partials: Vec<Partial> = match seeded {
+            // Seeds failing their own term's restriction yield nothing.
+            Some((t, seeds)) => seeds
+                .iter()
+                .filter(|(_, tuple)| query.terms[t].restriction.matches(tuple))
+                .map(|(tid, tuple)| {
+                    let mut p: Partial = vec![None; arity];
+                    p[t] = Some((*tid, tuple.clone()));
+                    p
+                })
+                .collect(),
+            None => vec![vec![None; arity]],
+        };
+        let start = usize::from(seeded.is_some());
+        for step in start..plan.order.len() {
+            if partials.is_empty() {
+                return Ok(Vec::new());
+            }
+            partials = self.extend_all(query, plan.order[step], plan.algos[step], partials)?;
+        }
+        let planner = Planner::new(self.db);
+        for t in query.negated_terms() {
+            if partials.is_empty() {
+                break;
+            }
+            let algo = planner.anti_algo(query, t, partials.len() as f64);
+            partials = self.anti_filter(query, t, algo, partials)?;
+        }
+        Ok(partials
+            .into_iter()
+            .map(|slots| Binding { slots })
+            .collect())
+    }
+
+    /// Join predicates of `t` against terms bound in `shape`, split into
+    /// equi-joins (hashable) and the residual non-eq predicates.
+    #[allow(clippy::type_complexity)]
+    fn split_joins(
+        query: &ConjunctiveQuery,
+        t: usize,
+        shape: &Partial,
+    ) -> (
+        Vec<(AttrIdx, usize, AttrIdx)>,
+        Vec<(AttrIdx, CompOp, usize, AttrIdx)>,
+    ) {
+        let mut eqs = Vec::new();
+        let mut residual = Vec::new();
+        for j in query.joins_of(t) {
+            let Some((my_attr, op, other, other_attr)) = j.oriented(t) else {
+                continue;
+            };
+            if shape[other].is_none() {
+                continue;
+            }
+            if op == CompOp::Eq {
+                eqs.push((my_attr, other, other_attr));
+            } else {
+                residual.push((my_attr, op, other, other_attr));
+            }
+        }
+        (eqs, residual)
+    }
+
+    /// `row[my_attr] op partial[other].1[other_attr]` for every residual.
+    fn residuals_hold(
+        residual: &[(AttrIdx, CompOp, usize, AttrIdx)],
+        row: &Tuple,
+        partial: &Partial,
+    ) -> bool {
+        residual.iter().all(|&(my_attr, op, other, other_attr)| {
+            let other_tuple = &partial[other].as_ref().expect("bound term").1;
+            op.eval(&row[my_attr], &other_tuple[other_attr])
+        })
+    }
+
+    /// Extend every partial binding through positive term `t`: one
+    /// relation read plus a hash table when the planner chose
+    /// [`JoinAlgo::Hash`], an index nested loop probing per binding —
+    /// exactly as [`QueryExecutor`] does — otherwise.
+    fn extend_all(
+        &self,
+        query: &ConjunctiveQuery,
+        t: usize,
+        algo: JoinAlgo,
+        partials: Vec<Partial>,
+    ) -> Result<Vec<Partial>> {
+        let rel = query.terms[t].rel;
+        let registry = self.db.analyze_registry();
+        let (eqs, residual) = Self::split_joins(query, t, &partials[0]);
+        if algo != JoinAlgo::Hash || eqs.is_empty() {
+            // Index nested loop: probe once per binding with the bound
+            // join predicates pushed into the read, so only the matching
+            // index bucket is touched. Cheaper than building a table
+            // whenever bindings are fewer than the join key's distincts.
+            let mut out = Vec::new();
+            for p in &partials {
+                let bound = bound_preds(query, t, p);
+                let joined = !bound.is_empty();
+                let (input, rows) = self.db.read(rel, |r| {
+                    (r.len(), r.select_with(&query.terms[t].restriction, &bound))
+                })?;
+                registry.observe(rel, joined, input as u64, rows.len() as u64);
+                for (tid, tuple) in rows {
+                    let mut ext = p.clone();
+                    ext[t] = Some((tid, tuple));
+                    out.push(ext);
+                }
+            }
+            return Ok(out);
+        }
+        let (input, rows) = self
+            .db
+            .read(rel, |r| (r.len(), r.select(&query.terms[t].restriction)))?;
+        registry.observe(rel, false, input as u64, rows.len() as u64);
+        let mut out = Vec::new();
+        {
+            // Build over the smaller side; both fit in memory (spill-free),
+            // so the choice only trades hashing work for probing work.
+            let row_key = |tuple: &Tuple| -> Vec<Value> {
+                eqs.iter().map(|&(a, _, _)| tuple[a].clone()).collect()
+            };
+            let partial_key = |p: &Partial| -> Vec<Value> {
+                eqs.iter()
+                    .map(|&(_, other, oa)| p[other].as_ref().expect("bound term").1[oa].clone())
+                    .collect()
+            };
+            if rows.len() <= partials.len() {
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, (_, tuple)) in rows.iter().enumerate() {
+                    table.entry(row_key(tuple)).or_default().push(i);
+                }
+                for p in &partials {
+                    if let Some(hits) = table.get(&partial_key(p)) {
+                        for &i in hits {
+                            let (tid, tuple) = &rows[i];
+                            if Self::residuals_hold(&residual, tuple, p) {
+                                let mut ext = p.clone();
+                                ext[t] = Some((*tid, tuple.clone()));
+                                out.push(ext);
+                            }
+                        }
+                    }
+                }
+            } else {
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, p) in partials.iter().enumerate() {
+                    table.entry(partial_key(p)).or_default().push(i);
+                }
+                for (tid, tuple) in &rows {
+                    if let Some(hits) = table.get(&row_key(tuple)) {
+                        for &i in hits {
+                            let p = &partials[i];
+                            if Self::residuals_hold(&residual, tuple, p) {
+                                let mut ext = p.clone();
+                                ext[t] = Some((*tid, tuple.clone()));
+                                out.push(ext);
+                            }
+                        }
+                    }
+                }
+                // Probe-side emission follows row order; restore binding
+                // order so results are independent of the build side.
+                out.sort_by(|a, b| {
+                    let key = |p: &Partial| {
+                        p.iter()
+                            .map(|s| s.as_ref().map(|(tid, _)| tid.pack()))
+                            .collect::<Vec<_>>()
+                    };
+                    key(a).cmp(&key(b))
+                });
+            }
+            registry.observe(rel, true, partials.len() as u64, out.len() as u64);
+        }
+        Ok(out)
+    }
+
+    /// Drop every partial binding blocked by negated term `t`: one
+    /// relation read and a hash anti-join when the planner chose
+    /// [`JoinAlgo::Hash`], one index existence probe per binding —
+    /// exactly as [`QueryExecutor`] does — otherwise.
+    fn anti_filter(
+        &self,
+        query: &ConjunctiveQuery,
+        t: usize,
+        algo: JoinAlgo,
+        partials: Vec<Partial>,
+    ) -> Result<Vec<Partial>> {
+        let rel = query.terms[t].rel;
+        let registry = self.db.analyze_registry();
+        let (eqs, residual) = Self::split_joins(query, t, &partials[0]);
+        let mut out = Vec::new();
+        if algo != JoinAlgo::Hash || eqs.is_empty() {
+            for p in partials {
+                let bound = bound_preds(query, t, &p);
+                let hit = self.db.read(rel, |r| {
+                    !r.select_ids_with(&query.terms[t].restriction, &bound)
+                        .is_empty()
+                })?;
+                registry.observe_anti(rel, hit);
+                if !hit {
+                    out.push(p);
+                }
+            }
+            return Ok(out);
+        }
+        let rows = self
+            .db
+            .read(rel, |r| r.select(&query.terms[t].restriction))?;
+        let blocked = |p: &Partial, candidates: &[usize]| -> bool {
+            candidates
+                .iter()
+                .any(|&i| Self::residuals_hold(&residual, &rows[i].1, p))
+        };
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, (_, tuple)) in rows.iter().enumerate() {
+            let key: Vec<Value> = eqs.iter().map(|&(a, _, _)| tuple[a].clone()).collect();
+            table.entry(key).or_default().push(i);
+        }
+        for p in partials {
+            let key: Vec<Value> = eqs
+                .iter()
+                .map(|&(_, other, oa)| p[other].as_ref().expect("bound term").1[oa].clone())
+                .collect();
+            let hit = table.get(&key).is_some_and(|c| blocked(&p, c));
+            registry.observe_anti(rel, hit);
+            if !hit {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count results without materializing bindings (existence checks).
+    pub fn exists(
+        &self,
+        query: &ConjunctiveQuery,
+        seed: Option<(usize, TupleId, &Tuple)>,
+    ) -> Result<bool> {
+        Ok(!self.exec(query, seed)?.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{Restriction, Selection};
+    use crate::query::{JoinPred, QueryExecutor, QueryTerm};
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    fn example3_db() -> (Database, crate::schema::RelId, crate::schema::RelId) {
+        let db = Database::new();
+        let emp = db
+            .create_relation(Schema::new("Emp", ["name", "salary", "manager", "dno"]))
+            .unwrap();
+        let dept = db
+            .create_relation(Schema::new("Dept", ["dno", "dname", "floor", "manager"]))
+            .unwrap();
+        db.insert(emp, tuple!["Mike", 6000, "Sam", 1]).unwrap();
+        db.insert(emp, tuple!["Sam", 5000, "Root", 1]).unwrap();
+        db.insert(emp, tuple!["Jane", 4000, "Sam", 2]).unwrap();
+        db.insert(dept, tuple![1, "Toy", 1, "Sam"]).unwrap();
+        db.insert(dept, tuple![2, "Shoe", 2, "Ann"]).unwrap();
+        (db, emp, dept)
+    }
+
+    fn sorted_tids(bindings: &[Binding]) -> Vec<Vec<Option<u64>>> {
+        let mut v: Vec<Vec<Option<u64>>> = bindings
+            .iter()
+            .map(|b| {
+                b.slots
+                    .iter()
+                    .map(|s| s.as_ref().map(|(tid, _)| tid.pack()))
+                    .collect()
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn assert_equivalent(db: &Database, q: &ConjunctiveQuery) {
+        let nl = QueryExecutor::new(db).exec(q, None).unwrap();
+        let batch = BatchExecutor::new(db).exec(q, None).unwrap();
+        assert_eq!(sorted_tids(&nl), sorted_tids(&batch));
+    }
+
+    #[test]
+    fn equi_join_matches_nested_loop() {
+        let (db, emp, dept) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::default()),
+                QueryTerm::new(dept, Restriction::default()),
+            ],
+            vec![JoinPred::eq(0, 3, 1, 0)],
+        );
+        assert_equivalent(&db, &q);
+    }
+
+    #[test]
+    fn non_eq_join_and_selection() {
+        // Mike earns more than his manager (example 3, rule r1).
+        let (db, emp, _) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::new(vec![Selection::eq(0, "Mike")])),
+                QueryTerm::new(emp, Restriction::default()),
+            ],
+            vec![
+                JoinPred::eq(0, 2, 1, 0),
+                JoinPred {
+                    left_term: 1,
+                    left_attr: 1,
+                    op: CompOp::Lt,
+                    right_term: 0,
+                    right_attr: 1,
+                },
+            ],
+        );
+        let res = BatchExecutor::new(&db).exec(&q, None).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].tuple(1)[0], crate::Value::str("Sam"));
+        assert_equivalent(&db, &q);
+    }
+
+    #[test]
+    fn negated_term_anti_join() {
+        let (db, emp, dept) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::default()),
+                QueryTerm::negated(dept, Restriction::default()),
+            ],
+            vec![JoinPred::eq(0, 3, 1, 0)],
+        );
+        assert!(BatchExecutor::new(&db).exec(&q, None).unwrap().is_empty());
+        db.insert(emp, tuple!["Orphan", 1000, "Sam", 99]).unwrap();
+        let res = BatchExecutor::new(&db).exec(&q, None).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].tuple(0)[0], crate::Value::str("Orphan"));
+        assert!(res[0].slots[1].is_none());
+        assert_equivalent(&db, &q);
+    }
+
+    #[test]
+    fn seeded_batch_equals_per_seed_union() {
+        let (db, emp, dept) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(emp, Restriction::default()),
+                QueryTerm::new(dept, Restriction::new(vec![Selection::eq(1, "Toy")])),
+            ],
+            vec![JoinPred::eq(0, 3, 1, 0)],
+        );
+        let emps = db.read(emp, |r| r.scan()).unwrap();
+        let mut per_seed = Vec::new();
+        for (tid, t) in &emps {
+            per_seed.extend(
+                QueryExecutor::new(&db)
+                    .exec(&q, Some((0, *tid, t)))
+                    .unwrap(),
+            );
+        }
+        let batched = BatchExecutor::new(&db)
+            .exec_seeded_batch(&q, 0, &emps)
+            .unwrap();
+        assert_eq!(sorted_tids(&per_seed), sorted_tids(&batched));
+        assert!(!batched.is_empty());
+    }
+
+    #[test]
+    fn seed_failing_restriction_yields_nothing() {
+        let (db, emp, _) = example3_db();
+        let q = ConjunctiveQuery::new(
+            vec![QueryTerm::new(
+                emp,
+                Restriction::new(vec![Selection::eq(0, "Mike")]),
+            )],
+            vec![],
+        );
+        let emps = db.read(emp, |r| r.scan()).unwrap();
+        let sam = emps
+            .iter()
+            .find(|(_, t)| t[0] == crate::Value::str("Sam"))
+            .unwrap();
+        let res = BatchExecutor::new(&db)
+            .exec(&q, Some((0, sam.0, &sam.1)))
+            .unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn three_way_join_with_skew() {
+        // Enough rows to clear the hash threshold on at least one step.
+        let db = Database::new();
+        let a = db.create_relation(Schema::new("A", ["k", "v"])).unwrap();
+        let b = db.create_relation(Schema::new("B", ["k", "w"])).unwrap();
+        let c = db.create_relation(Schema::new("C", ["w"])).unwrap();
+        for i in 0..60i64 {
+            db.insert(a, tuple![i % 5, i]).unwrap();
+            db.insert(b, tuple![i % 5, i % 7]).unwrap();
+        }
+        for i in 0..7i64 {
+            db.insert(c, tuple![i]).unwrap();
+        }
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(a, Restriction::default()),
+                QueryTerm::new(b, Restriction::default()),
+                QueryTerm::new(c, Restriction::default()),
+            ],
+            vec![JoinPred::eq(0, 0, 1, 0), JoinPred::eq(1, 1, 2, 0)],
+        );
+        assert_equivalent(&db, &q);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let db = Database::new();
+        let q = ConjunctiveQuery::default();
+        assert!(BatchExecutor::new(&db).exec(&q, None).unwrap().is_empty());
+    }
+}

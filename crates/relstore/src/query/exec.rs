@@ -4,8 +4,10 @@ use super::plan::Planner;
 use super::ConjunctiveQuery;
 use crate::database::Database;
 use crate::error::Result;
-use crate::pred::{Restriction, Selection};
+use crate::pred::CompOp;
+use crate::schema::AttrIdx;
 use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
 
 /// One result of a conjunctive query: a tuple per positive term, aligned to
 /// `query.terms` (negated terms stay `None`).
@@ -113,36 +115,16 @@ impl<'a> QueryExecutor<'a> {
         t: usize,
         partial: &[Option<(TupleId, Tuple)>],
     ) -> Result<Vec<(TupleId, Tuple)>> {
-        let base_tests = query.terms[t].restriction.tests.len();
-        let restriction = self.bound_restriction(query, t, partial);
-        let joined = restriction.tests.len() > base_tests;
+        let bound = bound_preds(query, t, partial);
+        let joined = !bound.is_empty();
         let rel = query.terms[t].rel;
-        let (input, rows) = self.db.read(rel, |r| (r.len(), r.select(&restriction)))?;
+        let (input, rows) = self.db.read(rel, |r| {
+            (r.len(), r.select_with(&query.terms[t].restriction, &bound))
+        })?;
         self.db
             .analyze_registry()
             .observe(rel, joined, input as u64, rows.len() as u64);
         Ok(rows)
-    }
-
-    /// Term `t`'s restriction augmented with selections derived from join
-    /// predicates whose other endpoint is already bound.
-    fn bound_restriction(
-        &self,
-        query: &ConjunctiveQuery,
-        t: usize,
-        partial: &[Option<(TupleId, Tuple)>],
-    ) -> Restriction {
-        let base = &query.terms[t].restriction;
-        let mut tests = base.tests.clone();
-        for j in query.joins_of(t) {
-            let Some((my_attr, op, other, other_attr)) = j.oriented(t) else {
-                continue;
-            };
-            if let Some((_, other_tuple)) = &partial[other] {
-                tests.push(Selection::new(my_attr, op, other_tuple[other_attr].clone()));
-            }
-        }
-        Restriction::new(tests).with_attr_tests(base.attr_tests.clone())
     }
 
     /// Check every negated term: a binding survives only if no tuple
@@ -168,11 +150,12 @@ impl<'a> QueryExecutor<'a> {
         t: usize,
         partial: &[Option<(TupleId, Tuple)>],
     ) -> Result<bool> {
-        let restriction = self.bound_restriction(query, t, partial);
+        let bound = bound_preds(query, t, partial);
         let rel = query.terms[t].rel;
-        let found = self
-            .db
-            .read(rel, |r| !r.select_ids(&restriction).is_empty())?;
+        let found = self.db.read(rel, |r| {
+            !r.select_ids_with(&query.terms[t].restriction, &bound)
+                .is_empty()
+        })?;
         self.db.analyze_registry().observe_anti(rel, found);
         Ok(found)
     }
@@ -235,10 +218,32 @@ impl<'a> QueryExecutor<'a> {
     }
 }
 
+/// Join predicates of term `t` whose other endpoint is bound in
+/// `partial`, as borrowed `(my_attr, op, bound value)` tests. Shared by
+/// the nested-loop and batch executors; borrowing the values (instead of
+/// cloning the base restriction plus one `Selection` per join, as earlier
+/// revisions did) keeps binding extension allocation-free.
+pub(crate) fn bound_preds<'p>(
+    query: &ConjunctiveQuery,
+    t: usize,
+    partial: &'p [Option<(TupleId, Tuple)>],
+) -> Vec<(AttrIdx, CompOp, &'p Value)> {
+    let mut bound = Vec::new();
+    for j in query.joins_of(t) {
+        let Some((my_attr, op, other, other_attr)) = j.oriented(t) else {
+            continue;
+        };
+        if let Some((_, other_tuple)) = &partial[other] {
+            bound.push((my_attr, op, &other_tuple[other_attr]));
+        }
+    }
+    bound
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pred::CompOp;
+    use crate::pred::{Restriction, Selection};
     use crate::query::{JoinPred, QueryTerm};
     use crate::schema::Schema;
     use crate::tuple;

@@ -12,11 +12,13 @@
 //! for one term — exactly what the simplified algorithm of §4.1.2 needs
 //! when a newly inserted WM element fills one condition element.
 
+mod batch;
 mod exec;
 mod plan;
 
+pub use batch::BatchExecutor;
 pub use exec::{Binding, ExecProfile, QueryExecutor};
-pub use plan::{Plan, Planner};
+pub use plan::{JoinAlgo, Plan, Planner};
 
 use crate::pred::{CompOp, Restriction};
 use crate::schema::{AttrIdx, RelId};

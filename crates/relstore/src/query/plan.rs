@@ -12,11 +12,42 @@ use super::ConjunctiveQuery;
 use crate::database::Database;
 use crate::pred::CompOp;
 
+/// Join algorithm chosen for one plan step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Index nested-loop: probe the step's relation once per outer
+    /// binding (the seed executor's only strategy before the batch
+    /// executor existed).
+    NestedLoop,
+    /// Build/probe hash join over the step's equi-join attributes,
+    /// evaluated set-at-a-time by the batch executor.
+    Hash,
+}
+
+impl JoinAlgo {
+    /// Stable label used in EXPLAIN renderings and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            JoinAlgo::NestedLoop => "nested-loop",
+            JoinAlgo::Hash => "hash",
+        }
+    }
+}
+
+/// Estimated step cardinality above which hashing the step's input beats
+/// re-probing it per outer binding.
+const HASH_THRESHOLD: f64 = 8.0;
+
 /// An ordered execution plan over the positive terms of a query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Visit order (indexes into `query.terms`); negated terms excluded.
     pub order: Vec<usize>,
+    /// Per-step join algorithm, aligned with `order`. The first step is a
+    /// scan and always [`JoinAlgo::NestedLoop`].
+    pub algos: Vec<JoinAlgo>,
+    /// Estimated cardinality of each step's term, aligned with `order`.
+    pub estimates: Vec<f64>,
     /// Term seeded with a known tuple, if any. Always first in `order`.
     pub seed: Option<usize>,
 }
@@ -33,17 +64,125 @@ impl<'a> Planner<'a> {
     }
 
     /// Estimated result size of evaluating just term `t`'s restriction.
+    /// Prefers the selection selectivity the executors have *observed* on
+    /// the relation (ANALYZE registry) over the per-operator default,
+    /// falling back to the default until something has been observed.
     /// Public so EXPLAIN can report the same estimates the planner
     /// ordered by.
     pub fn term_cardinality(&self, query: &ConjunctiveQuery, t: usize) -> f64 {
         let term = &query.terms[t];
         let n = self.db.relation_len(term.rel) as f64;
-        n * term.restriction.selectivity().max(1e-6)
+        let default = term.restriction.selectivity();
+        let sel = if term.restriction.tests.is_empty() {
+            default
+        } else {
+            self.db
+                .analyze_registry()
+                .observed(term.rel)
+                .selection_selectivity()
+                .unwrap_or(default)
+        };
+        n * sel.max(1e-6)
+    }
+
+    /// The most selective (largest) distinct count among `t`'s equi-join
+    /// attributes into `bound` — the per-probe bucket size of an index
+    /// nested loop is about `|t| / d`. `None` when no equi-join connects
+    /// `t` to the bound set.
+    fn eq_join_distinct(
+        &self,
+        query: &ConjunctiveQuery,
+        t: usize,
+        bound: &[usize],
+    ) -> Option<usize> {
+        query
+            .joins_of(t)
+            .filter_map(|j| {
+                let (my_attr, op, other, _) = j.oriented(t)?;
+                if op == CompOp::Eq && bound.contains(&other) {
+                    self.db
+                        .read(query.terms[t].rel, |r| r.distinct_estimate(my_attr))
+                        .ok()
+                } else {
+                    None
+                }
+            })
+            .max()
+    }
+
+    /// Join algorithm for evaluating term `t` after `bound` terms are
+    /// bound, with `bindings` partial bindings estimated to probe it.
+    ///
+    /// An index nested loop reads about `bindings * |t| / d` tuples (`d`
+    /// the join attribute's distinct count); a hash join reads `|t|` once
+    /// to build. Hash therefore pays off when `bindings > d` — many
+    /// bindings funnel through few keys, the skew case — and the build
+    /// side clears a minimum size. Otherwise probing a few index buckets
+    /// is strictly cheaper and the nested loop wins.
+    pub fn step_algo(
+        &self,
+        query: &ConjunctiveQuery,
+        t: usize,
+        bound: &[usize],
+        bindings: f64,
+    ) -> JoinAlgo {
+        match self.eq_join_distinct(query, t, bound) {
+            Some(d) if self.term_cardinality(query, t) >= HASH_THRESHOLD && bindings > d as f64 => {
+                JoinAlgo::Hash
+            }
+            _ => JoinAlgo::NestedLoop,
+        }
+    }
+
+    /// Join algorithm for checking negated term `t` against `bindings`
+    /// complete bindings (anti-join). Same cost model as
+    /// [`Planner::step_algo`], with the whole positive set as the bound
+    /// side.
+    pub fn anti_algo(&self, query: &ConjunctiveQuery, t: usize, bindings: f64) -> JoinAlgo {
+        let positives = query.positive_terms();
+        match self.eq_join_distinct(query, t, &positives) {
+            Some(d) if self.term_cardinality(query, t) >= HASH_THRESHOLD && bindings > d as f64 => {
+                JoinAlgo::Hash
+            }
+            _ => JoinAlgo::NestedLoop,
+        }
+    }
+
+    /// Estimated bindings term `t` contributes after `bound` terms are
+    /// bound: its restricted size, divided per equi-join into the bound
+    /// set by the join attribute's distinct count (ANALYZE stats).
+    fn step_estimate(&self, query: &ConjunctiveQuery, t: usize, bound: &[usize]) -> f64 {
+        let mut est = self.term_cardinality(query, t);
+        for j in query.joins_of(t) {
+            if let Some((my_attr, op, other, _)) = j.oriented(t) {
+                if op == CompOp::Eq && bound.contains(&other) {
+                    let d = self
+                        .db
+                        .read(query.terms[t].rel, |r| r.distinct_estimate(my_attr))
+                        .unwrap_or(1);
+                    est /= d.max(1) as f64;
+                }
+            }
+        }
+        est
     }
 
     /// Plan the positive terms. `seed`, when given, fixes the first term
     /// (the condition element filled by the tuple that just arrived).
     pub fn plan(&self, query: &ConjunctiveQuery, seed: Option<usize>) -> Plan {
+        self.plan_seeded(query, seed, 1.0)
+    }
+
+    /// [`Planner::plan`] for a *batch* of `seed_bindings` seed tuples
+    /// filling the seed term at once: the binding-count estimates that
+    /// drive each step's join-algorithm choice start from the batch size
+    /// instead of a single tuple.
+    pub fn plan_seeded(
+        &self,
+        query: &ConjunctiveQuery,
+        seed: Option<usize>,
+        seed_bindings: f64,
+    ) -> Plan {
         let positives = query.positive_terms();
         let mut remaining: Vec<usize> = positives
             .iter()
@@ -51,8 +190,15 @@ impl<'a> Planner<'a> {
             .filter(|&t| Some(t) != seed)
             .collect();
         let mut order: Vec<usize> = Vec::with_capacity(positives.len());
+        let mut algos: Vec<JoinAlgo> = Vec::with_capacity(positives.len());
+        let mut estimates: Vec<f64> = Vec::with_capacity(positives.len());
+        // Cumulative binding-count estimate as the plan grows; the
+        // hash-vs-nested-loop choice of each step depends on it.
+        let mut cum = seed_bindings.max(1.0);
         if let Some(s) = seed {
             debug_assert!(!query.terms[s].negated, "seed must be a positive term");
+            algos.push(self.step_algo(query, s, &order, cum));
+            estimates.push(1.0);
             order.push(s);
         }
 
@@ -67,6 +213,9 @@ impl<'a> Planner<'a> {
                 })
                 .expect("nonempty");
             remaining.retain(|&t| t != best);
+            algos.push(self.step_algo(query, best, &order, cum));
+            estimates.push(self.term_cardinality(query, best));
+            cum *= self.step_estimate(query, best, &order);
             order.push(best);
         }
 
@@ -105,10 +254,18 @@ impl<'a> Planner<'a> {
                 })
                 .expect("nonempty remaining");
             remaining.retain(|&t| t != pick);
+            algos.push(self.step_algo(query, pick, &order, cum));
+            estimates.push(self.term_cardinality(query, pick));
+            cum *= self.step_estimate(query, pick, &order);
             order.push(pick);
         }
 
-        Plan { order, seed }
+        Plan {
+            order,
+            algos,
+            estimates,
+            seed,
+        }
     }
 }
 

@@ -29,6 +29,7 @@ pub struct Relation {
     hash_indexes: Vec<Option<HashIndex>>,
     ord_indexes: Vec<Option<OrdIndex>>,
     stats: Stats,
+    version: u64,
 }
 
 impl Relation {
@@ -44,7 +45,15 @@ impl Relation {
             hash_indexes: vec![None; arity],
             ord_indexes: vec![None; arity],
             stats,
+            version: 0,
         }
+    }
+
+    /// Write-version counter: bumped on every insert, delete, or clear.
+    /// Lets caches keyed on relation contents (e.g. the ANALYZE
+    /// distinct-count memo) invalidate without being notified.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// This item's identifier.
@@ -149,6 +158,7 @@ impl Relation {
             }
         }
         self.live += 1;
+        self.version += 1;
         self.stats.inserted();
         Ok(tid)
     }
@@ -176,6 +186,7 @@ impl Relation {
                 idx.remove(&tuple[attr], tid);
             }
         }
+        self.version += 1;
         self.stats.deleted();
         Ok(tuple)
     }
@@ -243,7 +254,20 @@ impl Relation {
 
     /// Evaluate a restriction, using the best available index.
     pub fn select(&self, restriction: &Restriction) -> Vec<(TupleId, Tuple)> {
-        let ids = self.select_ids(restriction);
+        self.select_with(restriction, &[])
+    }
+
+    /// [`Relation::select`] with extra *bound* tests — join predicates
+    /// whose other side is already bound to a value. The bound values are
+    /// borrowed, so callers extending partial bindings don't clone the
+    /// base restriction (or any `Value`) per probe, and bound equalities
+    /// are index-served exactly like restriction equalities.
+    pub fn select_with(
+        &self,
+        restriction: &Restriction,
+        bound: &[(AttrIdx, CompOp, &Value)],
+    ) -> Vec<(TupleId, Tuple)> {
+        let ids = self.select_ids_with(restriction, bound);
         ids.into_iter()
             .map(|tid| {
                 let t = self.slots[tid.slot as usize]
@@ -257,57 +281,83 @@ impl Relation {
 
     /// Like [`Relation::select`] but returns ids only.
     pub fn select_ids(&self, restriction: &Restriction) -> Vec<TupleId> {
-        // 1. Equality test with a hash index?
-        for sel in restriction.equalities() {
-            if let Some(Some(idx)) = self.hash_indexes.get(sel.attr) {
-                self.stats.index_probe();
-                let candidates = idx.probe(&sel.value);
-                self.stats.read_tuples(candidates.len() as u64);
-                self.stats
-                    .pred_evals(candidates.len() as u64 * restriction.tests.len() as u64);
-                return candidates
+        self.select_ids_with(restriction, &[])
+    }
+
+    /// [`Relation::select_with`] returning ids only.
+    pub fn select_ids_with(
+        &self,
+        restriction: &Restriction,
+        bound: &[(AttrIdx, CompOp, &Value)],
+    ) -> Vec<TupleId> {
+        let tests = (restriction.tests.len() + bound.len()) as u64;
+        let qualifies = |t: &Tuple| {
+            restriction.matches(t)
+                && bound
                     .iter()
-                    .copied()
-                    .filter(|tid| {
-                        let t = self.slots[tid.slot as usize]
-                            .tuple
-                            .as_ref()
-                            .expect("indexed");
-                        restriction.matches(t)
-                    })
-                    .collect();
-            }
+                    .all(|&(attr, op, v)| t.get(attr).is_some_and(|mine| op.eval(mine, v)))
+        };
+        // 1. Equality test with a hash index? Restriction equalities
+        //    first, then bound join equalities.
+        let eq_probe = restriction
+            .equalities()
+            .map(|sel| (sel.attr, &sel.value))
+            .chain(
+                bound
+                    .iter()
+                    .filter(|&&(_, op, _)| op == CompOp::Eq)
+                    .map(|&(attr, _, v)| (attr, v)),
+            )
+            .find(|&(attr, _)| self.has_hash_index(attr));
+        if let Some((attr, value)) = eq_probe {
+            let idx = self.hash_indexes[attr].as_ref().expect("checked");
+            self.stats.index_probe();
+            let candidates = idx.probe(value);
+            self.stats.read_tuples(candidates.len() as u64);
+            self.stats.pred_evals(candidates.len() as u64 * tests);
+            return candidates
+                .iter()
+                .copied()
+                .filter(|tid| {
+                    let t = self.slots[tid.slot as usize]
+                        .tuple
+                        .as_ref()
+                        .expect("indexed");
+                    qualifies(t)
+                })
+                .collect();
         }
         // 2. Range test with an ordered index?
-        for sel in &restriction.tests {
-            if sel.op == CompOp::Ne {
-                continue;
-            }
-            if let Some(Some(idx)) = self.ord_indexes.get(sel.attr) {
-                self.stats.index_probe();
-                let candidates = idx.probe_op(sel.op, &sel.value);
-                self.stats.read_tuples(candidates.len() as u64);
-                self.stats
-                    .pred_evals(candidates.len() as u64 * restriction.tests.len() as u64);
-                return candidates
-                    .into_iter()
-                    .filter(|tid| {
-                        let t = self.slots[tid.slot as usize]
-                            .tuple
-                            .as_ref()
-                            .expect("indexed");
-                        restriction.matches(t)
-                    })
-                    .collect();
-            }
+        let range_probe = restriction
+            .tests
+            .iter()
+            .map(|sel| (sel.attr, sel.op, &sel.value))
+            .chain(bound.iter().copied())
+            .filter(|&(_, op, _)| op != CompOp::Ne)
+            .find(|&(attr, _, _)| self.has_ord_index(attr));
+        if let Some((attr, op, value)) = range_probe {
+            let idx = self.ord_indexes[attr].as_ref().expect("checked");
+            self.stats.index_probe();
+            let candidates = idx.probe_op(op, value);
+            self.stats.read_tuples(candidates.len() as u64);
+            self.stats.pred_evals(candidates.len() as u64 * tests);
+            return candidates
+                .into_iter()
+                .filter(|tid| {
+                    let t = self.slots[tid.slot as usize]
+                        .tuple
+                        .as_ref()
+                        .expect("indexed");
+                    qualifies(t)
+                })
+                .collect();
         }
         // 3. Fall back to a scan.
         self.stats.scan();
         self.stats.read_tuples(self.live as u64);
-        self.stats
-            .pred_evals(self.live as u64 * restriction.tests.len().max(1) as u64);
+        self.stats.pred_evals(self.live as u64 * tests.max(1));
         self.iter_live()
-            .filter(|(_, t)| restriction.matches(t))
+            .filter(|(_, t)| qualifies(t))
             .map(|(tid, _)| tid)
             .collect()
     }
@@ -374,6 +424,7 @@ impl Relation {
             .map(|i| had_hash[i].then(HashIndex::new))
             .collect();
         self.ord_indexes = (0..arity).map(|i| had_ord[i].then(OrdIndex::new)).collect();
+        self.version += 1;
     }
 }
 

@@ -1,0 +1,265 @@
+//! Set-oriented batch matching equivalences:
+//!
+//! * the [`BatchExecutor`] (hash joins, hash semi/anti-joins) returns
+//!   exactly the bindings of the nested-loop [`QueryExecutor`] on random
+//!   conjunctive queries, including negated terms and seeded evaluation;
+//! * delta-batched loading (`insert_batch`) leaves every engine in the
+//!   same state as tuple-at-a-time loading;
+//! * parallel COND propagation fires the same rules in the same order as
+//!   serial propagation.
+
+use ops5::ClassId;
+use prodsys::{
+    make_engine, CondEngine, EngineKind, ProductionDb, ProductionSystem, SequentialExecutor,
+    Strategy,
+};
+use proptest::prelude::*;
+use relstore::{BatchExecutor, Binding, QueryExecutor, Restriction, Tuple, TupleId};
+use workload::{Op, RuleGenConfig, TraceConfig};
+
+fn sorted_tids(bindings: &[Binding]) -> Vec<Vec<Option<u64>>> {
+    let mut v: Vec<Vec<Option<u64>>> = bindings
+        .iter()
+        .map(|b| {
+            b.slots
+                .iter()
+                .map(|s| s.as_ref().map(|(tid, _)| tid.pack()))
+                .collect()
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// Build a random program, load a random WM, and return the loaded db.
+fn random_pdb(seed: u64, ops: usize) -> (ProductionDb, RuleGenConfig) {
+    let cfg = RuleGenConfig {
+        rules: 8,
+        ces_per_rule: 3,
+        domain: 3,
+        negated_fraction: 0.4,
+        seed,
+        ..Default::default()
+    };
+    let rules = ops5::compile(&cfg.source()).expect("generated program compiles");
+    let pdb = ProductionDb::new(rules).expect("pdb");
+    let trace = TraceConfig {
+        ops,
+        delete_fraction: 0.0,
+        join_domain: 2,
+        select_domain: 3,
+        seed: seed + 1000,
+    }
+    .trace(cfg.classes, cfg.attrs);
+    for op in trace {
+        if let Op::Insert(c, t) = op {
+            pdb.insert_wm(ClassId(c), t).expect("insert");
+        }
+    }
+    (pdb, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Full-query and seeded-batch evaluation: the set-oriented executor
+    /// must return exactly the nested-loop executor's bindings on random
+    /// rule queries (joins, selections, negated CEs), whatever join
+    /// algorithms its planner picks.
+    #[test]
+    fn batch_executor_matches_nested_loop(seed in 0u64..400, ops in 20usize..60) {
+        let (pdb, _cfg) = random_pdb(seed, ops);
+        let db = pdb.db();
+        for rule in &pdb.rules().rules {
+            let q = pdb.query(rule.id);
+            let nl = QueryExecutor::new(db).exec(q, None).unwrap();
+            let batch = BatchExecutor::new(db).exec(q, None).unwrap();
+            prop_assert_eq!(
+                sorted_tids(&nl),
+                sorted_tids(&batch),
+                "rule {} full evaluation",
+                rule.name
+            );
+            // Seeded evaluation: batch all tuples of a term's class at
+            // once; must equal the concatenation of per-seed runs.
+            for t in q.positive_terms() {
+                let seeds: Vec<(TupleId, Tuple)> =
+                    db.select(q.terms[t].rel, &Restriction::default()).unwrap();
+                if seeds.is_empty() {
+                    continue;
+                }
+                let mut per_seed = Vec::new();
+                for (tid, tuple) in &seeds {
+                    per_seed.extend(
+                        QueryExecutor::new(db).exec(q, Some((t, *tid, tuple))).unwrap(),
+                    );
+                }
+                let batched = BatchExecutor::new(db)
+                    .exec_seeded_batch(q, t, &seeds)
+                    .unwrap();
+                prop_assert_eq!(
+                    sorted_tids(&per_seed),
+                    sorted_tids(&batched),
+                    "rule {} seeded at term {}",
+                    rule.name,
+                    t
+                );
+            }
+        }
+    }
+}
+
+const LOAD_SRC: &str = r#"
+    (literalize Item n k)
+    (literalize Ref k w)
+    (literalize Hit n)
+    (p Match (Item ^n <N> ^k <K>) (Ref ^k <K> ^w <W>) -(Hit ^n <N>) --> (make Hit ^n <N>))
+    (p Retire (Item ^n <N>) (Hit ^n <N>) --> (remove 1) (remove 2) (write retired <N>))
+"#;
+
+fn wm_all(engine: &dyn prodsys::MatchEngine) -> Vec<Vec<Tuple>> {
+    let pdb = engine.pdb();
+    (0..pdb.class_count())
+        .map(|c| {
+            let mut rows: Vec<Tuple> = pdb
+                .db()
+                .select(pdb.class_rel(ClassId(c)), &Restriction::default())
+                .unwrap()
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+/// Loading a delta set through `insert_batch` (one set-oriented
+/// maintenance pass) must leave every engine with the same conflict set
+/// and the same run trajectory as tuple-at-a-time inserts — in both the
+/// set-oriented and the nested-loop evaluation modes.
+#[test]
+fn insert_batch_matches_per_tuple_loading() {
+    use relstore::tuple;
+    let refs: Vec<Tuple> = (0..4i64).map(|r| tuple![r, r * 10]).collect();
+    let items: Vec<Tuple> = (0..24i64).map(|i| tuple![i, i % 6]).collect();
+    for kind in EngineKind::ALL {
+        let mut results = Vec::new();
+        for (label, batched_load, set_oriented) in [
+            ("per-tuple", false, true),
+            ("batch", true, true),
+            ("batch nested-loop", true, false),
+        ] {
+            let mut sys = ProductionSystem::from_source(LOAD_SRC, kind, Strategy::Canonical)
+                .expect("program compiles");
+            sys.set_batching(set_oriented);
+            if batched_load {
+                sys.insert_batch("Ref", refs.clone()).unwrap();
+                sys.insert_batch("Item", items.clone()).unwrap();
+            } else {
+                for t in &refs {
+                    sys.insert("Ref", t.clone()).unwrap();
+                }
+                for t in &items {
+                    sys.insert("Item", t.clone()).unwrap();
+                }
+            }
+            let conflict = sys.engine().conflict_set().sorted();
+            let out = sys.run(10_000);
+            results.push((label, conflict, out.fired, out.writes, wm_all(sys.engine())));
+        }
+        let (base_label, base_conflict, base_fired, base_writes, base_wm) = &results[0];
+        for (label, conflict, fired, writes, wm) in &results[1..] {
+            let pair = format!("{} {base_label} vs {label}", kind.label());
+            assert_eq!(base_conflict, conflict, "{pair}: loaded conflict set");
+            assert_eq!(base_fired, fired, "{pair}: firing count");
+            assert_eq!(base_writes, writes, "{pair}: write log");
+            assert_eq!(base_wm, wm, "{pair}: final WM");
+        }
+    }
+}
+
+/// Real (threaded) parallel COND propagation must be invisible to the
+/// recognize-act cycle: same conflict set after loading, and the same
+/// instantiations fired in the same order through a full run.
+#[test]
+fn parallel_cond_run_matches_serial() {
+    use relstore::tuple;
+    let src = r#"
+        (literalize A x y)
+        (literalize B x y)
+        (literalize C x y)
+        (literalize Out x)
+        (p Wide (A ^x <X> ^y <Y>) (B ^x <X>) (C ^y <Y>) --> (remove 1) (make Out ^x <X>))
+        (p Gated (B ^x <X> ^y <Y>) -(C ^x <X>) --> (remove 1) (make Out ^x <X>))
+    "#;
+    let rules = ops5::compile(src).expect("program compiles");
+    let mut runs = Vec::new();
+    for parallel in [false, true] {
+        let mut engine = CondEngine::new(ProductionDb::new(rules.clone()).unwrap());
+        engine.set_parallel(parallel);
+        let mut ex = SequentialExecutor::new(Box::new(engine), Strategy::Canonical);
+        for i in 0..12i64 {
+            ex.insert(ClassId(0), tuple![i % 4, i % 3]);
+            ex.insert(ClassId(1), tuple![i % 5, i % 2]);
+            if i % 2 == 0 {
+                ex.insert(ClassId(2), tuple![i % 3, i % 3]);
+            }
+        }
+        let conflict = ex.engine().conflict_set().sorted();
+        let mut firings = Vec::new();
+        while let Some((inst, _, writes)) = ex.step() {
+            firings.push((format!("{inst:?}"), writes));
+            if firings.len() > 500 {
+                break;
+            }
+        }
+        runs.push((conflict, firings, wm_all(ex.engine())));
+    }
+    assert_eq!(runs[0].0, runs[1].0, "loaded conflict set");
+    assert_eq!(
+        runs[0].1, runs[1].1,
+        "fired instantiations and their writes, in order"
+    );
+    assert_eq!(runs[0].2, runs[1].2, "final WM");
+}
+
+/// Cross-check the scaled benchmark workload invariant the snapshots
+/// rely on: every engine row reports the same deterministic fired count.
+#[test]
+fn engines_agree_on_generated_delta_batches() {
+    let (_, cfg) = random_pdb(7, 0);
+    let rules = ops5::compile(&cfg.source()).expect("generated program compiles");
+    let trace = TraceConfig {
+        ops: 30,
+        delete_fraction: 0.2,
+        join_domain: 2,
+        select_domain: 3,
+        seed: 99,
+    }
+    .trace(cfg.classes, cfg.attrs);
+    let mut results = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut ex = SequentialExecutor::new(
+            make_engine(kind, ProductionDb::new(rules.clone()).unwrap()),
+            Strategy::Canonical,
+        );
+        // Apply the random insert/remove trace as one delta set per
+        // engine — removes of absent tuples must be dropped identically.
+        let changes: Vec<(bool, ClassId, Tuple)> = trace
+            .iter()
+            .map(|op| match op {
+                Op::Insert(c, t) => (true, ClassId(*c), t.clone()),
+                Op::Remove(c, t) => (false, ClassId(*c), t.clone()),
+            })
+            .collect();
+        // Engines apply the resulting deltas to their own conflict sets;
+        // the return value only feeds the executor's refraction memory.
+        let _ = ex.engine_mut().apply_delta(&changes);
+        results.push((kind.label(), ex.engine().conflict_set().sorted()));
+    }
+    let (base_name, base) = &results[0];
+    for (name, conflict) in &results[1..] {
+        assert_eq!(base, conflict, "{base_name} vs {name}");
+    }
+}
