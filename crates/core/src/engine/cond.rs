@@ -1057,7 +1057,9 @@ impl MatchEngine for CondEngine {
     /// seeded fire expansions, then run one hash-join evaluation per
     /// (rule, seeded-term) pair over all collected seeds. Seeds of tuples
     /// deleted later in the same cycle are dropped (their matches no
-    /// longer exist against the final WM).
+    /// longer exist against the final WM); seeds are keyed by (class,
+    /// tuple id) because [`TupleId`] is a per-relation (slot, gen) pair
+    /// that collides across classes.
     fn maintain_delta(&mut self, deltas: &[WmDelta]) -> Vec<ConflictDelta> {
         if !self.batch {
             let mut out = Vec::new();
@@ -1071,33 +1073,45 @@ impl MatchEngine for CondEngine {
             return out;
         }
         let start = Instant::now();
+        let mut detect_ns: u64 = 0;
         let mut out = Vec::new();
-        let mut pending: Vec<(usize, usize, TupleId, Tuple)> = Vec::new();
+        let mut pending: Vec<(usize, usize, ClassId, TupleId, Tuple)> = Vec::new();
         for d in deltas {
             if d.insert {
+                let t0 = Instant::now();
                 let (dd, fire) = self.detect_insert(d.class, &d.tuple);
                 self.conflict.apply_all(&dd);
                 out.extend(dd);
                 pending.extend(
                     fire.into_iter()
-                        .map(|(rid, cen)| (rid, cen, d.tid, d.tuple.clone())),
+                        .map(|(rid, cen)| (rid, cen, d.class, d.tid, d.tuple.clone())),
                 );
+                detect_ns += t0.elapsed().as_nanos() as u64;
                 let contributions = self.contributions(d.class, &d.tuple);
                 self.propagate(contributions, (d.class.0, d.tid));
             } else {
-                pending.retain(|(_, _, tid, _)| *tid != d.tid);
+                let t0 = Instant::now();
+                pending.retain(|(_, _, class, tid, _)| !(*class == d.class && *tid == d.tid));
                 let dd = self.retract_containing(d.class, d.tid);
                 self.conflict.apply_all(&dd);
                 out.extend(dd);
+                detect_ns += t0.elapsed().as_nanos() as u64;
                 let dd = self.remove_maintenance(d.class, d.tid, &d.tuple);
                 self.conflict.apply_all(&dd);
                 out.extend(dd);
             }
         }
-        self.last_detect_ns = start.elapsed().as_nanos() as u64;
-        let dd = self.expand_fires(pending);
+        let t0 = Instant::now();
+        let dd = self.expand_fires(
+            pending
+                .into_iter()
+                .map(|(rid, cen, _, tid, tuple)| (rid, cen, tid, tuple))
+                .collect(),
+        );
         self.conflict.apply_all(&dd);
         out.extend(dd);
+        detect_ns += t0.elapsed().as_nanos() as u64;
+        self.last_detect_ns = detect_ns;
         self.last_total_ns = start.elapsed().as_nanos() as u64;
         out
     }
@@ -1380,6 +1394,52 @@ mod tests {
         let d = e.remove(dept, &tuple![7]);
         assert_eq!(d.len(), 1);
         assert!(d[0].is_add(), "blocker removal revives the match");
+        assert_eq!(e.conflict_set().len(), 1);
+    }
+
+    /// A cycle that makes a WME of one class and removes a WME of
+    /// another must not cancel the insert's deferred fire seed when the
+    /// two tuple ids collide: TupleId is a per-relation (slot, gen) pair,
+    /// and both tuples here occupy slot 0 generation 0 of their
+    /// relations. Regression test for seed cancellation keyed by tid
+    /// alone instead of (class, tid).
+    #[test]
+    fn batched_delta_keeps_seeds_across_class_tid_collision() {
+        let rs = ops5::compile(
+            r#"
+            (literalize A a1)
+            (literalize B b1)
+            (literalize C c1)
+            (p Pair (A ^a1 <x>) (B ^b1 <x>) --> (remove 1))
+            (p Never (C ^c1 99) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut e = CondEngine::new(ProductionDb::new(rs).unwrap());
+        let (a, b, c) = (ClassId(0), ClassId(1), ClassId(2));
+        // C(1) takes slot 0 gen 0 of the C relation; B(5) arms Pair.
+        assert!(e.insert(c, tuple![1]).is_empty());
+        assert!(e.insert(b, tuple![5]).is_empty());
+        // One cycle: make A(5) — slot 0 gen 0 of the A relation,
+        // colliding with C(1)'s tid — and remove the unrelated C(1).
+        let deltas = e.apply_delta(&[(true, a, tuple![5]), (false, c, tuple![1])]);
+        assert!(
+            deltas.iter().any(rete::ConflictDelta::is_add),
+            "A(5) seed of the same cycle must survive the C remove"
+        );
+        assert_eq!(e.conflict_set().len(), 1, "Pair(A5,B5) instantiated");
+        // The same-class case still cancels: A(6) would fire against the
+        // B(6) made in the same cycle, but A(6) is removed again before
+        // the cycle ends, so no Pair(A6,B6) may survive.
+        let deltas = e.apply_delta(&[
+            (true, a, tuple![6]),
+            (true, b, tuple![6]),
+            (false, a, tuple![6]),
+        ]);
+        assert!(
+            !deltas.iter().any(rete::ConflictDelta::is_add),
+            "made-then-removed tuple yields no match"
+        );
         assert_eq!(e.conflict_set().len(), 1);
     }
 

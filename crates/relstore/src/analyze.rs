@@ -32,6 +32,15 @@ pub struct ObservedCounts {
     pub join_in: u64,
     /// Tuples qualifying those probes.
     pub join_out: u64,
+    /// Tuples considered by batch-executor whole-relation scans (hash
+    /// join build/probe input under the term restriction only). Kept in
+    /// a separate channel: these scans run once per plan step rather
+    /// than once per binding, so folding them into the selection channel
+    /// would let hash-join runs skew the selectivities the planner
+    /// shares with the nested-loop executor.
+    pub scan_in: u64,
+    /// Tuples qualifying those scans.
+    pub scan_out: u64,
     /// Negated-term (anti-join) probes executed.
     pub anti_probes: u64,
     /// Anti-join probes that found a blocking tuple.
@@ -49,6 +58,11 @@ impl ObservedCounts {
         (self.join_in > 0).then(|| self.join_out as f64 / self.join_in as f64)
     }
 
+    /// Observed batch-scan selectivity, when any scan ran.
+    pub fn scan_selectivity(&self) -> Option<f64> {
+        (self.scan_in > 0).then(|| self.scan_out as f64 / self.scan_in as f64)
+    }
+
     /// Fraction of anti-join probes that blocked a binding.
     pub fn anti_block_rate(&self) -> Option<f64> {
         (self.anti_probes > 0).then(|| self.anti_blocked as f64 / self.anti_probes as f64)
@@ -60,6 +74,8 @@ impl ObservedCounts {
             .u64("selection_out", self.selection_out)
             .u64("join_in", self.join_in)
             .u64("join_out", self.join_out)
+            .u64("scan_in", self.scan_in)
+            .u64("scan_out", self.scan_out)
             .u64("anti_probes", self.anti_probes)
             .u64("anti_blocked", self.anti_blocked);
         if let Some(s) = self.selection_selectivity() {
@@ -67,6 +83,9 @@ impl ObservedCounts {
         }
         if let Some(s) = self.join_selectivity() {
             o = o.f64("join_selectivity", s);
+        }
+        if let Some(s) = self.scan_selectivity() {
+            o = o.f64("scan_selectivity", s);
         }
         if let Some(s) = self.anti_block_rate() {
             o = o.f64("anti_block_rate", s);
@@ -105,6 +124,17 @@ impl AnalyzeRegistry {
             c.selection_in += input;
             c.selection_out += output;
         }
+    }
+
+    /// Record one batch-executor whole-relation scan over `rel` (hash
+    /// join build/probe input). Separate from [`AnalyzeRegistry::observe`]
+    /// so these once-per-step scans don't distort the per-probe selection
+    /// selectivity the planner's `term_cardinality` relies on.
+    pub fn observe_scan(&self, rel: RelId, input: u64, output: u64) {
+        let mut map = self.observed.lock();
+        let c = map.entry(rel.0).or_default();
+        c.scan_in += input;
+        c.scan_out += output;
     }
 
     /// Record one anti-join (negated term) probe over `rel`.

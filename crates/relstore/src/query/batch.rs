@@ -206,7 +206,7 @@ impl<'a> BatchExecutor<'a> {
         let (input, rows) = self
             .db
             .read(rel, |r| (r.len(), r.select(&query.terms[t].restriction)))?;
-        registry.observe(rel, false, input as u64, rows.len() as u64);
+        registry.observe_scan(rel, input as u64, rows.len() as u64);
         let mut out = Vec::new();
         {
             // Build over the smaller side; both fit in memory (spill-free),
@@ -325,7 +325,10 @@ impl<'a> BatchExecutor<'a> {
         Ok(out)
     }
 
-    /// Count results without materializing bindings (existence checks).
+    /// Existence check: true when at least one binding satisfies the
+    /// query. Evaluates the full binding set like [`BatchExecutor::exec`]
+    /// (set-at-a-time evaluation has no per-binding early exit); prefer
+    /// `exec` when the bindings themselves are needed.
     pub fn exists(
         &self,
         query: &ConjunctiveQuery,

@@ -208,7 +208,9 @@ impl<'a> QueryExecutor<'a> {
         Ok(())
     }
 
-    /// Count results without materializing bindings (existence checks).
+    /// Existence check: true when at least one binding satisfies the
+    /// query. Implemented as a full `exec` (no early exit); prefer
+    /// `exec` when the bindings themselves are needed.
     pub fn exists(
         &self,
         query: &ConjunctiveQuery,
