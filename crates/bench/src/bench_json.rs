@@ -32,6 +32,12 @@ pub struct BenchRow {
     pub match_entries: u64,
     /// Approximate bytes of match-support memory after the run.
     pub match_bytes: u64,
+    /// Matching-pattern index probes served (0 for engines without a
+    /// pattern store, or with its index disabled).
+    pub pattern_probes: u64,
+    /// Matching patterns examined during maintenance — the candidate
+    /// lists behind probes, or whole groups under full scans.
+    pub pattern_scanned: u64,
 }
 
 /// Run the demo workload on every engine and collect one [`BenchRow`]
@@ -50,6 +56,7 @@ pub fn bench_rows() -> Vec<BenchRow> {
             let out = sys.run(10_000);
             let wall_ns = start.elapsed().as_nanos() as u64;
             let space = sys.engine().space();
+            let (pattern_probes, pattern_scanned) = sys.engine().pattern_io().unwrap_or((0, 0));
             BenchRow {
                 engine: kind.label(),
                 wall_ns,
@@ -57,6 +64,8 @@ pub fn bench_rows() -> Vec<BenchRow> {
                 logical_io: sys.engine().pdb().db().stats().snapshot().logical_io(),
                 match_entries: space.match_entries as u64,
                 match_bytes: space.match_bytes as u64,
+                pattern_probes,
+                pattern_scanned,
             }
         })
         .collect()
@@ -117,8 +126,15 @@ fn scaled_system(kind: EngineKind) -> ProductionSystem {
         .expect("scaled program compiles")
 }
 
-fn scaled_row(label: &'static str, mut sys: ProductionSystem, items: i64, batch: bool) -> BenchRow {
+fn scaled_row(
+    label: &'static str,
+    mut sys: ProductionSystem,
+    items: i64,
+    batch: bool,
+    pattern_index: bool,
+) -> BenchRow {
     sys.set_batching(batch);
+    sys.set_pattern_index(pattern_index);
     let refs: Vec<_> = (0..SCALED_REFS)
         .map(|r| tuple![SCALED_HOT + r, r * 10])
         .collect();
@@ -138,6 +154,7 @@ fn scaled_row(label: &'static str, mut sys: ProductionSystem, items: i64, batch:
     let out = sys.run(100_000);
     let wall_ns = start.elapsed().as_nanos() as u64;
     let space = sys.engine().space();
+    let (pattern_probes, pattern_scanned) = sys.engine().pattern_io().unwrap_or((0, 0));
     BenchRow {
         engine: label,
         wall_ns,
@@ -145,30 +162,47 @@ fn scaled_row(label: &'static str, mut sys: ProductionSystem, items: i64, batch:
         logical_io: sys.engine().pdb().db().stats().snapshot().logical_io(),
         match_entries: space.match_entries as u64,
         match_bytes: space.match_bytes as u64,
+        pattern_probes,
+        pattern_scanned,
     }
 }
 
 /// Run the scaled skewed-join workload at `items` on every engine in
-/// set-oriented mode, plus tuple-at-a-time nested-loop baselines of the
-/// query and marker engines (`query-nl`, `marker-nl`) measured in the
-/// same run, same machine, same `items`.
+/// set-oriented mode, plus the COND engine with its σ-binding pattern
+/// index on (`cond-indexed`) and tuple-at-a-time nested-loop baselines
+/// of the query and marker engines (`query-nl`, `marker-nl`), all
+/// measured in the same run, same machine, same `items`. The historical
+/// `cond` row pins the index off so it stays comparable across
+/// snapshots.
 pub fn bench_scaled_rows(items: i64) -> Vec<BenchRow> {
     let items = items.clamp(1, SCALED_MAX_ITEMS);
     let mut rows: Vec<BenchRow> = EngineKind::ALL
         .iter()
-        .map(|&kind| scaled_row(kind.label(), scaled_system(kind), items, true))
+        .map(|&kind| {
+            let indexed = kind != EngineKind::Cond;
+            scaled_row(kind.label(), scaled_system(kind), items, true, indexed)
+        })
         .collect();
+    rows.push(scaled_row(
+        "cond-indexed",
+        scaled_system(EngineKind::Cond),
+        items,
+        true,
+        true,
+    ));
     rows.push(scaled_row(
         "query-nl",
         scaled_system(EngineKind::Query),
         items,
         false,
+        true,
     ));
     rows.push(scaled_row(
         "marker-nl",
         scaled_system(EngineKind::Marker),
         items,
         false,
+        true,
     ));
     rows
 }
@@ -184,6 +218,8 @@ fn snapshot_json(workload: &str, items: i64, rows: &[BenchRow]) -> String {
                 .u64("logical_io", row.logical_io)
                 .u64("match_entries", row.match_entries)
                 .u64("match_bytes", row.match_bytes)
+                .u64("pattern_probes", row.pattern_probes)
+                .u64("pattern_scanned", row.pattern_scanned)
                 .finish(),
         );
     }
@@ -204,25 +240,7 @@ pub fn bench_scaled_snapshot(items: i64) -> String {
 
 /// Render [`bench_rows`] as the `sellis88-bench/v1` JSON document.
 pub fn bench_snapshot() -> String {
-    let mut engines = Arr::new();
-    for row in bench_rows() {
-        engines = engines.raw(
-            &Obj::new()
-                .str("engine", row.engine)
-                .u64("wall_ns", row.wall_ns)
-                .u64("fired", row.fired)
-                .u64("logical_io", row.logical_io)
-                .u64("match_entries", row.match_entries)
-                .u64("match_bytes", row.match_bytes)
-                .finish(),
-        );
-    }
-    Obj::new()
-        .str("schema", BENCH_SCHEMA)
-        .str("workload", "obs-demo")
-        .u64("items", OBS_ITEMS as u64)
-        .raw("engines", &engines.finish())
-        .finish()
+    snapshot_json("obs-demo", OBS_ITEMS, &bench_rows())
 }
 
 #[cfg(test)]
@@ -243,18 +261,22 @@ mod tests {
     fn scaled_rows_agree_on_fired_and_batching_beats_nested_loop() {
         let items = 192;
         let rows = bench_scaled_rows(items);
-        assert_eq!(rows.len(), 7, "5 engines + 2 nested-loop baselines");
+        assert_eq!(
+            rows.len(),
+            8,
+            "5 engines + cond-indexed + 2 nested-loop baselines"
+        );
         let expect = scaled_fired(items);
         assert!(expect > 0);
         for row in &rows {
             assert_eq!(row.fired, expect, "{}", row.engine);
         }
-        let io = |label: &str| {
+        let find = |label: &str| {
             rows.iter()
                 .find(|r| r.engine == label)
                 .unwrap_or_else(|| panic!("{label} row"))
-                .logical_io
         };
+        let io = |label: &str| find(label).logical_io;
         // Logical I/O is deterministic (unlike wall time under test
         // parallelism): tuple-at-a-time loading re-evaluates per change,
         // so even at this small scale the batched engines must read far
@@ -271,6 +293,26 @@ mod tests {
             io("marker-nl"),
             io("marker")
         );
+        // The σ-binding pattern index: probes replace full group scans,
+        // so the indexed COND run examines far fewer patterns (and reads
+        // far fewer tuples) than the pinned full-scan `cond` baseline,
+        // while firing identically.
+        let cond = find("cond");
+        let indexed = find("cond-indexed");
+        assert_eq!(cond.pattern_probes, 0, "cond pins the index off");
+        assert!(indexed.pattern_probes > 0, "cond-indexed probes");
+        assert!(
+            indexed.pattern_scanned <= cond.pattern_scanned,
+            "indexed scanned {} vs scan {}",
+            indexed.pattern_scanned,
+            cond.pattern_scanned
+        );
+        assert!(
+            cond.logical_io >= 2 * indexed.logical_io,
+            "cond {} vs cond-indexed {}",
+            cond.logical_io,
+            indexed.logical_io
+        );
     }
 
     #[test]
@@ -282,7 +324,7 @@ mod tests {
         );
         assert!(json.contains("\"workload\":\"scaled-skew\""), "{json}");
         assert!(json.contains("\"items\":96"), "{json}");
-        for engine in ["query", "query-nl", "marker-nl"] {
+        for engine in ["query", "cond-indexed", "query-nl", "marker-nl"] {
             assert!(
                 json.contains(&format!("{{\"engine\":\"{engine}\",\"wall_ns\":")),
                 "{json}"
@@ -305,7 +347,14 @@ mod tests {
                 "{json}"
             );
         }
-        for field in ["fired", "logical_io", "match_entries", "match_bytes"] {
+        for field in [
+            "fired",
+            "logical_io",
+            "match_entries",
+            "match_bytes",
+            "pattern_probes",
+            "pattern_scanned",
+        ] {
             assert!(json.contains(&format!("\"{field}\":")), "{json}");
         }
     }

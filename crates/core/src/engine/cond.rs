@@ -46,6 +46,7 @@
 //! fire candidates through a seeded LHS query.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use ops5::{ClassId, Rule, RuleId};
@@ -85,6 +86,9 @@ struct RuleInfo {
     shares: Vec<Vec<bool>>,
     /// Positions of positive CEs (original index → positive position).
     positive_pos: Vec<Option<usize>>,
+    /// Per CE: its Eq-constrained variables as `(vid, attr)` hash sites
+    /// (one per variable), the keys of the σ-binding pattern index.
+    hash_sites: Vec<Vec<(usize, usize)>>,
 }
 
 impl RuleInfo {
@@ -143,6 +147,15 @@ impl RuleInfo {
                 pos += 1;
             }
         }
+        let mut hash_sites: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (ce, constraints) in var_constraints.iter().enumerate() {
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            for &(attr, op, vid) in constraints {
+                if op == CompOp::Eq && seen.insert(vid) {
+                    hash_sites[ce].push((vid, attr));
+                }
+            }
+        }
         RuleInfo {
             var_sites,
             occurrences,
@@ -150,6 +163,7 @@ impl RuleInfo {
             rce,
             shares,
             positive_pos,
+            hash_sites,
         }
     }
 
@@ -206,10 +220,171 @@ struct Contribution {
     marks: BTreeSet<usize>,
 }
 
+/// One `(rule, cen)` pattern group: tombstoned pattern slots plus the
+/// σ-binding hash index (§4.2.3's "indices … on COND relations" applied
+/// to the matching patterns themselves). For each *hash site* — an
+/// Eq-constrained variable of the CE — every live pattern is posted
+/// either under its bound value (`by_binding`) or on the site's unbound
+/// list. Any single site therefore partitions the group, so a probe on
+/// one site yields a sound candidate superset; lookups pick the
+/// narrowest available site. The index is always maintained; whether
+/// lookups probe it or scan every slot is the engine's
+/// `pattern_index` switch.
+#[derive(Debug, Default)]
+struct PatternGroup {
+    /// The CE's hash sites, `(vid, attr)` — see [`RuleInfo::hash_sites`].
+    hash_sites: Vec<(usize, usize)>,
+    /// Tombstoned pattern storage; freed slots are reused.
+    slots: Vec<Option<Pattern>>,
+    free: Vec<usize>,
+    /// Pattern identity → slot (constant-time apply/withdraw lookup).
+    by_identity: HashMap<Identity, usize>,
+    /// Per site: bound value → slots whose σ binds the variable to it.
+    by_binding: Vec<HashMap<Value, Vec<usize>>>,
+    /// Per site: slots whose σ leaves the site's variable unbound.
+    unbound: Vec<Vec<usize>>,
+}
+
+impl PatternGroup {
+    fn new(hash_sites: Vec<(usize, usize)>) -> Self {
+        let n = hash_sites.len();
+        PatternGroup {
+            hash_sites,
+            by_binding: vec![HashMap::new(); n],
+            unbound: vec![Vec::new(); n],
+            ..PatternGroup::default()
+        }
+    }
+
+    /// Live patterns in the group.
+    fn len(&self) -> usize {
+        self.by_identity.len()
+    }
+
+    fn patterns(&self) -> impl Iterator<Item = &Pattern> {
+        self.slots.iter().flatten()
+    }
+
+    fn live_slots(&self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&s| self.slots[s].is_some())
+            .collect()
+    }
+
+    fn get(&self, slot: usize) -> &Pattern {
+        self.slots[slot].as_ref().expect("live slot")
+    }
+
+    fn get_mut(&mut self, slot: usize) -> &mut Pattern {
+        self.slots[slot].as_mut().expect("live slot")
+    }
+
+    fn slot_of(&self, identity: &Identity) -> Option<usize> {
+        self.by_identity.get(identity).copied()
+    }
+
+    /// The hash-site position of variable `vid`, if it is one.
+    fn site_of(&self, vid: usize) -> Option<usize> {
+        self.hash_sites.iter().position(|&(v, _)| v == vid)
+    }
+
+    /// Slots whose σ binds the site's variable exactly to `v`.
+    fn bound_at(&self, site: usize, v: &Value) -> Vec<usize> {
+        self.by_binding[site].get(v).cloned().unwrap_or_default()
+    }
+
+    /// Slots whose σ is compatible with `v` at the site: unbound or
+    /// bound to `v` — the total partition that makes probes sound.
+    fn candidates_at(&self, site: usize, v: &Value) -> Vec<usize> {
+        let mut out = self.unbound[site].clone();
+        out.extend(self.bound_at(site, v));
+        out
+    }
+
+    /// Index probe for a WM tuple: the narrowest site whose attribute
+    /// the tuple carries. `None` = no usable site, caller scans.
+    fn probe_tuple(&self, tuple: &Tuple) -> Option<Vec<usize>> {
+        let mut best: Option<Vec<usize>> = None;
+        for (site, &(_, attr)) in self.hash_sites.iter().enumerate() {
+            let Some(v) = tuple.get(attr) else { continue };
+            let cand = self.candidates_at(site, v);
+            if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Index probe for a desired pattern's bound variables (each is
+    /// Eq-constrained in this CE, hence a hash site). `None` = nothing
+    /// bound, caller scans.
+    fn probe_bound(&self, bound: &[(usize, Value)]) -> Option<Vec<usize>> {
+        let mut best: Option<Vec<usize>> = None;
+        for (vid, v) in bound {
+            let Some(site) = self.site_of(*vid) else {
+                continue;
+            };
+            let cand = self.candidates_at(site, v);
+            if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Store a pattern and post it to every index. σ never changes on a
+    /// live pattern (only support does), so postings stay valid until
+    /// [`PatternGroup::remove`].
+    fn insert(&mut self, p: Pattern) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some(p);
+                s
+            }
+            None => {
+                self.slots.push(Some(p));
+                self.slots.len() - 1
+            }
+        };
+        let p = self.slots[slot].as_ref().expect("just stored");
+        self.by_identity.insert(p.identity(), slot);
+        for (site, &(vid, _)) in self.hash_sites.iter().enumerate() {
+            match &p.sigma[vid] {
+                Some(v) => self.by_binding[site]
+                    .entry(v.clone())
+                    .or_default()
+                    .push(slot),
+                None => self.unbound[site].push(slot),
+            }
+        }
+        slot
+    }
+
+    /// Drop a pattern and all its postings; the slot is reused.
+    fn remove(&mut self, slot: usize) {
+        let p = self.slots[slot].take().expect("live slot");
+        self.by_identity.remove(&p.identity());
+        for (site, &(vid, _)) in self.hash_sites.iter().enumerate() {
+            match &p.sigma[vid] {
+                Some(v) => {
+                    if let Some(list) = self.by_binding[site].get_mut(v) {
+                        list.retain(|&s| s != slot);
+                        if list.is_empty() {
+                            self.by_binding[site].remove(v);
+                        }
+                    }
+                }
+                None => self.unbound[site].retain(|&s| s != slot),
+            }
+        }
+        self.free.push(slot);
+    }
+}
+
 /// Per-class COND store: patterns grouped by (rule, cen).
 #[derive(Debug, Default)]
 struct CondStore {
-    groups: HashMap<(usize, usize), Vec<Pattern>>,
+    groups: HashMap<(usize, usize), PatternGroup>,
 }
 
 /// What the propagation of one insertion did to one pattern, recorded so
@@ -245,6 +420,16 @@ pub struct CondEngine {
     inst: InstStore,
     conflict: ConflictSet,
     parallel: bool,
+    /// Probe-vs-scan selector for pattern-group lookups. The σ-binding
+    /// hash index is always maintained; `false` restores the full group
+    /// scan (the historical `cond` bench row, and the E10-style
+    /// ablation baseline).
+    pattern_index: bool,
+    /// Index probes served (atomic: parallel propagation counts through
+    /// `&self`).
+    pat_probes: AtomicU64,
+    /// Patterns examined across all lookups, probed or scanned.
+    pat_scanned: AtomicU64,
     /// Set-oriented evaluation: hash-join executor for the seeded fire
     /// expansions and unblock re-evaluations, plus whole-delta batching
     /// of those expansions per (rule, seeded-term) in `maintain_delta`.
@@ -274,14 +459,13 @@ impl CondEngine {
         for rule in &pdb.rules().rules {
             for (cen, ce) in rule.ces.iter().enumerate() {
                 let info = &infos[rule.id.0];
-                stores[ce.class.0].groups.insert(
-                    (rule.id.0, cen),
-                    vec![Pattern {
-                        sigma: vec![None; nvars[rule.id.0]],
-                        extra: Vec::new(),
-                        support: vec![Vec::new(); info.rce[cen].len()],
-                    }],
-                );
+                let mut group = PatternGroup::new(info.hash_sites[cen].clone());
+                group.insert(Pattern {
+                    sigma: vec![None; nvars[rule.id.0]],
+                    extra: Vec::new(),
+                    support: vec![Vec::new(); info.rce[cen].len()],
+                });
+                stores[ce.class.0].groups.insert((rule.id.0, cen), group);
             }
         }
         let alpha_index = index.map(|kind| {
@@ -311,6 +495,9 @@ impl CondEngine {
             inst: InstStore::new(),
             conflict: ConflictSet::new(),
             parallel: false,
+            pattern_index: true,
+            pat_probes: AtomicU64::new(0),
+            pat_scanned: AtomicU64::new(0),
             batch: true,
             last_detect_ns: 0,
             last_total_ns: 0,
@@ -357,12 +544,86 @@ impl CondEngine {
         self.parallel = on;
     }
 
+    /// Account one pattern-group lookup: `examined` candidates
+    /// surfaced, via an index probe (`indexed`) or a full scan.
+    fn note_pattern_lookup(&self, examined: u64, indexed: bool) {
+        self.pat_scanned.fetch_add(examined, Ordering::Relaxed);
+        if indexed {
+            self.pat_probes.fetch_add(1, Ordering::Relaxed);
+            self.pdb.db().stats().index_probe();
+        }
+        if let Some(m) = self.tracer.metrics() {
+            m.record_pattern_io(indexed as u64, examined);
+        }
+    }
+
+    /// Candidate pattern slots of a group for a WM tuple: an index
+    /// probe on the narrowest hash site when enabled, else every live
+    /// slot. The second value says whether the index served it.
+    fn tuple_candidates(&self, group: &PatternGroup, tuple: &Tuple) -> (Vec<usize>, bool) {
+        if self.pattern_index {
+            if let Some(c) = group.probe_tuple(tuple) {
+                return (c, true);
+            }
+        }
+        (group.live_slots(), false)
+    }
+
+    /// Candidate slots for a positive contribution: patterns whose σ is
+    /// compatible with every bound variable of the desired pattern. An
+    /// empty `bound` matches every pattern (full scan).
+    fn bound_candidates(
+        &self,
+        group: &PatternGroup,
+        bound: &[(usize, Value)],
+    ) -> (Vec<usize>, bool) {
+        if self.pattern_index {
+            if let Some(c) = group.probe_bound(bound) {
+                return (c, true);
+            }
+        }
+        (group.live_slots(), false)
+    }
+
+    /// Candidate slots for a negated-source contribution (§4.2.2
+    /// blocker accounting): a pattern gains the blocker mark only when
+    /// every variable of the negated CE is bound identically in both
+    /// σs, so probe the strict postings of one such variable; an
+    /// unbound blocker variable means no pattern can qualify at all.
+    fn blocker_candidates(&self, c: &Contribution, group: &PatternGroup) -> (Vec<usize>, bool) {
+        let constraints = &self.infos[c.rule].var_constraints[c.k];
+        if !self.pattern_index || constraints.is_empty() {
+            return (group.live_slots(), false);
+        }
+        if constraints
+            .iter()
+            .any(|&(_, _, vid)| c.sigma[vid].is_none())
+        {
+            return (Vec::new(), true);
+        }
+        let mut best: Option<Vec<usize>> = None;
+        for &(_, _, vid) in constraints {
+            let Some(site) = group.site_of(vid) else {
+                continue;
+            };
+            let v = c.sigma[vid].as_ref().expect("checked bound");
+            let cand = group.bound_at(site, v);
+            if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
+                best = Some(cand);
+            }
+        }
+        match best {
+            Some(cand) => (cand, true),
+            None => (group.live_slots(), false),
+        }
+    }
+
     /// All stored patterns (space metric).
     pub fn pattern_count(&self) -> usize {
         self.stores
             .iter()
             .flat_map(|s| s.groups.values())
-            .map(Vec::len)
+            .map(PatternGroup::len)
             .sum()
     }
 
@@ -379,8 +640,9 @@ impl CondEngine {
             let rule = rules.rule(RuleId(rid));
             let info = &self.infos[rid];
             let arity = rules.class(class).arity();
-            let mut group: Vec<&Pattern> =
-                self.stores[class.0].groups[&(rid, cen)].iter().collect();
+            let mut group: Vec<&Pattern> = self.stores[class.0].groups[&(rid, cen)]
+                .patterns()
+                .collect();
             // Originals first, then by specialization (stable textual order).
             group.sort_by_key(|p| (!p.is_original(), format!("{:?}", p.identity())));
             for p in group {
@@ -578,9 +840,9 @@ impl CondEngine {
             }
         }
         let mut entries: Vec<LogEntry> = Vec::new();
-        // Per-partition spans: (class, scanned, span_ns), classes with
-        // work only.
-        let mut spans: Vec<(usize, u64, u64)> = Vec::new();
+        // Per-partition spans: (class, scanned, probes, span_ns),
+        // classes with work only.
+        let mut spans: Vec<(usize, u64, u64, u64)> = Vec::new();
         let parallel = self.parallel;
         if parallel {
             // Real fan-out: split the stores so threads own disjoint
@@ -599,13 +861,13 @@ impl CondEngine {
                     let mut store = slots[class].take().expect("store present");
                     let handle = scope.spawn(move |_| {
                         let started = Instant::now();
-                        let (log, scanned) = this.apply_to_store(&mut store, &work, tup);
+                        let (log, scanned, probes) = this.apply_to_store(&mut store, &work, tup);
                         let span_ns = started.elapsed().as_nanos() as u64;
-                        (class, store, log, scanned, span_ns)
+                        (class, store, log, scanned, probes, span_ns)
                     });
                     handles.push(handle);
                 }
-                let mut returned: Vec<(usize, CondStore, Vec<LogEntry>, u64, u64)> = handles
+                let mut returned: Vec<(usize, CondStore, Vec<LogEntry>, u64, u64, u64)> = handles
                     .into_iter()
                     .map(|h| h.join().expect("propagation thread"))
                     .collect();
@@ -613,10 +875,10 @@ impl CondEngine {
                 returned
             })
             .expect("propagation scope");
-            for (class, store, log, scanned, span_ns) in collected {
+            for (class, store, log, scanned, probes, span_ns) in collected {
                 slots[class] = Some(store);
                 entries.extend(log);
-                spans.push((class, scanned, span_ns));
+                spans.push((class, scanned, probes, span_ns));
             }
             self.stores = slots
                 .into_iter()
@@ -629,17 +891,18 @@ impl CondEngine {
                     continue;
                 }
                 let started = Instant::now();
-                let (log, scanned) = self.apply_to_store(&mut stores[class], work, tup);
+                let (log, scanned, probes) = self.apply_to_store(&mut stores[class], work, tup);
                 entries.extend(log);
-                spans.push((class, scanned, started.elapsed().as_nanos() as u64));
+                spans.push((class, scanned, probes, started.elapsed().as_nanos() as u64));
             }
             self.stores = stores;
         }
-        for (class, scanned, span_ns) in spans {
+        for (class, scanned, probes, span_ns) in spans {
             self.tracer.emit(|| obs::Event::PropagateSpan {
                 class: class as u32,
                 class_name: self.pdb.rules().class(ClassId(class)).name.clone(),
                 scanned,
+                probes,
                 span_ns,
                 parallel,
             });
@@ -657,14 +920,15 @@ impl CondEngine {
 
     /// Apply contributions targeting one class store. Returns log entries
     /// (supporter tuple → pattern) for every support-set insertion made,
-    /// plus the number of COND tuples examined (the partition's span
-    /// work, reported per-partition by `propagate`).
+    /// plus the number of COND tuples examined and the index probes that
+    /// narrowed them (the partition's span work, reported per-partition
+    /// by `propagate`).
     fn apply_to_store(
         &self,
         store: &mut CondStore,
         work: &[(Contribution, usize)],
         tup: TupKey,
-    ) -> (Vec<LogEntry>, u64) {
+    ) -> (Vec<LogEntry>, u64, u64) {
         // Proposals keyed by (rule, n, identity, k_idx). Distinct
         // derivation paths may reach the same identity with different
         // inherited supports; everything unions (the pattern is supported
@@ -672,6 +936,7 @@ impl CondEngine {
         let mut proposals: HashMap<(usize, usize, Identity, usize), Vec<Vec<TupKey>>> =
             HashMap::new();
         let mut scanned: u64 = 0;
+        let mut probes: u64 = 0;
         let union_into = |slot: &mut Vec<Vec<TupKey>>, support: &[Vec<TupKey>]| {
             for (dst, src) in slot.iter_mut().zip(support) {
                 for s in src {
@@ -691,9 +956,17 @@ impl CondEngine {
             let Some(group) = store.groups.get(&(c.rule, n)) else {
                 continue;
             };
-            self.pdb.db().stats().read_tuples(group.len() as u64);
-            scanned += group.len() as u64;
-            for m in group {
+            let (cands, indexed) = if negated_k {
+                self.blocker_candidates(c, group)
+            } else {
+                self.bound_candidates(group, &bound)
+            };
+            self.pdb.db().stats().read_tuples(cands.len() as u64);
+            self.note_pattern_lookup(cands.len() as u64, indexed);
+            scanned += cands.len() as u64;
+            probes += indexed as u64;
+            for &slot in &cands {
+                let m = group.get(slot);
                 // Mark compatibility (§4.2.2): every mark set in M must be
                 // set in T's extended view — restricted to marks of CEs
                 // sharing a variable with the target CE (see module docs).
@@ -778,8 +1051,9 @@ impl CondEngine {
                 support[k_idx].push(tup);
             }
             let group = store.groups.get_mut(&(rid, n)).expect("group exists");
-            match group.iter_mut().find(|p| p.identity() == identity) {
-                Some(p) => {
+            match group.slot_of(&identity) {
+                Some(slot) => {
+                    let p = group.get_mut(slot);
                     for (dst, src) in p.support.iter_mut().zip(&support) {
                         for s in src {
                             if !dst.contains(s) {
@@ -794,7 +1068,7 @@ impl CondEngine {
                         log.push((*s, (rid, n, identity.clone())));
                     }
                     self.pdb.db().stats().inserted();
-                    group.push(Pattern {
+                    group.insert(Pattern {
                         sigma: identity.0,
                         extra: identity.1,
                         support,
@@ -802,7 +1076,7 @@ impl CondEngine {
                 }
             }
         }
-        (log, scanned)
+        (log, scanned, probes)
     }
 
     /// Withdraw a deleted tuple's support from every pattern it
@@ -817,17 +1091,17 @@ impl CondEngine {
             let Some(group) = self.stores[class].groups.get_mut(&(rid, cen)) else {
                 continue;
             };
-            let Some(pos) = group.iter().position(|p| p.identity() == identity) else {
+            let Some(slot) = group.slot_of(&identity) else {
                 continue;
             };
-            let p = &mut group[pos];
+            let p = group.get_mut(slot);
             for s in p.support.iter_mut() {
                 s.retain(|x| *x != tup);
             }
             if p.support.iter().all(Vec::is_empty) && !p.is_original() {
                 // Subsumed by the original template once unsupported.
                 self.pdb.db().stats().deleted();
-                group.remove(pos);
+                group.remove(slot);
             }
         }
     }
@@ -851,18 +1125,27 @@ impl CondEngine {
             let Some(group) = self.stores[class.0].groups.get(&(rid, cen)) else {
                 continue;
             };
-            self.charge_io(group.len() as u64);
             let negated = self.rule(rid).ces[cen].negated;
             if negated {
+                // Only the alpha template matters; with the pattern
+                // index on, the group's patterns are never read here.
+                self.charge_io(if self.pattern_index {
+                    1
+                } else {
+                    group.len() as u64
+                });
                 if self.rule(rid).ces[cen].alpha.matches(tuple) {
                     blockers.push((rid, cen));
                 }
                 continue;
             }
-            if group
-                .iter()
-                .any(|p| self.pattern_matches(rid, cen, p, tuple) && self.fully_marked(rid, cen, p))
-            {
+            let (cands, indexed) = self.tuple_candidates(group, tuple);
+            self.charge_io(cands.len() as u64);
+            self.note_pattern_lookup(cands.len() as u64, indexed);
+            if cands.iter().any(|&s| {
+                let p = group.get(s);
+                self.pattern_matches(rid, cen, p, tuple) && self.fully_marked(rid, cen, p)
+            }) {
                 fire.push((rid, cen));
             }
         }
@@ -978,7 +1261,10 @@ impl CondEngine {
             let Some(group) = self.stores[class.0].groups.get(&(rid, cen)) else {
                 continue;
             };
-            for p in group {
+            let (cands, indexed) = self.tuple_candidates(group, tuple);
+            self.note_pattern_lookup(cands.len() as u64, indexed);
+            for &s in &cands {
+                let p = group.get(s);
                 if self.pattern_matches(rid, cen, p, tuple) {
                     out.push(self.contribution(rid, cen, p, tuple));
                 }
@@ -996,11 +1282,31 @@ impl MatchEngine for CondEngine {
     fn match_plan(&self) -> Vec<crate::engine::MatchPlan> {
         // COND patterns are stored per textual CE; maintenance walks them
         // in that order rather than re-planning per WM change.
-        crate::engine::explain::match_plans(
+        let mut plans = crate::engine::explain::match_plans(
             self.pdb(),
             self.name(),
             crate::engine::OrderPolicy::Textual,
-        )
+        );
+        let mode = if self.pattern_index {
+            "indexed"
+        } else {
+            "scan"
+        };
+        for plan in &mut plans {
+            plan.pattern_store = Some(mode);
+        }
+        plans
+    }
+
+    fn set_pattern_index(&mut self, on: bool) {
+        self.pattern_index = on;
+    }
+
+    fn pattern_io(&self) -> Option<(u64, u64)> {
+        Some((
+            self.pat_probes.load(Ordering::Relaxed),
+            self.pat_scanned.load(Ordering::Relaxed),
+        ))
     }
 
     fn pdb(&self) -> &ProductionDb {
@@ -1130,7 +1436,7 @@ impl MatchEngine for CondEngine {
             .stores
             .iter()
             .flat_map(|s| s.groups.values())
-            .flatten()
+            .flat_map(PatternGroup::patterns)
             .map(|p| {
                 48 + p
                     .sigma
@@ -1189,7 +1495,7 @@ mod tests {
     /// A readable snapshot of COND patterns for a (rule, cen) group.
     fn patterns(e: &CondEngine, class: usize, cen: usize) -> Vec<(Vec<Option<Value>>, Vec<u32>)> {
         let mut v: Vec<_> = e.stores[class].groups[&(0, cen)]
-            .iter()
+            .patterns()
             .map(|p| (p.sigma.clone(), p.counts()))
             .collect();
         v.sort_by_key(|(s, _)| format!("{s:?}"));
@@ -1345,7 +1651,7 @@ mod tests {
         // A pattern specialized with Sam + salary<6000 now exists.
         let group = &e.stores[0].groups[&(0, 1)];
         assert!(
-            group.iter().any(|p| !p.extra.is_empty()),
+            group.patterns().any(|p| !p.extra.is_empty()),
             "range constraint stored"
         );
         let d = e.insert(emp, tuple!["Sam", 5000, "Root"]);
@@ -1441,6 +1747,47 @@ mod tests {
             "made-then-removed tuple yields no match"
         );
         assert_eq!(e.conflict_set().len(), 1);
+    }
+
+    /// The σ-binding index is a pure access-path change: probing and
+    /// scanning the same trace must agree on conflict sets, pattern
+    /// counts, and the rendered COND tables — including negated CEs and
+    /// removals.
+    #[test]
+    fn pattern_index_matches_scan_on_example_trace() {
+        let mut indexed = example4();
+        let mut scan = example4();
+        scan.set_pattern_index(false);
+        let (a, b, c) = (ClassId(0), ClassId(1), ClassId(2));
+        let ops: Vec<(bool, ClassId, Tuple)> = vec![
+            (true, b, tuple![4, 5, "b"]),
+            (true, c, tuple!["c", 7, 8]),
+            (true, a, tuple![4, "a", 8]),
+            (true, b, tuple![4, 7, "b"]),
+            (false, c, tuple!["c", 7, 8]),
+            (true, c, tuple!["c", 7, 8]),
+            (false, b, tuple![4, 7, "b"]),
+        ];
+        for (ins, cl, t) in ops {
+            if ins {
+                indexed.insert(cl, t.clone());
+                scan.insert(cl, t);
+            } else {
+                indexed.remove(cl, &t);
+                scan.remove(cl, &t);
+            }
+        }
+        assert_eq!(
+            indexed.conflict_set().sorted(),
+            scan.conflict_set().sorted()
+        );
+        assert_eq!(indexed.pattern_count(), scan.pattern_count());
+        for class in [a, b, c] {
+            assert_eq!(indexed.render_cond(class), scan.render_cond(class));
+        }
+        let (probes, _) = indexed.pattern_io().unwrap();
+        assert!(probes > 0, "indexed run actually probed");
+        assert_eq!(scan.pattern_io().unwrap().0, 0, "scan run never probes");
     }
 
     #[test]

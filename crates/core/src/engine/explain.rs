@@ -72,16 +72,24 @@ pub struct MatchPlan {
     pub steps: Vec<PlanStep>,
     /// Instantiations the profiled evaluation produced.
     pub results: u64,
+    /// How the engine's matching-pattern store is accessed, when it keeps
+    /// one: "indexed" (σ-binding hash probes) or "scan" (full group scan).
+    /// `None` for engines without a pattern store.
+    pub pattern_store: Option<&'static str>,
 }
 
 impl MatchPlan {
     /// Render as indented EXPLAIN ANALYZE-style text.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "{} (engine={} policy={})\n",
+            "{} (engine={} policy={}{})\n",
             self.rule_name,
             self.engine,
-            self.policy.label()
+            self.policy.label(),
+            match self.pattern_store {
+                Some(store) => format!(" store={store}"),
+                None => String::new(),
+            }
         );
         for (i, st) in self.steps.iter().enumerate() {
             let op = if st.negated {
@@ -121,12 +129,15 @@ impl MatchPlan {
                     .finish(),
             );
         }
-        Obj::new()
+        let mut obj = Obj::new()
             .str("engine", self.engine)
             .u64("rule", self.rule as u64)
             .str("rule_name", &self.rule_name)
-            .str("policy", self.policy.label())
-            .raw("steps", &steps.finish())
+            .str("policy", self.policy.label());
+        if let Some(store) = self.pattern_store {
+            obj = obj.str("pattern_store", store);
+        }
+        obj.raw("steps", &steps.finish())
             .u64("results", self.results)
             .finish()
     }
@@ -228,6 +239,7 @@ pub fn match_plans(
                 policy,
                 steps,
                 results: profile.bindings.len() as u64,
+                pattern_store: None,
             }
         })
         .collect()

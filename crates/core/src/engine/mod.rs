@@ -144,9 +144,10 @@ pub trait MatchEngine: Send {
     /// Apply a cycle's WM changes (in action order) and then run one
     /// set-oriented maintenance pass over the resulting delta set. Removes
     /// of absent tuples are dropped, exactly as [`MatchEngine::remove`]
-    /// drops them. Emits no trace events — callers that trace must use the
-    /// per-change `insert`/`remove` path so the canonical per-change event
-    /// streams stay comparable across engines.
+    /// drops them. When a tracer is installed, the batch emits the WM
+    /// change events, the canonically ordered conflict-set deltas for the
+    /// whole batch, and one [`Event::BatchApplied`] summary — batched runs
+    /// trace without falling back to per-change maintenance.
     fn apply_delta(&mut self, changes: &[(bool, ClassId, Tuple)]) -> Vec<ConflictDelta> {
         let mut resolved: Vec<WmDelta> = Vec::with_capacity(changes.len());
         for (insert, class, tuple) in changes {
@@ -174,13 +175,31 @@ pub trait MatchEngine: Send {
                 });
             }
         }
-        self.maintain_delta(&resolved)
+        let start = self.tracer().enabled().then(Instant::now);
+        let deltas = self.maintain_delta(&resolved);
+        if let Some(start) = start {
+            let total_ns = start.elapsed().as_nanos() as u64;
+            trace_batch(self, &resolved, &deltas, total_ns);
+        }
+        deltas
     }
 
     /// Toggle set-oriented (batched, hash-join) evaluation where the
     /// engine supports it. Default: no-op — the engine keeps its only
     /// strategy. Used by benchmarks to pin the nested-loop baseline.
     fn set_batching(&mut self, _on: bool) {}
+
+    /// Toggle the σ-binding hash index over matching patterns where the
+    /// engine keeps one (the COND engine). Default: no-op. Benchmarks pin
+    /// `false` to reproduce the historical full-scan baseline.
+    fn set_pattern_index(&mut self, _on: bool) {}
+
+    /// `(probes, patterns_examined)` counters of the matching-pattern
+    /// store, when the engine keeps one. `None` for engines without a
+    /// pattern store.
+    fn pattern_io(&self) -> Option<(u64, u64)> {
+        None
+    }
 
     /// The current conflict set.
     fn conflict_set(&self) -> &ConflictSet;
@@ -263,37 +282,7 @@ pub(crate) fn trace_wm_change<E: MatchEngine + ?Sized>(
             }
         }
     });
-    // Deltas are emitted in a canonical order (removes first, then adds,
-    // each sorted) so the streams of different engines line up.
-    let mut ordered: Vec<&ConflictDelta> = deltas.iter().collect();
-    ordered.sort_by(|a, b| {
-        a.is_add()
-            .cmp(&b.is_add())
-            .then_with(|| a.instantiation().cmp(b.instantiation()))
-    });
-    for delta in ordered {
-        let inst = delta.instantiation();
-        let rule_name = &rules.rule(inst.rule).name;
-        if let Some(m) = tracer.metrics() {
-            m.record_conflict_delta(inst.rule.0 as u32, rule_name, delta.is_add());
-        }
-        tracer.emit(|| {
-            let mut wmes = String::new();
-            for w in &inst.wmes {
-                if !wmes.is_empty() {
-                    wmes.push(' ');
-                }
-                wmes.push_str(&rules.class(w.class).name);
-                wmes.push_str(&w.tuple.to_string());
-            }
-            Event::ConflictDelta {
-                add: delta.is_add(),
-                rule: inst.rule.0 as u32,
-                rule_name: rule_name.clone(),
-                wmes,
-            }
-        });
-    }
+    emit_conflict_deltas(tracer, rules, deltas);
     let (adds, removes) =
         deltas.iter().fold(
             (0, 0),
@@ -323,6 +312,98 @@ pub(crate) fn trace_wm_change<E: MatchEngine + ?Sized>(
             detect_ns,
             total_ns,
         );
+    }
+}
+
+/// Emit the canonically ordered conflict-set delta events (removes first,
+/// then adds, each sorted) so the streams of different engines line up.
+/// Returns the number of distinct rules the deltas touched.
+fn emit_conflict_deltas(tracer: &Tracer, rules: &ops5::RuleSet, deltas: &[ConflictDelta]) -> usize {
+    let mut ordered: Vec<&ConflictDelta> = deltas.iter().collect();
+    ordered.sort_by(|a, b| {
+        a.is_add()
+            .cmp(&b.is_add())
+            .then_with(|| a.instantiation().cmp(b.instantiation()))
+    });
+    let mut awakened = std::collections::BTreeSet::new();
+    for delta in ordered {
+        let inst = delta.instantiation();
+        awakened.insert(inst.rule.0);
+        let rule_name = &rules.rule(inst.rule).name;
+        if let Some(m) = tracer.metrics() {
+            m.record_conflict_delta(inst.rule.0 as u32, rule_name, delta.is_add());
+        }
+        tracer.emit(|| {
+            let mut wmes = String::new();
+            for w in &inst.wmes {
+                if !wmes.is_empty() {
+                    wmes.push(' ');
+                }
+                wmes.push_str(&rules.class(w.class).name);
+                wmes.push_str(&w.tuple.to_string());
+            }
+            Event::ConflictDelta {
+                add: delta.is_add(),
+                rule: inst.rule.0 as u32,
+                rule_name: rule_name.clone(),
+                wmes,
+            }
+        });
+    }
+    awakened.len()
+}
+
+/// Emit the trace events and metrics for one completed batched delta
+/// (§4.2 set-oriented maintenance): every WM change event, the whole
+/// batch's conflict-set deltas in canonical order, and a
+/// [`Event::BatchApplied`] summary. Used by [`MatchEngine::apply_delta`]
+/// so batched runs trace without a per-change fallback.
+pub(crate) fn trace_batch<E: MatchEngine + ?Sized>(
+    engine: &E,
+    resolved: &[WmDelta],
+    deltas: &[ConflictDelta],
+    total_ns: u64,
+) {
+    let tracer = engine.tracer();
+    let rules = engine.pdb().rules();
+    let mut inserts = 0usize;
+    let mut deletes = 0usize;
+    for d in resolved {
+        let class_name = &rules.class(d.class).name;
+        if d.insert {
+            inserts += 1;
+        } else {
+            deletes += 1;
+        }
+        if let Some(m) = tracer.metrics() {
+            m.record_class_change(d.class.0 as u32, class_name);
+        }
+        tracer.emit(|| {
+            if d.insert {
+                Event::WmInsert {
+                    class: d.class.0 as u32,
+                    class_name: class_name.clone(),
+                    tuple: d.tuple.to_string(),
+                }
+            } else {
+                Event::WmRemove {
+                    class: d.class.0 as u32,
+                    class_name: class_name.clone(),
+                    tuple: d.tuple.to_string(),
+                }
+            }
+        });
+    }
+    let rules_awakened = emit_conflict_deltas(tracer, rules, deltas);
+    tracer.emit(|| Event::BatchApplied {
+        engine: engine.name(),
+        inserts,
+        deletes,
+        rules_awakened,
+        total_ns,
+    });
+    if let Some(m) = tracer.metrics() {
+        m.record_batch((inserts + deletes) as u64);
     }
 }
 

@@ -46,6 +46,12 @@ pub struct ConcurrentStats {
     /// Instantiations skipped because their tuples vanished or a negated
     /// CE became blocked before execution.
     pub invalidated: usize,
+    /// Transactions aborted by a non-deadlock storage error (the worker
+    /// rolls the transaction back and reports the error here; it never
+    /// panics).
+    pub failed: usize,
+    /// The storage errors behind `failed`, in completion order.
+    pub errors: Vec<String>,
     /// Synchronization rounds executed.
     pub rounds: usize,
     /// Lock requests that blocked during the run.
@@ -62,12 +68,13 @@ impl fmt::Display for ConcurrentStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "committed={} aborts={} retries={} invalidated={} rounds={} \
+            "committed={} aborts={} retries={} invalidated={} failed={} rounds={} \
              lock_waits={} lock_wait_ms={:.3}{}",
             self.committed,
             self.deadlock_aborts,
             self.retries,
             self.invalidated,
+            self.failed,
             self.rounds,
             self.lock_waits,
             self.lock_wait_ns as f64 / 1e6,
@@ -86,9 +93,16 @@ pub struct ConcurrentExecutor {
 /// Result of one instantiation's transaction.
 #[derive(Debug)]
 enum TxnOutcome {
-    Committed { halt: bool, writes: Vec<String> },
+    Committed {
+        halt: bool,
+        writes: Vec<String>,
+    },
     Invalid,
     Deadlock,
+    /// A non-deadlock storage error aborted the transaction. The dropped
+    /// [`relstore::Txn`] rolled its effects back; the error is surfaced in
+    /// [`ConcurrentStats::errors`] instead of panicking the worker.
+    Failed(Error),
 }
 
 impl ConcurrentExecutor {
@@ -152,7 +166,7 @@ impl ConcurrentExecutor {
                 let rows = match txn.select(pdb.class_rel(ce.class), &full_eq) {
                     Ok(rows) => rows,
                     Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                    Err(e) => panic!("select failed: {e}"),
+                    Err(e) => return TxnOutcome::Failed(e),
                 };
                 let free = rows
                     .iter()
@@ -179,7 +193,7 @@ impl ConcurrentExecutor {
                     Ok(true) => {}
                     Ok(false) => return TxnOutcome::Invalid,
                     Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                    Err(e) => panic!("verify_absent failed: {e}"),
+                    Err(e) => return TxnOutcome::Failed(e),
                 }
             }
 
@@ -221,7 +235,7 @@ impl ConcurrentExecutor {
                                     Ok(rows) if !rows.is_empty() => rows[0].0,
                                     Ok(_) => continue,
                                     Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                                    Err(e) => panic!("select failed: {e}"),
+                                    Err(e) => return TxnOutcome::Failed(e),
                                 }
                             }
                         };
@@ -231,14 +245,14 @@ impl ConcurrentExecutor {
                             Ok(Some(_)) => applied.push((change.clone(), tid)),
                             Ok(None) => {}
                             Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                            Err(e) => panic!("delete failed: {e}"),
+                            Err(e) => return TxnOutcome::Failed(e),
                         }
                     }
                     WmChange::Insert(class, tuple) => {
                         match txn.insert(pdb.class_rel(*class), tuple.clone()) {
                             Ok(tid) => applied.push((change.clone(), tid)),
                             Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                            Err(e) => panic!("insert failed: {e}"),
+                            Err(e) => return TxnOutcome::Failed(e),
                         }
                     }
                 }
@@ -286,7 +300,7 @@ impl ConcurrentExecutor {
             TxnOutcome::Invalid => {
                 tracer.emit(|| Event::TxnAbort {
                     txn: txn_id,
-                    reason: "invalidated",
+                    reason: "invalidated".to_string(),
                 });
                 if let Some(m) = tracer.metrics() {
                     m.record_txn(false);
@@ -295,7 +309,16 @@ impl ConcurrentExecutor {
             TxnOutcome::Deadlock => {
                 tracer.emit(|| Event::TxnAbort {
                     txn: txn_id,
-                    reason: "deadlock",
+                    reason: "deadlock".to_string(),
+                });
+                if let Some(m) = tracer.metrics() {
+                    m.record_txn(false);
+                }
+            }
+            TxnOutcome::Failed(e) => {
+                tracer.emit(|| Event::TxnAbort {
+                    txn: txn_id,
+                    reason: format!("error: {e}"),
                 });
                 if let Some(m) = tracer.metrics() {
                     m.record_txn(false);
@@ -313,6 +336,10 @@ impl ConcurrentExecutor {
         // Deadlock victims awaiting a retry; lock-wait totals come from
         // the storage layer's counters, delta'd over this run.
         let mut deadlocked: Vec<Instantiation> = Vec::new();
+        // Consecutive rounds in which nothing committed or invalidated
+        // (deadlock victims / failures only): capped, with exponential
+        // backoff between the retry rounds.
+        let mut stalls = 0usize;
         let base = self.engine.lock().pdb().db().stats().snapshot();
         while stats.committed < max_fired && !stats.halted {
             // Snapshot Ψ_i: conflict set minus already-fired (refraction).
@@ -336,12 +363,7 @@ impl ConcurrentExecutor {
             if candidates.is_empty() {
                 break;
             }
-            for inst in &candidates {
-                if let Some(pos) = deadlocked.iter().position(|d| d == inst) {
-                    deadlocked.remove(pos);
-                    stats.retries += 1;
-                }
-            }
+            stats.retries += prune_deadlocked(&mut deadlocked, &candidates);
             stats.rounds += 1;
             let queue: Arc<Mutex<VecDeque<Instantiation>>> =
                 Arc::new(Mutex::new(candidates.into_iter().collect()));
@@ -387,6 +409,13 @@ impl ConcurrentExecutor {
                         // Retried next round if still applicable.
                         deadlocked.push(inst);
                     }
+                    TxnOutcome::Failed(e) => {
+                        stats.failed += 1;
+                        stats.errors.push(e.to_string());
+                        // The transaction rolled back; the instantiation is
+                        // not marked fired, so the next snapshot retries it
+                        // if it is still applicable.
+                    }
                 }
             }
             // Keep refraction memory consistent with the conflict set.
@@ -403,12 +432,20 @@ impl ConcurrentExecutor {
                 }
                 fired = kept;
             }
-            if !progressed {
-                // Only deadlock victims remain; retry, but avoid spinning
-                // forever on a pathological workload.
-                if stats.rounds > 10_000 {
+            if progressed {
+                stalls = 0;
+            } else {
+                // Only deadlock victims / failures remain; retry with
+                // backoff, but give up after a bounded streak of
+                // no-progress rounds instead of spinning (the old guard
+                // compared against *total* rounds, so a long productive
+                // run could trip it — or a stall early in a short run
+                // could spin for thousands of rounds first).
+                stalls += 1;
+                if stalls >= 32 {
                     break;
                 }
+                std::thread::sleep(std::time::Duration::from_micros(50u64 << stalls.min(8)));
             }
         }
         let delta = self
@@ -423,6 +460,30 @@ impl ConcurrentExecutor {
         stats.lock_wait_ns = delta.lock_wait_ns;
         stats
     }
+}
+
+/// Retire the previous round's deadlock victims against the current
+/// candidate snapshot: victims still applicable count as retries (they
+/// are about to re-execute); victims whose instantiation left the
+/// conflict set are dropped. Either way the list is cleared — a victim
+/// that deadlocks again this round re-enters it — so it can never grow
+/// without bound on workloads where victims are invalidated by other
+/// transactions instead of reappearing.
+fn prune_deadlocked(deadlocked: &mut Vec<Instantiation>, candidates: &[Instantiation]) -> usize {
+    let mut pool: Vec<Option<&Instantiation>> = candidates.iter().map(Some).collect();
+    let mut retries = 0;
+    'victims: for victim in deadlocked.drain(..) {
+        for slot in pool.iter_mut() {
+            if let Some(c) = slot {
+                if **c == victim {
+                    *slot = None;
+                    retries += 1;
+                    continue 'victims;
+                }
+            }
+        }
+    }
+    retries
 }
 
 #[cfg(test)]
@@ -517,6 +578,31 @@ mod tests {
         // Two distinct n values → exactly two Done tuples despite four
         // Items producing four instantiations initially.
         assert_eq!(g.pdb().wm_len(ClassId(1)), 2);
+    }
+
+    /// Regression: a deadlock victim whose instantiation never returns to
+    /// the conflict set (another transaction invalidated it) used to stay
+    /// in the victim list forever. Pruning runs against every candidate
+    /// snapshot and clears the list each round.
+    #[test]
+    fn deadlock_victims_pruned_against_current_candidates() {
+        let inst = |rule: usize, v: i64| rete::Instantiation {
+            rule: ops5::RuleId(rule),
+            wmes: vec![rete::Wme::new(ClassId(0), tuple![v])],
+            why: rete::Provenance::default(),
+        };
+        // Victim 0 reappears in the candidates (a genuine retry); victim 1
+        // was invalidated and must be dropped, not kept forever.
+        let mut deadlocked = vec![inst(0, 1), inst(1, 2)];
+        let candidates = vec![inst(0, 1), inst(2, 3)];
+        let retries = prune_deadlocked(&mut deadlocked, &candidates);
+        assert_eq!(retries, 1, "only the reappearing victim is a retry");
+        assert!(deadlocked.is_empty(), "the victim list is always cleared");
+        // Duplicate instantiations retire one victim each, not all at once.
+        let mut deadlocked = vec![inst(0, 1), inst(0, 1)];
+        let retries = prune_deadlocked(&mut deadlocked, &[inst(0, 1)]);
+        assert_eq!(retries, 1, "multiset semantics: one candidate, one retry");
+        assert!(deadlocked.is_empty());
     }
 
     #[test]

@@ -86,16 +86,10 @@ impl SequentialExecutor {
 
     /// Insert many WM elements of one class as a single delta set: all
     /// tuples enter working memory first, then the engine runs one
-    /// set-oriented maintenance pass. Falls back to per-tuple insertion
-    /// when tracing is on, so the canonical per-change event streams stay
-    /// directly comparable across engines.
+    /// set-oriented maintenance pass. Traced runs emit the batch's WM
+    /// events, its canonically ordered conflict deltas, and a
+    /// `BatchApplied` summary from inside `apply_delta`.
     pub fn insert_batch(&mut self, class: ops5::ClassId, tuples: Vec<relstore::Tuple>) {
-        if self.engine.tracer().enabled() {
-            for t in tuples {
-                self.insert(class, t);
-            }
-            return;
-        }
         let changes: Vec<(bool, ops5::ClassId, relstore::Tuple)> =
             tuples.into_iter().map(|t| (true, class, t)).collect();
         let deltas = self.engine.apply_delta(&changes);
@@ -147,42 +141,25 @@ impl SequentialExecutor {
         let start = tracer.enabled().then(Instant::now);
         let rhs = eval_rhs(&rules, &inst);
         let (mut inserts, mut removes) = (0usize, 0usize);
-        if tracer.enabled() {
-            // Traced: one WM change at a time so every engine emits the
-            // same canonical per-change event stream.
-            for change in &rhs.changes {
-                let deltas = match change {
-                    WmChange::Insert(class, tuple) => {
-                        inserts += 1;
-                        self.engine.insert(*class, tuple.clone())
-                    }
-                    WmChange::Remove(class, tuple) => {
-                        removes += 1;
-                        self.engine.remove(*class, tuple)
-                    }
-                };
-                self.absorb(&deltas);
-            }
-        } else {
-            // Untraced: apply the cycle's whole RHS as one delta set and
-            // let the engine maintain it in a single batched pass (§4.2).
-            let changes: Vec<(bool, ops5::ClassId, relstore::Tuple)> = rhs
-                .changes
-                .iter()
-                .map(|change| match change {
-                    WmChange::Insert(class, tuple) => {
-                        inserts += 1;
-                        (true, *class, tuple.clone())
-                    }
-                    WmChange::Remove(class, tuple) => {
-                        removes += 1;
-                        (false, *class, tuple.clone())
-                    }
-                })
-                .collect();
-            let deltas = self.engine.apply_delta(&changes);
-            self.absorb(&deltas);
-        }
+        // Apply the cycle's whole RHS as one delta set and let the engine
+        // maintain it in a single batched pass (§4.2). Traced runs get the
+        // batch's events from inside `apply_delta`.
+        let changes: Vec<(bool, ops5::ClassId, relstore::Tuple)> = rhs
+            .changes
+            .iter()
+            .map(|change| match change {
+                WmChange::Insert(class, tuple) => {
+                    inserts += 1;
+                    (true, *class, tuple.clone())
+                }
+                WmChange::Remove(class, tuple) => {
+                    removes += 1;
+                    (false, *class, tuple.clone())
+                }
+            })
+            .collect();
+        let deltas = self.engine.apply_delta(&changes);
+        self.absorb(&deltas);
         if let Some(start) = start {
             let rhs_ns = start.elapsed().as_nanos() as u64;
             tracer.emit(|| Event::RuleFire {

@@ -54,7 +54,7 @@ impl ProductionSystem {
     }
 
     /// Insert many WM elements of one class as a single delta set (one
-    /// set-oriented maintenance pass when untraced; see
+    /// set-oriented maintenance pass; see
     /// [`SequentialExecutor::insert_batch`]).
     pub fn insert_batch(&mut self, class: &str, tuples: Vec<Tuple>) -> Result<()> {
         let c = self.class(class)?;
@@ -67,6 +67,13 @@ impl ProductionSystem {
     /// by benchmarks to pin the nested-loop baseline.
     pub fn set_batching(&mut self, on: bool) {
         self.exec.engine_mut().set_batching(on);
+    }
+
+    /// Toggle the σ-binding hash index over matching patterns (COND
+    /// engine). Engines without a pattern store ignore it. Benchmarks pin
+    /// `false` to reproduce the historical full-scan baseline.
+    pub fn set_pattern_index(&mut self, on: bool) {
+        self.exec.engine_mut().set_pattern_index(on);
     }
 
     /// Run the recognize-act cycle.

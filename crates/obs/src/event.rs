@@ -50,8 +50,19 @@ pub enum Event {
         class: u32,
         class_name: String,
         scanned: u64,
+        probes: u64,
         span_ns: u64,
         parallel: bool,
+    },
+    /// One whole delta batch finished maintenance (§4.2 set-oriented
+    /// mode): how many WM inserts/deletes it carried and how many
+    /// distinct rules its conflict deltas touched.
+    BatchApplied {
+        engine: &'static str,
+        inserts: usize,
+        deletes: usize,
+        rules_awakened: usize,
+        total_ns: u64,
     },
     /// The conflict set gained or lost one instantiation.
     ConflictDelta {
@@ -107,8 +118,9 @@ pub enum Event {
     },
     /// The deadlock detector chose this transaction as victim.
     DeadlockVictim { txn: u64 },
-    /// A transaction rolled back.
-    TxnAbort { txn: u64, reason: &'static str },
+    /// A transaction rolled back. `reason` is `deadlock`, `invalidated`,
+    /// or `error: …` with the storage error that forced the abort.
+    TxnAbort { txn: u64, reason: String },
     /// A transaction committed.
     TxnCommit { txn: u64, writes: usize },
 }
@@ -123,6 +135,7 @@ impl Event {
             Event::WmRemove { .. } => "wm_remove",
             Event::MatchMaintain { .. } => "match_maintain",
             Event::PropagateSpan { .. } => "propagate_span",
+            Event::BatchApplied { .. } => "batch_applied",
             Event::ConflictDelta { .. } => "conflict_delta",
             Event::RuleSelect { .. } => "rule_select",
             Event::RuleFire { .. } => "rule_fire",
@@ -185,14 +198,29 @@ impl Event {
                 class,
                 class_name,
                 scanned,
+                probes,
                 span_ns,
                 parallel,
             } => o
                 .u64("class", *class as u64)
                 .str("class_name", class_name)
                 .u64("scanned", *scanned)
+                .u64("probes", *probes)
                 .u64("span_ns", *span_ns)
                 .bool("parallel", *parallel)
+                .finish(),
+            Event::BatchApplied {
+                engine,
+                inserts,
+                deletes,
+                rules_awakened,
+                total_ns,
+            } => o
+                .str("engine", engine)
+                .usize("inserts", *inserts)
+                .usize("deletes", *deletes)
+                .usize("rules_awakened", *rules_awakened)
+                .u64("total_ns", *total_ns)
                 .finish(),
             Event::ConflictDelta {
                 add,
@@ -311,12 +339,26 @@ impl Event {
             Event::PropagateSpan {
                 class_name,
                 scanned,
+                probes,
                 span_ns,
                 parallel,
                 ..
             } => {
                 let mode = if *parallel { "par" } else { "seq" };
-                format!("   prop[{mode}] COND-{class_name}: {scanned} scanned in {span_ns}ns")
+                format!(
+                    "   prop[{mode}] COND-{class_name}: {scanned} scanned / {probes} probes in {span_ns}ns"
+                )
+            }
+            Event::BatchApplied {
+                engine,
+                inserts,
+                deletes,
+                rules_awakened,
+                total_ns,
+            } => {
+                format!(
+                    "   batch[{engine}]: +{inserts}/-{deletes} wm -> {rules_awakened} rule(s) in {total_ns}ns"
+                )
             }
             Event::ConflictDelta {
                 add,

@@ -61,6 +61,14 @@ pub struct MetricsRegistry {
     deadlocks: AtomicU64,
     txn_commits: AtomicU64,
     txn_aborts: AtomicU64,
+    /// σ-binding hash-index probes into COND pattern groups.
+    pattern_probes: AtomicU64,
+    /// Matching patterns examined across probe candidates and full scans.
+    pattern_scanned: AtomicU64,
+    /// Delta batches applied (§4.2 set-oriented maintenance).
+    batches: AtomicU64,
+    /// WM changes carried by those batches.
+    batch_changes: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -121,6 +129,30 @@ impl MetricsRegistry {
     /// One COND propagation partition finished in `span_ns`.
     pub fn record_propagate(&self, span_ns: u64) {
         self.propagate_hist.record(span_ns);
+    }
+
+    /// One COND pattern-group lookup: `probes` index probes (0 for a
+    /// full scan) that examined `scanned` patterns.
+    pub fn record_pattern_io(&self, probes: u64, scanned: u64) {
+        self.pattern_probes.fetch_add(probes, Ordering::Relaxed);
+        self.pattern_scanned.fetch_add(scanned, Ordering::Relaxed);
+    }
+
+    /// One delta batch of `changes` WM changes finished maintenance.
+    pub fn record_batch(&self, changes: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_changes.fetch_add(changes, Ordering::Relaxed);
+    }
+
+    /// One WM change on `class` (batched path — per-change maintenance
+    /// records the same count through [`MetricsRegistry::record_match`]).
+    pub fn record_class_change(&self, class: u32, class_name: &str) {
+        let mut classes = self.classes.lock().expect("classes");
+        let c = classes.entry(class).or_default();
+        if c.name.is_empty() {
+            c.name = class_name.to_string();
+        }
+        c.wm_changes += 1;
     }
 
     pub fn record_cycle(&self, cycle: u64, conflict_len: usize) {
@@ -212,6 +244,22 @@ impl MetricsRegistry {
         self.txn_aborts.load(Ordering::Relaxed)
     }
 
+    pub fn pattern_probes(&self) -> u64 {
+        self.pattern_probes.load(Ordering::Relaxed)
+    }
+
+    pub fn pattern_scanned(&self) -> u64 {
+        self.pattern_scanned.load(Ordering::Relaxed)
+    }
+
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    pub fn batch_changes(&self) -> u64 {
+        self.batch_changes.load(Ordering::Relaxed)
+    }
+
     /// Render the whole registry as a JSON object.
     pub fn to_json(&self) -> String {
         let mut rules = Arr::new();
@@ -292,6 +340,20 @@ impl MetricsRegistry {
                     .u64("aborts", self.txn_aborts())
                     .finish(),
             )
+            .raw(
+                "pattern_store",
+                &Obj::new()
+                    .u64("probes", self.pattern_probes())
+                    .u64("scanned", self.pattern_scanned())
+                    .finish(),
+            )
+            .raw(
+                "batches",
+                &Obj::new()
+                    .u64("count", self.batches())
+                    .u64("wm_changes", self.batch_changes())
+                    .finish(),
+            )
             .finish()
     }
 }
@@ -312,6 +374,9 @@ mod tests {
         m.record_lock_wait(500);
         m.record_deadlock();
         m.record_txn(true);
+        m.record_pattern_io(1, 4);
+        m.record_pattern_io(0, 7);
+        m.record_batch(3);
         let rules = m.rules();
         assert_eq!(rules.len(), 1);
         assert_eq!(rules[0].1.fires, 2);
@@ -319,8 +384,19 @@ mod tests {
         assert_eq!(m.classes()[0].1.fanout_deltas, 3);
         assert_eq!(m.splits()[0].1.detect_ns, 40);
         assert_eq!(m.lock_wait_ns(), 500);
+        assert_eq!(m.pattern_probes(), 1);
+        assert_eq!(m.pattern_scanned(), 11);
+        assert_eq!((m.batches(), m.batch_changes()), (1, 3));
         let json = m.to_json();
         assert!(json.contains("\"fires\":2"), "{json}");
         assert!(json.contains("\"deadlocks\":1"), "{json}");
+        assert!(
+            json.contains("\"pattern_store\":{\"probes\":1,\"scanned\":11}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"batches\":{\"count\":1,\"wm_changes\":3}"),
+            "{json}"
+        );
     }
 }

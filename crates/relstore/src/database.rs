@@ -8,7 +8,7 @@
 //! [`Database::begin`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -37,6 +37,10 @@ pub struct Database {
     /// rather than spinning, so concurrent transactions overlap their
     /// "I/O" exactly as the paper's §5 concurrency argument assumes.
     io_cost_ns: AtomicU64,
+    /// Fault-injection countdown armed by [`Database::inject_fault_after`];
+    /// negative = disarmed. Transactional operations tick it down and the
+    /// one that reaches zero fails with [`Error::Injected`].
+    fault_after: AtomicI64,
 }
 
 impl Default for Database {
@@ -58,6 +62,34 @@ impl Database {
             stats,
             wal: RwLock::new(None),
             io_cost_ns: AtomicU64::new(0),
+            fault_after: AtomicI64::new(-1),
+        }
+    }
+
+    /// Arm a one-shot injected fault: the `ops`-th subsequent
+    /// transactional operation (`0` = the very next one) fails with
+    /// [`Error::Injected`] instead of running, then the knob disarms
+    /// itself. Testing hook for the §5 error-abort path — engine-level
+    /// maintenance reads/writes never tick the countdown.
+    pub fn inject_fault_after(&self, ops: u64) {
+        self.fault_after.store(ops as i64, Ordering::SeqCst);
+    }
+
+    /// Consume one fault-countdown tick (no-op while disarmed).
+    pub(crate) fn check_fault(&self) -> Result<()> {
+        if self.fault_after.load(Ordering::SeqCst) < 0 {
+            return Ok(());
+        }
+        let prev = self.fault_after.fetch_sub(1, Ordering::SeqCst);
+        match prev.cmp(&0) {
+            std::cmp::Ordering::Equal => Err(Error::Injected("storage fault")),
+            std::cmp::Ordering::Less => {
+                // Another thread raced past zero between the load and the
+                // decrement; restore the disarmed state.
+                self.fault_after.store(-1, Ordering::SeqCst);
+                Ok(())
+            }
+            std::cmp::Ordering::Greater => Ok(()),
         }
     }
 

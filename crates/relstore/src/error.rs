@@ -37,6 +37,9 @@ pub enum Error {
     Corrupt(&'static str),
     /// A query referenced a term index that does not exist.
     BadQueryTerm(usize),
+    /// A fault armed via [`crate::Database::inject_fault_after`] fired —
+    /// only ever produced by the test hook, never by real storage.
+    Injected(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -75,6 +78,7 @@ impl fmt::Display for Error {
             Error::LockProtocol(msg) => write!(f, "lock protocol violation: {msg}"),
             Error::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
             Error::BadQueryTerm(i) => write!(f, "query references unknown term {i}"),
+            Error::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

@@ -96,6 +96,7 @@ impl<'db> Txn<'db> {
     /// dependence, §5.2).
     pub fn select(&self, rel: RelId, restriction: &Restriction) -> Result<Vec<(TupleId, Tuple)>> {
         self.check_live()?;
+        self.db.check_fault()?;
         let rows = self.db.read(rel, |r| r.select(restriction))?;
         self.db.charge_io(rows.len() as u64 + 1);
         for (tid, _) in &rows {
@@ -120,6 +121,7 @@ impl<'db> Txn<'db> {
     /// the NOT EXISTS discipline for negative dependence (§5.2).
     pub fn verify_absent(&self, rel: RelId, restriction: &Restriction) -> Result<bool> {
         self.check_live()?;
+        self.db.check_fault()?;
         self.db
             .lock_manager()
             .acquire(self.id, LockTarget::Relation(rel), LockMode::Shared)?;
@@ -132,6 +134,7 @@ impl<'db> Txn<'db> {
     /// inserting transaction "will always need a write lock on R_i").
     pub fn insert(&mut self, rel: RelId, tuple: Tuple) -> Result<TupleId> {
         self.check_live()?;
+        self.db.check_fault()?;
         self.db
             .lock_manager()
             .acquire(self.id, LockTarget::Relation(rel), LockMode::Exclusive)?;
@@ -148,6 +151,7 @@ impl<'db> Txn<'db> {
     /// T_i so the database will still be consistent."
     pub fn delete(&mut self, rel: RelId, tid: TupleId) -> Result<Option<Tuple>> {
         self.check_live()?;
+        self.db.check_fault()?;
         self.db.lock_manager().acquire(
             self.id,
             LockTarget::Tuple(rel, tid),
