@@ -498,7 +498,8 @@ fn usage() {
         "                     N items (clamped to {}) instead of the obs demo; adds",
         bench::SCALED_MAX_ITEMS
     );
-    println!("                     query-nl/marker-nl nested-loop baseline rows");
+    println!("                     query-nl/marker-nl nested-loop baseline rows and the §5");
+    println!("                     concurrent-w1/concurrent-w4 worker-scaling rows");
     println!("  --explain RULE     run the explain workload; print RULE's match plan per");
     println!("                     engine and the full derivation of each of its firings");
     println!("  --help, -h         this text");

@@ -137,6 +137,7 @@ pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::
         .u64("rounds", stats.rounds as u64)
         .u64("lock_waits", stats.lock_waits)
         .u64("lock_wait_ns", stats.lock_wait_ns)
+        .u64("critical_ns", stats.critical_ns)
         .finish();
     let report_json = RunReport::new("all-engines", "obs-demo")
         .wall_ns(wall_ns)
@@ -255,6 +256,10 @@ mod tests {
         }
         assert!(json.contains("\"match_latency_ns\""), "{json}");
         assert!(json.contains("\"concurrent\":{\"workers\":4"), "{json}");
+        // §5 critical-section accounting: the per-run total in the
+        // concurrent section and the per-txn histogram in the metrics.
+        assert!(json.contains("\"critical_ns\":"), "{json}");
+        assert!(json.contains("\"critical_section_ns\":"), "{json}");
         // EXPLAIN section: per-rule plans for every engine, with
         // estimated and actual cardinalities.
         assert!(json.contains("\"match_plans\":["), "{json}");

@@ -447,17 +447,28 @@ impl EngineKind {
 /// Replay the existing working memory through an engine's maintenance
 /// path, rebuilding match structures and the conflict set. Used after
 /// attaching to a restored database ([`ProductionDb::attach`]).
+///
+/// The restored WM is replayed as *one* set-oriented delta batch (§4.2)
+/// rather than tuple at a time, so engines with a batch strategy rebuild
+/// at batch cost and the whole replay produces a single maintenance pass.
 pub fn bootstrap(engine: &mut dyn MatchEngine) {
     if !engine.needs_bootstrap() {
         return;
     }
     let pdb = engine.pdb().clone();
+    let mut batch = Vec::new();
     for c in 0..pdb.class_count() {
         let class = ClassId(c);
         for (tid, tuple) in pdb.wm_scan(class).expect("wm scan") {
-            engine.maintain_insert(class, tid, &tuple);
+            batch.push(WmDelta {
+                insert: true,
+                class,
+                tid,
+                tuple,
+            });
         }
     }
+    engine.maintain_delta(&batch);
 }
 
 /// Instantiate an engine over a shared [`ProductionDb`].

@@ -21,17 +21,20 @@
 //! requesting transaction; the instantiation is retried in a later round
 //! if it is still in the conflict set.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use obs::Event;
+use ops5::ClassId;
 use parking_lot::Mutex;
 
-use relstore::{Error, Restriction, Selection, TupleId};
-use rete::Instantiation;
+use relstore::{Error, Restriction, Selection, Tuple, TupleId};
+use rete::{ConflictDelta, Instantiation};
 
-use crate::engine::{trace_wm_change, MatchEngine};
+use crate::engine::{trace_batch, MatchEngine, WmDelta};
 use crate::exec::{eval_rhs, positive_positions, WmChange};
 
 /// Statistics from a concurrent run.
@@ -58,6 +61,10 @@ pub struct ConcurrentStats {
     pub lock_waits: u64,
     /// Total nanoseconds transactions spent blocked on locks.
     pub lock_wait_ns: u64,
+    /// Total nanoseconds committed transactions held the engine critical
+    /// section for their pre-commit maintenance pass — the serialized
+    /// fraction of the run.
+    pub critical_ns: u64,
     /// `(halt)` executed by some production.
     pub halted: bool,
     /// `write` output (order nondeterministic across transactions).
@@ -69,7 +76,7 @@ impl fmt::Display for ConcurrentStats {
         write!(
             f,
             "committed={} aborts={} retries={} invalidated={} failed={} rounds={} \
-             lock_waits={} lock_wait_ms={:.3}{}",
+             lock_waits={} lock_wait_ms={:.3} critical_ms={:.3}{}",
             self.committed,
             self.deadlock_aborts,
             self.retries,
@@ -78,6 +85,7 @@ impl fmt::Display for ConcurrentStats {
             self.rounds,
             self.lock_waits,
             self.lock_wait_ns as f64 / 1e6,
+            self.critical_ns as f64 / 1e6,
             if self.halted { " halted" } else { "" }
         )
     }
@@ -88,6 +96,10 @@ impl fmt::Display for ConcurrentStats {
 pub struct ConcurrentExecutor {
     engine: Arc<Mutex<Box<dyn MatchEngine>>>,
     workers: usize,
+    /// Set-oriented worker transactions: batched step-1 re-selection and
+    /// whatever batch strategy the engine itself supports. Off pins the
+    /// historical per-condition-element baseline.
+    batching: bool,
 }
 
 /// Result of one instantiation's transaction.
@@ -96,6 +108,14 @@ enum TxnOutcome {
     Committed {
         halt: bool,
         writes: Vec<String>,
+        /// Nanoseconds the transaction held the engine critical section.
+        critical_ns: u64,
+        /// The transaction's own maintenance removed (at least) one
+        /// conflict-set copy of the fired instantiation — its support
+        /// changed, so refraction must not charge it a firing: duplicate
+        /// WMEs leave equal-content copies behind that are still
+        /// entitled to fire.
+        self_removed: bool,
     },
     Invalid,
     Deadlock,
@@ -111,12 +131,28 @@ impl ConcurrentExecutor {
         ConcurrentExecutor {
             engine: Arc::new(Mutex::new(engine)),
             workers: workers.max(1),
+            batching: true,
         }
     }
 
     /// Shared engine handle (e.g. to seed WM before running).
     pub fn engine(&self) -> Arc<Mutex<Box<dyn MatchEngine>>> {
         self.engine.clone()
+    }
+
+    /// Toggle set-oriented evaluation end-to-end: the worker transactions'
+    /// batched step-1 re-selection *and* the engine's own batch strategy
+    /// (see [`MatchEngine::set_batching`]). On by default; benchmarks pin
+    /// `false` to reproduce the tuple-at-a-time baseline.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
+        self.engine.lock().set_batching(on);
+    }
+
+    /// Toggle the σ-binding hash index over matching patterns where the
+    /// engine keeps one (see [`MatchEngine::set_pattern_index`]).
+    pub fn set_pattern_index(&mut self, on: bool) {
+        self.engine.lock().set_pattern_index(on);
     }
 
     /// Install a tracing/metrics handle on the engine and the storage
@@ -128,7 +164,11 @@ impl ConcurrentExecutor {
     }
 
     /// Execute one instantiation as a transaction.
-    fn run_one(engine: &Arc<Mutex<Box<dyn MatchEngine>>>, inst: &Instantiation) -> TxnOutcome {
+    fn run_one(
+        engine: &Arc<Mutex<Box<dyn MatchEngine>>>,
+        inst: &Instantiation,
+        batching: bool,
+    ) -> TxnOutcome {
         let (pdb, rules, tracer) = {
             let g = engine.lock();
             (g.pdb().clone(), g.pdb().rules().clone(), g.tracer().clone())
@@ -147,33 +187,70 @@ impl ConcurrentExecutor {
         let mut wm_writes = 0usize;
         let outcome = (|| -> TxnOutcome {
             // 1. Re-select the matched tuples by content, with read locks.
-            //    Duplicate WMEs need distinct tuple ids.
-            let mut claimed: Vec<(usize, TupleId)> = Vec::new(); // (positive pos, tid)
-            for (i, ce) in rule.ces.iter().enumerate() {
-                if ce.negated {
-                    continue;
+            //    Duplicate WMEs need distinct tuple ids *within a class*
+            //    (tuple ids are per-relation, so equal ids of different
+            //    classes are unrelated rows). Set-oriented mode groups the
+            //    rule's positive CEs by class and re-selects each class in
+            //    one batched pass (one read, one lock sweep, one liveness
+            //    re-read) instead of a select per CE.
+            let mut claimed: Vec<(usize, ClassId, TupleId)> = Vec::new(); // (positive pos, class, tid)
+            if batching {
+                let mut by_class: Vec<(ClassId, Vec<usize>)> = Vec::new(); // positions per class
+                for (i, ce) in rule.ces.iter().enumerate() {
+                    if ce.negated {
+                        continue;
+                    }
+                    let pos = pos_of[i].expect("positive");
+                    match by_class.iter_mut().find(|(c, _)| *c == ce.class) {
+                        Some((_, poses)) => poses.push(pos),
+                        None => by_class.push((ce.class, vec![pos])),
+                    }
                 }
-                let pos = pos_of[i].expect("positive");
-                let wme = &inst.wmes[pos];
-                let full_eq = Restriction::new(
-                    wme.tuple
-                        .values()
-                        .iter()
-                        .enumerate()
-                        .map(|(a, v)| Selection::eq(a, v.clone()))
-                        .collect(),
-                );
-                let rows = match txn.select(pdb.class_rel(ce.class), &full_eq) {
-                    Ok(rows) => rows,
-                    Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
-                    Err(e) => return TxnOutcome::Failed(e),
-                };
-                let free = rows
-                    .iter()
-                    .find(|(tid, _)| !claimed.iter().any(|(_, c)| c == tid));
-                match free {
-                    Some((tid, _)) => claimed.push((pos, *tid)),
-                    None => return TxnOutcome::Invalid,
+                for (class, poses) in by_class {
+                    let keys: Vec<Tuple> =
+                        poses.iter().map(|&p| inst.wmes[p].tuple.clone()).collect();
+                    let groups = match txn.select_eq_batch(pdb.class_rel(class), &keys) {
+                        Ok(groups) => groups,
+                        Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                        Err(e) => return TxnOutcome::Failed(e),
+                    };
+                    for (&pos, rows) in poses.iter().zip(&groups) {
+                        let free = rows.iter().find(|(tid, _)| {
+                            !claimed.iter().any(|(_, c, t)| *c == class && t == tid)
+                        });
+                        match free {
+                            Some((tid, _)) => claimed.push((pos, class, *tid)),
+                            None => return TxnOutcome::Invalid,
+                        }
+                    }
+                }
+            } else {
+                for (i, ce) in rule.ces.iter().enumerate() {
+                    if ce.negated {
+                        continue;
+                    }
+                    let pos = pos_of[i].expect("positive");
+                    let wme = &inst.wmes[pos];
+                    let full_eq = Restriction::new(
+                        wme.tuple
+                            .values()
+                            .iter()
+                            .enumerate()
+                            .map(|(a, v)| Selection::eq(a, v.clone()))
+                            .collect(),
+                    );
+                    let rows = match txn.select(pdb.class_rel(ce.class), &full_eq) {
+                        Ok(rows) => rows,
+                        Err(Error::Deadlock(_)) => return TxnOutcome::Deadlock,
+                        Err(e) => return TxnOutcome::Failed(e),
+                    };
+                    let free = rows.iter().find(|(tid, _)| {
+                        !claimed.iter().any(|(_, c, t)| *c == ce.class && t == tid)
+                    });
+                    match free {
+                        Some((tid, _)) => claimed.push((pos, ce.class, *tid)),
+                        None => return TxnOutcome::Invalid,
+                    }
                 }
             }
 
@@ -208,17 +285,8 @@ impl ConcurrentExecutor {
                         let rel = pdb.class_rel(*class);
                         let tid = claimed
                             .iter()
-                            .find(|(pos, _)| {
-                                &inst.wmes[*pos].tuple == tuple
-                                    && rule
-                                        .ces
-                                        .iter()
-                                        .filter(|ce| !ce.negated)
-                                        .nth(*pos)
-                                        .map(|ce| ce.class)
-                                        == Some(*class)
-                            })
-                            .map(|(_, tid)| *tid);
+                            .find(|(pos, cl, _)| cl == class && &inst.wmes[*pos].tuple == tuple)
+                            .map(|(_, _, tid)| *tid);
                         let tid = match tid {
                             Some(t) => t,
                             None => {
@@ -258,26 +326,46 @@ impl ConcurrentExecutor {
                 }
             }
 
-            // 4. Maintenance BEFORE commit: the transaction still holds every
-            //    lock while the match structures (COND relations) are updated.
-            {
+            // 4. Maintenance BEFORE commit: the transaction still holds
+            //    every lock while the match structures (COND relations)
+            //    are updated — one set-oriented `maintain_delta` pass over
+            //    the transaction's whole delta set (§4.2 × §5.2), inside
+            //    the engine critical section.
+            let resolved: Vec<WmDelta> = applied
+                .iter()
+                .map(|(change, tid)| match change {
+                    WmChange::Insert(class, tuple) => WmDelta {
+                        insert: true,
+                        class: *class,
+                        tid: *tid,
+                        tuple: tuple.clone(),
+                    },
+                    WmChange::Remove(class, tuple) => WmDelta {
+                        insert: false,
+                        class: *class,
+                        tid: *tid,
+                        tuple: tuple.clone(),
+                    },
+                })
+                .collect();
+            let (critical_ns, self_removed) = {
                 let mut g = engine.lock();
-                for (change, tid) in &applied {
-                    let start = g.tracer().enabled().then(std::time::Instant::now);
-                    let (insert, class, tuple, deltas) = match change {
-                        WmChange::Insert(class, tuple) => {
-                            (true, *class, tuple, g.maintain_insert(*class, *tid, tuple))
-                        }
-                        WmChange::Remove(class, tuple) => {
-                            (false, *class, tuple, g.maintain_remove(*class, *tid, tuple))
-                        }
-                    };
-                    if let Some(start) = start {
-                        let total_ns = start.elapsed().as_nanos() as u64;
-                        trace_wm_change(&**g, class, insert, tuple, &deltas, total_ns);
-                    }
+                let held = Instant::now();
+                let start = g.tracer().enabled().then(Instant::now);
+                let deltas = g.maintain_delta(&resolved);
+                let self_removed = deltas
+                    .iter()
+                    .any(|d| matches!(d, ConflictDelta::Remove(i) if i == inst));
+                if let Some(start) = start {
+                    let total_ns = start.elapsed().as_nanos() as u64;
+                    trace_batch(&**g, &resolved, &deltas, total_ns);
                 }
-            }
+                let critical_ns = held.elapsed().as_nanos() as u64;
+                if let Some(m) = g.tracer().metrics() {
+                    m.record_critical_section(critical_ns);
+                }
+                (critical_ns, self_removed)
+            };
 
             // 5. Commit point.
             wm_writes = applied.len();
@@ -285,6 +373,8 @@ impl ConcurrentExecutor {
             TxnOutcome::Committed {
                 halt: rhs.halt,
                 writes: rhs.writes,
+                critical_ns,
+                self_removed,
             }
         })();
         match &outcome {
@@ -332,28 +422,32 @@ impl ConcurrentExecutor {
     /// `max_fired` committed productions.
     pub fn run(&mut self, max_fired: usize) -> ConcurrentStats {
         let mut stats = ConcurrentStats::default();
-        let mut fired: Vec<Instantiation> = Vec::new();
+        // Refraction memory as a counted multiset: duplicate WMEs yield
+        // equal instantiations, each entitled to one firing.
+        let mut fired: HashMap<Instantiation, usize> = HashMap::new();
         // Deadlock victims awaiting a retry; lock-wait totals come from
         // the storage layer's counters, delta'd over this run.
         let mut deadlocked: Vec<Instantiation> = Vec::new();
-        // Consecutive rounds in which nothing committed or invalidated
-        // (deadlock victims / failures only): capped, with exponential
-        // backoff between the retry rounds.
+        // Consecutive rounds that made no observable progress — nothing
+        // committed *and* the candidate snapshot is byte-identical to the
+        // previous round's (deadlock victims, failures, or a repeatedly
+        // invalid instantiation that never leaves the conflict set):
+        // capped, with exponential backoff between the retry rounds.
         let mut stalls = 0usize;
+        let mut last_fingerprint: Option<u64> = None;
+        let tracer = self.engine.lock().tracer().clone();
         let base = self.engine.lock().pdb().db().stats().snapshot();
         while stats.committed < max_fired && !stats.halted {
             // Snapshot Ψ_i: conflict set minus already-fired (refraction).
-            let candidates: Vec<Instantiation> = {
+            let mut candidates: Vec<Instantiation> = {
                 let g = self.engine.lock();
-                let mut remaining: Vec<Option<&Instantiation>> = fired.iter().map(Some).collect();
+                let mut remaining = fired.clone();
                 let mut out = Vec::new();
-                'outer: for inst in g.conflict_set().items() {
-                    for slot in remaining.iter_mut() {
-                        if let Some(f) = slot {
-                            if *f == inst {
-                                *slot = None;
-                                continue 'outer;
-                            }
+                for inst in g.conflict_set().items() {
+                    if let Some(n) = remaining.get_mut(inst) {
+                        if *n > 0 {
+                            *n -= 1;
+                            continue;
                         }
                     }
                     out.push(inst.clone());
@@ -364,21 +458,48 @@ impl ConcurrentExecutor {
                 break;
             }
             stats.retries += prune_deadlocked(&mut deadlocked, &candidates);
+            let fingerprint = {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                candidates.hash(&mut h);
+                h.finish()
+            };
+            let repeated = last_fingerprint == Some(fingerprint);
+            last_fingerprint = Some(fingerprint);
+            // Never dispatch more work than the remaining firing budget:
+            // every queued transaction may commit, and a full round used
+            // to overshoot `max_fired` by up to a whole round's worth.
+            candidates.truncate(max_fired - stats.committed);
             stats.rounds += 1;
+            let dispatched = candidates.len();
+            let round_start = Instant::now();
             let queue: Arc<Mutex<VecDeque<Instantiation>>> =
                 Arc::new(Mutex::new(candidates.into_iter().collect()));
             let results: Arc<Mutex<Vec<(Instantiation, TxnOutcome)>>> =
                 Arc::new(Mutex::new(Vec::new()));
+            // A committed `(halt)` stops further dispatch *within* the
+            // round: transactions already started may finish (they hold
+            // locks and must release cleanly), but queued ones stay
+            // unexecuted.
+            let halt_flag = Arc::new(AtomicBool::new(false));
+            let batching = self.batching;
             crossbeam::thread::scope(|scope| {
                 for _ in 0..self.workers {
                     let queue = queue.clone();
                     let results = results.clone();
                     let engine = self.engine.clone();
+                    let halt_flag = halt_flag.clone();
                     scope.spawn(move |_| loop {
+                        if halt_flag.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let Some(inst) = queue.lock().pop_front() else {
                             break;
                         };
-                        let outcome = Self::run_one(&engine, &inst);
+                        let outcome = Self::run_one(&engine, &inst, batching);
+                        if let TxnOutcome::Committed { halt: true, .. } = &outcome {
+                            halt_flag.store(true, Ordering::Relaxed);
+                        }
                         results.lock().push((inst, outcome));
                     });
                 }
@@ -387,22 +508,37 @@ impl ConcurrentExecutor {
             let results = Arc::try_unwrap(results)
                 .expect("workers joined")
                 .into_inner();
-            let mut progressed = false;
+            let executed = results.len();
+            let mut round_committed = 0usize;
+            let mut round_critical = 0u64;
             for (inst, outcome) in results {
                 match outcome {
-                    TxnOutcome::Committed { halt, writes } => {
+                    TxnOutcome::Committed {
+                        halt,
+                        writes,
+                        critical_ns,
+                        self_removed,
+                    } => {
                         stats.committed += 1;
                         stats.writes.extend(writes);
                         stats.halted |= halt;
-                        fired.push(inst);
-                        progressed = true;
+                        round_committed += 1;
+                        round_critical += critical_ns;
+                        // Refraction charges a firing only while the fired
+                        // copy is still *in* the conflict set. A
+                        // self-consuming RHS (its own maintenance removed a
+                        // copy of this instantiation) already retired the
+                        // fired copy; any equal-content copies left behind
+                        // come from duplicate WMEs and may still fire.
+                        if !self_removed {
+                            *fired.entry(inst).or_insert(0) += 1;
+                        }
                     }
                     TxnOutcome::Invalid => {
                         stats.invalidated += 1;
                         // The maintenance process will have removed it
                         // from the conflict set; if not (it was valid when
                         // snapshotted), the next snapshot sees the truth.
-                        progressed = true;
                     }
                     TxnOutcome::Deadlock => {
                         stats.deadlock_aborts += 1;
@@ -418,29 +554,38 @@ impl ConcurrentExecutor {
                     }
                 }
             }
-            // Keep refraction memory consistent with the conflict set.
+            stats.critical_ns += round_critical;
+            let span_ns = round_start.elapsed().as_nanos() as u64;
+            tracer.emit(|| Event::RoundSpan {
+                round: stats.rounds as u64,
+                candidates: dispatched,
+                committed: round_committed,
+                aborted: executed - round_committed,
+                critical_ns: round_critical,
+                span_ns,
+            });
+            // Keep refraction memory consistent with the conflict set:
+            // drop (or trim) entries whose instantiations left it.
             {
                 let g = self.engine.lock();
                 let cs = g.conflict_set();
-                let mut kept = Vec::new();
-                let mut pool: Vec<Instantiation> = cs.items().to_vec();
-                for f in fired.drain(..) {
-                    if let Some(pos) = pool.iter().position(|x| *x == f) {
-                        pool.remove(pos);
-                        kept.push(f);
-                    }
+                let mut cs_counts: HashMap<&Instantiation, usize> = HashMap::new();
+                for inst in cs.items() {
+                    *cs_counts.entry(inst).or_insert(0) += 1;
                 }
-                fired = kept;
+                fired.retain(|inst, n| {
+                    *n = (*n).min(cs_counts.get(inst).copied().unwrap_or(0));
+                    *n > 0
+                });
             }
-            if progressed {
+            if round_committed > 0 || !repeated {
                 stalls = 0;
             } else {
-                // Only deadlock victims / failures remain; retry with
-                // backoff, but give up after a bounded streak of
-                // no-progress rounds instead of spinning (the old guard
-                // compared against *total* rounds, so a long productive
-                // run could trip it — or a stall early in a short run
-                // could spin for thousands of rounds first).
+                // No commit and an unchanged candidate set: deadlock
+                // victims, failures, or an instantiation that re-selects
+                // as invalid without leaving the conflict set. Retry with
+                // backoff, but give up after a bounded streak instead of
+                // spinning forever.
                 stalls += 1;
                 if stalls >= 32 {
                     break;
@@ -470,16 +615,16 @@ impl ConcurrentExecutor {
 /// without bound on workloads where victims are invalidated by other
 /// transactions instead of reappearing.
 fn prune_deadlocked(deadlocked: &mut Vec<Instantiation>, candidates: &[Instantiation]) -> usize {
-    let mut pool: Vec<Option<&Instantiation>> = candidates.iter().map(Some).collect();
+    let mut pool: HashMap<&Instantiation, usize> = HashMap::new();
+    for c in candidates {
+        *pool.entry(c).or_insert(0) += 1;
+    }
     let mut retries = 0;
-    'victims: for victim in deadlocked.drain(..) {
-        for slot in pool.iter_mut() {
-            if let Some(c) = slot {
-                if **c == victim {
-                    *slot = None;
-                    retries += 1;
-                    continue 'victims;
-                }
+    for victim in deadlocked.drain(..) {
+        if let Some(n) = pool.get_mut(&victim) {
+            if *n > 0 {
+                *n -= 1;
+                retries += 1;
             }
         }
     }
@@ -603,6 +748,93 @@ mod tests {
         let retries = prune_deadlocked(&mut deadlocked, &[inst(0, 1)]);
         assert_eq!(retries, 1, "multiset semantics: one candidate, one retry");
         assert!(deadlocked.is_empty());
+    }
+
+    /// Tentpole invariant: each committed §5 transaction performs exactly
+    /// one set-oriented maintenance pass — one `BatchApplied` per
+    /// `TxnCommit` — and every round emits one `RoundSpan`.
+    #[test]
+    fn one_batch_maintenance_per_committed_txn() {
+        for kind in [EngineKind::Query, EngineKind::Rete] {
+            let mut ex = setup(COUNTER_RULES, kind);
+            {
+                let eng = ex.engine();
+                let mut g = eng.lock();
+                for i in 0..6i64 {
+                    g.insert(ClassId(0), tuple![i]);
+                }
+            }
+            let tracer = obs::Tracer::new(obs::Sink::ring(4096));
+            ex.set_tracer(tracer.clone());
+            let stats = ex.run(1000);
+            assert_eq!(stats.committed, 6, "{}", kind.label());
+            let events = tracer.ring_events().unwrap();
+            let commits = events.iter().filter(|e| e.kind() == "txn_commit").count();
+            let batches = events
+                .iter()
+                .filter(|e| e.kind() == "batch_applied")
+                .count();
+            let rounds = events.iter().filter(|e| e.kind() == "round_span").count();
+            assert_eq!(commits, stats.committed, "{}", kind.label());
+            assert_eq!(
+                batches,
+                stats.committed,
+                "{}: one maintain_delta per committed txn",
+                kind.label()
+            );
+            assert_eq!(rounds, stats.rounds, "{}", kind.label());
+            assert!(stats.critical_ns > 0, "{}", kind.label());
+        }
+    }
+
+    /// Regression: `run(max_fired)` used to dispatch whole rounds and
+    /// could overshoot the budget by up to a round's worth of commits.
+    #[test]
+    fn run_respects_fired_budget() {
+        let mut ex = setup(COUNTER_RULES, EngineKind::Rete);
+        {
+            let eng = ex.engine();
+            let mut g = eng.lock();
+            for i in 0..8i64 {
+                g.insert(ClassId(0), tuple![i]);
+            }
+        }
+        let stats = ex.run(1);
+        assert_eq!(stats.committed, 1, "budget of 1 means exactly 1 commit");
+        let stats = ex.run(3);
+        assert_eq!(stats.committed, 3, "resuming honors the new budget");
+        let stats = ex.run(1000);
+        assert_eq!(stats.committed, 4, "remainder drains to quiescence");
+    }
+
+    /// Regression: a committed `(halt)` only stopped *rounds*; queued
+    /// instantiations of the same round all still executed. The shared
+    /// halt flag stops in-round dispatch too.
+    #[test]
+    fn halt_stops_inround_dispatch() {
+        // No `remove`, so all 8 instantiations stay valid: without the
+        // in-round flag every one of them would commit in round 1.
+        let src = r#"
+            (literalize A x)
+            (literalize Log x)
+            (p Stop (A ^x <V>) --> (make Log ^x <V>) (halt))
+        "#;
+        let rs = ops5::compile(src).unwrap();
+        let pdb = ProductionDb::new(rs).unwrap();
+        let mut ex = ConcurrentExecutor::new(make_engine(EngineKind::Rete, pdb), 1);
+        {
+            let eng = ex.engine();
+            let mut g = eng.lock();
+            for i in 0..8i64 {
+                g.insert(ClassId(0), tuple![i]);
+            }
+        }
+        let stats = ex.run(1000);
+        assert!(stats.halted);
+        assert_eq!(
+            stats.committed, 1,
+            "single worker: halt stops the rest of the round's queue"
+        );
     }
 
     #[test]

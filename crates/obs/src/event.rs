@@ -64,6 +64,20 @@ pub enum Event {
         rules_awakened: usize,
         total_ns: u64,
     },
+    /// One §5 synchronization round finished: how many candidate
+    /// instantiations were dispatched to the workers, how many of them
+    /// committed, how many aborted (deadlock victims, invalidations, or
+    /// storage errors), and how much of the round's wall time
+    /// (`span_ns`) was serialized inside the engine critical section
+    /// (`critical_ns`, summed over the round's transactions).
+    RoundSpan {
+        round: u64,
+        candidates: usize,
+        committed: usize,
+        aborted: usize,
+        critical_ns: u64,
+        span_ns: u64,
+    },
     /// The conflict set gained or lost one instantiation.
     ConflictDelta {
         add: bool,
@@ -136,6 +150,7 @@ impl Event {
             Event::MatchMaintain { .. } => "match_maintain",
             Event::PropagateSpan { .. } => "propagate_span",
             Event::BatchApplied { .. } => "batch_applied",
+            Event::RoundSpan { .. } => "round_span",
             Event::ConflictDelta { .. } => "conflict_delta",
             Event::RuleSelect { .. } => "rule_select",
             Event::RuleFire { .. } => "rule_fire",
@@ -221,6 +236,21 @@ impl Event {
                 .usize("deletes", *deletes)
                 .usize("rules_awakened", *rules_awakened)
                 .u64("total_ns", *total_ns)
+                .finish(),
+            Event::RoundSpan {
+                round,
+                candidates,
+                committed,
+                aborted,
+                critical_ns,
+                span_ns,
+            } => o
+                .u64("round", *round)
+                .usize("candidates", *candidates)
+                .usize("committed", *committed)
+                .usize("aborted", *aborted)
+                .u64("critical_ns", *critical_ns)
+                .u64("span_ns", *span_ns)
                 .finish(),
             Event::ConflictDelta {
                 add,
@@ -358,6 +388,18 @@ impl Event {
             } => {
                 format!(
                     "   batch[{engine}]: +{inserts}/-{deletes} wm -> {rules_awakened} rule(s) in {total_ns}ns"
+                )
+            }
+            Event::RoundSpan {
+                round,
+                candidates,
+                committed,
+                aborted,
+                critical_ns,
+                span_ns,
+            } => {
+                format!(
+                    "   round {round}: {committed}/{candidates} committed ({aborted} aborted), critical {critical_ns}ns of {span_ns}ns"
                 )
             }
             Event::ConflictDelta {

@@ -53,6 +53,10 @@ pub struct MetricsRegistry {
     /// Latency of one COND-store propagation partition (ns), recorded per
     /// class partition whether it ran serially or on its own thread.
     pub propagate_hist: Log2Histogram,
+    /// Time one §5 transaction held the engine critical section for its
+    /// pre-commit maintenance pass (ns) — the serialized fraction of
+    /// concurrent execution.
+    pub critical_section_hist: Log2Histogram,
     /// `(cycle, conflict_len)` after each act phase.
     conflict_timeline: Mutex<Vec<(u64, usize)>>,
     cycles: AtomicU64,
@@ -129,6 +133,11 @@ impl MetricsRegistry {
     /// One COND propagation partition finished in `span_ns`.
     pub fn record_propagate(&self, span_ns: u64) {
         self.propagate_hist.record(span_ns);
+    }
+
+    /// One §5 transaction held the engine critical section for `ns`.
+    pub fn record_critical_section(&self, ns: u64) {
+        self.critical_section_hist.record(ns);
     }
 
     /// One COND pattern-group lookup: `probes` index probes (0 for a
@@ -324,6 +333,7 @@ impl MetricsRegistry {
             .raw("match_latency_ns", &self.match_hist.to_json())
             .raw("rhs_latency_ns", &self.rhs_hist.to_json())
             .raw("propagate_latency_ns", &self.propagate_hist.to_json())
+            .raw("critical_section_ns", &self.critical_section_hist.to_json())
             .raw("conflict_timeline", &timeline.finish())
             .raw(
                 "locks",
@@ -377,6 +387,7 @@ mod tests {
         m.record_pattern_io(1, 4);
         m.record_pattern_io(0, 7);
         m.record_batch(3);
+        m.record_critical_section(250);
         let rules = m.rules();
         assert_eq!(rules.len(), 1);
         assert_eq!(rules[0].1.fires, 2);
@@ -398,5 +409,7 @@ mod tests {
             json.contains("\"batches\":{\"count\":1,\"wm_changes\":3}"),
             "{json}"
         );
+        assert!(json.contains("\"critical_section_ns\":"), "{json}");
+        assert_eq!(m.critical_section_hist.count(), 1);
     }
 }

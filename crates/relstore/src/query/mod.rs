@@ -18,6 +18,7 @@ mod plan;
 
 pub use batch::BatchExecutor;
 pub use exec::{Binding, ExecProfile, QueryExecutor};
+pub(crate) use plan::HASH_THRESHOLD;
 pub use plan::{JoinAlgo, Plan, Planner};
 
 use crate::pred::{CompOp, Restriction};

@@ -35,8 +35,9 @@ impl JoinAlgo {
 }
 
 /// Estimated step cardinality above which hashing the step's input beats
-/// re-probing it per outer binding.
-const HASH_THRESHOLD: f64 = 8.0;
+/// re-probing it per outer binding. Shared with [`crate::Txn`]'s batched
+/// re-selection, which faces the same probe-vs-build choice.
+pub(crate) const HASH_THRESHOLD: f64 = 8.0;
 
 /// An ordered execution plan over the positive terms of a query.
 #[derive(Debug, Clone, PartialEq)]

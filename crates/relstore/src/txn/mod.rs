@@ -19,12 +19,13 @@ mod log;
 pub use locks::{LockManager, LockMode, LockTarget};
 pub use log::{Undo, UndoLog};
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::database::Database;
 use crate::error::{Error, Result};
-use crate::pred::Restriction;
+use crate::pred::{Restriction, Selection};
 use crate::schema::RelId;
 use crate::tuple::{Tuple, TupleId};
 
@@ -115,6 +116,86 @@ impl<'db> Txn<'db> {
             }
         }
         Ok(live)
+    }
+
+    /// Batched [`Txn::select`] of whole-tuple equality matches: one group
+    /// of `(tid, tuple)` rows per key, shared tuple locks on everything
+    /// returned. This is the §5 executor's step-1 re-selection evaluated
+    /// set-at-a-time — one read pass over the relation for *all* of a
+    /// rule's positive condition elements on one class, one lock
+    /// acquisition per distinct tuple, and one liveness re-read, instead
+    /// of a full select/lock/re-read round trip per condition element.
+    ///
+    /// The read pass picks its strategy the way the batch executor's
+    /// seeded planner does: a small key set probes the relation's indexes
+    /// per key, a key set that rivals the relation size builds one
+    /// content-hash table from a single scan.
+    pub fn select_eq_batch(
+        &self,
+        rel: RelId,
+        keys: &[Tuple],
+    ) -> Result<Vec<Vec<(TupleId, Tuple)>>> {
+        self.check_live()?;
+        self.db.check_fault()?;
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let groups: Vec<Vec<(TupleId, Tuple)>> = self.db.read(rel, |r| {
+            let hash = keys.len() as f64 >= crate::query::HASH_THRESHOLD
+                && (keys.len() as f64) * crate::query::HASH_THRESHOLD >= r.len() as f64;
+            if hash {
+                let mut by_content: HashMap<Tuple, Vec<(TupleId, Tuple)>> = HashMap::new();
+                for (tid, t) in r.scan() {
+                    by_content.entry(t.clone()).or_default().push((tid, t));
+                }
+                keys.iter()
+                    .map(|k| by_content.get(k).cloned().unwrap_or_default())
+                    .collect()
+            } else {
+                keys.iter()
+                    .map(|k| {
+                        let full_eq = Restriction::new(
+                            k.values()
+                                .iter()
+                                .enumerate()
+                                .map(|(a, v)| Selection::eq(a, v.clone()))
+                                .collect(),
+                        );
+                        r.select(&full_eq)
+                    })
+                    .collect()
+            }
+        })?;
+        let rows: u64 = groups.iter().map(|g| g.len() as u64).sum();
+        self.db.charge_io(rows + 1);
+        let mut distinct: HashSet<TupleId> = HashSet::new();
+        for (tid, _) in groups.iter().flatten() {
+            if distinct.insert(*tid) {
+                self.db.lock_manager().acquire(
+                    self.id,
+                    LockTarget::Tuple(rel, *tid),
+                    LockMode::Shared,
+                )?;
+            }
+        }
+        // Re-read under lock, once for the whole batch: a concurrent
+        // deleter may have removed rows between the unlocked read pass
+        // and the lock acquisitions.
+        let live: HashSet<TupleId> = self.db.read(rel, |r| {
+            distinct
+                .iter()
+                .copied()
+                .filter(|&tid| r.contains(tid))
+                .collect()
+        })?;
+        Ok(groups
+            .into_iter()
+            .map(|g| {
+                g.into_iter()
+                    .filter(|(tid, _)| live.contains(tid))
+                    .collect()
+            })
+            .collect())
     }
 
     /// Shared lock on a whole relation, then verify no tuple matches —
@@ -305,6 +386,63 @@ mod tests {
         }
         txn.commit();
         assert_eq!(db.lock_manager().held_count(), 0);
+    }
+
+    #[test]
+    fn select_eq_batch_matches_per_key_selects_and_locks() {
+        let (db, rid) = setup();
+        // A duplicate row: both tids must come back for the shared key.
+        db.insert(rid, tuple!["Mike", 6000]).unwrap();
+        let keys = vec![
+            tuple!["Mike", 6000],
+            tuple!["Sam", 5000],
+            tuple!["Nobody", 1],
+        ];
+        let txn = db.begin();
+        let groups = txn.select_eq_batch(rid, &keys).unwrap();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].len(), 2, "both Mike rows");
+        assert_eq!(groups[1].len(), 1);
+        assert!(groups[2].is_empty());
+        for (tid, _) in groups.iter().flatten() {
+            assert!(db.lock_manager().holds(
+                txn.id(),
+                LockTarget::Tuple(rid, *tid),
+                LockMode::Shared
+            ));
+        }
+        txn.commit();
+        assert_eq!(db.lock_manager().held_count(), 0);
+    }
+
+    #[test]
+    fn select_eq_batch_hash_path_matches_probe_path() {
+        // Key set large enough (vs the relation) to trip the scan+hash
+        // strategy; the groups must be identical to per-key selects.
+        let db = Database::new();
+        let rid = db.create_relation(Schema::new("R", ["a", "b"])).unwrap();
+        for i in 0..12i64 {
+            db.insert(rid, tuple![i % 4, i]).unwrap();
+        }
+        let keys: Vec<_> = (0..12i64).map(|i| tuple![i % 4, i]).collect();
+        let txn = db.begin();
+        let groups = txn.select_eq_batch(rid, &keys).unwrap();
+        txn.commit();
+        for (k, g) in keys.iter().zip(&groups) {
+            let expect = db
+                .select(
+                    rid,
+                    &Restriction::new(
+                        k.values()
+                            .iter()
+                            .enumerate()
+                            .map(|(a, v)| Selection::eq(a, v.clone()))
+                            .collect(),
+                    ),
+                )
+                .unwrap();
+            assert_eq!(g, &expect, "key {k}");
+        }
     }
 
     #[test]

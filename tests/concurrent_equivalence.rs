@@ -1,0 +1,118 @@
+//! §5 concurrent execution equivalence: running instantiations as
+//! concurrent worker transactions (strict 2PL, re-select / verify-absent
+//! / RHS / maintenance-before-commit) must be invisible to the program —
+//! the same instantiations commit and working memory converges to the
+//! same final state as a sequential recognize-act run, for every engine,
+//! worker count, and evaluation mode.
+//!
+//! The generated programs come from a confluent family (a `Mark` rule
+//! gated by a negated CE plus a `Consume` rule that retires items), so
+//! the *set* of committed transactions and the final WM are
+//! order-independent even though the concurrent schedule is not.
+
+use ops5::ClassId;
+use prodsys::{
+    make_engine, ConcurrentExecutor, EngineKind, ProductionDb, SequentialExecutor, Strategy,
+};
+use proptest::prelude::*;
+use relstore::{tuple, Restriction, Tuple};
+
+const SRC: &str = r#"
+    (literalize Item n k)
+    (literalize Done n)
+    (literalize Log n)
+    (p Mark (Item ^n <N> ^k <K>) -(Done ^n <N>) --> (make Done ^n <N>))
+    (p Consume (Item ^n <N> ^k <K>) (Done ^n <N>) --> (remove 1) (make Log ^n <N>))
+"#;
+
+/// Sorted per-class dump of the whole working memory.
+fn wm_all(engine: &dyn prodsys::MatchEngine) -> Vec<Vec<Tuple>> {
+    let pdb = engine.pdb();
+    (0..pdb.class_count())
+        .map(|c| {
+            let mut rows: Vec<Tuple> = pdb
+                .db()
+                .select(pdb.class_rel(ClassId(c)), &Restriction::default())
+                .unwrap()
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+/// Build an engine and load the randomized WM: every item inserted
+/// tuple-at-a-time, then a few removed again by content (exercising the
+/// maintenance remove path before execution starts).
+fn load(
+    kind: EngineKind,
+    items: &[(i64, i64)],
+    removes: &[usize],
+) -> Box<dyn prodsys::MatchEngine> {
+    let rules = ops5::compile(SRC).expect("program compiles");
+    let mut engine = make_engine(kind, ProductionDb::new(rules).unwrap());
+    for &(n, k) in items {
+        engine.insert(ClassId(0), tuple![n, k]);
+    }
+    for &idx in removes {
+        let (n, k) = items[idx];
+        engine.remove(ClassId(0), &tuple![n, k]);
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every (engine, workers, batching) concurrent configuration commits
+    /// the same number of transactions and leaves the same final WM as
+    /// the sequential executor on the same program and working memory.
+    #[test]
+    fn concurrent_matches_sequential(
+        items in proptest::collection::vec((0i64..6, 0i64..4), 1..19),
+        remove_idx in proptest::collection::vec(0usize..64, 0..4),
+    ) {
+        // Dedup removal targets so both loaders drop the same instances.
+        let mut removes: Vec<usize> =
+            remove_idx.iter().map(|i| i % items.len()).collect();
+        removes.sort_unstable();
+        removes.dedup();
+
+        for kind in EngineKind::ALL {
+            // Sequential baseline: classic recognize-act cycle.
+            let mut seq = SequentialExecutor::new(load(kind, &items, &removes), Strategy::Canonical);
+            let out = seq.run(10_000);
+            let base_wm = wm_all(seq.engine());
+
+            for workers in [1usize, 4] {
+                for batching in [true, false] {
+                    let mut exec =
+                        ConcurrentExecutor::new(load(kind, &items, &removes), workers);
+                    exec.set_batching(batching);
+                    let stats = exec.run(10_000);
+                    let label = format!(
+                        "{} workers={workers} batching={batching}",
+                        kind.label()
+                    );
+                    prop_assert_eq!(
+                        stats.committed, out.fired,
+                        "{}: committed txns vs sequential firings", &label
+                    );
+                    prop_assert!(!stats.halted, "{}: no halt in this program", &label);
+                    let engine = exec.engine();
+                    let g = engine.lock();
+                    prop_assert_eq!(
+                        wm_all(&**g), base_wm.clone(),
+                        "{}: final working memory", &label
+                    );
+                    prop_assert_eq!(
+                        g.conflict_set().len(), 0,
+                        "{}: quiescent conflict set", &label
+                    );
+                }
+            }
+        }
+    }
+}

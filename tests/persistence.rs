@@ -47,6 +47,56 @@ fn snapshot_restore_rebuilds_conflict_set() {
     }
 }
 
+/// `bootstrap` now replays the restored WM as one §4.2 delta batch; the
+/// result must be indistinguishable from the old tuple-at-a-time replay.
+#[test]
+fn batched_bootstrap_matches_per_tuple_replay() {
+    for kind in EngineKind::ALL {
+        let rules = ops5::compile(SRC).unwrap();
+        let pdb = ProductionDb::new(rules.clone()).unwrap();
+        let mut engine = make_engine(kind, pdb.clone());
+        for i in 0..12i64 {
+            engine.insert(ClassId(0), tuple![format!("e{i}"), 100 * i, "Sam", i % 3]);
+        }
+        engine.insert(ClassId(1), tuple![0, "Toy", 1, "Sam"]);
+        engine.insert(ClassId(1), tuple![2, "Toy", 1, "Pat"]);
+
+        let image = snapshot::save(pdb.db());
+
+        // Batched path: the one `bootstrap` now uses.
+        let restored = Arc::new(snapshot::load(image.clone()).unwrap());
+        let pdb_batch = ProductionDb::attach(restored, rules.clone()).unwrap();
+        let mut batched = make_engine(kind, pdb_batch.clone());
+        bootstrap(batched.as_mut());
+
+        // Reference path: replay the same WM tuple at a time.
+        let restored = Arc::new(snapshot::load(image).unwrap());
+        let pdb_seq = ProductionDb::attach(restored, rules).unwrap();
+        let mut per_tuple = make_engine(kind, pdb_seq.clone());
+        if batched.needs_bootstrap() {
+            for c in 0..pdb_seq.class_count() {
+                let class = ClassId(c);
+                for (tid, tuple) in pdb_seq.wm_scan(class).unwrap() {
+                    per_tuple.maintain_insert(class, tid, &tuple);
+                }
+            }
+        }
+
+        assert_eq!(
+            batched.conflict_set().sorted(),
+            per_tuple.conflict_set().sorted(),
+            "{}",
+            kind.label()
+        );
+        assert_eq!(
+            engine.conflict_set().sorted(),
+            batched.conflict_set().sorted(),
+            "{}: restored match state equals the original",
+            kind.label()
+        );
+    }
+}
+
 #[test]
 fn snapshot_preserves_wm_exactly() {
     let rules = ops5::compile(SRC).unwrap();
