@@ -40,23 +40,82 @@ pub struct BenchRow {
     /// Matching patterns examined during maintenance — the candidate
     /// lists behind probes, or whole groups under full scans.
     pub pattern_scanned: u64,
+    /// Bytes allocated during the profiled re-run (0 when the row was
+    /// built without profiling, or in binaries that don't install
+    /// [`obs::alloc::CountingAlloc`]).
+    pub alloc_bytes: u64,
+    /// Wall time of the profiled re-run (0 when not profiled) — the
+    /// denominator for span attribution; `wall_ns` stays profiler-free.
+    pub prof_wall_ns: u64,
+    /// Merged span call tree of the profiled re-run (empty when not
+    /// profiled).
+    pub profile: obs::Profile,
+}
+
+impl BenchRow {
+    /// Top-`n` self-time hotspots of the profiled re-run.
+    pub fn hotspots(&self, n: usize) -> Vec<obs::prof::Hotspot> {
+        self.profile.hotspots(n)
+    }
+
+    /// Share of the profiled re-run's wall time attributed to named
+    /// spans (0.0 when the row was not profiled).
+    pub fn attribution(&self) -> f64 {
+        if self.prof_wall_ns == 0 {
+            return 0.0;
+        }
+        self.profile.total_ns() as f64 / self.prof_wall_ns as f64
+    }
+}
+
+/// Run `f` with the profiler + allocation counters on; returns `f`'s
+/// result, the merged profile, the wall time, and the bytes allocated.
+/// The profiler is process-global: callers are sequential (bench passes
+/// run one engine at a time).
+fn profiled_run<R>(f: impl FnOnce() -> R) -> (R, obs::Profile, u64, u64) {
+    obs::prof::reset();
+    obs::alloc::reset();
+    obs::prof::set_enabled(true);
+    let start = Instant::now();
+    let out = f();
+    let prof_wall_ns = start.elapsed().as_nanos() as u64;
+    obs::prof::set_enabled(false);
+    let profile = obs::prof::take();
+    (out, profile, prof_wall_ns, obs::alloc::stats().bytes)
 }
 
 /// Run the demo workload on every engine and collect one [`BenchRow`]
 /// each. Fresh system per engine, so no measurement sees another's
 /// caches or statistics.
 pub fn bench_rows() -> Vec<BenchRow> {
+    bench_rows_with(false)
+}
+
+/// [`bench_rows`] with an optional profiled re-run per engine (hotspot
+/// and allocation columns). The timed pass always runs profiler-off, so
+/// `wall_ns` stays comparable across snapshots.
+pub fn bench_rows_with(profiled: bool) -> Vec<BenchRow> {
     EngineKind::ALL
         .iter()
         .map(|&kind| {
-            let mut sys = ProductionSystem::from_source(OBS_DEMO, kind, Strategy::Fifo)
-                .expect("demo program compiles");
+            let run = || {
+                let mut sys = ProductionSystem::from_source(OBS_DEMO, kind, Strategy::Fifo)
+                    .expect("demo program compiles");
+                for i in 0..OBS_ITEMS {
+                    sys.insert("Item", tuple![i, i * 2]).expect("Item class");
+                }
+                let out = sys.run(10_000);
+                (sys, out)
+            };
             let start = Instant::now();
-            for i in 0..OBS_ITEMS {
-                sys.insert("Item", tuple![i, i * 2]).expect("Item class");
-            }
-            let out = sys.run(10_000);
+            let (sys, out) = run();
             let wall_ns = start.elapsed().as_nanos() as u64;
+            let (profile, prof_wall_ns, alloc_bytes) = if profiled {
+                let (_, profile, prof_wall_ns, alloc_bytes) = profiled_run(run);
+                (profile, prof_wall_ns, alloc_bytes)
+            } else {
+                (obs::Profile::new(), 0, 0)
+            };
             let space = sys.engine().space();
             let (pattern_probes, pattern_scanned) = sys.engine().pattern_io().unwrap_or((0, 0));
             BenchRow {
@@ -68,6 +127,9 @@ pub fn bench_rows() -> Vec<BenchRow> {
                 match_bytes: space.match_bytes as u64,
                 pattern_probes,
                 pattern_scanned,
+                alloc_bytes,
+                prof_wall_ns,
+                profile,
             }
         })
         .collect()
@@ -128,20 +190,20 @@ fn scaled_system(kind: EngineKind) -> ProductionSystem {
         .expect("scaled program compiles")
 }
 
-fn scaled_row(
-    label: &'static str,
-    mut sys: ProductionSystem,
+/// Load + run one scaled pass on a fresh system of `kind`.
+fn scaled_pass(
+    kind: EngineKind,
     items: i64,
     batch: bool,
     pattern_index: bool,
-) -> BenchRow {
+) -> (ProductionSystem, u64) {
+    let mut sys = scaled_system(kind);
     sys.set_batching(batch);
     sys.set_pattern_index(pattern_index);
     let refs: Vec<_> = (0..SCALED_REFS)
         .map(|r| tuple![SCALED_HOT + r, r * 10])
         .collect();
     let item_rows: Vec<_> = (0..items).map(|i| tuple![i, scaled_key(i)]).collect();
-    let start = Instant::now();
     if batch {
         sys.insert_batch("Ref", refs).expect("Ref class");
         sys.insert_batch("Item", item_rows).expect("Item class");
@@ -154,18 +216,41 @@ fn scaled_row(
         }
     }
     let out = sys.run(100_000);
+    (sys, out.fired as u64)
+}
+
+fn scaled_row(
+    label: &'static str,
+    kind: EngineKind,
+    items: i64,
+    batch: bool,
+    pattern_index: bool,
+    profiled: bool,
+) -> BenchRow {
+    let start = Instant::now();
+    let (sys, fired) = scaled_pass(kind, items, batch, pattern_index);
     let wall_ns = start.elapsed().as_nanos() as u64;
+    let (profile, prof_wall_ns, alloc_bytes) = if profiled {
+        let (_, profile, prof_wall_ns, alloc_bytes) =
+            profiled_run(|| scaled_pass(kind, items, batch, pattern_index));
+        (profile, prof_wall_ns, alloc_bytes)
+    } else {
+        (obs::Profile::new(), 0, 0)
+    };
     let space = sys.engine().space();
     let (pattern_probes, pattern_scanned) = sys.engine().pattern_io().unwrap_or((0, 0));
     BenchRow {
         engine: label,
         wall_ns,
-        fired: out.fired as u64,
+        fired,
         logical_io: sys.engine().pdb().db().stats().snapshot().logical_io(),
         match_entries: space.match_entries as u64,
         match_bytes: space.match_bytes as u64,
         pattern_probes,
         pattern_scanned,
+        alloc_bytes,
+        prof_wall_ns,
+        profile,
     }
 }
 
@@ -193,7 +278,7 @@ pub const SCALED_CONC_IO_COST_NS: u64 = 200_000;
 /// the simulated I/O latency, then time `run` alone under `workers`
 /// worker threads. Fires exactly [`scaled_fired`]`(items)` transactions
 /// — identical to the sequential engines' count on the same skew.
-fn scaled_concurrent_row(label: &'static str, items: i64, workers: usize) -> BenchRow {
+fn scaled_concurrent_pass(items: i64, workers: usize) -> (ConcurrentExecutor, u64, u64) {
     let rules = ops5::compile(SCALED_CONC_DEMO).expect("concurrent program compiles");
     let pdb = ProductionDb::new(rules).unwrap();
     let mut engine = make_engine(EngineKind::Rete, pdb);
@@ -210,6 +295,23 @@ fn scaled_concurrent_row(label: &'static str, items: i64, workers: usize) -> Ben
     let start = Instant::now();
     let stats = exec.run(items as usize * 4);
     let wall_ns = start.elapsed().as_nanos() as u64;
+    (exec, stats.committed as u64, wall_ns)
+}
+
+fn scaled_concurrent_row(
+    label: &'static str,
+    items: i64,
+    workers: usize,
+    profiled: bool,
+) -> BenchRow {
+    let (exec, fired, wall_ns) = scaled_concurrent_pass(items, workers);
+    let (profile, prof_wall_ns, alloc_bytes) = if profiled {
+        let (_, profile, prof_wall_ns, alloc_bytes) =
+            profiled_run(|| scaled_concurrent_pass(items, workers));
+        (profile, prof_wall_ns, alloc_bytes)
+    } else {
+        (obs::Profile::new(), 0, 0)
+    };
     let handle = exec.engine();
     let g = handle.lock();
     let space = g.space();
@@ -217,12 +319,15 @@ fn scaled_concurrent_row(label: &'static str, items: i64, workers: usize) -> Ben
     BenchRow {
         engine: label,
         wall_ns,
-        fired: stats.committed as u64,
+        fired,
         logical_io: g.pdb().db().stats().snapshot().logical_io(),
         match_entries: space.match_entries as u64,
         match_bytes: space.match_bytes as u64,
         pattern_probes,
         pattern_scanned,
+        alloc_bytes,
+        prof_wall_ns,
+        profile,
     }
 }
 
@@ -236,37 +341,48 @@ fn scaled_concurrent_row(label: &'static str, items: i64, workers: usize) -> Ben
 /// consuming variant of the same skew under simulated I/O latency with
 /// 1 and 4 workers — same fired count, diverging wall clock.
 pub fn bench_scaled_rows(items: i64) -> Vec<BenchRow> {
+    bench_scaled_rows_with(items, false)
+}
+
+/// [`bench_scaled_rows`] with an optional profiled re-run per row. The
+/// timed pass always runs profiler-off so `wall_ns` stays comparable
+/// with unprofiled snapshots; the re-run fills `profile`,
+/// `prof_wall_ns`, and `alloc_bytes`.
+pub fn bench_scaled_rows_with(items: i64, profiled: bool) -> Vec<BenchRow> {
     let items = items.clamp(1, SCALED_MAX_ITEMS);
     let mut rows: Vec<BenchRow> = EngineKind::ALL
         .iter()
         .map(|&kind| {
             let indexed = kind != EngineKind::Cond;
-            scaled_row(kind.label(), scaled_system(kind), items, true, indexed)
+            scaled_row(kind.label(), kind, items, true, indexed, profiled)
         })
         .collect();
     rows.push(scaled_row(
         "cond-indexed",
-        scaled_system(EngineKind::Cond),
+        EngineKind::Cond,
         items,
         true,
         true,
+        profiled,
     ));
     rows.push(scaled_row(
         "query-nl",
-        scaled_system(EngineKind::Query),
+        EngineKind::Query,
         items,
         false,
         true,
+        profiled,
     ));
     rows.push(scaled_row(
         "marker-nl",
-        scaled_system(EngineKind::Marker),
+        EngineKind::Marker,
         items,
         false,
         true,
+        profiled,
     ));
-    rows.push(scaled_concurrent_row("concurrent-w1", items, 1));
-    rows.push(scaled_concurrent_row("concurrent-w4", items, 4));
+    rows.push(scaled_concurrent_row("concurrent-w1", items, 1, profiled));
+    rows.push(scaled_concurrent_row("concurrent-w4", items, 4, profiled));
     rows
 }
 
@@ -283,6 +399,14 @@ fn snapshot_json(workload: &str, items: i64, rows: &[BenchRow]) -> String {
                 .u64("match_bytes", row.match_bytes)
                 .u64("pattern_probes", row.pattern_probes)
                 .u64("pattern_scanned", row.pattern_scanned)
+                .u64("alloc_bytes", row.alloc_bytes)
+                .raw("hotspots", &{
+                    let mut hs = Arr::new();
+                    for h in row.hotspots(3) {
+                        hs = hs.raw(&h.to_json());
+                    }
+                    hs.finish()
+                })
                 .finish(),
         );
     }
@@ -298,12 +422,12 @@ fn snapshot_json(workload: &str, items: i64, rows: &[BenchRow]) -> String {
 /// (workload `scaled-skew`).
 pub fn bench_scaled_snapshot(items: i64) -> String {
     let items = items.clamp(1, SCALED_MAX_ITEMS);
-    snapshot_json("scaled-skew", items, &bench_scaled_rows(items))
+    snapshot_json("scaled-skew", items, &bench_scaled_rows_with(items, true))
 }
 
 /// Render [`bench_rows`] as the `sellis88-bench/v1` JSON document.
 pub fn bench_snapshot() -> String {
-    snapshot_json("obs-demo", OBS_ITEMS, &bench_rows())
+    snapshot_json("obs-demo", OBS_ITEMS, &bench_rows_with(true))
 }
 
 #[cfg(test)]

@@ -10,6 +10,19 @@ use prodsys_bench as bench;
 use workload::paper;
 use workload::tables::{cond_relation, format_table, rule_def};
 
+// Allocation attribution (the `alloc_bytes` bench column and the
+// profiler's per-span byte counts) needs the counting allocator in the
+// binary that runs the workloads. Free when the profiler is off: one
+// relaxed atomic load per allocation.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc;
+
+/// Default size of the `--profile` / `--bench-check` scaled workload.
+const PROFILE_DEFAULT_ITEMS: i64 = 2_000;
+
+/// The time-series `--bench-json` appends to and `--bench-check` reads.
+const HISTORY_DEFAULT: &str = "BENCH_history.jsonl";
+
 fn t1() {
     let rs = paper::example2_rules();
     println!("\n## T1 — §4.1.1 COND relations for Example 2\n");
@@ -414,7 +427,7 @@ fn obs(trace: Option<&str>, report: Option<&str>) {
     }
 }
 
-fn bench_json(path: &str, items: Option<i64>) {
+fn bench_json(path: &str, items: Option<i64>, history: &str) {
     let json = match items {
         // --items switches the snapshot to the scaled skewed-join
         // workload, which also measures the query/marker nested-loop
@@ -427,6 +440,54 @@ fn bench_json(path: &str, items: Option<i64>) {
         std::process::exit(1);
     }
     println!("bench snapshot ({}) -> {path}", bench::BENCH_SCHEMA);
+    // Every snapshot also lands as one line of the append-only
+    // time-series, which is what --bench-check regresses against.
+    let mut line = json;
+    line.push('\n');
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("history row -> {history}"),
+        Err(e) => {
+            eprintln!("error: cannot append {history}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn profile(path: &str, items: Option<i64>) {
+    let items = items.unwrap_or(PROFILE_DEFAULT_ITEMS);
+    let rows = bench::bench_scaled_rows_with(items, true);
+    if let Err(e) = std::fs::write(path, bench::folded_stacks(&rows)) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("folded stacks ({items} items) -> {path}");
+    bench::print_rows(
+        "Profile — span attribution per engine (profiled re-run)",
+        &["engine", "attributed", "alloc bytes", "top self-time spans"],
+        &bench::attribution_table(&rows),
+    );
+}
+
+fn bench_check(history: &str) {
+    let text = std::fs::read_to_string(history).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {history}: {e}");
+        std::process::exit(1);
+    });
+    match bench::bench_check(&text) {
+        Ok(summary) => println!("{summary}"),
+        Err(msgs) => {
+            eprintln!("bench-check FAILED vs last entry of {history}:");
+            for m in msgs {
+                eprintln!("  {m}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn explain(rule: &str) {
@@ -493,6 +554,7 @@ fn usage() {
     println!("  --trace FILE       stream JSONL events of the instrumented run to FILE");
     println!("  --report FILE      write the instrumented run's JSON report to FILE");
     println!("  --bench-json FILE  write a per-engine benchmark snapshot (sellis88-bench/v1)");
+    println!("                     and append it as one line of the history time-series");
     println!("  --items N          with --bench-json: run the scaled skewed-join workload at");
     println!(
         "                     N items (clamped to {}) instead of the obs demo; adds",
@@ -502,9 +564,18 @@ fn usage() {
     println!("                     concurrent-w1/concurrent-w4 worker-scaling rows");
     println!("  --explain RULE     run the explain workload; print RULE's match plan per");
     println!("                     engine and the full derivation of each of its firings");
+    println!("  --profile FILE     run the scaled workload under the span profiler and write");
+    println!(
+        "                     folded flamegraph stacks to FILE ({PROFILE_DEFAULT_ITEMS} items, or --items N);"
+    );
+    println!("                     prints per-engine attribution and top self-time spans");
+    println!("  --bench-check      re-run the last entry of the history file and fail (exit 1)");
+    println!("                     on a >25% wall-time or >2x allocation regression per engine");
+    println!("  --history FILE     history file for --bench-json/--bench-check");
+    println!("                     (default {HISTORY_DEFAULT})");
     println!("  --help, -h         this text");
-    println!("\n--trace/--report, --bench-json, and --explain run only their own");
-    println!("workload unless selectors are also given.");
+    println!("\n--trace/--report, --bench-json, --profile, --bench-check, and --explain run");
+    println!("only their own workload unless selectors are also given.");
 }
 
 fn flag_value(flag: &str, raw: &mut impl Iterator<Item = String>) -> String {
@@ -522,6 +593,9 @@ fn main() {
     let mut bench_path: Option<String> = None;
     let mut explain_rule: Option<String> = None;
     let mut items: Option<i64> = None;
+    let mut profile_path: Option<String> = None;
+    let mut check = false;
+    let mut history: Option<String> = None;
     while let Some(a) = raw.next() {
         match a.as_str() {
             "--help" | "-h" => {
@@ -539,6 +613,9 @@ fn main() {
                 }));
             }
             "--explain" => explain_rule = Some(flag_value("--explain", &mut raw)),
+            "--profile" => profile_path = Some(flag_value("--profile", &mut raw)),
+            "--bench-check" => check = true,
+            "--history" => history = Some(flag_value("--history", &mut raw)),
             flag if flag.starts_with('-') => {
                 eprintln!("error: unknown flag {flag} (see --help)");
                 std::process::exit(2);
@@ -553,7 +630,11 @@ fn main() {
     // `harness --trace t.jsonl`, `--bench-json b.json`, or `--explain R`
     // alone runs only that workload, not the whole experiment suite.
     let obs_requested = trace.is_some() || report.is_some();
-    let standalone = obs_requested || bench_path.is_some() || explain_rule.is_some();
+    let standalone = obs_requested
+        || bench_path.is_some()
+        || explain_rule.is_some()
+        || profile_path.is_some()
+        || check;
     let run_all = (args.is_empty() && !standalone) || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -606,11 +687,18 @@ fn main() {
     if obs_requested || want("obs") {
         obs(trace.as_deref(), report.as_deref());
     }
+    let history = history.as_deref().unwrap_or(HISTORY_DEFAULT);
     if let Some(path) = bench_path.as_deref() {
-        bench_json(path, items);
-    } else if items.is_some() {
-        eprintln!("error: --items requires --bench-json (see --help)");
+        bench_json(path, items, history);
+    } else if items.is_some() && profile_path.is_none() {
+        eprintln!("error: --items requires --bench-json or --profile (see --help)");
         std::process::exit(2);
+    }
+    if let Some(path) = profile_path.as_deref() {
+        profile(path, items);
+    }
+    if check {
+        bench_check(history);
     }
     if let Some(rule) = explain_rule.as_deref() {
         explain(rule);

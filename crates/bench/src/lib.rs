@@ -8,13 +8,15 @@
 pub mod bench_json;
 pub mod experiments;
 pub mod obs_run;
+pub mod profile;
 
 pub use bench_json::{
-    bench_rows, bench_scaled_rows, bench_scaled_snapshot, bench_snapshot, scaled_fired, BenchRow,
-    BENCH_SCHEMA, SCALED_MAX_ITEMS,
+    bench_rows, bench_rows_with, bench_scaled_rows, bench_scaled_rows_with, bench_scaled_snapshot,
+    bench_snapshot, scaled_fired, BenchRow, BENCH_SCHEMA, SCALED_MAX_ITEMS,
 };
 pub use experiments::*;
 pub use obs_run::{explain_run, observability_run, ExplainRun, ObsRun};
+pub use profile::{attribution_table, bench_check, folded_stacks, parse_history_last};
 
 /// Format a sequence of (column, value) rows as an aligned table.
 pub fn print_rows(title: &str, header: &[&str], rows: &[Vec<String>]) {

@@ -88,6 +88,11 @@ pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::
         None => Sink::Null,
     };
     let tracer = Tracer::new(sink);
+    // Span profile of the whole instrumented run (both passes): the
+    // report's `profile` section is the call tree, merged across the
+    // concurrent pass's worker threads.
+    obs::prof::reset();
+    obs::prof::set_enabled(true);
 
     let start = Instant::now();
     let mut fired = 0u64;
@@ -127,6 +132,8 @@ pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::
     let stats = exec.run(OBS_ITEMS as usize * 4);
     let wall_ns = start.elapsed().as_nanos() as u64;
     tracer.flush();
+    obs::prof::set_enabled(false);
+    let profile = obs::prof::take();
 
     let concurrent = Obj::new()
         .u64("workers", OBS_WORKERS as u64)
@@ -144,6 +151,7 @@ pub fn observability_run(trace: Option<&str>, report: Option<&str>) -> std::io::
         .fired(fired)
         .halted(halted || stats.halted)
         .section("concurrent", concurrent)
+        .section("profile", profile.to_json())
         .section("match_plans", plans_to_json(&plans))
         .section("analyze", analyze_json.expect("query engine ran"))
         .to_json(tracer.metrics().expect("tracer is enabled"));

@@ -1,0 +1,307 @@
+//! Profiler-facing harness pieces: folded flamegraph output
+//! (`harness --profile`), the append-only `BENCH_history.jsonl`
+//! time-series, and the `--bench-check` regression gate CI runs against
+//! the last committed history entry.
+
+use std::fmt::Write as _;
+
+use obs::json::Value;
+
+use crate::bench_json::{bench_rows_with, bench_scaled_rows_with, BenchRow};
+
+/// `--bench-check` fails when an engine's wall time grows by more than
+/// this factor over the last committed history entry.
+pub const WALL_REGRESSION: f64 = 1.25;
+/// `--bench-check` fails when an engine's profiled allocation volume
+/// grows by more than this factor.
+pub const ALLOC_REGRESSION: f64 = 2.0;
+/// Absolute wall-time slack: sub-slack deltas are machine noise (the
+/// fast engines finish in ~2ms, where run-to-run jitter alone exceeds
+/// 25%), so the wall gate needs both the ratio *and* this delta blown.
+pub const WALL_SLACK_NS: u64 = 10_000_000;
+
+/// Render every profiled row as folded flamegraph stacks, one line per
+/// call path: `engine;span;child <self_ns>` — the input format of
+/// `flamegraph.pl` / speedscope.
+pub fn folded_stacks(rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row.profile.folded(row.engine));
+    }
+    out
+}
+
+/// One line of the attribution table printed alongside `--profile`:
+/// how much of the profiled wall clock the named spans account for.
+pub fn attribution_table(rows: &[BenchRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|row| {
+            let top = row
+                .hotspots(3)
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{} {:.0}%",
+                        h.path,
+                        100.0 * h.self_ns as f64 / row.prof_wall_ns.max(1) as f64
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            vec![
+                row.engine.to_string(),
+                format!("{:.1}%", 100.0 * row.attribution()),
+                format!("{}", row.alloc_bytes),
+                top,
+            ]
+        })
+        .collect()
+}
+
+/// One engine's comparable numbers, from either a fresh run or a parsed
+/// history line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRow {
+    pub engine: String,
+    pub wall_ns: u64,
+    pub alloc_bytes: u64,
+}
+
+impl CheckRow {
+    fn from_bench(row: &BenchRow) -> CheckRow {
+        CheckRow {
+            engine: row.engine.to_string(),
+            wall_ns: row.wall_ns,
+            alloc_bytes: row.alloc_bytes,
+        }
+    }
+}
+
+/// A parsed `BENCH_history.jsonl` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    pub workload: String,
+    pub items: i64,
+    pub rows: Vec<CheckRow>,
+}
+
+/// Parse the *last* line of a `BENCH_history.jsonl` document — the
+/// baseline `--bench-check` compares against.
+pub fn parse_history_last(text: &str) -> Result<HistoryEntry, String> {
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or("history is empty")?;
+    let v = obs::json::parse(line)?;
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+    if !schema.starts_with("sellis88-bench/") {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let workload = v
+        .get("workload")
+        .and_then(Value::as_str)
+        .ok_or("missing workload")?
+        .to_string();
+    let items = v
+        .get("items")
+        .and_then(Value::as_u64)
+        .ok_or("missing items")? as i64;
+    let engines = v
+        .get("engines")
+        .and_then(Value::as_array)
+        .ok_or("missing engines array")?;
+    let mut rows = Vec::new();
+    for e in engines {
+        rows.push(CheckRow {
+            engine: e
+                .get("engine")
+                .and_then(Value::as_str)
+                .ok_or("row missing engine")?
+                .to_string(),
+            wall_ns: e
+                .get("wall_ns")
+                .and_then(Value::as_u64)
+                .ok_or("row missing wall_ns")?,
+            // Absent in pre-profiler history lines: treat as unknown.
+            alloc_bytes: e.get("alloc_bytes").and_then(Value::as_u64).unwrap_or(0),
+        });
+    }
+    if rows.is_empty() {
+        return Err("history entry has no engine rows".into());
+    }
+    Ok(HistoryEntry {
+        workload,
+        items,
+        rows,
+    })
+}
+
+/// Compare a fresh run against the baseline, engine by engine. Returns
+/// one human-readable message per regression; empty means the gate
+/// passes. Engines present on only one side are skipped (schema is
+/// additive), and an alloc baseline of 0 (pre-profiler entry, or a
+/// binary without the counting allocator) skips the allocation check.
+pub fn regressions(baseline: &[CheckRow], current: &[CheckRow]) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.engine == b.engine) else {
+            continue;
+        };
+        if b.wall_ns > 0
+            && c.wall_ns as f64 > b.wall_ns as f64 * WALL_REGRESSION
+            && c.wall_ns.saturating_sub(b.wall_ns) > WALL_SLACK_NS
+        {
+            out.push(format!(
+                "{}: wall {:.2}ms vs baseline {:.2}ms (> {:.0}% regression)",
+                b.engine,
+                c.wall_ns as f64 / 1e6,
+                b.wall_ns as f64 / 1e6,
+                (WALL_REGRESSION - 1.0) * 100.0
+            ));
+        }
+        if b.alloc_bytes > 0 && c.alloc_bytes as f64 > b.alloc_bytes as f64 * ALLOC_REGRESSION {
+            out.push(format!(
+                "{}: alloc {} bytes vs baseline {} (> {:.0}x regression)",
+                b.engine, c.alloc_bytes, b.alloc_bytes, ALLOC_REGRESSION
+            ));
+        }
+    }
+    out
+}
+
+/// Re-run the baseline's workload at its recorded size and compare.
+/// `Ok` carries a short pass summary; `Err` the list of regressions.
+pub fn bench_check(history_text: &str) -> Result<String, Vec<String>> {
+    let base = parse_history_last(history_text).map_err(|e| vec![e])?;
+    let rows = match base.workload.as_str() {
+        "scaled-skew" => bench_scaled_rows_with(base.items, true),
+        "obs-demo" => bench_rows_with(true),
+        other => return Err(vec![format!("unknown history workload {other:?}")]),
+    };
+    let current: Vec<CheckRow> = rows.iter().map(CheckRow::from_bench).collect();
+    let bad = regressions(&base.rows, &current);
+    if bad.is_empty() {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "bench-check: {} engines within {:.0}% wall / {:.0}x alloc of baseline ({} @ {} items)",
+            base.rows.len(),
+            (WALL_REGRESSION - 1.0) * 100.0,
+            ALLOC_REGRESSION,
+            base.workload,
+            base.items
+        );
+        Ok(s)
+    } else {
+        Err(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(engine: &str, wall: u64, alloc: u64) -> CheckRow {
+        CheckRow {
+            engine: engine.to_string(),
+            wall_ns: wall,
+            alloc_bytes: alloc,
+        }
+    }
+
+    #[test]
+    fn parses_last_history_line() {
+        let text = concat!(
+            "{\"schema\":\"sellis88-bench/v1\",\"workload\":\"scaled-skew\",\"items\":100,\"engines\":[{\"engine\":\"rete\",\"wall_ns\":5}]}\n",
+            "{\"schema\":\"sellis88-bench/v1\",\"workload\":\"scaled-skew\",\"items\":2000,\"engines\":[",
+            "{\"engine\":\"rete\",\"wall_ns\":100,\"alloc_bytes\":64},",
+            "{\"engine\":\"cond\",\"wall_ns\":900}]}\n",
+        );
+        let e = parse_history_last(text).unwrap();
+        assert_eq!(e.workload, "scaled-skew");
+        assert_eq!(e.items, 2000);
+        assert_eq!(e.rows.len(), 2);
+        assert_eq!(e.rows[0], row("rete", 100, 64));
+        assert_eq!(e.rows[1], row("cond", 900, 0), "missing alloc_bytes -> 0");
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_history() {
+        assert!(parse_history_last("").is_err());
+        assert!(parse_history_last("\n\n").is_err());
+        assert!(parse_history_last("{not json}").is_err());
+        assert!(parse_history_last("{\"schema\":\"other/v1\"}").is_err());
+    }
+
+    #[test]
+    fn regression_gate_thresholds() {
+        const MS: u64 = 1_000_000;
+        let base = vec![row("rete", 100 * MS, 100), row("cond", 100 * MS, 0)];
+        // Within bounds: +24% wall, 2.0x alloc exactly.
+        let ok = vec![row("rete", 124 * MS, 200), row("cond", 124 * MS, 999)];
+        assert!(regressions(&base, &ok).is_empty());
+        // Wall blown on one engine.
+        let wall_bad = vec![row("rete", 130 * MS, 100), row("cond", 100 * MS, 0)];
+        let msgs = regressions(&base, &wall_bad);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].starts_with("rete: wall"), "{msgs:?}");
+        // Alloc blown; zero-alloc baseline (cond) never trips.
+        let alloc_bad = vec![row("rete", 100 * MS, 201), row("cond", 100 * MS, 1 << 40)];
+        let msgs = regressions(&base, &alloc_bad);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].starts_with("rete: alloc"), "{msgs:?}");
+        // Engines missing from the current run are skipped.
+        assert!(regressions(&base, &[row("marker", MS, 1)]).is_empty());
+    }
+
+    #[test]
+    fn wall_slack_absorbs_fast_engine_jitter() {
+        // A 2ms engine doubling is noise, not a regression; the same
+        // ratio at 100ms is caught.
+        let base = vec![row("query", 2_000_000, 0), row("cond", 100_000_000, 0)];
+        let noisy = vec![row("query", 4_000_000, 0), row("cond", 100_000_000, 0)];
+        assert!(regressions(&base, &noisy).is_empty());
+        let slow = vec![row("query", 2_000_000, 0), row("cond", 200_000_000, 0)];
+        assert_eq!(regressions(&base, &slow).len(), 1);
+    }
+
+    #[test]
+    fn folded_stacks_prefix_rows_with_engine_label() {
+        let mut profile = obs::Profile::new();
+        profile.roots.push(obs::prof::ProfNode {
+            name: "exec.load".into(),
+            calls: 1,
+            incl_ns: 10,
+            allocs: 0,
+            alloc_bytes: 0,
+            children: vec![obs::prof::ProfNode {
+                name: "cond.maintain".into(),
+                calls: 1,
+                incl_ns: 7,
+                allocs: 0,
+                alloc_bytes: 0,
+                children: Vec::new(),
+            }],
+        });
+        let row = BenchRow {
+            engine: "cond-indexed",
+            wall_ns: 10,
+            fired: 0,
+            logical_io: 0,
+            match_entries: 0,
+            match_bytes: 0,
+            pattern_probes: 0,
+            pattern_scanned: 0,
+            alloc_bytes: 0,
+            prof_wall_ns: 10,
+            profile,
+        };
+        let text = folded_stacks(&[row]);
+        assert!(text.contains("cond-indexed;exec.load 3\n"), "{text}");
+        assert!(
+            text.contains("cond-indexed;exec.load;cond.maintain 7\n"),
+            "{text}"
+        );
+    }
+}

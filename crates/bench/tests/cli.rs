@@ -1,0 +1,81 @@
+//! Harness CLI contract: unknown flags exit 2, and `--help` documents
+//! every flag the parser accepts — including the profiler ones.
+
+use std::process::Command;
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = harness().arg("--no-such-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "{err}");
+}
+
+#[test]
+fn unknown_selector_exits_2() {
+    let out = harness().arg("e99").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_documents_profiler_flags() {
+    let out = harness().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for flag in [
+        "--trace",
+        "--report",
+        "--bench-json",
+        "--items",
+        "--explain",
+        "--profile",
+        "--bench-check",
+        "--history",
+    ] {
+        assert!(text.contains(flag), "--help missing {flag}:\n{text}");
+    }
+}
+
+#[test]
+fn bench_check_fails_on_synthetic_regression() {
+    // A baseline claiming the obs-demo engines allocated 1 byte forces
+    // the allocation comparison over the 2x threshold: the gate must
+    // trip. (The wall gate carries a 10ms noise floor, so the CI
+    // negative test exercises it on the slower scaled workload; here the
+    // deterministic alloc gate keeps the test robust in debug builds.)
+    let dir = std::env::temp_dir().join(format!("bench_check_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let history = dir.join("history.jsonl");
+    let engines: Vec<String> = ["rete", "db-rete", "query", "cond", "marker"]
+        .iter()
+        .map(|e| format!("{{\"engine\":\"{e}\",\"wall_ns\":3600000000000,\"alloc_bytes\":1}}"))
+        .collect();
+    let line = format!(
+        "{{\"schema\":\"sellis88-bench/v1\",\"workload\":\"obs-demo\",\"items\":24,\"engines\":[{}]}}\n",
+        engines.join(",")
+    );
+    std::fs::write(&history, line).unwrap();
+    let out = harness()
+        .args(["--bench-check", "--history"])
+        .arg(&history)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "gate must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bench-check FAILED"), "{err}");
+    assert!(err.contains("alloc"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_check_missing_history_exits_1() {
+    let out = harness()
+        .args(["--bench-check", "--history", "/no/such/file.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -562,10 +562,12 @@ impl CondEngine {
     /// slot. The second value says whether the index served it.
     fn tuple_candidates(&self, group: &PatternGroup, tuple: &Tuple) -> (Vec<usize>, bool) {
         if self.pattern_index {
+            obs::prof_span!("probe");
             if let Some(c) = group.probe_tuple(tuple) {
                 return (c, true);
             }
         }
+        obs::prof_span!("scan");
         (group.live_slots(), false)
     }
 
@@ -578,10 +580,12 @@ impl CondEngine {
         bound: &[(usize, Value)],
     ) -> (Vec<usize>, bool) {
         if self.pattern_index {
+            obs::prof_span!("probe");
             if let Some(c) = group.probe_bound(bound) {
                 return (c, true);
             }
         }
+        obs::prof_span!("scan");
         (group.live_slots(), false)
     }
 
@@ -593,8 +597,10 @@ impl CondEngine {
     fn blocker_candidates(&self, c: &Contribution, group: &PatternGroup) -> (Vec<usize>, bool) {
         let constraints = &self.infos[c.rule].var_constraints[c.k];
         if !self.pattern_index || constraints.is_empty() {
+            obs::prof_span!("scan");
             return (group.live_slots(), false);
         }
+        obs::prof_span!("probe");
         if constraints
             .iter()
             .any(|&(_, _, vid)| c.sigma[vid].is_none())
@@ -827,6 +833,7 @@ impl CondEngine {
     /// inserted tuple `tup` to all related COND stores (§4.2.2's insertion
     /// algorithm).
     fn propagate(&mut self, contributions: Vec<Contribution>, tup: TupKey) {
+        obs::prof_span!("propagate");
         // Group planned work by target class so stores can be updated in
         // parallel (each class store is owned by exactly one task).
         let nclasses = self.stores.len();
@@ -929,6 +936,7 @@ impl CondEngine {
         work: &[(Contribution, usize)],
         tup: TupKey,
     ) -> (Vec<LogEntry>, u64, u64) {
+        obs::prof_span!("apply");
         // Proposals keyed by (rule, n, identity, k_idx). Distinct
         // derivation paths may reach the same identity with different
         // inherited supports; everything unions (the pattern is supported
@@ -1083,6 +1091,7 @@ impl CondEngine {
     /// contributed to (the deletion algorithm: reset marks / decrement
     /// counters, §4.2.2), collecting patterns left with no support.
     fn withdraw(&mut self, tup: TupKey) {
+        obs::prof_span!("withdraw");
         let Some(entries) = self.log.remove(&tup) else {
             return;
         };
@@ -1116,6 +1125,7 @@ impl CondEngine {
         class: ClassId,
         tuple: &Tuple,
     ) -> (Vec<ConflictDelta>, Vec<(usize, usize)>) {
+        obs::prof_span!("detect");
         let mut deltas = Vec::new();
         // (a) fully marked patterns → fire triggers (expanded into new
         // instantiations by a seeded query).
@@ -1178,6 +1188,7 @@ impl CondEngine {
     /// vector within the batch and against the stored instantiations
     /// (distinct seeds of the same cycle can derive the same match).
     fn expand_fires(&mut self, fires: Vec<(usize, usize, TupleId, Tuple)>) -> Vec<ConflictDelta> {
+        obs::prof_span!("expand");
         let mut groups: HashMap<(usize, usize), Vec<(TupleId, Tuple)>> = HashMap::new();
         for (rid, cen, tid, tuple) in fires {
             groups.entry((rid, cen)).or_default().push((tid, tuple));
@@ -1209,6 +1220,7 @@ impl CondEngine {
     /// Detection retractions for a deletion: instantiations containing
     /// the tuple leave the conflict store.
     fn retract_containing(&mut self, class: ClassId, tid: TupleId) -> Vec<ConflictDelta> {
+        obs::prof_span!("retract");
         let mut deltas = Vec::new();
         let rule_ids: Vec<usize> = self
             .pdb
@@ -1232,6 +1244,7 @@ impl CondEngine {
         tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("remove");
         self.withdraw((class.0, tid));
         let mut enable_deltas = Vec::new();
         let rule_ids: Vec<usize> = self
@@ -1256,6 +1269,7 @@ impl CondEngine {
 
     /// Contributions of a tuple at its class (patterns it matches).
     fn contributions(&self, class: ClassId, tuple: &Tuple) -> Vec<Contribution> {
+        obs::prof_span!("contrib");
         let mut out = Vec::new();
         for (rid, cen) in self.candidate_groups(class, tuple) {
             let Some(group) = self.stores[class.0].groups.get(&(rid, cen)) else {
@@ -1319,6 +1333,7 @@ impl MatchEngine for CondEngine {
         tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("cond.maintain");
         let start = Instant::now();
         let (mut deltas, fire) = self.detect_insert(class, tuple);
         let fires: Vec<(usize, usize, TupleId, Tuple)> = fire
@@ -1341,6 +1356,7 @@ impl MatchEngine for CondEngine {
         tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("cond.maintain");
         let start = Instant::now();
         // Detection: retract instantiations containing the tuple.
         let mut deltas = self.retract_containing(class, tid);
@@ -1378,6 +1394,7 @@ impl MatchEngine for CondEngine {
             }
             return out;
         }
+        obs::prof_span!("cond.maintain");
         let start = Instant::now();
         let mut detect_ns: u64 = 0;
         let mut out = Vec::new();

@@ -77,6 +77,7 @@ impl MatchEngine for DbReteEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("dbrete.maintain");
         let start = Instant::now();
         let deltas = self.net.insert(Wme::new(class, tuple.clone()));
         self.last_total = start.elapsed().as_nanos() as u64;
@@ -89,6 +90,7 @@ impl MatchEngine for DbReteEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("dbrete.maintain");
         let start = Instant::now();
         let deltas = self.net.remove(&Wme::new(class, tuple.clone()));
         self.last_total = start.elapsed().as_nanos() as u64;

@@ -132,6 +132,7 @@ impl MatchEngine for MarkerEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("marker.maintain");
         let start = Instant::now();
         let c = self.candidates(class, tuple);
         let deltas = self.verify(c);
@@ -145,6 +146,7 @@ impl MatchEngine for MarkerEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("marker.maintain");
         let start = Instant::now();
         let c = self.candidates(class, tuple);
         let deltas = self.verify(c);
@@ -157,6 +159,7 @@ impl MatchEngine for MarkerEngine {
     /// the fully-applied WM delta. A rule awakened by several changes in
     /// the same cycle counts at most one false drop.
     fn maintain_delta(&mut self, deltas: &[WmDelta]) -> Vec<ConflictDelta> {
+        obs::prof_span!("marker.maintain");
         if !self.batch {
             let mut out = Vec::new();
             for d in deltas {

@@ -90,6 +90,7 @@ impl QueryEngine {
     }
 
     fn reevaluate(&mut self, rules: BTreeSet<usize>) -> Vec<ConflictDelta> {
+        obs::prof_span!("eval");
         let mut deltas = Vec::new();
         for rid in rules {
             let rule = self.pdb.rules().rule(RuleId(rid)).clone();
@@ -121,6 +122,7 @@ impl MatchEngine for QueryEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("query.maintain");
         let start = Instant::now();
         let affected = self.affected_rules(class, tuple);
         let deltas = self.reevaluate(affected);
@@ -134,6 +136,7 @@ impl MatchEngine for QueryEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("query.maintain");
         let start = Instant::now();
         let affected = self.affected_rules(class, tuple);
         let deltas = self.reevaluate(affected);
@@ -158,6 +161,7 @@ impl MatchEngine for QueryEngine {
             }
             return out;
         }
+        obs::prof_span!("query.maintain");
         let start = Instant::now();
         let mut affected = BTreeSet::new();
         for d in deltas {

@@ -66,6 +66,7 @@ impl MatchEngine for ReteEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("rete.maintain");
         let start = Instant::now();
         let deltas = self.net.insert(Wme::new(class, tuple.clone()));
         self.last_total = start.elapsed().as_nanos() as u64;
@@ -78,6 +79,7 @@ impl MatchEngine for ReteEngine {
         _tid: TupleId,
         tuple: &Tuple,
     ) -> Vec<ConflictDelta> {
+        obs::prof_span!("rete.maintain");
         let start = Instant::now();
         let deltas = self.net.remove(&Wme::new(class, tuple.clone()));
         self.last_total = start.elapsed().as_nanos() as u64;

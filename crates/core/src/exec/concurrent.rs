@@ -350,6 +350,7 @@ impl ConcurrentExecutor {
                 .collect();
             let (critical_ns, self_removed) = {
                 let mut g = engine.lock();
+                obs::prof_span!("exec.critical");
                 let held = Instant::now();
                 let start = g.tracer().enabled().then(Instant::now);
                 let deltas = g.maintain_delta(&resolved);

@@ -90,6 +90,7 @@ impl SequentialExecutor {
     /// events, its canonically ordered conflict deltas, and a
     /// `BatchApplied` summary from inside `apply_delta`.
     pub fn insert_batch(&mut self, class: ops5::ClassId, tuples: Vec<relstore::Tuple>) {
+        obs::prof_span!("exec.load");
         let changes: Vec<(bool, ops5::ClassId, relstore::Tuple)> =
             tuples.into_iter().map(|t| (true, class, t)).collect();
         let deltas = self.engine.apply_delta(&changes);
@@ -117,6 +118,7 @@ impl SequentialExecutor {
     /// Run one recognize-act cycle. Returns the fired instantiation, or
     /// `None` when the conflict set has no eligible entry.
     pub fn step(&mut self) -> Option<(Instantiation, bool, Vec<String>)> {
+        obs::prof_span!("exec.step");
         let cycle = self.cycle;
         let candidates = self.candidates();
         if candidates.is_empty() {

@@ -93,20 +93,29 @@ impl Log2Histogram {
             .collect()
     }
 
-    /// Approximate p-th percentile (0..=100): the exclusive upper bound of
-    /// the bucket holding that rank.
+    /// Approximate p-th percentile (0..=100), linearly interpolated
+    /// within the bucket holding that rank so nearby percentiles don't
+    /// collapse onto the same power-of-two step. Clamped to the observed
+    /// max, so p100 is exact.
     pub fn percentile(&self, p: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
         }
-        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, c) in self.bucket_counts().iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_bounds(i).1.saturating_sub(1);
+        let rank = ((p / 100.0) * n as f64).clamp(1.0, n as f64);
+        let mut seen = 0f64;
+        for (i, &c) in self.bucket_counts().iter().enumerate() {
+            if c == 0 {
+                continue;
             }
+            let cf = c as f64;
+            if seen + cf >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = ((rank - seen) / cf).clamp(0.0, 1.0);
+                let v = lo + (frac * (hi - lo) as f64) as u64;
+                return v.min(hi.saturating_sub(1)).min(self.max());
+            }
+            seen += cf;
         }
         self.max()
     }
@@ -156,6 +165,49 @@ mod tests {
             assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
             assert!(lo < hi);
         }
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_bucket() {
+        let h = Log2Histogram::new();
+        for _ in 0..100 {
+            h.record(600); // all land in bucket [512, 1024)
+        }
+        let p10 = h.percentile(10.0);
+        let p90 = h.percentile(90.0);
+        assert!((512..=600).contains(&p10), "p10 = {p10}");
+        assert!(p10 < p90, "interpolation, not a step: {p10} vs {p90}");
+        assert_eq!(h.percentile(100.0), 600, "p100 clamps to observed max");
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let h = Log2Histogram::new();
+        // Deterministic spread across many buckets, including 0.
+        let mut v: u64 = 1;
+        h.record(0);
+        for _ in 0..200 {
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(v >> 40);
+        }
+        let mut last = 0u64;
+        for p in 0..=100 {
+            let cur = h.percentile(p as f64);
+            assert!(cur >= last, "p{p}: {cur} < {last}");
+            last = cur;
+        }
+        assert_eq!(h.percentile(100.0), h.max());
     }
 
     #[test]

@@ -156,6 +156,237 @@ pub fn u64_array(vals: &[u64]) -> String {
     a.finish()
 }
 
+/// Parsed JSON value — the read side of this module, used by tooling
+/// that must consume its own output (e.g. the bench regression gate
+/// reading `BENCH_history.jsonl`). Minimal by design: numbers keep
+/// their lexeme and convert on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Number, kept as its source lexeme.
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Rejects trailing non-whitespace.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Value::Str(s) => s,
+                    _ => return Err(format!("object key is not a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b't') => parse_lit(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|_| Value::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            if *pos == start {
+                return Err(format!("unexpected byte at {start}"));
+            }
+            let lex = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            // Validate the lexeme is a number before storing it.
+            lex.parse::<f64>()
+                .map_err(|_| format!("bad number {lex:?} at byte {start}"))?;
+            Ok(Value::Num(lex.to_string()))
+        }
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *pos += 4;
+                        let ch = match cp {
+                            0xD800..=0xDBFF => {
+                                // Surrogate pair: expect \uDC00-\uDFFF next.
+                                if b.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                    return Err("lone high surrogate".into());
+                                }
+                                let hex2 = b
+                                    .get(*pos + 3..*pos + 7)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or("truncated low surrogate")?;
+                                let lo = u32::from_str_radix(hex2, 16)
+                                    .map_err(|_| "bad low surrogate digits")?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err("bad low surrogate".into());
+                                }
+                                *pos += 6;
+                                char::from_u32(0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00))
+                                    .ok_or("bad surrogate pair")?
+                            }
+                            0xDC00..=0xDFFF => return Err("lone low surrogate".into()),
+                            cp => char::from_u32(cp).ok_or("bad codepoint")?,
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => return Err(format!("raw control byte at {pos}")),
+            Some(_) => {
+                // Copy one UTF-8 scalar (multi-byte sequences included).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +408,51 @@ mod tests {
             .raw("buckets", &inner)
             .finish();
         assert_eq!(json, r#"{"kind":"x\"y","n":7,"ok":true,"buckets":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_builder_output() {
+        let json = Obj::new()
+            .str("kind", "x\"y\nz")
+            .u64("n", 7)
+            .f64("f", 1.5)
+            .bool("ok", true)
+            .raw("buckets", &u64_array(&[1, 2, 3]))
+            .raw("null", "null")
+            .finish();
+        let v = parse(&json).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("x\"y\nz"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let arr = v.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(arr.iter().filter_map(Value::as_u64).sum::<u64>(), 6);
+        assert_eq!(v.get("null"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_escapes_and_surrogates() {
+        let v = parse(r#"{"s":"a\u0041\ud83d\ude00\t"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("aA😀\t"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("{\"a\":tru}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"\\ud800\"").is_err(), "lone surrogate");
+        assert!(parse("--3").is_err(), "bad number lexeme");
+    }
+
+    #[test]
+    fn parse_nested_and_whitespace() {
+        let v = parse(" { \"a\" : [ { \"b\" : -2.5e1 } , null ] } ").unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].get("b").unwrap().as_f64(), Some(-25.0));
+        assert_eq!(arr[1], Value::Null);
     }
 }

@@ -3,10 +3,12 @@
 //! Dependency-free tracing, metrics, and reporting (std only, so every
 //! other crate in the workspace — including `relstore` — can depend on it).
 
+pub mod alloc;
 pub mod event;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod report;
 pub mod sink;
 pub mod tracer;
@@ -14,6 +16,7 @@ pub mod tracer;
 pub use event::Event;
 pub use hist::Log2Histogram;
 pub use metrics::MetricsRegistry;
+pub use prof::Profile;
 pub use report::RunReport;
 pub use sink::{RingBuffer, Sink};
 pub use tracer::Tracer;

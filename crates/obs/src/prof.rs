@@ -1,0 +1,622 @@
+//! In-process span profiler: thread-local scoped spans aggregated into a
+//! call tree with inclusive/exclusive nanoseconds, call counts, and (via
+//! [`crate::alloc::CountingAlloc`]) allocation attribution.
+//!
+//! Like [`crate::Tracer`], the disabled path is effectively free: one
+//! relaxed atomic load per [`span`] call, no thread-local touch, no
+//! allocation. When enabled, each thread builds its own interned call
+//! tree (no locks on the hot path); trees are merged into a process-wide
+//! accumulator when a thread exits or when [`take`] drains the calling
+//! thread, so crossbeam COND partitions and concurrent-executor workers
+//! fold into one profile.
+//!
+//! ```
+//! obs::prof::set_enabled(true);
+//! {
+//!     obs::prof_span!("outer");
+//!     obs::prof_span!("inner");
+//! }
+//! let p = obs::prof::take();
+//! obs::prof::set_enabled(false);
+//! assert_eq!(p.roots[0].name, "outer");
+//! assert_eq!(p.roots[0].children[0].name, "inner");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::{Arr, Obj};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Profile> = Mutex::new(Profile::new());
+
+/// Is the profiler recording?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off. Turning it on does not clear previously
+/// accumulated data; call [`take`] (or [`reset`]) first for a fresh run.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Drain and discard everything recorded so far (this thread + global).
+pub fn reset() {
+    let _ = take();
+}
+
+/// One interned node of a thread's call tree.
+struct NodeRec {
+    name: &'static str,
+    parent: usize,
+    calls: u64,
+    incl_ns: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+/// Per-thread call tree. Node 0 is a synthetic root whose children are
+/// the top-level spans seen on this thread.
+struct ThreadProf {
+    nodes: Vec<NodeRec>,
+    index: HashMap<(usize, &'static str), usize>,
+    cur: usize,
+}
+
+impl ThreadProf {
+    fn new() -> Self {
+        ThreadProf {
+            nodes: vec![NodeRec {
+                name: "",
+                parent: 0,
+                calls: 0,
+                incl_ns: 0,
+                allocs: 0,
+                alloc_bytes: 0,
+            }],
+            index: HashMap::new(),
+            cur: 0,
+        }
+    }
+
+    fn intern(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&i) = self.index.get(&(parent, name)) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(NodeRec {
+            name,
+            parent,
+            calls: 0,
+            incl_ns: 0,
+            allocs: 0,
+            alloc_bytes: 0,
+        });
+        self.index.insert((parent, name), i);
+        i
+    }
+
+    /// Nest the flat arena into an owned [`Profile`].
+    fn to_profile(&self) -> Profile {
+        // Children of node i, in insertion order (nodes are appended, so a
+        // forward scan preserves first-seen order).
+        let mut out = Profile::new();
+        let mut built: Vec<ProfNode> = self
+            .nodes
+            .iter()
+            .map(|n| ProfNode {
+                name: n.name.to_string(),
+                calls: n.calls,
+                incl_ns: n.incl_ns,
+                allocs: n.allocs,
+                alloc_bytes: n.alloc_bytes,
+                children: Vec::new(),
+            })
+            .collect();
+        // Attach children to parents from the deepest node up: a node's
+        // children always have larger indices than the node itself.
+        for i in (1..self.nodes.len()).rev() {
+            let node = std::mem::replace(
+                &mut built[i],
+                ProfNode {
+                    name: String::new(),
+                    calls: 0,
+                    incl_ns: 0,
+                    allocs: 0,
+                    alloc_bytes: 0,
+                    children: Vec::new(),
+                },
+            );
+            let parent = self.nodes[i].parent;
+            built[parent].children.push(node);
+        }
+        // Reverse restores insertion order (children were pushed back-to-front).
+        fn order(n: &mut ProfNode) {
+            n.children.reverse();
+            for c in &mut n.children {
+                order(c);
+            }
+        }
+        let mut root = built.swap_remove(0);
+        order(&mut root);
+        out.roots = root.children;
+        out
+    }
+}
+
+struct ProfCell(RefCell<Option<ThreadProf>>);
+
+impl Drop for ProfCell {
+    fn drop(&mut self) {
+        // Thread exit: fold this thread's tree into the global profile so
+        // scoped-thread and worker profiles survive their threads.
+        if let Ok(mut b) = self.0.try_borrow_mut() {
+            if let Some(tp) = b.take() {
+                if let Ok(mut g) = GLOBAL.lock() {
+                    g.merge(tp.to_profile());
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static PROF: ProfCell = const { ProfCell(RefCell::new(None)) };
+}
+
+struct SpanData {
+    start: Instant,
+    node: usize,
+    prev: usize,
+}
+
+/// RAII guard returned by [`span`]; records the span on drop.
+pub struct SpanGuard(Option<SpanData>);
+
+/// Open a scoped span. Free when the profiler is disabled. Use through
+/// [`crate::prof_span!`] so the guard is named and dropped at scope end.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(span_slow(name))
+}
+
+#[inline(never)]
+fn span_slow(name: &'static str) -> Option<SpanData> {
+    PROF.try_with(|c| {
+        let mut b = c.0.try_borrow_mut().ok()?;
+        let tp = b.get_or_insert_with(ThreadProf::new);
+        let prev = tp.cur;
+        let node = tp.intern(prev, name);
+        tp.cur = node;
+        Some(SpanData {
+            start: Instant::now(),
+            node,
+            prev,
+        })
+    })
+    .ok()
+    .flatten()
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(d) = self.0.take() else { return };
+        let elapsed = d.start.elapsed().as_nanos() as u64;
+        let _ = PROF.try_with(|c| {
+            if let Ok(mut b) = c.0.try_borrow_mut() {
+                if let Some(tp) = b.as_mut() {
+                    // take() may have swapped the tree out mid-span; the
+                    // bounds checks make the stale guard a no-op.
+                    if d.node < tp.nodes.len() {
+                        tp.nodes[d.node].calls += 1;
+                        tp.nodes[d.node].incl_ns += elapsed;
+                    }
+                    tp.cur = if d.prev < tp.nodes.len() { d.prev } else { 0 };
+                }
+            }
+        });
+    }
+}
+
+/// Charge an allocation to the active span of the calling thread. Called
+/// by [`crate::alloc::CountingAlloc`]; safe to call from any context —
+/// reentrant or destructor-time calls fall through to a no-op.
+#[inline]
+pub fn note_alloc(bytes: u64) {
+    let _ = PROF.try_with(|c| {
+        if let Ok(mut b) = c.0.try_borrow_mut() {
+            if let Some(tp) = b.as_mut() {
+                let cur = tp.cur;
+                tp.nodes[cur].allocs += 1;
+                tp.nodes[cur].alloc_bytes += bytes;
+            }
+        }
+    });
+}
+
+/// Drain the calling thread's tree and the global accumulator into one
+/// merged [`Profile`]. Threads still running keep their partial trees
+/// (they merge on exit); call from the thread that owns the run after
+/// worker/scoped threads have joined.
+pub fn take() -> Profile {
+    let _ = PROF.try_with(|c| {
+        if let Ok(mut b) = c.0.try_borrow_mut() {
+            if let Some(tp) = b.take() {
+                if let Ok(mut g) = GLOBAL.lock() {
+                    g.merge(tp.to_profile());
+                }
+            }
+        }
+    });
+    match GLOBAL.lock() {
+        Ok(mut g) => std::mem::take(&mut *g),
+        Err(_) => Profile::new(),
+    }
+}
+
+/// One aggregated span in a merged call tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfNode {
+    pub name: String,
+    pub calls: u64,
+    /// Total nanoseconds with this span (or a descendant) open.
+    pub incl_ns: u64,
+    pub allocs: u64,
+    pub alloc_bytes: u64,
+    pub children: Vec<ProfNode>,
+}
+
+impl ProfNode {
+    /// Self time: inclusive minus the children's inclusive time.
+    pub fn excl_ns(&self) -> u64 {
+        self.incl_ns
+            .saturating_sub(self.children.iter().map(|c| c.incl_ns).sum())
+    }
+
+    fn merge_into(self, siblings: &mut Vec<ProfNode>) {
+        let target = match siblings.iter().position(|t| t.name == self.name) {
+            Some(i) => i,
+            None => {
+                // New name at this level: push an empty shell, then merge
+                // our children one by one so duplicate same-name siblings
+                // in the input collapse (keeps merge associative).
+                siblings.push(ProfNode {
+                    name: self.name,
+                    calls: 0,
+                    incl_ns: 0,
+                    allocs: 0,
+                    alloc_bytes: 0,
+                    children: Vec::new(),
+                });
+                siblings.len() - 1
+            }
+        };
+        let t = &mut siblings[target];
+        t.calls += self.calls;
+        t.incl_ns += self.incl_ns;
+        t.allocs += self.allocs;
+        t.alloc_bytes += self.alloc_bytes;
+        for c in self.children {
+            c.merge_into(&mut t.children);
+        }
+    }
+
+    fn to_json_obj(&self) -> String {
+        let mut kids = Arr::new();
+        for c in &self.children {
+            kids = kids.raw(&c.to_json_obj());
+        }
+        Obj::new()
+            .str("name", &self.name)
+            .u64("calls", self.calls)
+            .u64("incl_ns", self.incl_ns)
+            .u64("excl_ns", self.excl_ns())
+            .u64("allocs", self.allocs)
+            .u64("alloc_bytes", self.alloc_bytes)
+            .raw("children", &kids.finish())
+            .finish()
+    }
+}
+
+/// One row of [`Profile::hotspots`]: a span path ranked by self time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hotspot {
+    /// Semicolon-joined span path, e.g. `cond.maintain;probe`.
+    pub path: String,
+    pub self_ns: u64,
+    pub calls: u64,
+    pub allocs: u64,
+    pub alloc_bytes: u64,
+}
+
+impl Hotspot {
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("path", &self.path)
+            .u64("self_ns", self.self_ns)
+            .u64("calls", self.calls)
+            .u64("allocs", self.allocs)
+            .u64("alloc_bytes", self.alloc_bytes)
+            .finish()
+    }
+}
+
+/// A merged call tree (possibly from many threads / many runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    pub roots: Vec<ProfNode>,
+}
+
+impl Profile {
+    pub const fn new() -> Self {
+        Profile { roots: Vec::new() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Fold `other` into `self`, summing nodes with equal paths. Both
+    /// sides are canonicalized (duplicate same-name siblings collapse),
+    /// which makes merging associative whatever the inputs.
+    pub fn merge(&mut self, other: Profile) {
+        let mine = std::mem::take(&mut self.roots);
+        for r in mine {
+            r.merge_into(&mut self.roots);
+        }
+        for r in other.roots {
+            r.merge_into(&mut self.roots);
+        }
+    }
+
+    /// Total inclusive nanoseconds across root spans — the profiler's
+    /// attributed share of wall time.
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.incl_ns).sum()
+    }
+
+    /// Total bytes allocated under any span.
+    pub fn total_alloc_bytes(&self) -> u64 {
+        fn sum(n: &ProfNode) -> u64 {
+            n.alloc_bytes + n.children.iter().map(sum).sum::<u64>()
+        }
+        self.roots.iter().map(sum).sum()
+    }
+
+    /// Look a node up by path.
+    pub fn find(&self, path: &[&str]) -> Option<&ProfNode> {
+        let mut nodes = &self.roots;
+        let mut found = None;
+        for name in path {
+            found = nodes.iter().find(|n| n.name == *name)?.into();
+            nodes = &found.unwrap().children;
+        }
+        found
+    }
+
+    /// Folded-stack lines (`inferno`/`flamegraph.pl` input): one line per
+    /// span path carrying its *self* time, `prefix;a;b 1234`. Zero-self
+    /// interior spans are skipped (their time lives in their children).
+    pub fn folded(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        fn walk(n: &ProfNode, stack: &mut String, out: &mut String) {
+            let len = stack.len();
+            if !stack.is_empty() {
+                stack.push(';');
+            }
+            stack.push_str(&n.name);
+            let excl = n.excl_ns();
+            if excl > 0 {
+                out.push_str(stack);
+                out.push(' ');
+                out.push_str(&excl.to_string());
+                out.push('\n');
+            }
+            for c in &n.children {
+                walk(c, stack, out);
+            }
+            stack.truncate(len);
+        }
+        let mut stack = String::from(prefix);
+        for r in &self.roots {
+            walk(r, &mut stack, &mut out);
+        }
+        out
+    }
+
+    /// The `n` span paths with the largest self time, descending.
+    pub fn hotspots(&self, n: usize) -> Vec<Hotspot> {
+        let mut all = Vec::new();
+        fn walk(node: &ProfNode, path: &mut String, all: &mut Vec<Hotspot>) {
+            let len = path.len();
+            if !path.is_empty() {
+                path.push(';');
+            }
+            path.push_str(&node.name);
+            all.push(Hotspot {
+                path: path.clone(),
+                self_ns: node.excl_ns(),
+                calls: node.calls,
+                allocs: node.allocs,
+                alloc_bytes: node.alloc_bytes,
+            });
+            for c in &node.children {
+                walk(c, path, all);
+            }
+            path.truncate(len);
+        }
+        let mut path = String::new();
+        for r in &self.roots {
+            walk(r, &mut path, &mut all);
+        }
+        all.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+        all.truncate(n);
+        all
+    }
+
+    /// Render the call tree as a JSON array of nested span objects.
+    pub fn to_json(&self) -> String {
+        let mut a = Arr::new();
+        for r in &self.roots {
+            a = a.raw(&r.to_json_obj());
+        }
+        a.finish()
+    }
+}
+
+#[macro_export]
+macro_rules! prof_span {
+    ($name:expr) => {
+        let _obs_prof_span_guard = $crate::prof::span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The profiler is process-global state; tests that enable it must not
+    // interleave. (The integration suite has its own lock; unit tests
+    // share this one.)
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = locked();
+        reset();
+        set_enabled(false);
+        {
+            crate::prof_span!("never");
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        {
+            crate::prof_span!("a");
+            for _ in 0..3 {
+                crate::prof_span!("b");
+            }
+        }
+        {
+            crate::prof_span!("a");
+        }
+        set_enabled(false);
+        let p = take();
+        assert_eq!(p.roots.len(), 1);
+        let a = &p.roots[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.children.len(), 1);
+        assert_eq!(a.children[0].name, "b");
+        assert_eq!(a.children[0].calls, 3);
+        assert!(a.incl_ns >= a.children[0].incl_ns);
+        assert_eq!(a.excl_ns(), a.incl_ns - a.children[0].incl_ns);
+    }
+
+    #[test]
+    fn threads_merge_into_one_profile() {
+        let _g = locked();
+        reset();
+        set_enabled(true);
+        let h: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    crate::prof_span!("worker");
+                    crate::prof_span!("inner");
+                })
+            })
+            .collect();
+        for t in h {
+            t.join().unwrap();
+        }
+        set_enabled(false);
+        let p = take();
+        let w = p.find(&["worker"]).expect("merged worker span");
+        assert_eq!(w.calls, 4);
+        assert_eq!(p.find(&["worker", "inner"]).unwrap().calls, 4);
+    }
+
+    #[test]
+    fn folded_and_hotspots_and_json() {
+        let mut p = Profile::new();
+        p.merge(Profile {
+            roots: vec![ProfNode {
+                name: "run".into(),
+                calls: 1,
+                incl_ns: 100,
+                allocs: 2,
+                alloc_bytes: 64,
+                children: vec![ProfNode {
+                    name: "probe".into(),
+                    calls: 5,
+                    incl_ns: 70,
+                    allocs: 1,
+                    alloc_bytes: 32,
+                    children: vec![],
+                }],
+            }],
+        });
+        let folded = p.folded("cond");
+        assert!(folded.contains("cond;run 30\n"), "{folded}");
+        assert!(folded.contains("cond;run;probe 70\n"), "{folded}");
+        let hs = p.hotspots(10);
+        assert_eq!(hs[0].path, "run;probe");
+        assert_eq!(hs[0].self_ns, 70);
+        assert_eq!(hs[1].path, "run");
+        assert_eq!(hs[1].self_ns, 30);
+        let json = p.to_json();
+        assert!(json.starts_with("[{\"name\":\"run\""), "{json}");
+        assert!(json.contains("\"excl_ns\":30"), "{json}");
+        assert_eq!(p.total_ns(), 100);
+        assert_eq!(p.total_alloc_bytes(), 96);
+    }
+
+    #[test]
+    fn merge_is_associative_on_fixed_trees() {
+        fn leaf(name: &str, ns: u64) -> ProfNode {
+            ProfNode {
+                name: name.into(),
+                calls: 1,
+                incl_ns: ns,
+                allocs: 0,
+                alloc_bytes: ns,
+                children: vec![],
+            }
+        }
+        let a = Profile {
+            roots: vec![leaf("x", 1)],
+        };
+        let b = Profile {
+            roots: vec![leaf("x", 2), leaf("y", 4)],
+        };
+        let c = Profile {
+            roots: vec![leaf("y", 8)],
+        };
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ab_c = ab.clone();
+        ab_c.merge(c.clone());
+        let mut bc = b;
+        bc.merge(c);
+        let mut a_bc = a;
+        a_bc.merge(bc);
+        assert_eq!(ab_c, a_bc);
+    }
+}

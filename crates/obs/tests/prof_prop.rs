@@ -1,0 +1,247 @@
+//! Property tests for the span profiler: random span trees are executed
+//! for real (guards, drops, threads) and the aggregated profile must
+//! reproduce their shape; merge is associative; the disabled path records
+//! nothing; allocations are charged to the active span.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+// Install the counting allocator in this test binary so allocation
+// attribution is exercised end to end.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc;
+
+/// The profiler is process-global; tests that enable it must not overlap.
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One step of a random well-nested span walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// Open span NAMES[i].
+    Push(usize),
+    /// Close the innermost open span (no-op on an empty stack).
+    Pop,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![2 => (0usize..NAMES.len()).prop_map(Op::Push), 1 => Just(Op::Pop)],
+        1..48,
+    )
+}
+
+/// Execute the walk with real guards and predict, per path, how many
+/// times each span closes.
+fn run_ops(ops: &[Op]) -> HashMap<Vec<&'static str>, u64> {
+    let mut expected: HashMap<Vec<&'static str>, u64> = HashMap::new();
+    let mut guards: Vec<obs::prof::SpanGuard> = Vec::new();
+    let mut path: Vec<&'static str> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Push(i) => {
+                guards.push(obs::prof::span(NAMES[i]));
+                path.push(NAMES[i]);
+            }
+            Op::Pop => {
+                if let Some(g) = guards.pop() {
+                    drop(g);
+                    *expected.entry(path.clone()).or_default() += 1;
+                    path.pop();
+                }
+            }
+        }
+    }
+    // Close any spans still open, innermost first.
+    while let Some(g) = guards.pop() {
+        drop(g);
+        *expected.entry(path.clone()).or_default() += 1;
+        path.pop();
+    }
+    expected
+}
+
+/// Collect per-path call counts from a profile, checking the inclusive/
+/// exclusive invariant at every node.
+fn collect(p: &obs::Profile) -> HashMap<Vec<&'static str>, u64> {
+    fn walk(
+        n: &obs::prof::ProfNode,
+        path: &mut Vec<&'static str>,
+        out: &mut HashMap<Vec<&'static str>, u64>,
+    ) {
+        let name = NAMES
+            .iter()
+            .copied()
+            .find(|s| *s == n.name)
+            .expect("known span name");
+        path.push(name);
+        out.insert(path.clone(), n.calls);
+        let kids: u64 = n.children.iter().map(|c| c.incl_ns).sum();
+        assert!(
+            n.incl_ns >= kids,
+            "parent inclusive {} < children sum {} at {:?}",
+            n.incl_ns,
+            kids,
+            path
+        );
+        assert_eq!(n.excl_ns(), n.incl_ns - kids, "exclusive = incl - children");
+        for c in &n.children {
+            walk(c, path, out);
+        }
+        path.pop();
+    }
+    let mut out = HashMap::new();
+    let mut path = Vec::new();
+    for r in &p.roots {
+        walk(r, &mut path, &mut out);
+    }
+    out
+}
+
+/// Build a Profile directly from the ops (data only, no global state) —
+/// input for the merge-associativity property.
+fn profile_from_ops(ops: &[Op], scale: u64) -> obs::Profile {
+    fn node(name: &str, ns: u64) -> obs::prof::ProfNode {
+        obs::prof::ProfNode {
+            name: name.to_string(),
+            calls: 1,
+            incl_ns: ns,
+            allocs: 1,
+            alloc_bytes: ns,
+            children: Vec::new(),
+        }
+    }
+    let mut root = node("", 0);
+    let mut stack: Vec<obs::prof::ProfNode> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Push(n) => stack.push(node(NAMES[n], scale * (i as u64 + 1))),
+            Op::Pop => {
+                if let Some(done) = stack.pop() {
+                    stack.last_mut().unwrap_or(&mut root).children.push(done);
+                }
+            }
+        }
+    }
+    while let Some(done) = stack.pop() {
+        stack.last_mut().unwrap_or(&mut root).children.push(done);
+    }
+    obs::Profile {
+        roots: root.children,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn executed_tree_matches_profile(ops in ops_strategy()) {
+        let _g = locked();
+        obs::prof::reset();
+        obs::prof::set_enabled(true);
+        let expected = run_ops(&ops);
+        obs::prof::set_enabled(false);
+        let profile = obs::prof::take();
+        let got = collect(&profile);
+        // Every closed span path appears with its exact call count, and
+        // nothing else does.
+        prop_assert_eq!(got, expected);
+        // Self times tile the tree: the sum of every node's exclusive
+        // time equals the root total.
+        let excl_sum: u64 = profile.hotspots(usize::MAX).iter().map(|h| h.self_ns).sum();
+        prop_assert_eq!(excl_sum, profile.total_ns());
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in ops_strategy(),
+        b in ops_strategy(),
+        c in ops_strategy(),
+    ) {
+        let (pa, pb, pc) = (
+            profile_from_ops(&a, 1),
+            profile_from_ops(&b, 1000),
+            profile_from_ops(&c, 1_000_000),
+        );
+        let mut left = pa.clone();
+        left.merge(pb.clone());
+        left.merge(pc.clone());
+        let mut right_tail = pb;
+        right_tail.merge(pc);
+        let mut right = pa;
+        right.merge(right_tail);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn disabled_path_records_nothing(ops in ops_strategy()) {
+        let _g = locked();
+        obs::prof::reset();
+        obs::prof::set_enabled(false);
+        run_ops(&ops);
+        prop_assert!(obs::prof::take().is_empty());
+    }
+}
+
+#[test]
+fn cross_thread_merge_accumulates() {
+    let _g = locked();
+    obs::prof::reset();
+    obs::prof::set_enabled(true);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                obs::prof_span!("alpha");
+                obs::prof_span!("beta");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    obs::prof::set_enabled(false);
+    let p = obs::prof::take();
+    assert_eq!(p.find(&["alpha"]).expect("merged").calls, 4);
+    assert_eq!(p.find(&["alpha", "beta"]).expect("nested").calls, 4);
+}
+
+#[test]
+fn allocations_charge_the_active_span() {
+    let _g = locked();
+    obs::prof::reset();
+    obs::alloc::reset();
+    obs::prof::set_enabled(true);
+    {
+        obs::prof_span!("alloc_site");
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        std::hint::black_box(&v);
+    }
+    obs::prof::set_enabled(false);
+    let p = obs::prof::take();
+    let n = p.find(&["alloc_site"]).expect("span recorded");
+    assert!(n.allocs >= 1, "allocs = {}", n.allocs);
+    assert!(n.alloc_bytes >= 1 << 16, "alloc_bytes = {}", n.alloc_bytes);
+    let stats = obs::alloc::stats();
+    assert!(stats.bytes >= 1 << 16);
+    assert!(stats.peak_bytes >= 1 << 16);
+    assert!(stats.allocs >= 1);
+}
+
+#[test]
+fn disabled_allocator_counts_nothing() {
+    let _g = locked();
+    obs::prof::reset();
+    obs::prof::set_enabled(false);
+    obs::alloc::reset();
+    let v: Vec<u8> = Vec::with_capacity(4096);
+    std::hint::black_box(&v);
+    assert_eq!(obs::alloc::stats().bytes, 0);
+    assert_eq!(obs::alloc::stats().allocs, 0);
+}

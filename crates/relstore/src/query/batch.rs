@@ -84,6 +84,7 @@ impl<'a> BatchExecutor<'a> {
         query: &ConjunctiveQuery,
         seeded: Option<(usize, &[(TupleId, Tuple)])>,
     ) -> Result<Vec<Binding>> {
+        obs::prof_span!("batch");
         if query.terms.is_empty() {
             return Ok(Vec::new());
         }
@@ -187,6 +188,7 @@ impl<'a> BatchExecutor<'a> {
             // join predicates pushed into the read, so only the matching
             // index bucket is touched. Cheaper than building a table
             // whenever bindings are fewer than the join key's distincts.
+            obs::prof_span!("nl");
             let mut out = Vec::new();
             for p in &partials {
                 let bound = bound_preds(query, t, p);
@@ -203,9 +205,11 @@ impl<'a> BatchExecutor<'a> {
             }
             return Ok(out);
         }
-        let (input, rows) = self
-            .db
-            .read(rel, |r| (r.len(), r.select(&query.terms[t].restriction)))?;
+        let (input, rows) = {
+            obs::prof_span!("build");
+            self.db
+                .read(rel, |r| (r.len(), r.select(&query.terms[t].restriction)))?
+        };
         registry.observe_scan(rel, input as u64, rows.len() as u64);
         let mut out = Vec::new();
         {
@@ -221,9 +225,13 @@ impl<'a> BatchExecutor<'a> {
             };
             if rows.len() <= partials.len() {
                 let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for (i, (_, tuple)) in rows.iter().enumerate() {
-                    table.entry(row_key(tuple)).or_default().push(i);
+                {
+                    obs::prof_span!("build");
+                    for (i, (_, tuple)) in rows.iter().enumerate() {
+                        table.entry(row_key(tuple)).or_default().push(i);
+                    }
                 }
+                obs::prof_span!("probe");
                 for p in &partials {
                     if let Some(hits) = table.get(&partial_key(p)) {
                         for &i in hits {
@@ -238,9 +246,13 @@ impl<'a> BatchExecutor<'a> {
                 }
             } else {
                 let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for (i, p) in partials.iter().enumerate() {
-                    table.entry(partial_key(p)).or_default().push(i);
+                {
+                    obs::prof_span!("build");
+                    for (i, p) in partials.iter().enumerate() {
+                        table.entry(partial_key(p)).or_default().push(i);
+                    }
                 }
+                obs::prof_span!("probe");
                 for (tid, tuple) in &rows {
                     if let Some(hits) = table.get(&row_key(tuple)) {
                         for &i in hits {
@@ -280,6 +292,7 @@ impl<'a> BatchExecutor<'a> {
         algo: JoinAlgo,
         partials: Vec<Partial>,
     ) -> Result<Vec<Partial>> {
+        obs::prof_span!("anti");
         let rel = query.terms[t].rel;
         let registry = self.db.analyze_registry();
         let (eqs, residual) = Self::split_joins(query, t, &partials[0]);

@@ -60,6 +60,7 @@ impl<'a> QueryExecutor<'a> {
         query: &ConjunctiveQuery,
         seed: Option<(usize, TupleId, &Tuple)>,
     ) -> Result<Vec<Binding>> {
+        obs::prof_span!("query.exec");
         let mut out = Vec::new();
         if query.terms.is_empty() {
             return Ok(out);
