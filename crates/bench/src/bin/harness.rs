@@ -23,6 +23,9 @@ const PROFILE_DEFAULT_ITEMS: i64 = 2_000;
 /// The time-series `--bench-json` appends to and `--bench-check` reads.
 const HISTORY_DEFAULT: &str = "BENCH_history.jsonl";
 
+/// Default `--record` workload size (items).
+const RECORD_DEFAULT_ITEMS: i64 = 24;
+
 fn t1() {
     let rs = paper::example2_rules();
     println!("\n## T1 — §4.1.1 COND relations for Example 2\n");
@@ -513,6 +516,72 @@ fn explain(rule: &str) {
     }
 }
 
+fn record_cmd(path: &str, engine: Option<&str>, workers: Option<usize>, items: Option<i64>) {
+    let (kind, default_workers) = match bench::parse_engine(engine.unwrap_or("concurrent")) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let workers = workers.or(default_workers).unwrap_or(0);
+    let items = items.unwrap_or(RECORD_DEFAULT_ITEMS);
+    match bench::record_run(path, kind, workers, items) {
+        Ok(out) => println!(
+            "recorded {} {} run ({} items, {} firings) -> {path}",
+            out.mode,
+            kind.label(),
+            items,
+            out.fired
+        ),
+        Err(e) => {
+            eprintln!("error: record failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn replay_cmd(path: &str) {
+    match bench::replay_run(path) {
+        Ok(out) => println!(
+            "replay OK: {} {} firing(s) reproduced exactly, final WM verified ({} entries)",
+            out.mode, out.firings, out.final_wm
+        ),
+        Err(e) => {
+            eprintln!("replay FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn journal_cmd(path: &str, why: Option<&str>, why_not: Option<&str>) {
+    let mut asked = false;
+    if let Some(spec) = why {
+        asked = true;
+        match bench::why_run(path, spec) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(spec) = why_not {
+        asked = true;
+        match bench::why_not_run(path, spec) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !asked {
+        eprintln!("error: --journal needs --why or --why-not (see --help)");
+        std::process::exit(2);
+    }
+}
+
 /// Everything the harness accepts; `--help` output and the whitelist the
 /// argument parser checks selectors against.
 const SELECTORS: &[(&str, &str)] = &[
@@ -573,6 +642,26 @@ fn usage() {
     println!("                     on a >25% wall-time or >2x allocation regression per engine");
     println!("  --history FILE     history file for --bench-json/--bench-check");
     println!("                     (default {HISTORY_DEFAULT})");
+    println!("  --record FILE      run the demo workload with the flight recorder on and write");
+    println!("                     a sellis88-journal/v1 JSONL journal (self-contained: program,");
+    println!("                     load script, WM deltas, conflict set, locks, commit order)");
+    println!("  --engine NAME      with --record: rete|db-rete|query|cond|marker record a");
+    println!(
+        "                     sequential pass; concurrent = query engine + {} workers",
+        bench::recorder::DEFAULT_WORKERS
+    );
+    println!("                     (default concurrent)");
+    println!("  --workers N        with --record: §5 worker count (0 = sequential pass)");
+    println!("                     with --items N: journal workload size (default {RECORD_DEFAULT_ITEMS} items)");
+    println!("  --replay FILE      re-execute a journal pinning its recorded commit schedule;");
+    println!("                     verifies the exact firing sequence and final WM (exit 1 on");
+    println!("                     any divergence)");
+    println!("  --journal FILE     load a journal into relstore relations (j_event, j_firing,");
+    println!("                     j_wm_delta, j_conflict, j_txn, j_lock, j_deadlock) for:");
+    println!("  --why RULE@CYCLE     which instantiation committed there, its support tuples,");
+    println!("                       and the WM context (a query over j_firing/j_wm_delta)");
+    println!("  --why-not RULE@CYCLE why the rule had no firing: replays WM to the cycle and");
+    println!("                       probes the LHS prefix-by-prefix for the failing CE");
     println!("  --help, -h         this text");
     println!("\n--trace/--report, --bench-json, --profile, --bench-check, and --explain run");
     println!("only their own workload unless selectors are also given.");
@@ -596,6 +685,13 @@ fn main() {
     let mut profile_path: Option<String> = None;
     let mut check = false;
     let mut history: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let mut journal: Option<String> = None;
+    let mut why: Option<String> = None;
+    let mut why_not: Option<String> = None;
+    let mut engine: Option<String> = None;
+    let mut workers: Option<usize> = None;
     while let Some(a) = raw.next() {
         match a.as_str() {
             "--help" | "-h" => {
@@ -616,6 +712,19 @@ fn main() {
             "--profile" => profile_path = Some(flag_value("--profile", &mut raw)),
             "--bench-check" => check = true,
             "--history" => history = Some(flag_value("--history", &mut raw)),
+            "--record" => record = Some(flag_value("--record", &mut raw)),
+            "--replay" => replay = Some(flag_value("--replay", &mut raw)),
+            "--journal" => journal = Some(flag_value("--journal", &mut raw)),
+            "--why" => why = Some(flag_value("--why", &mut raw)),
+            "--why-not" => why_not = Some(flag_value("--why-not", &mut raw)),
+            "--engine" => engine = Some(flag_value("--engine", &mut raw)),
+            "--workers" => {
+                let v = flag_value("--workers", &mut raw);
+                workers = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --workers expects an integer, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("error: unknown flag {flag} (see --help)");
                 std::process::exit(2);
@@ -630,11 +739,21 @@ fn main() {
     // `harness --trace t.jsonl`, `--bench-json b.json`, or `--explain R`
     // alone runs only that workload, not the whole experiment suite.
     let obs_requested = trace.is_some() || report.is_some();
+    let recorder_requested = record.is_some() || replay.is_some() || journal.is_some();
     let standalone = obs_requested
         || bench_path.is_some()
         || explain_rule.is_some()
         || profile_path.is_some()
+        || recorder_requested
         || check;
+    if (why.is_some() || why_not.is_some()) && journal.is_none() {
+        eprintln!("error: --why/--why-not need --journal FILE (see --help)");
+        std::process::exit(2);
+    }
+    if (engine.is_some() || workers.is_some()) && record.is_none() {
+        eprintln!("error: --engine/--workers only apply to --record (see --help)");
+        std::process::exit(2);
+    }
     let run_all = (args.is_empty() && !standalone) || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -690,9 +809,18 @@ fn main() {
     let history = history.as_deref().unwrap_or(HISTORY_DEFAULT);
     if let Some(path) = bench_path.as_deref() {
         bench_json(path, items, history);
-    } else if items.is_some() && profile_path.is_none() {
-        eprintln!("error: --items requires --bench-json or --profile (see --help)");
+    } else if items.is_some() && profile_path.is_none() && record.is_none() {
+        eprintln!("error: --items requires --bench-json, --profile, or --record (see --help)");
         std::process::exit(2);
+    }
+    if let Some(path) = record.as_deref() {
+        record_cmd(path, engine.as_deref(), workers, items);
+    }
+    if let Some(path) = replay.as_deref() {
+        replay_cmd(path);
+    }
+    if let Some(path) = journal.as_deref() {
+        journal_cmd(path, why.as_deref(), why_not.as_deref());
     }
     if let Some(path) = profile_path.as_deref() {
         profile(path, items);

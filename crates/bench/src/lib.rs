@@ -9,6 +9,7 @@ pub mod bench_json;
 pub mod experiments;
 pub mod obs_run;
 pub mod profile;
+pub mod recorder;
 
 pub use bench_json::{
     bench_rows, bench_rows_with, bench_scaled_rows, bench_scaled_rows_with, bench_scaled_snapshot,
@@ -17,6 +18,10 @@ pub use bench_json::{
 pub use experiments::*;
 pub use obs_run::{explain_run, observability_run, ExplainRun, ObsRun};
 pub use profile::{attribution_table, bench_check, folded_stacks, parse_history_last};
+pub use recorder::{
+    parse_engine, record_run, record_run_with, replay_run, why_not_run, why_run, RecordOutcome,
+    ReplayOutcome,
+};
 
 /// Format a sequence of (column, value) rows as an aligned table.
 pub fn print_rows(title: &str, header: &[&str], rows: &[Vec<String>]) {

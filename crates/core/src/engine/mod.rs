@@ -101,7 +101,7 @@ pub trait MatchEngine: Send {
         let deltas = self.maintain_insert(class, tid, &tuple);
         if let Some(start) = start {
             let total_ns = start.elapsed().as_nanos() as u64;
-            trace_wm_change(self, class, true, &tuple, &deltas, total_ns);
+            trace_wm_change(self, class, true, tid, &tuple, &deltas, total_ns);
         }
         deltas
     }
@@ -114,7 +114,7 @@ pub trait MatchEngine: Send {
                 let deltas = self.maintain_remove(class, tid, tuple);
                 if let Some(start) = start {
                     let total_ns = start.elapsed().as_nanos() as u64;
-                    trace_wm_change(self, class, false, tuple, &deltas, total_ns);
+                    trace_wm_change(self, class, false, tid, tuple, &deltas, total_ns);
                 }
                 deltas
             }
@@ -256,6 +256,7 @@ pub(crate) fn trace_wm_change<E: MatchEngine + ?Sized>(
     engine: &E,
     class: ClassId,
     insert: bool,
+    tid: TupleId,
     tuple: &Tuple,
     deltas: &[ConflictDelta],
     total_ns: u64,
@@ -273,12 +274,14 @@ pub(crate) fn trace_wm_change<E: MatchEngine + ?Sized>(
                 class: class.0 as u32,
                 class_name: class_name.clone(),
                 tuple: tuple.to_string(),
+                tid: tid.pack(),
             }
         } else {
             Event::WmRemove {
                 class: class.0 as u32,
                 class_name: class_name.clone(),
                 tuple: tuple.to_string(),
+                tid: tid.pack(),
             }
         }
     });
@@ -347,6 +350,8 @@ fn emit_conflict_deltas(tracer: &Tracer, rules: &ops5::RuleSet, deltas: &[Confli
                 rule: inst.rule.0 as u32,
                 rule_name: rule_name.clone(),
                 wmes,
+                support: inst.why.support_display(),
+                absent: inst.why.absent_display(rules),
             }
         });
     }
@@ -384,12 +389,14 @@ pub(crate) fn trace_batch<E: MatchEngine + ?Sized>(
                     class: d.class.0 as u32,
                     class_name: class_name.clone(),
                     tuple: d.tuple.to_string(),
+                    tid: d.tid.pack(),
                 }
             } else {
                 Event::WmRemove {
                     class: d.class.0 as u32,
                     class_name: class_name.clone(),
                     tuple: d.tuple.to_string(),
+                    tid: d.tid.pack(),
                 }
             }
         });

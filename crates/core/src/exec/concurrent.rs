@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,7 +32,7 @@ use ops5::ClassId;
 use parking_lot::Mutex;
 
 use relstore::{Error, Restriction, Selection, Tuple, TupleId};
-use rete::{ConflictDelta, Instantiation};
+use rete::Instantiation;
 
 use crate::engine::{trace_batch, MatchEngine, WmDelta};
 use crate::exec::{eval_rhs, positive_positions, WmChange};
@@ -69,6 +69,10 @@ pub struct ConcurrentStats {
     pub halted: bool,
     /// `write` output (order nondeterministic across transactions).
     pub writes: Vec<String>,
+    /// Set when an oracle-driven replay could not follow the recorded
+    /// schedule: the step it stopped at and why. `None` for live runs and
+    /// for replays that reproduced every recorded firing.
+    pub divergence: Option<String>,
 }
 
 impl fmt::Display for ConcurrentStats {
@@ -100,6 +104,50 @@ pub struct ConcurrentExecutor {
     /// whatever batch strategy the engine itself supports. Off pins the
     /// historical per-condition-element baseline.
     batching: bool,
+    /// Global commit sequence, threaded into every transaction: the
+    /// number is taken while the transaction still holds its locks, so
+    /// for conflicting transactions it is the serialization order.
+    /// Persists across `run` calls so journal firing sequences never
+    /// repeat within one executor's trace.
+    next_seq: AtomicU64,
+    /// When set, `run` replays the recorded schedule instead of racing
+    /// workers (see [`ScheduleOracle`]).
+    oracle: Option<ScheduleOracle>,
+}
+
+/// A recorded commit schedule: `(rule_name, wmes)` keys in commit-`seq`
+/// order, taken from a journal's `Firing` events. Installed on a
+/// [`ConcurrentExecutor`] via [`ConcurrentExecutor::set_oracle`], it
+/// replaces live worker racing with a serial re-execution that fires the
+/// recorded instantiations in the recorded serialization order —
+/// committed transactions' firing sequence and final WM are reproduced
+/// exactly (non-conflicting transactions commute; conflicting ones were
+/// ordered by their lock conflicts, which the `seq` capture point
+/// preserves).
+#[derive(Debug, Clone)]
+pub struct ScheduleOracle {
+    steps: Vec<(String, String)>,
+    pos: usize,
+}
+
+impl ScheduleOracle {
+    /// An oracle over `(rule_name, wmes)` firing keys in commit order.
+    pub fn new(steps: Vec<(String, String)>) -> Self {
+        ScheduleOracle { steps, pos: 0 }
+    }
+
+    /// Recorded firings not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.steps.len() - self.pos
+    }
+
+    fn peek(&self) -> Option<&(String, String)> {
+        self.steps.get(self.pos)
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
 }
 
 /// Result of one instantiation's transaction.
@@ -110,11 +158,16 @@ enum TxnOutcome {
         writes: Vec<String>,
         /// Nanoseconds the transaction held the engine critical section.
         critical_ns: u64,
-        /// The transaction's own maintenance removed (at least) one
-        /// conflict-set copy of the fired instantiation — its support
-        /// changed, so refraction must not charge it a firing: duplicate
-        /// WMEs leave equal-content copies behind that are still
-        /// entitled to fire.
+        /// The transaction deleted one of its own positive-support
+        /// tuples, so the maintenance process retires a conflict-set
+        /// copy of the fired instantiation and refraction must not
+        /// charge it a firing: duplicate WMEs leave equal-content
+        /// copies behind that are still entitled to fire. This is
+        /// judged from the transaction's *applied* RHS, not from its
+        /// maintenance delta — under concurrency the copy's removal
+        /// can surface in a racing transaction's maintenance pass
+        /// (storage deltas are visible to other workers' recompute
+        /// passes before commit), so delta attribution misses.
         self_removed: bool,
     },
     Invalid,
@@ -132,7 +185,15 @@ impl ConcurrentExecutor {
             engine: Arc::new(Mutex::new(engine)),
             workers: workers.max(1),
             batching: true,
+            next_seq: AtomicU64::new(0),
+            oracle: None,
         }
+    }
+
+    /// Install a recorded commit schedule: the next `run` replays it
+    /// serially instead of racing live workers.
+    pub fn set_oracle(&mut self, oracle: ScheduleOracle) {
+        self.oracle = Some(oracle);
     }
 
     /// Shared engine handle (e.g. to seed WM before running).
@@ -163,11 +224,16 @@ impl ConcurrentExecutor {
         g.set_tracer(tracer);
     }
 
-    /// Execute one instantiation as a transaction.
+    /// Execute one instantiation as a transaction. `round` and
+    /// `commit_seq` feed the journal's `Firing` record: the sequence
+    /// number is taken just before the commit point, with every lock
+    /// still held.
     fn run_one(
         engine: &Arc<Mutex<Box<dyn MatchEngine>>>,
         inst: &Instantiation,
         batching: bool,
+        round: u64,
+        commit_seq: &AtomicU64,
     ) -> TxnOutcome {
         let (pdb, rules, tracer) = {
             let g = engine.lock();
@@ -348,15 +414,28 @@ impl ConcurrentExecutor {
                     },
                 })
                 .collect();
-            let (critical_ns, self_removed) = {
+            // Whether this firing consumed its own support: an applied
+            // delete whose content matches one of the instantiation's
+            // positive WMEs retires a conflict-set copy of it. Decided
+            // here — from what the transaction itself did — because the
+            // *maintenance delta* that reports the removal may belong to
+            // a racing transaction: workers delete from shared storage
+            // before entering the critical section, so whichever
+            // maintenance pass runs first observes the combined state
+            // and reports every copy's retirement in its own delta.
+            let self_removed = applied.iter().any(|(change, _)| match change {
+                WmChange::Remove(class, tuple) => inst
+                    .wmes
+                    .iter()
+                    .any(|w| w.class == *class && &w.tuple == tuple),
+                WmChange::Insert(..) => false,
+            });
+            let critical_ns = {
                 let mut g = engine.lock();
                 obs::prof_span!("exec.critical");
                 let held = Instant::now();
                 let start = g.tracer().enabled().then(Instant::now);
                 let deltas = g.maintain_delta(&resolved);
-                let self_removed = deltas
-                    .iter()
-                    .any(|d| matches!(d, ConflictDelta::Remove(i) if i == inst));
                 if let Some(start) = start {
                     let total_ns = start.elapsed().as_nanos() as u64;
                     trace_batch(&**g, &resolved, &deltas, total_ns);
@@ -365,10 +444,26 @@ impl ConcurrentExecutor {
                 if let Some(m) = g.tracer().metrics() {
                     m.record_critical_section(critical_ns);
                 }
-                (critical_ns, self_removed)
+                critical_ns
             };
 
-            // 5. Commit point.
+            // 5. Commit point. The firing's global sequence number is
+            //    taken while the transaction still holds every lock: a
+            //    conflicting transaction is blocked until this one
+            //    releases at commit, so its own fetch_add is strictly
+            //    later — for conflicting transactions `seq` IS the
+            //    serialization order, and a serial replay in `seq` order
+            //    reproduces the run.
+            let seq = commit_seq.fetch_add(1, Ordering::SeqCst);
+            tracer.emit(|| Event::Firing {
+                seq,
+                round,
+                txn: txn_id,
+                rule: inst.rule.0 as u32,
+                rule_name: rule.name.clone(),
+                wmes: inst.wmes_display(&rules),
+                support: inst.why.support_display(),
+            });
             wm_writes = applied.len();
             txn.commit();
             TxnOutcome::Committed {
@@ -420,8 +515,12 @@ impl ConcurrentExecutor {
     }
 
     /// Run rounds of parallel firing until quiescence, halt, or
-    /// `max_fired` committed productions.
+    /// `max_fired` committed productions. With an installed
+    /// [`ScheduleOracle`], replays the recorded schedule serially instead.
     pub fn run(&mut self, max_fired: usize) -> ConcurrentStats {
+        if self.oracle.is_some() {
+            return self.run_replay(max_fired);
+        }
         let mut stats = ConcurrentStats::default();
         // Refraction memory as a counted multiset: duplicate WMEs yield
         // equal instantiations, each entitled to one firing.
@@ -472,6 +571,7 @@ impl ConcurrentExecutor {
             // to overshoot `max_fired` by up to a whole round's worth.
             candidates.truncate(max_fired - stats.committed);
             stats.rounds += 1;
+            let round = stats.rounds as u64;
             let dispatched = candidates.len();
             let round_start = Instant::now();
             let queue: Arc<Mutex<VecDeque<Instantiation>>> =
@@ -484,6 +584,7 @@ impl ConcurrentExecutor {
             // unexecuted.
             let halt_flag = Arc::new(AtomicBool::new(false));
             let batching = self.batching;
+            let commit_seq = &self.next_seq;
             crossbeam::thread::scope(|scope| {
                 for _ in 0..self.workers {
                     let queue = queue.clone();
@@ -497,7 +598,7 @@ impl ConcurrentExecutor {
                         let Some(inst) = queue.lock().pop_front() else {
                             break;
                         };
-                        let outcome = Self::run_one(&engine, &inst, batching);
+                        let outcome = Self::run_one(&engine, &inst, batching, round, commit_seq);
                         if let TxnOutcome::Committed { halt: true, .. } = &outcome {
                             halt_flag.store(true, Ordering::Relaxed);
                         }
@@ -592,6 +693,137 @@ impl ConcurrentExecutor {
                     break;
                 }
                 std::thread::sleep(std::time::Duration::from_micros(50u64 << stalls.min(8)));
+            }
+        }
+        let delta = self
+            .engine
+            .lock()
+            .pdb()
+            .db()
+            .stats()
+            .snapshot()
+            .since(&base);
+        stats.lock_waits = delta.lock_waits;
+        stats.lock_wait_ns = delta.lock_wait_ns;
+        stats
+    }
+
+    /// Deterministic replay: fire the oracle's recorded instantiations
+    /// one at a time, in the recorded commit order. Each step snapshots
+    /// the eligible candidates exactly like a live round, picks the one
+    /// matching the oracle's head, and runs it through the same
+    /// transaction path (`run_one`) — so locking, maintenance-before-
+    /// commit, and refraction bookkeeping are identical; only the racing
+    /// is gone. A step whose recorded instantiation is not eligible (or
+    /// does not commit) stops the replay with
+    /// [`ConcurrentStats::divergence`] set.
+    fn run_replay(&mut self, max_fired: usize) -> ConcurrentStats {
+        let mut stats = ConcurrentStats::default();
+        let mut fired: HashMap<Instantiation, usize> = HashMap::new();
+        let tracer = self.engine.lock().tracer().clone();
+        let rules = self.engine.lock().pdb().rules().clone();
+        let base = self.engine.lock().pdb().db().stats().snapshot();
+        while stats.committed < max_fired && !stats.halted {
+            let Some((want_rule, want_wmes)) = self.oracle.as_ref().and_then(|o| o.peek()).cloned()
+            else {
+                break; // schedule fully replayed
+            };
+            let candidates: Vec<Instantiation> = {
+                let g = self.engine.lock();
+                let mut remaining = fired.clone();
+                let mut out = Vec::new();
+                for inst in g.conflict_set().items() {
+                    if let Some(n) = remaining.get_mut(inst) {
+                        if *n > 0 {
+                            *n -= 1;
+                            continue;
+                        }
+                    }
+                    out.push(inst.clone());
+                }
+                out
+            };
+            let Some(inst) = candidates.into_iter().find(|inst| {
+                rules.rule(inst.rule).name == want_rule && inst.wmes_display(&rules) == want_wmes
+            }) else {
+                stats.divergence = Some(format!(
+                    "replay diverged at firing {}: no eligible instantiation for {want_rule}: {want_wmes}",
+                    stats.committed
+                ));
+                break;
+            };
+            stats.rounds += 1;
+            let round = stats.rounds as u64;
+            let round_start = Instant::now();
+            let outcome = Self::run_one(&self.engine, &inst, self.batching, round, &self.next_seq);
+            let mut round_committed = 0usize;
+            let mut round_critical = 0u64;
+            match outcome {
+                TxnOutcome::Committed {
+                    halt,
+                    writes,
+                    critical_ns,
+                    self_removed,
+                } => {
+                    stats.committed += 1;
+                    stats.writes.extend(writes);
+                    stats.halted |= halt;
+                    round_committed = 1;
+                    round_critical = critical_ns;
+                    stats.critical_ns += critical_ns;
+                    if !self_removed {
+                        *fired.entry(inst).or_insert(0) += 1;
+                    }
+                    self.oracle.as_mut().expect("oracle installed").advance();
+                }
+                TxnOutcome::Invalid => {
+                    stats.invalidated += 1;
+                    stats.divergence = Some(format!(
+                        "replay diverged at firing {}: {want_rule}: {want_wmes} re-selected as invalid",
+                        stats.committed
+                    ));
+                }
+                TxnOutcome::Deadlock => {
+                    // Impossible serially (one transaction at a time),
+                    // but surfaced rather than swallowed if it happens.
+                    stats.deadlock_aborts += 1;
+                    stats.divergence = Some(format!(
+                        "replay diverged at firing {}: {want_rule}: {want_wmes} hit a deadlock",
+                        stats.committed
+                    ));
+                }
+                TxnOutcome::Failed(e) => {
+                    stats.failed += 1;
+                    stats.errors.push(e.to_string());
+                    stats.divergence = Some(format!(
+                        "replay diverged at firing {}: {want_rule}: {want_wmes} failed: {e}",
+                        stats.committed
+                    ));
+                }
+            }
+            let span_ns = round_start.elapsed().as_nanos() as u64;
+            tracer.emit(|| Event::RoundSpan {
+                round,
+                candidates: 1,
+                committed: round_committed,
+                aborted: 1 - round_committed,
+                critical_ns: round_critical,
+                span_ns,
+            });
+            {
+                let g = self.engine.lock();
+                let cs = g.conflict_set();
+                let mut cs_counts: HashMap<&Instantiation, usize> = HashMap::new();
+                for inst in cs.items() {
+                    *cs_counts.entry(inst).or_insert(0) += 1;
+                }
+                fired.retain(|inst, n| {
+                    *n = (*n).min(cs_counts.get(inst).copied().unwrap_or(0));
+                    *n > 0
+                });
+            }
+            if stats.divergence.is_some() {
+                break;
             }
         }
         let delta = self
@@ -853,5 +1085,94 @@ mod tests {
         let stats = ex.run(100);
         assert!(stats.halted);
         assert_eq!(stats.committed, 1);
+    }
+
+    /// Firing keys `(rule_name, wmes)` in commit order, from a ring of
+    /// recorded events.
+    fn firing_keys(events: &[Event]) -> Vec<(String, String)> {
+        let mut firings: Vec<(u64, String, String)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Firing {
+                    seq,
+                    rule_name,
+                    wmes,
+                    ..
+                } => Some((*seq, rule_name.clone(), wmes.clone())),
+                _ => None,
+            })
+            .collect();
+        firings.sort_by_key(|(seq, _, _)| *seq);
+        firings.into_iter().map(|(_, r, w)| (r, w)).collect()
+    }
+
+    fn wm_snapshot(ex: &ConcurrentExecutor) -> Vec<(u32, String)> {
+        let eng = ex.engine();
+        let g = eng.lock();
+        let mut out = Vec::new();
+        for class in 0..g.pdb().class_count() {
+            let cid = ClassId(class);
+            for (_, t) in g.pdb().wm_scan(cid).unwrap() {
+                out.push((class as u32, format!("{t:?}")));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Record a racy 4-worker run, then replay its commit schedule
+    /// serially on a fresh executor: same firing sequence, same final WM.
+    #[test]
+    fn replay_reproduces_recorded_schedule() {
+        let load = |ex: &mut ConcurrentExecutor| {
+            let eng = ex.engine();
+            let mut g = eng.lock();
+            for i in 0..10i64 {
+                g.insert(ClassId(0), tuple![i]);
+            }
+        };
+        let mut rec = setup(COUNTER_RULES, EngineKind::Query);
+        load(&mut rec);
+        let tracer = obs::Tracer::new(obs::Sink::ring(65536));
+        rec.set_tracer(tracer.clone());
+        let rec_stats = rec.run(1000);
+        assert_eq!(rec_stats.committed, 10);
+        let keys = firing_keys(&tracer.ring_events().unwrap());
+        assert_eq!(keys.len(), 10);
+
+        let mut rep = setup(COUNTER_RULES, EngineKind::Query);
+        load(&mut rep);
+        let rep_tracer = obs::Tracer::new(obs::Sink::ring(65536));
+        rep.set_tracer(rep_tracer.clone());
+        rep.set_oracle(ScheduleOracle::new(keys.clone()));
+        let rep_stats = rep.run(1000);
+        assert_eq!(rep_stats.divergence, None);
+        assert_eq!(rep_stats.committed, 10);
+        assert_eq!(
+            firing_keys(&rep_tracer.ring_events().unwrap()),
+            keys,
+            "replay reproduces the exact firing sequence"
+        );
+        assert_eq!(wm_snapshot(&rep), wm_snapshot(&rec), "final WM matches");
+    }
+
+    /// Replaying a schedule the current program cannot produce reports a
+    /// divergence instead of panicking or spinning.
+    #[test]
+    fn replay_divergence_is_reported() {
+        let mut ex = setup(COUNTER_RULES, EngineKind::Query);
+        {
+            let eng = ex.engine();
+            let mut g = eng.lock();
+            g.insert(ClassId(0), tuple![1]);
+        }
+        ex.set_oracle(ScheduleOracle::new(vec![(
+            "Mark".into(),
+            "no-such-wmes".into(),
+        )]));
+        let stats = ex.run(1000);
+        assert_eq!(stats.committed, 0);
+        let msg = stats.divergence.expect("divergence reported");
+        assert!(msg.contains("no eligible instantiation"), "{msg}");
     }
 }

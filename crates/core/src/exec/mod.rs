@@ -5,7 +5,7 @@ pub mod concurrent;
 pub mod schedules;
 pub mod sequential;
 
-pub use concurrent::{ConcurrentExecutor, ConcurrentStats};
+pub use concurrent::{ConcurrentExecutor, ConcurrentStats, ScheduleOracle};
 pub use schedules::{
     count_equivalent_schedules, critical_path, interleaving_upper_bound, ops_of_instantiation,
     TxnOps,

@@ -162,6 +162,18 @@ impl SequentialExecutor {
             .collect();
         let deltas = self.engine.apply_delta(&changes);
         self.absorb(&deltas);
+        // The journal's commit record: under sequential execution the
+        // firing sequence IS the cycle sequence (txn 0 marks "no §5
+        // transaction").
+        tracer.emit(|| Event::Firing {
+            seq: cycle,
+            round: cycle,
+            txn: 0,
+            rule: inst.rule.0 as u32,
+            rule_name: rule_name.clone(),
+            wmes: inst.wmes_display(&rules),
+            support: inst.why.support_display(),
+        });
         if let Some(start) = start {
             let rhs_ns = start.elapsed().as_nanos() as u64;
             tracer.emit(|| Event::RuleFire {

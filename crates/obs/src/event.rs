@@ -18,17 +18,21 @@ pub enum Event {
         conflict_len: usize,
         fired_total: u64,
     },
-    /// A tuple entered working memory.
+    /// A tuple entered working memory. `tid` is the packed storage tuple
+    /// id it resolved to (0 when the emitter does not know it), so journal
+    /// queries can join WM deltas against firing provenance.
     WmInsert {
         class: u32,
         class_name: String,
         tuple: String,
+        tid: u64,
     },
     /// A tuple left working memory.
     WmRemove {
         class: u32,
         class_name: String,
         tuple: String,
+        tid: u64,
     },
     /// One engine finished match maintenance for one WM change.
     /// `detect_ns`/`total_ns` are the §4.2.3 detect/maintain split when
@@ -78,12 +82,16 @@ pub enum Event {
         critical_ns: u64,
         span_ns: u64,
     },
-    /// The conflict set gained or lost one instantiation.
+    /// The conflict set gained or lost one instantiation. `support` is
+    /// the provenance tuple-id list ("t3.1 t7.2") when the engine tracks
+    /// it; `absent` the concrete negated patterns that must stay absent.
     ConflictDelta {
         add: bool,
         rule: u32,
         rule_name: String,
         wmes: String,
+        support: String,
+        absent: String,
     },
     /// Conflict resolution picked an instantiation to fire.
     RuleSelect {
@@ -132,6 +140,26 @@ pub enum Event {
     },
     /// The deadlock detector chose this transaction as victim.
     DeadlockVictim { txn: u64 },
+    /// Snapshot of the waits-for graph at the moment a deadlock victim
+    /// was chosen, so journals show *why* the transaction aborted. Each
+    /// edge is rendered `t<waiter>->t<holder> <mode> <target>` and edges
+    /// are `"; "`-joined.
+    DeadlockGraph { victim: u64, edges: String },
+    /// One production committed its firing. `seq` is the global commit
+    /// sequence number — assigned while the transaction still holds its
+    /// locks, so for conflicting transactions it IS the serialization
+    /// order and replaying firings serially in `seq` order reproduces
+    /// the run. `round` is the §5 synchronization round (the cycle
+    /// number under the sequential executor, where `txn` is 0).
+    Firing {
+        seq: u64,
+        round: u64,
+        txn: u64,
+        rule: u32,
+        rule_name: String,
+        wmes: String,
+        support: String,
+    },
     /// A transaction rolled back. `reason` is `deadlock`, `invalidated`,
     /// or `error: …` with the storage error that forced the abort.
     TxnAbort { txn: u64, reason: String },
@@ -159,6 +187,8 @@ impl Event {
             Event::LockWait { .. } => "lock_wait",
             Event::LockAcquire { .. } => "lock_acquire",
             Event::DeadlockVictim { .. } => "deadlock_victim",
+            Event::DeadlockGraph { .. } => "deadlock_graph",
+            Event::Firing { .. } => "firing",
             Event::TxnAbort { .. } => "txn_abort",
             Event::TxnCommit { .. } => "txn_commit",
         }
@@ -182,15 +212,18 @@ impl Event {
                 class,
                 class_name,
                 tuple,
+                tid,
             }
             | Event::WmRemove {
                 class,
                 class_name,
                 tuple,
+                tid,
             } => o
                 .u64("class", *class as u64)
                 .str("class_name", class_name)
                 .str("tuple", tuple)
+                .u64("tid", *tid)
                 .finish(),
             Event::MatchMaintain {
                 engine,
@@ -257,11 +290,15 @@ impl Event {
                 rule,
                 rule_name,
                 wmes,
+                support,
+                absent,
             } => o
                 .str("op", if *add { "add" } else { "remove" })
                 .u64("rule", *rule as u64)
                 .str("rule_name", rule_name)
                 .str("wmes", wmes)
+                .str("support", support)
+                .str("absent", absent)
                 .finish(),
             Event::RuleSelect {
                 cycle,
@@ -328,6 +365,26 @@ impl Event {
                 .u64("wait_ns", *wait_ns)
                 .finish(),
             Event::DeadlockVictim { txn } => o.u64("txn", *txn).finish(),
+            Event::DeadlockGraph { victim, edges } => {
+                o.u64("victim", *victim).str("edges", edges).finish()
+            }
+            Event::Firing {
+                seq: fseq,
+                round,
+                txn,
+                rule,
+                rule_name,
+                wmes,
+                support,
+            } => o
+                .u64("fseq", *fseq)
+                .u64("round", *round)
+                .u64("txn", *txn)
+                .u64("rule", *rule as u64)
+                .str("rule_name", rule_name)
+                .str("wmes", wmes)
+                .str("support", support)
+                .finish(),
             Event::TxnAbort { txn, reason } => o.u64("txn", *txn).str("reason", reason).finish(),
             Event::TxnCommit { txn, writes } => {
                 o.u64("txn", *txn).usize("writes", *writes).finish()
@@ -451,12 +508,211 @@ impl Event {
                 format!("   txn{txn} holds {mode} {target} (waited {wait_ns}ns)")
             }
             Event::DeadlockVictim { txn } => format!("   txn{txn} DEADLOCK victim"),
+            Event::DeadlockGraph { victim, edges } => {
+                format!("   txn{victim} deadlock graph: {edges}")
+            }
+            Event::Firing {
+                seq,
+                round,
+                rule_name,
+                wmes,
+                ..
+            } => {
+                format!("{seq}. {rule_name} (round {round}): {wmes}")
+            }
             Event::TxnAbort { txn, reason } => format!("   txn{txn} abort: {reason}"),
             Event::TxnCommit { txn, writes } => {
                 format!("   txn{txn} commit ({writes} writes)")
             }
         }
     }
+
+    /// Parse one JSONL line produced by [`Event::to_json`] back into the
+    /// sink sequence number and the event — the read side of the
+    /// `sellis88-journal/v1` schema. Every variant round-trips; unknown
+    /// kinds and missing fields are errors, so journal readers fail
+    /// loudly on schema drift instead of silently dropping records.
+    pub fn from_json(line: &str) -> Result<(u64, Event), String> {
+        let v = crate::json::parse(line)?;
+        let seq = field_u64(&v, "seq")?;
+        let kind = field_str(&v, "event")?;
+        let event = match kind.as_str() {
+            "cycle_start" => Event::CycleStart {
+                cycle: field_u64(&v, "cycle")?,
+            },
+            "cycle_end" => Event::CycleEnd {
+                cycle: field_u64(&v, "cycle")?,
+                conflict_len: field_usize(&v, "conflict_len")?,
+                fired_total: field_u64(&v, "fired_total")?,
+            },
+            "wm_insert" => Event::WmInsert {
+                class: field_u64(&v, "class")? as u32,
+                class_name: field_str(&v, "class_name")?,
+                tuple: field_str(&v, "tuple")?,
+                tid: field_u64(&v, "tid")?,
+            },
+            "wm_remove" => Event::WmRemove {
+                class: field_u64(&v, "class")? as u32,
+                class_name: field_str(&v, "class_name")?,
+                tuple: field_str(&v, "tuple")?,
+                tid: field_u64(&v, "tid")?,
+            },
+            "match_maintain" => Event::MatchMaintain {
+                engine: field_static(&v, "engine", ENGINE_LABELS)?,
+                class: field_u64(&v, "class")? as u32,
+                insert: field_bool(&v, "insert")?,
+                adds: field_usize(&v, "adds")?,
+                removes: field_usize(&v, "removes")?,
+                detect_ns: field_u64(&v, "detect_ns")?,
+                total_ns: field_u64(&v, "total_ns")?,
+            },
+            "propagate_span" => Event::PropagateSpan {
+                class: field_u64(&v, "class")? as u32,
+                class_name: field_str(&v, "class_name")?,
+                scanned: field_u64(&v, "scanned")?,
+                probes: field_u64(&v, "probes")?,
+                span_ns: field_u64(&v, "span_ns")?,
+                parallel: field_bool(&v, "parallel")?,
+            },
+            "batch_applied" => Event::BatchApplied {
+                engine: field_static(&v, "engine", ENGINE_LABELS)?,
+                inserts: field_usize(&v, "inserts")?,
+                deletes: field_usize(&v, "deletes")?,
+                rules_awakened: field_usize(&v, "rules_awakened")?,
+                total_ns: field_u64(&v, "total_ns")?,
+            },
+            "round_span" => Event::RoundSpan {
+                round: field_u64(&v, "round")?,
+                candidates: field_usize(&v, "candidates")?,
+                committed: field_usize(&v, "committed")?,
+                aborted: field_usize(&v, "aborted")?,
+                critical_ns: field_u64(&v, "critical_ns")?,
+                span_ns: field_u64(&v, "span_ns")?,
+            },
+            "conflict_delta" => Event::ConflictDelta {
+                add: match field_str(&v, "op")?.as_str() {
+                    "add" => true,
+                    "remove" => false,
+                    other => return Err(format!("bad conflict_delta op {other:?}")),
+                },
+                rule: field_u64(&v, "rule")? as u32,
+                rule_name: field_str(&v, "rule_name")?,
+                wmes: field_str(&v, "wmes")?,
+                support: field_str(&v, "support")?,
+                absent: field_str(&v, "absent")?,
+            },
+            "rule_select" => Event::RuleSelect {
+                cycle: field_u64(&v, "cycle")?,
+                rule: field_u64(&v, "rule")? as u32,
+                rule_name: field_str(&v, "rule_name")?,
+                conflict_len: field_usize(&v, "conflict_len")?,
+            },
+            "rule_fire" => Event::RuleFire {
+                cycle: field_u64(&v, "cycle")?,
+                rule: field_u64(&v, "rule")? as u32,
+                rule_name: field_str(&v, "rule_name")?,
+                rhs_ns: field_u64(&v, "rhs_ns")?,
+                inserts: field_usize(&v, "inserts")?,
+                removes: field_usize(&v, "removes")?,
+            },
+            "derivation" => Event::Derivation {
+                rule: field_u64(&v, "rule")? as u32,
+                rule_name: field_str(&v, "rule_name")?,
+                wmes: field_str(&v, "wmes")?,
+                support: field_str(&v, "support")?,
+                absent: field_str(&v, "absent")?,
+            },
+            "txn_begin" => Event::TxnBegin {
+                txn: field_u64(&v, "txn")?,
+                rule: field_u64(&v, "rule")? as u32,
+                rule_name: field_str(&v, "rule_name")?,
+            },
+            "lock_wait" => Event::LockWait {
+                txn: field_u64(&v, "txn")?,
+                target: field_str(&v, "target")?,
+                mode: field_static(&v, "mode", LOCK_MODES)?,
+            },
+            "lock_acquire" => Event::LockAcquire {
+                txn: field_u64(&v, "txn")?,
+                target: field_str(&v, "target")?,
+                mode: field_static(&v, "mode", LOCK_MODES)?,
+                wait_ns: field_u64(&v, "wait_ns")?,
+            },
+            "deadlock_victim" => Event::DeadlockVictim {
+                txn: field_u64(&v, "txn")?,
+            },
+            "deadlock_graph" => Event::DeadlockGraph {
+                victim: field_u64(&v, "victim")?,
+                edges: field_str(&v, "edges")?,
+            },
+            "firing" => Event::Firing {
+                seq: field_u64(&v, "fseq")?,
+                round: field_u64(&v, "round")?,
+                txn: field_u64(&v, "txn")?,
+                rule: field_u64(&v, "rule")? as u32,
+                rule_name: field_str(&v, "rule_name")?,
+                wmes: field_str(&v, "wmes")?,
+                support: field_str(&v, "support")?,
+            },
+            "txn_abort" => Event::TxnAbort {
+                txn: field_u64(&v, "txn")?,
+                reason: field_str(&v, "reason")?,
+            },
+            "txn_commit" => Event::TxnCommit {
+                txn: field_u64(&v, "txn")?,
+                writes: field_usize(&v, "writes")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok((seq, event))
+    }
+}
+
+/// The `&'static str` engine labels events may carry. `from_json` interns
+/// parsed labels against this table instead of leaking heap strings.
+const ENGINE_LABELS: &[&str] = &["rete", "db-rete", "query", "cond", "marker"];
+/// The `&'static str` lock modes events may carry.
+const LOCK_MODES: &[&str] = &["shared", "exclusive"];
+
+fn field<'a>(v: &'a crate::json::Value, k: &str) -> Result<&'a crate::json::Value, String> {
+    v.get(k).ok_or_else(|| format!("missing field {k:?}"))
+}
+
+fn field_u64(v: &crate::json::Value, k: &str) -> Result<u64, String> {
+    field(v, k)?
+        .as_u64()
+        .ok_or_else(|| format!("field {k:?} is not a u64"))
+}
+
+fn field_usize(v: &crate::json::Value, k: &str) -> Result<usize, String> {
+    field_u64(v, k).map(|n| n as usize)
+}
+
+fn field_str(v: &crate::json::Value, k: &str) -> Result<String, String> {
+    field(v, k)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field {k:?} is not a string"))
+}
+
+fn field_bool(v: &crate::json::Value, k: &str) -> Result<bool, String> {
+    match field(v, k)? {
+        crate::json::Value::Bool(b) => Ok(*b),
+        _ => Err(format!("field {k:?} is not a bool")),
+    }
+}
+
+fn field_static(
+    v: &crate::json::Value,
+    k: &str,
+    table: &[&'static str],
+) -> Result<&'static str, String> {
+    let s = field_str(v, k)?;
+    table
+        .iter()
+        .find(|t| **t == s)
+        .copied()
+        .ok_or_else(|| format!("field {k:?} has unknown value {s:?}"))
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 pub mod alloc;
 pub mod event;
 pub mod hist;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod prof;
@@ -15,6 +16,7 @@ pub mod tracer;
 
 pub use event::Event;
 pub use hist::Log2Histogram;
+pub use journal::{Journal, JournalMeta, LoadOp, LoadValue, JOURNAL_SCHEMA};
 pub use metrics::MetricsRegistry;
 pub use prof::Profile;
 pub use report::RunReport;

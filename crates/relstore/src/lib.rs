@@ -31,6 +31,7 @@ pub mod analyze;
 pub mod database;
 pub mod error;
 pub mod index;
+pub mod journal;
 pub mod pred;
 pub mod query;
 pub mod relation;
@@ -47,6 +48,7 @@ pub use analyze::{
 };
 pub use database::Database;
 pub use error::{Error, Result};
+pub use journal::{ingest, wm_as_of, JournalRels};
 pub use pred::{AttrTest, CompOp, Restriction, Selection};
 pub use query::{
     BatchExecutor, Binding, ConjunctiveQuery, ExecProfile, JoinAlgo, JoinPred, Plan, Planner,

@@ -151,6 +151,27 @@ impl Tables {
         false
     }
 
+    /// Render the waits-for graph as "; "-joined edges, one per
+    /// (waiter, conflicting holder) pair:
+    /// `t<waiter>->t<holder> <mode> <target>`. Edges are sorted so the
+    /// snapshot is stable regardless of hash iteration order.
+    fn wait_for_edges(&self) -> String {
+        let mut edges = Vec::new();
+        for (&waiter, &(target, mode)) in &self.waiting {
+            for holder in self.conflicting_holders(waiter, target, mode) {
+                edges.push(format!(
+                    "t{}->t{} {} {}",
+                    waiter.0,
+                    holder.0,
+                    mode.as_str(),
+                    target.describe()
+                ));
+            }
+        }
+        edges.sort();
+        edges.join("; ")
+    }
+
     fn grant(&mut self, me: TxnId, target: LockTarget, mode: LockMode) {
         let entry = self.holders.entry(target).or_default();
         let slot = entry.entry(me).or_insert(mode);
@@ -235,6 +256,9 @@ impl LockManager {
             }
             tables.waiting.insert(txn, (target, mode));
             if tables.in_cycle(txn) {
+                // Snapshot the waits-for graph *before* removing the victim
+                // from the wait table, so the cycle it closed is visible.
+                let edges = tables.wait_for_edges();
                 tables.waiting.remove(&txn);
                 self.stats.abort();
                 if let Some((start, tracer)) = blocked_since {
@@ -244,6 +268,10 @@ impl LockManager {
                         m.record_lock_wait(wait_ns);
                         m.record_deadlock();
                     }
+                    tracer.emit(|| Event::DeadlockGraph {
+                        victim: txn.0,
+                        edges: edges.clone(),
+                    });
                     tracer.emit(|| Event::DeadlockVictim { txn: txn.0 });
                 }
                 return Err(Error::Deadlock(txn));
@@ -422,6 +450,46 @@ mod tests {
             r1.is_ok() || r2.is_ok(),
             "at most one transaction should be aborted in a two-cycle"
         );
+    }
+
+    #[test]
+    fn deadlock_emits_wait_for_graph() {
+        let lm = std::sync::Arc::new(LockManager::new(Stats::new()));
+        let tracer = obs::Tracer::new(obs::Sink::ring(256));
+        lm.set_tracer(tracer.clone());
+        let a = LockTarget::Tuple(RelId(0), tid(1));
+        let b = LockTarget::Tuple(RelId(0), tid(2));
+        lm.acquire(TxnId(1), a, LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), b, LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        let h = std::thread::spawn(move || {
+            let res = lm2.acquire(TxnId(2), a, LockMode::Exclusive);
+            lm2.release_all(TxnId(2));
+            res
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let r1 = lm.acquire(TxnId(1), b, LockMode::Exclusive);
+        lm.release_all(TxnId(1));
+        let r2 = h.join().unwrap();
+        assert!(r1.is_err() || r2.is_err());
+        let events = tracer.ring_events().unwrap();
+        let graph = events
+            .iter()
+            .find_map(|e| match e {
+                Event::DeadlockGraph { victim, edges } => Some((*victim, edges.clone())),
+                _ => None,
+            })
+            .expect("a DeadlockGraph snapshot accompanies the victim choice");
+        let (victim, edges) = graph;
+        assert!(victim == 1 || victim == 2);
+        // Both directions of the two-cycle are captured.
+        assert!(edges.contains("t1->t2"), "{edges}");
+        assert!(edges.contains("t2->t1"), "{edges}");
+        assert!(edges.contains("exclusive rel0["), "{edges}");
+        // The victim event still follows the graph snapshot.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::DeadlockVictim { .. })));
     }
 
     #[test]

@@ -63,6 +63,49 @@ fn load(
     engine
 }
 
+/// Journal of the minimized workload that exposed the `self_removed`
+/// mis-attribution: duplicate-content `Item` rows racing under 4
+/// workers, where a `Consume` commit deletes one copy of a tuple whose
+/// other copies still support pending instantiations. Refraction used to
+/// credit the *maintenance* delta (which can observe every copy's
+/// retirement under concurrency) instead of the transaction's own
+/// applied RHS, and the conflict set would not drain. Replaying the
+/// checked-in journal pins the fixed behavior: the recorded schedule
+/// must reproduce exactly, firing-for-firing, down to the final WM.
+#[test]
+fn replays_checked_in_flake_fixture() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/flake_regression.jsonl"
+    );
+    let out = prodsys_bench::replay_run(path).expect("fixture journal replays w/o divergence");
+    assert!(out.firings > 0, "fixture is non-trivial");
+    assert_eq!(out.mode, "concurrent");
+}
+
+/// Maintenance helper — regenerate the fixture after a schema change:
+/// `cargo test --test concurrent_equivalence -- --ignored regenerate`
+#[test]
+#[ignore]
+fn regenerate_flake_fixture() {
+    let items: &[(i64, i64)] = &[(0, 0), (0, 0), (1, 0), (1, 0), (0, 1), (2, 0), (2, 0)];
+    let load = items
+        .iter()
+        .map(|&(n, k)| obs::LoadOp {
+            insert: true,
+            class: 0,
+            values: vec![obs::LoadValue::Int(n), obs::LoadValue::Int(k)],
+        })
+        .collect();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/flake_regression.jsonl"
+    );
+    let out =
+        prodsys_bench::record_run_with(path, EngineKind::Query, 4, SRC, load, 10_000).unwrap();
+    println!("fixture regenerated: {} firings -> {path}", out.fired);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 

@@ -209,6 +209,7 @@ fn trace_equivalence_on_conflict_deltas() {
                     rule,
                     rule_name,
                     wmes,
+                    ..
                 } => Some(format!(
                     "{} r{rule} {rule_name} {wmes}",
                     if add { '+' } else { '-' }

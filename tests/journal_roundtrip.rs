@@ -1,0 +1,254 @@
+//! Flight-recorder properties.
+//!
+//! 1. Record→replay determinism: journaling any run of the batched
+//!    engines (query, cond, marker) under 1 or 4 workers, then replaying
+//!    from nothing but the journal file, reproduces the exact firing
+//!    sequence and final working memory ([`prodsys_bench::replay_run`]
+//!    verifies both and errors on the first discrepancy).
+//! 2. JSON round-trip: every `Event` variant and the journal meta line
+//!    survive `to_json` → `from_json` unchanged, so journals written by
+//!    one build are readable by the next.
+
+use obs::{Event, JournalMeta, LoadOp, LoadValue};
+use prodsys::EngineKind;
+use proptest::prelude::*;
+
+/// The confluent Mark/Consume family the concurrent-equivalence suite
+/// uses: racy (Consume deletes support out from under Mark) but with an
+/// order-independent final state.
+const SRC: &str = r#"
+    (literalize Item n k)
+    (literalize Done n)
+    (literalize Log n)
+    (p Mark (Item ^n <N> ^k <K>) -(Done ^n <N>) --> (make Done ^n <N>))
+    (p Consume (Item ^n <N> ^k <K>) (Done ^n <N>) --> (remove 1) (make Log ^n <N>))
+"#;
+
+fn item_load(items: &[(i64, i64)]) -> Vec<LoadOp> {
+    items
+        .iter()
+        .map(|&(n, k)| LoadOp {
+            insert: true,
+            class: 0,
+            values: vec![LoadValue::Int(n), LoadValue::Int(k)],
+        })
+        .collect()
+}
+
+fn tmp_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "journal_roundtrip_{}_{tag}.jsonl",
+            std::process::id()
+        ))
+        .to_string_lossy()
+        .into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Record under racing workers, replay serially from the file alone:
+    /// identical firing sequence, identical final WM, for each batched
+    /// engine × worker count.
+    #[test]
+    fn record_replay_reproduces_run(
+        items in proptest::collection::vec((0i64..6, 0i64..4), 1..14),
+    ) {
+        for kind in [EngineKind::Query, EngineKind::Cond, EngineKind::Marker] {
+            for workers in [1usize, 4] {
+                let path = tmp_path(&format!("{}_{workers}", kind.label()));
+                let rec = prodsys_bench::record_run_with(
+                    &path, kind, workers, SRC, item_load(&items), 10_000,
+                );
+                prop_assert!(rec.is_ok(), "record: {:?}", rec.err());
+                let rep = prodsys_bench::replay_run(&path);
+                let _ = std::fs::remove_file(&path);
+                match rep {
+                    Ok(out) => prop_assert_eq!(out.firings, rec.unwrap().fired),
+                    Err(e) => prop_assert!(
+                        false,
+                        "{} workers={workers}: replay diverged: {e}",
+                        kind.label()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// One of every `Event` variant, with awkward strings included.
+fn all_variants() -> Vec<Event> {
+    vec![
+        Event::CycleStart { cycle: 3 },
+        Event::CycleEnd {
+            cycle: 3,
+            conflict_len: 2,
+            fired_total: 9,
+        },
+        Event::WmInsert {
+            class: 1,
+            class_name: "Item \"q\"".into(),
+            tuple: "(1, \\2)".into(),
+            tid: 77,
+        },
+        Event::WmRemove {
+            class: 2,
+            class_name: "Done".into(),
+            tuple: "(1)".into(),
+            tid: 0,
+        },
+        Event::MatchMaintain {
+            engine: "cond",
+            class: 0,
+            insert: true,
+            adds: 1,
+            removes: 2,
+            detect_ns: 10,
+            total_ns: 20,
+        },
+        Event::PropagateSpan {
+            class: 4,
+            class_name: "C".into(),
+            scanned: 5,
+            probes: 6,
+            span_ns: 7,
+            parallel: true,
+        },
+        Event::BatchApplied {
+            engine: "query",
+            inserts: 1,
+            deletes: 0,
+            rules_awakened: 2,
+            total_ns: 9,
+        },
+        Event::RoundSpan {
+            round: 2,
+            candidates: 3,
+            committed: 2,
+            aborted: 1,
+            critical_ns: 4,
+            span_ns: 5,
+        },
+        Event::ConflictDelta {
+            add: true,
+            rule: 1,
+            rule_name: "Mark".into(),
+            wmes: "Item(1, 2)".into(),
+            support: "t3.1 t7.2".into(),
+            absent: "Done(1)".into(),
+        },
+        Event::ConflictDelta {
+            add: false,
+            rule: 1,
+            rule_name: "Mark".into(),
+            wmes: "Item(1, 2)".into(),
+            support: String::new(),
+            absent: String::new(),
+        },
+        Event::RuleSelect {
+            cycle: 1,
+            rule: 0,
+            rule_name: "R".into(),
+            conflict_len: 4,
+        },
+        Event::RuleFire {
+            cycle: 1,
+            rule: 0,
+            rule_name: "R".into(),
+            rhs_ns: 8,
+            inserts: 1,
+            removes: 1,
+        },
+        Event::Derivation {
+            rule: 0,
+            rule_name: "R".into(),
+            wmes: "A(1)".into(),
+            support: "t0.1".into(),
+            absent: "B(1)".into(),
+        },
+        Event::TxnBegin {
+            txn: 9,
+            rule: 1,
+            rule_name: "Consume".into(),
+        },
+        Event::LockWait {
+            txn: 9,
+            target: "rel3[t9.1]".into(),
+            mode: "shared",
+        },
+        Event::LockAcquire {
+            txn: 9,
+            target: "rel3".into(),
+            mode: "exclusive",
+            wait_ns: 123,
+        },
+        Event::DeadlockVictim { txn: 9 },
+        Event::DeadlockGraph {
+            victim: 9,
+            edges: "t9->t4 exclusive rel3[t9.1]; t4->t9 shared rel3".into(),
+        },
+        Event::Firing {
+            seq: 41,
+            round: 7,
+            txn: 9,
+            rule: 1,
+            rule_name: "Consume".into(),
+            wmes: "Item(1, 2), Done(1)".into(),
+            support: "t0.1 t1.1".into(),
+        },
+        Event::TxnAbort {
+            txn: 9,
+            reason: "deadlock".into(),
+        },
+        Event::TxnCommit { txn: 9, writes: 2 },
+    ]
+}
+
+#[test]
+fn every_event_variant_round_trips_through_json() {
+    let variants = all_variants();
+    // One of each variant is present (two ConflictDelta directions).
+    let kinds: std::collections::BTreeSet<&str> = variants.iter().map(Event::kind).collect();
+    assert_eq!(kinds.len(), 20, "cover every Event variant: {kinds:?}");
+    for (i, event) in variants.iter().enumerate() {
+        let line = event.to_json(i as u64);
+        let (seq, back) = Event::from_json(&line)
+            .unwrap_or_else(|e| panic!("parse {}: {e}\n{line}", event.kind()));
+        assert_eq!(seq, i as u64);
+        assert_eq!(&back, event, "{line}");
+    }
+}
+
+#[test]
+fn journal_meta_round_trips_through_json() {
+    let meta = JournalMeta {
+        engine: "query".into(),
+        mode: "concurrent".into(),
+        workers: 4,
+        batching: true,
+        strategy: "canonical".into(),
+        max_fired: 10_000,
+        program: SRC.into(),
+        load: vec![
+            LoadOp {
+                insert: true,
+                class: 0,
+                values: vec![LoadValue::Int(-3), LoadValue::Float(2.5)],
+            },
+            LoadOp {
+                insert: false,
+                class: 1,
+                values: vec![
+                    LoadValue::Str("a \"b\"".into()),
+                    LoadValue::Bool(false),
+                    LoadValue::Null,
+                ],
+            },
+        ],
+    };
+    let back = JournalMeta::from_json(&meta.to_json()).unwrap();
+    assert_eq!(back.to_json(), meta.to_json());
+    assert_eq!(back.program, meta.program);
+    assert_eq!(back.load.len(), 2);
+}

@@ -97,6 +97,7 @@ fn batch_fingerprints(events: Vec<obs::Event>) -> Vec<Vec<String>> {
                 rule,
                 rule_name,
                 wmes,
+                ..
             } => {
                 *net.entry(format!("r{rule} {rule_name} {wmes}"))
                     .or_insert(0) += if add { 1 } else { -1 };
