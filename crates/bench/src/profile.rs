@@ -19,6 +19,16 @@ pub const ALLOC_REGRESSION: f64 = 2.0;
 /// fast engines finish in ~2ms, where run-to-run jitter alone exceeds
 /// 25%), so the wall gate needs both the ratio *and* this delta blown.
 pub const WALL_SLACK_NS: u64 = 10_000_000;
+/// The COND wall-time gap gate: `cond-indexed` must finish within this
+/// factor of the `query` engine's wall clock *on the same run*. Before
+/// the interned/arena pattern store the gap was ~90x; the gate holds it
+/// near the ~8x it measures now, with room for machine variance.
+pub const COND_VS_QUERY_WALL: f64 = 25.0;
+/// `cond`/`cond-indexed` rows get a tighter allocation-regression bound
+/// than the generic [`ALLOC_REGRESSION`]: their hot path is supposed to
+/// be allocation-free, so even a 1.5x creep means a reintroduced
+/// per-delta clone.
+pub const COND_ALLOC_REGRESSION: f64 = 1.5;
 
 /// Render every profiled row as folded flamegraph stacks, one line per
 /// call path: `engine;span;child <self_ns>` — the input format of
@@ -31,9 +41,23 @@ pub fn folded_stacks(rows: &[BenchRow]) -> String {
     out
 }
 
+/// Format a signed byte delta for the Δalloc columns.
+fn fmt_delta(cur: u64, base: u64) -> String {
+    if cur >= base {
+        format!("+{}", cur - base)
+    } else {
+        format!("-{}", base - cur)
+    }
+}
+
 /// One line of the attribution table printed alongside `--profile`:
 /// how much of the profiled wall clock the named spans account for.
-pub fn attribution_table(rows: &[BenchRow]) -> Vec<Vec<String>> {
+/// With a `baseline` (the last `BENCH_history.jsonl` entry), two Δalloc
+/// columns diff the engine's total allocation and its top spans'
+/// per-span allocation against the recorded hotspots — new bytes on a
+/// supposedly allocation-free path show up here before they show up as
+/// a wall regression.
+pub fn attribution_table(rows: &[BenchRow], baseline: Option<&HistoryEntry>) -> Vec<Vec<String>> {
     rows.iter()
         .map(|row| {
             let top = row
@@ -48,10 +72,36 @@ pub fn attribution_table(rows: &[BenchRow]) -> Vec<Vec<String>> {
                 })
                 .collect::<Vec<_>>()
                 .join(", ");
+            let base = baseline.and_then(|b| b.rows.iter().find(|r| r.engine == row.engine));
+            let total_delta = match base {
+                Some(b) if b.alloc_bytes > 0 => fmt_delta(row.alloc_bytes, b.alloc_bytes),
+                _ => "n/a".to_string(),
+            };
+            let span_delta = match base {
+                Some(b) if !b.span_allocs.is_empty() => row
+                    .hotspots(3)
+                    .iter()
+                    .map(|h| {
+                        match b.span_allocs.iter().find(|(p, _)| *p == h.path) {
+                            Some((_, bytes)) => {
+                                format!("{} {}", h.path, fmt_delta(h.alloc_bytes, *bytes))
+                            }
+                            // Span absent from the recorded hotspots:
+                            // either brand new or previously too cold to
+                            // rank — all its bytes count as growth.
+                            None => format!("{} +{} (new)", h.path, h.alloc_bytes),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                _ => "n/a".to_string(),
+            };
             vec![
                 row.engine.to_string(),
                 format!("{:.1}%", 100.0 * row.attribution()),
                 format!("{}", row.alloc_bytes),
+                total_delta,
+                span_delta,
                 top,
             ]
         })
@@ -65,6 +115,9 @@ pub struct CheckRow {
     pub engine: String,
     pub wall_ns: u64,
     pub alloc_bytes: u64,
+    /// `(span path, alloc_bytes)` of the recorded top hotspots — the
+    /// per-span baseline the `--profile` Δalloc column diffs against.
+    pub span_allocs: Vec<(String, u64)>,
 }
 
 impl CheckRow {
@@ -73,6 +126,7 @@ impl CheckRow {
             engine: row.engine.to_string(),
             wall_ns: row.wall_ns,
             alloc_bytes: row.alloc_bytes,
+            span_allocs: Vec::new(),
         }
     }
 }
@@ -113,6 +167,20 @@ pub fn parse_history_last(text: &str) -> Result<HistoryEntry, String> {
         .ok_or("missing engines array")?;
     let mut rows = Vec::new();
     for e in engines {
+        let span_allocs = e
+            .get("hotspots")
+            .and_then(Value::as_array)
+            .map(|hs| {
+                hs.iter()
+                    .filter_map(|h| {
+                        Some((
+                            h.get("path").and_then(Value::as_str)?.to_string(),
+                            h.get("alloc_bytes").and_then(Value::as_u64)?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         rows.push(CheckRow {
             engine: e
                 .get("engine")
@@ -125,6 +193,7 @@ pub fn parse_history_last(text: &str) -> Result<HistoryEntry, String> {
                 .ok_or("row missing wall_ns")?,
             // Absent in pre-profiler history lines: treat as unknown.
             alloc_bytes: e.get("alloc_bytes").and_then(Value::as_u64).unwrap_or(0),
+            span_allocs,
         });
     }
     if rows.is_empty() {
@@ -160,14 +229,43 @@ pub fn regressions(baseline: &[CheckRow], current: &[CheckRow]) -> Vec<String> {
                 (WALL_REGRESSION - 1.0) * 100.0
             ));
         }
-        if b.alloc_bytes > 0 && c.alloc_bytes as f64 > b.alloc_bytes as f64 * ALLOC_REGRESSION {
+        let alloc_bound = if b.engine.starts_with("cond") {
+            COND_ALLOC_REGRESSION
+        } else {
+            ALLOC_REGRESSION
+        };
+        if b.alloc_bytes > 0 && c.alloc_bytes as f64 > b.alloc_bytes as f64 * alloc_bound {
             out.push(format!(
-                "{}: alloc {} bytes vs baseline {} (> {:.0}x regression)",
-                b.engine, c.alloc_bytes, b.alloc_bytes, ALLOC_REGRESSION
+                "{}: alloc {} bytes vs baseline {} (> {:.1}x regression)",
+                b.engine, c.alloc_bytes, b.alloc_bytes, alloc_bound
             ));
         }
     }
+    out.extend(cond_gate(current));
     out
+}
+
+/// The COND wall-time gap gate, evaluated entirely on the current run
+/// (both engines measured on the same machine in the same pass, so no
+/// cross-run noise): `cond-indexed` must finish within
+/// [`COND_VS_QUERY_WALL`]× the `query` engine's wall, with the usual
+/// absolute slack so sub-[`WALL_SLACK_NS`] workloads can't flake.
+pub fn cond_gate(current: &[CheckRow]) -> Vec<String> {
+    let find = |name: &str| current.iter().find(|r| r.engine == name);
+    let (Some(idx), Some(q)) = (find("cond-indexed"), find("query")) else {
+        return Vec::new();
+    };
+    let bound = (q.wall_ns as f64 * COND_VS_QUERY_WALL).max(WALL_SLACK_NS as f64);
+    if idx.wall_ns as f64 > bound {
+        vec![format!(
+            "cond-indexed: wall {:.2}ms vs query {:.2}ms (> {:.0}x COND gap gate)",
+            idx.wall_ns as f64 / 1e6,
+            q.wall_ns as f64 / 1e6,
+            COND_VS_QUERY_WALL
+        )]
+    } else {
+        Vec::new()
+    }
 }
 
 /// Re-run the baseline's workload at its recorded size and compare.
@@ -185,12 +283,14 @@ pub fn bench_check(history_text: &str) -> Result<String, Vec<String>> {
         let mut s = String::new();
         let _ = write!(
             s,
-            "bench-check: {} engines within {:.0}% wall / {:.0}x alloc of baseline ({} @ {} items)",
+            "bench-check: {} engines within {:.0}% wall / {:.0}x alloc ({:.1}x cond) of baseline ({} @ {} items); cond-indexed within {:.0}x of query",
             base.rows.len(),
             (WALL_REGRESSION - 1.0) * 100.0,
             ALLOC_REGRESSION,
+            COND_ALLOC_REGRESSION,
             base.workload,
-            base.items
+            base.items,
+            COND_VS_QUERY_WALL
         );
         Ok(s)
     } else {
@@ -207,6 +307,7 @@ mod tests {
             engine: engine.to_string(),
             wall_ns: wall,
             alloc_bytes: alloc,
+            span_allocs: Vec::new(),
         }
     }
 
@@ -253,6 +354,49 @@ mod tests {
         assert!(msgs[0].starts_with("rete: alloc"), "{msgs:?}");
         // Engines missing from the current run are skipped.
         assert!(regressions(&base, &[row("marker", MS, 1)]).is_empty());
+    }
+
+    #[test]
+    fn parses_span_allocs_from_hotspots() {
+        let text = concat!(
+            "{\"schema\":\"sellis88-bench/v1\",\"workload\":\"scaled-skew\",\"items\":10,",
+            "\"engines\":[{\"engine\":\"cond\",\"wall_ns\":5,\"alloc_bytes\":7,",
+            "\"hotspots\":[{\"path\":\"a;b\",\"self_ns\":1,\"calls\":1,\"allocs\":2,\"alloc_bytes\":64}]}]}"
+        );
+        let e = parse_history_last(text).unwrap();
+        assert_eq!(e.rows[0].span_allocs, vec![("a;b".to_string(), 64)]);
+    }
+
+    #[test]
+    fn cond_gap_gate_bounds_indexed_wall_by_query_wall() {
+        const MS: u64 = 1_000_000;
+        // Within 25x (and over the absolute slack): passes.
+        let ok = vec![row("query", 2 * MS, 0), row("cond-indexed", 12 * MS, 0)];
+        assert!(cond_gate(&ok).is_empty());
+        // Blown: 60ms against a 2ms query (25x bound = 50ms).
+        let bad = vec![row("query", 2 * MS, 0), row("cond-indexed", 60 * MS, 0)];
+        let msgs = cond_gate(&bad);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("COND gap gate"), "{msgs:?}");
+        // Sub-slack workloads can't flake even at a huge ratio.
+        let tiny = vec![row("query", 100, 0), row("cond-indexed", 9 * MS, 0)];
+        assert!(cond_gate(&tiny).is_empty());
+        // Either row missing: gate is silent.
+        assert!(cond_gate(&[row("query", MS, 0)]).is_empty());
+        // The gate also runs as part of regressions().
+        assert_eq!(regressions(&[], &bad).len(), 1);
+    }
+
+    #[test]
+    fn cond_rows_use_tighter_alloc_bound() {
+        const MS: u64 = 1_000_000;
+        let base = vec![row("cond-indexed", 100 * MS, 1000)];
+        let ok = vec![row("cond-indexed", 100 * MS, 1499)];
+        assert!(regressions(&base, &ok).is_empty());
+        let bad = vec![row("cond-indexed", 100 * MS, 1600)];
+        let msgs = regressions(&base, &bad);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("1.5x"), "{msgs:?}");
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use ops5::{ClassId, Rule, RuleId};
@@ -54,6 +55,8 @@ use predindex::{make_index, ConditionIndex, IndexKind, Rect};
 use relstore::{CompOp, Tuple, TupleId, Value};
 use rete::{ConflictDelta, ConflictSet};
 
+use crate::engine::arena::{PatRef, PatternArena, SupportSet, TupKey};
+use crate::engine::intern::{Extra, FastMap, IdentityInterner, PatId};
 use crate::engine::recompute::{eval_rule_seeded_batch, eval_rule_via, InstStore, Match};
 use crate::engine::{MatchEngine, SpaceStats, WmDelta};
 use crate::pdb::ProductionDb;
@@ -61,15 +64,21 @@ use crate::pdb::ProductionDb;
 /// A variable occurrence: condition element, attribute, operator.
 type Occurrence = (usize, usize, CompOp);
 
-/// Identity of a WM tuple: (class index, tuple id).
-type TupKey = (usize, TupleId);
+/// Address of a pattern: (rule, cen, interned identity). The store class
+/// follows from (rule, cen). Three integers — hashing and comparing a
+/// pattern address never touches Values.
+type PatKey = (u32, u32, PatId);
 
-/// Structural identity of a pattern: substitution + range constraints.
-type Identity = (Vec<Option<Value>>, Vec<(usize, CompOp, Value)>);
-
-/// Address of a pattern: (rule, cen, identity). The store class follows
-/// from (rule, cen).
-type PatKey = (usize, usize, Identity);
+/// Canonical order for derived range constraints: attribute, then
+/// operator, then value. Every path that builds an `extra` list sorts
+/// with this, so structural identity is order-insensitive.
+fn sort_extra(extra: &mut [Extra]) {
+    extra.sort_unstable_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+}
 
 /// Static per-rule pattern structure derived from the IR.
 #[derive(Debug, Clone)]
@@ -82,8 +91,10 @@ struct RuleInfo {
     var_constraints: Vec<Vec<(usize, CompOp, usize)>>,
     /// Per CE: the related condition elements (all other CEs, in order).
     rce: Vec<Vec<usize>>,
-    /// `shares[a][b]`: do CEs `a` and `b` share at least one variable?
-    shares: Vec<Vec<bool>>,
+    /// `share_masks[a]` bit `b`: do CEs `a` and `b` share a variable?
+    /// Marks and share sets live in `u64` bitmasks (CE count ≤ 64,
+    /// asserted at build), so mark-compatibility is two ANDs.
+    share_masks: Vec<u64>,
     /// Positions of positive CEs (original index → positive position).
     positive_pos: Vec<Option<usize>>,
     /// Per CE: its Eq-constrained variables as `(vid, attr)` hash sites
@@ -94,6 +105,11 @@ struct RuleInfo {
 impl RuleInfo {
     fn build(rule: &Rule) -> Self {
         let n = rule.ces.len();
+        assert!(
+            n <= 64,
+            "rule {} has {n} CEs; COND mark bitmasks cap rules at 64",
+            rule.name
+        );
         let mut var_sites: Vec<(usize, usize)> = Vec::new();
         let mut site_index: HashMap<(usize, usize), usize> = HashMap::new();
         for (ci, ce) in rule.ces.iter().enumerate() {
@@ -129,11 +145,11 @@ impl RuleInfo {
                 vars_of_ce[ce].insert(vid);
             }
         }
-        let shares: Vec<Vec<bool>> = (0..n)
+        let share_masks: Vec<u64> = (0..n)
             .map(|a| {
                 (0..n)
-                    .map(|b| !vars_of_ce[a].is_disjoint(&vars_of_ce[b]))
-                    .collect()
+                    .filter(|&b| !vars_of_ce[a].is_disjoint(&vars_of_ce[b]))
+                    .fold(0u64, |m, b| m | (1 << b))
             })
             .collect();
         let rce: Vec<Vec<usize>> = (0..n)
@@ -161,7 +177,7 @@ impl RuleInfo {
             occurrences,
             var_constraints,
             rce,
-            shares,
+            share_masks,
             positive_pos,
             hash_sites,
         }
@@ -176,48 +192,22 @@ impl RuleInfo {
     }
 }
 
-/// One matching pattern: the template of `(rule, cen)` specialized by a
-/// substitution plus derived range constraints, with per-RCE support.
-#[derive(Debug, Clone, PartialEq)]
-struct Pattern {
-    /// Variable substitution (indexed by rule-wide variable id).
-    sigma: Vec<Option<Value>>,
-    /// Derived constraints `(attr, op, value)` from non-eq joins, sorted.
-    extra: Vec<(usize, CompOp, Value)>,
-    /// Supporting tuples per RCE entry. For positive RCEs the mark is set
-    /// iff non-empty; for negated RCEs these are blockers and the mark is
-    /// satisfied iff empty. The paper's counter is the set's size.
-    support: Vec<Vec<TupKey>>,
-}
-
-impl Pattern {
-    fn identity(&self) -> Identity {
-        (self.sigma.clone(), self.extra.clone())
-    }
-
-    fn is_original(&self) -> bool {
-        self.sigma.iter().all(Option::is_none) && self.extra.is_empty()
-    }
-
-    /// The paper's counter view (for traces and tests).
-    #[cfg_attr(not(test), allow(dead_code))]
-    fn counts(&self) -> Vec<u32> {
-        self.support.iter().map(|s| s.len() as u32).collect()
-    }
-}
-
 /// A contribution extracted from a tuple matching a pattern of CE `k`:
 /// the combined substitution and derived ranges to propagate to the RCEs.
-#[derive(Debug, Clone)]
+/// Built once per match; the fan-out to related CEs shares it by index
+/// instead of cloning it per target.
+#[derive(Debug)]
 struct Contribution {
     rule: usize,
     k: usize,
     /// σ' = pattern σ ∪ bindings from the tuple's eq occurrences.
     sigma: Vec<Option<Value>>,
-    /// Range info per variable from the tuple's non-eq occurrences.
-    ranges: Vec<Vec<(CompOp, Value)>>,
-    /// Positive CEs marked in the extended view (T's marks + k).
-    marks: BTreeSet<usize>,
+    /// Range info from the tuple's non-eq occurrences: `(vid, op, value)`
+    /// meaning `vid op value`. Flat because almost always empty.
+    ranges: Vec<(usize, CompOp, Value)>,
+    /// Positive CEs marked in the extended view (T's marks + k), as a
+    /// bitmask over rule CE indices.
+    marks: u64,
 }
 
 /// One `(rule, cen)` pattern group: tombstoned pattern slots plus the
@@ -230,57 +220,128 @@ struct Contribution {
 /// narrowest available site. The index is always maintained; whether
 /// lookups probe it or scan every slot is the engine's
 /// `pattern_index` switch.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PatternGroup {
     /// The CE's hash sites, `(vid, attr)` — see [`RuleInfo::hash_sites`].
     hash_sites: Vec<(usize, usize)>,
-    /// Tombstoned pattern storage; freed slots are reused.
-    slots: Vec<Option<Pattern>>,
-    free: Vec<usize>,
-    /// Pattern identity → slot (constant-time apply/withdraw lookup).
-    by_identity: HashMap<Identity, usize>,
+    /// Arena-backed pattern rows: flat σ, inline support sets.
+    arena: PatternArena,
+    /// The group's original (all-unbound, no-extra) template identity —
+    /// `id == original_id` replaces the old all-None σ scan.
+    original_id: PatId,
+    /// Interned identity → slot (integer-keyed apply/withdraw lookup).
+    by_identity: FastMap<PatId, u32>,
     /// Per site: bound value → slots whose σ binds the variable to it.
-    by_binding: Vec<HashMap<Value, Vec<usize>>>,
+    by_binding: Vec<HashMap<Value, Vec<u32>>>,
     /// Per site: slots whose σ leaves the site's variable unbound.
-    unbound: Vec<Vec<usize>>,
+    unbound: Vec<Vec<u32>>,
+}
+
+/// Candidate slots of one group lookup, borrowed straight from the index
+/// postings (or the arena's live bitmap) — no intermediate `Vec` is
+/// collected on any probe or scan path.
+enum Cands<'a> {
+    /// Unbound-postings slice then bound-postings slice.
+    Lists(&'a [u32], &'a [u32]),
+    /// Every live slot (full scan).
+    All(&'a PatternArena),
+}
+
+impl<'a> Cands<'a> {
+    fn empty() -> Self {
+        Cands::Lists(&[], &[])
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Cands::Lists(a, b) => a.len() + b.len(),
+            Cands::All(arena) => arena.len(),
+        }
+    }
+
+    fn iter(&self) -> CandIter<'a> {
+        match *self {
+            Cands::Lists(a, b) => CandIter::Lists { a, b, i: 0 },
+            Cands::All(arena) => CandIter::All {
+                live: arena.live_flags(),
+                s: 0,
+            },
+        }
+    }
+}
+
+enum CandIter<'a> {
+    Lists {
+        a: &'a [u32],
+        b: &'a [u32],
+        i: usize,
+    },
+    All {
+        live: &'a [bool],
+        s: usize,
+    },
+}
+
+impl Iterator for CandIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            CandIter::Lists { a, b, i } => {
+                let n = *i;
+                *i += 1;
+                if n < a.len() {
+                    Some(a[n])
+                } else {
+                    b.get(n - a.len()).copied()
+                }
+            }
+            CandIter::All { live, s } => {
+                while *s < live.len() {
+                    let cur = *s;
+                    *s += 1;
+                    if live[cur] {
+                        return Some(cur as u32);
+                    }
+                }
+                None
+            }
+        }
+    }
 }
 
 impl PatternGroup {
-    fn new(hash_sites: Vec<(usize, usize)>) -> Self {
+    fn new(hash_sites: Vec<(usize, usize)>, nvars: usize, nrce: usize, original_id: PatId) -> Self {
         let n = hash_sites.len();
         PatternGroup {
             hash_sites,
+            arena: PatternArena::new(nvars, nrce),
+            original_id,
+            by_identity: FastMap::default(),
             by_binding: vec![HashMap::new(); n],
             unbound: vec![Vec::new(); n],
-            ..PatternGroup::default()
         }
     }
 
     /// Live patterns in the group.
     fn len(&self) -> usize {
-        self.by_identity.len()
+        self.arena.len()
     }
 
-    fn patterns(&self) -> impl Iterator<Item = &Pattern> {
-        self.slots.iter().flatten()
+    fn pat(&self, slot: u32) -> PatRef<'_> {
+        self.arena.pat(slot)
     }
 
-    fn live_slots(&self) -> Vec<usize> {
-        (0..self.slots.len())
-            .filter(|&s| self.slots[s].is_some())
-            .collect()
+    fn support_mut(&mut self, slot: u32) -> &mut [SupportSet] {
+        self.arena.support_mut(slot)
     }
 
-    fn get(&self, slot: usize) -> &Pattern {
-        self.slots[slot].as_ref().expect("live slot")
+    fn is_original_slot(&self, slot: u32) -> bool {
+        self.arena.id(slot) == self.original_id
     }
 
-    fn get_mut(&mut self, slot: usize) -> &mut Pattern {
-        self.slots[slot].as_mut().expect("live slot")
-    }
-
-    fn slot_of(&self, identity: &Identity) -> Option<usize> {
-        self.by_identity.get(identity).copied()
+    fn slot_of(&self, id: PatId) -> Option<u32> {
+        self.by_identity.get(&id).copied()
     }
 
     /// The hash-site position of variable `vid`, if it is one.
@@ -288,72 +349,59 @@ impl PatternGroup {
         self.hash_sites.iter().position(|&(v, _)| v == vid)
     }
 
-    /// Slots whose σ binds the site's variable exactly to `v`.
-    fn bound_at(&self, site: usize, v: &Value) -> Vec<usize> {
-        self.by_binding[site].get(v).cloned().unwrap_or_default()
-    }
-
-    /// Slots whose σ is compatible with `v` at the site: unbound or
-    /// bound to `v` — the total partition that makes probes sound.
-    fn candidates_at(&self, site: usize, v: &Value) -> Vec<usize> {
-        let mut out = self.unbound[site].clone();
-        out.extend(self.bound_at(site, v));
-        out
+    /// Bound-postings slice of a site for `v` (strict: no unbound).
+    fn bound_at(&self, site: usize, v: &Value) -> &[u32] {
+        self.by_binding[site].get(v).map_or(&[], |l| l.as_slice())
     }
 
     /// Index probe for a WM tuple: the narrowest site whose attribute
     /// the tuple carries. `None` = no usable site, caller scans.
-    fn probe_tuple(&self, tuple: &Tuple) -> Option<Vec<usize>> {
-        let mut best: Option<Vec<usize>> = None;
+    fn probe_tuple(&self, tuple: &Tuple) -> Option<Cands<'_>> {
+        let mut best: Option<(&[u32], &[u32])> = None;
         for (site, &(_, attr)) in self.hash_sites.iter().enumerate() {
             let Some(v) = tuple.get(attr) else { continue };
-            let cand = self.candidates_at(site, v);
-            if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
-                best = Some(cand);
+            let lists = (self.unbound[site].as_slice(), self.bound_at(site, v));
+            if best.is_none_or(|(a, b): (&[u32], &[u32])| {
+                lists.0.len() + lists.1.len() < a.len() + b.len()
+            }) {
+                best = Some(lists);
             }
         }
-        best
+        best.map(|(a, b)| Cands::Lists(a, b))
     }
 
     /// Index probe for a desired pattern's bound variables (each is
     /// Eq-constrained in this CE, hence a hash site). `None` = nothing
     /// bound, caller scans.
-    fn probe_bound(&self, bound: &[(usize, Value)]) -> Option<Vec<usize>> {
-        let mut best: Option<Vec<usize>> = None;
+    fn probe_bound(&self, bound: &[(usize, Value)]) -> Option<Cands<'_>> {
+        let mut best: Option<(&[u32], &[u32])> = None;
         for (vid, v) in bound {
             let Some(site) = self.site_of(*vid) else {
                 continue;
             };
-            let cand = self.candidates_at(site, v);
-            if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
-                best = Some(cand);
+            let lists = (self.unbound[site].as_slice(), self.bound_at(site, v));
+            if best.is_none_or(|(a, b): (&[u32], &[u32])| {
+                lists.0.len() + lists.1.len() < a.len() + b.len()
+            }) {
+                best = Some(lists);
             }
         }
-        best
+        best.map(|(a, b)| Cands::Lists(a, b))
     }
 
-    /// Store a pattern and post it to every index. σ never changes on a
-    /// live pattern (only support does), so postings stay valid until
-    /// [`PatternGroup::remove`].
-    fn insert(&mut self, p: Pattern) -> usize {
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s] = Some(p);
-                s
-            }
-            None => {
-                self.slots.push(Some(p));
-                self.slots.len() - 1
-            }
-        };
-        let p = self.slots[slot].as_ref().expect("just stored");
-        self.by_identity.insert(p.identity(), slot);
-        for (site, &(vid, _)) in self.hash_sites.iter().enumerate() {
-            match &p.sigma[vid] {
-                Some(v) => self.by_binding[site]
-                    .entry(v.clone())
-                    .or_default()
-                    .push(slot),
+    /// Store a pattern under interned identity `id` and post it to every
+    /// index. σ never changes on a live pattern (only support does), so
+    /// postings stay valid until [`PatternGroup::remove`].
+    fn insert(&mut self, id: PatId, sigma: &[Option<Value>], extra: &[Extra]) -> u32 {
+        let slot = self.arena.insert(id, sigma, extra);
+        self.by_identity.insert(id, slot);
+        for site in 0..self.hash_sites.len() {
+            let vid = self.hash_sites[site].0;
+            match &self.arena.sigma(slot)[vid] {
+                Some(v) => {
+                    let v = v.clone();
+                    self.by_binding[site].entry(v).or_default().push(slot);
+                }
                 None => self.unbound[site].push(slot),
             }
         }
@@ -361,23 +409,25 @@ impl PatternGroup {
     }
 
     /// Drop a pattern and all its postings; the slot is reused.
-    fn remove(&mut self, slot: usize) {
-        let p = self.slots[slot].take().expect("live slot");
-        self.by_identity.remove(&p.identity());
-        for (site, &(vid, _)) in self.hash_sites.iter().enumerate() {
-            match &p.sigma[vid] {
+    fn remove(&mut self, slot: u32) {
+        let id = self.arena.id(slot);
+        self.by_identity.remove(&id);
+        for site in 0..self.hash_sites.len() {
+            let vid = self.hash_sites[site].0;
+            match &self.arena.sigma(slot)[vid] {
                 Some(v) => {
-                    if let Some(list) = self.by_binding[site].get_mut(v) {
+                    let v = v.clone();
+                    if let Some(list) = self.by_binding[site].get_mut(&v) {
                         list.retain(|&s| s != slot);
                         if list.is_empty() {
-                            self.by_binding[site].remove(v);
+                            self.by_binding[site].remove(&v);
                         }
                     }
                 }
                 None => self.unbound[site].retain(|&s| s != slot),
             }
         }
-        self.free.push(slot);
+        self.arena.remove(slot);
     }
 }
 
@@ -395,15 +445,71 @@ type LogEntry = (TupKey, PatKey);
 /// (rule, cen)).
 type AlphaIndex = Vec<Box<dyn ConditionIndex<(usize, usize)> + Send + Sync>>;
 
-/// A desired pattern for a target CE: bound variables plus derived range
-/// constraints.
-type DesiredPattern = (Vec<(usize, Value)>, Vec<(usize, CompOp, Value)>);
+/// One planned support-set change, keyed by `(rule, n, k_idx, id)`
+/// packed into a u64. Distinct derivation paths reaching the same target
+/// union into one proposal.
+struct Proposal {
+    rule: u32,
+    n: u32,
+    k_idx: u32,
+    id: PatId,
+    /// The `(σ, extra)` to materialize if the identity has no live slot
+    /// yet. `None` when the target pattern already existed at collection
+    /// time (then only marks/support change).
+    fresh: Option<(Vec<Option<Value>>, Vec<Extra>)>,
+    /// Support inherited from source patterns (per RCE position). Empty
+    /// vec = nothing inherited — the proposal only records the inserted
+    /// tuple's own mark at `k_idx`. The old representation unioned a
+    /// pattern's *own* support into its no-new-info proposal and back —
+    /// a pure self-union that copied the whole support set per
+    /// contribution and dominated the profile; carrying no inherited
+    /// support in that case is behavior-identical and O(1).
+    inherit: Vec<SupportSet>,
+}
+
+/// Reusable buffers for one `apply_to_store` call. Living on the engine
+/// (serial path) or per propagation thread, they turn the per-tuple
+/// `HashMap`/`Vec` rebuilds of the hot path into `clear()`s.
+#[derive(Default)]
+struct ApplyScratch {
+    /// Packed proposal key → index into `props`.
+    keys: FastMap<u64, u32>,
+    props: Vec<Proposal>,
+    /// Desired-pattern buffers (see `desired_into`).
+    bound: Vec<(usize, Value)>,
+    extra: Vec<Extra>,
+    /// Merged-identity buffers.
+    sigma: Vec<Option<Value>>,
+    merged_extra: Vec<Extra>,
+}
+
+/// Per-`propagate` scratch: class fan-out lists, collected log entries,
+/// per-partition span stats, and the serial-path apply buffers.
+#[derive(Default)]
+struct PropScratch {
+    per_class: Vec<Vec<(u32, u32)>>,
+    entries: Vec<LogEntry>,
+    spans: Vec<(usize, u64, u64, u64)>,
+    apply: ApplyScratch,
+}
+
+fn pack_key(rule: usize, n: usize, k_idx: usize, id: PatId) -> u64 {
+    debug_assert!(rule < (1 << 16) && n < (1 << 8) && k_idx < (1 << 8));
+    ((rule as u64) << 48) | ((n as u64) << 40) | ((k_idx as u64) << 32) | u64::from(id)
+}
 
 /// The §4.2 matching engine.
 pub struct CondEngine {
     pdb: ProductionDb,
     infos: Vec<RuleInfo>,
     stores: Vec<CondStore>,
+    /// Interned pattern identities, shared across all groups. Append-only
+    /// (ids stay stable across pattern remove/re-add); behind a mutex
+    /// because the parallel propagation path interns through `&self`, but
+    /// locked only when a derivation actually merges new bindings.
+    interner: Mutex<IdentityInterner>,
+    /// Reused propagation buffers (serial path).
+    scratch: PropScratch,
     /// Per-class predicate index over the condition elements' alpha
     /// rectangles: only groups whose one-input tests match the tuple are
     /// searched ("building indices such as R-trees or R+-trees on COND
@@ -415,8 +521,9 @@ pub struct CondEngine {
     /// knob restores the I/O-bound regime its parallelism argument
     /// (§4.2.3) lives in. Zero (default) = pure in-memory.
     io_cost_ns: u64,
-    /// tuple → the patterns whose support mentions it.
-    log: HashMap<TupKey, Vec<PatKey>>,
+    /// tuple → the patterns whose support mentions it. Entries are
+    /// 12-byte integer triples; dedup is integer compares.
+    log: FastMap<TupKey, Vec<PatKey>>,
     inst: InstStore,
     conflict: ConflictSet,
     parallel: bool,
@@ -456,15 +563,19 @@ impl CondEngine {
             .iter()
             .map(|_| CondStore::default())
             .collect();
+        let mut interner = IdentityInterner::new();
         for rule in &pdb.rules().rules {
+            let none_sigma = vec![None; nvars[rule.id.0]];
+            let original_id = interner.intern(&none_sigma, &[]);
             for (cen, ce) in rule.ces.iter().enumerate() {
                 let info = &infos[rule.id.0];
-                let mut group = PatternGroup::new(info.hash_sites[cen].clone());
-                group.insert(Pattern {
-                    sigma: vec![None; nvars[rule.id.0]],
-                    extra: Vec::new(),
-                    support: vec![Vec::new(); info.rce[cen].len()],
-                });
+                let mut group = PatternGroup::new(
+                    info.hash_sites[cen].clone(),
+                    nvars[rule.id.0],
+                    info.rce[cen].len(),
+                    original_id,
+                );
+                group.insert(original_id, &none_sigma, &[]);
                 stores[ce.class.0].groups.insert((rule.id.0, cen), group);
             }
         }
@@ -489,9 +600,11 @@ impl CondEngine {
             pdb,
             infos,
             stores,
+            interner: Mutex::new(interner),
+            scratch: PropScratch::default(),
             alpha_index,
             io_cost_ns: 0,
-            log: HashMap::new(),
+            log: FastMap::default(),
             inst: InstStore::new(),
             conflict: ConflictSet::new(),
             parallel: false,
@@ -560,7 +673,14 @@ impl CondEngine {
     /// Candidate pattern slots of a group for a WM tuple: an index
     /// probe on the narrowest hash site when enabled, else every live
     /// slot. The second value says whether the index served it.
-    fn tuple_candidates(&self, group: &PatternGroup, tuple: &Tuple) -> (Vec<usize>, bool) {
+    ///
+    /// Scan-fallback audit (the `pattern_scanned` remainder with the
+    /// index on): `probe_tuple` returns `None` only for CEs with no
+    /// Eq-constrained variable at all — their groups hold just the
+    /// original template plus range-specialized patterns, which no hash
+    /// site can partition. Indexing those would need a range structure
+    /// over `extra`; the groups are tiny, so the scan is irreducible.
+    fn tuple_candidates<'g>(&self, group: &'g PatternGroup, tuple: &Tuple) -> (Cands<'g>, bool) {
         if self.pattern_index {
             obs::prof_span!("probe");
             if let Some(c) = group.probe_tuple(tuple) {
@@ -568,17 +688,22 @@ impl CondEngine {
             }
         }
         obs::prof_span!("scan");
-        (group.live_slots(), false)
+        (Cands::All(&group.arena), false)
     }
 
     /// Candidate slots for a positive contribution: patterns whose σ is
-    /// compatible with every bound variable of the desired pattern. An
-    /// empty `bound` matches every pattern (full scan).
-    fn bound_candidates(
+    /// compatible with every bound variable of the desired pattern.
+    ///
+    /// Scan-fallback audit: an empty `bound` means the contribution
+    /// shares no bound variable with the target CE, so its existence
+    /// mark applies to *every* pattern of the group (the
+    /// variable-disjoint broadcast case — see `disconnected_ce_pairs_fire`).
+    /// That scan is semantically a broadcast, not a missed index route.
+    fn bound_candidates<'g>(
         &self,
-        group: &PatternGroup,
+        group: &'g PatternGroup,
         bound: &[(usize, Value)],
-    ) -> (Vec<usize>, bool) {
+    ) -> (Cands<'g>, bool) {
         if self.pattern_index {
             obs::prof_span!("probe");
             if let Some(c) = group.probe_bound(bound) {
@@ -586,7 +711,7 @@ impl CondEngine {
             }
         }
         obs::prof_span!("scan");
-        (group.live_slots(), false)
+        (Cands::All(&group.arena), false)
     }
 
     /// Candidate slots for a negated-source contribution (§4.2.2
@@ -594,34 +719,41 @@ impl CondEngine {
     /// every variable of the negated CE is bound identically in both
     /// σs, so probe the strict postings of one such variable; an
     /// unbound blocker variable means no pattern can qualify at all.
-    fn blocker_candidates(&self, c: &Contribution, group: &PatternGroup) -> (Vec<usize>, bool) {
+    /// Likewise, a blocker variable that is not a hash site of the
+    /// target CE can never be bound by its patterns (σ is restricted to
+    /// the CE's own Eq variables), so the lookup is empty — the old
+    /// representation fell back to a full scan there. The only remaining
+    /// scan is the constraint-free unconditional blocker, which really
+    /// does mark every pattern.
+    fn blocker_candidates<'g>(
+        &self,
+        c: &Contribution,
+        group: &'g PatternGroup,
+    ) -> (Cands<'g>, bool) {
         let constraints = &self.infos[c.rule].var_constraints[c.k];
         if !self.pattern_index || constraints.is_empty() {
             obs::prof_span!("scan");
-            return (group.live_slots(), false);
+            return (Cands::All(&group.arena), false);
         }
         obs::prof_span!("probe");
         if constraints
             .iter()
             .any(|&(_, _, vid)| c.sigma[vid].is_none())
         {
-            return (Vec::new(), true);
+            return (Cands::empty(), true);
         }
-        let mut best: Option<Vec<usize>> = None;
+        let mut best: Option<&[u32]> = None;
         for &(_, _, vid) in constraints {
             let Some(site) = group.site_of(vid) else {
-                continue;
+                return (Cands::empty(), true);
             };
             let v = c.sigma[vid].as_ref().expect("checked bound");
             let cand = group.bound_at(site, v);
-            if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
+            if best.is_none_or(|b: &[u32]| cand.len() < b.len()) {
                 best = Some(cand);
             }
         }
-        match best {
-            Some(cand) => (cand, true),
-            None => (group.live_slots(), false),
-        }
+        (Cands::Lists(&[], best.unwrap_or(&[])), true)
     }
 
     /// All stored patterns (space metric).
@@ -631,6 +763,38 @@ impl CondEngine {
             .flat_map(|s| s.groups.values())
             .map(PatternGroup::len)
             .sum()
+    }
+
+    /// Canonical dump of every live pattern — σ, derived constraints,
+    /// and the full support multiset (supporter keys sorted within each
+    /// RCE counter), one sorted line per pattern. The exact-equality
+    /// oracle the property tests compare across access paths (indexed
+    /// vs scanned) and representations: two engines agree iff their
+    /// pattern stores are identical down to individual supporters.
+    pub fn support_snapshot(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (class, store) in self.stores.iter().enumerate() {
+            for (&(rid, cen), g) in &store.groups {
+                for s in g.arena.iter_live() {
+                    let p = g.pat(s);
+                    let sup: Vec<Vec<String>> = p
+                        .support
+                        .iter()
+                        .map(|ss| {
+                            let mut v: Vec<String> = ss.iter().map(|k| format!("{k:?}")).collect();
+                            v.sort();
+                            v
+                        })
+                        .collect();
+                    out.push(format!(
+                        "class={class} rule={rid} cen={cen} sigma={:?} extra={:?} support={sup:?}",
+                        p.sigma, p.extra
+                    ));
+                }
+            }
+        }
+        out.sort();
+        out
     }
 
     /// Render a class's COND relation as the paper prints it (§4.2.1 /
@@ -646,12 +810,16 @@ impl CondEngine {
             let rule = rules.rule(RuleId(rid));
             let info = &self.infos[rid];
             let arity = rules.class(class).arity();
-            let mut group: Vec<&Pattern> = self.stores[class.0].groups[&(rid, cen)]
-                .patterns()
-                .collect();
-            // Originals first, then by specialization (stable textual order).
-            group.sort_by_key(|p| (!p.is_original(), format!("{:?}", p.identity())));
-            for p in group {
+            let g = &self.stores[class.0].groups[&(rid, cen)];
+            let mut slots: Vec<u32> = g.arena.iter_live().collect();
+            // Originals first, then by specialization (stable textual
+            // order; slices render identically to the old owned vectors).
+            slots.sort_by_cached_key(|&s| {
+                let p = g.pat(s);
+                (!g.is_original_slot(s), format!("{:?}", (p.sigma, p.extra)))
+            });
+            for s in slots {
+                let p = g.pat(s);
                 let mut cells = vec![rule.name.clone(), (cen + 1).to_string()];
                 for attr in 0..arity {
                     cells.push(self.render_cell(rid, cen, p, attr));
@@ -663,9 +831,9 @@ impl CondEngine {
                     .join(",");
                 cells.push(rce);
                 cells.push(
-                    p.counts()
+                    p.support
                         .iter()
-                        .map(u32::to_string)
+                        .map(|s| s.len().to_string())
                         .collect::<Vec<_>>()
                         .join(""),
                 );
@@ -676,7 +844,7 @@ impl CondEngine {
     }
 
     /// One attribute cell of a pattern row.
-    fn render_cell(&self, rid: usize, cen: usize, p: &Pattern, attr: usize) -> String {
+    fn render_cell(&self, rid: usize, cen: usize, p: PatRef<'_>, attr: usize) -> String {
         let rule = self.rule(rid);
         let info = &self.infos[rid];
         // Constant test from the alpha restriction?
@@ -718,7 +886,7 @@ impl CondEngine {
 
     /// Does `tuple` match pattern `p` of `(rule, cen)`? Alpha tests plus
     /// every evaluable specialized constraint.
-    fn pattern_matches(&self, rid: usize, cen: usize, p: &Pattern, tuple: &Tuple) -> bool {
+    fn pattern_matches(&self, rid: usize, cen: usize, p: PatRef<'_>, tuple: &Tuple) -> bool {
         let rule = self.rule(rid);
         let info = &self.infos[rid];
         self.pdb.db().stats().read_tuples(1); // COND tuple examined
@@ -733,7 +901,7 @@ impl CondEngine {
                 }
             }
         }
-        for (attr, op, x) in &p.extra {
+        for (attr, op, x) in p.extra {
             match tuple.get(*attr) {
                 Some(v) if op.eval(v, x) => {}
                 _ => return false,
@@ -742,37 +910,41 @@ impl CondEngine {
         true
     }
 
-    /// Are all marks of `p` (for CE `cen` of rule `rid`) set? Positive
-    /// RCEs need support; negated RCEs need no blockers (§4.2.2).
-    fn fully_marked(&self, rid: usize, cen: usize, p: &Pattern) -> bool {
+    /// Are all marks of a pattern (for CE `cen` of rule `rid`) set?
+    /// Positive RCEs need support; negated RCEs need no blockers
+    /// (§4.2.2).
+    fn fully_marked(&self, rid: usize, cen: usize, support: &[SupportSet]) -> bool {
         let rule = self.rule(rid);
         let info = &self.infos[rid];
         info.rce[cen].iter().enumerate().all(|(i, &j)| {
             if rule.ces[j].negated {
-                p.support[i].is_empty()
+                support[i].is_empty()
             } else {
-                !p.support[i].is_empty()
+                !support[i].is_empty()
             }
         })
     }
 
-    /// Positive marks of a pattern as a CE set (for mark compatibility).
-    fn positive_marks(&self, rid: usize, cen: usize, p: &Pattern) -> BTreeSet<usize> {
+    /// Positive marks of a pattern as a bitmask over rule CE indices
+    /// (for mark compatibility). No allocation — support emptiness
+    /// flags folded into a u64.
+    fn positive_marks(&self, rid: usize, cen: usize, support: &[SupportSet]) -> u64 {
         let rule = self.rule(rid);
         let info = &self.infos[rid];
-        info.rce[cen]
-            .iter()
-            .enumerate()
-            .filter(|&(i, &j)| !rule.ces[j].negated && !p.support[i].is_empty())
-            .map(|(_, &j)| j)
-            .collect()
+        let mut marks = 0u64;
+        for (i, &j) in info.rce[cen].iter().enumerate() {
+            if !rule.ces[j].negated && !support[i].is_empty() {
+                marks |= 1 << j;
+            }
+        }
+        marks
     }
 
     /// Build the contribution of `tuple` matching pattern `p` at CE `k`.
-    fn contribution(&self, rid: usize, k: usize, p: &Pattern, tuple: &Tuple) -> Contribution {
+    fn contribution(&self, rid: usize, k: usize, p: PatRef<'_>, tuple: &Tuple) -> Contribution {
         let info = &self.infos[rid];
-        let mut sigma = p.sigma.clone();
-        let mut ranges: Vec<Vec<(CompOp, Value)>> = vec![Vec::new(); info.var_sites.len()];
+        let mut sigma = p.sigma.to_vec();
+        let mut ranges: Vec<(usize, CompOp, Value)> = Vec::new();
         for (vid, occs) in info.occurrences.iter().enumerate() {
             for &(ce, attr, op) in occs {
                 if ce != k {
@@ -783,13 +955,13 @@ impl CondEngine {
                     sigma[vid] = Some(tuple[attr].clone());
                 } else {
                     // The tuple bounds the variable: v op.flip() t[attr].
-                    ranges[vid].push((op.flip(), tuple[attr].clone()));
+                    ranges.push((vid, op.flip(), tuple[attr].clone()));
                 }
             }
         }
-        let mut marks = self.positive_marks(rid, k, p);
+        let mut marks = self.positive_marks(rid, k, p.support);
         if !self.rule(rid).ces[k].negated {
-            marks.insert(k);
+            marks |= 1 << k;
         }
         Contribution {
             rule: rid,
@@ -801,11 +973,18 @@ impl CondEngine {
     }
 
     /// The desired pattern for target CE `n` under a contribution:
-    /// substitution restricted to `n`'s variables plus derived ranges.
-    fn desired(&self, c: &Contribution, n: usize) -> DesiredPattern {
+    /// substitution restricted to `n`'s variables plus derived ranges,
+    /// written into reused scratch buffers.
+    fn desired_into(
+        &self,
+        c: &Contribution,
+        n: usize,
+        bound: &mut Vec<(usize, Value)>,
+        extra: &mut Vec<Extra>,
+    ) {
+        bound.clear();
+        extra.clear();
         let info = &self.infos[c.rule];
-        let mut bound = Vec::new();
-        let mut extra = Vec::new();
         for &(attr, op, vid) in &info.var_constraints[n] {
             if let Some(v) = &c.sigma[vid] {
                 if op == CompOp::Eq {
@@ -815,18 +994,17 @@ impl CondEngine {
                     extra.push((attr, op, v.clone()));
                 }
             } else if op == CompOp::Eq {
-                for (rop, rv) in &c.ranges[vid] {
-                    extra.push((attr, *rop, rv.clone()));
+                for (rvid, rop, rv) in &c.ranges {
+                    if *rvid == vid {
+                        extra.push((attr, *rop, rv.clone()));
+                    }
                 }
             }
         }
         bound.sort_by_key(|(vid, _)| *vid);
         bound.dedup();
-        extra.sort_by(|a, b| {
-            (a.0, format!("{}{}", a.1, a.2)).cmp(&(b.0, format!("{}{}", b.1, b.2)))
-        });
+        sort_extra(extra);
         extra.dedup();
-        (bound, extra)
     }
 
     /// Maintenance after an insertion: propagate matching patterns of the
@@ -834,41 +1012,55 @@ impl CondEngine {
     /// algorithm).
     fn propagate(&mut self, contributions: Vec<Contribution>, tup: TupKey) {
         obs::prof_span!("propagate");
+        if contributions.is_empty() {
+            return;
+        }
         // Group planned work by target class so stores can be updated in
-        // parallel (each class store is owned by exactly one task).
+        // parallel (each class store is owned by exactly one task). The
+        // fan-out shares each contribution by index — no Rule or
+        // Contribution clones per related CE — and all buffers are
+        // engine-owned scratch reused across `maintain_delta` calls.
         let nclasses = self.stores.len();
-        let mut per_class: Vec<Vec<(Contribution, usize)>> = vec![Vec::new(); nclasses];
-        for c in contributions {
-            let rule = self.rule(c.rule).clone();
-            let info = &self.infos[c.rule];
-            for &n in &info.rce[c.k] {
-                let class = rule.ces[n].class.0;
-                per_class[class].push((c.clone(), n));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if scratch.per_class.len() < nclasses {
+            scratch.per_class.resize_with(nclasses, Vec::new);
+        }
+        for list in &mut scratch.per_class {
+            list.clear();
+        }
+        for (ci, c) in contributions.iter().enumerate() {
+            let ces = &self.rule(c.rule).ces;
+            for &n in &self.infos[c.rule].rce[c.k] {
+                scratch.per_class[ces[n].class.0].push((ci as u32, n as u32));
             }
         }
-        let mut entries: Vec<LogEntry> = Vec::new();
-        // Per-partition spans: (class, scanned, probes, span_ns),
-        // classes with work only.
-        let mut spans: Vec<(usize, u64, u64, u64)> = Vec::new();
+        scratch.entries.clear();
+        scratch.spans.clear();
         let parallel = self.parallel;
         if parallel {
             // Real fan-out: split the stores so threads own disjoint
             // mutable pieces and spawn one scoped thread per *non-empty*
             // class partition (spawning for empty work would only pay
-            // thread overhead for nothing).
+            // thread overhead for nothing). Each thread gets its own
+            // apply scratch; the serial path below reuses the engine's.
             let stores = std::mem::take(&mut self.stores);
             let mut slots: Vec<Option<CondStore>> = stores.into_iter().map(Some).collect();
             let this: &CondEngine = self;
+            let contribs = &contributions;
+            let per_class = &scratch.per_class;
             let collected = crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for (class, work) in per_class.into_iter().enumerate() {
+                for (class, work) in per_class.iter().enumerate() {
                     if work.is_empty() {
                         continue;
                     }
                     let mut store = slots[class].take().expect("store present");
                     let handle = scope.spawn(move |_| {
                         let started = Instant::now();
-                        let (log, scanned, probes) = this.apply_to_store(&mut store, &work, tup);
+                        let mut apply = ApplyScratch::default();
+                        let mut log = Vec::new();
+                        let (scanned, probes) = this
+                            .apply_to_store(&mut store, contribs, work, tup, &mut apply, &mut log);
                         let span_ns = started.elapsed().as_nanos() as u64;
                         (class, store, log, scanned, probes, span_ns)
                     });
@@ -884,8 +1076,8 @@ impl CondEngine {
             .expect("propagation scope");
             for (class, store, log, scanned, probes, span_ns) in collected {
                 slots[class] = Some(store);
-                entries.extend(log);
-                spans.push((class, scanned, probes, span_ns));
+                scratch.entries.extend(log);
+                scratch.spans.push((class, scanned, probes, span_ns));
             }
             self.stores = slots
                 .into_iter()
@@ -893,18 +1085,26 @@ impl CondEngine {
                 .collect();
         } else {
             let mut stores = std::mem::take(&mut self.stores);
-            for (class, work) in per_class.iter().enumerate() {
+            for (class, work) in scratch.per_class.iter().enumerate() {
                 if work.is_empty() {
                     continue;
                 }
                 let started = Instant::now();
-                let (log, scanned, probes) = self.apply_to_store(&mut stores[class], work, tup);
-                entries.extend(log);
-                spans.push((class, scanned, probes, started.elapsed().as_nanos() as u64));
+                let (scanned, probes) = self.apply_to_store(
+                    &mut stores[class],
+                    &contributions,
+                    work,
+                    tup,
+                    &mut scratch.apply,
+                    &mut scratch.entries,
+                );
+                scratch
+                    .spans
+                    .push((class, scanned, probes, started.elapsed().as_nanos() as u64));
             }
             self.stores = stores;
         }
-        for (class, scanned, probes, span_ns) in spans {
+        for &(class, scanned, probes, span_ns) in &scratch.spans {
             self.tracer.emit(|| obs::Event::PropagateSpan {
                 class: class as u32,
                 class_name: self.pdb.rules().class(ClassId(class)).name.clone(),
@@ -917,72 +1117,69 @@ impl CondEngine {
                 m.record_propagate(span_ns);
             }
         }
-        for (supporter, pat) in entries {
+        for (supporter, pat) in scratch.entries.drain(..) {
             let list = self.log.entry(supporter).or_default();
             if !list.contains(&pat) {
                 list.push(pat);
             }
         }
+        self.scratch = scratch;
     }
 
-    /// Apply contributions targeting one class store. Returns log entries
-    /// (supporter tuple → pattern) for every support-set insertion made,
-    /// plus the number of COND tuples examined and the index probes that
-    /// narrowed them (the partition's span work, reported per-partition
-    /// by `propagate`).
+    /// Apply contributions (shared by index in `work`) targeting one
+    /// class store. Log entries (supporter tuple → pattern) for every
+    /// support-set insertion are appended to `entries`; returns the
+    /// number of COND tuples examined and the index probes that narrowed
+    /// them (the partition's span work, reported per-partition by
+    /// `propagate`).
+    ///
+    /// The hot path allocates only when a derivation genuinely merges
+    /// new information: proposal keys are packed u64s in a reused map,
+    /// desired/merged identities live in scratch buffers, and a
+    /// no-new-info mark on an existing pattern carries no inherited
+    /// support at all (see [`Proposal::inherit`]).
     fn apply_to_store(
         &self,
         store: &mut CondStore,
-        work: &[(Contribution, usize)],
+        contribs: &[Contribution],
+        work: &[(u32, u32)],
         tup: TupKey,
-    ) -> (Vec<LogEntry>, u64, u64) {
+        scratch: &mut ApplyScratch,
+        entries: &mut Vec<LogEntry>,
+    ) -> (u64, u64) {
         obs::prof_span!("apply");
-        // Proposals keyed by (rule, n, identity, k_idx). Distinct
-        // derivation paths may reach the same identity with different
-        // inherited supports; everything unions (the pattern is supported
-        // by the union of the supporters of all its derivations).
-        let mut proposals: HashMap<(usize, usize, Identity, usize), Vec<Vec<TupKey>>> =
-            HashMap::new();
+        scratch.keys.clear();
+        scratch.props.clear();
         let mut scanned: u64 = 0;
         let mut probes: u64 = 0;
-        let union_into = |slot: &mut Vec<Vec<TupKey>>, support: &[Vec<TupKey>]| {
-            for (dst, src) in slot.iter_mut().zip(support) {
-                for s in src {
-                    if !dst.contains(s) {
-                        dst.push(*s);
-                    }
-                }
-            }
-        };
-        for (c, n) in work {
-            let n = *n;
+        for &(ci, n) in work {
+            let c = &contribs[ci as usize];
+            let n = n as usize;
             let rule = self.rule(c.rule);
             let info = &self.infos[c.rule];
             let k_idx = info.rce_index(n, c.k);
             let negated_k = rule.ces[c.k].negated;
-            let (bound, extra) = self.desired(c, n);
+            self.desired_into(c, n, &mut scratch.bound, &mut scratch.extra);
             let Some(group) = store.groups.get(&(c.rule, n)) else {
                 continue;
             };
             let (cands, indexed) = if negated_k {
                 self.blocker_candidates(c, group)
             } else {
-                self.bound_candidates(group, &bound)
+                self.bound_candidates(group, &scratch.bound)
             };
-            self.pdb.db().stats().read_tuples(cands.len() as u64);
-            self.note_pattern_lookup(cands.len() as u64, indexed);
-            scanned += cands.len() as u64;
+            let ncands = cands.len() as u64;
+            self.pdb.db().stats().read_tuples(ncands);
+            self.note_pattern_lookup(ncands, indexed);
+            scanned += ncands;
             probes += indexed as u64;
-            for &slot in &cands {
-                let m = group.get(slot);
+            for slot in cands.iter() {
+                let m = group.pat(slot);
                 // Mark compatibility (§4.2.2): every mark set in M must be
                 // set in T's extended view — restricted to marks of CEs
                 // sharing a variable with the target CE (see module docs).
-                let compat = self
-                    .positive_marks(c.rule, n, m)
-                    .iter()
-                    .all(|j| !info.shares[*j][n] || c.marks.contains(j));
-                if !compat {
+                let m_marks = self.positive_marks(c.rule, n, m.support);
+                if (m_marks & info.share_masks[n]) & !c.marks != 0 {
                     continue;
                 }
                 if negated_k {
@@ -997,94 +1194,150 @@ impl CondEngine {
                                 _ => false,
                             }
                         });
-                    if all_evaluable_and_true || info.var_constraints[c.k].is_empty() {
-                        proposals
-                            .entry((c.rule, n, m.identity(), k_idx))
-                            .or_insert_with(|| vec![Vec::new(); info.rce[n].len()]);
+                    if all_evaluable_and_true {
+                        let key = pack_key(c.rule, n, k_idx, m.id);
+                        if !scratch.keys.contains_key(&key) {
+                            scratch.keys.insert(key, scratch.props.len() as u32);
+                            scratch.props.push(Proposal {
+                                rule: c.rule as u32,
+                                n: n as u32,
+                                k_idx: k_idx as u32,
+                                id: m.id,
+                                fresh: None,
+                                inherit: Vec::new(),
+                            });
+                        }
                     }
                     continue;
                 }
                 // Unify: shared bound variables must agree.
-                let compatible = bound.iter().all(|(vid, v)| match &m.sigma[*vid] {
+                let compatible = scratch.bound.iter().all(|(vid, v)| match &m.sigma[*vid] {
                     Some(x) => x == v,
                     None => true,
                 });
                 if !compatible {
                     continue;
                 }
-                // Merge.
-                let mut sigma = m.sigma.clone();
-                let mut new_info = false;
-                for (vid, v) in &bound {
-                    if sigma[*vid].is_none() {
-                        sigma[*vid] = Some(v.clone());
-                        new_info = true;
+                let adds_binding = scratch.bound.iter().any(|(vid, _)| m.sigma[*vid].is_none());
+                let adds_extra = scratch.extra.iter().any(|e| !m.extra.contains(e));
+                if !adds_binding && !adds_extra {
+                    // No new binding: set the mark on M itself. Only the
+                    // inserted tuple's own mark is new — M's support is
+                    // already M's, no self-union.
+                    let key = pack_key(c.rule, n, k_idx, m.id);
+                    if !scratch.keys.contains_key(&key) {
+                        scratch.keys.insert(key, scratch.props.len() as u32);
+                        scratch.props.push(Proposal {
+                            rule: c.rule as u32,
+                            n: n as u32,
+                            k_idx: k_idx as u32,
+                            id: m.id,
+                            fresh: None,
+                            inherit: Vec::new(),
+                        });
+                    }
+                    continue;
+                }
+                // "Create a new tuple with the new binding and set the
+                // Mark bit of C" — the created pattern inherits M's
+                // support and gains this tuple's. Build the merged
+                // identity in scratch and intern it; the canonical clone
+                // happens only the first time the identity is ever seen.
+                scratch.sigma.clear();
+                scratch.sigma.extend_from_slice(m.sigma);
+                for (vid, v) in &scratch.bound {
+                    if scratch.sigma[*vid].is_none() {
+                        scratch.sigma[*vid] = Some(v.clone());
                     }
                 }
-                let mut merged_extra = m.extra.clone();
-                for e in &extra {
-                    if !merged_extra.contains(e) {
-                        merged_extra.push(e.clone());
-                        new_info = true;
+                scratch.merged_extra.clear();
+                scratch.merged_extra.extend_from_slice(m.extra);
+                for e in &scratch.extra {
+                    if !scratch.merged_extra.contains(e) {
+                        scratch.merged_extra.push(e.clone());
                     }
                 }
-                merged_extra.sort_by(|a, b| {
-                    (a.0, format!("{}{}", a.1, a.2)).cmp(&(b.0, format!("{}{}", b.1, b.2)))
-                });
-                let key = if new_info {
-                    // "Create a new tuple with the new binding and set the
-                    // Mark bit of C" — the created pattern inherits M's
-                    // support and gains this tuple's.
-                    (c.rule, n, (sigma, merged_extra), k_idx)
-                } else {
-                    // No new binding: set the mark on M itself.
-                    (c.rule, n, m.identity(), k_idx)
+                sort_extra(&mut scratch.merged_extra);
+                let id = self
+                    .interner
+                    .lock()
+                    .expect("interner")
+                    .intern(&scratch.sigma, &scratch.merged_extra);
+                let key = pack_key(c.rule, n, k_idx, id);
+                let pi = match scratch.keys.get(&key) {
+                    Some(&i) => i as usize,
+                    None => {
+                        let i = scratch.props.len();
+                        scratch.keys.insert(key, i as u32);
+                        // A merged identity can collide with a *different*
+                        // live pattern's identity; then the proposal
+                        // unions into that pattern instead of creating.
+                        let fresh = if group.slot_of(id).is_none() {
+                            Some((scratch.sigma.clone(), scratch.merged_extra.clone()))
+                        } else {
+                            None
+                        };
+                        scratch.props.push(Proposal {
+                            rule: c.rule as u32,
+                            n: n as u32,
+                            k_idx: k_idx as u32,
+                            id,
+                            fresh,
+                            inherit: Vec::new(),
+                        });
+                        i
+                    }
                 };
-                let slot = proposals
-                    .entry(key)
-                    .or_insert_with(|| vec![Vec::new(); info.rce[n].len()]);
-                union_into(slot, &m.support);
+                let p = &mut scratch.props[pi];
+                if p.inherit.is_empty() {
+                    p.inherit.resize_with(info.rce[n].len(), SupportSet::new);
+                }
+                for (dst, src) in p.inherit.iter_mut().zip(m.support.iter()) {
+                    for s in src.iter() {
+                        if !dst.contains(s) {
+                            dst.push(*s);
+                        }
+                    }
+                }
             }
         }
         // One aggregate I/O charge for everything this store task read —
         // a sleeping wait overlaps across class threads like disk I/O.
         self.charge_io(scanned);
-        // Apply: union each proposal's support (plus the inserted tuple's
-        // own mark) into the target pattern, creating it if absent. Every
-        // supporter newly recorded on a pattern gets a log entry so its
-        // deletion withdraws exactly this support.
-        let mut log = Vec::new();
-        for ((rid, n, identity, k_idx), mut support) in proposals {
-            if !support[k_idx].contains(&tup) {
-                support[k_idx].push(tup);
-            }
-            let group = store.groups.get_mut(&(rid, n)).expect("group exists");
-            match group.slot_of(&identity) {
-                Some(slot) => {
-                    let p = group.get_mut(slot);
-                    for (dst, src) in p.support.iter_mut().zip(&support) {
-                        for s in src {
-                            if !dst.contains(s) {
-                                dst.push(*s);
-                                log.push((*s, (rid, n, identity.clone())));
-                            }
-                        }
-                    }
-                }
+        // Apply: union each proposal's inherited support (plus the
+        // inserted tuple's own mark) into the target pattern, creating it
+        // if absent. Every supporter newly recorded on a pattern gets a
+        // log entry so its deletion withdraws exactly this support.
+        for p in scratch.props.drain(..) {
+            let group = store
+                .groups
+                .get_mut(&(p.rule as usize, p.n as usize))
+                .expect("group exists");
+            let key: PatKey = (p.rule, p.n, p.id);
+            let slot = match group.slot_of(p.id) {
+                Some(slot) => slot,
                 None => {
-                    for s in support.iter().flatten() {
-                        log.push((*s, (rid, n, identity.clone())));
-                    }
+                    let (sigma, extra) = p.fresh.as_ref().expect("new identity carries its σ");
                     self.pdb.db().stats().inserted();
-                    group.insert(Pattern {
-                        sigma: identity.0,
-                        extra: identity.1,
-                        support,
-                    });
+                    group.insert(p.id, sigma, extra)
                 }
+            };
+            let support = group.support_mut(slot);
+            for (i, src) in p.inherit.iter().enumerate() {
+                for s in src.iter() {
+                    if !support[i].contains(s) {
+                        support[i].push(*s);
+                        entries.push((*s, key));
+                    }
+                }
+            }
+            let ki = p.k_idx as usize;
+            if !support[ki].contains(&tup) {
+                support[ki].push(tup);
+                entries.push((tup, key));
             }
         }
-        (log, scanned, probes)
+        (scanned, probes)
     }
 
     /// Withdraw a deleted tuple's support from every pattern it
@@ -1095,19 +1348,20 @@ impl CondEngine {
         let Some(entries) = self.log.remove(&tup) else {
             return;
         };
-        for (rid, cen, identity) in entries {
+        for (rid, cen, id) in entries {
+            let (rid, cen) = (rid as usize, cen as usize);
             let class = self.rule(rid).ces[cen].class.0;
             let Some(group) = self.stores[class].groups.get_mut(&(rid, cen)) else {
                 continue;
             };
-            let Some(slot) = group.slot_of(&identity) else {
+            let Some(slot) = group.slot_of(id) else {
                 continue;
             };
-            let p = group.get_mut(slot);
-            for s in p.support.iter_mut() {
+            let support = group.support_mut(slot);
+            for s in support.iter_mut() {
                 s.retain(|x| *x != tup);
             }
-            if p.support.iter().all(Vec::is_empty) && !p.is_original() {
+            if support.iter().all(SupportSet::is_empty) && !group.is_original_slot(slot) {
                 // Subsumed by the original template once unsupported.
                 self.pdb.db().stats().deleted();
                 group.remove(slot);
@@ -1152,9 +1406,9 @@ impl CondEngine {
             let (cands, indexed) = self.tuple_candidates(group, tuple);
             self.charge_io(cands.len() as u64);
             self.note_pattern_lookup(cands.len() as u64, indexed);
-            if cands.iter().any(|&s| {
-                let p = group.get(s);
-                self.pattern_matches(rid, cen, p, tuple) && self.fully_marked(rid, cen, p)
+            if cands.iter().any(|s| {
+                let p = group.pat(s);
+                self.pattern_matches(rid, cen, p, tuple) && self.fully_marked(rid, cen, p.support)
             }) {
                 fire.push((rid, cen));
             }
@@ -1277,8 +1531,8 @@ impl CondEngine {
             };
             let (cands, indexed) = self.tuple_candidates(group, tuple);
             self.note_pattern_lookup(cands.len() as u64, indexed);
-            for &s in &cands {
-                let p = group.get(s);
+            for s in cands.iter() {
+                let p = group.pat(s);
                 if self.pattern_matches(rid, cen, p, tuple) {
                     out.push(self.contribution(rid, cen, p, tuple));
                 }
@@ -1453,16 +1707,21 @@ impl MatchEngine for CondEngine {
             .stores
             .iter()
             .flat_map(|s| s.groups.values())
-            .flat_map(PatternGroup::patterns)
-            .map(|p| {
-                48 + p
-                    .sigma
-                    .iter()
-                    .flatten()
-                    .map(Value::approx_bytes)
+            .map(|g| {
+                g.arena
+                    .iter_live()
+                    .map(|s| {
+                        let p = g.pat(s);
+                        48 + p
+                            .sigma
+                            .iter()
+                            .flatten()
+                            .map(Value::approx_bytes)
+                            .sum::<usize>()
+                            + p.extra.len() * 32
+                            + p.support.iter().map(|s| s.len() * 16).sum::<usize>()
+                    })
                     .sum::<usize>()
-                    + p.extra.len() * 32
-                    + p.support.iter().map(|s| s.len() * 16).sum::<usize>()
             })
             .sum();
         SpaceStats {
@@ -1511,9 +1770,17 @@ mod tests {
 
     /// A readable snapshot of COND patterns for a (rule, cen) group.
     fn patterns(e: &CondEngine, class: usize, cen: usize) -> Vec<(Vec<Option<Value>>, Vec<u32>)> {
-        let mut v: Vec<_> = e.stores[class].groups[&(0, cen)]
-            .patterns()
-            .map(|p| (p.sigma.clone(), p.counts()))
+        let g = &e.stores[class].groups[&(0, cen)];
+        let mut v: Vec<_> = g
+            .arena
+            .iter_live()
+            .map(|s| {
+                let p = g.pat(s);
+                (
+                    p.sigma.to_vec(),
+                    p.support.iter().map(|s| s.len() as u32).collect::<Vec<_>>(),
+                )
+            })
             .collect();
         v.sort_by_key(|(s, _)| format!("{s:?}"));
         v
@@ -1668,7 +1935,10 @@ mod tests {
         // A pattern specialized with Sam + salary<6000 now exists.
         let group = &e.stores[0].groups[&(0, 1)];
         assert!(
-            group.patterns().any(|p| !p.extra.is_empty()),
+            group
+                .arena
+                .iter_live()
+                .any(|s| !group.pat(s).extra.is_empty()),
             "range constraint stored"
         );
         let d = e.insert(emp, tuple!["Sam", 5000, "Root"]);

@@ -12,9 +12,11 @@
 //! identical conflict sets (equivalence- and property-tested at the
 //! workspace level).
 
+pub mod arena;
 pub mod cond;
 pub mod dbrete_engine;
 pub mod explain;
+pub mod intern;
 pub mod marker;
 pub mod query_engine;
 pub mod recompute;

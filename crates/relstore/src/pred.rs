@@ -12,7 +12,7 @@ use crate::value::Value;
 
 /// Comparison operators supported by condition elements,
 /// `op ∈ {<, >, <=, >=, =, <>}` as listed in §3.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CompOp {
     /// Equal.
     Eq,

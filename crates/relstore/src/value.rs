@@ -159,7 +159,16 @@ impl Ord for Value {
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
-            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            // Interned symbols share one Arc allocation (Value::clone is
+            // pointer-copy), so pointer identity short-circuits the
+            // byte-wise compare on the COND probe path.
+            (Value::Str(a), Value::Str(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.as_ref().cmp(b.as_ref())
+                }
+            }
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Float(a), Value::Float(b)) => Self::cmp_f64(*a, *b),
             (Value::Int(a), Value::Float(b)) => Self::cmp_i64_f64(*a, *b),

@@ -38,25 +38,34 @@ fn random_trace(seed: u64, ops: usize) -> (RuleGenConfig, Vec<Op>) {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
-    /// Indexed vs full-scan COND over a random insert/remove trace:
+    /// Indexed vs full-scan COND over a random insert/remove trace, with
+    /// the query engine as an independent oracle for the conflict set:
     /// identical conflict sets after every operation, identical pattern
-    /// stores at the end, and the index actually probed.
+    /// stores — down to individual support-set multisets — identical
+    /// final WM, and the index actually probed. Exercises the interned
+    /// σ-binding + arena representation end to end: both COND engines
+    /// share it, so any id-collision, slot-reuse, or withdraw bug shows
+    /// up as divergence from the recomputing query oracle or between the
+    /// two access paths.
     #[test]
     fn indexed_cond_matches_scan(seed in 0u64..400, ops in 30usize..80) {
         let (cfg, trace) = random_trace(seed, ops);
         let rules = cfg.rules();
         let mut indexed = CondEngine::new(ProductionDb::new(rules.clone()).unwrap());
-        let mut scan = CondEngine::new(ProductionDb::new(rules).unwrap());
+        let mut scan = CondEngine::new(ProductionDb::new(rules.clone()).unwrap());
         scan.set_pattern_index(false);
+        let mut oracle = make_engine(EngineKind::Query, ProductionDb::new(rules).unwrap());
         for (step, op) in trace.iter().enumerate() {
             match op {
                 Op::Insert(c, t) => {
                     indexed.insert(ClassId(*c), t.clone());
                     scan.insert(ClassId(*c), t.clone());
+                    oracle.insert(ClassId(*c), t.clone());
                 }
                 Op::Remove(c, t) => {
                     indexed.remove(ClassId(*c), t);
                     scan.remove(ClassId(*c), t);
+                    oracle.remove(ClassId(*c), t);
                 }
             }
             prop_assert_eq!(
@@ -65,9 +74,31 @@ proptest! {
                 "conflict sets diverge at step {}",
                 step
             );
+            prop_assert_eq!(
+                indexed.conflict_set().sorted(),
+                oracle.conflict_set().sorted(),
+                "cond diverges from the query oracle at step {}",
+                step
+            );
         }
         prop_assert_eq!(indexed.pattern_count(), scan.pattern_count());
+        // Exact pattern-store equality: σ, derived constraints, and the
+        // support multiset of every counter, supporter by supporter.
+        prop_assert_eq!(indexed.support_snapshot(), scan.support_snapshot());
+        // Final WM: same live tuples in every class.
         for c in 0..cfg.classes {
+            let wm = |e: &CondEngine| {
+                let mut v: Vec<String> = e
+                    .pdb()
+                    .wm_scan(ClassId(c))
+                    .unwrap()
+                    .into_iter()
+                    .map(|(_, t)| format!("{t:?}"))
+                    .collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(wm(&indexed), wm(&scan), "WM of class {} diverges", c);
             prop_assert_eq!(
                 indexed.render_cond(ClassId(c)),
                 scan.render_cond(ClassId(c)),
