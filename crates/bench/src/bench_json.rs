@@ -40,6 +40,15 @@ pub struct BenchRow {
     /// Matching patterns examined during maintenance — the candidate
     /// lists behind probes, or whole groups under full scans.
     pub pattern_scanned: u64,
+    /// Pages faulted in from the page file (0 for in-memory rows).
+    pub page_reads: u64,
+    /// Pages written to the page file (0 for in-memory rows).
+    pub page_writes: u64,
+    /// Page requests served from the buffer pool without I/O.
+    pub pool_hits: u64,
+    /// Buffer-pool frames evicted to make room (0 unless the pool is
+    /// smaller than the working set).
+    pub pool_evictions: u64,
     /// Bytes allocated during the profiled re-run (0 when the row was
     /// built without profiling, or in binaries that don't install
     /// [`obs::alloc::CountingAlloc`]).
@@ -118,15 +127,20 @@ pub fn bench_rows_with(profiled: bool) -> Vec<BenchRow> {
             };
             let space = sys.engine().space();
             let (pattern_probes, pattern_scanned) = sys.engine().pattern_io().unwrap_or((0, 0));
+            let ops = sys.engine().pdb().db().stats().snapshot();
             BenchRow {
                 engine: kind.label(),
                 wall_ns,
                 fired: out.fired as u64,
-                logical_io: sys.engine().pdb().db().stats().snapshot().logical_io(),
+                logical_io: ops.logical_io(),
                 match_entries: space.match_entries as u64,
                 match_bytes: space.match_bytes as u64,
                 pattern_probes,
                 pattern_scanned,
+                page_reads: ops.page_reads,
+                page_writes: ops.page_writes,
+                pool_hits: ops.pool_hits,
+                pool_evictions: ops.pool_evictions,
                 alloc_bytes,
                 prof_wall_ns,
                 profile,
@@ -248,15 +262,142 @@ fn scaled_row(
     };
     let space = sys.engine().space();
     let (pattern_probes, pattern_scanned) = sys.engine().pattern_io().unwrap_or((0, 0));
+    let ops = sys.engine().pdb().db().stats().snapshot();
     BenchRow {
         engine: label,
         wall_ns,
         fired,
-        logical_io: sys.engine().pdb().db().stats().snapshot().logical_io(),
+        logical_io: ops.logical_io(),
         match_entries: space.match_entries as u64,
         match_bytes: space.match_bytes as u64,
         pattern_probes,
         pattern_scanned,
+        page_reads: ops.page_reads,
+        page_writes: ops.page_writes,
+        pool_hits: ops.pool_hits,
+        pool_evictions: ops.pool_evictions,
+        alloc_bytes,
+        prof_wall_ns,
+        profile,
+    }
+}
+
+/// Buffer-pool frames for the `query-paged` row — deliberately far
+/// smaller than the scaled workload's working set, so the row always
+/// exercises eviction, write-back, and page faults rather than running
+/// as an in-memory benchmark with extra bookkeeping.
+pub const SCALED_PAGED_POOL: usize = 2;
+
+/// One scaled pass of the Query engine over a *file-backed* working
+/// memory (§3.2 made literal): heap pages under a [`SCALED_PAGED_POOL`]
+/// buffer pool, WAL-before-data on eviction. Same program, same skew,
+/// same batching as the in-memory `query` row, so `fired` must agree
+/// exactly; only the storage layer differs.
+fn scaled_paged_pass(items: i64, pool_pages: usize) -> (prodsys::SequentialExecutor, u64) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sellis88-bench-paged-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let db = relstore::Database::new_paged(&dir, pool_pages).expect("paged database");
+    let rules = ops5::compile(SCALED_DEMO).expect("scaled program compiles");
+    let pdb = ProductionDb::with_db(std::sync::Arc::new(db), rules).expect("paged pdb");
+    let mut engine = make_engine(EngineKind::Query, pdb);
+    engine.set_batching(true);
+    let mut exec = prodsys::SequentialExecutor::new(engine, Strategy::Fifo);
+    let refs: Vec<_> = (0..SCALED_REFS)
+        .map(|r| tuple![SCALED_HOT + r, r * 10])
+        .collect();
+    exec.insert_batch(ClassId(1), refs);
+    let item_rows: Vec<_> = (0..items).map(|i| tuple![i, scaled_key(i)]).collect();
+    exec.insert_batch(ClassId(0), item_rows);
+    let out = exec.run(100_000);
+    std::fs::remove_dir_all(&dir).ok();
+    (exec, out.fired as u64)
+}
+
+/// Paged-vs-memory smoke check (`harness --paged`): run the scaled
+/// workload once on the in-memory Query engine and once over file-backed
+/// pages with a `pool_pages`-frame pool, then verify the two runs fire
+/// identically, leave identical working memories, and that the paged run
+/// actually evicted (i.e. the pool was smaller than the working set).
+/// Returns the shared fired count; `Err` describes the first divergence.
+pub fn paged_smoke(items: i64, pool_pages: usize) -> Result<u64, String> {
+    let items = items.clamp(1, SCALED_MAX_ITEMS);
+    let (sys, mem_fired) = scaled_pass(EngineKind::Query, items, true, true);
+    let (exec, paged_fired) = scaled_paged_pass(items, pool_pages);
+    let expect = scaled_fired(items);
+    if mem_fired != expect || paged_fired != expect {
+        return Err(format!(
+            "fired diverged at {items} items: in-memory {mem_fired}, \
+             paged {paged_fired}, expected {expect}"
+        ));
+    }
+    let dump = |db: &relstore::Database| -> Vec<(String, Vec<relstore::Tuple>)> {
+        let mut out: Vec<_> = db
+            .relation_names()
+            .into_iter()
+            .map(|(rid, name)| {
+                let mut rows: Vec<relstore::Tuple> = db
+                    .select(rid, &relstore::Restriction::default())
+                    .expect("dump select")
+                    .into_iter()
+                    .map(|(_, t)| t)
+                    .collect();
+                rows.sort();
+                (name, rows)
+            })
+            .collect();
+        out.sort();
+        out
+    };
+    if dump(sys.engine().pdb().db()) != dump(exec.engine().pdb().db()) {
+        return Err("final working memories diverged between in-memory and paged runs".into());
+    }
+    let ops = exec.engine().pdb().db().stats().snapshot();
+    if ops.pool_evictions == 0 {
+        return Err(format!(
+            "pool of {pool_pages} pages never evicted at {items} items — \
+             the smoke run is not exercising the page layer"
+        ));
+    }
+    Ok(paged_fired)
+}
+
+fn scaled_paged_row(label: &'static str, items: i64, profiled: bool) -> BenchRow {
+    // Best-of-two wall, same rationale as `scaled_row`.
+    let start = Instant::now();
+    let (exec, fired) = scaled_paged_pass(items, SCALED_PAGED_POOL);
+    let mut wall_ns = start.elapsed().as_nanos() as u64;
+    let start = Instant::now();
+    let _ = scaled_paged_pass(items, SCALED_PAGED_POOL);
+    wall_ns = wall_ns.min(start.elapsed().as_nanos() as u64);
+    let (profile, prof_wall_ns, alloc_bytes) = if profiled {
+        let (_, profile, prof_wall_ns, alloc_bytes) =
+            profiled_run(|| scaled_paged_pass(items, SCALED_PAGED_POOL));
+        (profile, prof_wall_ns, alloc_bytes)
+    } else {
+        (obs::Profile::new(), 0, 0)
+    };
+    let engine = exec.engine();
+    let space = engine.space();
+    let (pattern_probes, pattern_scanned) = engine.pattern_io().unwrap_or((0, 0));
+    let ops = engine.pdb().db().stats().snapshot();
+    BenchRow {
+        engine: label,
+        wall_ns,
+        fired,
+        logical_io: ops.logical_io(),
+        match_entries: space.match_entries as u64,
+        match_bytes: space.match_bytes as u64,
+        pattern_probes,
+        pattern_scanned,
+        page_reads: ops.page_reads,
+        page_writes: ops.page_writes,
+        pool_hits: ops.pool_hits,
+        pool_evictions: ops.pool_evictions,
         alloc_bytes,
         prof_wall_ns,
         profile,
@@ -325,15 +466,20 @@ fn scaled_concurrent_row(
     let g = handle.lock();
     let space = g.space();
     let (pattern_probes, pattern_scanned) = g.pattern_io().unwrap_or((0, 0));
+    let ops = g.pdb().db().stats().snapshot();
     BenchRow {
         engine: label,
         wall_ns,
         fired,
-        logical_io: g.pdb().db().stats().snapshot().logical_io(),
+        logical_io: ops.logical_io(),
         match_entries: space.match_entries as u64,
         match_bytes: space.match_bytes as u64,
         pattern_probes,
         pattern_scanned,
+        page_reads: ops.page_reads,
+        page_writes: ops.page_writes,
+        pool_hits: ops.pool_hits,
+        pool_evictions: ops.pool_evictions,
         alloc_bytes,
         prof_wall_ns,
         profile,
@@ -348,7 +494,10 @@ fn scaled_concurrent_row(
 /// `cond` row pins the index off so it stays comparable across
 /// snapshots. Two §5 rows (`concurrent-w1`, `concurrent-w4`) run the
 /// consuming variant of the same skew under simulated I/O latency with
-/// 1 and 4 workers — same fired count, diverging wall clock.
+/// 1 and 4 workers — same fired count, diverging wall clock. A final
+/// `query-paged` row reruns the Query engine over file-backed pages
+/// with a [`SCALED_PAGED_POOL`]-frame buffer pool (§3.2), so its page
+/// counters are live and its `fired` must match the in-memory rows.
 pub fn bench_scaled_rows(items: i64) -> Vec<BenchRow> {
     bench_scaled_rows_with(items, false)
 }
@@ -392,6 +541,7 @@ pub fn bench_scaled_rows_with(items: i64, profiled: bool) -> Vec<BenchRow> {
     ));
     rows.push(scaled_concurrent_row("concurrent-w1", items, 1, profiled));
     rows.push(scaled_concurrent_row("concurrent-w4", items, 4, profiled));
+    rows.push(scaled_paged_row("query-paged", items, profiled));
     rows
 }
 
@@ -408,6 +558,10 @@ fn snapshot_json(workload: &str, items: i64, rows: &[BenchRow]) -> String {
                 .u64("match_bytes", row.match_bytes)
                 .u64("pattern_probes", row.pattern_probes)
                 .u64("pattern_scanned", row.pattern_scanned)
+                .u64("page_reads", row.page_reads)
+                .u64("page_writes", row.page_writes)
+                .u64("pool_hits", row.pool_hits)
+                .u64("pool_evictions", row.pool_evictions)
                 .u64("alloc_bytes", row.alloc_bytes)
                 .raw("hotspots", &{
                     let mut hs = Arr::new();
@@ -459,8 +613,8 @@ mod tests {
         let rows = bench_scaled_rows(items);
         assert_eq!(
             rows.len(),
-            10,
-            "5 engines + cond-indexed + 2 nested-loop baselines + 2 concurrent"
+            11,
+            "5 engines + cond-indexed + 2 nested-loop baselines + 2 concurrent + query-paged"
         );
         let expect = scaled_fired(items);
         assert!(expect > 0);
@@ -518,6 +672,20 @@ mod tests {
             find("concurrent-w4").fired,
             "same committed transactions regardless of workers"
         );
+        // The paged row runs the same join over file-backed pages with a
+        // pool far smaller than the working set: it must actually fault,
+        // write back, and evict — and still fire identically (checked by
+        // the loop above). In-memory rows never touch the page layer.
+        let paged = find("query-paged");
+        assert!(paged.pool_evictions > 0, "pool smaller than working set");
+        assert!(paged.page_reads > 0, "evicted pages faulted back in");
+        assert!(paged.page_writes > 0, "dirty evictions hit the page file");
+        for row in &rows {
+            if row.engine != "query-paged" {
+                assert_eq!(row.page_reads, 0, "{} is in-memory", row.engine);
+                assert_eq!(row.pool_evictions, 0, "{} is in-memory", row.engine);
+            }
+        }
     }
 
     #[test]
@@ -529,7 +697,13 @@ mod tests {
         );
         assert!(json.contains("\"workload\":\"scaled-skew\""), "{json}");
         assert!(json.contains("\"items\":96"), "{json}");
-        for engine in ["query", "cond-indexed", "query-nl", "marker-nl"] {
+        for engine in [
+            "query",
+            "cond-indexed",
+            "query-nl",
+            "marker-nl",
+            "query-paged",
+        ] {
             assert!(
                 json.contains(&format!("{{\"engine\":\"{engine}\",\"wall_ns\":")),
                 "{json}"
@@ -559,6 +733,10 @@ mod tests {
             "match_bytes",
             "pattern_probes",
             "pattern_scanned",
+            "page_reads",
+            "page_writes",
+            "pool_hits",
+            "pool_evictions",
         ] {
             assert!(json.contains(&format!("\"{field}\":")), "{json}");
         }

@@ -26,6 +26,10 @@ const HISTORY_DEFAULT: &str = "BENCH_history.jsonl";
 /// Default `--record` workload size (items).
 const RECORD_DEFAULT_ITEMS: i64 = 24;
 
+/// Default `--paged` smoke workload size (items) — big enough that the
+/// default pool must evict, small enough for CI.
+const PAGED_SMOKE_ITEMS: i64 = 512;
+
 fn t1() {
     let rs = paper::example2_rules();
     println!("\n## T1 — §4.1.1 COND relations for Example 2\n");
@@ -648,8 +652,19 @@ fn usage() {
         "                     N items (clamped to {}) instead of the obs demo; adds",
         bench::SCALED_MAX_ITEMS
     );
-    println!("                     query-nl/marker-nl nested-loop baseline rows and the §5");
-    println!("                     concurrent-w1/concurrent-w4 worker-scaling rows");
+    println!("                     query-nl/marker-nl nested-loop baseline rows, the §5");
+    println!("                     concurrent-w1/concurrent-w4 worker-scaling rows, and a");
+    println!("                     query-paged row over file-backed pages (§3.2)");
+    println!("  --paged            smoke-check paged storage: run the scaled workload on the");
+    println!("                     Query engine in-memory and over file-backed pages, verify");
+    println!("                     identical firings and working memory, require evictions");
+    println!(
+        "                     ({PAGED_SMOKE_ITEMS} items, or --items N; exit 1 on divergence)"
+    );
+    println!(
+        "  --pool-pages N     with --paged: buffer-pool frames (default {})",
+        bench::SCALED_PAGED_POOL
+    );
     println!("  --explain RULE     run the explain workload; print RULE's match plan per");
     println!("                     engine and the full derivation of each of its firings");
     println!("  --profile FILE     run the scaled workload under the span profiler and write");
@@ -711,6 +726,8 @@ fn main() {
     let mut why_not: Option<String> = None;
     let mut engine: Option<String> = None;
     let mut workers: Option<usize> = None;
+    let mut paged = false;
+    let mut pool_pages: Option<usize> = None;
     while let Some(a) = raw.next() {
         match a.as_str() {
             "--help" | "-h" => {
@@ -737,6 +754,14 @@ fn main() {
             "--why" => why = Some(flag_value("--why", &mut raw)),
             "--why-not" => why_not = Some(flag_value("--why-not", &mut raw)),
             "--engine" => engine = Some(flag_value("--engine", &mut raw)),
+            "--paged" => paged = true,
+            "--pool-pages" => {
+                let v = flag_value("--pool-pages", &mut raw);
+                pool_pages = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --pool-pages expects an integer, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--workers" => {
                 let v = flag_value("--workers", &mut raw);
                 workers = Some(v.parse().unwrap_or_else(|_| {
@@ -764,7 +789,12 @@ fn main() {
         || explain_rule.is_some()
         || profile_path.is_some()
         || recorder_requested
-        || check;
+        || check
+        || paged;
+    if pool_pages.is_some() && !paged {
+        eprintln!("error: --pool-pages only applies to --paged (see --help)");
+        std::process::exit(2);
+    }
     if (why.is_some() || why_not.is_some()) && journal.is_none() {
         eprintln!("error: --why/--why-not need --journal FILE (see --help)");
         std::process::exit(2);
@@ -828,9 +858,25 @@ fn main() {
     let history = history.as_deref().unwrap_or(HISTORY_DEFAULT);
     if let Some(path) = bench_path.as_deref() {
         bench_json(path, items, history);
-    } else if items.is_some() && profile_path.is_none() && record.is_none() {
-        eprintln!("error: --items requires --bench-json, --profile, or --record (see --help)");
+    } else if items.is_some() && profile_path.is_none() && record.is_none() && !paged {
+        eprintln!(
+            "error: --items requires --bench-json, --profile, --record, or --paged (see --help)"
+        );
         std::process::exit(2);
+    }
+    if paged {
+        let n = items.unwrap_or(PAGED_SMOKE_ITEMS);
+        let pool = pool_pages.unwrap_or(bench::SCALED_PAGED_POOL);
+        match bench::paged_smoke(n, pool) {
+            Ok(fired) => println!(
+                "paged smoke OK: {fired} fired at {n} items over a {pool}-page pool, \
+                 identical to the in-memory run"
+            ),
+            Err(e) => {
+                eprintln!("paged smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(path) = record.as_deref() {
         record_cmd(path, engine.as_deref(), workers, items);

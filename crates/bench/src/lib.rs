@@ -13,7 +13,8 @@ pub mod recorder;
 
 pub use bench_json::{
     bench_rows, bench_rows_with, bench_scaled_rows, bench_scaled_rows_with, bench_scaled_snapshot,
-    bench_snapshot, scaled_fired, BenchRow, BENCH_SCHEMA, SCALED_MAX_ITEMS,
+    bench_snapshot, paged_smoke, scaled_fired, BenchRow, BENCH_SCHEMA, SCALED_MAX_ITEMS,
+    SCALED_PAGED_POOL,
 };
 pub use experiments::*;
 pub use obs_run::{explain_run, observability_run, ExplainRun, ObsRun};

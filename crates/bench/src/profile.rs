@@ -437,6 +437,10 @@ mod tests {
             match_bytes: 0,
             pattern_probes: 0,
             pattern_scanned: 0,
+            page_reads: 0,
+            page_writes: 0,
+            pool_hits: 0,
+            pool_evictions: 0,
             alloc_bytes: 0,
             prof_wall_ns: 10,
             profile,

@@ -141,8 +141,8 @@ impl ProductionSystem {
 
     /// Snapshot the persistent working memory (§3.2: "the working memory
     /// can reside on secondary storage and be persistent").
-    pub fn save(&self) -> bytes::Bytes {
-        relstore::snapshot::save(self.exec.engine().pdb().db())
+    pub fn save(&self) -> Result<bytes::Bytes> {
+        Ok(relstore::snapshot::save(self.exec.engine().pdb().db())?)
     }
 
     /// Restore a system from a snapshot produced by [`ProductionSystem::save`]
@@ -227,7 +227,7 @@ mod tests {
         let mut sys = ProductionSystem::from_source(SRC, EngineKind::Cond, Strategy::Fifo).unwrap();
         sys.insert("Emp", tuple!["Sam", 5000, "Root"]).unwrap();
         sys.insert("Emp", tuple!["Mike", 6000, "Sam"]).unwrap();
-        let image = sys.save();
+        let image = sys.save().unwrap();
         drop(sys);
 
         let mut back =

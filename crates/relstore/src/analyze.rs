@@ -251,6 +251,10 @@ impl AnalyzeSnapshot {
             .u64("scans", self.ops.scans)
             .u64("pred_evals", self.ops.pred_evals)
             .u64("logical_io", self.ops.logical_io())
+            .u64("page_reads", self.ops.page_reads)
+            .u64("page_writes", self.ops.page_writes)
+            .u64("pool_hits", self.ops.pool_hits)
+            .u64("pool_evictions", self.ops.pool_evictions)
             .finish();
         Obj::new()
             .raw("relations", &rels.finish())

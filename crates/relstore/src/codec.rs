@@ -1,0 +1,243 @@
+//! Shared binary codec for values, tuples, and strings.
+//!
+//! The WAL ([`crate::wal`]), the snapshot writer ([`crate::snapshot`]),
+//! and the heap pages ([`crate::page`]) all serialize the same value
+//! vocabulary; earlier revisions each carried a private copy of these
+//! helpers, and each copy silently truncated string lengths with
+//! `len as u32` — an oversized string produced an undecodable record.
+//! This module is the single implementation, with an explicit length cap
+//! enforced at encode time, plus the CRC-32 used to frame WAL records.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{Error, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Longest encodable string, in bytes. Far below `u32::MAX` so the cap is
+/// testable, and far above any OPS5 symbol a production system stores.
+pub const MAX_STR_BYTES: usize = 16 << 20; // 16 MiB
+
+/// Append a length-prefixed string; rejects strings over
+/// [`MAX_STR_BYTES`] instead of truncating the length prefix.
+pub fn put_str(buf: &mut BytesMut, s: &str) -> Result<()> {
+    if s.len() > MAX_STR_BYTES {
+        return Err(Error::TooLarge("string exceeds the 16 MiB codec limit"));
+    }
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Decode a string written by [`put_str`].
+pub fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corrupt("string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > MAX_STR_BYTES {
+        return Err(Error::Corrupt("string length over codec limit"));
+    }
+    if buf.remaining() < len {
+        return Err(Error::Corrupt("string body"));
+    }
+    String::from_utf8(buf.copy_to_bytes(len).to_vec()).map_err(|_| Error::Corrupt("string utf8"))
+}
+
+/// Append one tagged value.
+pub fn put_value(buf: &mut BytesMut, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(3);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s)?;
+        }
+    }
+    Ok(())
+}
+
+/// Decode a value written by [`put_value`].
+pub fn get_value(buf: &mut Bytes) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(Error::Corrupt("value tag"));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            if !buf.has_remaining() {
+                return Err(Error::Corrupt("bool body"));
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(Error::Corrupt("int body"));
+            }
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(Error::Corrupt("float body"));
+            }
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        4 => Ok(Value::from(get_str(buf)?)),
+        _ => Err(Error::Corrupt("unknown value tag")),
+    }
+}
+
+/// Append an arity-prefixed tuple.
+pub fn put_tuple(buf: &mut BytesMut, t: &Tuple) -> Result<()> {
+    buf.put_u32_le(t.arity() as u32);
+    for v in t.values() {
+        put_value(buf, v)?;
+    }
+    Ok(())
+}
+
+/// Decode a tuple written by [`put_tuple`].
+pub fn get_tuple(buf: &mut Bytes) -> Result<Tuple> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corrupt("tuple arity"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut vals = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        vals.push(get_value(buf)?);
+    }
+    Ok(Tuple::new(vals))
+}
+
+/// Encode a tuple standalone (heap-page record payloads).
+pub fn encode_tuple(t: &Tuple) -> Result<Bytes> {
+    let mut buf = BytesMut::new();
+    put_tuple(&mut buf, t)?;
+    Ok(buf.freeze())
+}
+
+/// Decode a standalone tuple payload written by [`encode_tuple`].
+pub fn decode_tuple(bytes: &[u8]) -> Result<Tuple> {
+    let mut b = Bytes::from(bytes);
+    get_tuple(&mut b)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
+/// compile time — the frame checksum must not pull in a dependency.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 over several byte slices.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// Finish and return the checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental == one-shot.
+        let mut inc = Crc32::new();
+        inc.update(b"1234");
+        inc.update(b"56789");
+        assert_eq!(inc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = tuple!["Mike", 6000.5, Value::Null, true, -3];
+        let enc = encode_tuple(&t).unwrap();
+        assert_eq!(decode_tuple(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn oversized_string_rejected_not_truncated() {
+        let big = "x".repeat(MAX_STR_BYTES + 1);
+        let mut buf = BytesMut::new();
+        assert!(matches!(put_str(&mut buf, &big), Err(Error::TooLarge(_))));
+        assert!(buf.is_empty(), "nothing written on rejection");
+        let t = Tuple::new(vec![Value::from(big)]);
+        assert!(matches!(encode_tuple(&t), Err(Error::TooLarge(_))));
+        // A string at the limit still encodes.
+        let ok = "x".repeat(64);
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, &ok).unwrap();
+        assert_eq!(get_str(&mut buf.freeze()).unwrap(), ok);
+    }
+
+    #[test]
+    fn truncated_payloads_reported_corrupt() {
+        let t = tuple![1, "abc"];
+        let enc = encode_tuple(&t).unwrap();
+        for cut in 0..enc.len() {
+            assert!(decode_tuple(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! [`Database::begin`].
 
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -15,13 +17,33 @@ use parking_lot::RwLock;
 
 use crate::analyze::AnalyzeRegistry;
 use crate::error::{Error, Result};
+use crate::pool::BufferPool;
 use crate::pred::Restriction;
 use crate::relation::Relation;
 use crate::schema::{RelId, Schema};
 use crate::stats::Stats;
 use crate::tuple::{Tuple, TupleId};
 use crate::txn::{LockManager, Txn, TxnManager};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{TornTail, Wal, WalRecord};
+
+/// Paged-mode state: the storage directory and the buffer pool every
+/// relation of this database draws pages from.
+#[derive(Debug)]
+struct PagedMeta {
+    dir: PathBuf,
+    pool: Arc<BufferPool>,
+}
+
+/// What [`Database::open_paged`] found on disk and did about it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Logical WAL records replayed on top of the checkpoint.
+    pub records_replayed: usize,
+    /// A torn tail found (and truncated) in the log file, if any.
+    pub torn: Option<TornTail>,
+    /// Whether a checkpoint snapshot was present and loaded.
+    pub snapshot_loaded: bool,
+}
 
 /// A shared, thread-safe database.
 pub struct Database {
@@ -32,6 +54,7 @@ pub struct Database {
     txns: TxnManager,
     analyze: AnalyzeRegistry,
     wal: RwLock<Option<Arc<Wal>>>,
+    paged: Option<PagedMeta>,
     /// Simulated secondary-storage latency per tuple touched by the
     /// database-level access paths, in nanoseconds (0 = off). Sleeping
     /// rather than spinning, so concurrent transactions overlap their
@@ -61,8 +84,119 @@ impl Database {
             analyze: AnalyzeRegistry::new(),
             stats,
             wal: RwLock::new(None),
+            paged: None,
             io_cost_ns: AtomicU64::new(0),
             fault_after: AtomicI64::new(-1),
+        }
+    }
+
+    /// Create a paged database rooted at directory `path`: tuple storage
+    /// on heap pages in `data.pages` behind a `pool_pages`-frame buffer
+    /// pool, with a file-backed WAL (`wal.log`) attached from the start.
+    /// Any prior state in the directory is discarded; use
+    /// [`Database::open_paged`] to recover instead.
+    pub fn new_paged(path: impl AsRef<Path>, pool_pages: usize) -> Result<Database> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut db = Database::new();
+        let pool = Arc::new(BufferPool::create(
+            &dir.join("data.pages"),
+            pool_pages,
+            db.stats.clone(),
+        )?);
+        let wal = Arc::new(Wal::create(&dir.join("wal.log"))?);
+        pool.set_wal(wal.clone());
+        // Remove any stale checkpoint so a later open_paged can't resurrect
+        // state this fresh database never held.
+        let _ = std::fs::remove_file(dir.join("checkpoint.snap"));
+        *db.wal.get_mut() = Some(wal);
+        db.paged = Some(PagedMeta { dir, pool });
+        Ok(db)
+    }
+
+    /// Recover a paged database from directory `path`: load the
+    /// checkpoint snapshot if present, replay the WAL's valid prefix
+    /// (truncating any torn tail), and resume logging where the LSN
+    /// sequence left off. The page file is rebuilt during replay — pages
+    /// are a runtime overflow medium, the checkpoint + WAL are the
+    /// durable source of truth.
+    pub fn open_paged(
+        path: impl AsRef<Path>,
+        pool_pages: usize,
+    ) -> Result<(Database, RecoveryReport)> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let (wal, records, torn) = Wal::open(&dir.join("wal.log"))?;
+        let mut db = Database::new();
+        let pool = Arc::new(BufferPool::create(
+            &dir.join("data.pages"),
+            pool_pages,
+            db.stats.clone(),
+        )?);
+        db.paged = Some(PagedMeta {
+            dir: dir.clone(),
+            pool: pool.clone(),
+        });
+        let snap_path = dir.join("checkpoint.snap");
+        let snapshot_loaded = snap_path.exists();
+        if snapshot_loaded {
+            let bytes = std::fs::read(&snap_path)?;
+            crate::snapshot::load_into(bytes.into(), &db)?;
+        }
+        // Replay with the WAL still detached so replayed operations are
+        // not re-logged; LSNs continue from the recovered position.
+        let records_replayed = records.len();
+        for (_, rec) in records {
+            crate::wal::apply_record(&db, rec)?;
+        }
+        let wal = Arc::new(wal);
+        pool.set_wal(wal.clone());
+        *db.wal.write() = Some(wal);
+        Ok((
+            db,
+            RecoveryReport {
+                records_replayed,
+                torn,
+                snapshot_loaded,
+            },
+        ))
+    }
+
+    /// True when tuple storage lives on heap pages.
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// Checkpoint a paged database: write a snapshot atomically
+    /// (tmp + fsync + rename), flush dirty pages WAL-first, and truncate
+    /// the log. After this, [`Database::open_paged`] recovers from the
+    /// snapshot alone.
+    pub fn checkpoint(&self) -> Result<()> {
+        let paged = self
+            .paged
+            .as_ref()
+            .ok_or_else(|| Error::Io("checkpoint requires a paged database".into()))?;
+        let bytes = crate::snapshot::save(self)?;
+        let tmp = paged.dir.join("checkpoint.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, paged.dir.join("checkpoint.snap"))?;
+        paged.pool.flush_all()?;
+        if let Some(wal) = self.wal.read().as_ref() {
+            wal.truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Make the WAL durable through its latest record (fsync when
+    /// file-backed). Called on transaction commit; a no-op without a WAL.
+    pub fn sync_wal(&self) -> Result<()> {
+        match self.wal.read().as_ref() {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
         }
     }
 
@@ -117,24 +251,29 @@ impl Database {
         wal
     }
 
-    fn log(&self, rec: WalRecord) {
+    /// The WAL handle, if logging is on (cloned out so relation latches
+    /// are never held while taking the registry lock).
+    fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.wal.read().clone()
+    }
+
+    fn log(&self, rec: WalRecord) -> Result<()> {
         if let Some(wal) = self.wal.read().as_ref() {
-            wal.append(&rec);
+            wal.append(&rec)?;
         }
+        Ok(())
     }
 
     /// Create a hash index, logged to the WAL.
     pub fn create_hash_index(&self, rid: RelId, attr: usize) -> Result<()> {
         self.write(rid, |r| r.create_hash_index(attr))??;
-        self.log(WalRecord::CreateHashIndex { rel: rid, attr });
-        Ok(())
+        self.log(WalRecord::CreateHashIndex { rel: rid, attr })
     }
 
     /// Create an ordered index, logged to the WAL.
     pub fn create_ord_index(&self, rid: RelId, attr: usize) -> Result<()> {
         self.write(rid, |r| r.create_ord_index(attr))??;
-        self.log(WalRecord::CreateOrdIndex { rel: rid, attr });
-        Ok(())
+        self.log(WalRecord::CreateOrdIndex { rel: rid, attr })
     }
 
     /// Shared operation counters for the whole database.
@@ -166,16 +305,16 @@ impl Database {
         }
         let mut rels = self.relations.write();
         let rid = RelId(rels.len() as u32);
-        names.insert(schema.name().to_string(), rid);
         self.log(WalRecord::CreateRelation {
             name: schema.name().to_string(),
             attrs: schema.attrs().iter().map(|a| a.name.to_string()).collect(),
-        });
-        rels.push(Arc::new(RwLock::new(Relation::new(
-            rid,
-            schema,
-            self.stats.clone(),
-        ))));
+        })?;
+        names.insert(schema.name().to_string(), rid);
+        let relation = match &self.paged {
+            Some(paged) => Relation::new_paged(rid, schema, self.stats.clone(), paged.pool.clone()),
+            None => Relation::new(rid, schema, self.stats.clone()),
+        };
+        rels.push(Arc::new(RwLock::new(relation)));
         Ok(rid)
     }
 
@@ -231,48 +370,40 @@ impl Database {
         self.read(rid, |r| r.schema().clone())
     }
 
-    /// Insert a tuple directly (no logical locking).
+    /// Insert a tuple directly (no logical locking). The WAL record is
+    /// appended before the page write, under the relation's write latch.
     pub fn insert(&self, rid: RelId, tuple: Tuple) -> Result<TupleId> {
-        let tid = self.write(rid, |r| r.insert(tuple.clone()))??;
+        let wal = self.wal_handle();
+        let tid = self.write(rid, |r| r.insert_logged(tuple, wal.as_deref()))??;
         self.charge_io(1);
-        self.log(WalRecord::Insert { rel: rid, tuple });
         Ok(tid)
     }
 
-    /// Delete a tuple directly (no logical locking).
+    /// Delete a tuple directly (no logical locking). WAL-first, like
+    /// [`Database::insert`].
     pub fn delete(&self, rid: RelId, tid: TupleId) -> Result<Tuple> {
-        let tuple = self.write(rid, |r| r.delete(tid))??;
-        self.log(WalRecord::Delete {
-            rel: rid,
-            tuple: tuple.clone(),
-        });
-        Ok(tuple)
+        let wal = self.wal_handle();
+        self.write(rid, |r| r.delete_logged(tid, wal.as_deref()))?
     }
 
     /// Delete the first tuple equal to `tuple` (OPS5 `remove` semantics).
     /// Returns the deleted tuple's id, or `None` when absent.
     pub fn delete_equal(&self, rid: RelId, tuple: &Tuple) -> Result<Option<TupleId>> {
-        let deleted = self.write(rid, |r| -> Result<Option<TupleId>> {
+        let wal = self.wal_handle();
+        self.write(rid, |r| -> Result<Option<TupleId>> {
             match r.find_equal(tuple) {
                 Some(tid) => {
-                    r.delete(tid)?;
+                    r.delete_logged(tid, wal.as_deref())?;
                     Ok(Some(tid))
                 }
                 None => Ok(None),
             }
-        })??;
-        if deleted.is_some() {
-            self.log(WalRecord::Delete {
-                rel: rid,
-                tuple: tuple.clone(),
-            });
-        }
-        Ok(deleted)
+        })?
     }
 
-    /// Fetch a tuple by id (cloned).
+    /// Fetch a tuple by id (owned).
     pub fn get(&self, rid: RelId, tid: TupleId) -> Result<Tuple> {
-        self.read(rid, |r| r.get(tid).cloned())?
+        self.read(rid, |r| r.get(tid))?
     }
 
     /// Live tuple count of a relation; 0 when the id is invalid (planner

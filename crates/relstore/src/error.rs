@@ -33,8 +33,14 @@ pub enum Error {
     /// A lock request conflicted with the 2PL protocol (e.g. acquiring
     /// after the shrink phase started).
     LockProtocol(&'static str),
-    /// Snapshot bytes were malformed.
+    /// Snapshot, WAL, or page bytes were malformed.
     Corrupt(&'static str),
+    /// A value exceeded an encode-time size limit (e.g. a string longer
+    /// than [`crate::codec::MAX_STR_BYTES`]); rejected up front rather
+    /// than written as an undecodable record.
+    TooLarge(&'static str),
+    /// An operating-system I/O failure from the page file or log file.
+    Io(String),
     /// A query referenced a term index that does not exist.
     BadQueryTerm(usize),
     /// A fault armed via [`crate::Database::inject_fault_after`] fired —
@@ -76,7 +82,9 @@ impl fmt::Display for Error {
             Error::Deadlock(txn) => write!(f, "transaction {} aborted: deadlock victim", txn.0),
             Error::TxnFinished(txn) => write!(f, "transaction {} already finished", txn.0),
             Error::LockProtocol(msg) => write!(f, "lock protocol violation: {msg}"),
-            Error::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::TooLarge(msg) => write!(f, "value too large to encode: {msg}"),
+            Error::Io(msg) => write!(f, "storage i/o error: {msg}"),
             Error::BadQueryTerm(i) => write!(f, "query references unknown term {i}"),
             Error::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
@@ -84,6 +92,12 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -28,10 +28,13 @@
 //! ```
 
 pub mod analyze;
+pub mod codec;
 pub mod database;
 pub mod error;
 pub mod index;
 pub mod journal;
+pub mod page;
+pub mod pool;
 pub mod pred;
 pub mod query;
 pub mod relation;
@@ -46,9 +49,11 @@ pub mod wal;
 pub use analyze::{
     analyze, AnalyzeRegistry, AnalyzeSnapshot, AttrStats, ObservedCounts, RelationProfile,
 };
-pub use database::Database;
+pub use database::{Database, RecoveryReport};
 pub use error::{Error, Result};
 pub use journal::{ingest, wm_as_of, JournalRels};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pool::{BufferPool, PageManager};
 pub use pred::{AttrTest, CompOp, Restriction, Selection};
 pub use query::{
     BatchExecutor, Binding, ConjunctiveQuery, ExecProfile, JoinAlgo, JoinPred, Plan, Planner,
@@ -60,4 +65,4 @@ pub use stats::{OpSnapshot, Stats};
 pub use tuple::{Tuple, TupleId};
 pub use txn::{LockManager, LockMode, LockTarget, Txn, TxnId};
 pub use value::{Value, ValueType};
-pub use wal::{recover, Wal, WalRecord};
+pub use wal::{recover, recover_with_report, TornTail, Wal, WalCursor, WalRecord};

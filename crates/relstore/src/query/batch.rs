@@ -339,15 +339,16 @@ impl<'a> BatchExecutor<'a> {
     }
 
     /// Existence check: true when at least one binding satisfies the
-    /// query. Evaluates the full binding set like [`BatchExecutor::exec`]
-    /// (set-at-a-time evaluation has no per-binding early exit); prefer
-    /// `exec` when the bindings themselves are needed.
+    /// query. Set-at-a-time evaluation has no per-binding early exit, so
+    /// this delegates to the tuple-at-a-time executor's first-witness
+    /// search ([`QueryExecutor::exists`]) instead of materializing and
+    /// discarding every binding.
     pub fn exists(
         &self,
         query: &ConjunctiveQuery,
         seed: Option<(usize, TupleId, &Tuple)>,
     ) -> Result<bool> {
-        Ok(!self.exec(query, seed)?.is_empty())
+        super::QueryExecutor::new(self.db).exists(query, seed)
     }
 }
 

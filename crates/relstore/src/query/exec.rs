@@ -210,14 +210,53 @@ impl<'a> QueryExecutor<'a> {
     }
 
     /// Existence check: true when at least one binding satisfies the
-    /// query. Implemented as a full `exec` (no early exit); prefer
-    /// `exec` when the bindings themselves are needed.
+    /// query. Stops at the first witness instead of materializing every
+    /// binding — at each plan step the search returns as soon as one
+    /// candidate extends to a full, negation-clear binding.
     pub fn exists(
         &self,
         query: &ConjunctiveQuery,
         seed: Option<(usize, TupleId, &Tuple)>,
     ) -> Result<bool> {
-        Ok(!self.exec(query, seed)?.is_empty())
+        obs::prof_span!("query.exists");
+        if query.terms.is_empty() {
+            return Ok(false);
+        }
+        if let Some((t, _, tuple)) = seed {
+            if !query.terms[t].restriction.matches(tuple) {
+                return Ok(false);
+            }
+        }
+        let plan = Planner::new(self.db).plan(query, seed.map(|(t, _, _)| t));
+        let mut partial: Vec<Option<(TupleId, Tuple)>> = vec![None; query.terms.len()];
+        if let Some((t, tid, tuple)) = seed {
+            partial[t] = Some((tid, tuple.clone()));
+        }
+        let start = usize::from(seed.is_some());
+        self.extend_first(query, &plan.order, start, &mut partial)
+    }
+
+    /// [`QueryExecutor::extend`] that stops at the first full binding.
+    fn extend_first(
+        &self,
+        query: &ConjunctiveQuery,
+        order: &[usize],
+        step: usize,
+        partial: &mut Vec<Option<(TupleId, Tuple)>>,
+    ) -> Result<bool> {
+        if step == order.len() {
+            return self.negated_terms_clear(query, partial);
+        }
+        let t = order[step];
+        for (tid, tuple) in self.candidates(query, t, partial)? {
+            partial[t] = Some((tid, tuple));
+            let found = self.extend_first(query, order, step + 1, partial)?;
+            partial[t] = None;
+            if found {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -427,6 +466,52 @@ mod tests {
             vec![],
         );
         assert!(QueryExecutor::new(&db).exists(&q, None).unwrap());
+        let none = ConjunctiveQuery::new(
+            vec![QueryTerm::new(
+                emp,
+                Restriction::new(vec![Selection::eq(0, "Nobody")]),
+            )],
+            vec![],
+        );
+        assert!(!QueryExecutor::new(&db).exists(&none, None).unwrap());
+    }
+
+    #[test]
+    fn exists_touches_fewer_tuples_than_exec() {
+        // Unindexed A ⋈ B where every pair joins: exec materializes the
+        // full cross product, exists must stop at the first witness.
+        let db = Database::new();
+        let a = db.create_relation(Schema::new("A", ["k"])).unwrap();
+        let b = db.create_relation(Schema::new("B", ["k"])).unwrap();
+        for _ in 0..50 {
+            db.insert(a, tuple![1]).unwrap();
+            db.insert(b, tuple![1]).unwrap();
+        }
+        let q = ConjunctiveQuery::new(
+            vec![
+                QueryTerm::new(a, Restriction::default()),
+                QueryTerm::new(b, Restriction::default()),
+            ],
+            vec![JoinPred::eq(0, 0, 1, 0)],
+        );
+        let s0 = db.stats().snapshot();
+        let res = QueryExecutor::new(&db).exec(&q, None).unwrap();
+        let exec_reads = db.stats().snapshot().since(&s0).tuples_read;
+        assert_eq!(res.len(), 2500);
+        let s1 = db.stats().snapshot();
+        assert!(QueryExecutor::new(&db).exists(&q, None).unwrap());
+        let exists_reads = db.stats().snapshot().since(&s1).tuples_read;
+        assert!(
+            exists_reads * 10 < exec_reads,
+            "exists read {exists_reads} tuples vs exec's {exec_reads}"
+        );
+        // The batch executor's exists takes the same first-witness path.
+        let s2 = db.stats().snapshot();
+        assert!(crate::query::BatchExecutor::new(&db)
+            .exists(&q, None)
+            .unwrap());
+        let batch_reads = db.stats().snapshot().since(&s2).tuples_read;
+        assert!(batch_reads * 10 < exec_reads);
     }
 
     #[test]

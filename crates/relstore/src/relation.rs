@@ -1,29 +1,81 @@
 //! A single relation: slotted tuple storage plus secondary indexes.
+//!
+//! Storage comes in two modes. The default keeps tuples in an in-memory
+//! slot vector. Paged mode ([`Relation::new_paged`]) makes the paper's
+//! §3.2 premise literal: tuple payloads live as records on heap pages
+//! behind a [`BufferPool`], and only a thin slot directory (generation +
+//! page location) plus the secondary indexes stay in memory. Both modes
+//! share identical ids, index maintenance, and logical-I/O accounting,
+//! so every engine runs unchanged on either.
+//!
+//! Mutations go through [`Relation::insert_logged`] /
+//! [`Relation::delete_logged`], which append the WAL record *before*
+//! touching any page — under the relation's write latch, so the log
+//! order matches the apply order and a page can never carry a change
+//! whose log record does not precede it.
 
+use std::sync::Arc;
+
+use crate::codec;
 use crate::error::{Error, Result};
 use crate::index::{HashIndex, OrdIndex};
+use crate::page::{PageId, MAX_RECORD};
+use crate::pool::BufferPool;
 use crate::pred::{CompOp, Restriction, Selection};
 use crate::schema::{AttrIdx, RelId, Schema};
 use crate::stats::Stats;
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
+use crate::wal::{Wal, WalRecord};
 
-/// One storage slot. Deleted slots keep their generation so stale
-/// [`TupleId`]s can be rejected instead of silently resolving to a new
-/// occupant.
+/// One in-memory storage slot. Deleted slots keep their generation so
+/// stale [`TupleId`]s can be rejected instead of silently resolving to a
+/// new occupant.
 #[derive(Debug, Clone)]
-struct Slot {
+struct MemSlot {
     gen: u32,
     tuple: Option<Tuple>,
 }
 
+/// One paged-mode slot: same generation discipline, but the payload
+/// lives on a heap page.
+#[derive(Debug, Clone)]
+struct PagedSlot {
+    gen: u32,
+    loc: Option<(PageId, u16)>,
+}
+
+#[derive(Debug)]
+struct PagedStore {
+    pool: Arc<BufferPool>,
+    slots: Vec<PagedSlot>,
+    /// Pages owned by this relation with a cached usable-free-bytes hint
+    /// (kept current on every insert/delete touching the page).
+    pages: Vec<(PageId, u16)>,
+}
+
+/// Fetch and decode a live record. A live slot pointing at an unreadable
+/// or undecodable record means the page file is corrupt underneath us —
+/// unrecoverable mid-run, so read paths treat it as fatal.
+fn read_page_tuple(pool: &BufferPool, pid: PageId, idx: u16) -> Tuple {
+    pool.with_page(pid, |page| page.record(idx).and_then(codec::decode_tuple))
+        .and_then(|r| r)
+        .expect("paged storage: live slot must resolve to a decodable record")
+}
+
+#[derive(Debug)]
+enum Store {
+    Mem(Vec<MemSlot>),
+    Paged(PagedStore),
+}
+
 /// A relation with slotted storage, optional per-attribute indexes, and
 /// logical I/O accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Relation {
     id: RelId,
     schema: Schema,
-    slots: Vec<Slot>,
+    store: Store,
     free: Vec<u32>,
     live: usize,
     hash_indexes: Vec<Option<HashIndex>>,
@@ -33,13 +85,32 @@ pub struct Relation {
 }
 
 impl Relation {
-    /// Create a new, empty instance.
+    /// Create a new, empty in-memory relation.
     pub fn new(id: RelId, schema: Schema, stats: Stats) -> Self {
+        Relation::with_store(id, schema, stats, Store::Mem(Vec::new()))
+    }
+
+    /// Create a new, empty relation whose tuples live on heap pages
+    /// drawn from `pool`.
+    pub fn new_paged(id: RelId, schema: Schema, stats: Stats, pool: Arc<BufferPool>) -> Self {
+        Relation::with_store(
+            id,
+            schema,
+            stats,
+            Store::Paged(PagedStore {
+                pool,
+                slots: Vec::new(),
+                pages: Vec::new(),
+            }),
+        )
+    }
+
+    fn with_store(id: RelId, schema: Schema, stats: Stats, store: Store) -> Self {
         let arity = schema.arity();
         Relation {
             id,
             schema,
-            slots: Vec::new(),
+            store,
             free: Vec::new(),
             live: 0,
             hash_indexes: vec![None; arity],
@@ -47,6 +118,11 @@ impl Relation {
             stats,
             version: 0,
         }
+    }
+
+    /// True when tuples live on heap pages rather than in memory.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.store, Store::Paged(_))
     }
 
     /// Write-version counter: bumped on every insert, delete, or clear.
@@ -91,13 +167,55 @@ impl Relation {
         Ok(())
     }
 
+    /// Visit every live tuple without I/O accounting (internal). Paged
+    /// mode decodes each record through the buffer pool.
+    fn for_each_live(&self, mut f: impl FnMut(TupleId, &Tuple)) {
+        match &self.store {
+            Store::Mem(slots) => {
+                for (i, s) in slots.iter().enumerate() {
+                    if let Some(t) = &s.tuple {
+                        f(TupleId::new(i as u32, s.gen), t);
+                    }
+                }
+            }
+            Store::Paged(p) => {
+                for (i, s) in p.slots.iter().enumerate() {
+                    if let Some((pid, idx)) = s.loc {
+                        let t = read_page_tuple(&p.pool, pid, idx);
+                        f(TupleId::new(i as u32, s.gen), &t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolve a tuple id to its (owned) tuple, if live. In-memory this
+    /// is an `Arc` bump; paged mode decodes from the page.
+    fn live_tuple(&self, tid: TupleId) -> Option<Tuple> {
+        match &self.store {
+            Store::Mem(slots) => {
+                let s = slots.get(tid.slot as usize)?;
+                if s.gen != tid.gen {
+                    return None;
+                }
+                s.tuple.clone()
+            }
+            Store::Paged(p) => {
+                let s = p.slots.get(tid.slot as usize)?;
+                if s.gen != tid.gen {
+                    return None;
+                }
+                let (pid, idx) = s.loc?;
+                Some(read_page_tuple(&p.pool, pid, idx))
+            }
+        }
+    }
+
     /// Build (or rebuild) a hash index on `attr`.
     pub fn create_hash_index(&mut self, attr: AttrIdx) -> Result<()> {
         self.check_attr(attr)?;
         let mut idx = HashIndex::new();
-        for (tid, t) in self.iter_live() {
-            idx.insert(t[attr].clone(), tid);
-        }
+        self.for_each_live(|tid, t| idx.insert(t[attr].clone(), tid));
         self.hash_indexes[attr] = Some(idx);
         Ok(())
     }
@@ -106,9 +224,7 @@ impl Relation {
     pub fn create_ord_index(&mut self, attr: AttrIdx) -> Result<()> {
         self.check_attr(attr)?;
         let mut idx = OrdIndex::new();
-        for (tid, t) in self.iter_live() {
-            idx.insert(t[attr].clone(), tid);
-        }
+        self.for_each_live(|tid, t| idx.insert(t[attr].clone(), tid));
         self.ord_indexes[attr] = Some(idx);
         Ok(())
     }
@@ -123,8 +239,16 @@ impl Relation {
         self.ord_indexes.get(attr).is_some_and(Option::is_some)
     }
 
-    /// Insert a tuple, returning its id.
+    /// Insert a tuple, returning its id (unlogged convenience).
     pub fn insert(&mut self, tuple: Tuple) -> Result<TupleId> {
+        self.insert_logged(tuple, None)
+    }
+
+    /// Insert a tuple, appending the WAL record *before* the page write.
+    /// The returned LSN tags the touched page so eviction can enforce
+    /// write-ahead ordering. Callers hold the relation's write latch, so
+    /// log order equals apply order.
+    pub(crate) fn insert_logged(&mut self, tuple: Tuple, wal: Option<&Wal>) -> Result<TupleId> {
         if tuple.arity() != self.schema.arity() {
             return Err(Error::ArityMismatch {
                 relation: self.name().to_string(),
@@ -132,19 +256,85 @@ impl Relation {
                 got: tuple.arity(),
             });
         }
-        let tid = match self.free.pop() {
-            Some(slot) => {
-                let s = &mut self.slots[slot as usize];
-                s.tuple = Some(tuple.clone());
-                TupleId::new(slot, s.gen)
+        // Encode first in paged mode: an unencodable tuple must fail
+        // before anything is logged or touched.
+        let encoded = match &self.store {
+            Store::Paged(_) => {
+                let rec = codec::encode_tuple(&tuple)?;
+                if rec.len() > MAX_RECORD {
+                    return Err(Error::TooLarge("encoded tuple exceeds page capacity"));
+                }
+                Some(rec)
             }
-            None => {
-                let slot = self.slots.len() as u32;
-                self.slots.push(Slot {
-                    gen: 0,
-                    tuple: Some(tuple.clone()),
-                });
-                TupleId::new(slot, 0)
+            Store::Mem(_) => None,
+        };
+        let lsn = match wal {
+            Some(w) => w.append(&WalRecord::Insert {
+                rel: self.id,
+                tuple: tuple.clone(),
+            })?,
+            None => 0,
+        };
+        let tid = match &mut self.store {
+            Store::Mem(slots) => match self.free.pop() {
+                Some(slot) => {
+                    let s = &mut slots[slot as usize];
+                    s.tuple = Some(tuple.clone());
+                    TupleId::new(slot, s.gen)
+                }
+                None => {
+                    let slot = slots.len() as u32;
+                    slots.push(MemSlot {
+                        gen: 0,
+                        tuple: Some(tuple.clone()),
+                    });
+                    TupleId::new(slot, 0)
+                }
+            },
+            Store::Paged(p) => {
+                let rec = encoded.expect("encoded in paged mode");
+                let need = rec.len() + 4;
+                let mut placed = None;
+                for entry in p.pages.iter_mut() {
+                    if (entry.1 as usize) < need {
+                        continue;
+                    }
+                    let (slot, usable) = p.pool.with_page_mut(entry.0, lsn, |page| {
+                        (page.insert(&rec), page.usable_bytes() as u16)
+                    })?;
+                    entry.1 = usable;
+                    if let Some(idx) = slot {
+                        placed = Some((entry.0, idx));
+                        break;
+                    }
+                }
+                let (pid, idx) = match placed {
+                    Some(loc) => loc,
+                    None => {
+                        let pid = p.pool.alloc_page()?;
+                        let (idx, usable) = p.pool.with_page_mut(pid, lsn, |page| {
+                            let idx = page.insert(&rec).expect("fresh page fits checked record");
+                            (idx, page.usable_bytes() as u16)
+                        })?;
+                        p.pages.push((pid, usable));
+                        (pid, idx)
+                    }
+                };
+                match self.free.pop() {
+                    Some(slot) => {
+                        let s = &mut p.slots[slot as usize];
+                        s.loc = Some((pid, idx));
+                        TupleId::new(slot, s.gen)
+                    }
+                    None => {
+                        let slot = p.slots.len() as u32;
+                        p.slots.push(PagedSlot {
+                            gen: 0,
+                            loc: Some((pid, idx)),
+                        });
+                        TupleId::new(slot, 0)
+                    }
+                }
             }
         };
         for (attr, idx) in self.hash_indexes.iter_mut().enumerate() {
@@ -163,17 +353,43 @@ impl Relation {
         Ok(tid)
     }
 
-    /// Delete by id, returning the removed tuple.
+    /// Delete by id, returning the removed tuple (unlogged convenience).
     pub fn delete(&mut self, tid: TupleId) -> Result<Tuple> {
-        let slot = self
-            .slots
-            .get_mut(tid.slot as usize)
+        self.delete_logged(tid, None)
+    }
+
+    /// Delete by id, appending the WAL record before the page mutation
+    /// (see [`Relation::insert_logged`] for the ordering argument).
+    pub(crate) fn delete_logged(&mut self, tid: TupleId, wal: Option<&Wal>) -> Result<Tuple> {
+        let tuple = self
+            .live_tuple(tid)
             .ok_or(Error::NoSuchTuple(self.id, tid.pack()))?;
-        if slot.gen != tid.gen || slot.tuple.is_none() {
-            return Err(Error::NoSuchTuple(self.id, tid.pack()));
+        let lsn = match wal {
+            Some(w) => w.append(&WalRecord::Delete {
+                rel: self.id,
+                tuple: tuple.clone(),
+            })?,
+            None => 0,
+        };
+        match &mut self.store {
+            Store::Mem(slots) => {
+                let s = &mut slots[tid.slot as usize];
+                s.tuple = None;
+                s.gen = s.gen.wrapping_add(1);
+            }
+            Store::Paged(p) => {
+                let s = &mut p.slots[tid.slot as usize];
+                let (pid, idx) = s.loc.take().expect("checked live");
+                s.gen = s.gen.wrapping_add(1);
+                let usable = p.pool.with_page_mut(pid, lsn, |page| {
+                    page.delete(idx)?;
+                    Ok::<u16, Error>(page.usable_bytes() as u16)
+                })??;
+                if let Some(entry) = p.pages.iter_mut().find(|e| e.0 == pid) {
+                    entry.1 = usable;
+                }
+            }
         }
-        let tuple = slot.tuple.take().expect("checked live");
-        slot.gen = slot.gen.wrapping_add(1);
         self.free.push(tid.slot);
         self.live -= 1;
         for (attr, idx) in self.hash_indexes.iter_mut().enumerate() {
@@ -191,41 +407,34 @@ impl Relation {
         Ok(tuple)
     }
 
-    /// Fetch a tuple by id.
-    pub fn get(&self, tid: TupleId) -> Result<&Tuple> {
-        let slot = self
-            .slots
-            .get(tid.slot as usize)
-            .ok_or(Error::NoSuchTuple(self.id, tid.pack()))?;
-        if slot.gen != tid.gen {
-            return Err(Error::NoSuchTuple(self.id, tid.pack()));
-        }
+    /// Fetch a tuple by id. Owned: in-memory mode this is an `Arc` bump;
+    /// paged mode decodes the record from its page.
+    pub fn get(&self, tid: TupleId) -> Result<Tuple> {
         self.stats.read_tuples(1);
-        slot.tuple
-            .as_ref()
+        self.live_tuple(tid)
             .ok_or(Error::NoSuchTuple(self.id, tid.pack()))
     }
 
     /// True when `tid` names a live tuple.
     pub fn contains(&self, tid: TupleId) -> bool {
-        self.slots
-            .get(tid.slot as usize)
-            .is_some_and(|s| s.gen == tid.gen && s.tuple.is_some())
-    }
-
-    /// Iterate over live tuples without I/O accounting (internal).
-    fn iter_live(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.tuple.as_ref().map(|t| (TupleId::new(i as u32, s.gen), t)))
+        match &self.store {
+            Store::Mem(slots) => slots
+                .get(tid.slot as usize)
+                .is_some_and(|s| s.gen == tid.gen && s.tuple.is_some()),
+            Store::Paged(p) => p
+                .slots
+                .get(tid.slot as usize)
+                .is_some_and(|s| s.gen == tid.gen && s.loc.is_some()),
+        }
     }
 
     /// Full scan. Counts one scan and one read per live tuple.
     pub fn scan(&self) -> Vec<(TupleId, Tuple)> {
         self.stats.scan();
         self.stats.read_tuples(self.live as u64);
-        self.iter_live().map(|(tid, t)| (tid, t.clone())).collect()
+        let mut out = Vec::with_capacity(self.live);
+        self.for_each_live(|tid, t| out.push((tid, t.clone())));
+        out
     }
 
     /// Find the first live tuple equal to `tuple` (value equality).
@@ -242,14 +451,18 @@ impl Relation {
                 return candidates
                     .iter()
                     .copied()
-                    .find(|tid| self.slots[tid.slot as usize].tuple.as_ref() == Some(tuple));
+                    .find(|&tid| self.live_tuple(tid).as_ref() == Some(tuple));
             }
         }
         self.stats.scan();
         self.stats.read_tuples(self.live as u64);
-        self.iter_live()
-            .find(|(_, t)| *t == tuple)
-            .map(|(tid, _)| tid)
+        let mut found = None;
+        self.for_each_live(|tid, t| {
+            if found.is_none() && t == tuple {
+                found = Some(tid);
+            }
+        });
+        found
     }
 
     /// Evaluate a restriction, using the best available index.
@@ -270,10 +483,7 @@ impl Relation {
         let ids = self.select_ids_with(restriction, bound);
         ids.into_iter()
             .map(|tid| {
-                let t = self.slots[tid.slot as usize]
-                    .tuple
-                    .clone()
-                    .expect("live id");
+                let t = self.live_tuple(tid).expect("live id");
                 (tid, t)
             })
             .collect()
@@ -318,13 +528,7 @@ impl Relation {
             return candidates
                 .iter()
                 .copied()
-                .filter(|tid| {
-                    let t = self.slots[tid.slot as usize]
-                        .tuple
-                        .as_ref()
-                        .expect("indexed");
-                    qualifies(t)
-                })
+                .filter(|&tid| qualifies(&self.live_tuple(tid).expect("indexed")))
                 .collect();
         }
         // 2. Range test with an ordered index?
@@ -343,23 +547,20 @@ impl Relation {
             self.stats.pred_evals(candidates.len() as u64 * tests);
             return candidates
                 .into_iter()
-                .filter(|tid| {
-                    let t = self.slots[tid.slot as usize]
-                        .tuple
-                        .as_ref()
-                        .expect("indexed");
-                    qualifies(t)
-                })
+                .filter(|&tid| qualifies(&self.live_tuple(tid).expect("indexed")))
                 .collect();
         }
         // 3. Fall back to a scan.
         self.stats.scan();
         self.stats.read_tuples(self.live as u64);
         self.stats.pred_evals(self.live as u64 * tests.max(1));
-        self.iter_live()
-            .filter(|(_, t)| qualifies(t))
-            .map(|(tid, _)| tid)
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_live(|tid, t| {
+            if qualifies(t) {
+                out.push(tid);
+            }
+        });
+        out
     }
 
     /// Tuple ids where `attr op value`, used by join inner loops.
@@ -388,15 +589,19 @@ impl Relation {
     pub fn distinct_exact(&self, attr: AttrIdx) -> usize {
         self.stats.scan();
         self.stats.read_tuples(self.live as u64);
-        self.iter_live()
-            .filter_map(|(_, t)| t.get(attr))
-            .collect::<std::collections::HashSet<_>>()
-            .len()
+        let mut distinct = std::collections::HashSet::new();
+        self.for_each_live(|_, t| {
+            if let Some(v) = t.get(attr) {
+                distinct.insert(v.clone());
+            }
+        });
+        distinct.len()
     }
 
     /// Approximate storage footprint in bytes (tuples + index postings).
     pub fn approx_bytes(&self) -> usize {
-        let tuples: usize = self.iter_live().map(|(_, t)| t.approx_bytes()).sum();
+        let mut tuples = 0usize;
+        self.for_each_live(|_, t| tuples += t.approx_bytes());
         let postings: usize = self
             .hash_indexes
             .iter()
@@ -412,12 +617,21 @@ impl Relation {
         tuples + postings
     }
 
-    /// Drop every tuple but keep schema and index definitions.
+    /// Drop every tuple but keep schema and index definitions. Paged
+    /// relations return their pages to the pool's free list.
     pub fn clear(&mut self) {
         let arity = self.schema.arity();
         let had_hash: Vec<bool> = self.hash_indexes.iter().map(Option::is_some).collect();
         let had_ord: Vec<bool> = self.ord_indexes.iter().map(Option::is_some).collect();
-        self.slots.clear();
+        match &mut self.store {
+            Store::Mem(slots) => slots.clear(),
+            Store::Paged(p) => {
+                for (pid, _) in p.pages.drain(..) {
+                    let _ = p.pool.free_page(pid);
+                }
+                p.slots.clear();
+            }
+        }
         self.free.clear();
         self.live = 0;
         self.hash_indexes = (0..arity)
@@ -441,6 +655,29 @@ mod tests {
         )
     }
 
+    fn emp_paged(pool_pages: usize) -> Relation {
+        let dir = std::env::temp_dir().join(format!(
+            "relstore-rel-{}-{:p}",
+            std::process::id(),
+            &pool_pages
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "rel-{}.pages",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let pool = Arc::new(BufferPool::create(&path, pool_pages, Stats::new()).unwrap());
+        Relation::new_paged(
+            RelId(0),
+            Schema::new("Emp", ["name", "age", "salary", "dno"]),
+            Stats::new(),
+            pool,
+        )
+    }
+
     #[test]
     fn insert_get_delete_roundtrip() {
         let mut r = emp();
@@ -452,6 +689,53 @@ mod tests {
         assert!(r.is_empty());
         assert!(r.get(tid).is_err());
         assert!(r.delete(tid).is_err());
+    }
+
+    #[test]
+    fn paged_roundtrip_matches_memory_semantics() {
+        let mut r = emp_paged(4);
+        assert!(r.is_paged());
+        let tid = r.insert(tuple!["Mike", 32, 5000, 7]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(tid).unwrap()[0], Value::str("Mike"));
+        let t = r.delete(tid).unwrap();
+        assert_eq!(t[1], Value::Int(32));
+        assert!(r.is_empty());
+        assert!(r.get(tid).is_err());
+        assert!(r.delete(tid).is_err());
+        // Slot reuse keeps the stale-generation discipline.
+        let a = r.insert(tuple!["A", 1, 1, 1]).unwrap();
+        r.delete(a).unwrap();
+        let b = r.insert(tuple!["B", 2, 2, 2]).unwrap();
+        assert_eq!(a.slot, b.slot);
+        assert!(r.get(a).is_err());
+        assert_eq!(r.get(b).unwrap()[0], Value::str("B"));
+    }
+
+    #[test]
+    fn paged_select_and_indexes_agree_with_memory() {
+        let mut m = emp();
+        let mut p = emp_paged(2); // smaller than the working set: evicts
+        for i in 0..200i64 {
+            let t = tuple![format!("e{i}"), 20 + (i % 40), 1000 * i, i % 10];
+            m.insert(t.clone()).unwrap();
+            p.insert(t).unwrap();
+        }
+        let restriction = Restriction::new(vec![Selection::eq(3, 4)]);
+        let from_m: Vec<Tuple> = m.select(&restriction).into_iter().map(|(_, t)| t).collect();
+        let from_p: Vec<Tuple> = p.select(&restriction).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(from_m, from_p);
+        p.create_hash_index(3).unwrap();
+        let indexed: Vec<Tuple> = p.select(&restriction).into_iter().map(|(_, t)| t).collect();
+        let mut a = from_p.clone();
+        let mut b = indexed;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(
+            m.find_equal(&tuple!["e7", 27, 7000, 7]).is_some(),
+            p.find_equal(&tuple!["e7", 27, 7000, 7]).is_some()
+        );
     }
 
     #[test]
@@ -554,6 +838,20 @@ mod tests {
         assert!(r.has_hash_index(0));
         let tid = r.insert(tuple!["B", 2, 2, 2]).unwrap();
         assert_eq!(r.find_equal(&tuple!["B", 2, 2, 2]), Some(tid));
+    }
+
+    #[test]
+    fn paged_clear_recycles_pages() {
+        let mut r = emp_paged(2);
+        for i in 0..100i64 {
+            r.insert(tuple![format!("e{i}"), i, 0, 0]).unwrap();
+        }
+        r.clear();
+        assert!(r.is_empty());
+        for i in 0..100i64 {
+            r.insert(tuple![format!("f{i}"), i, 0, 0]).unwrap();
+        }
+        assert_eq!(r.len(), 100);
     }
 
     #[test]

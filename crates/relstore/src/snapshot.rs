@@ -5,100 +5,34 @@
 //! persistent. This module serializes the full catalog and every live
 //! tuple to a compact binary image (length-prefixed records, little
 //! endian) and restores it, so a production system can stop and resume.
+//! The value encoding is the shared [`crate::codec`], so oversized
+//! strings are rejected at encode time rather than silently truncated.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::codec::{get_str, get_value, put_str, put_value};
 use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use crate::value::Value;
 
 const MAGIC: u32 = 0x5e11_1988; // "Sellis 1988"
 const VERSION: u16 = 1;
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn get_str(buf: &mut Bytes) -> Result<String> {
-    if buf.remaining() < 4 {
-        return Err(Error::Corrupt("string length"));
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(Error::Corrupt("string body"));
-    }
-    let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| Error::Corrupt("string utf8"))
-}
-
-fn put_value(buf: &mut BytesMut, v: &Value) {
-    match v {
-        Value::Null => buf.put_u8(0),
-        Value::Bool(b) => {
-            buf.put_u8(1);
-            buf.put_u8(u8::from(*b));
-        }
-        Value::Int(i) => {
-            buf.put_u8(2);
-            buf.put_i64_le(*i);
-        }
-        Value::Float(f) => {
-            buf.put_u8(3);
-            buf.put_f64_le(*f);
-        }
-        Value::Str(s) => {
-            buf.put_u8(4);
-            put_str(buf, s);
-        }
-    }
-}
-
-fn get_value(buf: &mut Bytes) -> Result<Value> {
-    if !buf.has_remaining() {
-        return Err(Error::Corrupt("value tag"));
-    }
-    match buf.get_u8() {
-        0 => Ok(Value::Null),
-        1 => {
-            if !buf.has_remaining() {
-                return Err(Error::Corrupt("bool body"));
-            }
-            Ok(Value::Bool(buf.get_u8() != 0))
-        }
-        2 => {
-            if buf.remaining() < 8 {
-                return Err(Error::Corrupt("int body"));
-            }
-            Ok(Value::Int(buf.get_i64_le()))
-        }
-        3 => {
-            if buf.remaining() < 8 {
-                return Err(Error::Corrupt("float body"));
-            }
-            Ok(Value::Float(buf.get_f64_le()))
-        }
-        4 => Ok(Value::from(get_str(buf)?)),
-        _ => Err(Error::Corrupt("unknown value tag")),
-    }
-}
-
 /// Serialize the database (schemas + live tuples + index definitions).
-pub fn save(db: &Database) -> Bytes {
+pub fn save(db: &Database) -> Result<Bytes> {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
     let names = db.relation_names();
     buf.put_u32_le(names.len() as u32);
     for (rid, _) in names {
-        db.read(rid, |rel| {
+        db.read(rid, |rel| -> Result<()> {
             let schema = rel.schema();
-            put_str(&mut buf, schema.name());
+            put_str(&mut buf, schema.name())?;
             buf.put_u32_le(schema.arity() as u32);
             for a in schema.attrs() {
-                put_str(&mut buf, &a.name);
+                put_str(&mut buf, &a.name)?;
             }
             // Index definitions.
             let mut hash_attrs = Vec::new();
@@ -124,17 +58,23 @@ pub fn save(db: &Database) -> Bytes {
             buf.put_u32_le(rows.len() as u32);
             for (_, t) in rows {
                 for v in t.values() {
-                    put_value(&mut buf, v);
+                    put_value(&mut buf, v)?;
                 }
             }
+            Ok(())
         })
-        .expect("catalog ids are valid");
+        .expect("catalog ids are valid")?;
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
-/// Restore a database saved by [`save`].
-pub fn load(mut bytes: Bytes) -> Result<Database> {
+/// Restore a snapshot saved by [`save`] into `db`, which must be empty.
+/// The database keeps its own storage mode — restoring into a paged
+/// database rehomes every tuple onto heap pages.
+pub fn load_into(mut bytes: Bytes, db: &Database) -> Result<()> {
+    if db.relation_count() != 0 {
+        return Err(Error::Corrupt("snapshot restore into non-empty database"));
+    }
     if bytes.remaining() < 6 {
         return Err(Error::Corrupt("header"));
     }
@@ -144,7 +84,6 @@ pub fn load(mut bytes: Bytes) -> Result<Database> {
     if bytes.get_u16_le() != VERSION {
         return Err(Error::Corrupt("unsupported version"));
     }
-    let db = Database::new();
     if bytes.remaining() < 4 {
         return Err(Error::Corrupt("relation count"));
     }
@@ -194,6 +133,13 @@ pub fn load(mut bytes: Bytes) -> Result<Database> {
             db.write(rid, |r| r.create_ord_index(a))??;
         }
     }
+    Ok(())
+}
+
+/// Restore a database saved by [`save`] (fresh in-memory database).
+pub fn load(bytes: Bytes) -> Result<Database> {
+    let db = Database::new();
+    load_into(bytes, &db)?;
     Ok(db)
 }
 
@@ -202,6 +148,7 @@ mod tests {
     use super::*;
     use crate::pred::{Restriction, Selection};
     use crate::tuple;
+    use crate::value::Value;
 
     #[test]
     fn roundtrip_preserves_data_and_indexes() {
@@ -218,7 +165,7 @@ mod tests {
         db.write(emp, |r| r.create_hash_index(0)).unwrap().unwrap();
         db.write(emp, |r| r.create_ord_index(1)).unwrap().unwrap();
 
-        let image = save(&db);
+        let image = save(&db).unwrap();
         let restored = load(image).unwrap();
         assert_eq!(restored.relation_count(), 2);
         let emp2 = restored.rel_id("Emp").unwrap();
@@ -239,7 +186,7 @@ mod tests {
     #[test]
     fn empty_database_roundtrips() {
         let db = Database::new();
-        let restored = load(save(&db)).unwrap();
+        let restored = load(save(&db).unwrap()).unwrap();
         assert_eq!(restored.relation_count(), 0);
     }
 
@@ -249,8 +196,16 @@ mod tests {
         assert!(load(Bytes::from_static(b"\x00\x00\x00\x00\x00\x00")).is_err());
         let db = Database::new();
         db.create_relation(Schema::new("R", ["a"])).unwrap();
-        let image = save(&db);
+        let image = save(&db).unwrap();
         let truncated = image.slice(0..image.len() - 1);
         assert!(load(truncated).is_err());
+    }
+
+    #[test]
+    fn load_into_refuses_non_empty_target() {
+        let db = Database::new();
+        db.create_relation(Schema::new("R", ["a"])).unwrap();
+        let image = save(&db).unwrap();
+        assert!(matches!(load_into(image, &db), Err(Error::Corrupt(_))));
     }
 }

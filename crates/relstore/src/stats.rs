@@ -34,6 +34,14 @@ pub struct Counters {
     pub lock_wait_ns: AtomicU64,
     /// Transactions aborted (deadlock victims or rule-level aborts).
     pub aborts: AtomicU64,
+    /// Pages read from the page file (buffer pool misses).
+    pub page_reads: AtomicU64,
+    /// Pages written to the page file (eviction or flush).
+    pub page_writes: AtomicU64,
+    /// Page requests satisfied from the buffer pool.
+    pub pool_hits: AtomicU64,
+    /// Frames evicted to make room for another page.
+    pub pool_evictions: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -59,6 +67,14 @@ pub struct OpSnapshot {
     pub lock_wait_ns: u64,
     /// Transactions aborted.
     pub aborts: u64,
+    /// Pages read from the page file.
+    pub page_reads: u64,
+    /// Pages written to the page file.
+    pub page_writes: u64,
+    /// Page requests satisfied from the buffer pool.
+    pub pool_hits: u64,
+    /// Buffer-pool frames evicted.
+    pub pool_evictions: u64,
 }
 
 impl OpSnapshot {
@@ -82,6 +98,10 @@ impl OpSnapshot {
             lock_waits: self.lock_waits.saturating_sub(earlier.lock_waits),
             lock_wait_ns: self.lock_wait_ns.saturating_sub(earlier.lock_wait_ns),
             aborts: self.aborts.saturating_sub(earlier.aborts),
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_evictions: self.pool_evictions.saturating_sub(earlier.pool_evictions),
         }
     }
 }
@@ -90,7 +110,7 @@ impl fmt::Display for OpSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} ins={} del={} probes={} scans={} preds={} locks={} waits={} wait_ns={} aborts={}",
+            "reads={} ins={} del={} probes={} scans={} preds={} locks={} waits={} wait_ns={} aborts={} pg_r={} pg_w={} pool_hit={} evict={}",
             self.tuples_read,
             self.tuples_inserted,
             self.tuples_deleted,
@@ -100,7 +120,11 @@ impl fmt::Display for OpSnapshot {
             self.locks_acquired,
             self.lock_waits,
             self.lock_wait_ns,
-            self.aborts
+            self.aborts,
+            self.page_reads,
+            self.page_writes,
+            self.pool_hits,
+            self.pool_evictions
         )
     }
 }
@@ -172,6 +196,30 @@ impl Stats {
         self.inner.aborts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one page read from the page file.
+    #[inline]
+    pub fn page_read(&self) {
+        self.inner.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one page write to the page file.
+    #[inline]
+    pub fn page_write(&self) {
+        self.inner.page_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one buffer-pool hit.
+    #[inline]
+    pub fn pool_hit(&self) {
+        self.inner.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one buffer-pool eviction.
+    #[inline]
+    pub fn pool_eviction(&self) {
+        self.inner.pool_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy out the current values.
     pub fn snapshot(&self) -> OpSnapshot {
         OpSnapshot {
@@ -185,6 +233,10 @@ impl Stats {
             lock_waits: self.inner.lock_waits.load(Ordering::Relaxed),
             lock_wait_ns: self.inner.lock_wait_ns.load(Ordering::Relaxed),
             aborts: self.inner.aborts.load(Ordering::Relaxed),
+            page_reads: self.inner.page_reads.load(Ordering::Relaxed),
+            page_writes: self.inner.page_writes.load(Ordering::Relaxed),
+            pool_hits: self.inner.pool_hits.load(Ordering::Relaxed),
+            pool_evictions: self.inner.pool_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -200,6 +252,10 @@ impl Stats {
         self.inner.lock_waits.store(0, Ordering::Relaxed);
         self.inner.lock_wait_ns.store(0, Ordering::Relaxed);
         self.inner.aborts.store(0, Ordering::Relaxed);
+        self.inner.page_reads.store(0, Ordering::Relaxed);
+        self.inner.page_writes.store(0, Ordering::Relaxed);
+        self.inner.pool_hits.store(0, Ordering::Relaxed);
+        self.inner.pool_evictions.store(0, Ordering::Relaxed);
     }
 }
 

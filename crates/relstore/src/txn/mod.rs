@@ -250,9 +250,12 @@ impl<'db> Txn<'db> {
         Ok(Some(tuple))
     }
 
-    /// Commit: release every lock (strict 2PL — nothing was released
-    /// earlier) and discard the undo log.
+    /// Commit: make the transaction's log records durable, release every
+    /// lock (strict 2PL — nothing was released earlier) and discard the
+    /// undo log. The WAL fsync is best-effort: an in-memory database has
+    /// no device behind its publish point.
     pub fn commit(mut self) {
+        let _ = self.db.sync_wal();
         self.undo.clear();
         self.finish();
     }

@@ -3,26 +3,56 @@
 //! A persistent working memory needs more than snapshots: the paper's
 //! §3.2 "persistent WM" claim implies surviving a crash between
 //! checkpoints. `relstore` logs every logical change (relation creation,
-//! index creation, tuple insert/delete) as a compact binary record;
+//! index creation, tuple insert/delete) as a framed binary record;
 //! [`recover`] replays a log on top of an optional snapshot.
+//!
+//! Each record is framed as `[lsn u64][payload len u32][crc32 u32][payload]`,
+//! with the checksum covering the LSN, length, and payload. The frame makes
+//! two crash-safety properties checkable:
+//!
+//! * **Torn tails are tolerated.** A crash mid-append leaves a partial
+//!   final frame; [`Wal::decode_prefix`] replays every whole record and
+//!   reports how many trailing bytes were dropped instead of rejecting
+//!   the entire log.
+//! * **Write-ahead ordering is enforceable.** Every append returns its
+//!   LSN; heap pages carry the LSN of the last record that touched them,
+//!   and the buffer pool calls [`Wal::sync_to`] before a dirty page may
+//!   reach disk.
+//!
+//! The log may be purely in-memory ([`Wal::new`], the default for
+//! in-memory databases, where "durable" is a publish point with no
+//! device behind it) or file-backed ([`Wal::create`] / [`Wal::open`]),
+//! in which case [`Wal::sync`] appends new bytes and fsyncs.
 //!
 //! Deletions are logged *by content*, matching OPS5 `remove` semantics —
 //! tuple ids are physical slot handles and not stable across replay.
 
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::Path;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
 
+use crate::codec::{get_str, get_tuple, put_str, put_tuple, Crc32};
 use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::schema::{RelId, Schema};
 use crate::tuple::Tuple;
-use crate::value::Value;
 
 const REC_CREATE: u8 = 1;
 const REC_HASH_INDEX: u8 = 2;
 const REC_ORD_INDEX: u8 = 3;
 const REC_INSERT: u8 = 4;
 const REC_DELETE: u8 = 5;
+
+/// Size of the per-record frame header: LSN (8) + payload length (4) +
+/// CRC-32 (4).
+pub const FRAME_HEADER: usize = 16;
+
+/// Sanity bound on a single frame's payload; a length field above this
+/// is treated as corruption rather than attempted as an allocation.
+const MAX_FRAME_PAYLOAD: usize = 64 << 20;
 
 /// A logical change, as logged.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,101 +69,15 @@ pub enum WalRecord {
     Delete { rel: RelId, tuple: Tuple },
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn get_str(buf: &mut Bytes) -> Result<String> {
-    if buf.remaining() < 4 {
-        return Err(Error::Corrupt("wal string length"));
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(Error::Corrupt("wal string body"));
-    }
-    String::from_utf8(buf.copy_to_bytes(len).to_vec()).map_err(|_| Error::Corrupt("wal utf8"))
-}
-
-fn put_value(buf: &mut BytesMut, v: &Value) {
-    match v {
-        Value::Null => buf.put_u8(0),
-        Value::Bool(b) => {
-            buf.put_u8(1);
-            buf.put_u8(u8::from(*b));
-        }
-        Value::Int(i) => {
-            buf.put_u8(2);
-            buf.put_i64_le(*i);
-        }
-        Value::Float(f) => {
-            buf.put_u8(3);
-            buf.put_f64_le(*f);
-        }
-        Value::Str(s) => {
-            buf.put_u8(4);
-            put_str(buf, s);
-        }
-    }
-}
-
-fn get_value(buf: &mut Bytes) -> Result<Value> {
-    if !buf.has_remaining() {
-        return Err(Error::Corrupt("wal value tag"));
-    }
-    match buf.get_u8() {
-        0 => Ok(Value::Null),
-        1 => {
-            if !buf.has_remaining() {
-                return Err(Error::Corrupt("wal bool"));
-            }
-            Ok(Value::Bool(buf.get_u8() != 0))
-        }
-        2 => {
-            if buf.remaining() < 8 {
-                return Err(Error::Corrupt("wal int"));
-            }
-            Ok(Value::Int(buf.get_i64_le()))
-        }
-        3 => {
-            if buf.remaining() < 8 {
-                return Err(Error::Corrupt("wal float"));
-            }
-            Ok(Value::Float(buf.get_f64_le()))
-        }
-        4 => Ok(Value::from(get_str(buf)?)),
-        _ => Err(Error::Corrupt("wal value tag")),
-    }
-}
-
-fn put_tuple(buf: &mut BytesMut, t: &Tuple) {
-    buf.put_u32_le(t.arity() as u32);
-    for v in t.values() {
-        put_value(buf, v);
-    }
-}
-
-fn get_tuple(buf: &mut Bytes) -> Result<Tuple> {
-    if buf.remaining() < 4 {
-        return Err(Error::Corrupt("wal tuple arity"));
-    }
-    let n = buf.get_u32_le() as usize;
-    let mut vals = Vec::with_capacity(n);
-    for _ in 0..n {
-        vals.push(get_value(buf)?);
-    }
-    Ok(Tuple::new(vals))
-}
-
 impl WalRecord {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<()> {
         match self {
             WalRecord::CreateRelation { name, attrs } => {
                 buf.put_u8(REC_CREATE);
-                put_str(buf, name);
+                put_str(buf, name)?;
                 buf.put_u32_le(attrs.len() as u32);
                 for a in attrs {
-                    put_str(buf, a);
+                    put_str(buf, a)?;
                 }
             }
             WalRecord::CreateHashIndex { rel, attr } => {
@@ -149,14 +93,15 @@ impl WalRecord {
             WalRecord::Insert { rel, tuple } => {
                 buf.put_u8(REC_INSERT);
                 buf.put_u32_le(rel.0);
-                put_tuple(buf, tuple);
+                put_tuple(buf, tuple)?;
             }
             WalRecord::Delete { rel, tuple } => {
                 buf.put_u8(REC_DELETE);
                 buf.put_u32_le(rel.0);
-                put_tuple(buf, tuple);
+                put_tuple(buf, tuple)?;
             }
         }
+        Ok(())
     }
 
     fn decode(buf: &mut Bytes) -> Result<WalRecord> {
@@ -171,7 +116,7 @@ impl WalRecord {
                     return Err(Error::Corrupt("wal attr count"));
                 }
                 let n = buf.get_u32_le() as usize;
-                let mut attrs = Vec::with_capacity(n);
+                let mut attrs = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     attrs.push(get_str(buf)?);
                 }
@@ -207,76 +152,349 @@ impl WalRecord {
     }
 }
 
-/// An append-only in-memory log buffer (the durable medium is the
-/// caller's concern — write [`Wal::bytes`] wherever fsync lives).
-#[derive(Debug, Default)]
+/// Report of a torn tail found while decoding a log: the log was valid up
+/// to `valid_bytes` and the remaining `dropped_bytes` were discarded.
+/// What [`Wal::open`] found on disk: the log handle, the decoded records
+/// of the valid prefix (in LSN order, for replay), and the torn-tail
+/// report if the file ended mid-frame.
+pub type WalOpened = (Wal, Vec<(u64, WalRecord)>, Option<TornTail>);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Length of the valid prefix, in bytes.
+    pub valid_bytes: usize,
+    /// Bytes past the valid prefix that were dropped.
+    pub dropped_bytes: usize,
+    /// What the first invalid frame failed on.
+    pub reason: &'static str,
+}
+
+/// Position of an incremental reader over the log, used by
+/// [`Wal::bytes_since`]. [`Wal::truncate`] starts a new epoch; a cursor
+/// from an older epoch restarts from the beginning of the current one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalCursor {
+    epoch: u64,
+    offset: usize,
+}
+
+impl WalCursor {
+    /// A cursor positioned before the first byte ever logged.
+    pub fn start() -> Self {
+        WalCursor {
+            epoch: 0,
+            offset: 0,
+        }
+    }
+}
+
+impl Default for WalCursor {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[derive(Debug)]
+struct WalInner {
+    /// Encoded frames of the current epoch (since the last truncate).
+    buf: BytesMut,
+    /// Bytes of `buf` already written to `file`.
+    flushed: usize,
+    /// LSN the next append will receive. Starts at 1 and is monotonic
+    /// across truncates, so a page's LSN is meaningful for its lifetime.
+    next_lsn: u64,
+    /// LSN of the most recent append (0 before any).
+    last_lsn: u64,
+    /// Highest LSN known durable (flushed + fsynced, or published for an
+    /// in-memory log).
+    durable_lsn: u64,
+    /// Bumped by truncate; lets [`WalCursor`]s detect resets.
+    epoch: u64,
+    /// Backing file, when the log is durable at all.
+    file: Option<File>,
+}
+
+/// An append-only log of logical changes, optionally file-backed.
+#[derive(Debug)]
 pub struct Wal {
-    buf: Mutex<BytesMut>,
+    inner: Mutex<WalInner>,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Wal::new()
+    }
 }
 
 impl Wal {
-    /// Create a new, empty instance.
-    pub fn new() -> Self {
-        Wal::default()
-    }
-
-    /// Append a record to the log.
-    pub fn append(&self, rec: &WalRecord) {
-        let mut buf = self.buf.lock();
-        rec.encode(&mut buf);
-    }
-
-    /// The encoded log so far.
-    pub fn bytes(&self) -> Bytes {
-        self.buf.lock().clone().freeze()
-    }
-
-    /// Truncate after a checkpoint (snapshot taken).
-    pub fn truncate(&self) {
-        self.buf.lock().clear();
-    }
-
-    /// True when there are no entries.
-    pub fn is_empty(&self) -> bool {
-        self.buf.lock().is_empty()
-    }
-
-    /// Decode a log into records.
-    pub fn decode_all(mut bytes: Bytes) -> Result<Vec<WalRecord>> {
-        let mut out = Vec::new();
-        while bytes.has_remaining() {
-            out.push(WalRecord::decode(&mut bytes)?);
+    fn from_parts(buf: BytesMut, next_lsn: u64, file: Option<File>) -> Self {
+        let flushed = buf.len();
+        Wal {
+            inner: Mutex::new(WalInner {
+                buf,
+                flushed,
+                next_lsn,
+                last_lsn: next_lsn - 1,
+                durable_lsn: next_lsn - 1,
+                epoch: 0,
+                file,
+            }),
         }
-        Ok(out)
+    }
+
+    /// Create a new, empty in-memory log.
+    pub fn new() -> Self {
+        Wal::from_parts(BytesMut::new(), 1, None)
+    }
+
+    /// Create a fresh file-backed log, truncating any existing file.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.sync_data()?;
+        Ok(Wal::from_parts(BytesMut::new(), 1, Some(file)))
+    }
+
+    /// Open an existing file-backed log (creating it if absent), decode
+    /// its valid prefix, and physically truncate any torn tail so the
+    /// file and the in-memory buffer agree.
+    ///
+    /// Returns the records of the valid prefix (for replay) and the torn
+    /// tail report, if one was found.
+    pub fn open(path: &Path) -> Result<WalOpened> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (records, torn) = Wal::decode_prefix(&raw);
+        let valid = torn.map_or(raw.len(), |t| t.valid_bytes);
+        if valid < raw.len() {
+            file.set_len(valid as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid as u64))?;
+        let next_lsn = records.last().map_or(1, |(lsn, _)| lsn + 1);
+        let mut buf = BytesMut::with_capacity(valid);
+        buf.put_slice(&raw[..valid]);
+        Ok((Wal::from_parts(buf, next_lsn, Some(file)), records, torn))
+    }
+
+    /// Append a record to the log and return its LSN. The record is
+    /// buffered; it becomes durable at the next [`Wal::sync`].
+    pub fn append(&self, rec: &WalRecord) -> Result<u64> {
+        let mut payload = BytesMut::new();
+        rec.encode(&mut payload)?;
+        let mut g = self.inner.lock();
+        let lsn = g.next_lsn;
+        let mut hdr = [0u8; 12];
+        hdr[..8].copy_from_slice(&lsn.to_le_bytes());
+        hdr[8..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&hdr);
+        crc.update(payload.as_ref());
+        g.buf.put_slice(&hdr);
+        g.buf.put_u32_le(crc.finish());
+        g.buf.put_slice(payload.as_ref());
+        g.next_lsn += 1;
+        g.last_lsn = lsn;
+        Ok(lsn)
+    }
+
+    fn sync_locked(g: &mut WalInner) -> Result<()> {
+        if let Some(file) = g.file.as_mut() {
+            if g.flushed < g.buf.len() {
+                let from = g.flushed;
+                file.write_all(&g.buf.as_ref()[from..])?;
+                g.flushed = g.buf.len();
+            }
+            file.sync_data()?;
+        } else {
+            // In-memory log: "durable" is a publish point, not a device.
+            g.flushed = g.buf.len();
+        }
+        g.durable_lsn = g.last_lsn;
+        Ok(())
+    }
+
+    /// Make every appended record durable: write the unflushed suffix to
+    /// the backing file and fsync. O(new bytes), not O(log).
+    pub fn sync(&self) -> Result<()> {
+        Wal::sync_locked(&mut self.inner.lock())
+    }
+
+    /// Ensure records up to and including `lsn` are durable — the
+    /// write-ahead gate the buffer pool calls before flushing a dirty
+    /// page whose `page_lsn` is `lsn`. No-op when already durable.
+    pub fn sync_to(&self, lsn: u64) -> Result<()> {
+        let mut g = self.inner.lock();
+        if g.durable_lsn >= lsn {
+            return Ok(());
+        }
+        Wal::sync_locked(&mut g)
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.inner.lock().durable_lsn
+    }
+
+    /// The encoded log of the current epoch, as one contiguous buffer.
+    ///
+    /// This copies the whole epoch and exists for recovery and tests;
+    /// incremental consumers (checkpointers, shippers) should use
+    /// [`Wal::bytes_since`], which is O(new bytes).
+    pub fn bytes(&self) -> Bytes {
+        let g = self.inner.lock();
+        Bytes::from(g.buf.as_ref())
+    }
+
+    /// The bytes appended since `cursor` last observed the log, advancing
+    /// the cursor. If the log was truncated since, the cursor restarts at
+    /// the current epoch's beginning (the caller sees a full fresh copy).
+    pub fn bytes_since(&self, cursor: &mut WalCursor) -> Bytes {
+        let g = self.inner.lock();
+        if cursor.epoch != g.epoch || cursor.offset > g.buf.len() {
+            cursor.epoch = g.epoch;
+            cursor.offset = 0;
+        }
+        let out = Bytes::from(&g.buf.as_ref()[cursor.offset..]);
+        cursor.offset = g.buf.len();
+        out
+    }
+
+    /// Truncate after a checkpoint (snapshot taken). Starts a new epoch;
+    /// LSNs keep counting so page LSNs stay meaningful.
+    pub fn truncate(&self) -> Result<()> {
+        let mut g = self.inner.lock();
+        g.buf.clear();
+        g.flushed = 0;
+        g.epoch += 1;
+        // Everything logged so far is superseded by the checkpoint, so
+        // it is trivially "durable" for write-ahead purposes.
+        g.durable_lsn = g.last_lsn;
+        if let Some(file) = g.file.as_mut() {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// True when there are no entries in the current epoch.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().buf.is_empty()
+    }
+
+    /// Walk frames; returns the decoded records, the length of the valid
+    /// prefix, and what the first invalid frame failed on (if any).
+    fn parse_frames(bytes: &[u8]) -> (Vec<(u64, WalRecord)>, usize, Option<&'static str>) {
+        let mut out = Vec::new();
+        let mut at = 0;
+        while at < bytes.len() {
+            if bytes.len() - at < FRAME_HEADER {
+                return (out, at, Some("torn frame header"));
+            }
+            let lsn = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[at + 12..at + 16].try_into().unwrap());
+            if len > MAX_FRAME_PAYLOAD {
+                return (out, at, Some("frame length over limit"));
+            }
+            if bytes.len() - at - FRAME_HEADER < len {
+                return (out, at, Some("torn frame payload"));
+            }
+            let payload = &bytes[at + FRAME_HEADER..at + FRAME_HEADER + len];
+            let mut check = Crc32::new();
+            check.update(&bytes[at..at + 12]);
+            check.update(payload);
+            if check.finish() != crc {
+                return (out, at, Some("frame checksum mismatch"));
+            }
+            let mut pb = Bytes::from(payload);
+            match WalRecord::decode(&mut pb) {
+                Ok(rec) if !pb.has_remaining() => out.push((lsn, rec)),
+                _ => return (out, at, Some("frame payload undecodable")),
+            }
+            at += FRAME_HEADER + len;
+        }
+        (out, at, None)
+    }
+
+    /// Decode a log strictly: any invalid byte rejects the whole log.
+    /// Recovery paths want [`Wal::decode_prefix`] instead.
+    pub fn decode_all(bytes: Bytes) -> Result<Vec<WalRecord>> {
+        let (records, _, err) = Wal::parse_frames(&bytes);
+        match err {
+            Some(msg) => Err(Error::Corrupt(msg)),
+            None => Ok(records.into_iter().map(|(_, r)| r).collect()),
+        }
+    }
+
+    /// Decode the valid prefix of a log, tolerating a torn tail: every
+    /// whole, checksummed record is returned; the first invalid frame and
+    /// everything after it are reported as a [`TornTail`].
+    pub fn decode_prefix(bytes: &[u8]) -> (Vec<(u64, WalRecord)>, Option<TornTail>) {
+        let (records, valid, err) = Wal::parse_frames(bytes);
+        let torn = err.map(|reason| TornTail {
+            valid_bytes: valid,
+            dropped_bytes: bytes.len() - valid,
+            reason,
+        });
+        (records, torn)
     }
 }
 
-/// Rebuild a database from an optional snapshot plus a log.
+/// Replay one logged record against a database.
+pub(crate) fn apply_record(db: &Database, rec: WalRecord) -> Result<()> {
+    match rec {
+        WalRecord::CreateRelation { name, attrs } => {
+            db.create_relation(Schema::new(&name, attrs))?;
+        }
+        WalRecord::CreateHashIndex { rel, attr } => {
+            db.write(rel, |r| r.create_hash_index(attr))??;
+        }
+        WalRecord::CreateOrdIndex { rel, attr } => {
+            db.write(rel, |r| r.create_ord_index(attr))??;
+        }
+        WalRecord::Insert { rel, tuple } => {
+            db.insert(rel, tuple)?;
+        }
+        WalRecord::Delete { rel, tuple } => {
+            db.delete_equal(rel, &tuple)?;
+        }
+    }
+    Ok(())
+}
+
+/// Rebuild a database from an optional snapshot plus a log. A torn tail
+/// in the log is truncated silently; use [`recover_with_report`] to
+/// observe it.
 pub fn recover(snapshot: Option<Bytes>, log: Bytes) -> Result<Database> {
+    recover_with_report(snapshot, log).map(|(db, _)| db)
+}
+
+/// Like [`recover`], also reporting whether a torn tail was dropped.
+pub fn recover_with_report(
+    snapshot: Option<Bytes>,
+    log: Bytes,
+) -> Result<(Database, Option<TornTail>)> {
     let db = match snapshot {
         Some(s) => crate::snapshot::load(s)?,
         None => Database::new(),
     };
-    for rec in Wal::decode_all(log)? {
-        match rec {
-            WalRecord::CreateRelation { name, attrs } => {
-                db.create_relation(Schema::new(&name, attrs))?;
-            }
-            WalRecord::CreateHashIndex { rel, attr } => {
-                db.write(rel, |r| r.create_hash_index(attr))??;
-            }
-            WalRecord::CreateOrdIndex { rel, attr } => {
-                db.write(rel, |r| r.create_ord_index(attr))??;
-            }
-            WalRecord::Insert { rel, tuple } => {
-                db.insert(rel, tuple)?;
-            }
-            WalRecord::Delete { rel, tuple } => {
-                db.delete_equal(rel, &tuple)?;
-            }
-        }
+    let (records, torn) = Wal::decode_prefix(&log);
+    for (_, rec) in records {
+        apply_record(&db, rec)?;
     }
-    Ok(db)
+    Ok((db, torn))
 }
 
 #[cfg(test)]
@@ -284,6 +502,7 @@ mod tests {
     use super::*;
     use crate::pred::{Restriction, Selection};
     use crate::tuple;
+    use crate::value::Value;
 
     #[test]
     fn record_roundtrip() {
@@ -311,10 +530,27 @@ mod tests {
         ];
         let wal = Wal::new();
         for r in &records {
-            wal.append(r);
+            wal.append(r).unwrap();
         }
         let decoded = Wal::decode_all(wal.bytes()).unwrap();
         assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn lsns_are_sequential_and_survive_truncate() {
+        let wal = Wal::new();
+        let rec = WalRecord::Insert {
+            rel: RelId(0),
+            tuple: tuple![1],
+        };
+        assert_eq!(wal.append(&rec).unwrap(), 1);
+        assert_eq!(wal.append(&rec).unwrap(), 2);
+        wal.truncate().unwrap();
+        // LSNs keep counting across epochs.
+        assert_eq!(wal.append(&rec).unwrap(), 3);
+        assert_eq!(wal.durable_lsn(), 2);
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_lsn(), 3);
     }
 
     #[test]
@@ -323,23 +559,28 @@ mod tests {
         wal.append(&WalRecord::CreateRelation {
             name: "Emp".into(),
             attrs: vec!["name".into(), "salary".into()],
-        });
+        })
+        .unwrap();
         wal.append(&WalRecord::CreateHashIndex {
             rel: RelId(0),
             attr: 0,
-        });
+        })
+        .unwrap();
         wal.append(&WalRecord::Insert {
             rel: RelId(0),
             tuple: tuple!["Mike", 6000],
-        });
+        })
+        .unwrap();
         wal.append(&WalRecord::Insert {
             rel: RelId(0),
             tuple: tuple!["Sam", 5000],
-        });
+        })
+        .unwrap();
         wal.append(&WalRecord::Delete {
             rel: RelId(0),
             tuple: tuple!["Mike", 6000],
-        });
+        })
+        .unwrap();
 
         let db = recover(None, wal.bytes()).unwrap();
         let emp = db.rel_id("Emp").unwrap();
@@ -359,15 +600,136 @@ mod tests {
     }
 
     #[test]
+    fn flipped_bit_caught_by_checksum() {
+        let wal = Wal::new();
+        wal.append(&WalRecord::Insert {
+            rel: RelId(0),
+            tuple: tuple!["abc", 42],
+        })
+        .unwrap();
+        let good = wal.bytes();
+        for i in 0..good.len() {
+            let mut bad = good.to_vec();
+            bad[i] ^= 0x40;
+            let (records, torn) = Wal::decode_prefix(&bad);
+            assert!(records.is_empty(), "flip at {i} produced a record");
+            assert!(torn.is_some(), "flip at {i} not reported");
+        }
+    }
+
+    #[test]
+    fn torn_tail_tolerated_at_every_offset() {
+        let wal = Wal::new();
+        let recs = [
+            WalRecord::CreateRelation {
+                name: "T".into(),
+                attrs: vec!["x".into()],
+            },
+            WalRecord::Insert {
+                rel: RelId(0),
+                tuple: tuple![1],
+            },
+            WalRecord::Insert {
+                rel: RelId(0),
+                tuple: tuple![2],
+            },
+        ];
+        let mut boundaries = vec![0];
+        for r in &recs {
+            wal.append(r).unwrap();
+            boundaries.push(wal.bytes().len());
+        }
+        let log = wal.bytes();
+        for cut in 0..=log.len() {
+            let (records, torn) = Wal::decode_prefix(&log[..cut]);
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(records.len(), whole, "cut at {cut}");
+            assert_eq!(torn.is_none(), boundaries.contains(&cut), "cut at {cut}");
+            if let Some(t) = torn {
+                assert_eq!(t.valid_bytes, boundaries[whole]);
+                assert_eq!(t.valid_bytes + t.dropped_bytes, cut);
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_since_is_incremental_and_epoch_aware() {
+        let wal = Wal::new();
+        let rec = WalRecord::Insert {
+            rel: RelId(0),
+            tuple: tuple![7],
+        };
+        let mut cur = WalCursor::start();
+        assert!(wal.bytes_since(&mut cur).is_empty());
+        wal.append(&rec).unwrap();
+        let first = wal.bytes_since(&mut cur);
+        assert_eq!(first, wal.bytes());
+        // Nothing new: empty delta, no copy of the old bytes.
+        assert!(wal.bytes_since(&mut cur).is_empty());
+        wal.append(&rec).unwrap();
+        let second = wal.bytes_since(&mut cur);
+        assert_eq!(first.len() + second.len(), wal.bytes().len());
+        // Truncate starts a new epoch; a stale cursor sees the fresh log
+        // from its beginning.
+        wal.truncate().unwrap();
+        wal.append(&rec).unwrap();
+        assert_eq!(wal.bytes_since(&mut cur), wal.bytes());
+    }
+
+    #[test]
     fn truncate_after_checkpoint() {
         let wal = Wal::new();
         wal.append(&WalRecord::Insert {
             rel: RelId(0),
             tuple: tuple![1],
-        });
+        })
+        .unwrap();
         assert!(!wal.is_empty());
-        wal.truncate();
+        wal.truncate().unwrap();
         assert!(wal.is_empty());
         assert!(Wal::decode_all(wal.bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_backed_log_persists_and_truncates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("relstore-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.log");
+        {
+            let wal = Wal::create(&path).unwrap();
+            wal.append(&WalRecord::CreateRelation {
+                name: "T".into(),
+                attrs: vec!["x".into()],
+            })
+            .unwrap();
+            wal.append(&WalRecord::Insert {
+                rel: RelId(0),
+                tuple: tuple![1],
+            })
+            .unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-append: chop 3 bytes off the tail.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let (wal, records, torn) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1, "only the whole record survives");
+        let torn = torn.expect("torn tail reported");
+        assert!(torn.dropped_bytes > 0);
+        // The file was physically truncated to the valid prefix and new
+        // appends continue the LSN sequence.
+        assert_eq!(std::fs::read(&path).unwrap().len(), torn.valid_bytes);
+        let lsn = wal
+            .append(&WalRecord::Insert {
+                rel: RelId(0),
+                tuple: tuple![2],
+            })
+            .unwrap();
+        assert_eq!(lsn, 2);
+        wal.sync().unwrap();
+        let (_, records, torn) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(torn.is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -43,8 +43,8 @@ fn main() {
     for _ in 0..5 {
         exec.step();
     }
-    let checkpoint = snapshot::save(pdb.db());
-    wal.truncate();
+    let checkpoint = snapshot::save(pdb.db()).unwrap();
+    wal.truncate().unwrap();
     println!("checkpoint taken: {} bytes", checkpoint.len());
 
     // More work lands after the checkpoint — the WAL captures it.

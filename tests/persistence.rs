@@ -31,7 +31,7 @@ fn snapshot_restore_rebuilds_conflict_set() {
         assert_eq!(before.len(), 1);
 
         // Phase 2: snapshot, restore into a new database, re-attach.
-        let image = snapshot::save(pdb.db());
+        let image = snapshot::save(pdb.db()).unwrap();
         let restored = Arc::new(snapshot::load(image).unwrap());
         let pdb2 = ProductionDb::attach(restored, rules).unwrap();
         assert_eq!(pdb2.wm_total(), 3, "{}", kind.label());
@@ -61,7 +61,7 @@ fn batched_bootstrap_matches_per_tuple_replay() {
         engine.insert(ClassId(1), tuple![0, "Toy", 1, "Sam"]);
         engine.insert(ClassId(1), tuple![2, "Toy", 1, "Pat"]);
 
-        let image = snapshot::save(pdb.db());
+        let image = snapshot::save(pdb.db()).unwrap();
 
         // Batched path: the one `bootstrap` now uses.
         let restored = Arc::new(snapshot::load(image.clone()).unwrap());
@@ -107,7 +107,7 @@ fn snapshot_preserves_wm_exactly() {
     }
     engine.remove(ClassId(0), &tuple!["e7", 700, "Sam", 2]);
 
-    let image = snapshot::save(pdb.db());
+    let image = snapshot::save(pdb.db()).unwrap();
     let restored = snapshot::load(image).unwrap();
     let emp = restored.rel_id("Emp").unwrap();
     assert_eq!(restored.relation_len(emp), 49);

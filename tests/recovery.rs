@@ -25,8 +25,8 @@ fn wal_replay_after_checkpoint() {
     engine.insert(ClassId(0), tuple!["Bob", 8]);
 
     // Checkpoint: snapshot + truncate the log.
-    let checkpoint = snapshot::save(pdb.db());
-    wal.truncate();
+    let checkpoint = snapshot::save(pdb.db()).unwrap();
+    wal.truncate().unwrap();
 
     // Post-checkpoint activity ("lost" unless the WAL captures it).
     engine.insert(ClassId(1), tuple![7]);
