@@ -465,7 +465,12 @@ impl ConcurrentExecutor {
                 support: inst.why.support_display(),
             });
             wm_writes = applied.len();
-            txn.commit();
+            // A failed commit-time WAL sync rolls the WM changes back;
+            // the instantiation stays unfired and is retried if still
+            // applicable, like any other failed transaction.
+            if let Err(e) = txn.commit() {
+                return TxnOutcome::Failed(e);
+            }
             TxnOutcome::Committed {
                 halt: rhs.halt,
                 writes: rhs.writes,

@@ -98,7 +98,7 @@ impl ProductionDb {
 
     /// All live WM tuples of a class, with ids.
     pub fn wm_scan(&self, class: ClassId) -> Result<Vec<(TupleId, Tuple)>> {
-        self.db.read(self.class_rel(class), |r| r.scan())
+        self.db.read(self.class_rel(class), |r| r.scan())?
     }
 
     /// The underlying database.
@@ -153,7 +153,11 @@ impl ProductionDb {
     pub fn wm_bytes(&self) -> usize {
         self.class_rel
             .iter()
-            .map(|&r| self.db.read(r, |rel| rel.approx_bytes()).unwrap_or(0))
+            .map(|&r| {
+                self.db
+                    .read(r, |rel| rel.approx_bytes().unwrap_or(0))
+                    .unwrap_or(0)
+            })
             .sum()
     }
 }

@@ -166,7 +166,9 @@ impl AnalyzeRegistry {
                 return n;
             }
         }
-        let n = r.distinct_exact(attr);
+        // Diagnostic path: an unreadable page degrades to 0 distincts
+        // rather than failing the sweep.
+        let n = r.distinct_exact(attr).unwrap_or(0);
         self.distinct_cache.lock().insert(key, (version, n));
         n
     }
@@ -283,7 +285,7 @@ pub fn analyze(db: &Database) -> AnalyzeSnapshot {
                             distinct: registry.distinct_exact(r, i),
                         })
                         .collect();
-                    (r.len(), r.approx_bytes(), attrs)
+                    (r.len(), r.approx_bytes().unwrap_or(0), attrs)
                 })
                 .expect("relation exists");
             RelationProfile {

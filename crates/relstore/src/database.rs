@@ -39,6 +39,11 @@ struct PagedMeta {
 pub struct RecoveryReport {
     /// Logical WAL records replayed on top of the checkpoint.
     pub records_replayed: usize,
+    /// WAL records skipped because the checkpoint snapshot already
+    /// contained them (`lsn <=` the snapshot's watermark). Non-zero
+    /// means a checkpoint crashed between publishing its snapshot and
+    /// truncating the log; recovery finishes the truncation.
+    pub records_skipped: usize,
     /// A torn tail found (and truncated) in the log file, if any.
     pub torn: Option<TornTail>,
     /// Whether a checkpoint snapshot was present and loaded.
@@ -137,25 +142,47 @@ impl Database {
             dir: dir.clone(),
             pool: pool.clone(),
         });
+        // A checkpoint that crashed before its rename leaves a stale tmp.
+        let _ = std::fs::remove_file(dir.join("checkpoint.tmp"));
         let snap_path = dir.join("checkpoint.snap");
         let snapshot_loaded = snap_path.exists();
+        let mut watermark = 0u64;
         if snapshot_loaded {
             let bytes = std::fs::read(&snap_path)?;
-            crate::snapshot::load_into(bytes.into(), &db)?;
+            watermark = crate::snapshot::load_into(bytes.into(), &db)?;
         }
         // Replay with the WAL still detached so replayed operations are
         // not re-logged; LSNs continue from the recovered position.
-        let records_replayed = records.len();
-        for (_, rec) in records {
+        // Records at or below the snapshot's watermark are already in the
+        // restored state — a checkpoint that crashed after renaming its
+        // snapshot but before truncating the log leaves exactly such a
+        // prefix behind, and replaying it would double every change.
+        let mut records_replayed = 0;
+        let mut records_skipped = 0;
+        for (lsn, rec) in records {
+            if lsn <= watermark {
+                records_skipped += 1;
+                continue;
+            }
             crate::wal::apply_record(&db, rec)?;
+            records_replayed += 1;
         }
         let wal = Arc::new(wal);
+        // New records must outrank the snapshot's watermark even if the
+        // log file was empty (fresh LSN sequence).
+        wal.bump_lsn(watermark);
+        if records_skipped > 0 {
+            // Finish the interrupted checkpoint: drop the already-
+            // snapshotted prefix so the next crash doesn't re-skip it.
+            wal.truncate_through(watermark)?;
+        }
         pool.set_wal(wal.clone());
         *db.wal.write() = Some(wal);
         Ok((
             db,
             RecoveryReport {
                 records_replayed,
+                records_skipped,
                 torn,
                 snapshot_loaded,
             },
@@ -167,16 +194,20 @@ impl Database {
         self.paged.is_some()
     }
 
-    /// Checkpoint a paged database: write a snapshot atomically
-    /// (tmp + fsync + rename), flush dirty pages WAL-first, and truncate
-    /// the log. After this, [`Database::open_paged`] recovers from the
-    /// snapshot alone.
+    /// Checkpoint a paged database: take a quiesced snapshot (every
+    /// relation latched, so no writer can straddle the cut), write it
+    /// atomically (tmp + fsync + rename), flush dirty pages WAL-first,
+    /// and drop the log prefix the snapshot covers. The snapshot embeds
+    /// the WAL watermark of its cut, so a crash *anywhere* in this
+    /// sequence recovers exactly the committed state: before the rename,
+    /// the old snapshot + full log; after it, the new snapshot with
+    /// replay skipping records the image already contains.
     pub fn checkpoint(&self) -> Result<()> {
         let paged = self
             .paged
             .as_ref()
             .ok_or_else(|| Error::Io("checkpoint requires a paged database".into()))?;
-        let bytes = crate::snapshot::save(self)?;
+        let (bytes, watermark) = crate::snapshot::save_with_watermark(self)?;
         let tmp = paged.dir.join("checkpoint.tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;
@@ -185,10 +216,27 @@ impl Database {
         }
         std::fs::rename(&tmp, paged.dir.join("checkpoint.snap"))?;
         paged.pool.flush_all()?;
-        if let Some(wal) = self.wal.read().as_ref() {
-            wal.truncate()?;
+        if let Some(wal) = self.wal_handle() {
+            // Keep the suffix: records committed while the snapshot was
+            // being written to disk are not in the image.
+            wal.truncate_through(watermark)?;
         }
         Ok(())
+    }
+
+    /// Run `f` with the whole database quiesced: the catalog and every
+    /// relation write-latched (in id order, so this cannot deadlock with
+    /// writers, which hold at most one relation latch), plus the WAL's
+    /// last LSN at that point. While `f` runs no relation can be created
+    /// and no tuple can change, so the LSN is an exact cut: everything
+    /// at or below it is visible to `f`, nothing above it is.
+    pub(crate) fn with_quiesced<R>(&self, f: impl FnOnce(&[&Relation], u64) -> R) -> R {
+        let _names = self.names.read();
+        let rels = self.relations.read();
+        let guards: Vec<_> = rels.iter().map(|r| r.write()).collect();
+        let watermark = self.wal.read().as_ref().map_or(0, |w| w.last_lsn());
+        let refs: Vec<&Relation> = guards.iter().map(|g| &**g).collect();
+        f(&refs, watermark)
     }
 
     /// Make the WAL durable through its latest record (fsync when
@@ -391,7 +439,7 @@ impl Database {
     pub fn delete_equal(&self, rid: RelId, tuple: &Tuple) -> Result<Option<TupleId>> {
         let wal = self.wal_handle();
         self.write(rid, |r| -> Result<Option<TupleId>> {
-            match r.find_equal(tuple) {
+            match r.find_equal(tuple)? {
                 Some(tid) => {
                     r.delete_logged(tid, wal.as_deref())?;
                     Ok(Some(tid))
@@ -414,7 +462,7 @@ impl Database {
 
     /// Select on one relation.
     pub fn select(&self, rid: RelId, restriction: &Restriction) -> Result<Vec<(TupleId, Tuple)>> {
-        let rows = self.read(rid, |r| r.select(restriction))?;
+        let rows = self.read(rid, |r| r.select(restriction))??;
         self.charge_io(rows.len() as u64 + 1);
         Ok(rows)
     }
@@ -422,7 +470,9 @@ impl Database {
     /// Total approximate bytes across all relations (space experiments).
     pub fn total_bytes(&self) -> usize {
         let rels = self.relations.read();
-        rels.iter().map(|r| r.read().approx_bytes()).sum()
+        rels.iter()
+            .map(|r| r.read().approx_bytes().unwrap_or(0))
+            .sum()
     }
 
     /// Total live tuples across all relations.

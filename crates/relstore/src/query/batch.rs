@@ -193,9 +193,9 @@ impl<'a> BatchExecutor<'a> {
             for p in &partials {
                 let bound = bound_preds(query, t, p);
                 let joined = !bound.is_empty();
-                let (input, rows) = self.db.read(rel, |r| {
-                    (r.len(), r.select_with(&query.terms[t].restriction, &bound))
-                })?;
+                let (input, rows) = self.db.read(rel, |r| -> Result<_> {
+                    Ok((r.len(), r.select_with(&query.terms[t].restriction, &bound)?))
+                })??;
                 registry.observe(rel, joined, input as u64, rows.len() as u64);
                 for (tid, tuple) in rows {
                     let mut ext = p.clone();
@@ -207,8 +207,9 @@ impl<'a> BatchExecutor<'a> {
         }
         let (input, rows) = {
             obs::prof_span!("build");
-            self.db
-                .read(rel, |r| (r.len(), r.select(&query.terms[t].restriction)))?
+            self.db.read(rel, |r| -> Result<_> {
+                Ok((r.len(), r.select(&query.terms[t].restriction)?))
+            })??
         };
         registry.observe_scan(rel, input as u64, rows.len() as u64);
         let mut out = Vec::new();
@@ -300,10 +301,11 @@ impl<'a> BatchExecutor<'a> {
         if algo != JoinAlgo::Hash || eqs.is_empty() {
             for p in partials {
                 let bound = bound_preds(query, t, &p);
-                let hit = self.db.read(rel, |r| {
-                    !r.select_ids_with(&query.terms[t].restriction, &bound)
-                        .is_empty()
-                })?;
+                let hit = self.db.read(rel, |r| -> Result<bool> {
+                    Ok(!r
+                        .select_ids_with(&query.terms[t].restriction, &bound)?
+                        .is_empty())
+                })??;
                 registry.observe_anti(rel, hit);
                 if !hit {
                     out.push(p);
@@ -313,7 +315,7 @@ impl<'a> BatchExecutor<'a> {
         }
         let rows = self
             .db
-            .read(rel, |r| r.select(&query.terms[t].restriction))?;
+            .read(rel, |r| r.select(&query.terms[t].restriction))??;
         let blocked = |p: &Partial, candidates: &[usize]| -> bool {
             candidates
                 .iter()
@@ -464,7 +466,7 @@ mod tests {
             ],
             vec![JoinPred::eq(0, 3, 1, 0)],
         );
-        let emps = db.read(emp, |r| r.scan()).unwrap();
+        let emps = db.read(emp, |r| r.scan()).unwrap().unwrap();
         let mut per_seed = Vec::new();
         for (tid, t) in &emps {
             per_seed.extend(
@@ -490,7 +492,7 @@ mod tests {
             )],
             vec![],
         );
-        let emps = db.read(emp, |r| r.scan()).unwrap();
+        let emps = db.read(emp, |r| r.scan()).unwrap().unwrap();
         let sam = emps
             .iter()
             .find(|(_, t)| t[0] == crate::Value::str("Sam"))

@@ -119,9 +119,9 @@ impl<'a> QueryExecutor<'a> {
         let bound = bound_preds(query, t, partial);
         let joined = !bound.is_empty();
         let rel = query.terms[t].rel;
-        let (input, rows) = self.db.read(rel, |r| {
-            (r.len(), r.select_with(&query.terms[t].restriction, &bound))
-        })?;
+        let (input, rows) = self.db.read(rel, |r| -> Result<_> {
+            Ok((r.len(), r.select_with(&query.terms[t].restriction, &bound)?))
+        })??;
         self.db
             .analyze_registry()
             .observe(rel, joined, input as u64, rows.len() as u64);
@@ -153,10 +153,11 @@ impl<'a> QueryExecutor<'a> {
     ) -> Result<bool> {
         let bound = bound_preds(query, t, partial);
         let rel = query.terms[t].rel;
-        let found = self.db.read(rel, |r| {
-            !r.select_ids_with(&query.terms[t].restriction, &bound)
-                .is_empty()
-        })?;
+        let found = self.db.read(rel, |r| -> Result<bool> {
+            Ok(!r
+                .select_ids_with(&query.terms[t].restriction, &bound)?
+                .is_empty())
+        })??;
         self.db.analyze_registry().observe_anti(rel, found);
         Ok(found)
     }
@@ -366,7 +367,7 @@ mod tests {
         );
         let all = QueryExecutor::new(&db).exec(&q, None).unwrap();
         // Seed each Emp tuple in turn; union must equal the full result.
-        let emps = db.read(emp, |r| r.scan()).unwrap();
+        let emps = db.read(emp, |r| r.scan()).unwrap().unwrap();
         let mut seeded = Vec::new();
         for (tid, t) in &emps {
             seeded.extend(
@@ -388,7 +389,7 @@ mod tests {
             )],
             vec![],
         );
-        let emps = db.read(emp, |r| r.scan()).unwrap();
+        let emps = db.read(emp, |r| r.scan()).unwrap().unwrap();
         let sam = emps
             .iter()
             .find(|(_, t)| t[0] == crate::Value::str("Sam"))

@@ -54,13 +54,12 @@ struct PagedStore {
     pages: Vec<(PageId, u16)>,
 }
 
-/// Fetch and decode a live record. A live slot pointing at an unreadable
-/// or undecodable record means the page file is corrupt underneath us —
-/// unrecoverable mid-run, so read paths treat it as fatal.
-fn read_page_tuple(pool: &BufferPool, pid: PageId, idx: u16) -> Tuple {
+/// Fetch and decode a live record. Buffer-pool I/O errors (transient
+/// read failure, all frames pinned) propagate to the caller as `Err`
+/// rather than panicking the process.
+fn read_page_tuple(pool: &BufferPool, pid: PageId, idx: u16) -> Result<Tuple> {
     pool.with_page(pid, |page| page.record(idx).and_then(codec::decode_tuple))
         .and_then(|r| r)
-        .expect("paged storage: live slot must resolve to a decodable record")
 }
 
 #[derive(Debug)]
@@ -168,8 +167,9 @@ impl Relation {
     }
 
     /// Visit every live tuple without I/O accounting (internal). Paged
-    /// mode decodes each record through the buffer pool.
-    fn for_each_live(&self, mut f: impl FnMut(TupleId, &Tuple)) {
+    /// mode decodes each record through the buffer pool; a pool I/O
+    /// error stops the walk and propagates.
+    fn for_each_live(&self, mut f: impl FnMut(TupleId, &Tuple)) -> Result<()> {
         match &self.store {
             Store::Mem(slots) => {
                 for (i, s) in slots.iter().enumerate() {
@@ -181,32 +181,34 @@ impl Relation {
             Store::Paged(p) => {
                 for (i, s) in p.slots.iter().enumerate() {
                     if let Some((pid, idx)) = s.loc {
-                        let t = read_page_tuple(&p.pool, pid, idx);
+                        let t = read_page_tuple(&p.pool, pid, idx)?;
                         f(TupleId::new(i as u32, s.gen), &t);
                     }
                 }
             }
         }
+        Ok(())
     }
 
-    /// Resolve a tuple id to its (owned) tuple, if live. In-memory this
+    /// Resolve a tuple id to its (owned) tuple: `Ok(None)` when the id is
+    /// stale or dead, `Err` on a buffer-pool I/O failure. In-memory this
     /// is an `Arc` bump; paged mode decodes from the page.
-    fn live_tuple(&self, tid: TupleId) -> Option<Tuple> {
+    fn live_tuple(&self, tid: TupleId) -> Result<Option<Tuple>> {
         match &self.store {
-            Store::Mem(slots) => {
-                let s = slots.get(tid.slot as usize)?;
-                if s.gen != tid.gen {
-                    return None;
-                }
-                s.tuple.clone()
-            }
+            Store::Mem(slots) => Ok(slots
+                .get(tid.slot as usize)
+                .filter(|s| s.gen == tid.gen)
+                .and_then(|s| s.tuple.clone())),
             Store::Paged(p) => {
-                let s = p.slots.get(tid.slot as usize)?;
-                if s.gen != tid.gen {
-                    return None;
+                let loc = p
+                    .slots
+                    .get(tid.slot as usize)
+                    .filter(|s| s.gen == tid.gen)
+                    .and_then(|s| s.loc);
+                match loc {
+                    Some((pid, idx)) => read_page_tuple(&p.pool, pid, idx).map(Some),
+                    None => Ok(None),
                 }
-                let (pid, idx) = s.loc?;
-                Some(read_page_tuple(&p.pool, pid, idx))
             }
         }
     }
@@ -215,7 +217,7 @@ impl Relation {
     pub fn create_hash_index(&mut self, attr: AttrIdx) -> Result<()> {
         self.check_attr(attr)?;
         let mut idx = HashIndex::new();
-        self.for_each_live(|tid, t| idx.insert(t[attr].clone(), tid));
+        self.for_each_live(|tid, t| idx.insert(t[attr].clone(), tid))?;
         self.hash_indexes[attr] = Some(idx);
         Ok(())
     }
@@ -224,7 +226,7 @@ impl Relation {
     pub fn create_ord_index(&mut self, attr: AttrIdx) -> Result<()> {
         self.check_attr(attr)?;
         let mut idx = OrdIndex::new();
-        self.for_each_live(|tid, t| idx.insert(t[attr].clone(), tid));
+        self.for_each_live(|tid, t| idx.insert(t[attr].clone(), tid))?;
         self.ord_indexes[attr] = Some(idx);
         Ok(())
     }
@@ -362,7 +364,7 @@ impl Relation {
     /// (see [`Relation::insert_logged`] for the ordering argument).
     pub(crate) fn delete_logged(&mut self, tid: TupleId, wal: Option<&Wal>) -> Result<Tuple> {
         let tuple = self
-            .live_tuple(tid)
+            .live_tuple(tid)?
             .ok_or(Error::NoSuchTuple(self.id, tid.pack()))?;
         let lsn = match wal {
             Some(w) => w.append(&WalRecord::Delete {
@@ -411,7 +413,7 @@ impl Relation {
     /// paged mode decodes the record from its page.
     pub fn get(&self, tid: TupleId) -> Result<Tuple> {
         self.stats.read_tuples(1);
-        self.live_tuple(tid)
+        self.live_tuple(tid)?
             .ok_or(Error::NoSuchTuple(self.id, tid.pack()))
     }
 
@@ -429,29 +431,31 @@ impl Relation {
     }
 
     /// Full scan. Counts one scan and one read per live tuple.
-    pub fn scan(&self) -> Vec<(TupleId, Tuple)> {
+    pub fn scan(&self) -> Result<Vec<(TupleId, Tuple)>> {
         self.stats.scan();
         self.stats.read_tuples(self.live as u64);
         let mut out = Vec::with_capacity(self.live);
-        self.for_each_live(|tid, t| out.push((tid, t.clone())));
-        out
+        self.for_each_live(|tid, t| out.push((tid, t.clone())))?;
+        Ok(out)
     }
 
     /// Find the first live tuple equal to `tuple` (value equality).
     ///
     /// OPS5 `remove` deletes a WM element by content; this is the lookup
     /// behind it. Uses a hash index when one exists on any attribute.
-    pub fn find_equal(&self, tuple: &Tuple) -> Option<TupleId> {
+    pub fn find_equal(&self, tuple: &Tuple) -> Result<Option<TupleId>> {
         // Prefer an indexed attribute probe.
         for (attr, idx) in self.hash_indexes.iter().enumerate() {
             if let Some(idx) = idx {
                 self.stats.index_probe();
                 let candidates = idx.probe(&tuple[attr]);
                 self.stats.read_tuples(candidates.len() as u64);
-                return candidates
-                    .iter()
-                    .copied()
-                    .find(|&tid| self.live_tuple(tid).as_ref() == Some(tuple));
+                for &tid in candidates.iter() {
+                    if self.live_tuple(tid)?.as_ref() == Some(tuple) {
+                        return Ok(Some(tid));
+                    }
+                }
+                return Ok(None);
             }
         }
         self.stats.scan();
@@ -461,12 +465,12 @@ impl Relation {
             if found.is_none() && t == tuple {
                 found = Some(tid);
             }
-        });
-        found
+        })?;
+        Ok(found)
     }
 
     /// Evaluate a restriction, using the best available index.
-    pub fn select(&self, restriction: &Restriction) -> Vec<(TupleId, Tuple)> {
+    pub fn select(&self, restriction: &Restriction) -> Result<Vec<(TupleId, Tuple)>> {
         self.select_with(restriction, &[])
     }
 
@@ -479,18 +483,20 @@ impl Relation {
         &self,
         restriction: &Restriction,
         bound: &[(AttrIdx, CompOp, &Value)],
-    ) -> Vec<(TupleId, Tuple)> {
-        let ids = self.select_ids_with(restriction, bound);
-        ids.into_iter()
-            .map(|tid| {
-                let t = self.live_tuple(tid).expect("live id");
-                (tid, t)
-            })
-            .collect()
+    ) -> Result<Vec<(TupleId, Tuple)>> {
+        let ids = self.select_ids_with(restriction, bound)?;
+        let mut out = Vec::with_capacity(ids.len());
+        for tid in ids {
+            let t = self
+                .live_tuple(tid)?
+                .ok_or(Error::Corrupt("selected id resolves to a dead tuple"))?;
+            out.push((tid, t));
+        }
+        Ok(out)
     }
 
     /// Like [`Relation::select`] but returns ids only.
-    pub fn select_ids(&self, restriction: &Restriction) -> Vec<TupleId> {
+    pub fn select_ids(&self, restriction: &Restriction) -> Result<Vec<TupleId>> {
         self.select_ids_with(restriction, &[])
     }
 
@@ -499,7 +505,7 @@ impl Relation {
         &self,
         restriction: &Restriction,
         bound: &[(AttrIdx, CompOp, &Value)],
-    ) -> Vec<TupleId> {
+    ) -> Result<Vec<TupleId>> {
         let tests = (restriction.tests.len() + bound.len()) as u64;
         let qualifies = |t: &Tuple| {
             restriction.matches(t)
@@ -525,11 +531,16 @@ impl Relation {
             let candidates = idx.probe(value);
             self.stats.read_tuples(candidates.len() as u64);
             self.stats.pred_evals(candidates.len() as u64 * tests);
-            return candidates
-                .iter()
-                .copied()
-                .filter(|&tid| qualifies(&self.live_tuple(tid).expect("indexed")))
-                .collect();
+            let mut out = Vec::new();
+            for &tid in candidates.iter() {
+                let t = self
+                    .live_tuple(tid)?
+                    .ok_or(Error::Corrupt("index entry points at a dead tuple"))?;
+                if qualifies(&t) {
+                    out.push(tid);
+                }
+            }
+            return Ok(out);
         }
         // 2. Range test with an ordered index?
         let range_probe = restriction
@@ -545,10 +556,16 @@ impl Relation {
             let candidates = idx.probe_op(op, value);
             self.stats.read_tuples(candidates.len() as u64);
             self.stats.pred_evals(candidates.len() as u64 * tests);
-            return candidates
-                .into_iter()
-                .filter(|&tid| qualifies(&self.live_tuple(tid).expect("indexed")))
-                .collect();
+            let mut out = Vec::new();
+            for tid in candidates {
+                let t = self
+                    .live_tuple(tid)?
+                    .ok_or(Error::Corrupt("index entry points at a dead tuple"))?;
+                if qualifies(&t) {
+                    out.push(tid);
+                }
+            }
+            return Ok(out);
         }
         // 3. Fall back to a scan.
         self.stats.scan();
@@ -559,12 +576,12 @@ impl Relation {
             if qualifies(t) {
                 out.push(tid);
             }
-        });
-        out
+        })?;
+        Ok(out)
     }
 
     /// Tuple ids where `attr op value`, used by join inner loops.
-    pub fn probe(&self, attr: AttrIdx, op: CompOp, value: &Value) -> Vec<TupleId> {
+    pub fn probe(&self, attr: AttrIdx, op: CompOp, value: &Value) -> Result<Vec<TupleId>> {
         self.select_ids(&Restriction::new(vec![Selection::new(
             attr,
             op,
@@ -586,7 +603,7 @@ impl Relation {
 
     /// Exact number of distinct values in `attr`, computed by a full scan
     /// (ANALYZE's catalog sweep; not for use on hot paths).
-    pub fn distinct_exact(&self, attr: AttrIdx) -> usize {
+    pub fn distinct_exact(&self, attr: AttrIdx) -> Result<usize> {
         self.stats.scan();
         self.stats.read_tuples(self.live as u64);
         let mut distinct = std::collections::HashSet::new();
@@ -594,14 +611,14 @@ impl Relation {
             if let Some(v) = t.get(attr) {
                 distinct.insert(v.clone());
             }
-        });
-        distinct.len()
+        })?;
+        Ok(distinct.len())
     }
 
     /// Approximate storage footprint in bytes (tuples + index postings).
-    pub fn approx_bytes(&self) -> usize {
+    pub fn approx_bytes(&self) -> Result<usize> {
         let mut tuples = 0usize;
-        self.for_each_live(|_, t| tuples += t.approx_bytes());
+        self.for_each_live(|_, t| tuples += t.approx_bytes())?;
         let postings: usize = self
             .hash_indexes
             .iter()
@@ -614,7 +631,7 @@ impl Relation {
                 .flatten()
                 .map(|i| i.len() * std::mem::size_of::<TupleId>() * 2)
                 .sum::<usize>();
-        tuples + postings
+        Ok(tuples + postings)
     }
 
     /// Drop every tuple but keep schema and index definitions. Paged
@@ -722,19 +739,34 @@ mod tests {
             p.insert(t).unwrap();
         }
         let restriction = Restriction::new(vec![Selection::eq(3, 4)]);
-        let from_m: Vec<Tuple> = m.select(&restriction).into_iter().map(|(_, t)| t).collect();
-        let from_p: Vec<Tuple> = p.select(&restriction).into_iter().map(|(_, t)| t).collect();
+        let from_m: Vec<Tuple> = m
+            .select(&restriction)
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let from_p: Vec<Tuple> = p
+            .select(&restriction)
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
         assert_eq!(from_m, from_p);
         p.create_hash_index(3).unwrap();
-        let indexed: Vec<Tuple> = p.select(&restriction).into_iter().map(|(_, t)| t).collect();
+        let indexed: Vec<Tuple> = p
+            .select(&restriction)
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
         let mut a = from_p.clone();
         let mut b = indexed;
         a.sort();
         b.sort();
         assert_eq!(a, b);
         assert_eq!(
-            m.find_equal(&tuple!["e7", 27, 7000, 7]).is_some(),
-            p.find_equal(&tuple!["e7", 27, 7000, 7]).is_some()
+            m.find_equal(&tuple!["e7", 27, 7000, 7]).unwrap().is_some(),
+            p.find_equal(&tuple!["e7", 27, 7000, 7]).unwrap().is_some()
         );
     }
 
@@ -765,11 +797,15 @@ mod tests {
             r.insert(tuple![format!("e{i}"), 20 + (i % 40), 1000 * i, i % 10])
                 .unwrap();
         }
-        let scan_res = r.select(&Restriction::new(vec![Selection::eq(3, 4)]));
+        let scan_res = r
+            .select(&Restriction::new(vec![Selection::eq(3, 4)]))
+            .unwrap();
         assert_eq!(scan_res.len(), 10);
 
         r.create_hash_index(3).unwrap();
-        let idx_res = r.select(&Restriction::new(vec![Selection::eq(3, 4)]));
+        let idx_res = r
+            .select(&Restriction::new(vec![Selection::eq(3, 4)]))
+            .unwrap();
         let mut a: Vec<_> = scan_res.iter().map(|(tid, _)| *tid).collect();
         let mut b: Vec<_> = idx_res.iter().map(|(tid, _)| *tid).collect();
         a.sort();
@@ -784,7 +820,9 @@ mod tests {
             r.insert(tuple![format!("e{i}"), i, 0, 0]).unwrap();
         }
         r.create_ord_index(1).unwrap();
-        let res = r.select(&Restriction::new(vec![Selection::new(1, CompOp::Ge, 45)]));
+        let res = r
+            .select(&Restriction::new(vec![Selection::new(1, CompOp::Ge, 45)]))
+            .unwrap();
         assert_eq!(res.len(), 5);
     }
 
@@ -793,9 +831,12 @@ mod tests {
         let mut r = emp();
         r.create_hash_index(0).unwrap();
         let tid = r.insert(tuple!["Mike", 32, 5000, 7]).unwrap();
-        assert_eq!(r.find_equal(&tuple!["Mike", 32, 5000, 7]), Some(tid));
+        assert_eq!(
+            r.find_equal(&tuple!["Mike", 32, 5000, 7]).unwrap(),
+            Some(tid)
+        );
         r.delete(tid).unwrap();
-        assert_eq!(r.find_equal(&tuple!["Mike", 32, 5000, 7]), None);
+        assert_eq!(r.find_equal(&tuple!["Mike", 32, 5000, 7]).unwrap(), None);
     }
 
     #[test]
@@ -803,8 +844,8 @@ mod tests {
         let mut r = emp();
         r.insert(tuple!["A", 1, 1, 1]).unwrap();
         let b = r.insert(tuple!["B", 2, 2, 2]).unwrap();
-        assert_eq!(r.find_equal(&tuple!["B", 2, 2, 2]), Some(b));
-        assert_eq!(r.find_equal(&tuple!["C", 3, 3, 3]), None);
+        assert_eq!(r.find_equal(&tuple!["B", 2, 2, 2]).unwrap(), Some(b));
+        assert_eq!(r.find_equal(&tuple!["C", 3, 3, 3]).unwrap(), None);
     }
 
     #[test]
@@ -814,14 +855,16 @@ mod tests {
             r.insert(tuple![format!("e{i}"), i, 0, 0]).unwrap();
         }
         let before = r.stats.snapshot();
-        r.select(&Restriction::new(vec![Selection::eq(1, 3)]));
+        r.select(&Restriction::new(vec![Selection::eq(1, 3)]))
+            .unwrap();
         let after = r.stats.snapshot().since(&before);
         assert_eq!(after.scans, 1);
         assert_eq!(after.tuples_read, 10);
 
         r.create_hash_index(1).unwrap();
         let before = r.stats.snapshot();
-        r.select(&Restriction::new(vec![Selection::eq(1, 3)]));
+        r.select(&Restriction::new(vec![Selection::eq(1, 3)]))
+            .unwrap();
         let after = r.stats.snapshot().since(&before);
         assert_eq!(after.scans, 0);
         assert_eq!(after.index_probes, 1);
@@ -837,7 +880,7 @@ mod tests {
         assert!(r.is_empty());
         assert!(r.has_hash_index(0));
         let tid = r.insert(tuple!["B", 2, 2, 2]).unwrap();
-        assert_eq!(r.find_equal(&tuple!["B", 2, 2, 2]), Some(tid));
+        assert_eq!(r.find_equal(&tuple!["B", 2, 2, 2]).unwrap(), Some(tid));
     }
 
     #[test]
@@ -860,7 +903,7 @@ mod tests {
         for i in 0..20i64 {
             r.insert(tuple![format!("e{i}"), i, 0, i % 2]).unwrap();
         }
-        assert_eq!(r.probe(3, CompOp::Eq, &Value::Int(1)).len(), 10);
-        assert_eq!(r.probe(1, CompOp::Lt, &Value::Int(5)).len(), 5);
+        assert_eq!(r.probe(3, CompOp::Eq, &Value::Int(1)).unwrap().len(), 10);
+        assert_eq!(r.probe(1, CompOp::Lt, &Value::Int(5)).unwrap().len(), 5);
     }
 }

@@ -7,6 +7,13 @@
 //! endian) and restores it, so a production system can stop and resume.
 //! The value encoding is the shared [`crate::codec`], so oversized
 //! strings are rejected at encode time rather than silently truncated.
+//!
+//! The image is a **consistent cut**: [`save`] latches the catalog and
+//! every relation for the duration of serialization, and the header
+//! records the WAL's last LSN at that cut — the *watermark*. Recovery
+//! ([`crate::wal::recover`], [`Database::open_paged`]) skips log
+//! records at or below the watermark, so a snapshot paired with an
+//! untruncated log replays each change exactly once.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -17,17 +24,27 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 
 const MAGIC: u32 = 0x5e11_1988; // "Sellis 1988"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Serialize the database (schemas + live tuples + index definitions).
 pub fn save(db: &Database) -> Result<Bytes> {
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
-    let names = db.relation_names();
-    buf.put_u32_le(names.len() as u32);
-    for (rid, _) in names {
-        db.read(rid, |rel| -> Result<()> {
+    save_with_watermark(db).map(|(bytes, _)| bytes)
+}
+
+/// Like [`save`], also returning the WAL watermark embedded in the
+/// image: every log record with `lsn <= watermark` is reflected in the
+/// snapshot and none beyond it are. The cut is taken under a write
+/// latch on every relation plus the catalog lock, so a concurrent
+/// writer can neither straddle the image nor commit a record at or
+/// below the watermark after it is chosen.
+pub fn save_with_watermark(db: &Database) -> Result<(Bytes, u64)> {
+    db.with_quiesced(|rels, watermark| -> Result<(Bytes, u64)> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u64_le(watermark);
+        buf.put_u32_le(rels.len() as u32);
+        for rel in rels {
             let schema = rel.schema();
             put_str(&mut buf, schema.name())?;
             buf.put_u32_le(schema.arity() as u32);
@@ -54,28 +71,28 @@ pub fn save(db: &Database) -> Result<Bytes> {
                 buf.put_u32_le(a);
             }
             // Tuples.
-            let rows = rel.scan();
+            let rows = rel.scan()?;
             buf.put_u32_le(rows.len() as u32);
             for (_, t) in rows {
                 for v in t.values() {
                     put_value(&mut buf, v)?;
                 }
             }
-            Ok(())
-        })
-        .expect("catalog ids are valid")?;
-    }
-    Ok(buf.freeze())
+        }
+        Ok((buf.freeze(), watermark))
+    })
 }
 
 /// Restore a snapshot saved by [`save`] into `db`, which must be empty.
 /// The database keeps its own storage mode — restoring into a paged
-/// database rehomes every tuple onto heap pages.
-pub fn load_into(mut bytes: Bytes, db: &Database) -> Result<()> {
+/// database rehomes every tuple onto heap pages. Returns the image's
+/// WAL watermark: log records with `lsn <= watermark` are already in
+/// the restored state and must not be replayed on top of it.
+pub fn load_into(mut bytes: Bytes, db: &Database) -> Result<u64> {
     if db.relation_count() != 0 {
         return Err(Error::Corrupt("snapshot restore into non-empty database"));
     }
-    if bytes.remaining() < 6 {
+    if bytes.remaining() < 14 {
         return Err(Error::Corrupt("header"));
     }
     if bytes.get_u32_le() != MAGIC {
@@ -84,6 +101,7 @@ pub fn load_into(mut bytes: Bytes, db: &Database) -> Result<()> {
     if bytes.get_u16_le() != VERSION {
         return Err(Error::Corrupt("unsupported version"));
     }
+    let watermark = bytes.get_u64_le();
     if bytes.remaining() < 4 {
         return Err(Error::Corrupt("relation count"));
     }
@@ -133,7 +151,7 @@ pub fn load_into(mut bytes: Bytes, db: &Database) -> Result<()> {
             db.write(rid, |r| r.create_ord_index(a))??;
         }
     }
-    Ok(())
+    Ok(watermark)
 }
 
 /// Restore a database saved by [`save`] (fresh in-memory database).
@@ -181,6 +199,23 @@ mod tests {
             .select(emp2, &Restriction::new(vec![Selection::eq(0, "Sam")]))
             .unwrap();
         assert!(sam[0].1[1].is_null());
+    }
+
+    #[test]
+    fn watermark_matches_wal_cut_and_roundtrips() {
+        let db = Database::new();
+        let wal = db.enable_wal();
+        let rid = db.create_relation(Schema::new("R", ["a"])).unwrap();
+        db.insert(rid, tuple![1]).unwrap();
+        let (image, watermark) = save_with_watermark(&db).unwrap();
+        assert_eq!(watermark, 2, "create + insert are in the image");
+        assert_eq!(watermark, wal.last_lsn());
+        let restored = Database::new();
+        assert_eq!(load_into(image, &restored).unwrap(), watermark);
+        assert_eq!(restored.relation_count(), 1);
+        // A database without a WAL snapshots at watermark 0.
+        let plain = Database::new();
+        assert_eq!(save_with_watermark(&plain).unwrap().1, 0);
     }
 
     #[test]

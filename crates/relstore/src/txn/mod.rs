@@ -98,7 +98,7 @@ impl<'db> Txn<'db> {
     pub fn select(&self, rel: RelId, restriction: &Restriction) -> Result<Vec<(TupleId, Tuple)>> {
         self.check_live()?;
         self.db.check_fault()?;
-        let rows = self.db.read(rel, |r| r.select(restriction))?;
+        let rows = self.db.read(rel, |r| r.select(restriction))??;
         self.db.charge_io(rows.len() as u64 + 1);
         for (tid, _) in &rows {
             self.db.lock_manager().acquire(
@@ -140,32 +140,33 @@ impl<'db> Txn<'db> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
-        let groups: Vec<Vec<(TupleId, Tuple)>> = self.db.read(rel, |r| {
+        let groups: Vec<Vec<(TupleId, Tuple)>> = self.db.read(rel, |r| -> Result<_> {
             let hash = keys.len() as f64 >= crate::query::HASH_THRESHOLD
                 && (keys.len() as f64) * crate::query::HASH_THRESHOLD >= r.len() as f64;
             if hash {
                 let mut by_content: HashMap<Tuple, Vec<(TupleId, Tuple)>> = HashMap::new();
-                for (tid, t) in r.scan() {
+                for (tid, t) in r.scan()? {
                     by_content.entry(t.clone()).or_default().push((tid, t));
                 }
-                keys.iter()
+                Ok(keys
+                    .iter()
                     .map(|k| by_content.get(k).cloned().unwrap_or_default())
-                    .collect()
+                    .collect())
             } else {
-                keys.iter()
-                    .map(|k| {
-                        let full_eq = Restriction::new(
-                            k.values()
-                                .iter()
-                                .enumerate()
-                                .map(|(a, v)| Selection::eq(a, v.clone()))
-                                .collect(),
-                        );
-                        r.select(&full_eq)
-                    })
-                    .collect()
+                let mut out = Vec::with_capacity(keys.len());
+                for k in keys {
+                    let full_eq = Restriction::new(
+                        k.values()
+                            .iter()
+                            .enumerate()
+                            .map(|(a, v)| Selection::eq(a, v.clone()))
+                            .collect(),
+                    );
+                    out.push(r.select(&full_eq)?);
+                }
+                Ok(out)
             }
-        })?;
+        })??;
         let rows: u64 = groups.iter().map(|g| g.len() as u64).sum();
         self.db.charge_io(rows + 1);
         let mut distinct: HashSet<TupleId> = HashSet::new();
@@ -206,7 +207,10 @@ impl<'db> Txn<'db> {
         self.db
             .lock_manager()
             .acquire(self.id, LockTarget::Relation(rel), LockMode::Shared)?;
-        let absent = self.db.read(rel, |r| r.select_ids(restriction))?.is_empty();
+        let absent = self
+            .db
+            .read(rel, |r| r.select_ids(restriction))??
+            .is_empty();
         self.db.charge_io(1);
         Ok(absent)
     }
@@ -250,14 +254,25 @@ impl<'db> Txn<'db> {
         Ok(Some(tuple))
     }
 
-    /// Commit: make the transaction's log records durable, release every
-    /// lock (strict 2PL — nothing was released earlier) and discard the
-    /// undo log. The WAL fsync is best-effort: an in-memory database has
-    /// no device behind its publish point.
-    pub fn commit(mut self) {
-        let _ = self.db.sync_wal();
-        self.undo.clear();
-        self.finish();
+    /// Commit: make the transaction's log records durable, then release
+    /// every lock (strict 2PL — nothing was released earlier) and discard
+    /// the undo log. If the WAL write/fsync fails the transaction rolls
+    /// back and the error is returned — a caller that sees `Ok` knows its
+    /// records are durable. (An in-memory database has no device behind
+    /// its publish point, so its sync never fails.)
+    pub fn commit(mut self) -> Result<()> {
+        match self.db.sync_wal() {
+            Ok(()) => {
+                self.undo.clear();
+                self.finish();
+                Ok(())
+            }
+            Err(e) => {
+                self.rollback();
+                self.finish();
+                Err(e)
+            }
+        }
     }
 
     /// Abort: undo all changes newest-first, then release locks.
@@ -322,7 +337,7 @@ mod tests {
         let (db, rid) = setup();
         let mut txn = db.begin();
         txn.insert(rid, tuple!["Jane", 4000]).unwrap();
-        txn.commit();
+        txn.commit().unwrap();
         assert_eq!(db.relation_len(rid), 3);
     }
 
@@ -342,12 +357,14 @@ mod tests {
             .read(rid, |r| {
                 r.select_ids(&Restriction::new(vec![Selection::eq(0, "Mike")]))
             })
+            .unwrap()
             .unwrap();
         assert_eq!(mike.len(), 1, "Mike restored on abort");
         let jane = db
             .read(rid, |r| {
                 r.select_ids(&Restriction::new(vec![Selection::eq(0, "Jane")]))
             })
+            .unwrap()
             .unwrap();
         assert!(jane.is_empty(), "Jane removed on abort");
     }
@@ -366,12 +383,12 @@ mod tests {
     #[test]
     fn delete_of_already_deleted_tuple_is_none() {
         let (db, rid) = setup();
-        let rows = db.read(rid, |r| r.scan()).unwrap();
+        let rows = db.read(rid, |r| r.scan()).unwrap().unwrap();
         let victim = rows[0].0;
         db.delete(rid, victim).unwrap();
         let mut txn = db.begin();
         assert_eq!(txn.delete(rid, victim).unwrap(), None);
-        txn.commit();
+        txn.commit().unwrap();
     }
 
     #[test]
@@ -387,7 +404,7 @@ mod tests {
                 LockMode::Shared
             ));
         }
-        txn.commit();
+        txn.commit().unwrap();
         assert_eq!(db.lock_manager().held_count(), 0);
     }
 
@@ -414,7 +431,7 @@ mod tests {
                 LockMode::Shared
             ));
         }
-        txn.commit();
+        txn.commit().unwrap();
         assert_eq!(db.lock_manager().held_count(), 0);
     }
 
@@ -430,7 +447,7 @@ mod tests {
         let keys: Vec<_> = (0..12i64).map(|i| tuple![i % 4, i]).collect();
         let txn = db.begin();
         let groups = txn.select_eq_batch(rid, &keys).unwrap();
-        txn.commit();
+        txn.commit().unwrap();
         for (k, g) in keys.iter().zip(&groups) {
             let expect = db
                 .select(
@@ -461,7 +478,7 @@ mod tests {
         assert!(db
             .lock_manager()
             .holds(txn.id(), LockTarget::Relation(rid), LockMode::Shared));
-        txn.commit();
+        txn.commit().unwrap();
     }
 
     #[test]
@@ -469,13 +486,13 @@ mod tests {
         let (db, rid) = setup();
         let txn = db.begin();
         let id = txn.id();
-        txn.commit();
+        txn.commit().unwrap();
         // A new txn gets a fresh id; the old handle is consumed by commit,
         // so we only assert the id allocator moves forward.
         let txn2 = db.begin();
         assert!(txn2.id() > id);
         let _ = rid;
-        txn2.commit();
+        txn2.commit().unwrap();
     }
 
     #[test]
@@ -486,6 +503,7 @@ mod tests {
         let total = |db: &Database| -> i64 {
             db.read(rid, |r| {
                 r.scan()
+                    .unwrap()
                     .iter()
                     .map(|(_, t)| match &t[1] {
                         crate::Value::Int(i) => *i,
@@ -524,7 +542,7 @@ mod tests {
                     })();
                     match run {
                         Ok(()) => {
-                            txn.commit();
+                            txn.commit().unwrap();
                             break;
                         }
                         Err(Error::Deadlock(_)) => {

@@ -29,7 +29,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
@@ -212,6 +212,14 @@ struct WalInner {
     epoch: u64,
     /// Backing file, when the log is durable at all.
     file: Option<File>,
+    /// Path of the backing file (for atomic rewrites on truncate).
+    path: Option<PathBuf>,
+    /// Set when a write/fsync failed. After a failed fsync the kernel
+    /// may silently drop the dirty pages, so a bare retry could report
+    /// durability the device never provided (the "fsyncgate" pattern);
+    /// a poisoned log refuses further durability claims until it is
+    /// wholly rewritten ([`Wal::truncate_through`]) or reopened.
+    poisoned: bool,
 }
 
 /// An append-only log of logical changes, optionally file-backed.
@@ -227,7 +235,7 @@ impl Default for Wal {
 }
 
 impl Wal {
-    fn from_parts(buf: BytesMut, next_lsn: u64, file: Option<File>) -> Self {
+    fn from_parts(buf: BytesMut, next_lsn: u64, file: Option<File>, path: Option<PathBuf>) -> Self {
         let flushed = buf.len();
         Wal {
             inner: Mutex::new(WalInner {
@@ -238,13 +246,15 @@ impl Wal {
                 durable_lsn: next_lsn - 1,
                 epoch: 0,
                 file,
+                path,
+                poisoned: false,
             }),
         }
     }
 
     /// Create a new, empty in-memory log.
     pub fn new() -> Self {
-        Wal::from_parts(BytesMut::new(), 1, None)
+        Wal::from_parts(BytesMut::new(), 1, None, None)
     }
 
     /// Create a fresh file-backed log, truncating any existing file.
@@ -256,7 +266,12 @@ impl Wal {
             .truncate(true)
             .open(path)?;
         file.sync_data()?;
-        Ok(Wal::from_parts(BytesMut::new(), 1, Some(file)))
+        Ok(Wal::from_parts(
+            BytesMut::new(),
+            1,
+            Some(file),
+            Some(path.to_path_buf()),
+        ))
     }
 
     /// Open an existing file-backed log (creating it if absent), decode
@@ -284,7 +299,11 @@ impl Wal {
         let next_lsn = records.last().map_or(1, |(lsn, _)| lsn + 1);
         let mut buf = BytesMut::with_capacity(valid);
         buf.put_slice(&raw[..valid]);
-        Ok((Wal::from_parts(buf, next_lsn, Some(file)), records, torn))
+        Ok((
+            Wal::from_parts(buf, next_lsn, Some(file), Some(path.to_path_buf())),
+            records,
+            torn,
+        ))
     }
 
     /// Append a record to the log and return its LSN. The record is
@@ -309,17 +328,28 @@ impl Wal {
     }
 
     fn sync_locked(g: &mut WalInner) -> Result<()> {
-        if let Some(file) = g.file.as_mut() {
-            if g.flushed < g.buf.len() {
-                let from = g.flushed;
-                file.write_all(&g.buf.as_ref()[from..])?;
-                g.flushed = g.buf.len();
-            }
-            file.sync_data()?;
-        } else {
-            // In-memory log: "durable" is a publish point, not a device.
-            g.flushed = g.buf.len();
+        if g.poisoned {
+            return Err(Error::Io(
+                "wal poisoned by an earlier sync failure: durability unknown".into(),
+            ));
         }
+        if let Some(file) = g.file.as_mut() {
+            let from = g.flushed;
+            let res = file
+                .write_all(&g.buf.as_ref()[from..])
+                .and_then(|()| file.sync_data());
+            if let Err(e) = res {
+                // `flushed` has NOT advanced: a retry would rewrite the
+                // suffix rather than re-fsyncing possibly-dropped pages.
+                // But the kernel may already have discarded this write's
+                // dirty pages while clearing the error, so no retry can
+                // be trusted — poison the handle instead.
+                g.poisoned = true;
+                return Err(e.into());
+            }
+        }
+        // In-memory log: "durable" is a publish point, not a device.
+        g.flushed = g.buf.len();
         g.durable_lsn = g.last_lsn;
         Ok(())
     }
@@ -346,6 +376,24 @@ impl Wal {
         self.inner.lock().durable_lsn
     }
 
+    /// LSN of the most recent append (0 before any).
+    pub fn last_lsn(&self) -> u64 {
+        self.inner.lock().last_lsn
+    }
+
+    /// Raise the LSN sequence so the next append is at least `floor + 1`.
+    /// Used after recovery when a checkpoint snapshot's watermark exceeds
+    /// every surviving log record's LSN — the records at or below the
+    /// floor live on in the snapshot and count as durable.
+    pub fn bump_lsn(&self, floor: u64) {
+        let mut g = self.inner.lock();
+        if g.next_lsn <= floor {
+            g.next_lsn = floor + 1;
+            g.last_lsn = floor;
+            g.durable_lsn = floor;
+        }
+    }
+
     /// The encoded log of the current epoch, as one contiguous buffer.
     ///
     /// This copies the whole epoch and exists for recovery and tests;
@@ -368,6 +416,70 @@ impl Wal {
         let out = Bytes::from(&g.buf.as_ref()[cursor.offset..]);
         cursor.offset = g.buf.len();
         out
+    }
+
+    /// Drop every record with `lsn <= watermark` — superseded by a
+    /// checkpoint snapshot carrying that watermark — and keep the suffix
+    /// (records committed while the checkpoint was writing its files).
+    ///
+    /// File-backed logs are rewritten atomically: the suffix goes to a
+    /// sibling temp file (fsynced) that is renamed over the log, so a
+    /// crash leaves either the old full log (recovery skips the prefix
+    /// via the snapshot's watermark) or the new suffix — never a
+    /// partially truncated file. Because the whole remaining buffer is
+    /// written and fsynced, a successful rewrite also clears a poisoned
+    /// handle. Starts a new epoch; LSNs keep counting.
+    pub fn truncate_through(&self, watermark: u64) -> Result<()> {
+        let mut g = self.inner.lock();
+        // Find the first frame past the watermark (LSNs in the buffer
+        // are strictly increasing, so the cut is a prefix boundary).
+        let mut at = 0usize;
+        {
+            let bytes = g.buf.as_ref();
+            while at + FRAME_HEADER <= bytes.len() {
+                let lsn = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+                if lsn > watermark {
+                    break;
+                }
+                let len = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap()) as usize;
+                at += FRAME_HEADER + len;
+            }
+        }
+        let at = at.min(g.buf.len());
+        let mut tail = BytesMut::with_capacity(g.buf.len() - at);
+        tail.put_slice(&g.buf.as_ref()[at..]);
+        g.buf = tail;
+        g.epoch += 1;
+        // Keep flushed consistent with the shrunk buffer until the file
+        // rewrite lands; on any file error the handle is poisoned, so a
+        // stale value can never be trusted afterwards.
+        g.flushed = g.flushed.saturating_sub(at).min(g.buf.len());
+        if g.file.is_some() {
+            let path = g.path.clone().expect("file-backed wal has a path");
+            let tmp = path.with_extension("tmp");
+            let rewrite = (|| -> Result<File> {
+                {
+                    let mut f = File::create(&tmp)?;
+                    f.write_all(g.buf.as_ref())?;
+                    f.sync_data()?;
+                }
+                std::fs::rename(&tmp, &path)?;
+                let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+                file.seek(SeekFrom::End(0))?;
+                Ok(file)
+            })();
+            match rewrite {
+                Ok(file) => g.file = Some(file),
+                Err(e) => {
+                    g.poisoned = true;
+                    return Err(e);
+                }
+            }
+        }
+        g.flushed = g.buf.len();
+        g.durable_lsn = g.last_lsn;
+        g.poisoned = false;
+        Ok(())
     }
 
     /// Truncate after a checkpoint (snapshot taken). Starts a new epoch;
@@ -482,17 +594,29 @@ pub fn recover(snapshot: Option<Bytes>, log: Bytes) -> Result<Database> {
 }
 
 /// Like [`recover`], also reporting whether a torn tail was dropped.
+///
+/// Log records at or below the snapshot's LSN watermark are already
+/// reflected in the snapshot image and are skipped, so recovering from
+/// a snapshot plus a log that was never truncated (e.g. a crash between
+/// the checkpoint's snapshot rename and its log truncation) does not
+/// double-apply the prefix.
 pub fn recover_with_report(
     snapshot: Option<Bytes>,
     log: Bytes,
 ) -> Result<(Database, Option<TornTail>)> {
-    let db = match snapshot {
-        Some(s) => crate::snapshot::load(s)?,
-        None => Database::new(),
+    let (db, watermark) = match snapshot {
+        Some(s) => {
+            let db = Database::new();
+            let watermark = crate::snapshot::load_into(s, &db)?;
+            (db, watermark)
+        }
+        None => (Database::new(), 0),
     };
     let (records, torn) = Wal::decode_prefix(&log);
-    for (_, rec) in records {
-        apply_record(&db, rec)?;
+    for (lsn, rec) in records {
+        if lsn > watermark {
+            apply_record(&db, rec)?;
+        }
     }
     Ok((db, torn))
 }
@@ -731,5 +855,104 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert!(torn.is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_through_keeps_suffix_and_lsn_sequence() {
+        let wal = Wal::new();
+        let rec = |i: i64| WalRecord::Insert {
+            rel: RelId(0),
+            tuple: tuple![i],
+        };
+        for i in 1..=4i64 {
+            assert_eq!(wal.append(&rec(i)).unwrap(), i as u64);
+        }
+        wal.truncate_through(2).unwrap();
+        let (records, torn) = Wal::decode_prefix(&wal.bytes());
+        assert!(torn.is_none());
+        let lsns: Vec<u64> = records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![3, 4], "records past the watermark survive");
+        assert_eq!(wal.last_lsn(), 4);
+        assert_eq!(wal.durable_lsn(), 4, "surviving suffix counts as durable");
+        assert_eq!(wal.append(&rec(5)).unwrap(), 5, "LSNs keep counting");
+        // A watermark covering everything empties the log.
+        wal.truncate_through(5).unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.append(&rec(6)).unwrap(), 6);
+    }
+
+    #[test]
+    fn truncate_through_file_backed_rewrites_and_reopens() {
+        let dir = std::env::temp_dir().join(format!(
+            "relstore-wal-tt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.log");
+        let rec = |i: i64| WalRecord::Insert {
+            rel: RelId(0),
+            tuple: tuple![i],
+        };
+        {
+            let wal = Wal::create(&path).unwrap();
+            for i in 1..=4i64 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+            wal.truncate_through(2).unwrap();
+            // The on-disk file holds exactly the surviving suffix.
+            let bytes = std::fs::read(&path).unwrap();
+            let (records, torn) = Wal::decode_prefix(&bytes);
+            assert!(torn.is_none());
+            let lsns: Vec<u64> = records.iter().map(|(l, _)| *l).collect();
+            assert_eq!(lsns, vec![3, 4]);
+            // The rewritten handle keeps appending in place.
+            wal.append(&rec(5)).unwrap();
+            wal.sync().unwrap();
+        }
+        let (wal, records, torn) = Wal::open(&path).unwrap();
+        assert!(torn.is_none());
+        let lsns: Vec<u64> = records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![3, 4, 5]);
+        assert_eq!(wal.append(&rec(6)).unwrap(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bump_lsn_raises_floor_only_forward() {
+        let wal = Wal::new();
+        wal.bump_lsn(10);
+        assert_eq!(wal.last_lsn(), 10);
+        let lsn = wal
+            .append(&WalRecord::Insert {
+                rel: RelId(0),
+                tuple: tuple![1],
+            })
+            .unwrap();
+        assert_eq!(lsn, 11, "appends continue past the floor");
+        wal.bump_lsn(5);
+        assert_eq!(wal.last_lsn(), 11, "a lower floor is a no-op");
+    }
+
+    #[test]
+    fn recover_skips_records_at_or_below_snapshot_watermark() {
+        let db = Database::new();
+        let wal = db.enable_wal();
+        let rid = db.create_relation(Schema::new("R", ["v"])).unwrap();
+        db.insert(rid, tuple![1]).unwrap();
+        db.insert(rid, tuple![2]).unwrap();
+        // Snapshot taken but the log NOT truncated — exactly the state a
+        // crash between a checkpoint's snapshot rename and its WAL
+        // truncation leaves behind.
+        let snap = crate::snapshot::save(&db).unwrap();
+        db.insert(rid, tuple![3]).unwrap();
+        let back = recover(Some(snap), wal.bytes()).unwrap();
+        let r2 = back.rel_id("R").unwrap();
+        assert_eq!(
+            back.relation_len(r2),
+            3,
+            "pre-snapshot records skipped, post-snapshot record replayed"
+        );
     }
 }

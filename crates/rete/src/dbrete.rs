@@ -230,7 +230,10 @@ impl DbReteNetwork {
     pub fn approx_bytes(&self) -> usize {
         let mut total = 0;
         for &r in self.alpha_rel.iter().chain(self.beta_rel.iter().flatten()) {
-            total += self.db.read(r, |rel| rel.approx_bytes()).unwrap_or(0);
+            total += self
+                .db
+                .read(r, |rel| rel.approx_bytes().unwrap_or(0))
+                .unwrap_or(0);
         }
         total
     }

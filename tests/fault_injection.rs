@@ -33,7 +33,7 @@ fn armed_fault_aborts_one_txn_and_disarms() {
     // Disarmed: a fresh transaction succeeds end to end.
     let txn = db.begin();
     assert_eq!(txn.select(rid, &Restriction::default()).unwrap().len(), 1);
-    txn.commit();
+    txn.commit().unwrap();
 
     // A fault mid-write rolls the earlier writes of that txn back.
     db.inject_fault_after(1);
