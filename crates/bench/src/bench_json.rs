@@ -49,6 +49,15 @@ pub struct BenchRow {
     /// Buffer-pool frames evicted to make room (0 unless the pool is
     /// smaller than the working set).
     pub pool_evictions: u64,
+    /// Lock requests that blocked during the run (0 for the sequential
+    /// rows, which are single-threaded and never contend).
+    pub lock_waits: u64,
+    /// Total nanoseconds transactions spent blocked on locks.
+    pub lock_wait_ns: u64,
+    /// Per-lock-shard contention `(shard, waits, wait_ns)` for shards
+    /// where at least one request blocked — the §5 sharding evidence:
+    /// contention localizes to the shards the workload actually hits.
+    pub lock_shards: Vec<(u32, u64, u64)>,
     /// Bytes allocated during the profiled re-run (0 when the row was
     /// built without profiling, or in binaries that don't install
     /// [`obs::alloc::CountingAlloc`]).
@@ -141,6 +150,9 @@ pub fn bench_rows_with(profiled: bool) -> Vec<BenchRow> {
                 page_writes: ops.page_writes,
                 pool_hits: ops.pool_hits,
                 pool_evictions: ops.pool_evictions,
+                lock_waits: 0,
+                lock_wait_ns: 0,
+                lock_shards: Vec::new(),
                 alloc_bytes,
                 prof_wall_ns,
                 profile,
@@ -276,6 +288,9 @@ fn scaled_row(
         page_writes: ops.page_writes,
         pool_hits: ops.pool_hits,
         pool_evictions: ops.pool_evictions,
+        lock_waits: 0,
+        lock_wait_ns: 0,
+        lock_shards: Vec::new(),
         alloc_bytes,
         prof_wall_ns,
         profile,
@@ -398,6 +413,9 @@ fn scaled_paged_row(label: &'static str, items: i64, profiled: bool) -> BenchRow
         page_writes: ops.page_writes,
         pool_hits: ops.pool_hits,
         pool_evictions: ops.pool_evictions,
+        lock_waits: 0,
+        lock_wait_ns: 0,
+        lock_shards: Vec::new(),
         alloc_bytes,
         prof_wall_ns,
         profile,
@@ -424,13 +442,19 @@ pub const SCALED_CONC_DEMO: &str = r#"
 /// measures overlap rather than scheduler noise.
 pub const SCALED_CONC_IO_COST_NS: u64 = 200_000;
 
-/// One §5 concurrent row: load the [`SCALED_CONC_DEMO`] WM, switch on
-/// the simulated I/O latency, then time `run` alone under `workers`
-/// worker threads. Fires exactly [`scaled_fired`]`(items)` transactions
-/// — identical to the sequential engines' count on the same skew.
-fn scaled_concurrent_pass(items: i64, workers: usize) -> (ConcurrentExecutor, u64, u64) {
+/// One §5 concurrent row: load the [`SCALED_CONC_DEMO`] WM into a
+/// database whose lock manager has `shards` shards, switch on the
+/// simulated I/O latency, then time `run` alone under `workers` worker
+/// threads. Fires exactly [`scaled_fired`]`(items)` transactions —
+/// identical to the sequential engines' count on the same skew.
+fn scaled_concurrent_pass(
+    items: i64,
+    workers: usize,
+    shards: usize,
+) -> (ConcurrentExecutor, prodsys::ConcurrentStats, u64) {
     let rules = ops5::compile(SCALED_CONC_DEMO).expect("concurrent program compiles");
-    let pdb = ProductionDb::new(rules).unwrap();
+    let db = std::sync::Arc::new(relstore::Database::new_with_shards(shards));
+    let pdb = ProductionDb::with_db(db, rules).unwrap();
     let mut engine = make_engine(EngineKind::Rete, pdb);
     for r in 0..SCALED_REFS {
         engine.insert(ClassId(1), tuple![SCALED_HOT + r, r * 10]);
@@ -445,19 +469,20 @@ fn scaled_concurrent_pass(items: i64, workers: usize) -> (ConcurrentExecutor, u6
     let start = Instant::now();
     let stats = exec.run(items as usize * 4);
     let wall_ns = start.elapsed().as_nanos() as u64;
-    (exec, stats.committed as u64, wall_ns)
+    (exec, stats, wall_ns)
 }
 
 fn scaled_concurrent_row(
     label: &'static str,
     items: i64,
     workers: usize,
+    shards: usize,
     profiled: bool,
 ) -> BenchRow {
-    let (exec, fired, wall_ns) = scaled_concurrent_pass(items, workers);
+    let (exec, stats, wall_ns) = scaled_concurrent_pass(items, workers, shards);
     let (profile, prof_wall_ns, alloc_bytes) = if profiled {
         let (_, profile, prof_wall_ns, alloc_bytes) =
-            profiled_run(|| scaled_concurrent_pass(items, workers));
+            profiled_run(|| scaled_concurrent_pass(items, workers, shards));
         (profile, prof_wall_ns, alloc_bytes)
     } else {
         (obs::Profile::new(), 0, 0)
@@ -470,7 +495,7 @@ fn scaled_concurrent_row(
     BenchRow {
         engine: label,
         wall_ns,
-        fired,
+        fired: stats.committed as u64,
         logical_io: ops.logical_io(),
         match_entries: space.match_entries as u64,
         match_bytes: space.match_bytes as u64,
@@ -480,10 +505,55 @@ fn scaled_concurrent_row(
         page_writes: ops.page_writes,
         pool_hits: ops.pool_hits,
         pool_evictions: ops.pool_evictions,
+        lock_waits: stats.lock_waits,
+        lock_wait_ns: stats.lock_wait_ns,
+        lock_shards: stats.shard_contention.clone(),
         alloc_bytes,
         prof_wall_ns,
         profile,
     }
+}
+
+/// Worker counts of the §5 throughput-vs-workers sweep
+/// (`harness --bench-workers`).
+pub const SCALED_WORKER_SWEEP: [usize; 5] = [1, 4, 16, 32, 64];
+
+/// Stable row label for a worker count (`concurrent-w16` etc.).
+pub fn concurrent_worker_label(workers: usize) -> &'static str {
+    match workers {
+        1 => "concurrent-w1",
+        2 => "concurrent-w2",
+        4 => "concurrent-w4",
+        8 => "concurrent-w8",
+        16 => "concurrent-w16",
+        32 => "concurrent-w32",
+        64 => "concurrent-w64",
+        _ => "concurrent-wN",
+    }
+}
+
+/// The §5 throughput-vs-workers sweep: one [`SCALED_CONC_DEMO`] row per
+/// worker count over a `shards`-way sharded working memory, all at the
+/// same `items`. Unlike [`bench_scaled_rows`], `items` is *not* clamped
+/// to [`SCALED_MAX_ITEMS`]: the sweep never runs the tuple-at-a-time
+/// baselines, and its whole point is the 100k-WME scale where a single
+/// lock table used to be the ceiling. Every row must commit exactly
+/// [`scaled_fired`]`(items)` transactions regardless of worker count.
+pub fn bench_workers_rows(items: i64, workers: &[usize], shards: usize) -> Vec<BenchRow> {
+    workers
+        .iter()
+        .map(|&w| scaled_concurrent_row(concurrent_worker_label(w), items, w, shards, false))
+        .collect()
+}
+
+/// Render [`bench_workers_rows`] over [`SCALED_WORKER_SWEEP`] as a
+/// `sellis88-bench/v1` document (workload `concurrent-workers`).
+pub fn bench_workers_snapshot(items: i64, shards: usize) -> String {
+    snapshot_json(
+        "concurrent-workers",
+        items,
+        &bench_workers_rows(items, &SCALED_WORKER_SWEEP, shards),
+    )
 }
 
 /// Run the scaled skewed-join workload at `items` on every engine in
@@ -492,9 +562,11 @@ fn scaled_concurrent_row(
 /// of the query and marker engines (`query-nl`, `marker-nl`), all
 /// measured in the same run, same machine, same `items`. The historical
 /// `cond` row pins the index off so it stays comparable across
-/// snapshots. Two §5 rows (`concurrent-w1`, `concurrent-w4`) run the
-/// consuming variant of the same skew under simulated I/O latency with
-/// 1 and 4 workers — same fired count, diverging wall clock. A final
+/// snapshots. Three §5 rows (`concurrent-w1`, `concurrent-w4`,
+/// `concurrent-w16`) run the consuming variant of the same skew under
+/// simulated I/O latency with 1, 4, and 16 workers over the default
+/// 16-way sharded lock manager — same fired count, diverging wall
+/// clock. A final
 /// `query-paged` row reruns the Query engine over file-backed pages
 /// with a [`SCALED_PAGED_POOL`]-frame buffer pool (§3.2), so its page
 /// counters are live and its `fired` must match the in-memory rows.
@@ -539,8 +611,28 @@ pub fn bench_scaled_rows_with(items: i64, profiled: bool) -> Vec<BenchRow> {
         true,
         profiled,
     ));
-    rows.push(scaled_concurrent_row("concurrent-w1", items, 1, profiled));
-    rows.push(scaled_concurrent_row("concurrent-w4", items, 4, profiled));
+    let shards = relstore::DEFAULT_LOCK_SHARDS;
+    rows.push(scaled_concurrent_row(
+        "concurrent-w1",
+        items,
+        1,
+        shards,
+        profiled,
+    ));
+    rows.push(scaled_concurrent_row(
+        "concurrent-w4",
+        items,
+        4,
+        shards,
+        profiled,
+    ));
+    rows.push(scaled_concurrent_row(
+        "concurrent-w16",
+        items,
+        16,
+        shards,
+        profiled,
+    ));
     rows.push(scaled_paged_row("query-paged", items, profiled));
     rows
 }
@@ -562,6 +654,21 @@ fn snapshot_json(workload: &str, items: i64, rows: &[BenchRow]) -> String {
                 .u64("page_writes", row.page_writes)
                 .u64("pool_hits", row.pool_hits)
                 .u64("pool_evictions", row.pool_evictions)
+                .u64("lock_waits", row.lock_waits)
+                .u64("lock_wait_ns", row.lock_wait_ns)
+                .raw("lock_shards", &{
+                    let mut ls = Arr::new();
+                    for &(shard, waits, wait_ns) in &row.lock_shards {
+                        ls = ls.raw(
+                            &Obj::new()
+                                .u64("shard", u64::from(shard))
+                                .u64("waits", waits)
+                                .u64("wait_ns", wait_ns)
+                                .finish(),
+                        );
+                    }
+                    ls.finish()
+                })
                 .u64("alloc_bytes", row.alloc_bytes)
                 .raw("hotspots", &{
                     let mut hs = Arr::new();
@@ -613,8 +720,8 @@ mod tests {
         let rows = bench_scaled_rows(items);
         assert_eq!(
             rows.len(),
-            11,
-            "5 engines + cond-indexed + 2 nested-loop baselines + 2 concurrent + query-paged"
+            12,
+            "5 engines + cond-indexed + 2 nested-loop baselines + 3 concurrent + query-paged"
         );
         let expect = scaled_fired(items);
         assert!(expect > 0);
@@ -671,6 +778,11 @@ mod tests {
             find("concurrent-w1").fired,
             find("concurrent-w4").fired,
             "same committed transactions regardless of workers"
+        );
+        assert_eq!(
+            find("concurrent-w1").fired,
+            find("concurrent-w16").fired,
+            "same committed transactions at 16 workers too"
         );
         // The paged row runs the same join over file-backed pages with a
         // pool far smaller than the working set: it must actually fault,
@@ -737,8 +849,30 @@ mod tests {
             "page_writes",
             "pool_hits",
             "pool_evictions",
+            "lock_waits",
+            "lock_wait_ns",
+            "lock_shards",
         ] {
             assert!(json.contains(&format!("\"{field}\":")), "{json}");
         }
+    }
+
+    #[test]
+    fn workers_sweep_rows_agree_on_fired() {
+        let items = 384;
+        let rows = bench_workers_rows(items, &[1, 4], 4);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].engine, "concurrent-w1");
+        assert_eq!(rows[1].engine, "concurrent-w4");
+        let expect = scaled_fired(items);
+        for row in &rows {
+            assert_eq!(row.fired, expect, "{}", row.engine);
+        }
+        let json = snapshot_json("concurrent-workers", items, &rows);
+        assert!(
+            json.contains("\"workload\":\"concurrent-workers\""),
+            "{json}"
+        );
+        assert!(json.contains("{\"engine\":\"concurrent-w4\""), "{json}");
     }
 }

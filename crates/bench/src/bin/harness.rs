@@ -29,6 +29,9 @@ const RECORD_DEFAULT_ITEMS: i64 = 24;
 /// Default `--paged` smoke workload size (items) — big enough that the
 /// default pool must evict, small enough for CI.
 const PAGED_SMOKE_ITEMS: i64 = 512;
+/// Default `--bench-workers` sweep size: the 100k-WME scale where the
+/// single-lock-table ceiling used to bite.
+const WORKERS_SWEEP_ITEMS: i64 = 100_000;
 
 fn t1() {
     let rs = paper::example2_rules();
@@ -465,6 +468,35 @@ fn bench_json(path: &str, items: Option<i64>, history: &str) {
     }
 }
 
+fn bench_workers(path: &str, items: Option<i64>, shards: Option<usize>, history: &str) {
+    let items = items.unwrap_or(WORKERS_SWEEP_ITEMS);
+    let shards = shards.unwrap_or(relstore::DEFAULT_LOCK_SHARDS);
+    let json = bench::bench_workers_snapshot(items, shards);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "throughput-vs-workers sweep ({} items, {shards} lock shards, workers {:?}) -> {path}",
+        items,
+        bench::SCALED_WORKER_SWEEP
+    );
+    let mut line = json;
+    line.push('\n');
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => println!("history row -> {history}"),
+        Err(e) => {
+            eprintln!("error: cannot append {history}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn profile(path: &str, items: Option<i64>, history: &str) {
     let items = items.unwrap_or(PROFILE_DEFAULT_ITEMS);
     let rows = bench::bench_scaled_rows_with(items, true);
@@ -655,6 +687,16 @@ fn usage() {
     println!("                     query-nl/marker-nl nested-loop baseline rows, the §5");
     println!("                     concurrent-w1/concurrent-w4 worker-scaling rows, and a");
     println!("                     query-paged row over file-backed pages (§3.2)");
+    println!("  --bench-workers FILE  write the §5 throughput-vs-workers sweep (workload");
+    println!(
+        "                     concurrent-workers; workers {:?}, {WORKERS_SWEEP_ITEMS} items or --items N,",
+        bench::SCALED_WORKER_SWEEP
+    );
+    println!("                     unclamped) and append it as one history line");
+    println!(
+        "  --shards N         with --bench-workers: lock-manager shard count (default {})",
+        relstore::DEFAULT_LOCK_SHARDS
+    );
     println!("  --paged            smoke-check paged storage: run the scaled workload on the");
     println!("                     Query engine in-memory and over file-backed pages, verify");
     println!("                     identical firings and working memory, require evictions");
@@ -672,8 +714,10 @@ fn usage() {
         "                     folded flamegraph stacks to FILE ({PROFILE_DEFAULT_ITEMS} items, or --items N);"
     );
     println!("                     prints per-engine attribution and top self-time spans");
-    println!("  --bench-check      re-run the last entry of the history file and fail (exit 1)");
-    println!("                     on a >25% wall-time or >2x allocation regression per engine");
+    println!("  --bench-check      re-run the last entry per workload of the history file and");
+    println!("                     fail (exit 1) on a >25% wall-time or >2x allocation");
+    println!("                     regression per engine, a blown COND gap gate, or a");
+    println!("                     concurrent-w16 run under 2x faster than concurrent-w4");
     println!("  --history FILE     history file for --bench-json/--bench-check");
     println!("                     (default {HISTORY_DEFAULT})");
     println!("  --record FILE      run the demo workload with the flight recorder on and write");
@@ -728,6 +772,8 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut paged = false;
     let mut pool_pages: Option<usize> = None;
+    let mut bench_workers_path: Option<String> = None;
+    let mut shards: Option<usize> = None;
     while let Some(a) = raw.next() {
         match a.as_str() {
             "--help" | "-h" => {
@@ -737,6 +783,16 @@ fn main() {
             "--trace" => trace = Some(flag_value("--trace", &mut raw)),
             "--report" => report = Some(flag_value("--report", &mut raw)),
             "--bench-json" => bench_path = Some(flag_value("--bench-json", &mut raw)),
+            "--bench-workers" => {
+                bench_workers_path = Some(flag_value("--bench-workers", &mut raw));
+            }
+            "--shards" => {
+                let v = flag_value("--shards", &mut raw);
+                shards = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --shards expects an integer, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--items" => {
                 let v = flag_value("--items", &mut raw);
                 items = Some(v.parse().unwrap_or_else(|_| {
@@ -786,11 +842,16 @@ fn main() {
     let recorder_requested = record.is_some() || replay.is_some() || journal.is_some();
     let standalone = obs_requested
         || bench_path.is_some()
+        || bench_workers_path.is_some()
         || explain_rule.is_some()
         || profile_path.is_some()
         || recorder_requested
         || check
         || paged;
+    if shards.is_some() && bench_workers_path.is_none() {
+        eprintln!("error: --shards only applies to --bench-workers (see --help)");
+        std::process::exit(2);
+    }
     if pool_pages.is_some() && !paged {
         eprintln!("error: --pool-pages only applies to --paged (see --help)");
         std::process::exit(2);
@@ -858,11 +919,20 @@ fn main() {
     let history = history.as_deref().unwrap_or(HISTORY_DEFAULT);
     if let Some(path) = bench_path.as_deref() {
         bench_json(path, items, history);
-    } else if items.is_some() && profile_path.is_none() && record.is_none() && !paged {
+    } else if items.is_some()
+        && profile_path.is_none()
+        && record.is_none()
+        && bench_workers_path.is_none()
+        && !paged
+    {
         eprintln!(
-            "error: --items requires --bench-json, --profile, --record, or --paged (see --help)"
+            "error: --items requires --bench-json, --bench-workers, --profile, --record, \
+             or --paged (see --help)"
         );
         std::process::exit(2);
+    }
+    if let Some(path) = bench_workers_path.as_deref() {
+        bench_workers(path, items, shards, history);
     }
     if paged {
         let n = items.unwrap_or(PAGED_SMOKE_ITEMS);

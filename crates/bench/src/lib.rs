@@ -13,12 +13,16 @@ pub mod recorder;
 
 pub use bench_json::{
     bench_rows, bench_rows_with, bench_scaled_rows, bench_scaled_rows_with, bench_scaled_snapshot,
-    bench_snapshot, paged_smoke, scaled_fired, BenchRow, BENCH_SCHEMA, SCALED_MAX_ITEMS,
-    SCALED_PAGED_POOL,
+    bench_snapshot, bench_workers_rows, bench_workers_snapshot, concurrent_worker_label,
+    paged_smoke, scaled_fired, BenchRow, BENCH_SCHEMA, SCALED_MAX_ITEMS, SCALED_PAGED_POOL,
+    SCALED_WORKER_SWEEP,
 };
 pub use experiments::*;
 pub use obs_run::{explain_run, observability_run, ExplainRun, ObsRun};
-pub use profile::{attribution_table, bench_check, folded_stacks, parse_history_last};
+pub use profile::{
+    attribution_table, bench_check, concurrent_gate, folded_stacks, parse_history_last,
+    parse_history_workloads,
+};
 pub use recorder::{
     parse_engine, record_run, record_run_with, replay_run, why_not_run, why_run, RecordOutcome,
     ReplayOutcome,

@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 
 use obs::json::Value;
 
-use crate::bench_json::{bench_rows_with, bench_scaled_rows_with, BenchRow};
+use crate::bench_json::{bench_rows_with, bench_scaled_rows_with, bench_workers_rows, BenchRow};
 
 /// `--bench-check` fails when an engine's wall time grows by more than
 /// this factor over the last committed history entry.
@@ -29,6 +29,12 @@ pub const COND_VS_QUERY_WALL: f64 = 25.0;
 /// be allocation-free, so even a 1.5x creep means a reintroduced
 /// per-delta clone.
 pub const COND_ALLOC_REGRESSION: f64 = 1.5;
+/// The §5 scaling gate: 16 workers must finish the concurrent workload
+/// at least this much faster than 4 workers (wall-clock ratio), with the
+/// usual absolute slack. Transactions overlap their simulated I/O, so a
+/// sharded lock manager that stopped scaling (workers re-serialized on
+/// one table) trips this long before throughput numbers are eyeballed.
+pub const CONCURRENT_SCALING: f64 = 2.0;
 
 /// Render every profiled row as folded flamegraph stacks, one line per
 /// call path: `engine;span;child <self_ns>` — the input format of
@@ -114,6 +120,10 @@ pub fn attribution_table(rows: &[BenchRow], baseline: Option<&HistoryEntry>) -> 
 pub struct CheckRow {
     pub engine: String,
     pub wall_ns: u64,
+    /// Productions fired / transactions committed (0 when parsed from a
+    /// pre-`fired` history line). The concurrent scaling gate refuses a
+    /// speedup bought by committing less work.
+    pub fired: u64,
     pub alloc_bytes: u64,
     /// `(span path, alloc_bytes)` of the recorded top hotspots — the
     /// per-span baseline the `--profile` Δalloc column diffs against.
@@ -125,6 +135,7 @@ impl CheckRow {
         CheckRow {
             engine: row.engine.to_string(),
             wall_ns: row.wall_ns,
+            fired: row.fired,
             alloc_bytes: row.alloc_bytes,
             span_allocs: Vec::new(),
         }
@@ -191,6 +202,7 @@ pub fn parse_history_last(text: &str) -> Result<HistoryEntry, String> {
                 .get("wall_ns")
                 .and_then(Value::as_u64)
                 .ok_or("row missing wall_ns")?,
+            fired: e.get("fired").and_then(Value::as_u64).unwrap_or(0),
             // Absent in pre-profiler history lines: treat as unknown.
             alloc_bytes: e.get("alloc_bytes").and_then(Value::as_u64).unwrap_or(0),
             span_allocs,
@@ -242,6 +254,7 @@ pub fn regressions(baseline: &[CheckRow], current: &[CheckRow]) -> Vec<String> {
         }
     }
     out.extend(cond_gate(current));
+    out.extend(concurrent_gate(current));
     out
 }
 
@@ -268,29 +281,101 @@ pub fn cond_gate(current: &[CheckRow]) -> Vec<String> {
     }
 }
 
+/// The §5 worker-scaling gate, evaluated entirely on the current run:
+/// with both rows present, `concurrent-w16` must beat `concurrent-w4`
+/// by at least [`CONCURRENT_SCALING`]x wall-clock (modulo the absolute
+/// [`WALL_SLACK_NS`], so tiny workloads whose whole run fits in the
+/// noise floor can't flake) while committing the *same* number of
+/// transactions — a speedup that drops firings is a correctness bug,
+/// not a win.
+pub fn concurrent_gate(current: &[CheckRow]) -> Vec<String> {
+    let find = |name: &str| current.iter().find(|r| r.engine == name);
+    let (Some(w4), Some(w16)) = (find("concurrent-w4"), find("concurrent-w16")) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if w4.fired != w16.fired {
+        out.push(format!(
+            "concurrent-w16: committed {} transactions vs concurrent-w4's {} (must be identical)",
+            w16.fired, w4.fired
+        ));
+    }
+    let bound = w4.wall_ns as f64 / CONCURRENT_SCALING + WALL_SLACK_NS as f64;
+    if w16.wall_ns as f64 > bound {
+        out.push(format!(
+            "concurrent-w16: wall {:.2}ms vs concurrent-w4 {:.2}ms (< {:.1}x scaling gate)",
+            w16.wall_ns as f64 / 1e6,
+            w4.wall_ns as f64 / 1e6,
+            CONCURRENT_SCALING
+        ));
+    }
+    out
+}
+
+/// Parse every `BENCH_history.jsonl` line and keep the *last* entry per
+/// distinct workload, in first-appearance order — `--bench-check` gates
+/// each tracked workload against its own most recent baseline, so
+/// appending a new workload's entry can never silently un-gate an older
+/// one.
+pub fn parse_history_workloads(text: &str) -> Result<Vec<HistoryEntry>, String> {
+    let mut order: Vec<String> = Vec::new();
+    let mut last: std::collections::HashMap<String, HistoryEntry> =
+        std::collections::HashMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let entry = parse_history_last(line)?;
+        if !last.contains_key(&entry.workload) {
+            order.push(entry.workload.clone());
+        }
+        last.insert(entry.workload.clone(), entry);
+    }
+    if order.is_empty() {
+        return Err("history is empty".into());
+    }
+    Ok(order
+        .into_iter()
+        .map(|w| last.remove(&w).expect("entry recorded"))
+        .collect())
+}
+
 /// Re-run the baseline's workload at its recorded size and compare.
 /// `Ok` carries a short pass summary; `Err` the list of regressions.
 pub fn bench_check(history_text: &str) -> Result<String, Vec<String>> {
-    let base = parse_history_last(history_text).map_err(|e| vec![e])?;
-    let rows = match base.workload.as_str() {
-        "scaled-skew" => bench_scaled_rows_with(base.items, true),
-        "obs-demo" => bench_rows_with(true),
-        other => return Err(vec![format!("unknown history workload {other:?}")]),
-    };
-    let current: Vec<CheckRow> = rows.iter().map(CheckRow::from_bench).collect();
-    let bad = regressions(&base.rows, &current);
+    let entries = parse_history_workloads(history_text).map_err(|e| vec![e])?;
+    let mut bad = Vec::new();
+    let mut gated = Vec::new();
+    for base in &entries {
+        let rows = match base.workload.as_str() {
+            "scaled-skew" => bench_scaled_rows_with(base.items, true),
+            "obs-demo" => bench_rows_with(true),
+            // The scaling gate only needs the two rows it compares; the
+            // full 1–64 sweep stays a snapshot-time artifact.
+            "concurrent-workers" => {
+                bench_workers_rows(base.items, &[4, 16], relstore::DEFAULT_LOCK_SHARDS)
+            }
+            other => {
+                bad.push(format!("unknown history workload {other:?}"));
+                continue;
+            }
+        };
+        let current: Vec<CheckRow> = rows.iter().map(CheckRow::from_bench).collect();
+        bad.extend(
+            regressions(&base.rows, &current)
+                .into_iter()
+                .map(|m| format!("[{}] {m}", base.workload)),
+        );
+        gated.push(format!("{} @ {} items", base.workload, base.items));
+    }
     if bad.is_empty() {
         let mut s = String::new();
         let _ = write!(
             s,
-            "bench-check: {} engines within {:.0}% wall / {:.0}x alloc ({:.1}x cond) of baseline ({} @ {} items); cond-indexed within {:.0}x of query",
-            base.rows.len(),
+            "bench-check: {} within {:.0}% wall / {:.0}x alloc ({:.1}x cond) of baseline; cond-indexed within {:.0}x of query; concurrent-w16 >= {:.1}x concurrent-w4 with equal commits",
+            gated.join(", "),
             (WALL_REGRESSION - 1.0) * 100.0,
             ALLOC_REGRESSION,
             COND_ALLOC_REGRESSION,
-            base.workload,
-            base.items,
-            COND_VS_QUERY_WALL
+            COND_VS_QUERY_WALL,
+            CONCURRENT_SCALING
         );
         Ok(s)
     } else {
@@ -306,7 +391,18 @@ mod tests {
         CheckRow {
             engine: engine.to_string(),
             wall_ns: wall,
+            fired: 0,
             alloc_bytes: alloc,
+            span_allocs: Vec::new(),
+        }
+    }
+
+    fn conc_row(engine: &str, wall: u64, fired: u64) -> CheckRow {
+        CheckRow {
+            engine: engine.to_string(),
+            wall_ns: wall,
+            fired,
+            alloc_bytes: 0,
             span_allocs: Vec::new(),
         }
     }
@@ -411,6 +507,60 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_gate_requires_scaling_and_equal_commits() {
+        const MS: u64 = 1_000_000;
+        // 4x scaling with equal commits: passes.
+        let ok = vec![
+            conc_row("concurrent-w4", 400 * MS, 1667),
+            conc_row("concurrent-w16", 100 * MS, 1667),
+        ];
+        assert!(concurrent_gate(&ok).is_empty());
+        // Not even 2x: fails.
+        let slow = vec![
+            conc_row("concurrent-w4", 400 * MS, 1667),
+            conc_row("concurrent-w16", 300 * MS, 1667),
+        ];
+        let msgs = concurrent_gate(&slow);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("scaling gate"), "{msgs:?}");
+        // Fast but committing less work: the "speedup" is rejected.
+        let cheat = vec![
+            conc_row("concurrent-w4", 400 * MS, 1667),
+            conc_row("concurrent-w16", 50 * MS, 1600),
+        ];
+        let msgs = concurrent_gate(&cheat);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("must be identical"), "{msgs:?}");
+        // Sub-slack workloads can't flake: 4ms vs 3ms is noise.
+        let tiny = vec![
+            conc_row("concurrent-w4", 4 * MS, 36),
+            conc_row("concurrent-w16", 3 * MS, 36),
+        ];
+        assert!(concurrent_gate(&tiny).is_empty());
+        // Either row missing: gate is silent.
+        assert!(concurrent_gate(&[conc_row("concurrent-w4", MS, 1)]).is_empty());
+        // The gate also runs as part of regressions().
+        assert_eq!(regressions(&[], &slow).len(), 1);
+    }
+
+    #[test]
+    fn history_keeps_last_entry_per_workload() {
+        let text = concat!(
+            "{\"schema\":\"sellis88-bench/v1\",\"workload\":\"scaled-skew\",\"items\":100,\"engines\":[{\"engine\":\"rete\",\"wall_ns\":5}]}\n",
+            "{\"schema\":\"sellis88-bench/v1\",\"workload\":\"concurrent-workers\",\"items\":100000,\"engines\":[{\"engine\":\"concurrent-w4\",\"wall_ns\":7,\"fired\":1667}]}\n",
+            "{\"schema\":\"sellis88-bench/v1\",\"workload\":\"scaled-skew\",\"items\":2000,\"engines\":[{\"engine\":\"rete\",\"wall_ns\":9}]}\n",
+        );
+        let entries = parse_history_workloads(text).unwrap();
+        assert_eq!(entries.len(), 2, "one entry per distinct workload");
+        assert_eq!(entries[0].workload, "scaled-skew");
+        assert_eq!(entries[0].items, 2000, "later line supersedes earlier");
+        assert_eq!(entries[1].workload, "concurrent-workers");
+        assert_eq!(entries[1].items, 100_000);
+        assert_eq!(entries[1].rows[0].fired, 1667, "fired parsed from JSON");
+        assert!(parse_history_workloads("").is_err());
+    }
+
+    #[test]
     fn folded_stacks_prefix_rows_with_engine_label() {
         let mut profile = obs::Profile::new();
         profile.roots.push(obs::prof::ProfNode {
@@ -441,6 +591,9 @@ mod tests {
             page_writes: 0,
             pool_hits: 0,
             pool_evictions: 0,
+            lock_waits: 0,
+            lock_wait_ns: 0,
+            lock_shards: Vec::new(),
             alloc_bytes: 0,
             prof_wall_ns: 10,
             profile,

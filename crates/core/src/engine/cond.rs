@@ -1038,11 +1038,25 @@ impl CondEngine {
         scratch.spans.clear();
         let parallel = self.parallel;
         if parallel {
-            // Real fan-out: split the stores so threads own disjoint
-            // mutable pieces and spawn one scoped thread per *non-empty*
-            // class partition (spawning for empty work would only pay
-            // thread overhead for nothing). Each thread gets its own
-            // apply scratch; the serial path below reuses the engine's.
+            // Real fan-out, partitioned like the working memory: classes
+            // are grouped by the lock shard their relation hashes to, and
+            // one scoped thread is spawned per *non-empty* shard group
+            // (classes within a group run sequentially on that thread).
+            // COND propagation parallelism thereby mirrors the storage
+            // layer's sharding — a shard's match maintenance stays on one
+            // thread, co-located with the lock traffic its transactions
+            // generate — and empty groups pay no thread overhead. Each
+            // thread gets its own apply scratch; the serial path below
+            // reuses the engine's. Results are flattened and sorted by
+            // class, so the merge order (and every downstream journal
+            // line) is independent of shard count and thread timing.
+            let lm = self.pdb.db().lock_manager();
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); lm.shard_count()];
+            for (class, work) in scratch.per_class.iter().enumerate() {
+                if !work.is_empty() {
+                    groups[lm.shard_of(self.pdb.class_rel(ClassId(class)))].push(class);
+                }
+            }
             let stores = std::mem::take(&mut self.stores);
             let mut slots: Vec<Option<CondStore>> = stores.into_iter().map(Some).collect();
             let this: &CondEngine = self;
@@ -1050,25 +1064,35 @@ impl CondEngine {
             let per_class = &scratch.per_class;
             let collected = crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for (class, work) in per_class.iter().enumerate() {
-                    if work.is_empty() {
-                        continue;
-                    }
-                    let mut store = slots[class].take().expect("store present");
+                for classes in groups.iter().filter(|g| !g.is_empty()) {
+                    let assigned: Vec<(usize, CondStore)> = classes
+                        .iter()
+                        .map(|&class| (class, slots[class].take().expect("store present")))
+                        .collect();
                     let handle = scope.spawn(move |_| {
-                        let started = Instant::now();
                         let mut apply = ApplyScratch::default();
-                        let mut log = Vec::new();
-                        let (scanned, probes) = this
-                            .apply_to_store(&mut store, contribs, work, tup, &mut apply, &mut log);
-                        let span_ns = started.elapsed().as_nanos() as u64;
-                        (class, store, log, scanned, probes, span_ns)
+                        let mut out = Vec::new();
+                        for (class, mut store) in assigned {
+                            let started = Instant::now();
+                            let mut log = Vec::new();
+                            let (scanned, probes) = this.apply_to_store(
+                                &mut store,
+                                contribs,
+                                &per_class[class],
+                                tup,
+                                &mut apply,
+                                &mut log,
+                            );
+                            let span_ns = started.elapsed().as_nanos() as u64;
+                            out.push((class, store, log, scanned, probes, span_ns));
+                        }
+                        out
                     });
                     handles.push(handle);
                 }
                 let mut returned: Vec<(usize, CondStore, Vec<LogEntry>, u64, u64, u64)> = handles
                     .into_iter()
-                    .map(|h| h.join().expect("propagation thread"))
+                    .flat_map(|h| h.join().expect("propagation thread"))
                     .collect();
                 returned.sort_by_key(|(c, ..)| *c);
                 returned

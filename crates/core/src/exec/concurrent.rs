@@ -73,6 +73,10 @@ pub struct ConcurrentStats {
     /// schedule: the step it stopped at and why. `None` for live runs and
     /// for replays that reproduced every recorded firing.
     pub divergence: Option<String>,
+    /// Per-lock-shard contention over this run, `(shard, waits, wait_ns)`
+    /// for every shard where at least one request blocked. Empty when the
+    /// run never contended.
+    pub shard_contention: Vec<(u32, u64, u64)>,
 }
 
 impl fmt::Display for ConcurrentStats {
@@ -541,7 +545,10 @@ impl ConcurrentExecutor {
         let mut stalls = 0usize;
         let mut last_fingerprint: Option<u64> = None;
         let tracer = self.engine.lock().tracer().clone();
-        let base = self.engine.lock().pdb().db().stats().snapshot();
+        let pdb = self.engine.lock().pdb().clone();
+        let db = pdb.db().clone();
+        let base = db.stats().snapshot();
+        let shard_base = db.lock_manager().shard_stats();
         while stats.committed < max_fired && !stats.halted {
             // Snapshot Ψ_i: conflict set minus already-fired (refraction).
             let mut candidates: Vec<Instantiation> = {
@@ -579,8 +586,27 @@ impl ConcurrentExecutor {
             let round = stats.rounds as u64;
             let dispatched = candidates.len();
             let round_start = Instant::now();
-            let queue: Arc<Mutex<VecDeque<Instantiation>>> =
-                Arc::new(Mutex::new(candidates.into_iter().collect()));
+            // Shard-affine dispatch: each candidate is queued on its home
+            // lock shard (the shard of its first positive CE's class
+            // relation), and worker `w` drains the queue of shard
+            // `w % shards` first, so co-resident workers mostly touch
+            // their own shard's lock table and condvar. Workers steal
+            // from the other shards' queues once their own is empty —
+            // the affinity is a fast path, not a partition: no work is
+            // stranded on an unstaffed shard.
+            let n_shards = db.lock_manager().shard_count();
+            let mut by_shard: Vec<VecDeque<Instantiation>> =
+                (0..n_shards).map(|_| VecDeque::new()).collect();
+            for inst in candidates {
+                let home = inst
+                    .wmes
+                    .first()
+                    .map(|w| db.lock_manager().shard_of(pdb.class_rel(w.class)))
+                    .unwrap_or(0);
+                by_shard[home].push_back(inst);
+            }
+            let queues: Arc<Vec<Mutex<VecDeque<Instantiation>>>> =
+                Arc::new(by_shard.into_iter().map(Mutex::new).collect());
             let results: Arc<Mutex<Vec<(Instantiation, TxnOutcome)>>> =
                 Arc::new(Mutex::new(Vec::new()));
             // A committed `(halt)` stops further dispatch *within* the
@@ -591,16 +617,23 @@ impl ConcurrentExecutor {
             let batching = self.batching;
             let commit_seq = &self.next_seq;
             crossbeam::thread::scope(|scope| {
-                for _ in 0..self.workers {
-                    let queue = queue.clone();
+                for w in 0..self.workers {
+                    let queues = queues.clone();
                     let results = results.clone();
                     let engine = self.engine.clone();
                     let halt_flag = halt_flag.clone();
+                    let start_shard = w % n_shards;
                     scope.spawn(move |_| loop {
                         if halt_flag.load(Ordering::Relaxed) {
                             break;
                         }
-                        let Some(inst) = queue.lock().pop_front() else {
+                        // Home queue first, then steal round-robin.
+                        let inst = (0..queues.len()).find_map(|off| {
+                            queues[(start_shard + off) % queues.len()]
+                                .lock()
+                                .pop_front()
+                        });
+                        let Some(inst) = inst else {
                             break;
                         };
                         let outcome = Self::run_one(&engine, &inst, batching, round, commit_seq);
@@ -700,16 +733,29 @@ impl ConcurrentExecutor {
                 std::thread::sleep(std::time::Duration::from_micros(50u64 << stalls.min(8)));
             }
         }
-        let delta = self
-            .engine
-            .lock()
-            .pdb()
-            .db()
-            .stats()
-            .snapshot()
-            .since(&base);
+        let delta = db.stats().snapshot().since(&base);
         stats.lock_waits = delta.lock_waits;
         stats.lock_wait_ns = delta.lock_wait_ns;
+        // Surface where the contention landed: per-shard wait deltas over
+        // this run, journaled so traces show hot lock shards.
+        for (i, (now, before)) in db
+            .lock_manager()
+            .shard_stats()
+            .iter()
+            .zip(&shard_base)
+            .enumerate()
+        {
+            let waits = now.waits.saturating_sub(before.waits);
+            let wait_ns = now.wait_ns.saturating_sub(before.wait_ns);
+            if waits > 0 {
+                stats.shard_contention.push((i as u32, waits, wait_ns));
+                tracer.emit(|| Event::ShardContention {
+                    shard: i as u32,
+                    waits,
+                    wait_ns,
+                });
+            }
+        }
         stats
     }
 

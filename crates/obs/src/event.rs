@@ -145,6 +145,14 @@ pub enum Event {
     /// edge is rendered `t<waiter>->t<holder> <mode> <target>` and edges
     /// are `"; "`-joined.
     DeadlockGraph { victim: u64, edges: String },
+    /// Contention summary for one lock-table shard over a run: how many
+    /// lock requests blocked there and for how long in total. Emitted
+    /// per shard with non-zero waits when a concurrent run finishes.
+    ShardContention {
+        shard: u32,
+        waits: u64,
+        wait_ns: u64,
+    },
     /// One production committed its firing. `seq` is the global commit
     /// sequence number — assigned while the transaction still holds its
     /// locks, so for conflicting transactions it IS the serialization
@@ -188,6 +196,7 @@ impl Event {
             Event::LockAcquire { .. } => "lock_acquire",
             Event::DeadlockVictim { .. } => "deadlock_victim",
             Event::DeadlockGraph { .. } => "deadlock_graph",
+            Event::ShardContention { .. } => "shard_contention",
             Event::Firing { .. } => "firing",
             Event::TxnAbort { .. } => "txn_abort",
             Event::TxnCommit { .. } => "txn_commit",
@@ -368,6 +377,15 @@ impl Event {
             Event::DeadlockGraph { victim, edges } => {
                 o.u64("victim", *victim).str("edges", edges).finish()
             }
+            Event::ShardContention {
+                shard,
+                waits,
+                wait_ns,
+            } => o
+                .u64("shard", u64::from(*shard))
+                .u64("waits", *waits)
+                .u64("wait_ns", *wait_ns)
+                .finish(),
             Event::Firing {
                 seq: fseq,
                 round,
@@ -511,6 +529,13 @@ impl Event {
             Event::DeadlockGraph { victim, edges } => {
                 format!("   txn{victim} deadlock graph: {edges}")
             }
+            Event::ShardContention {
+                shard,
+                waits,
+                wait_ns,
+            } => {
+                format!("   lock shard {shard}: {waits} waits, {wait_ns}ns blocked")
+            }
             Event::Firing {
                 seq,
                 round,
@@ -644,6 +669,11 @@ impl Event {
             "deadlock_graph" => Event::DeadlockGraph {
                 victim: field_u64(&v, "victim")?,
                 edges: field_str(&v, "edges")?,
+            },
+            "shard_contention" => Event::ShardContention {
+                shard: field_u64(&v, "shard")? as u32,
+                waits: field_u64(&v, "waits")?,
+                wait_ns: field_u64(&v, "wait_ns")?,
             },
             "firing" => Event::Firing {
                 seq: field_u64(&v, "fseq")?,

@@ -78,13 +78,21 @@ impl Default for Database {
 }
 
 impl Database {
-    /// Create a new, empty instance.
+    /// Create a new, empty instance with the default lock-shard count
+    /// ([`crate::DEFAULT_LOCK_SHARDS`]).
     pub fn new() -> Self {
+        Self::new_with_shards(crate::DEFAULT_LOCK_SHARDS)
+    }
+
+    /// Create a new, empty instance whose lock manager is partitioned
+    /// into `shards` lock-table shards (relations hash onto shards, so
+    /// transactions over disjoint relations never contend on one table).
+    pub fn new_with_shards(shards: usize) -> Self {
         let stats = Stats::new();
         Database {
             relations: RwLock::new(Vec::new()),
             names: RwLock::new(HashMap::new()),
-            locks: LockManager::new(stats.clone()),
+            locks: LockManager::with_shards(stats.clone(), shards),
             txns: TxnManager::new(),
             analyze: AnalyzeRegistry::new(),
             stats,

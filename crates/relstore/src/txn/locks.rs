@@ -1,4 +1,4 @@
-//! Two-phase-locking lock manager.
+//! Two-phase-locking lock manager, sharded by relation.
 //!
 //! §5.2 of the paper requires read locks on retrieved WM tuples, write
 //! locks for RHS updates, **relation-granularity** read locks for negated
@@ -9,12 +9,30 @@
 //! other transactions (computed directly instead of via intention modes —
 //! exact at our scale).
 //!
+//! **Sharding.** The lock table is partitioned: relations hash onto
+//! [`LockManager::shard_count`] shards, each with its own mutex, condvar,
+//! and contention counters, so worker transactions that touch disjoint
+//! relations never serialize on one table. Within a shard, holders are
+//! bucketed **per relation** — a tuple-level request examines only its
+//! relation's entries (the relation-level holders plus that one tuple's),
+//! never every held lock in the database, so conflict checking no longer
+//! degrades as O(total held locks) per request. A transaction whose LHS
+//! joins across shards simply acquires in several shards — cross-shard
+//! strict 2PL with no extra protocol.
+//!
 //! Deadlocks — which §5.2 explicitly predicts ("this could lead to a
-//! deadlock of the two transactions") — are detected on a waits-for graph;
-//! the *requesting* transaction is the victim, which guarantees progress.
+//! deadlock of the two transactions") — are detected on a waits-for graph
+//! **merged across shards**: every blocked waiter computes its outgoing
+//! edges under its shard's mutex and publishes them into one shared
+//! [`WaitGraph`]; cycle detection and victim self-removal run atomically
+//! under the graph mutex, so a two-cycle aborts exactly one victim even
+//! when its edges live in different shards. Lock order is always shard
+//! mutex → graph mutex, and the graph is a leaf: no path re-enters a
+//! shard while holding it.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use obs::Event;
@@ -25,6 +43,9 @@ use crate::schema::RelId;
 use crate::stats::Stats;
 use crate::tuple::TupleId;
 use crate::txn::TxnId;
+
+/// Default lock-table shard count for a new [`LockManager`].
+pub const DEFAULT_LOCK_SHARDS: usize = 16;
 
 /// What is being locked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,18 +68,6 @@ impl LockTarget {
         match self {
             LockTarget::Relation(r) => format!("rel{}", r.0),
             LockTarget::Tuple(r, t) => format!("rel{}[{t}]", r.0),
-        }
-    }
-
-    /// Do two targets overlap in the locking hierarchy? A relation-level
-    /// target covers every tuple of that relation.
-    fn overlaps(&self, other: &LockTarget) -> bool {
-        if self.rel() != other.rel() {
-            return false;
-        }
-        match (self, other) {
-            (LockTarget::Tuple(_, ta), LockTarget::Tuple(_, tb)) => ta == tb,
-            _ => true,
         }
     }
 }
@@ -91,50 +100,148 @@ impl fmt::Display for LockMode {
     }
 }
 
+/// All locks held on one relation: the relation-level holders plus the
+/// tuple-level holders keyed by tuple id. A conflict check for this
+/// relation looks at this bucket and nothing else.
+#[derive(Debug, Default)]
+struct RelBucket {
+    rel_holders: HashMap<TxnId, LockMode>,
+    tuple_holders: HashMap<TupleId, HashMap<TxnId, LockMode>>,
+}
+
+impl RelBucket {
+    fn is_empty(&self) -> bool {
+        self.rel_holders.is_empty() && self.tuple_holders.is_empty()
+    }
+}
+
 #[derive(Debug, Default)]
 struct Tables {
-    /// target → holders (txn → strongest mode held).
-    holders: HashMap<LockTarget, HashMap<TxnId, LockMode>>,
-    /// txn → targets it holds (for release_all).
+    /// relation → its lock bucket. Only relations of this shard appear.
+    buckets: HashMap<RelId, RelBucket>,
+    /// txn → targets it holds in this shard (for release_all).
     holdings: HashMap<TxnId, HashSet<LockTarget>>,
-    /// txn → the request it is currently blocked on.
-    waiting: HashMap<TxnId, (LockTarget, LockMode)>,
 }
 
 impl Tables {
+    /// The mode `txn` holds on exactly `target`, if any.
+    fn held(&self, txn: TxnId, target: &LockTarget) -> Option<LockMode> {
+        let bucket = self.buckets.get(&target.rel())?;
+        match target {
+            LockTarget::Relation(_) => bucket.rel_holders.get(&txn).copied(),
+            LockTarget::Tuple(_, t) => bucket.tuple_holders.get(t)?.get(&txn).copied(),
+        }
+    }
+
     /// Transactions (other than `me`) whose held locks conflict with a
-    /// request for (`target`, `mode`).
+    /// request for (`target`, `mode`). Examines only `target`'s relation
+    /// bucket: a tuple request checks the relation-level holders plus
+    /// that single tuple's holders; a relation request checks the
+    /// relation-level holders plus every tuple holder *of that relation*.
     fn conflicting_holders(&self, me: TxnId, target: LockTarget, mode: LockMode) -> Vec<TxnId> {
         let mut out = Vec::new();
-        for (held_target, holders) in &self.holders {
-            if !held_target.overlaps(&target) {
-                continue;
-            }
+        let Some(bucket) = self.buckets.get(&target.rel()) else {
+            return out;
+        };
+        let mut sweep = |holders: &HashMap<TxnId, LockMode>| {
             for (&txn, &held_mode) in holders {
                 if txn != me && !(mode.compatible(held_mode)) {
                     out.push(txn);
+                }
+            }
+        };
+        sweep(&bucket.rel_holders);
+        match target {
+            LockTarget::Tuple(_, t) => {
+                if let Some(holders) = bucket.tuple_holders.get(&t) {
+                    sweep(holders);
+                }
+            }
+            LockTarget::Relation(_) => {
+                for holders in bucket.tuple_holders.values() {
+                    sweep(holders);
                 }
             }
         }
         out
     }
 
-    /// Would granting (`target`, `mode`) to `me` be allowed right now?
-    fn grantable(&self, me: TxnId, target: LockTarget, mode: LockMode) -> bool {
-        self.conflicting_holders(me, target, mode).is_empty()
+    fn grant(&mut self, me: TxnId, target: LockTarget, mode: LockMode) {
+        let bucket = self.buckets.entry(target.rel()).or_default();
+        let entry = match target {
+            LockTarget::Relation(_) => &mut bucket.rel_holders,
+            LockTarget::Tuple(_, t) => bucket.tuple_holders.entry(t).or_default(),
+        };
+        let slot = entry.entry(me).or_insert(mode);
+        if mode == LockMode::Exclusive {
+            *slot = LockMode::Exclusive; // upgrade
+        }
+        self.holdings.entry(me).or_default().insert(target);
     }
 
-    /// Detect whether `start` participates in a waits-for cycle.
-    fn in_cycle(&self, start: TxnId) -> bool {
-        // Edges: waiter → conflicting holders of its blocked request.
-        let mut queue = VecDeque::new();
-        let mut seen = HashSet::new();
-        // Seed with everyone `start` waits on.
-        if let Some(&(target, mode)) = self.waiting.get(&start) {
-            for h in self.conflicting_holders(start, target, mode) {
-                queue.push_back(h);
+    /// Drop every lock `txn` holds in this shard. Returns whether
+    /// anything was released (a waiter might be unblocked).
+    fn release(&mut self, txn: TxnId) -> bool {
+        let Some(targets) = self.holdings.remove(&txn) else {
+            return false;
+        };
+        let released = !targets.is_empty();
+        for target in targets {
+            let Some(bucket) = self.buckets.get_mut(&target.rel()) else {
+                continue;
+            };
+            match target {
+                LockTarget::Relation(_) => {
+                    bucket.rel_holders.remove(&txn);
+                }
+                LockTarget::Tuple(_, t) => {
+                    if let Some(holders) = bucket.tuple_holders.get_mut(&t) {
+                        holders.remove(&txn);
+                        if holders.is_empty() {
+                            bucket.tuple_holders.remove(&t);
+                        }
+                    }
+                }
+            }
+            if bucket.is_empty() {
+                self.buckets.remove(&target.rel());
             }
         }
+        released
+    }
+}
+
+/// The published waits-for graph, merged across every shard: each blocked
+/// waiter's outgoing edges, keyed by waiter. Writers hold their shard
+/// mutex while publishing, so an entry is always a consistent snapshot of
+/// one waiter's blocked request.
+#[derive(Debug, Default)]
+struct WaitGraph {
+    edges: HashMap<TxnId, Vec<(TxnId, LockMode, LockTarget)>>,
+}
+
+impl WaitGraph {
+    /// Replace `waiter`'s outgoing edges with its current conflict set.
+    fn publish(&mut self, waiter: TxnId, holders: &[TxnId], mode: LockMode, target: LockTarget) {
+        self.edges
+            .insert(waiter, holders.iter().map(|&h| (h, mode, target)).collect());
+    }
+
+    /// Remove every edge out of `txn` (granted, aborted, or released).
+    fn clear(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+    }
+
+    /// Does `start` participate in a cycle of published edges?
+    fn in_cycle(&self, start: TxnId) -> bool {
+        let mut queue: VecDeque<TxnId> = self
+            .edges
+            .get(&start)
+            .into_iter()
+            .flatten()
+            .map(|&(h, ..)| h)
+            .collect();
+        let mut seen = HashSet::new();
         while let Some(t) = queue.pop_front() {
             if t == start {
                 return true;
@@ -142,23 +249,21 @@ impl Tables {
             if !seen.insert(t) {
                 continue;
             }
-            if let Some(&(target, mode)) = self.waiting.get(&t) {
-                for h in self.conflicting_holders(t, target, mode) {
-                    queue.push_back(h);
-                }
+            if let Some(out) = self.edges.get(&t) {
+                queue.extend(out.iter().map(|&(h, ..)| h));
             }
         }
         false
     }
 
-    /// Render the waits-for graph as "; "-joined edges, one per
+    /// Render the merged graph as "; "-joined edges, one per
     /// (waiter, conflicting holder) pair:
     /// `t<waiter>->t<holder> <mode> <target>`. Edges are sorted so the
     /// snapshot is stable regardless of hash iteration order.
-    fn wait_for_edges(&self) -> String {
+    fn render(&self) -> String {
         let mut edges = Vec::new();
-        for (&waiter, &(target, mode)) in &self.waiting {
-            for holder in self.conflicting_holders(waiter, target, mode) {
+        for (&waiter, out) in &self.edges {
+            for &(holder, mode, target) in out {
                 edges.push(format!(
                     "t{}->t{} {} {}",
                     waiter.0,
@@ -171,22 +276,49 @@ impl Tables {
         edges.sort();
         edges.join("; ")
     }
+}
 
-    fn grant(&mut self, me: TxnId, target: LockTarget, mode: LockMode) {
-        let entry = self.holders.entry(target).or_default();
-        let slot = entry.entry(me).or_insert(mode);
-        if mode == LockMode::Exclusive {
-            *slot = LockMode::Exclusive; // upgrade
+/// One lock-table shard: its own tables, wakeup channel, and contention
+/// counters.
+#[derive(Debug)]
+struct Shard {
+    tables: Mutex<Tables>,
+    cv: Condvar,
+    acquired: AtomicU64,
+    waits: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            tables: Mutex::new(Tables::default()),
+            cv: Condvar::new(),
+            acquired: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
         }
-        self.holdings.entry(me).or_default().insert(target);
     }
+}
+
+/// Per-shard contention counters ([`LockManager::shard_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockShardStats {
+    /// Locks granted by this shard.
+    pub acquired: u64,
+    /// Lock requests that blocked in this shard.
+    pub waits: u64,
+    /// Total nanoseconds requests spent blocked in this shard.
+    pub wait_ns: u64,
 }
 
 /// The lock manager. Shared by all transactions of a database.
 #[derive(Debug)]
 pub struct LockManager {
-    tables: Mutex<Tables>,
-    cv: Condvar,
+    shards: Vec<Shard>,
+    /// The merged cross-shard waits-for graph. Leaf lock: taken only
+    /// while a shard mutex is held, never the other way around.
+    graph: Mutex<WaitGraph>,
     stats: Stats,
     /// Contention tracing. Only consulted on the blocking path, so the
     /// uncontended fast path costs nothing extra.
@@ -194,14 +326,41 @@ pub struct LockManager {
 }
 
 impl LockManager {
-    /// Create a new, empty instance.
+    /// Create a new instance with [`DEFAULT_LOCK_SHARDS`] shards.
     pub fn new(stats: Stats) -> Self {
+        Self::with_shards(stats, DEFAULT_LOCK_SHARDS)
+    }
+
+    /// Create a new instance with `shards` lock-table shards (min 1).
+    pub fn with_shards(stats: Stats, shards: usize) -> Self {
         LockManager {
-            tables: Mutex::new(Tables::default()),
-            cv: Condvar::new(),
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+            graph: Mutex::new(WaitGraph::default()),
             stats,
             tracer: Mutex::new(obs::Tracer::disabled()),
         }
+    }
+
+    /// Number of lock-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a relation's locks live in.
+    pub fn shard_of(&self, rel: RelId) -> usize {
+        rel.0 as usize % self.shards.len()
+    }
+
+    /// Per-shard contention counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<LockShardStats> {
+        self.shards
+            .iter()
+            .map(|s| LockShardStats {
+                acquired: s.acquired.load(Ordering::Relaxed),
+                waits: s.waits.load(Ordering::Relaxed),
+                wait_ns: s.wait_ns.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Install a tracing handle; lock waits, grants after a wait, and
@@ -213,26 +372,30 @@ impl LockManager {
     /// Acquire a lock, blocking until granted or until this transaction is
     /// chosen as a deadlock victim (in which case the caller must abort).
     pub fn acquire(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> Result<()> {
-        let mut tables = self.tables.lock();
+        let shard = &self.shards[self.shard_of(target.rel())];
+        let mut tables = shard.tables.lock();
         // Fast path: already holding a sufficient lock.
-        if let Some(holders) = tables.holders.get(&target) {
-            if let Some(&held) = holders.get(&txn) {
-                if held == LockMode::Exclusive || mode == LockMode::Shared {
-                    return Ok(());
-                }
+        if let Some(held) = tables.held(txn, &target) {
+            if held == LockMode::Exclusive || mode == LockMode::Shared {
+                return Ok(());
             }
         }
         // Wait bookkeeping starts lazily: `blocked_since` is only set (and
         // the tracer only consulted) once the request actually blocks.
         let mut blocked_since: Option<(Instant, obs::Tracer)> = None;
         loop {
-            if tables.grantable(txn, target, mode) {
+            let conflicts = tables.conflicting_holders(txn, target, mode);
+            if conflicts.is_empty() {
                 tables.grant(txn, target, mode);
-                tables.waiting.remove(&txn);
+                shard.acquired.fetch_add(1, Ordering::Relaxed);
                 self.stats.lock_acquired();
                 if let Some((start, tracer)) = blocked_since {
+                    // Retract the published edges before returning.
+                    self.graph.lock().clear(txn);
                     let wait_ns = start.elapsed().as_nanos() as u64;
                     self.stats.lock_waited(wait_ns);
+                    shard.waits.fetch_add(1, Ordering::Relaxed);
+                    shard.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
                     tracer.emit(|| Event::LockAcquire {
                         txn: txn.0,
                         target: target.describe(),
@@ -254,16 +417,31 @@ impl LockManager {
                 });
                 blocked_since = Some((Instant::now(), tracer));
             }
-            tables.waiting.insert(txn, (target, mode));
-            if tables.in_cycle(txn) {
-                // Snapshot the waits-for graph *before* removing the victim
-                // from the wait table, so the cycle it closed is visible.
-                let edges = tables.wait_for_edges();
-                tables.waiting.remove(&txn);
+            // Publish this waiter's edges into the merged graph and check
+            // for a cycle, atomically under the graph mutex. A victim
+            // removes its own edges in the same critical section, so a
+            // two-cycle — even one spanning shards — aborts exactly one
+            // of the two: the second detector no longer sees the cycle.
+            let deadlocked = {
+                let mut graph = self.graph.lock();
+                graph.publish(txn, &conflicts, mode, target);
+                if graph.in_cycle(txn) {
+                    // Snapshot the merged waits-for graph *before* removing
+                    // the victim, so the cycle it closed is visible.
+                    let edges = graph.render();
+                    graph.clear(txn);
+                    Some(edges)
+                } else {
+                    None
+                }
+            };
+            if let Some(edges) = deadlocked {
                 self.stats.abort();
                 if let Some((start, tracer)) = blocked_since {
                     let wait_ns = start.elapsed().as_nanos() as u64;
                     self.stats.lock_waited(wait_ns);
+                    shard.waits.fetch_add(1, Ordering::Relaxed);
+                    shard.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
                     if let Some(m) = tracer.metrics() {
                         m.record_lock_wait(wait_ns);
                         m.record_deadlock();
@@ -276,17 +454,20 @@ impl LockManager {
                 }
                 return Err(Error::Deadlock(txn));
             }
-            // Re-check periodically: a competing waiter may have formed a
-            // cycle after we went to sleep.
-            self.cv.wait_for(&mut tables, Duration::from_millis(10));
+            // Re-check periodically: a competing waiter in another shard
+            // may have published the edge that closes our cycle after we
+            // went to sleep, and its shard's condvar can't wake us.
+            shard.cv.wait_for(&mut tables, Duration::from_millis(10));
         }
     }
 
     /// Try to acquire without blocking.
     pub fn try_acquire(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> bool {
-        let mut tables = self.tables.lock();
-        if tables.grantable(txn, target, mode) {
+        let shard = &self.shards[self.shard_of(target.rel())];
+        let mut tables = shard.tables.lock();
+        if tables.conflicting_holders(txn, target, mode).is_empty() {
             tables.grant(txn, target, mode);
+            shard.acquired.fetch_add(1, Ordering::Relaxed);
             self.stats.lock_acquired();
             true
         } else {
@@ -296,34 +477,41 @@ impl LockManager {
 
     /// Does `txn` hold (at least) `mode` on `target`?
     pub fn holds(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> bool {
-        let tables = self.tables.lock();
+        let shard = &self.shards[self.shard_of(target.rel())];
+        let tables = shard.tables.lock();
         tables
-            .holders
-            .get(&target)
-            .and_then(|h| h.get(&txn))
-            .is_some_and(|&held| held == LockMode::Exclusive || mode == LockMode::Shared)
+            .held(txn, &target)
+            .is_some_and(|held| held == LockMode::Exclusive || mode == LockMode::Shared)
     }
 
     /// Release every lock held by `txn` (commit or abort — strict 2PL).
+    /// Spans shards: each shard the transaction holds locks in is drained
+    /// and its waiters woken.
     pub fn release_all(&self, txn: TxnId) {
-        let mut tables = self.tables.lock();
-        tables.waiting.remove(&txn);
-        if let Some(targets) = tables.holdings.remove(&txn) {
-            for t in targets {
-                if let Some(holders) = tables.holders.get_mut(&t) {
-                    holders.remove(&txn);
-                    if holders.is_empty() {
-                        tables.holders.remove(&t);
-                    }
-                }
+        for shard in &self.shards {
+            let released = shard.tables.lock().release(txn);
+            if released {
+                shard.cv.notify_all();
             }
         }
-        self.cv.notify_all();
+        // Belt and braces: a finished transaction owns no graph edges
+        // (grant and victim paths clear them), but make it invariant.
+        self.graph.lock().clear(txn);
     }
 
-    /// Number of currently held (txn, target) lock pairs.
+    /// Number of currently held (txn, target) lock pairs, over all shards.
     pub fn held_count(&self) -> usize {
-        self.tables.lock().holdings.values().map(HashSet::len).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.tables
+                    .lock()
+                    .holdings
+                    .values()
+                    .map(HashSet::len)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -423,6 +611,60 @@ mod tests {
     }
 
     #[test]
+    fn conflict_check_is_per_relation_bucket() {
+        // Load one shard with many held locks of *other* relations: a
+        // request for an uninvolved relation in the same shard must still
+        // be grantable immediately (its bucket is empty) — the check no
+        // longer sweeps every held lock.
+        let lm = LockManager::with_shards(Stats::new(), 1);
+        for rel in 0..64u32 {
+            for t in 0..16 {
+                lm.acquire(
+                    TxnId(u64::from(rel)),
+                    LockTarget::Tuple(RelId(rel), tid(t)),
+                    LockMode::Exclusive,
+                )
+                .unwrap();
+            }
+        }
+        assert!(lm.try_acquire(
+            TxnId(999),
+            LockTarget::Tuple(RelId(64), tid(0)),
+            LockMode::Exclusive
+        ));
+        assert!(lm.try_acquire(
+            TxnId(999),
+            LockTarget::Relation(RelId(65)),
+            LockMode::Exclusive
+        ));
+        // And a conflicting request in a *populated* bucket still blocks.
+        assert!(!lm.try_acquire(
+            TxnId(999),
+            LockTarget::Tuple(RelId(0), tid(0)),
+            LockMode::Shared
+        ));
+    }
+
+    #[test]
+    fn shard_routing_and_counters() {
+        let lm = LockManager::with_shards(Stats::new(), 4);
+        assert_eq!(lm.shard_count(), 4);
+        assert_eq!(lm.shard_of(RelId(0)), 0);
+        assert_eq!(lm.shard_of(RelId(5)), 1);
+        lm.acquire(TxnId(1), LockTarget::Relation(RelId(0)), LockMode::Shared)
+            .unwrap();
+        lm.acquire(TxnId(1), LockTarget::Relation(RelId(1)), LockMode::Shared)
+            .unwrap();
+        let stats = lm.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[0].acquired, 1);
+        assert_eq!(stats[1].acquired, 1);
+        assert_eq!(stats[2].acquired + stats[3].acquired, 0);
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.held_count(), 0);
+    }
+
+    #[test]
     fn deadlock_detected() {
         let lm = std::sync::Arc::new(LockManager::new(Stats::new()));
         let a = LockTarget::Tuple(RelId(0), tid(1));
@@ -490,6 +732,59 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, Event::DeadlockVictim { .. })));
+    }
+
+    /// Regression for the sharded detector: a cycle whose two edges live
+    /// in *different* shard lock managers (t1 holds in shard A and waits
+    /// in shard B, t2 the reverse) is only visible on the merged graph.
+    /// It must be detected, journaled with both edges, and abort exactly
+    /// one victim.
+    #[test]
+    fn cross_shard_deadlock_aborts_exactly_one_victim() {
+        let lm = std::sync::Arc::new(LockManager::with_shards(Stats::new(), 2));
+        // rel0 → shard 0, rel1 → shard 1.
+        assert_ne!(lm.shard_of(RelId(0)), lm.shard_of(RelId(1)));
+        let tracer = obs::Tracer::new(obs::Sink::ring(256));
+        lm.set_tracer(tracer.clone());
+        let a = LockTarget::Tuple(RelId(0), tid(1));
+        let b = LockTarget::Tuple(RelId(1), tid(1));
+        lm.acquire(TxnId(1), a, LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), b, LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        let h = std::thread::spawn(move || {
+            // Txn 2 blocks in shard 0, waiting on txn 1's lock.
+            let res = lm2.acquire(TxnId(2), a, LockMode::Exclusive);
+            lm2.release_all(TxnId(2));
+            res
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // Txn 1 requesting `b` (shard 1) closes the cross-shard cycle.
+        let r1 = lm.acquire(TxnId(1), b, LockMode::Exclusive);
+        lm.release_all(TxnId(1));
+        let r2 = h.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "the cross-shard cycle must be detected"
+        );
+        assert!(
+            r1.is_ok() || r2.is_ok(),
+            "exactly one of the two transactions aborts"
+        );
+        assert_eq!(lm.held_count(), 0, "both sides released across shards");
+        // The journaled DeadlockGraph snapshot merged both shards' edges.
+        let edges = tracer
+            .ring_events()
+            .unwrap()
+            .iter()
+            .find_map(|e| match e {
+                Event::DeadlockGraph { edges, .. } => Some(edges.clone()),
+                _ => None,
+            })
+            .expect("DeadlockGraph journaled for the cross-shard cycle");
+        assert!(edges.contains("t1->t2"), "{edges}");
+        assert!(edges.contains("t2->t1"), "{edges}");
+        assert!(edges.contains("rel0["), "{edges}");
+        assert!(edges.contains("rel1["), "{edges}");
     }
 
     #[test]

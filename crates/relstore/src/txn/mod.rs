@@ -16,7 +16,7 @@
 mod locks;
 mod log;
 
-pub use locks::{LockManager, LockMode, LockTarget};
+pub use locks::{LockManager, LockMode, LockShardStats, LockTarget, DEFAULT_LOCK_SHARDS};
 pub use log::{Undo, UndoLog};
 
 use std::collections::{HashMap, HashSet};

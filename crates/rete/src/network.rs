@@ -58,7 +58,15 @@ pub struct ReteNetwork {
     free: Vec<WmeId>,
     by_content: HashMap<Wme, Vec<WmeId>>,
     alpha_mem: Vec<Vec<WmeId>>,
+    /// Position of each WME inside its alpha memory, so a removal is a
+    /// swap_remove instead of an O(|alpha|) retain scan.
+    alpha_pos: Vec<HashMap<WmeId, usize>>,
     beta_mem: Vec<Vec<TokenEntry>>,
+    /// Join nodes only: token indexes keyed by the token's last WME —
+    /// the entry point of WME-driven retraction. Without it, every
+    /// retraction partitions the node's whole memory, and a workload
+    /// that fires deletes against a large WM pays O(WM) per firing.
+    by_last: Vec<HashMap<WmeId, Vec<usize>>>,
     conflict: ConflictSet,
     metrics: OpMetrics,
 }
@@ -79,13 +87,17 @@ impl ReteNetwork {
             wmes: Vec::new(),
             negcount: 0,
         }];
+        let alpha_pos = vec![HashMap::new(); plan.alphas.len()];
+        let by_last = vec![HashMap::new(); plan.betas.len()];
         ReteNetwork {
             plan,
             wmes: Vec::new(),
             free: Vec::new(),
             by_content: HashMap::new(),
             alpha_mem,
+            alpha_pos,
             beta_mem,
+            by_last,
             conflict: ConflictSet::new(),
             metrics: OpMetrics::default(),
         }
@@ -187,6 +199,7 @@ impl ReteNetwork {
                 continue;
             }
             self.alpha_mem[a].push(id);
+            self.alpha_pos[a].insert(id, self.alpha_mem[a].len() - 1);
             for s in self.plan.alpha_successors[a].clone() {
                 self.right_activate(s, id, &mut deltas);
             }
@@ -215,7 +228,13 @@ impl ReteNetwork {
             if spec.class != wme.class || !spec.restriction.matches(&wme.tuple) {
                 continue;
             }
-            self.alpha_mem[a].retain(|&x| x != id);
+            if let Some(pos) = self.alpha_pos[a].remove(&id) {
+                self.alpha_mem[a].swap_remove(pos);
+                if pos < self.alpha_mem[a].len() {
+                    let moved = self.alpha_mem[a][pos];
+                    self.alpha_pos[a].insert(moved, pos);
+                }
+            }
             for s in self.plan.alpha_successors[a].clone() {
                 if matches!(self.plan.betas[s].kind, BetaKind::Join { .. }) {
                     self.retract_with_last(s, id, &mut deltas);
@@ -340,22 +359,77 @@ impl ReteNetwork {
     /// Store a token produced by join node `beta` and propagate it.
     fn emit_token(&mut self, beta: usize, token: Vec<WmeId>, deltas: &mut Vec<ConflictDelta>) {
         self.metrics.tokens_created += 1;
+        let last = *token.last().expect("join tokens are non-empty");
+        let idx = self.beta_mem[beta].len();
         self.beta_mem[beta].push(TokenEntry {
             wmes: token.clone(),
             negcount: 0,
         });
+        self.by_last[beta].entry(last).or_default().push(idx);
         for c in self.plan.betas[beta].children.clone() {
             self.token_arrived(c, token.clone(), deltas);
         }
     }
 
+    /// Remove one token of join node `beta` by index, keeping the
+    /// last-WME index consistent across the swap_remove.
+    fn remove_token_at(&mut self, beta: usize, idx: usize) -> TokenEntry {
+        let entry = self.beta_mem[beta].swap_remove(idx);
+        let last = *entry.wmes.last().expect("join tokens are non-empty");
+        if let Some(slots) = self.by_last[beta].get_mut(&last) {
+            if let Some(p) = slots.iter().position(|&x| x == idx) {
+                slots.swap_remove(p);
+            }
+            if slots.is_empty() {
+                self.by_last[beta].remove(&last);
+            }
+        }
+        // The former tail now lives at `idx`: repoint its index entry.
+        let old_tail = self.beta_mem[beta].len();
+        if idx < old_tail {
+            let moved_last = *self.beta_mem[beta][idx]
+                .wmes
+                .last()
+                .expect("join tokens are non-empty");
+            if let Some(slots) = self.by_last[beta].get_mut(&moved_last) {
+                if let Some(p) = slots.iter().position(|&x| x == old_tail) {
+                    slots[p] = idx;
+                }
+            }
+        }
+        entry
+    }
+
+    /// Remove the tokens of join node `beta` at `idxs`, highest first so
+    /// each swap_remove only disturbs indexes we either already handled
+    /// or retarget on the spot.
+    fn take_tokens_at(&mut self, beta: usize, mut idxs: Vec<usize>) -> Vec<TokenEntry> {
+        idxs.sort_unstable_by(|a, b| b.cmp(a));
+        let mut out = Vec::with_capacity(idxs.len());
+        let mut i = 0;
+        while i < idxs.len() {
+            let t = idxs[i];
+            let tail = self.beta_mem[beta].len() - 1;
+            if t != tail {
+                // The tail element moves into `t`; if it is itself a
+                // pending removal target, chase it to its new position.
+                if let Some(p) = idxs[i + 1..].iter().position(|&x| x == tail) {
+                    idxs[i + 1 + p] = t;
+                }
+            }
+            out.push(self.remove_token_at(beta, t));
+            i += 1;
+        }
+        out
+    }
+
     /// Remove tokens of join node `beta` whose last element is `wid`.
     fn retract_with_last(&mut self, beta: usize, wid: WmeId, deltas: &mut Vec<ConflictDelta>) {
         self.touch(beta);
-        let mem = std::mem::take(&mut self.beta_mem[beta]);
-        let (gone, kept): (Vec<_>, Vec<_>) =
-            mem.into_iter().partition(|e| e.wmes.last() == Some(&wid));
-        self.beta_mem[beta] = kept;
+        let Some(idxs) = self.by_last[beta].get(&wid).cloned() else {
+            return;
+        };
+        let gone = self.take_tokens_at(beta, idxs);
         for e in gone {
             for c in self.plan.betas[beta].children.clone() {
                 self.retract_exact(c, &e.wmes, deltas);
@@ -370,11 +444,13 @@ impl ReteNetwork {
         self.touch(beta);
         match self.plan.betas[beta].kind.clone() {
             BetaKind::Join { .. } => {
-                let mem = std::mem::take(&mut self.beta_mem[beta]);
-                let (gone, kept): (Vec<_>, Vec<_>) = mem
-                    .into_iter()
-                    .partition(|e| e.wmes.len() == token.len() + 1 && e.wmes.starts_with(token));
-                self.beta_mem[beta] = kept;
+                let idxs: Vec<usize> = self.beta_mem[beta]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.wmes.len() == token.len() + 1 && e.wmes.starts_with(token))
+                    .map(|(i, _)| i)
+                    .collect();
+                let gone = self.take_tokens_at(beta, idxs);
                 for e in gone {
                     for c in self.plan.betas[beta].children.clone() {
                         self.retract_exact(c, &e.wmes, deltas);

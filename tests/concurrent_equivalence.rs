@@ -51,8 +51,21 @@ fn load(
     items: &[(i64, i64)],
     removes: &[usize],
 ) -> Box<dyn prodsys::MatchEngine> {
+    load_sharded(kind, relstore::DEFAULT_LOCK_SHARDS, items, removes)
+}
+
+/// Same loader but over a database with an explicit lock-shard count, so
+/// the proptests can pin the degenerate 1-shard layout and the sharded
+/// layouts against the same oracle.
+fn load_sharded(
+    kind: EngineKind,
+    shards: usize,
+    items: &[(i64, i64)],
+    removes: &[usize],
+) -> Box<dyn prodsys::MatchEngine> {
     let rules = ops5::compile(SRC).expect("program compiles");
-    let mut engine = make_engine(kind, ProductionDb::new(rules).unwrap());
+    let db = std::sync::Arc::new(relstore::Database::new_with_shards(shards));
+    let mut engine = make_engine(kind, ProductionDb::with_db(db, rules).unwrap());
     for &(n, k) in items {
         engine.insert(ClassId(0), tuple![n, k]);
     }
@@ -153,6 +166,69 @@ proptest! {
                     prop_assert_eq!(
                         g.conflict_set().len(), 0,
                         "{}: quiescent conflict set", &label
+                    );
+                }
+            }
+        }
+    }
+
+    /// Shard count is invisible to the program: for every lock-shard
+    /// layout and worker count, the sharded concurrent run commits the
+    /// same transactions, converges to the same WM, and leaves the same
+    /// refraction state (a second run fires nothing) as an *unsharded*
+    /// sequential oracle.
+    #[test]
+    fn sharded_concurrent_matches_unsharded_sequential(
+        items in proptest::collection::vec((0i64..6, 0i64..4), 1..19),
+        remove_idx in proptest::collection::vec(0usize..64, 0..4),
+    ) {
+        let mut removes: Vec<usize> =
+            remove_idx.iter().map(|i| i % items.len()).collect();
+        removes.sort_unstable();
+        removes.dedup();
+
+        for kind in [EngineKind::Query, EngineKind::Cond] {
+            // Oracle: unsharded (1 lock shard), sequential recognize-act.
+            let mut seq = SequentialExecutor::new(
+                load_sharded(kind, 1, &items, &removes),
+                Strategy::Canonical,
+            );
+            let out = seq.run(10_000);
+            let base_wm = wm_all(seq.engine());
+
+            for shards in [1usize, 4] {
+                for workers in [1usize, 4, 16] {
+                    let mut exec = ConcurrentExecutor::new(
+                        load_sharded(kind, shards, &items, &removes),
+                        workers,
+                    );
+                    let stats = exec.run(10_000);
+                    let label = format!(
+                        "{} shards={shards} workers={workers}",
+                        kind.label()
+                    );
+                    prop_assert_eq!(
+                        stats.committed, out.fired,
+                        "{}: committed txns vs unsharded sequential firings", &label
+                    );
+                    {
+                        let engine = exec.engine();
+                        let g = engine.lock();
+                        prop_assert_eq!(
+                            wm_all(&**g), base_wm.clone(),
+                            "{}: final working memory", &label
+                        );
+                        prop_assert_eq!(
+                            g.conflict_set().len(), 0,
+                            "{}: quiescent conflict set", &label
+                        );
+                    }
+                    // Refraction survives the shard layout: everything that
+                    // could fire already has, so a second pass is a no-op.
+                    let again = exec.run(10_000);
+                    prop_assert_eq!(
+                        again.committed, 0,
+                        "{}: refraction state drained", &label
                     );
                 }
             }
